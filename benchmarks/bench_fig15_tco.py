@@ -1,0 +1,60 @@
+"""Figure 15 (plus Tables 4 and 5): TCO of the three WSC designs across
+workload compositions, normalized to the CPU-only design.
+
+Both methodology readings are reported: the default retains each query's
+CPU-side pre/post-processing in the GPU designs (Figure 14's red arrows);
+the alternate provisions pure inference.  EXPERIMENTS.md discusses how the
+paper's 4-20x range relates to the two.
+"""
+
+from repro.wsc import CostFactors, IMAGE, MIXED, NLP, WscDesigner, tco_sweep
+
+from _common import report, series_row
+
+FRACTIONS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.72, 0.8, 0.9, 1.0)
+
+
+def sweep_all():
+    default = WscDesigner()
+    pure = WscDesigner(include_prepost=False)
+    out = {}
+    for workload in (MIXED, IMAGE, NLP):
+        out[workload.name] = (
+            tco_sweep(workload, FRACTIONS, default),
+            tco_sweep(workload, FRACTIONS, pure),
+        )
+    return out
+
+
+def test_fig15_tco_sweeps(benchmark):
+    factors = CostFactors()
+    data = benchmark.pedantic(sweep_all, rounds=1, iterations=1)
+
+    lines = ["Table 4 parameters: "
+             f"server ${factors.gpu_server_cost:.0f}/300W, GPU ${factors.gpu_cost:.0f}/240W, "
+             f"wimpy ${factors.wimpy_server_cost:.0f}/75W, NIC ${factors.nic_cost:.0f}, "
+             f"${factors.capex_per_watt:.0f}/W capex, ${factors.opex_per_watt_month}/W/mo, "
+             f"PUE {factors.pue}, ${factors.electricity_per_kwh}/kWh, "
+             f"{factors.interest_rate_yearly:.0%} APR, {factors.lifetime_months} months",
+             "Table 5 workloads: MIXED (all 7), IMAGE (imc,dig,face), NLP (pos,chk,ner)",
+             ""]
+    header = "f        " + " ".join(f"{f:>10.2f}" for f in FRACTIONS)
+    for name, (retained, pure) in data.items():
+        lines.append(f"--- {name} (normalized TCO; lower is better) ---")
+        lines.append(header)
+        lines.append(series_row("integ", [p.integrated for p in retained], "{:>10.3f}"))
+        lines.append(series_row("disagg", [p.disaggregated for p in retained], "{:>10.3f}"))
+        lines.append(series_row("dis(no", [p.disaggregated for p in pure], "{:>10.3f}")
+                     + "   <- pure-inference reading")
+        lines.append("")
+    lines.append("(paper: GPU designs up to 20x cheaper for MIXED, 4x for NLP,")
+    lines.append(" IMAGE crossover near 72% where integrated overtakes disaggregated)")
+    report("fig15", "Figure 15: WSC TCO vs DNN share of the workload", lines)
+
+    mixed = data["MIXED"][0]
+    nlp = data["NLP"][0]
+    image = data["IMAGE"][0]
+    assert 1.0 / mixed[-1].disaggregated > 2.5
+    assert 1.5 < 1.0 / nlp[-1].disaggregated < 5.0     # paper: max 4x
+    assert image[-1].integrated < image[-1].disaggregated  # crossover happened
+    assert image[0].disaggregated <= image[0].integrated * 1.01

@@ -1,0 +1,56 @@
+"""Figure 16 (plus Table 6): what future interconnects and networks buy —
+per-design TCO component breakdowns at the performance each network
+generation unlocks, for the MIXED and NLP workloads.
+"""
+
+from repro.wsc import CONFIGS, MIXED, NLP, future_network_study
+
+from _common import report
+
+COMPONENTS = ("servers", "gpus", "network", "facility", "power", "opex")
+
+
+def run_study():
+    return {wl.name: future_network_study(wl) for wl in (MIXED, NLP)}
+
+
+def test_fig16_future_networks(benchmark):
+    data = benchmark.pedantic(run_study, rounds=1, iterations=1)
+
+    lines = ["Table 6 interconnect configurations:"]
+    for config in CONFIGS:
+        lines.append(
+            f"  {config.name:18s} host link {config.host_link_gbs:>6.1f} GB/s, "
+            f"{config.nics_per_gpu_host} NICs/host ({config.network_gbs_per_host:.1f} GB/s eff), "
+            f"NIC cost x{config.nic_cost_factor}, +${config.interconnect_upgrade_per_server:.0f}/server"
+        )
+    lines.append("")
+
+    for name, points in data.items():
+        base = points[0].breakdowns
+        lines.append(f"--- {name} workload (TCO in $M; x = perf vs PCIe v3 design) ---")
+        header = f"{'config':18s} {'perf':>6s}" + "".join(f"{c:>10s}" for c in COMPONENTS) + f"{'total':>10s}"
+        for design in ("cpu_only", "integrated", "disaggregated"):
+            lines.append(f"[{design}]")
+            lines.append(header)
+            for point in points:
+                b = point.breakdowns[design]
+                parts = b.as_dict()
+                row = f"{point.config.name:18s} {point.performance:>5.2f}x"
+                row += "".join(f"{parts[c] / 1e6:>10.2f}" for c in COMPONENTS)
+                row += f"{b.total / 1e6:>10.2f}"
+                lines.append(row)
+        lines.append("")
+    lines.append("(paper: network bandwidth unlocks up to ~4.5x NLP performance;")
+    lines.append(" disaggregated TCO growth is network-dominated; CPU-only must")
+    lines.append(" scale servers in proportion to the performance target)")
+    report("fig16", "Figure 16: TCO under future interconnects and networks", lines)
+
+    nlp = data["NLP"]
+    assert 3.0 < nlp[-1].performance < 6.0
+    for points in data.values():
+        base = points[0].breakdowns["disaggregated"]
+        qpi = points[-1].breakdowns["disaggregated"]
+        assert qpi.network / base.network > qpi.servers / base.servers
+        for p in points:
+            assert p.breakdowns["disaggregated"].total < p.breakdowns["cpu_only"].total

@@ -1,0 +1,75 @@
+"""Figure 4: cycle breakdown between the DNN and pre/post-processing.
+
+Two views are reported:
+
+* the *modeled* breakdown — the per-app pre/post cost estimates for the
+  paper's software stacks (Kaldi, SENNA) that drive the TCO analysis; and
+* a *measured* breakdown of this repository's own Python pipelines (small
+  trained stand-in models), which has different constant factors — our
+  numpy GEMMs and pure-Python decoders are not Caffe and Kaldi.
+"""
+
+import numpy as np
+
+from repro.gpusim import all_app_models
+from repro.models import APPLICATIONS, build_net
+from repro.nn import LayerSpec, Net, NetSpec
+from repro.tonic import (
+    AsrApp,
+    DigApp,
+    LocalBackend,
+    PosApp,
+    Vocabulary,
+    WindowFeaturizer,
+    digit_dataset,
+    generate_corpus,
+    synthesize_words,
+)
+
+from _common import report
+
+
+def modeled_breakdown():
+    return {m.app: m.dnn_cycle_fraction() for m in all_app_models()}
+
+
+def measured_breakdown():
+    """DNN time fraction measured on this repo's functional pipelines."""
+    results = {}
+    dig = DigApp(LocalBackend(build_net("dig", materialize=True)))
+    images, _ = digit_dataset(100, seed=1)
+    _, timing = dig.run_timed(images)
+    results["dig"] = timing.dnn_fraction
+
+    corpus = generate_corpus(5, seed=2)
+    vocab = Vocabulary(w for s in corpus for w in s.words)
+    pos = PosApp(LocalBackend(build_net("pos", materialize=True)), WindowFeaturizer(vocab))
+    _, timing = pos.run_timed(list(corpus[0].words))
+    results["pos"] = timing.dnn_fraction
+
+    am_spec = NetSpec("am", (440,), (
+        LayerSpec("InnerProduct", "h", {"num_output": 64}),
+        LayerSpec("Sigmoid", "s"),
+        LayerSpec("InnerProduct", "o", {"num_output": 48}),
+        LayerSpec("Softmax", "p"),
+    ))
+    asr = AsrApp(LocalBackend(Net(am_spec).materialize(0)))
+    audio, _ = synthesize_words(["go", "left"], seed=3)
+    _, timing = asr.run_timed(audio)
+    results["asr"] = timing.dnn_fraction
+    return results
+
+
+def test_fig4_cycle_breakdown(benchmark):
+    modeled = benchmark(modeled_breakdown)
+    measured = measured_breakdown()
+    lines = [f"{'app':5s} {'modeled DNN %':>13s} {'pre/post %':>10s} {'measured DNN % (our pipeline)':>30s}"]
+    for app in APPLICATIONS:
+        dnn = modeled[app] * 100
+        meas = f"{measured[app] * 100:.0f}" if app in measured else "-"
+        lines.append(f"{app:5s} {dnn:>13.0f} {100 - dnn:>10.0f} {meas:>30s}")
+    report("fig4", "Figure 4: cycle breakdown (DNN vs pre/post-processing)", lines)
+
+    assert all(modeled[a] > 0.95 for a in ("imc", "dig", "face"))
+    assert 0.4 < modeled["asr"] < 0.6
+    assert all(0.6 < modeled[a] < 0.75 for a in ("pos", "chk", "ner"))

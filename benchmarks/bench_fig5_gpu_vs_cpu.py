@@ -1,0 +1,24 @@
+"""Figure 5: baseline (batch = 1) GPU throughput improvement over a single
+Xeon core, per application.
+"""
+
+from repro.gpusim import all_app_models
+
+from _common import bar, report
+
+
+def compute():
+    return {m.app: m.gpu_speedup(1) for m in all_app_models()}
+
+
+def test_fig5_gpu_vs_cpu_throughput(benchmark):
+    speedups = benchmark(compute)
+    lines = [f"{'app':5s} {'speedup':>8s}"]
+    for app, s in speedups.items():
+        lines.append(f"{app:5s} {s:>8.1f}x  {bar(s, 130)}")
+    lines.append("(paper: ASR ~120x; NLP ~7x; >30M-param nets >20x)")
+    report("fig5", "Figure 5: GPU over single-core CPU throughput, batch=1", lines)
+
+    assert 90 < speedups["asr"] < 150
+    assert all(4 < speedups[a] < 10 for a in ("pos", "chk", "ner"))
+    assert speedups["imc"] > 20

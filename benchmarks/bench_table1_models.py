@@ -1,0 +1,66 @@
+"""Table 1 + Table 2: the Tonic network architectures and the platform.
+
+Regenerates the paper's Table 1 (application, network, type, layers,
+parameters) from the model zoo, and prints the modeled platform (Table 2).
+"""
+
+from repro.gpusim import PLATFORM
+from repro.models import (
+    APPLICATIONS,
+    DEEPFACE_ORIGINAL_IDENTITIES,
+    build_net,
+    build_spec,
+    deepface,
+    model_info,
+    weighted_layer_count,
+)
+from repro.nn import Net
+
+from _common import report
+
+
+def build_table1():
+    rows = []
+    for app in APPLICATIONS:
+        info = model_info(app)
+        net = build_net(app)
+        rows.append((info, net, weighted_layer_count(build_spec(app))))
+    return rows
+
+
+def test_table1_network_architectures(benchmark):
+    rows = benchmark(build_table1)
+    lines = [
+        f"{'app':5s} {'network':9s} {'type':4s} {'stages':>6s} {'weighted':>8s} "
+        f"{'params':>13s} {'paper layers':>12s} {'paper params':>13s}"
+    ]
+    for info, net, weighted in rows:
+        lines.append(
+            f"{info.app:5s} {info.network:9s} {info.network_type:4s} "
+            f"{net.spec.depth:>6d} {weighted:>8d} {net.param_count():>13,d} "
+            f"{info.paper_layers:>12d} {info.paper_params:>13,d}"
+        )
+    face_full = Net(deepface(DEEPFACE_ORIGINAL_IDENTITIES)).param_count()
+    lines.append(f"(FACE at the original {DEEPFACE_ORIGINAL_IDENTITIES}-way "
+                 f"classifier: {face_full:,d} params — Table 1's '120M')")
+    report("table1", "Table 1: Tonic Suite neural network architectures", lines)
+
+    params = {info.app: net.param_count() for info, net, _ in rows}
+    assert 0.8 * 60e6 < params["imc"] < 1.2 * 60e6
+    assert 0.8 * 30e6 < params["asr"] < 1.2 * 30e6
+
+
+def test_table2_platform(benchmark):
+    platform = benchmark(lambda: PLATFORM)
+    gpu, cpu = platform.gpu, platform.cpu_core
+    lines = [
+        f"GPUs: {platform.gpus} x {gpu.name} "
+        f"({gpu.num_sms} SMX, {gpu.peak_gflops/1000:.2f} TFLOP/s SP, "
+        f"{gpu.mem_bandwidth_gbs:.0f} GB/s, {gpu.mem_bytes/2**30:.0f} GB)",
+        f"CPU: {platform.sockets} x {cpu.name.split(' (')[0]} "
+        f"({platform.cores_per_socket}C, {cpu.clock_ghz} GHz)",
+        f"Host link: {platform.host_link_gbs} GB/s aggregate "
+        f"({platform.pcie_per_gpu_gbs} GB/s PCIe v3 x16 per GPU)",
+    ]
+    report("table2", "Table 2: Platform specifications (modeled)", lines)
+    assert platform.gpus == 8

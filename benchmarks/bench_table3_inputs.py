@@ -1,0 +1,42 @@
+"""Table 3: per-application service inputs, outputs, and chosen batch sizes."""
+
+from repro.gpusim import all_app_models, app_model
+
+from _common import report
+
+
+def collect():
+    return [
+        (
+            m.app,
+            m.inputs_per_query,
+            m.input_bytes_per_query / 1024,
+            m.output_bytes_per_query / 1024,
+            (m.input_bytes_per_query + (app_model(m.chained_app).wire_bytes_per_query
+                                        if m.chained_app else 0)) / 1024,
+            m.paper_input_kb,
+            m.best_batch,
+        )
+        for m in all_app_models()
+    ]
+
+
+def test_table3_service_inputs(benchmark):
+    rows = benchmark(collect)
+    lines = [
+        f"{'app':5s} {'inputs/query':>12s} {'input KB':>9s} {'output KB':>9s} "
+        f"{'request KB':>10s} {'paper KB':>9s} {'batch':>6s}"
+    ]
+    for app, inputs, in_kb, out_kb, req_kb, paper_kb, batch in rows:
+        lines.append(
+            f"{app:5s} {inputs:>12d} {in_kb:>9.1f} {out_kb:>9.1f} "
+            f"{req_kb:>10.1f} {paper_kb:>9.0f} {batch:>6d}"
+        )
+    lines.append("(request KB includes CHK's chained POS round trip, §3.2.3;")
+    lines.append(" ASR diverges from the paper's 4594KB — see EXPERIMENTS.md)")
+    report("table3", "Table 3: DjiNN service applications", lines)
+
+    table = {r[0]: r for r in rows}
+    assert abs(table["imc"][2] - 604) < 10
+    assert abs(table["dig"][2] - 307) < 5
+    assert table["pos"][6] == 64

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""End-to-end speech recognition through the DjiNN service.
+
+The full Tonic ASR pipeline of paper §3.2.2, on synthesized speech:
+
+  audio -> filterbank frontend -> spliced features ->
+  DjiNN acoustic DNN (per-frame senone posteriors) ->
+  HMM Viterbi decode -> lexicon word search -> text
+
+A compact acoustic model (the trainable stand-in for the 30M-parameter
+Kaldi network; see DESIGN.md) is trained on the synthesizer's alignments,
+served over TCP, and evaluated by word error rate.
+
+Run:  python examples/asr_pipeline.py
+"""
+
+import numpy as np
+
+from repro.core import DjinnClient, DjinnServer, ModelRegistry, RemoteBackend
+from repro.nn import LayerSpec, Net, NetSpec, SgdSolver
+from repro.tonic import PHONES, speech_queries, synthesize_words
+from repro.tonic.asr import STATES_PER_PHONE, AsrApp, acoustic_training_set
+from repro.tonic.metrics import word_error_rate
+from repro.tonic.speechsynth import LEXICON
+
+NUM_SENONES = len(PHONES) * STATES_PER_PHONE
+
+
+def train_acoustic_model():
+    """Train a compact DNN on (spliced fbank, tied-state) pairs."""
+    rng = np.random.default_rng(5)
+    words = sorted(LEXICON)
+    utterances = [synthesize_words([w], seed=i) for i, w in enumerate(words * 4)]
+    # two-word utterances teach the word-boundary coarticulation
+    pairs = [[words[rng.integers(len(words))], words[rng.integers(len(words))]]
+             for _ in range(48)]
+    utterances += [synthesize_words(p, seed=1000 + i) for i, p in enumerate(pairs)]
+    features, labels = acoustic_training_set(utterances)
+    print(f"training on {len(features):,d} aligned frames, {NUM_SENONES} senones")
+
+    spec = NetSpec("acoustic", (440,), (
+        LayerSpec("InnerProduct", "h1", {"num_output": 192}),
+        LayerSpec("Sigmoid", "s1"),
+        LayerSpec("InnerProduct", "senone", {"num_output": NUM_SENONES}),
+    ))
+    net = Net(spec).materialize(0)
+    solver = SgdSolver(net, lr=0.2, momentum=0.9)
+    log = solver.fit(features, labels, epochs=10, batch=64,
+                     eval_set=(features, labels))
+    print(f"frame accuracy after training: {log.epoch_accuracy[-1]:.3f}")
+
+    counts = np.bincount(labels, minlength=NUM_SENONES) + 1.0
+    log_priors = np.log(counts / counts.sum())
+
+    serving_spec = NetSpec("asr", (440,), tuple(spec.layers) + (
+        LayerSpec("Softmax", "posterior"),))
+    serving = Net(serving_spec)
+    serving.copy_weights_from(net)
+    return serving, log_priors
+
+
+def main() -> None:
+    serving, log_priors = train_acoustic_model()
+
+    registry = ModelRegistry()
+    registry.register("asr", serving)
+
+    with DjinnServer(registry) as server:
+        host, port = server.address
+        with DjinnClient(host, port) as client:
+            app = AsrApp(RemoteBackend(client), log_priors=log_priors)
+
+            print("\ndecoding 15 unseen utterances through the service:")
+            hypotheses, references = [], []
+            exact = 0
+            for audio, reference in speech_queries(15, words_per_query=3, seed=99):
+                transcript, timing = app.run_timed(audio)
+                hypotheses.append(list(transcript.words))
+                references.append(reference)
+                exact += hypotheses[-1] == reference
+                print(f"  ref: {' '.join(reference):24s} hyp: {transcript.text:24s} "
+                      f"({timing.dnn_fraction:.0%} of time in DNN)")
+            wer = word_error_rate(hypotheses, references)
+            print(f"\nword error rate: {wer:.1%}   exact sentence matches: {exact}/15")
+            assert wer < 0.3
+
+
+if __name__ == "__main__":
+    main()

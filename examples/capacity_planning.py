@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Capacity planning with the performance and TCO models.
+
+Answers the operator's questions the paper's §5-§6 machinery exists for:
+
+  1. What does one K40 deliver per application (batching + MPS applied)?
+  2. How many GPUs serve a target query load, and where does multi-GPU
+     scaling stop paying (the NLP bandwidth wall)?
+  3. What does each WSC design cost to serve a given workload mix?
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro.gpusim import GpuServerModel, all_app_models
+from repro.gpusim.mps import service_segments, simulate_concurrent
+from repro.wsc import MIXED, NLP, WscDesigner
+
+TARGET_QPS = {  # a hypothetical product's steady-state load
+    "imc": 50_000, "dig": 20_000, "face": 5_000, "asr": 2_000,
+    "pos": 500_000, "chk": 200_000, "ner": 200_000,
+}
+
+
+def main() -> None:
+    print("== per-GPU capability (Table 3 batches + 4 MPS instances) ==")
+    per_gpu = {}
+    for model in all_app_models():
+        result = simulate_concurrent(service_segments(model), 4, "mps")
+        qps = result.qps * model.best_batch
+        per_gpu[model.app] = qps
+        print(f"  {model.app:5s} {qps:>12,.0f} QPS/GPU   "
+              f"latency {result.mean_latency_s * 1e3:>7.2f} ms   "
+              f"{qps * model.wire_bytes_per_query / 1e9:>5.2f} GB/s of PCIe traffic")
+
+    print("\n== GPUs needed for the target load ==")
+    total_gpus = 0
+    for model in all_app_models():
+        app = model.app
+        gpus = TARGET_QPS[app] / per_gpu[app]
+        srv = GpuServerModel(model)
+        eight = srv.scale(8)
+        note = "  <- host-link limited at 8 GPUs/server" if eight.link_limited else ""
+        print(f"  {app:5s} target {TARGET_QPS[app]:>9,d} QPS -> {gpus:6.2f} GPUs{note}")
+        total_gpus += gpus
+    print(f"  total: {total_gpus:.1f} GPUs")
+
+    print("\n== WSC design comparison (500-server CPU-only baseline) ==")
+    designer = WscDesigner()
+    for workload, fraction in ((MIXED, 0.7), (NLP, 0.7)):
+        results = designer.all_designs(workload, fraction)
+        base = results["cpu_only"].total_tco
+        print(f"  {workload.name} at {fraction:.0%} DNN share:")
+        for name, result in results.items():
+            inv = result.inventory
+            print(f"    {name:14s} TCO ${result.total_tco / 1e6:6.2f}M "
+                  f"({result.total_tco / base:5.2f}x of CPU-only)  "
+                  f"servers={inv.beefy_servers + inv.wimpy_servers:7.1f} gpus={inv.gpus:6.0f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""repro — a reproduction of *DjiNN and Tonic: DNN as a Service and Its
+Implications for Future Warehouse Scale Computers* (Hauswald et al., ISCA'15).
+
+Subpackages
+-----------
+``repro.nn``      from-scratch numpy DNN framework (the Caffe substitute)
+``repro.models``  the 7 Tonic network architectures (Table 1)
+``repro.tonic``   Tonic Suite end-to-end applications + synthetic datasets
+``repro.core``    the DjiNN service: TCP server, client, protocol, batching
+``repro.gpusim``  K40-class GPU performance model (Figures 5-13)
+``repro.sim``     discrete-event simulation substrate
+``repro.wsc``     WSC designs and TCO analysis (Figures 15-16, Tables 4-6)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["nn", "models", "tonic", "core", "gpusim", "sim", "wsc", "__version__"]

@@ -1,0 +1,171 @@
+"""Command-line interface: operate the DjiNN service like the original
+release's binaries.
+
+Commands
+--------
+``djinn models``
+    Print the Tonic model zoo (Table 1).
+``djinn serve [--models dig,pos,...] [--port N] [--batch N --timeout-ms T]``
+    Start a DjiNN server with seeded models and block until Ctrl-C.
+``djinn query --host H --port P --app dig``
+    Run one Tonic query against a live server and print the result.
+``djinn plan``
+    Per-GPU capability and WSC design comparison (the capacity-planning
+    example, in command form).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List
+
+import numpy as np
+
+__all__ = ["main"]
+
+SERVABLE = ("dig", "pos", "chk", "ner", "imc", "face", "asr")
+
+
+def _build_registry(names: List[str]):
+    from .core import ModelRegistry
+    from .models import build_spec
+
+    registry = ModelRegistry()
+    for seed, name in enumerate(names):
+        if name not in SERVABLE:
+            raise SystemExit(f"unknown model {name!r}; choose from {', '.join(SERVABLE)}")
+        print(f"loading {name} (seeded synthetic weights)...")
+        registry.register_spec(name, build_spec(name), seed=seed)
+    return registry
+
+
+def cmd_models(_args) -> int:
+    from .models import APPLICATIONS, build_net, model_info
+
+    print(f"{'app':5s} {'network':9s} {'type':4s} {'params':>13s} {'input':>16s} {'output':>8s}")
+    for app in APPLICATIONS:
+        info = model_info(app)
+        net = build_net(app)
+        print(f"{app:5s} {info.network:9s} {info.network_type:4s} "
+              f"{net.param_count():>13,d} {str(net.input_shape):>16s} "
+              f"{str(net.output_shape):>8s}")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    from .core import BatchPolicy, DjinnServer
+
+    registry = _build_registry([m for m in args.models.split(",") if m])
+    for entry in args.load or []:
+        try:
+            path, name = entry.rsplit("=", 1)
+        except ValueError:
+            raise SystemExit(f"--load expects PATH=NAME, got {entry!r}")
+        from .nn import load_net
+
+        print(f"loading {name} from {path}...")
+        registry.register(name, load_net(path))
+    batching = None
+    if args.batch:
+        batching = BatchPolicy(max_batch=args.batch, timeout_ms=args.timeout_ms)
+    server = DjinnServer(registry, host=args.host, port=args.port, batching=batching)
+    server.start()
+    host, port = server.address
+    print(f"DjiNN serving {registry.names()} on {host}:{port} "
+          f"({'batched' if batching else 'unbatched'}); Ctrl-C to stop")
+    try:
+        while server._running.is_set():
+            time.sleep(0.5)
+    except KeyboardInterrupt:
+        print("\nstopping...")
+    finally:
+        server.stop()
+    return 0
+
+
+def cmd_query(args) -> int:
+    from .core import DjinnClient, RemoteBackend
+
+    with DjinnClient(args.host, args.port) as client:
+        backend = RemoteBackend(client)
+        if args.app == "dig":
+            from .tonic import DigApp, digit_dataset
+
+            images, labels = digit_dataset(args.count, seed=args.seed)
+            result, timing = DigApp(backend).run_timed(images)
+            print(f"predictions: {result}")
+            print(f"labels:      {list(labels)}")
+        elif args.app in ("pos", "chk", "ner"):
+            from .tonic import PosApp, Vocabulary, WindowFeaturizer, generate_corpus
+            from .tonic.nlp import NlpApp
+
+            sentence = generate_corpus(1, seed=args.seed)[0]
+            featurizer = WindowFeaturizer(Vocabulary(sentence.words))
+            app = (PosApp(backend, featurizer) if args.app == "pos"
+                   else NlpApp(args.app, backend, featurizer))
+            tags, timing = app.run_timed(list(sentence.words))
+            print(" ".join(f"{w}/{t}" for w, t in zip(sentence.words, tags)))
+        else:
+            raise SystemExit(f"query does not support app {args.app!r} yet")
+        print(f"(pre {timing.pre_s * 1e3:.2f} ms | dnn {timing.dnn_s * 1e3:.2f} ms | "
+              f"post {timing.post_s * 1e3:.2f} ms)")
+        print("server stats:", client.stats())
+    return 0
+
+
+def cmd_plan(_args) -> int:
+    from .gpusim import all_app_models, select_batch
+    from .gpusim.mps import service_segments, simulate_concurrent
+    from .wsc import MIXED, WscDesigner
+
+    print(f"{'app':5s} {'tuned batch':>11s} {'QPS/GPU (4 MPS)':>16s} {'latency':>9s}")
+    for model in all_app_models():
+        choice = select_batch(model)
+        result = simulate_concurrent(service_segments(model), 4, "mps")
+        qps = result.qps * model.best_batch
+        print(f"{model.app:5s} {choice.batch:>11d} {qps:>16,.0f} "
+              f"{result.mean_latency_s * 1e3:>7.2f}ms")
+    designer = WscDesigner()
+    results = designer.all_designs(MIXED, 0.7)
+    base = results["cpu_only"].total_tco
+    print("\nMIXED workload at 70% DNN share (500-server baseline):")
+    for name, result in results.items():
+        print(f"  {name:14s} ${result.total_tco / 1e6:6.2f}M "
+              f"({result.total_tco / base:.2f}x of CPU-only)")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="djinn", description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="print the Tonic model zoo")
+
+    serve = sub.add_parser("serve", help="start a DjiNN server")
+    serve.add_argument("--models", default="dig,pos", help="comma-separated model names")
+    serve.add_argument("--load", action="append", metavar="PATH=NAME",
+                       help="serve a trained model saved with repro.nn.save_net")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7889)
+    serve.add_argument("--batch", type=int, default=0, help="enable dynamic batching")
+    serve.add_argument("--timeout-ms", type=float, default=2.0)
+
+    query = sub.add_parser("query", help="run one Tonic query against a server")
+    query.add_argument("--host", default="127.0.0.1")
+    query.add_argument("--port", type=int, default=7889)
+    query.add_argument("--app", default="dig", choices=("dig", "pos", "chk", "ner"))
+    query.add_argument("--count", type=int, default=5)
+    query.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("plan", help="capacity and TCO planning summary")
+
+    args = parser.parse_args(argv)
+    return {"models": cmd_models, "serve": cmd_serve,
+            "query": cmd_query, "plan": cmd_plan}[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

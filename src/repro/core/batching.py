@@ -1,0 +1,153 @@
+"""Server-side dynamic batching.
+
+Section 5.1 of the paper batches multiple DNN inputs into one larger GPU
+GEMM to raise occupancy and throughput.  This module is the service-side
+mechanism: per-model queues collect concurrent requests until ``max_batch``
+inputs are buffered or ``timeout_ms`` elapses, then execute them as a single
+forward pass and scatter the results back to the waiting requests.
+
+On the numpy substrate the win is BLAS efficiency rather than GPU occupancy,
+but the mechanism (and its latency/throughput trade-off, which
+``benchmarks/bench_ablation_batch_policy.py`` sweeps) is the same.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from queue import Empty, Queue
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .registry import ModelRegistry
+
+__all__ = ["BatchPolicy", "BatchingExecutor"]
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """How long to wait and how much to coalesce."""
+
+    max_batch: int = 16
+    timeout_ms: float = 2.0
+
+    def __post_init__(self):
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.timeout_ms < 0:
+            raise ValueError(f"timeout_ms must be >= 0, got {self.timeout_ms}")
+
+
+class _Pending:
+    """One submitted request waiting for its slice of a batched result."""
+
+    __slots__ = ("inputs", "event", "result", "error")
+
+    def __init__(self, inputs: np.ndarray):
+        self.inputs = inputs
+        self.event = threading.Event()
+        self.result: Optional[np.ndarray] = None
+        self.error: Optional[Exception] = None
+
+
+class BatchingExecutor:
+    """Per-model batching queues with one worker thread per model."""
+
+    def __init__(self, registry: ModelRegistry, policy: BatchPolicy = BatchPolicy()):
+        self.registry = registry
+        self.policy = policy
+        self._queues: Dict[str, Queue] = {}
+        self._workers: Dict[str, threading.Thread] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+        #: batch sizes actually executed, per model (observability/tests)
+        self.executed_batches: Dict[str, List[int]] = {}
+
+    # ------------------------------------------------------------ lifecycle
+    def _ensure_worker(self, model: str) -> Queue:
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("executor is closed")
+            if model not in self._queues:
+                self.registry.get(model)  # fail fast on unknown models
+                queue: Queue = Queue()
+                self._queues[model] = queue
+                self.executed_batches[model] = []
+                worker = threading.Thread(
+                    target=self._run_worker, args=(model, queue), daemon=True,
+                    name=f"djinn-batch-{model}",
+                )
+                self._workers[model] = worker
+                worker.start()
+            return self._queues[model]
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            queues = list(self._queues.values())
+        for queue in queues:
+            queue.put(None)  # wake workers for shutdown
+        for worker in self._workers.values():
+            worker.join(timeout=5.0)
+
+    # -------------------------------------------------------------- submit
+    def submit(self, model: str, inputs: np.ndarray) -> np.ndarray:
+        """Enqueue ``inputs`` (n, *input_shape); blocks until results ready."""
+        queue = self._ensure_worker(model)
+        pending = _Pending(np.ascontiguousarray(inputs, dtype=np.float32))
+        queue.put(pending)
+        pending.event.wait()
+        if pending.error is not None:
+            raise pending.error
+        assert pending.result is not None
+        return pending.result
+
+    # -------------------------------------------------------------- worker
+    def _collect(self, queue: Queue) -> List[_Pending]:
+        """Block for the first request, then coalesce within the window."""
+        first = queue.get()
+        if first is None:
+            return []
+        batch = [first]
+        rows = len(first.inputs)
+        deadline = time.monotonic() + self.policy.timeout_ms / 1e3
+        while rows < self.policy.max_batch:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            try:
+                item = queue.get(timeout=remaining)
+            except Empty:
+                break
+            if item is None:
+                queue.put(None)  # keep shutdown signal visible
+                break
+            batch.append(item)
+            rows += len(item.inputs)
+        return batch
+
+    def _run_worker(self, model: str, queue: Queue) -> None:
+        net = self.registry.get(model)
+        while True:
+            batch = self._collect(queue)
+            if not batch:
+                return
+            try:
+                stacked = np.concatenate([p.inputs for p in batch], axis=0)
+                outputs = net.forward(stacked)
+                self.executed_batches[model].append(len(stacked))
+                offset = 0
+                for pending in batch:
+                    n = len(pending.inputs)
+                    pending.result = outputs[offset : offset + n]
+                    offset += n
+            except Exception as exc:  # deliver failures to every waiter
+                for pending in batch:
+                    pending.error = exc
+            finally:
+                for pending in batch:
+                    pending.event.set()

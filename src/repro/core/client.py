@@ -1,0 +1,92 @@
+"""DjiNN client library and the remote DNN backend for Tonic apps."""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..tonic.app import DnnBackend
+from .protocol import Message, MessageType, recv_message, send_message
+
+__all__ = ["DjinnClient", "RemoteBackend", "DjinnServiceError"]
+
+
+class DjinnServiceError(RuntimeError):
+    """The service answered with an ERROR frame."""
+
+
+class DjinnClient:
+    """Blocking client for one DjiNN connection.
+
+    One client maps to one TCP connection; requests on it are serialized.
+    Load generators open one client per concurrent stream.
+    """
+
+    def __init__(self, host: str, port: int, timeout_s: float = 30.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout_s)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._closed = False
+
+    # -------------------------------------------------------------- plumbing
+    def _roundtrip(self, request: Message) -> Message:
+        if self._closed:
+            raise RuntimeError("client is closed")
+        send_message(self._sock, request)
+        response = recv_message(self._sock)
+        if response.type == MessageType.ERROR:
+            raise DjinnServiceError(response.text)
+        return response
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "DjinnClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -------------------------------------------------------------- requests
+    def infer(self, model: str, inputs: np.ndarray) -> np.ndarray:
+        """Run a batch through ``model`` on the service."""
+        inputs = np.ascontiguousarray(inputs, dtype=np.float32)
+        response = self._roundtrip(
+            Message(MessageType.INFER_REQUEST, name=model, tensor=inputs)
+        )
+        if response.type != MessageType.INFER_RESPONSE or response.tensor is None:
+            raise DjinnServiceError(f"unexpected response type {response.type}")
+        return response.tensor
+
+    def list_models(self) -> List[str]:
+        response = self._roundtrip(Message(MessageType.LIST_REQUEST))
+        return [name for name in response.text.split("\n") if name]
+
+    def stats(self) -> Dict[str, Dict[str, float]]:
+        response = self._roundtrip(Message(MessageType.STATS_REQUEST))
+        return json.loads(response.text) if response.text else {}
+
+    def shutdown_server(self) -> None:
+        """Ask the server to stop (used by examples; tests stop it directly)."""
+        try:
+            self._roundtrip(Message(MessageType.SHUTDOWN))
+        except (ConnectionError, OSError):
+            pass
+        self.close()
+
+
+class RemoteBackend(DnnBackend):
+    """A :class:`TonicApp` backend that calls a live DjiNN service."""
+
+    def __init__(self, client: DjinnClient):
+        self.client = client
+
+    def infer(self, model: str, inputs: np.ndarray) -> np.ndarray:
+        return self.client.infer(model, inputs)

@@ -1,0 +1,130 @@
+"""DjiNN wire protocol: a custom binary protocol over TCP/IP.
+
+The paper (§3.1) describes DjiNN as "a standalone service accepting and
+processing external requests ... using a custom socket protocol over
+TCP/IP".  This module is that protocol: length-delimited frames carrying a
+message type, a model name, and a float32 tensor payload.
+
+Frame layout (all integers little-endian)::
+
+    magic     4 bytes  b"DJNN"
+    version   u8
+    type      u8       MessageType
+    name_len  u16      model-name byte count
+    ndim      u8       payload tensor rank (0 = no tensor)
+    dims      u32 * ndim
+    body_len  u64      payload byte count (tensor data or UTF-8 text)
+    name      name_len bytes (UTF-8)
+    body      body_len bytes
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["MessageType", "Message", "ProtocolError", "send_message", "recv_message"]
+
+MAGIC = b"DJNN"
+VERSION = 1
+_HEADER = struct.Struct("<4sBBHB")
+_DIM = struct.Struct("<I")
+_BODY_LEN = struct.Struct("<Q")
+
+#: Upper bound on a single payload (guards against corrupt frames).
+MAX_BODY_BYTES = 1 << 31
+
+
+class ProtocolError(RuntimeError):
+    """Malformed frame, bad magic, or version mismatch."""
+
+
+class MessageType(IntEnum):
+    INFER_REQUEST = 1     # name = model, tensor = input batch
+    INFER_RESPONSE = 2    # tensor = output batch
+    ERROR = 3             # body = UTF-8 error text
+    LIST_REQUEST = 4
+    LIST_RESPONSE = 5     # body = UTF-8, newline-separated model names
+    STATS_REQUEST = 6
+    STATS_RESPONSE = 7    # body = UTF-8 JSON service statistics
+    SHUTDOWN = 8
+
+
+@dataclass
+class Message:
+    """One protocol frame."""
+
+    type: MessageType
+    name: str = ""
+    tensor: Optional[np.ndarray] = None
+    text: str = ""
+
+    def body(self) -> bytes:
+        if self.tensor is not None:
+            return np.ascontiguousarray(self.tensor, dtype=np.float32).tobytes()
+        return self.text.encode("utf-8")
+
+
+def send_message(sock: socket.socket, message: Message) -> None:
+    """Serialize and send one frame."""
+    name = message.name.encode("utf-8")
+    tensor = message.tensor
+    dims: Tuple[int, ...] = tuple(tensor.shape) if tensor is not None else ()
+    body = message.body()
+    if len(body) > MAX_BODY_BYTES:
+        raise ProtocolError(f"payload too large: {len(body)} bytes")
+    header = _HEADER.pack(MAGIC, VERSION, int(message.type), len(name), len(dims))
+    parts = [header]
+    parts.extend(_DIM.pack(d) for d in dims)
+    parts.append(_BODY_LEN.pack(len(body)))
+    parts.append(name)
+    parts.append(body)
+    sock.sendall(b"".join(parts))
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise ConnectionError("peer closed connection mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_message(sock: socket.socket) -> Message:
+    """Receive and parse one frame (blocking)."""
+    magic, version, mtype, name_len, ndim = _HEADER.unpack(_recv_exact(sock, _HEADER.size))
+    if magic != MAGIC:
+        raise ProtocolError(f"bad magic {magic!r}")
+    if version != VERSION:
+        raise ProtocolError(f"unsupported protocol version {version}")
+    dims = tuple(
+        _DIM.unpack(_recv_exact(sock, _DIM.size))[0] for _ in range(ndim)
+    )
+    (body_len,) = _BODY_LEN.unpack(_recv_exact(sock, _BODY_LEN.size))
+    if body_len > MAX_BODY_BYTES:
+        raise ProtocolError(f"payload too large: {body_len} bytes")
+    name = _recv_exact(sock, name_len).decode("utf-8") if name_len else ""
+    body = _recv_exact(sock, body_len) if body_len else b""
+    try:
+        mtype = MessageType(mtype)
+    except ValueError:
+        raise ProtocolError(f"unknown message type {mtype}") from None
+
+    if ndim:
+        expected = int(np.prod(dims)) * 4
+        if expected != body_len:
+            raise ProtocolError(
+                f"tensor dims {dims} imply {expected} bytes, frame has {body_len}"
+            )
+        tensor = np.frombuffer(body, dtype=np.float32).reshape(dims).copy()
+        return Message(type=mtype, name=name, tensor=tensor)
+    return Message(type=mtype, name=name, text=body.decode("utf-8"))

@@ -1,0 +1,186 @@
+"""The DjiNN server: a standalone, threaded TCP inference service.
+
+Paper §3.1: "We design the DjiNN service to accept requests using a custom
+socket protocol over TCP/IP ...  For each incoming request, DjiNN spawns a
+worker thread, executes the DNN computation, and sends the prediction back
+to the application."
+
+Each accepted connection gets a worker thread; requests on a connection are
+served in order (clients open several connections for concurrency, as the
+paper's load generator does).  Models live in a shared read-only
+:class:`ModelRegistry`; an optional :class:`BatchingExecutor` coalesces
+concurrent requests per model (§5.1).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+from typing import Optional, Tuple
+
+from .batching import BatchingExecutor, BatchPolicy
+from .protocol import Message, MessageType, ProtocolError, recv_message, send_message
+from .registry import ModelRegistry
+from .stats import ServiceStats
+
+__all__ = ["DjinnServer"]
+
+
+class DjinnServer:
+    """DNN-as-a-service over TCP.
+
+    Parameters
+    ----------
+    registry:
+        Models to serve (materialized, shared read-only across workers).
+    host, port:
+        Bind address; ``port=0`` picks a free port (see :attr:`address`).
+    batching:
+        Optional dynamic batching policy; ``None`` executes each request's
+        inputs as its own forward pass.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        batching: Optional[BatchPolicy] = None,
+    ):
+        self.registry = registry
+        self.stats = ServiceStats()
+        self._host, self._port = host, port
+        self._executor = BatchingExecutor(registry, batching) if batching else None
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._workers = []
+        self._running = threading.Event()
+
+    # ------------------------------------------------------------ lifecycle
+    def start(self) -> "DjinnServer":
+        if self._listener is not None:
+            raise RuntimeError("server already started")
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self._host, self._port))
+        listener.listen(64)
+        self._listener = listener
+        self._running.set()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, daemon=True, name="djinn-accept"
+        )
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        if not self._running.is_set():
+            return
+        self._running.clear()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+        if self._executor is not None:
+            self._executor.close()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        if self._listener is None:
+            raise RuntimeError("server not started")
+        return self._listener.getsockname()
+
+    def __enter__(self) -> "DjinnServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------- serving
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while self._running.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            worker = threading.Thread(
+                target=self._serve_connection, args=(conn,), daemon=True,
+                name="djinn-worker",
+            )
+            self._workers.append(worker)
+            worker.start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        with conn:
+            while self._running.is_set():
+                try:
+                    request = recv_message(conn)
+                except (ConnectionError, OSError):
+                    return
+                except ProtocolError as exc:
+                    self._safe_send(conn, Message(MessageType.ERROR, text=str(exc)))
+                    return
+                if not self._handle(conn, request):
+                    return
+
+    def _handle(self, conn: socket.socket, request: Message) -> bool:
+        """Dispatch one request; returns False to drop the connection."""
+        if request.type == MessageType.INFER_REQUEST:
+            self._handle_infer(conn, request)
+            return True
+        if request.type == MessageType.LIST_REQUEST:
+            self._safe_send(
+                conn,
+                Message(MessageType.LIST_RESPONSE, text="\n".join(self.registry.names())),
+            )
+            return True
+        if request.type == MessageType.STATS_REQUEST:
+            self._safe_send(
+                conn,
+                Message(MessageType.STATS_RESPONSE, text=json.dumps(self.stats.snapshot())),
+            )
+            return True
+        if request.type == MessageType.SHUTDOWN:
+            self._safe_send(conn, Message(MessageType.SHUTDOWN))
+            threading.Thread(target=self.stop, daemon=True).start()
+            return False
+        self._safe_send(
+            conn, Message(MessageType.ERROR, text=f"unexpected message type {request.type}")
+        )
+        return True
+
+    def _handle_infer(self, conn: socket.socket, request: Message) -> None:
+        start = time.perf_counter()
+        try:
+            if request.tensor is None:
+                raise ValueError("inference request carries no tensor")
+            net = self.registry.get(request.name)
+            inputs = request.tensor
+            if inputs.shape[1:] != net.input_shape:
+                raise ValueError(
+                    f"model {request.name!r} expects inputs of shape "
+                    f"(n, {', '.join(map(str, net.input_shape))}), got {inputs.shape}"
+                )
+            if self._executor is not None:
+                outputs = self._executor.submit(request.name, inputs)
+            else:
+                outputs = net.forward(inputs)
+        except (KeyError, ValueError) as exc:
+            self._safe_send(conn, Message(MessageType.ERROR, text=str(exc)))
+            return
+        self.stats.record(request.name, time.perf_counter() - start, inputs=len(inputs))
+        self._safe_send(
+            conn, Message(MessageType.INFER_RESPONSE, name=request.name, tensor=outputs)
+        )
+
+    @staticmethod
+    def _safe_send(conn: socket.socket, message: Message) -> None:
+        try:
+            send_message(conn, message)
+        except OSError:
+            pass  # client went away; nothing to do

@@ -1,0 +1,57 @@
+"""Service-side instrumentation: per-model query counts and latency stats."""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Dict, List
+
+import numpy as np
+
+__all__ = ["ServiceStats"]
+
+
+class ServiceStats:
+    """Thread-safe per-model QPS / latency accounting.
+
+    Keeps a bounded window of recent latencies per model, enough for the
+    mean and tail percentiles the evaluation plots.
+    """
+
+    def __init__(self, window: int = 10_000):
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self._window = window
+        self._lock = threading.Lock()
+        self._latencies: Dict[str, deque] = {}
+        self._counts: Dict[str, int] = {}
+        self._inputs: Dict[str, int] = {}
+
+    def record(self, model: str, latency_s: float, inputs: int = 1) -> None:
+        with self._lock:
+            if model not in self._latencies:
+                self._latencies[model] = deque(maxlen=self._window)
+                self._counts[model] = 0
+                self._inputs[model] = 0
+            self._latencies[model].append(latency_s)
+            self._counts[model] += 1
+            self._inputs[model] += inputs
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Per-model summary: count, inputs, mean/p50/p99 latency (ms)."""
+        with self._lock:
+            out: Dict[str, Dict[str, float]] = {}
+            for model, window in self._latencies.items():
+                lat = np.asarray(window, dtype=np.float64) * 1e3
+                out[model] = {
+                    "requests": float(self._counts[model]),
+                    "inputs": float(self._inputs[model]),
+                    "mean_ms": float(lat.mean()),
+                    "p50_ms": float(np.percentile(lat, 50)),
+                    "p99_ms": float(np.percentile(lat, 99)),
+                }
+            return out
+
+    def requests(self, model: str) -> int:
+        with self._lock:
+            return self._counts.get(model, 0)

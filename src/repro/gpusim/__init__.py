@@ -1,0 +1,84 @@
+"""``repro.gpusim`` — the K40-class GPU performance model.
+
+The reproduction's substitute for the paper's measured hardware: a roofline
+kernel cost model over the exact GEMM lowering the numpy framework executes,
+an occupancy calculator, an MPS-vs-time-sharing concurrency simulator, and a
+multi-GPU host model with a shared interconnect budget.  Together these
+regenerate the paper's Figures 4 through 13.
+"""
+
+from .appmodel import AppModel, all_app_models, app_model
+from .cost import (
+    GpuForwardProfile,
+    KernelTiming,
+    cpu_forward_time,
+    gpu_forward_time,
+    gpu_kernel_timing,
+)
+from .device import K40, PLATFORM, XEON_E5_2620V2_CORE, CpuCoreSpec, GpuSpec, PlatformSpec
+from .kernels import Kernel, lower, occupancy, tile_utilization
+from .mps import ConcurrencyResult, Segment, mps_sweep, service_segments, simulate_concurrent
+from .multigpu import MPS_INSTANCES, GpuServerModel, ScalingPoint
+from .pcie import (
+    ETH_10G,
+    ETH_40G,
+    ETH_400G,
+    PCIE_V3_X16,
+    PCIE_V4_X16,
+    QPI_12_GPU_HOST,
+    QPI_LINK,
+    Link,
+)
+from .energy import K40_POWER, XEON_CORE_POWER, PowerDraw, QueryEnergy, query_energy
+from .hostsim import HostSimResult, simulate_server
+from .profiler import CounterProfile, profile_app
+from .tuning import BatchChoice, batch_sweep, select_batch
+
+__all__ = [
+    "AppModel",
+    "all_app_models",
+    "app_model",
+    "GpuForwardProfile",
+    "KernelTiming",
+    "cpu_forward_time",
+    "gpu_forward_time",
+    "gpu_kernel_timing",
+    "K40",
+    "PLATFORM",
+    "XEON_E5_2620V2_CORE",
+    "CpuCoreSpec",
+    "GpuSpec",
+    "PlatformSpec",
+    "Kernel",
+    "lower",
+    "occupancy",
+    "tile_utilization",
+    "ConcurrencyResult",
+    "Segment",
+    "mps_sweep",
+    "service_segments",
+    "simulate_concurrent",
+    "MPS_INSTANCES",
+    "GpuServerModel",
+    "ScalingPoint",
+    "Link",
+    "PCIE_V3_X16",
+    "PCIE_V4_X16",
+    "QPI_LINK",
+    "QPI_12_GPU_HOST",
+    "ETH_10G",
+    "ETH_40G",
+    "ETH_400G",
+    "CounterProfile",
+    "profile_app",
+    "BatchChoice",
+    "batch_sweep",
+    "select_batch",
+    "PowerDraw",
+    "QueryEnergy",
+    "query_energy",
+    "K40_POWER",
+    "XEON_CORE_POWER",
+    "HostSimResult",
+    "simulate_server",
+]

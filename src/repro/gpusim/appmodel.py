@@ -1,0 +1,186 @@
+"""Per-application service models (Table 3 + Figure 4's cost structure).
+
+An :class:`AppModel` connects a Tonic application to the performance model:
+how many DNN input rows one query carries, the batch size chosen in Table 3,
+the bytes a query moves over the interconnect, and how much CPU-side pre/
+post-processing surrounds the DNN.
+
+The pre/post ratios are *modeled estimates of the paper's software stacks*
+(Kaldi's feature extraction + lattice search; SENNA's tokenization + tag
+search), chosen to match Figure 4's published cycle breakdown: image tasks
+are effectively all DNN, ASR's DNN is about half its cycles, and the NLP
+tasks' DNNs are about two thirds.  Our own Python pipeline has different
+constant factors; ``benchmarks/bench_fig4_breakdown.py`` reports both.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, Tuple
+
+from ..models.registry import APPLICATIONS, build_net
+from ..nn.network import Net
+from ..nn.tensor import FLOAT_BYTES
+from ..nn.workspace import analyze
+from .cost import GpuForwardProfile, cpu_forward_time, gpu_forward_time
+from .device import PLATFORM, CpuCoreSpec, GpuSpec, PlatformSpec
+
+__all__ = ["AppModel", "app_model", "all_app_models"]
+
+_US = 1e-6
+
+#: (inputs/query, Table 3 batch, Table 3 input KB, pre+post/DNN CPU ratio,
+#:  raw floats shipped per input or None for the net's input shape,
+#:  chained app whose request rides along, or None)
+_APP_TABLE: Dict[str, Tuple[int, int, float, float, int, str]] = {
+    "imc": (1, 16, 604.0, 0.02, None, None),
+    # DIG ships 28x28 digits; the service pads to LeNet-5's 32x32 retina
+    "dig": (100, 16, 307.0, 0.02, 28 * 28, None),
+    "face": (1, 2, 271.0, 0.02, None, None),
+    "asr": (548, 2, 4594.0, 1.10, None, None),
+    "pos": (28, 64, 38.0, 0.50, None, None),
+    # CHK first issues a POS request for the same sentence (paper §3.2.3)
+    "chk": (28, 64, 75.0, 0.50, None, "pos"),
+    "ner": (28, 64, 43.0, 0.50, None, None),
+}
+
+
+@dataclass(frozen=True)
+class AppModel:
+    """Service-level model of one Tonic application."""
+
+    app: str
+    inputs_per_query: int   # DNN rows one query carries (Table 3 col 2)
+    best_batch: int         # queries per batched request (Table 3 col 5)
+    paper_input_kb: float   # Table 3 col 3 (for comparison in benches)
+    prepost_ratio: float    # (pre+post)/DNN single-core CPU time
+    raw_floats_per_input: int = None  # wire floats per input, if not the net shape
+    chained_app: str = None           # app whose request a query also triggers
+
+    # ------------------------------------------------------------ structure
+    @property
+    def net(self) -> Net:
+        return _shape_net(self.app)
+
+    def rows(self, batch_queries: int) -> int:
+        """DNN input rows for a batch of queries."""
+        return batch_queries * self.inputs_per_query
+
+    @property
+    def input_bytes_per_query(self) -> int:
+        size = self.raw_floats_per_input or math.prod(self.net.input_shape)
+        return self.inputs_per_query * size * FLOAT_BYTES
+
+    @property
+    def output_bytes_per_query(self) -> int:
+        size = math.prod(self.net.output_shape)
+        return self.inputs_per_query * size * FLOAT_BYTES
+
+    @property
+    def wire_bytes_per_query(self) -> int:
+        return self.input_bytes_per_query + self.output_bytes_per_query
+
+    @property
+    def request_bytes_per_query(self) -> int:
+        """Wire bytes including any chained request (CHK rides on POS)."""
+        total = self.wire_bytes_per_query
+        if self.chained_app:
+            total += app_model(self.chained_app).wire_bytes_per_query
+        return total
+
+    # ------------------------------------------------------------ GPU model
+    def gpu_profile(self, batch_queries: int, gpu: GpuSpec = PLATFORM.gpu) -> GpuForwardProfile:
+        return _gpu_profile(self.app, batch_queries, gpu)
+
+    def transfer_time(self, batch_queries: int, platform: PlatformSpec = PLATFORM) -> float:
+        bytes_moved = batch_queries * self.wire_bytes_per_query
+        return platform.pcie_latency_us * _US + bytes_moved / (platform.pcie_per_gpu_gbs * 1e9)
+
+    def gpu_query_time(
+        self,
+        batch_queries: int = None,
+        platform: PlatformSpec = PLATFORM,
+        include_transfer: bool = True,
+    ) -> float:
+        """Service time of one batched request on one dedicated GPU."""
+        batch_queries = batch_queries or self.best_batch
+        time_s = self.gpu_profile(batch_queries, platform.gpu).time_s
+        if include_transfer:
+            time_s += self.transfer_time(batch_queries, platform)
+        return time_s
+
+    def gpu_qps(self, batch_queries: int = None, platform: PlatformSpec = PLATFORM,
+                include_transfer: bool = True) -> float:
+        """Queries per second of one GPU running back-to-back batches."""
+        batch_queries = batch_queries or self.best_batch
+        return batch_queries / self.gpu_query_time(batch_queries, platform, include_transfer)
+
+    # ------------------------------------------------------------ CPU model
+    def cpu_dnn_time(self, cpu: CpuCoreSpec = PLATFORM.cpu_core) -> float:
+        """Single-core time for one query's DNN portion (batch of 1 query)."""
+        return _cpu_dnn_time(self.app, self.inputs_per_query, cpu)
+
+    def cpu_prepost_time(self, cpu: CpuCoreSpec = PLATFORM.cpu_core) -> float:
+        """Modeled single-core pre+post-processing time for one query."""
+        return self.prepost_ratio * self.cpu_dnn_time(cpu)
+
+    def cpu_query_time(self, cpu: CpuCoreSpec = PLATFORM.cpu_core) -> float:
+        return self.cpu_dnn_time(cpu) + self.cpu_prepost_time(cpu)
+
+    def cpu_qps(self, cpu: CpuCoreSpec = PLATFORM.cpu_core) -> float:
+        """End-to-end queries/second of one CPU core."""
+        return 1.0 / self.cpu_query_time(cpu)
+
+    def dnn_cycle_fraction(self) -> float:
+        """Figure 4's modeled DNN share of single-core cycles."""
+        return 1.0 / (1.0 + self.prepost_ratio)
+
+    # ------------------------------------------------------------ headline
+    def gpu_speedup(self, batch_queries: int = 1, platform: PlatformSpec = PLATFORM) -> float:
+        """GPU vs one CPU core, DNN portion only (the paper's Figs 5/10)."""
+        gpu_qps = self.gpu_qps(batch_queries, platform)
+        cpu_qps = 1.0 / self.cpu_dnn_time(platform.cpu_core)
+        return gpu_qps / cpu_qps
+
+
+@lru_cache(maxsize=None)
+def _shape_net(app: str) -> Net:
+    return build_net(app, materialize=False)
+
+
+@lru_cache(maxsize=None)
+def _gpu_profile(app: str, batch_queries: int, gpu: GpuSpec) -> GpuForwardProfile:
+    model = app_model(app)
+    cost = analyze(_shape_net(app), batch=model.rows(batch_queries))
+    return gpu_forward_time(cost, gpu)
+
+
+@lru_cache(maxsize=None)
+def _cpu_dnn_time(app: str, inputs_per_query: int, cpu: CpuCoreSpec) -> float:
+    cost = analyze(_shape_net(app), batch=inputs_per_query)
+    return cpu_forward_time(cost, cpu)
+
+
+@lru_cache(maxsize=None)
+def app_model(app: str) -> AppModel:
+    """The :class:`AppModel` for a Tonic application key."""
+    try:
+        inputs, batch, kb, ratio, raw, chained = _APP_TABLE[app]
+    except KeyError:
+        raise ValueError(f"unknown application {app!r}; known: {sorted(_APP_TABLE)}") from None
+    return AppModel(
+        app=app,
+        inputs_per_query=inputs,
+        best_batch=batch,
+        paper_input_kb=kb,
+        prepost_ratio=ratio,
+        raw_floats_per_input=raw,
+        chained_app=chained,
+    )
+
+
+def all_app_models() -> Tuple[AppModel, ...]:
+    """Models for all seven applications, in the paper's order."""
+    return tuple(app_model(app) for app in APPLICATIONS)

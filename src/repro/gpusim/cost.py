@@ -1,0 +1,152 @@
+"""Roofline kernel timing for the modeled GPU and CPU core.
+
+Every kernel's time is the maximum of three terms — compute at the
+occupancy-scaled FLOP rate, memory traffic at the effective DRAM rate, and a
+pipeline floor — plus the launch overhead.  This is deliberately first-order:
+the paper's phenomena (Figures 5-13) are consequences of which term wins for
+which network at which batch size, not of cycle-level detail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..nn.workspace import LayerCost, NetCost
+from .device import CpuCoreSpec, GpuSpec
+from .kernels import Kernel, lower, occupancy
+
+__all__ = ["KernelTiming", "gpu_kernel_timing", "gpu_forward_time", "cpu_forward_time", "GpuForwardProfile"]
+
+_US = 1e-6
+
+
+@dataclass(frozen=True)
+class KernelTiming:
+    """One kernel's modeled execution on the GPU."""
+
+    kernel: Kernel
+    occupancy: float
+    time_s: float            # total across launches, including launch overhead
+    busy_s: float            # device-busy portion (excludes launch gaps)
+    compute_bound: bool
+    #: fraction of the device's limiting resource the kernel holds while
+    #: running — compute lanes for GEMMs, DRAM bandwidth for streaming
+    #: kernels.  Drives the MPS concurrency model.
+    resource_demand: float
+    achieved_gflops: float
+    achieved_gbs: float
+
+
+def _gemm_rate_gflops(kernel: Kernel, occ: float, gpu: GpuSpec) -> float:
+    """Occupancy- and tile-scaled GEMM FLOP rate."""
+    return gpu.peak_gflops * gpu.gemm_efficiency * kernel.tile_util * occ
+
+
+def gpu_kernel_timing(kernel: Kernel, gpu: GpuSpec) -> KernelTiming:
+    """Time one kernel (all its launches) on the GPU model."""
+    occ = occupancy(kernel, gpu)
+    flops_per_launch = kernel.flops / kernel.launches
+    mem_bytes = kernel.param_bytes + kernel.activation_bytes
+    if kernel.kind == "lc_gemm":
+        mem_bytes = kernel.param_bytes * gpu.lc_mem_penalty + kernel.activation_bytes
+    mem_per_launch = mem_bytes / kernel.launches
+
+    if kernel.kind in ("gemm", "lc_gemm"):
+        rate = _gemm_rate_gflops(kernel, occ, gpu)
+        compute_s = flops_per_launch / (rate * 1e9)
+    else:
+        # elementwise kernels retire ~1 simple op/cycle/core at best
+        compute_s = flops_per_launch / (gpu.peak_gflops * 0.5 * occ * 1e9)
+    mem_s = mem_per_launch / (gpu.effective_mem_gbs * 1e9)
+    busy_per_launch = max(compute_s, mem_s, gpu.min_kernel_us * _US)
+    per_launch = busy_per_launch + gpu.kernel_launch_us * _US
+    compute_bound = compute_s >= mem_s
+
+    if kernel.kind in ("gemm", "lc_gemm"):
+        # Short-K GEMMs stall their FLOP lanes waiting on operand streams;
+        # those bubbles are exactly what MPS co-scheduling can fill.
+        k_pipeline = kernel.reduction / (kernel.reduction + 64.0)
+        compute_demand = occ * kernel.tile_util * k_pipeline
+    else:
+        compute_demand = 0.1 * occ
+    bw_demand = (mem_per_launch / busy_per_launch) / (gpu.effective_mem_gbs * 1e9)
+    demand = min(1.0, max(compute_demand, bw_demand))
+
+    return KernelTiming(
+        kernel=kernel,
+        occupancy=occ,
+        time_s=per_launch * kernel.launches,
+        busy_s=busy_per_launch * kernel.launches,
+        compute_bound=compute_bound,
+        resource_demand=demand,
+        achieved_gflops=kernel.flops / (per_launch * kernel.launches) / 1e9,
+        achieved_gbs=mem_bytes / (per_launch * kernel.launches) / 1e9,
+    )
+
+
+@dataclass(frozen=True)
+class GpuForwardProfile:
+    """Modeled GPU execution of one forward pass."""
+
+    net_name: str
+    batch: int
+    timings: tuple
+    time_s: float
+
+    @property
+    def busy_s(self) -> float:
+        return sum(t.busy_s for t in self.timings)
+
+    @property
+    def weighted_occupancy(self) -> float:
+        """Time-weighted occupancy across GEMM kernels (paper Fig 6/7b)."""
+        gemm = [t for t in self.timings if t.kernel.kind in ("gemm", "lc_gemm")]
+        total = sum(t.time_s for t in gemm)
+        if total == 0:
+            return 0.0
+        return sum(t.occupancy * t.time_s for t in gemm) / total
+
+
+def gpu_forward_time(cost: NetCost, gpu: GpuSpec) -> GpuForwardProfile:
+    """Model one forward pass of ``cost`` (device-resident inputs)."""
+    timings = tuple(gpu_kernel_timing(k, gpu) for k in lower(cost, gpu))
+    return GpuForwardProfile(
+        net_name=cost.net_name,
+        batch=cost.batch,
+        timings=timings,
+        time_s=sum(t.time_s for t in timings),
+    )
+
+
+def _cpu_gemm_efficiency(m: int, n: int, k: int, cpu: CpuCoreSpec) -> float:
+    """ATLAS efficiency falls off for skinny matrices (blocking overheads).
+
+    The shrink is floored at 0.3 of the large-GEMM efficiency: even GEMV-
+    shaped calls stream weights at a substantial fraction of peak once the
+    reduction dimension is long (the memory roofline in the caller catches
+    truly bandwidth-bound cases).
+    """
+    shrink = (m / (m + 8.0)) * (n / (n + 8.0)) * (k / (k + 32.0))
+    return cpu.gemm_efficiency * max(0.3, shrink)
+
+
+def _cpu_layer_time(layer: LayerCost, cpu: CpuCoreSpec) -> float:
+    if layer.type in ("Dropout", "Flatten"):
+        return 0.0
+    mem_bytes = layer.param_bytes + layer.activation_bytes
+    mem_s = mem_bytes / (cpu.mem_bandwidth_gbs * 1e9)
+    if layer.is_gemm:
+        m, n, k = layer.gemms[0]
+        eff = _cpu_gemm_efficiency(m, n, k, cpu)
+        compute_s = layer.flops / (cpu.peak_gflops * eff * 1e9)
+        overhead = len(layer.gemms) * cpu.layer_overhead_us * _US
+    else:
+        compute_s = layer.flops / (cpu.peak_gflops * 0.25 * 1e9)
+        overhead = cpu.layer_overhead_us * _US
+    return max(compute_s, mem_s) + overhead
+
+
+def cpu_forward_time(cost: NetCost, cpu: CpuCoreSpec) -> float:
+    """Model one forward pass on a single CPU core (seconds)."""
+    return sum(_cpu_layer_time(layer, cpu) for layer in cost.layers)

@@ -1,0 +1,87 @@
+"""Per-query energy model (the paper's power measurements, §6.3, were fed
+into TCO as watts; this module exposes the underlying per-query view).
+
+Power draw is modeled as idle + (peak - idle) x active-fraction; a query's
+energy is the integral over its service time.  The headline the paper's
+TCO result rests on — a GPU does ~100x the work for ~18x the power —
+becomes explicit as energy-per-query ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .appmodel import AppModel
+from .device import PLATFORM, PlatformSpec
+
+__all__ = ["PowerDraw", "K40_POWER", "XEON_CORE_POWER", "QueryEnergy", "query_energy"]
+
+
+@dataclass(frozen=True)
+class PowerDraw:
+    """Idle and peak power of one device."""
+
+    name: str
+    idle_w: float
+    peak_w: float
+
+    def watts(self, active_fraction: float) -> float:
+        if not 0.0 <= active_fraction <= 1.0:
+            raise ValueError(f"active_fraction must be in [0, 1], got {active_fraction}")
+        return self.idle_w + (self.peak_w - self.idle_w) * active_fraction
+
+
+#: NVIDIA K40: 235 W board TDP, ~25 W idle.
+K40_POWER = PowerDraw("K40", idle_w=25.0, peak_w=235.0)
+#: One Xeon E5-2620 v2 core's share of the 80 W socket, plus uncore share.
+XEON_CORE_POWER = PowerDraw("Xeon core", idle_w=4.0, peak_w=17.0)
+
+
+@dataclass(frozen=True)
+class QueryEnergy:
+    """Energy cost of one query on the two devices."""
+
+    app: str
+    gpu_j: float            # at the Table 3 batch, device fully loaded
+    cpu_j: float            # one core, one query at a time
+    gpu_qps: float
+    cpu_qps: float
+
+    @property
+    def energy_ratio(self) -> float:
+        """CPU joules per query over GPU joules per query."""
+        return self.cpu_j / self.gpu_j
+
+    @property
+    def perf_per_watt_ratio(self) -> float:
+        """GPU queries/joule over CPU queries/joule (same number)."""
+        return self.energy_ratio
+
+
+def query_energy(model: AppModel, platform: PlatformSpec = PLATFORM,
+                 gpu_power: PowerDraw = K40_POWER,
+                 cpu_power: PowerDraw = XEON_CORE_POWER) -> QueryEnergy:
+    """Energy per query for a fully loaded GPU vs a fully loaded CPU core.
+
+    The GPU runs back-to-back Table 3 batches; its active fraction is the
+    kernel-busy share of the service time (transfers and gaps idle the
+    compute complex).  The CPU core is fully active for the query's DNN
+    time.
+    """
+    batch = model.best_batch
+    profile = model.gpu_profile(batch, platform.gpu)
+    service = model.gpu_query_time(batch, platform)
+    active_fraction = min(1.0, profile.busy_s / service)
+    gpu_qps = batch / service
+    gpu_j = gpu_power.watts(active_fraction) / gpu_qps
+
+    cpu_time = model.cpu_dnn_time(platform.cpu_core)
+    cpu_j = cpu_power.watts(1.0) * cpu_time
+
+    return QueryEnergy(
+        app=model.app,
+        gpu_j=gpu_j,
+        cpu_j=cpu_j,
+        gpu_qps=gpu_qps,
+        cpu_qps=1.0 / cpu_time,
+    )

@@ -1,0 +1,83 @@
+"""Discrete-event cross-check of the multi-GPU scaling model.
+
+:mod:`repro.gpusim.multigpu` predicts an N-GPU server's throughput
+analytically: ``min(N x per-GPU rate, host link / bytes-per-query)``.  This
+module reaches the same quantity a second, independent way — a
+discrete-event simulation in which each batched request must first move its
+bytes across a shared host-link resource and then occupy its GPU — so the
+Figure 11 plateau is corroborated rather than assumed.  The agreement test
+lives in ``tests/test_hostsim.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.core import Acquire, Environment, Release, Resource, Timeout
+from .appmodel import AppModel
+from .device import PLATFORM, PlatformSpec
+
+__all__ = ["HostSimResult", "simulate_server"]
+
+
+@dataclass(frozen=True)
+class HostSimResult:
+    """Steady-state behaviour of the simulated N-GPU server."""
+
+    gpus: int
+    qps: float                # Tonic queries per second
+    link_utilization: float
+    gpu_utilization: float
+
+
+def simulate_server(
+    model: AppModel,
+    gpus: int,
+    platform: PlatformSpec = PLATFORM,
+    batches_per_gpu: int = 200,
+    pinned: bool = False,
+) -> HostSimResult:
+    """Closed-loop DES of ``gpus`` devices fed through one host link.
+
+    Each GPU runs a driver that, per batched request, (1) holds the host
+    link for the batch's transfer time, then (2) occupies its GPU for the
+    modeled forward-pass time.  Transfers from different GPUs serialize on
+    the link; compute proceeds in parallel — exactly the contention the
+    analytic model folds into its ``min()``.
+    """
+    if gpus < 1:
+        raise ValueError("need at least one GPU")
+    batch = model.best_batch
+    bytes_per_batch = batch * model.wire_bytes_per_query
+    transfer_s = bytes_per_batch / (platform.host_link_gbs * 1e9)
+    compute_s = model.gpu_profile(batch, platform.gpu).time_s
+
+    env = Environment()
+    link = Resource(env, capacity=1, name="host-link")
+    gpu_resources = [Resource(env, capacity=1, name=f"gpu{g}") for g in range(gpus)]
+    completed = [0] * gpus
+
+    def driver(gpu_index: int):
+        gpu = gpu_resources[gpu_index]
+        for _ in range(batches_per_gpu):
+            if not pinned:
+                yield Acquire(link)
+                yield Timeout(transfer_s)
+                yield Release(link)
+            yield Acquire(gpu)
+            yield Timeout(compute_s)
+            yield Release(gpu)
+            completed[gpu_index] += 1
+
+    for g in range(gpus):
+        env.process(driver(g), name=f"driver-{g}")
+    env.run()
+
+    total_batches = sum(completed)
+    qps = total_batches * batch / env.now if env.now > 0 else 0.0
+    return HostSimResult(
+        gpus=gpus,
+        qps=qps,
+        link_utilization=link.utilization(),
+        gpu_utilization=sum(r.utilization() for r in gpu_resources) / gpus,
+    )

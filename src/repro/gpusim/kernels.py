@@ -1,0 +1,127 @@
+"""Lowering network layers to GPU kernel descriptors.
+
+The cost model consumes the same per-layer GEMM shapes the numpy framework
+executes (:func:`repro.nn.workspace.analyze`), turned into kernel launches
+the way Caffe+cuBLAS/cuDNN of the paper's era launched them:
+
+* inner products: one SGEMM
+* convolutions: one im2col-GEMM per group
+* locally-connected layers: one fused kernel whose blocks cover every
+  output position's private small GEMM
+* pooling / LRN / activations / softmax: one element-wise kernel
+* dropout / flatten: free at inference (no kernel)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..nn.workspace import LayerCost, NetCost
+from .device import GpuSpec
+
+__all__ = ["Kernel", "lower", "tile_utilization", "occupancy"]
+
+#: layer types that execute no kernel during inference
+_FREE_TYPES = {"Dropout", "Flatten"}
+#: layer types lowered to GEMM kernels
+_GEMM_KINDS = {"gemm", "lc_gemm"}
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """One kind of kernel launch, possibly repeated ``launches`` times.
+
+    ``flops``, ``param_bytes`` and ``activation_bytes`` are totals across
+    all launches.
+    """
+
+    name: str
+    kind: str                 # "gemm" | "lc_gemm" | "elementwise"
+    flops: float
+    param_bytes: float
+    activation_bytes: float
+    blocks: int               # thread blocks per launch
+    tile_util: float          # useful fraction of each tile (1.0 elementwise)
+    reduction: int = 0        # GEMM K dimension (0 for elementwise kernels)
+    launches: int = 1
+
+    def __post_init__(self):
+        if self.launches < 1 or self.blocks < 1:
+            raise ValueError(f"kernel {self.name!r}: bad launches/blocks")
+        if not 0.0 < self.tile_util <= 1.0:
+            raise ValueError(f"kernel {self.name!r}: tile_util {self.tile_util} out of range")
+
+
+def tile_utilization(m: int, n: int, gpu: GpuSpec) -> float:
+    """Fraction of a (tile_m x tile_n) tile grid doing useful math."""
+    tm = math.ceil(m / gpu.tile_m) * gpu.tile_m
+    tn = math.ceil(n / gpu.tile_n) * gpu.tile_n
+    return (m / tm) * (n / tn)
+
+
+def _tiles(m: int, n: int, gpu: GpuSpec) -> int:
+    return math.ceil(m / gpu.tile_m) * math.ceil(n / gpu.tile_n)
+
+
+def occupancy(kernel: Kernel, gpu: GpuSpec) -> float:
+    """Achieved occupancy: active threads over the device's capacity."""
+    threads = kernel.blocks * gpu.threads_per_block
+    return min(gpu.occupancy_cap, threads / gpu.max_threads)
+
+
+def _gemm_kernel(layer: LayerCost, gpu: GpuSpec) -> Kernel:
+    shapes = layer.gemms
+    m, n, k = shapes[0]
+    if layer.type == "LocallyConnected":
+        # one fused launch covering every position's private GEMM
+        return Kernel(
+            name=layer.name,
+            kind="lc_gemm",
+            flops=layer.flops,
+            param_bytes=layer.param_bytes,
+            activation_bytes=layer.activation_bytes,
+            blocks=len(shapes) * _tiles(m, n, gpu),
+            tile_util=tile_utilization(m, n, gpu),
+            reduction=k,
+            launches=1,
+        )
+    # convolution groups (or a single inner product): identical launches
+    return Kernel(
+        name=layer.name,
+        kind="gemm",
+        flops=layer.flops,
+        param_bytes=layer.param_bytes,
+        activation_bytes=layer.activation_bytes,
+        blocks=_tiles(m, n, gpu),
+        tile_util=tile_utilization(m, n, gpu),
+        reduction=k,
+        launches=len(shapes),
+    )
+
+
+def _elementwise_kernel(layer: LayerCost, gpu: GpuSpec) -> Kernel:
+    elements = max(1, int(layer.activation_bytes // 8))  # in+out float32 pairs
+    return Kernel(
+        name=layer.name,
+        kind="elementwise",
+        flops=layer.flops,
+        param_bytes=0.0,
+        activation_bytes=layer.activation_bytes,
+        blocks=max(1, math.ceil(elements / gpu.threads_per_block)),
+        tile_util=1.0,
+    )
+
+
+def lower(cost: NetCost, gpu: GpuSpec) -> List[Kernel]:
+    """Kernel launch list for one forward pass of ``cost.net_name``."""
+    kernels: List[Kernel] = []
+    for layer in cost.layers:
+        if layer.type in _FREE_TYPES:
+            continue
+        if layer.is_gemm:
+            kernels.append(_gemm_kernel(layer, gpu))
+        else:
+            kernels.append(_elementwise_kernel(layer, gpu))
+    return kernels

@@ -1,0 +1,96 @@
+"""Multi-GPU server scaling (paper §5.3 and §6.1, Figures 11-13).
+
+A server hosts N GPUs, each running the application's chosen batch size with
+4 MPS service instances (the paper's operating point).  GPUs do not
+communicate; the only shared resource is the host's aggregate
+host-to-device bandwidth, which is what flattens the NLP curves at ~4 GPUs
+in Figure 11.  Pinning inputs in GPU memory (the paper's experiment for
+Figure 12) removes transfers entirely, and the bandwidth a *pinned* system
+would need to keep scaling is Figure 13's requirement curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from functools import lru_cache
+from typing import List, Sequence
+
+from .appmodel import AppModel, app_model
+from .device import PLATFORM, PlatformSpec
+from .mps import Segment, service_segments, simulate_concurrent
+
+__all__ = ["GpuServerModel", "ScalingPoint"]
+
+#: Concurrent MPS service instances per GPU (paper §5.3: "4 MPS processes").
+MPS_INSTANCES = 4
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """Throughput of an N-GPU server for one application."""
+
+    app: str
+    gpus: int
+    qps: float                 # queries per second (Tonic queries)
+    bandwidth_gbs: float       # host link traffic this throughput generates
+    link_limited: bool
+
+
+class GpuServerModel:
+    """An N-GPU DjiNN server for one application."""
+
+    def __init__(self, model: AppModel, platform: PlatformSpec = PLATFORM):
+        self.model = model
+        self.platform = platform
+
+    # ------------------------------------------------------------ per GPU
+    def per_gpu_qps(self, pinned: bool = False, instances: int = MPS_INSTANCES) -> float:
+        """One GPU's query throughput at the Table 3 batch with MPS."""
+        return _per_gpu_qps(self.model.app, self.platform, pinned, instances) * self.model.best_batch
+
+    # ------------------------------------------------------------- scaling
+    def scale(self, gpus: int, pinned: bool = False) -> ScalingPoint:
+        """Throughput with ``gpus`` GPUs sharing the host link (Fig 11/12)."""
+        if gpus < 1:
+            raise ValueError(f"need at least one GPU, got {gpus}")
+        per_gpu = self.per_gpu_qps(pinned=pinned)
+        unconstrained = gpus * per_gpu
+        if pinned:
+            return ScalingPoint(self.model.app, gpus, unconstrained, 0.0, False)
+        bytes_per_query = self.model.wire_bytes_per_query
+        link_cap_qps = self.platform.host_link_gbs * 1e9 / bytes_per_query
+        qps = min(unconstrained, link_cap_qps)
+        return ScalingPoint(
+            app=self.model.app,
+            gpus=gpus,
+            qps=qps,
+            bandwidth_gbs=qps * bytes_per_query / 1e9,
+            link_limited=unconstrained > link_cap_qps,
+        )
+
+    def sweep(self, gpu_counts: Sequence[int] = (1, 2, 4, 8), pinned: bool = False) -> List[ScalingPoint]:
+        return [self.scale(n, pinned=pinned) for n in gpu_counts]
+
+    # ----------------------------------------------------------- bandwidth
+    def bandwidth_required_gbs(self, gpus: int) -> float:
+        """Host bandwidth needed to sustain unconstrained scaling (Fig 13)."""
+        per_gpu = self.per_gpu_qps(pinned=True)
+        return gpus * per_gpu * self.model.wire_bytes_per_query / 1e9
+
+    def speedup_vs_cpu_core(self, gpus: int, pinned: bool = False) -> float:
+        """End-to-end DNN throughput vs one Xeon core (Figs 11/12 y-axis)."""
+        cpu_qps = 1.0 / self.model.cpu_dnn_time(self.platform.cpu_core)
+        return self.scale(gpus, pinned=pinned).qps / cpu_qps
+
+
+@lru_cache(maxsize=None)
+def _per_gpu_qps(app: str, platform: PlatformSpec, pinned: bool, instances: int) -> float:
+    """Batched-request completions/second of one GPU (cached; in requests)."""
+    model = app_model(app)
+    segments = service_segments(model, platform)
+    if pinned:
+        # drop PCIe transfer segments (first/last), keep service overhead
+        overhead = platform.service_overhead_us * 1e-6
+        segments = [Segment("idle", overhead)] + list(segments[1:-1])
+    result = simulate_concurrent(segments, instances, mode="mps")
+    return result.qps

@@ -1,0 +1,60 @@
+"""Interconnect and network link models (paper §6.4, Table 6).
+
+Ethernet links carry the paper's assumed 20% protocol overhead; PCIe/QPI
+rates are the raw published figures the paper quotes (PCIe v3 x16 =
+15.75 GB/s, PCIe v4 x16 = 31.75 GB/s, QPI = 25.6 GB/s per link).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "Link",
+    "PCIE_V3_X16",
+    "PCIE_V4_X16",
+    "QPI_LINK",
+    "QPI_12_GPU_HOST",
+    "ETH_10G",
+    "ETH_40G",
+    "ETH_400G",
+    "ethernet_effective_gbs",
+]
+
+#: Assumed ethernet protocol overhead (paper Table 6 note).
+ETHERNET_OVERHEAD = 0.20
+
+
+@dataclass(frozen=True)
+class Link:
+    """A point-to-point interconnect with an effective data rate."""
+
+    name: str
+    raw_gbs: float
+    protocol_overhead: float = 0.0
+    latency_us: float = 10.0
+
+    @property
+    def effective_gbs(self) -> float:
+        return self.raw_gbs * (1.0 - self.protocol_overhead)
+
+    def transfer_s(self, payload_bytes: float) -> float:
+        """Time to move a payload across the link."""
+        if payload_bytes < 0:
+            raise ValueError("payload must be non-negative")
+        return self.latency_us * 1e-6 + payload_bytes / (self.effective_gbs * 1e9)
+
+
+def ethernet_effective_gbs(raw_gbs: float) -> float:
+    return raw_gbs * (1.0 - ETHERNET_OVERHEAD)
+
+
+PCIE_V3_X16 = Link("PCIe v3 x16", 15.75, latency_us=10.0)
+PCIE_V4_X16 = Link("PCIe v4 x16", 31.75, latency_us=10.0)
+QPI_LINK = Link("QPI link", 25.6, latency_us=1.0)
+#: 12 GPUs over 6 point-to-point QPI links per socket x 2 sockets (§6.4).
+QPI_12_GPU_HOST = Link("QPI x12 host", 307.2, latency_us=1.0)
+
+ETH_10G = Link("10GbE", 1.25, protocol_overhead=ETHERNET_OVERHEAD, latency_us=50.0)
+ETH_40G = Link("40GbE", 5.0, protocol_overhead=ETHERNET_OVERHEAD, latency_us=30.0)
+ETH_400G = Link("400GbE", 50.0, protocol_overhead=ETHERNET_OVERHEAD, latency_us=20.0)

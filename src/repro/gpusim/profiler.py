@@ -1,0 +1,71 @@
+"""Modeled hardware-counter profile (paper Figure 6).
+
+The paper profiles each service's kernels with nvprof and reports, weighted
+by kernel execution time: IPC relative to peak IPC, occupancy, and L1/
+shared-memory and L2 bandwidth utilization.  This module produces the same
+four metrics from the kernel cost model:
+
+* *occupancy* — the occupancy calculator's value per kernel;
+* *IPC / peak IPC* — issue-slot utilization, proxied by
+  ``occupancy x tile utilization`` for GEMMs (low-occupancy kernels cannot
+  hide latency, idle tiles issue no math);
+* *L1 & shared / L2 utilization* — each kernel's achieved DRAM-side byte
+  rate against the cache levels' peak rates (Kepler's L2 sustains roughly
+  2.5x DRAM bandwidth; L1/shared roughly 5x).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from .appmodel import AppModel
+from .cost import KernelTiming
+from .device import PLATFORM, GpuSpec
+
+__all__ = ["CounterProfile", "profile_app"]
+
+#: Peak cache bandwidths relative to DRAM (Kepler ballpark, documented proxy).
+L2_PEAK_FACTOR = 2.5
+L1_PEAK_FACTOR = 5.0
+
+
+@dataclass(frozen=True)
+class CounterProfile:
+    """Time-weighted counter averages for one application (one Fig 6 group)."""
+
+    app: str
+    ipc_ratio: float
+    occupancy: float
+    l1_shared_utilization: float
+    l2_utilization: float
+
+
+def _kernel_ipc_ratio(timing: KernelTiming) -> float:
+    if timing.kernel.kind in ("gemm", "lc_gemm"):
+        return timing.occupancy * timing.kernel.tile_util
+    return 0.08 * timing.occupancy  # elementwise kernels barely issue math
+
+
+def profile_app(model: AppModel, batch_queries: int = 1, gpu: GpuSpec = PLATFORM.gpu) -> CounterProfile:
+    """Weighted counters for one app at ``batch_queries`` (Fig 6 uses 1)."""
+    profile = model.gpu_profile(batch_queries, gpu)
+    total = sum(t.time_s for t in profile.timings)
+    if total <= 0:
+        raise ValueError(f"{model.app}: empty kernel profile")
+
+    def weighted(values: Tuple[float, ...]) -> float:
+        return sum(v * t.time_s for v, t in zip(values, profile.timings)) / total
+
+    ipc = weighted(tuple(_kernel_ipc_ratio(t) for t in profile.timings))
+    occ = weighted(tuple(t.occupancy for t in profile.timings))
+    dram_gbs = tuple(t.achieved_gbs for t in profile.timings)
+    l2 = weighted(tuple(g / (gpu.mem_bandwidth_gbs * L2_PEAK_FACTOR) for g in dram_gbs))
+    l1 = weighted(tuple(g * 2.0 / (gpu.mem_bandwidth_gbs * L1_PEAK_FACTOR) for g in dram_gbs))
+    return CounterProfile(
+        app=model.app,
+        ipc_ratio=ipc,
+        occupancy=occ,
+        l1_shared_utilization=l1,
+        l2_utilization=l2,
+    )

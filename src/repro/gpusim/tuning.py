@@ -1,0 +1,94 @@
+"""Batch-size selection (paper §5.1).
+
+The paper sweeps batch sizes per application (Figure 7) and picks, by
+inspection, "the batch size for each application to achieve the high
+throughput while limiting query latency impact" (Table 3's final column).
+This module turns that inspection into an algorithm so the choice is
+reproducible: pick the *smallest* batch whose throughput reaches a fraction
+of the plateau, subject to a query-latency budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from .appmodel import AppModel
+from .device import PLATFORM, PlatformSpec
+
+__all__ = ["BatchChoice", "select_batch", "batch_sweep"]
+
+#: Candidate batch sizes, as in the paper's sweep.
+DEFAULT_CANDIDATES: Tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+
+@dataclass(frozen=True)
+class BatchChoice:
+    """The selected batch and the sweep evidence behind it."""
+
+    app: str
+    batch: int
+    qps: float
+    latency_s: float
+    plateau_qps: float          # best throughput seen anywhere in the sweep
+    throughput_fraction: float  # qps / plateau_qps at the chosen batch
+
+
+def batch_sweep(
+    model: AppModel,
+    candidates: Sequence[int] = DEFAULT_CANDIDATES,
+    platform: PlatformSpec = PLATFORM,
+):
+    """(batch, qps, latency) for each candidate batch size (Figure 7 data)."""
+    return [
+        (b, model.gpu_qps(b, platform), model.gpu_query_time(b, platform))
+        for b in candidates
+    ]
+
+
+def select_batch(
+    model: AppModel,
+    candidates: Sequence[int] = DEFAULT_CANDIDATES,
+    platform: PlatformSpec = PLATFORM,
+    throughput_target: float = 0.85,
+    latency_budget_s: float = None,
+) -> BatchChoice:
+    """Choose a batch size the way the paper's Table 3 column was chosen.
+
+    Parameters
+    ----------
+    throughput_target:
+        Required fraction of the sweep's plateau throughput.
+    latency_budget_s:
+        Hard cap on the batched query latency.  Defaults to the
+        application's single-query CPU service time — the paper notes the
+        GPU configurations it selects stay below the CPU's latency, which
+        makes that a natural budget.
+    """
+    if not candidates:
+        raise ValueError("no candidate batch sizes")
+    if not 0.0 < throughput_target <= 1.0:
+        raise ValueError(f"throughput_target must be in (0, 1], got {throughput_target}")
+    if latency_budget_s is None:
+        latency_budget_s = model.cpu_query_time(platform.cpu_core)
+
+    sweep = batch_sweep(model, candidates, platform)
+    plateau = max(qps for _, qps, _ in sweep)
+
+    feasible = [(b, qps, lat) for b, qps, lat in sweep if lat <= latency_budget_s]
+    if not feasible:  # nothing meets the budget: fall back to batch 1
+        feasible = sweep[:1]
+    best_feasible_qps = max(qps for _, qps, _ in feasible)
+    target = throughput_target * min(plateau, best_feasible_qps)
+    for batch, qps, latency in feasible:
+        if qps >= target:
+            return BatchChoice(
+                app=model.app,
+                batch=batch,
+                qps=qps,
+                latency_s=latency,
+                plateau_qps=plateau,
+                throughput_fraction=qps / plateau,
+            )
+    batch, qps, latency = feasible[-1]  # pragma: no cover - defensive
+    return BatchChoice(model.app, batch, qps, latency, plateau, qps / plateau)

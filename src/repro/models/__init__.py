@@ -1,0 +1,42 @@
+"""``repro.models`` — the Tonic Suite model zoo (paper Table 1).
+
+Seven applications backed by five architectures: AlexNet (IMC), LeNet-5
+(DIG), DeepFace (FACE), a Kaldi-style hybrid acoustic DNN (ASR), and three
+SENNA window networks (POS, CHK, NER).
+"""
+
+from .alexnet import alexnet
+from .deepface import DEEPFACE_ORIGINAL_IDENTITIES, PUBFIG83_IDENTITIES, deepface
+from .kaldi import DEFAULT_SENONES, FBANK_DIMS, SPLICE_FRAMES, kaldi_asr
+from .lenet import lenet5
+from .registry import (
+    APPLICATIONS,
+    ModelInfo,
+    build_net,
+    build_spec,
+    model_info,
+    weighted_layer_count,
+)
+from .senna import CHUNK_TAGS, NER_TAGS, POS_TAGS, senna
+
+__all__ = [
+    "alexnet",
+    "lenet5",
+    "deepface",
+    "kaldi_asr",
+    "senna",
+    "APPLICATIONS",
+    "ModelInfo",
+    "build_net",
+    "build_spec",
+    "model_info",
+    "weighted_layer_count",
+    "POS_TAGS",
+    "CHUNK_TAGS",
+    "NER_TAGS",
+    "SPLICE_FRAMES",
+    "FBANK_DIMS",
+    "DEFAULT_SENONES",
+    "PUBFIG83_IDENTITIES",
+    "DEEPFACE_ORIGINAL_IDENTITIES",
+]

@@ -1,0 +1,47 @@
+"""AlexNet (Krizhevsky et al., NIPS'12) — the IMC network.
+
+Table 1 of the paper: CNN, 22 layers, ~60M parameters, 1000 ImageNet classes.
+This is the exact Caffe ``bvlc_alexnet`` topology: the 22 layers are the
+prototxt stages conv1..fc8 (convolutions, ReLUs, pools, LRNs, dropouts and
+inner products); the inference-time softmax rides on top as in Caffe.
+"""
+
+from __future__ import annotations
+
+from ..nn.netspec import LayerSpec, NetSpec
+
+__all__ = ["alexnet"]
+
+
+def alexnet(num_classes: int = 1000, include_softmax: bool = True) -> NetSpec:
+    """Build the AlexNet spec for 227x227 RGB inputs."""
+    if num_classes <= 1:
+        raise ValueError(f"num_classes must be > 1, got {num_classes}")
+    gauss = lambda std: ("gaussian", {"std": std})  # noqa: E731 - local shorthand
+    layers = [
+        LayerSpec("Convolution", "conv1", {"num_output": 96, "kernel_size": 11, "stride": 4, "weight_filler": gauss(0.01)}),
+        LayerSpec("ReLU", "relu1"),
+        LayerSpec("Pooling", "pool1", {"kernel_size": 3, "stride": 2, "mode": "max"}),
+        LayerSpec("LRN", "norm1", {"local_size": 5, "alpha": 1e-4, "beta": 0.75}),
+        LayerSpec("Convolution", "conv2", {"num_output": 256, "kernel_size": 5, "pad": 2, "group": 2, "weight_filler": gauss(0.01)}),
+        LayerSpec("ReLU", "relu2"),
+        LayerSpec("Pooling", "pool2", {"kernel_size": 3, "stride": 2, "mode": "max"}),
+        LayerSpec("LRN", "norm2", {"local_size": 5, "alpha": 1e-4, "beta": 0.75}),
+        LayerSpec("Convolution", "conv3", {"num_output": 384, "kernel_size": 3, "pad": 1, "weight_filler": gauss(0.01)}),
+        LayerSpec("ReLU", "relu3"),
+        LayerSpec("Convolution", "conv4", {"num_output": 384, "kernel_size": 3, "pad": 1, "group": 2, "weight_filler": gauss(0.01)}),
+        LayerSpec("ReLU", "relu4"),
+        LayerSpec("Convolution", "conv5", {"num_output": 256, "kernel_size": 3, "pad": 1, "group": 2, "weight_filler": gauss(0.01)}),
+        LayerSpec("ReLU", "relu5"),
+        LayerSpec("Pooling", "pool5", {"kernel_size": 3, "stride": 2, "mode": "max"}),
+        LayerSpec("InnerProduct", "fc6", {"num_output": 4096, "weight_filler": gauss(0.005)}),
+        LayerSpec("ReLU", "relu6"),
+        LayerSpec("Dropout", "drop6", {"ratio": 0.5}),
+        LayerSpec("InnerProduct", "fc7", {"num_output": 4096, "weight_filler": gauss(0.005)}),
+        LayerSpec("ReLU", "relu7"),
+        LayerSpec("Dropout", "drop7", {"ratio": 0.5}),
+        LayerSpec("InnerProduct", "fc8", {"num_output": num_classes, "weight_filler": gauss(0.01)}),
+    ]
+    if include_softmax:
+        layers.append(LayerSpec("Softmax", "prob"))
+    return NetSpec(name="alexnet", input_shape=(3, 227, 227), layers=tuple(layers))

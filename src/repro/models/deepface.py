@@ -1,0 +1,50 @@
+"""DeepFace (Taigman et al., CVPR'14) — the FACE network.
+
+Table 1 of the paper: CNN, 8 layers, ~120M parameters.  The 8 layers are
+C1-M2-C3-L4-L5-L6-F7-F8, where L4-L6 are *locally connected* (unshared
+weights), the layer type responsible for both the parameter count and
+FACE's comparatively poor GPU speedup (weights are single-use, so the
+forward pass is memory-bandwidth-bound).
+
+Dimensions follow the DeepFace paper: 152x152x3 aligned face input;
+L5 uses stride 2.  With the original 4030-way classifier the network has
+~118.9M parameters (the Table 1 "120M").  Tonic retargets the classifier to
+the 83 celebrities of PubFig83+LFW, which is the default here.
+"""
+
+from __future__ import annotations
+
+from ..nn.netspec import LayerSpec, NetSpec
+
+__all__ = ["deepface", "DEEPFACE_ORIGINAL_IDENTITIES", "PUBFIG83_IDENTITIES"]
+
+#: Identity count of the original DeepFace classifier (SFC dataset).
+DEEPFACE_ORIGINAL_IDENTITIES = 4030
+#: Identity count of Tonic's PubFig83+LFW retarget (paper §3.2.1).
+PUBFIG83_IDENTITIES = 83
+
+
+def deepface(num_identities: int = PUBFIG83_IDENTITIES, include_softmax: bool = True) -> NetSpec:
+    """Build the DeepFace spec for 152x152 RGB aligned-face inputs."""
+    if num_identities <= 1:
+        raise ValueError(f"num_identities must be > 1, got {num_identities}")
+    layers = [
+        LayerSpec("Convolution", "c1", {"num_output": 32, "kernel_size": 11}),
+        LayerSpec("ReLU", "relu1"),
+        LayerSpec("Pooling", "m2", {"kernel_size": 3, "stride": 2, "mode": "max"}),
+        LayerSpec("Convolution", "c3", {"num_output": 16, "kernel_size": 9}),
+        LayerSpec("ReLU", "relu3"),
+        LayerSpec("LocallyConnected", "l4", {"num_output": 16, "kernel_size": 9}),
+        LayerSpec("ReLU", "relu4"),
+        LayerSpec("LocallyConnected", "l5", {"num_output": 16, "kernel_size": 7, "stride": 2}),
+        LayerSpec("ReLU", "relu5"),
+        LayerSpec("LocallyConnected", "l6", {"num_output": 16, "kernel_size": 5}),
+        LayerSpec("ReLU", "relu6"),
+        LayerSpec("InnerProduct", "f7", {"num_output": 4096}),
+        LayerSpec("ReLU", "relu7"),
+        LayerSpec("Dropout", "drop7", {"ratio": 0.5}),
+        LayerSpec("InnerProduct", "f8", {"num_output": num_identities}),
+    ]
+    if include_softmax:
+        layers.append(LayerSpec("Softmax", "prob"))
+    return NetSpec(name="deepface", input_shape=(3, 152, 152), layers=tuple(layers))

@@ -1,0 +1,48 @@
+"""Kaldi-style DNN acoustic model — the ASR network.
+
+Table 1 of the paper: DNN, 13 layers, ~30M parameters.  This is the standard
+Kaldi nnet1 hybrid recipe of the era: spliced filterbank features (11 frames
+x 40 dims = 440 inputs), six 2048-unit sigmoid hidden layers, and a senone
+softmax.  The 13 layers are the six (affine, sigmoid) pairs plus the output
+affine; ~29.2M parameters with 3483 senones.
+
+The DjiNN service evaluates this network once per feature frame; a Tonic ASR
+query ships a whole utterance of frames at once (Table 3: 548 feature
+vectors per query), which is why ASR keeps a GPU busy even at batch size 1.
+"""
+
+from __future__ import annotations
+
+from ..nn.netspec import LayerSpec, NetSpec
+
+__all__ = ["kaldi_asr", "SPLICE_FRAMES", "FBANK_DIMS", "DEFAULT_SENONES"]
+
+#: Context splicing: 5 frames either side of the center frame.
+SPLICE_FRAMES = 11
+#: Log-mel filterbank coefficients per frame.
+FBANK_DIMS = 40
+#: Tied-triphone state (senone) count of the hybrid system.
+DEFAULT_SENONES = 3483
+
+
+def kaldi_asr(
+    num_senones: int = DEFAULT_SENONES,
+    hidden_units: int = 2048,
+    hidden_layers: int = 6,
+    include_softmax: bool = True,
+) -> NetSpec:
+    """Build the Kaldi acoustic-model spec over spliced fbank inputs."""
+    if hidden_layers < 1:
+        raise ValueError(f"need at least one hidden layer, got {hidden_layers}")
+    layers = []
+    for i in range(1, hidden_layers + 1):
+        layers.append(LayerSpec("InnerProduct", f"affine{i}", {"num_output": hidden_units}))
+        layers.append(LayerSpec("Sigmoid", f"sigmoid{i}"))
+    layers.append(LayerSpec("InnerProduct", "senone", {"num_output": num_senones}))
+    if include_softmax:
+        layers.append(LayerSpec("Softmax", "posterior"))
+    return NetSpec(
+        name="kaldi_asr",
+        input_shape=(SPLICE_FRAMES * FBANK_DIMS,),
+        layers=tuple(layers),
+    )

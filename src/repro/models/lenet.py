@@ -1,0 +1,36 @@
+"""LeNet-5 (LeCun et al., 1998) — the DIG network.
+
+Table 1 of the paper: CNN, 7 layers, ~60K parameters.  This matches the
+original LeNet-5 (61,706 weights; C1-S2-C3-S4-C5-F6-OUTPUT = 7 weighted/
+pooling stages) rather than Caffe's larger ``lenet.prototxt`` (~430K).
+Inputs are 32x32 single-channel images (28x28 MNIST-style digits padded by
+2, as in the original paper).
+"""
+
+from __future__ import annotations
+
+from ..nn.netspec import LayerSpec, NetSpec
+
+__all__ = ["lenet5"]
+
+
+def lenet5(num_classes: int = 10, include_softmax: bool = True) -> NetSpec:
+    """Build the LeNet-5 spec for 32x32 grayscale inputs."""
+    layers = [
+        LayerSpec("Convolution", "c1", {"num_output": 6, "kernel_size": 5}),
+        LayerSpec("Tanh", "act1"),
+        LayerSpec("Pooling", "s2", {"kernel_size": 2, "stride": 2, "mode": "ave"}),
+        LayerSpec("Convolution", "c3", {"num_output": 16, "kernel_size": 5}),
+        LayerSpec("Tanh", "act3"),
+        LayerSpec("Pooling", "s4", {"kernel_size": 2, "stride": 2, "mode": "ave"}),
+        # C5 in the original is a 5x5 convolution that exactly covers the
+        # 5x5 input, i.e. a fully connected layer over 16x5x5 = 400 inputs.
+        LayerSpec("InnerProduct", "c5", {"num_output": 120}),
+        LayerSpec("Tanh", "act5"),
+        LayerSpec("InnerProduct", "f6", {"num_output": 84}),
+        LayerSpec("Tanh", "act6"),
+        LayerSpec("InnerProduct", "output", {"num_output": num_classes}),
+    ]
+    if include_softmax:
+        layers.append(LayerSpec("Softmax", "prob"))
+    return NetSpec(name="lenet5", input_shape=(1, 32, 32), layers=tuple(layers))

@@ -1,0 +1,90 @@
+"""The Tonic model zoo: one entry per application, with Table 1 metadata.
+
+The registry is the single point where application names (``imc``, ``dig``,
+``face``, ``asr``, ``pos``, ``chk``, ``ner``) map to network architectures,
+mirroring how DjiNN "houses the trained DNN network architecture and
+configuration in-memory for each Tonic Suite application" (paper §3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from ..nn.netspec import NetSpec
+from ..nn.network import Net
+from .alexnet import alexnet
+from .deepface import deepface
+from .kaldi import kaldi_asr
+from .lenet import lenet5
+from .senna import senna
+
+__all__ = ["ModelInfo", "APPLICATIONS", "model_info", "build_spec", "build_net", "weighted_layer_count"]
+
+
+@dataclass(frozen=True)
+class ModelInfo:
+    """Table 1 row: application, source network, type, published size."""
+
+    app: str                      # tonic application key, e.g. "imc"
+    title: str                    # e.g. "Image Classification (IMC)"
+    service: str                  # "image" | "speech" | "nlp"
+    network: str                  # published network name (AlexNet, ...)
+    network_type: str             # "CNN" | "DNN"
+    paper_layers: int             # layer count as quoted in Table 1
+    paper_params: int             # parameter count as quoted in Table 1
+    factory: Callable[[], NetSpec]
+
+
+_REGISTRY: Dict[str, ModelInfo] = {}
+
+
+def _register(info: ModelInfo) -> None:
+    _REGISTRY[info.app] = info
+
+
+_register(ModelInfo("imc", "Image Classification (IMC)", "image", "AlexNet", "CNN", 22, 60_000_000, alexnet))
+_register(ModelInfo("dig", "Digit Recognition (DIG)", "image", "MNIST", "CNN", 7, 60_000, lenet5))
+_register(ModelInfo("face", "Facial Recognition (FACE)", "image", "DeepFace", "CNN", 8, 120_000_000, deepface))
+_register(ModelInfo("asr", "Automatic Speech Recognition (ASR)", "speech", "Kaldi", "DNN", 13, 30_000_000, kaldi_asr))
+_register(ModelInfo("pos", "Part-of-Speech Tagging (POS)", "nlp", "SENNA", "DNN", 3, 180_000, lambda: senna("pos")))
+_register(ModelInfo("chk", "Chunking (CHK)", "nlp", "SENNA", "DNN", 3, 180_000, lambda: senna("chk")))
+_register(ModelInfo("ner", "Name Entity Recognition (NER)", "nlp", "SENNA", "DNN", 3, 180_000, lambda: senna("ner")))
+
+#: Tonic Suite application keys in the paper's presentation order.
+APPLICATIONS: Tuple[str, ...] = ("imc", "dig", "face", "asr", "pos", "chk", "ner")
+
+
+def model_info(app: str) -> ModelInfo:
+    """Table 1 metadata for an application key."""
+    try:
+        return _REGISTRY[app]
+    except KeyError:
+        raise ValueError(f"unknown application {app!r}; known: {sorted(_REGISTRY)}") from None
+
+
+def build_spec(app: str) -> NetSpec:
+    """The network spec for an application."""
+    return model_info(app).factory()
+
+
+def build_net(app: str, materialize: bool = False, seed: int = 0) -> Net:
+    """An instantiated network, optionally with seeded synthetic weights.
+
+    Shape-only nets (the default) cost nothing to build and are what the GPU
+    performance model consumes; materialize only when running real inference.
+    """
+    net = Net(build_spec(app))
+    if materialize:
+        net.materialize(seed)
+    return net
+
+
+#: Layer types that do not appear as standalone stages in classic layer
+#: counts (LeNet-5's "7 layers" counts weighted + pooling stages only).
+_TRANSPARENT = {"ReLU", "Sigmoid", "Tanh", "HardTanh", "Dropout", "Softmax", "Flatten"}
+
+
+def weighted_layer_count(spec: NetSpec) -> int:
+    """Weighted + pooling + normalization stages (LeNet-style layer count)."""
+    return sum(1 for layer in spec.layers if layer.type not in _TRANSPARENT)

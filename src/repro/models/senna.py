@@ -1,0 +1,79 @@
+"""SENNA window networks (Collobert et al., JMLR'11) — POS / CHK / NER.
+
+Table 1 of the paper: DNN, 3 layers, ~180K parameters each.  SENNA's window
+approach scores one word at a time from a 5-word context window; each word
+contributes a 50-dim word embedding plus a 10-dim discrete-feature embedding
+(capitalization and, for CHK, the POS tag produced by a chained POS request
+— paper §3.2.3).  That gives 5 x 60 = 300 inputs into Linear(500) ->
+HardTanh -> Linear(tags): 173K parameters for POS's 45 tags, i.e. the
+"180K" of Table 1.
+
+Embedding lookups are *preprocessing* (they happen app-side in
+:mod:`repro.tonic.nlp`, as in Tonic); the network itself is the 3-layer DNN
+the DjiNN service runs.
+"""
+
+from __future__ import annotations
+
+from ..nn.netspec import LayerSpec, NetSpec
+
+__all__ = [
+    "senna",
+    "WINDOW",
+    "WORD_DIM",
+    "FEATURE_DIM",
+    "POS_TAGS",
+    "CHUNK_TAGS",
+    "NER_TAGS",
+]
+
+#: Context window (2 words either side of the scored word).
+WINDOW = 5
+#: Word-embedding dimensionality.
+WORD_DIM = 50
+#: Discrete-feature embedding dimensionality (caps / chained POS).
+FEATURE_DIM = 10
+
+#: Penn Treebank part-of-speech tag set (45 tags), as used by SENNA.
+POS_TAGS = (
+    "CC CD DT EX FW IN JJ JJR JJS LS MD NN NNS NNP NNPS PDT POS PRP PRP$ "
+    "RB RBR RBS RP SYM TO UH VB VBD VBG VBN VBP VBZ WDT WP WP$ WRB "
+    "# $ '' ( ) , . : ``"
+).split()
+
+#: CoNLL-2000 chunking tag set (IOB2 over 11 phrase types + O = 23 tags).
+CHUNK_TAGS = tuple(
+    f"{prefix}-{phrase}"
+    for phrase in ("NP", "VP", "PP", "ADVP", "ADJP", "SBAR", "PRT", "CONJP", "INTJ", "LST", "UCP")
+    for prefix in ("B", "I")
+) + ("O",)
+
+#: CoNLL-2003 named-entity tag set (IOB2 over 4 entity types + O = 9 tags).
+NER_TAGS = tuple(
+    f"{prefix}-{entity}" for entity in ("PER", "LOC", "ORG", "MISC") for prefix in ("B", "I")
+) + ("O",)
+
+_TASK_TAGS = {"pos": len(POS_TAGS), "chk": len(CHUNK_TAGS), "ner": len(NER_TAGS)}
+
+
+def senna(
+    task: str = "pos",
+    hidden_units: int = 500,
+    num_tags: int = None,
+    include_softmax: bool = True,
+) -> NetSpec:
+    """Build a SENNA window-network spec for ``task`` in {'pos','chk','ner'}."""
+    if num_tags is None:
+        try:
+            num_tags = _TASK_TAGS[task]
+        except KeyError:
+            raise ValueError(f"unknown SENNA task {task!r}; known: {sorted(_TASK_TAGS)}") from None
+    input_dim = WINDOW * (WORD_DIM + FEATURE_DIM)
+    layers = [
+        LayerSpec("InnerProduct", "l1", {"num_output": hidden_units}),
+        LayerSpec("HardTanh", "hardtanh"),
+        LayerSpec("InnerProduct", "l3", {"num_output": num_tags}),
+    ]
+    if include_softmax:
+        layers.append(LayerSpec("Softmax", "prob"))
+    return NetSpec(name=f"senna_{task}", input_shape=(input_dim,), layers=tuple(layers))

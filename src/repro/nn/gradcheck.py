@@ -1,0 +1,80 @@
+"""Numerical gradient checking utilities (used heavily by the test suite to
+verify every layer's backward pass against central finite differences).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from .layers.base import Layer
+
+__all__ = ["numerical_gradient", "check_layer_gradients", "max_relative_error"]
+
+
+def numerical_gradient(
+    f: Callable[[np.ndarray], float], x: np.ndarray, eps: float = 1e-3
+) -> np.ndarray:
+    """Central-difference gradient of a scalar function at ``x``."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        plus = f(x)
+        flat[i] = orig - eps
+        minus = f(x)
+        flat[i] = orig
+        gflat[i] = (plus - minus) / (2.0 * eps)
+    return grad
+
+
+def max_relative_error(a: np.ndarray, b: np.ndarray, floor: float = 1e-4) -> float:
+    """max |a-b| / max(|a|, |b|, floor), elementwise."""
+    denom = np.maximum(np.maximum(np.abs(a), np.abs(b)), floor)
+    return float(np.max(np.abs(a - b) / denom))
+
+
+def check_layer_gradients(
+    layer: Layer,
+    x: np.ndarray,
+    eps: float = 1e-3,
+    seed: int = 0,
+    projection: Optional[np.ndarray] = None,
+) -> dict:
+    """Compare analytic vs numerical gradients for a layer.
+
+    The layer must already be set up (and materialized if it has weights).
+    The scalar objective is ``sum(forward(x) * projection)`` with a fixed
+    random projection, which exercises every output element.
+
+    Returns a dict of max relative errors: ``{"input": e, "<blob name>": e}``.
+    """
+    rng = np.random.default_rng(seed)
+    y = layer.forward(np.array(x, dtype=np.float64), train=True)
+    proj = projection if projection is not None else rng.normal(size=y.shape)
+
+    def objective_input(inp):
+        return float(np.sum(layer.forward(inp, train=False) * proj))
+
+    errors = {}
+    num_dx = numerical_gradient(objective_input, np.array(x, dtype=np.float64), eps)
+    # analytic pass (fresh forward so caches match the x we differentiate at)
+    layer.forward(np.array(x, dtype=np.float64), train=True)
+    for blob in layer.params:
+        blob.zero_grad()
+    ana_dx = layer.backward(proj)
+    errors["input"] = max_relative_error(num_dx, np.asarray(ana_dx, dtype=np.float64))
+
+    for blob in layer.params:
+        def objective_param(w, _blob=blob):
+            _blob.data = w.astype(np.float32)
+            return float(np.sum(layer.forward(np.array(x, dtype=np.float64), train=False) * proj))
+
+        w0 = blob.data.astype(np.float64).copy()
+        num_dw = numerical_gradient(objective_param, w0.copy(), eps)
+        blob.data = w0.astype(np.float32)
+        errors[blob.name] = max_relative_error(num_dw, np.asarray(blob.grad, dtype=np.float64))
+    return errors

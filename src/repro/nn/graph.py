@@ -1,0 +1,226 @@
+"""GraphNet: DAG-structured networks.
+
+DjiNN's design goal is to serve "a spectrum of applications and neural
+network architectures" (paper §3.1); the seven Tonic networks happen to be
+chains, but 2014-era architectures already branched (GoogLeNet's inception
+modules, multi-tower AlexNet).  :class:`GraphNet` generalizes
+:class:`~repro.nn.network.Net` to arbitrary DAGs — named bottoms per layer,
+topological execution, gradient fan-in on the backward pass — while
+exposing the same serving surface (``input_shape``, ``forward``,
+``materialize``, ``param_bytes``), so a GraphNet drops into the DjiNN model
+registry unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .layers.base import Layer, ShapeError, create_layer, layer_registry
+from .layers.merge import MultiInputLayer
+from .tensor import Blob
+
+__all__ = ["GraphLayerSpec", "GraphSpec", "GraphNet", "INPUT"]
+
+#: The reserved bottom name referring to the network input.
+INPUT = "input"
+
+
+@dataclass(frozen=True)
+class GraphLayerSpec:
+    """One node: a layer plus the named tops it consumes."""
+
+    type: str
+    name: str
+    bottoms: Tuple[str, ...]
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def validate(self) -> None:
+        if self.type not in layer_registry():
+            raise ValueError(f"layer {self.name!r}: unknown type {self.type!r}")
+        if not self.name or self.name == INPUT:
+            raise ValueError(f"invalid layer name {self.name!r}")
+        if not self.bottoms:
+            raise ValueError(f"layer {self.name!r} consumes nothing")
+
+
+@dataclass(frozen=True)
+class GraphSpec:
+    """A DAG network: one input, topologically ordered layers, one output."""
+
+    name: str
+    input_shape: Tuple[int, ...]
+    layers: Tuple[GraphLayerSpec, ...]
+    output: str  # name of the layer whose top is the network output
+
+    def __post_init__(self):
+        object.__setattr__(self, "input_shape", tuple(int(d) for d in self.input_shape))
+        object.__setattr__(self, "layers", tuple(self.layers))
+        self.validate()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": "graph",
+            "name": self.name,
+            "input_shape": list(self.input_shape),
+            "output": self.output,
+            "layers": [
+                {"type": s.type, "name": s.name, "bottoms": list(s.bottoms),
+                 "params": dict(s.params)}
+                for s in self.layers
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "GraphSpec":
+        return cls(
+            name=d["name"],
+            input_shape=tuple(d["input_shape"]),
+            layers=tuple(
+                GraphLayerSpec(type=s["type"], name=s["name"],
+                               bottoms=tuple(s["bottoms"]),
+                               params=dict(s.get("params", {})))
+                for s in d["layers"]
+            ),
+            output=d["output"],
+        )
+
+    def validate(self) -> None:
+        if not self.layers:
+            raise ValueError(f"graph {self.name!r} has no layers")
+        defined = {INPUT}
+        for spec in self.layers:
+            spec.validate()
+            if spec.name in defined:
+                raise ValueError(f"graph {self.name!r}: duplicate top {spec.name!r}")
+            missing = [b for b in spec.bottoms if b not in defined]
+            if missing:
+                raise ValueError(
+                    f"graph {self.name!r}: layer {spec.name!r} consumes "
+                    f"undefined top(s) {missing} — layers must be listed in "
+                    "topological order"
+                )
+            defined.add(spec.name)
+        if self.output not in defined or self.output == INPUT:
+            raise ValueError(f"graph {self.name!r}: output {self.output!r} is not a layer top")
+
+
+class GraphNet:
+    """An executable DAG network (the serving surface matches ``Net``)."""
+
+    def __init__(self, spec: GraphSpec):
+        self.spec = spec
+        self.layers: List[Layer] = []
+        self._specs: Dict[str, GraphLayerSpec] = {}
+        shapes: Dict[str, Tuple[int, ...]] = {INPUT: spec.input_shape}
+        for layer_spec in spec.layers:
+            layer = create_layer(layer_spec.type, layer_spec.name, **layer_spec.params)
+            in_shapes = [shapes[b] for b in layer_spec.bottoms]
+            try:
+                if isinstance(layer, MultiInputLayer):
+                    shapes[layer_spec.name] = layer.setup(in_shapes)
+                else:
+                    if len(in_shapes) != 1:
+                        raise ShapeError(
+                            f"{layer_spec.type} takes one bottom, got {len(in_shapes)}"
+                        )
+                    shapes[layer_spec.name] = layer.setup(in_shapes[0])
+            except (ShapeError, ValueError) as exc:
+                raise ShapeError(f"graph {spec.name!r}, layer {layer_spec.name!r}: {exc}") from exc
+            self.layers.append(layer)
+            self._specs[layer_spec.name] = layer_spec
+        self.output_shape = shapes[spec.output]
+        #: consumers of each top (for gradient fan-in)
+        self._consumers: Dict[str, List[str]] = {INPUT: []}
+        for layer_spec in spec.layers:
+            self._consumers[layer_spec.name] = []
+            for bottom in layer_spec.bottoms:
+                self._consumers[bottom].append(layer_spec.name)
+        self._materialized = False
+
+    # ------------------------------------------------------------ protocol
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def input_shape(self) -> Tuple[int, ...]:
+        return self.spec.input_shape
+
+    @property
+    def materialized(self) -> bool:
+        return self._materialized
+
+    def params(self) -> List[Blob]:
+        return [blob for layer in self.layers for blob in layer.params]
+
+    def param_count(self) -> int:
+        return sum(layer.param_count() for layer in self.layers)
+
+    def param_bytes(self) -> int:
+        return sum(layer.param_bytes() for layer in self.layers)
+
+    def materialize(self, seed: int = 0) -> "GraphNet":
+        rng = np.random.default_rng(seed)
+        for layer in self.layers:
+            layer.materialize(rng)
+        self._materialized = True
+        return self
+
+    def zero_grad(self) -> None:
+        for blob in self.params():
+            blob.zero_grad()
+
+    # ------------------------------------------------------------- compute
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        if not self._materialized:
+            raise RuntimeError(f"graph {self.name!r} is not materialized")
+        x = np.asarray(x, dtype=np.float32)
+        if x.ndim == len(self.input_shape):
+            x = x[None]
+        tops: Dict[str, np.ndarray] = {INPUT: x}
+        for layer in self.layers:
+            spec = self._specs[layer.name]
+            inputs = [tops[b] for b in spec.bottoms]
+            if isinstance(layer, MultiInputLayer):
+                tops[layer.name] = layer.forward(inputs, train=train)
+            else:
+                tops[layer.name] = layer.forward(inputs[0], train=train)
+        if train:
+            self._tops_kept = True
+        return tops[self.spec.output]
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        """Backpropagate from the output; returns d(input).
+
+        Gradients fan in: a top consumed by several layers receives the sum
+        of its consumers' input-gradients.
+        """
+        grads: Dict[str, Optional[np.ndarray]] = {self.spec.output: np.asarray(dout)}
+
+        def accumulate(name: str, grad: np.ndarray) -> None:
+            grads[name] = grad if grads.get(name) is None else grads[name] + grad
+
+        for layer in reversed(self.layers):
+            grad = grads.get(layer.name)
+            if grad is None:
+                continue  # dead branch: nothing downstream consumed it
+            spec = self._specs[layer.name]
+            dx = layer.backward(grad)
+            if isinstance(layer, MultiInputLayer):
+                for bottom, d in zip(spec.bottoms, dx):
+                    accumulate(bottom, d)
+            else:
+                accumulate(spec.bottoms[0], dx)
+        result = grads.get(INPUT)
+        if result is None:
+            raise RuntimeError(f"graph {self.name!r}: no gradient reached the input")
+        return result
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return np.argmax(self.forward(x), axis=-1)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"GraphNet({self.name!r}, layers={len(self.layers)}, params={self.param_count():,d})"

@@ -1,0 +1,82 @@
+"""Weight fillers, mirroring the fillers Caffe ships with.
+
+Each filler is a callable ``filler(shape, rng) -> ndarray``; layers choose a
+default but every layer spec accepts a ``weight_filler`` override.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Tuple
+
+import numpy as np
+
+__all__ = ["constant", "gaussian", "xavier", "uniform", "get_filler"]
+
+Filler = Callable[[Tuple[int, ...], np.random.Generator], np.ndarray]
+
+
+def constant(value: float = 0.0) -> Filler:
+    """Fill with a constant (Caffe's ``constant`` filler; used for biases)."""
+
+    def fill(shape, rng):
+        return np.full(shape, value, dtype=np.float32)
+
+    return fill
+
+
+def gaussian(std: float = 0.01, mean: float = 0.0) -> Filler:
+    """Fill with N(mean, std^2) (Caffe's ``gaussian`` filler)."""
+
+    def fill(shape, rng):
+        return rng.normal(mean, std, size=shape).astype(np.float32)
+
+    return fill
+
+
+def uniform(low: float = -0.05, high: float = 0.05) -> Filler:
+    def fill(shape, rng):
+        return rng.uniform(low, high, size=shape).astype(np.float32)
+
+    return fill
+
+
+def xavier() -> Filler:
+    """Caffe's ``xavier`` filler: uniform in ±sqrt(3 / fan_in).
+
+    fan_in is taken as the product of all dimensions but the first, which
+    matches Caffe's convention for both inner-product and convolution blobs.
+    """
+
+    def fill(shape, rng):
+        fan_in = max(1, int(math.prod(shape[1:])))
+        scale = math.sqrt(3.0 / fan_in)
+        return rng.uniform(-scale, scale, size=shape).astype(np.float32)
+
+    return fill
+
+
+_NAMED = {
+    "constant": constant,
+    "gaussian": gaussian,
+    "uniform": uniform,
+    "xavier": xavier,
+}
+
+
+def get_filler(spec) -> Filler:
+    """Resolve a filler from a callable, a name, or ``(name, kwargs)``."""
+    if callable(spec):
+        return spec
+    if isinstance(spec, str):
+        try:
+            return _NAMED[spec]()
+        except KeyError:
+            raise ValueError(f"unknown filler {spec!r}; known: {sorted(_NAMED)}") from None
+    if isinstance(spec, tuple) and len(spec) == 2 and isinstance(spec[0], str):
+        name, kwargs = spec
+        try:
+            return _NAMED[name](**kwargs)
+        except KeyError:
+            raise ValueError(f"unknown filler {name!r}; known: {sorted(_NAMED)}") from None
+    raise TypeError(f"cannot interpret filler spec {spec!r}")

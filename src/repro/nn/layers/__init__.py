@@ -1,0 +1,41 @@
+"""Layer implementations for the ``repro.nn`` framework.
+
+Importing this package registers every built-in layer type with the layer
+registry used by :class:`repro.nn.netspec.NetSpec`.
+"""
+
+from .base import Layer, ShapeError, create_layer, layer_registry, register_layer
+from .activation import HardTanhLayer, ReLULayer, SigmoidLayer, TanhLayer
+from .convolution import ConvolutionLayer
+from .dropout import DropoutLayer
+from .inner_product import InnerProductLayer
+from .locally_connected import LocallyConnectedLayer
+from .merge import ConcatLayer, EltwiseSumLayer
+from .normalization import LRNLayer
+from .pooling import PoolingLayer
+from .reshape import FlattenLayer
+from .softmax import SoftmaxLayer, softmax, softmax_cross_entropy
+
+__all__ = [
+    "Layer",
+    "ShapeError",
+    "create_layer",
+    "layer_registry",
+    "register_layer",
+    "ReLULayer",
+    "SigmoidLayer",
+    "TanhLayer",
+    "HardTanhLayer",
+    "ConvolutionLayer",
+    "DropoutLayer",
+    "InnerProductLayer",
+    "LocallyConnectedLayer",
+    "ConcatLayer",
+    "EltwiseSumLayer",
+    "LRNLayer",
+    "PoolingLayer",
+    "FlattenLayer",
+    "SoftmaxLayer",
+    "softmax",
+    "softmax_cross_entropy",
+]

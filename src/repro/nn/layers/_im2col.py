@@ -1,0 +1,67 @@
+"""im2col / col2im lowering used by convolution and locally-connected layers.
+
+This mirrors how Caffe executes convolutions: unfold input windows into a
+matrix, then run a GEMM.  The unfolded shapes are also what the GPU cost
+model treats as the kernel's GEMM dimensions.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["conv_output_size", "im2col", "col2im"]
+
+
+def conv_output_size(size: int, kernel: int, stride: int, pad: int) -> int:
+    """Output spatial extent of a convolution along one dimension."""
+    out = (size + 2 * pad - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"kernel {kernel} (stride {stride}, pad {pad}) does not fit input of size {size}"
+        )
+    return out
+
+
+def im2col(x: np.ndarray, kh: int, kw: int, stride: int, pad: int) -> np.ndarray:
+    """Unfold ``x`` of shape (N, C, H, W) into (N, C*kh*kw, out_h*out_w)."""
+    n, c, h, w = x.shape
+    if pad:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    hp, wp = x.shape[2], x.shape[3]
+    out_h = (hp - kh) // stride + 1
+    out_w = (wp - kw) // stride + 1
+    s0, s1, s2, s3 = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, kh, kw, out_h, out_w),
+        strides=(s0, s1, s2, s3, s2 * stride, s3 * stride),
+        writeable=False,
+    )
+    return windows.reshape(n, c * kh * kw, out_h * out_w)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int,
+    pad: int,
+) -> np.ndarray:
+    """Scatter-add the inverse of :func:`im2col` (used by backward passes)."""
+    n, c, h, w = x_shape
+    hp, wp = h + 2 * pad, w + 2 * pad
+    out_h = (hp - kh) // stride + 1
+    out_w = (wp - kw) // stride + 1
+    cols6 = cols.reshape(n, c, kh, kw, out_h, out_w)
+    xpad = np.zeros((n, c, hp, wp), dtype=cols.dtype)
+    for i in range(kh):
+        for j in range(kw):
+            xpad[:, :, i : i + stride * out_h : stride, j : j + stride * out_w : stride] += cols6[
+                :, :, i, j
+            ]
+    if pad:
+        return xpad[:, :, pad : pad + h, pad : pad + w]
+    return xpad

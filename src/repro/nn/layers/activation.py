@@ -1,0 +1,103 @@
+"""Element-wise activation layers: ReLU (AlexNet/LeNet/DeepFace), Sigmoid
+(Kaldi's acoustic model), Tanh, and HardTanh (SENNA's nonlinearity).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Layer, register_layer
+
+__all__ = ["ReLULayer", "SigmoidLayer", "TanhLayer", "HardTanhLayer"]
+
+
+class _Activation(Layer):
+    """Shared plumbing: shape-preserving, stateless except the train cache."""
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self._cache = None
+
+    def _infer_shape(self, in_shape):
+        return in_shape
+
+    def flops_per_sample(self) -> int:
+        assert self.in_shape is not None
+        return int(np.prod(self.in_shape))
+
+    def _require_cache(self):
+        if self._cache is None:
+            raise RuntimeError(f"layer {self.name!r}: backward before forward(train=True)")
+        return self._cache
+
+
+@register_layer
+class ReLULayer(_Activation):
+    type_name = "ReLU"
+
+    def forward(self, x, train=False):
+        self._check_input(x)
+        y = np.maximum(x, 0.0)
+        if train:
+            self._cache = x > 0
+        return y
+
+    def backward(self, dout):
+        mask = self._require_cache()
+        return dout * mask
+
+
+@register_layer
+class SigmoidLayer(_Activation):
+    type_name = "Sigmoid"
+
+    def forward(self, x, train=False):
+        self._check_input(x)
+        # numerically stable logistic
+        y = np.empty_like(x, dtype=np.float64)
+        pos = x >= 0
+        y[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+        ex = np.exp(x[~pos])
+        y[~pos] = ex / (1.0 + ex)
+        y = y.astype(x.dtype, copy=False)
+        if train:
+            self._cache = y
+        return y
+
+    def backward(self, dout):
+        y = self._require_cache()
+        return dout * y * (1.0 - y)
+
+
+@register_layer
+class TanhLayer(_Activation):
+    type_name = "Tanh"
+
+    def forward(self, x, train=False):
+        self._check_input(x)
+        y = np.tanh(x)
+        if train:
+            self._cache = y
+        return y
+
+    def backward(self, dout):
+        y = self._require_cache()
+        return dout * (1.0 - y * y)
+
+
+@register_layer
+class HardTanhLayer(_Activation):
+    """SENNA's clipped-linear nonlinearity: clamp(x, -1, 1)."""
+
+    type_name = "HardTanh"
+
+    def forward(self, x, train=False):
+        self._check_input(x)
+        y = np.clip(x, -1.0, 1.0)
+        if train:
+            self._cache = (x > -1.0) & (x < 1.0)
+        return y
+
+    def backward(self, dout):
+        mask = self._require_cache()
+        return dout * mask

@@ -1,0 +1,129 @@
+"""GEMM-lowered convolution with group support (AlexNet's conv2/4/5 are
+grouped).  Forward and backward are implemented via im2col/col2im, exactly
+the lowering Caffe uses and the one the paper's GPU kernels execute.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..initializers import constant, get_filler, xavier
+from ._im2col import col2im, conv_output_size, im2col
+from .base import GemmShape, Layer, ShapeError, register_layer
+
+__all__ = ["ConvolutionLayer"]
+
+
+@register_layer
+class ConvolutionLayer(Layer):
+    """2-D convolution over (C, H, W) inputs.
+
+    Parameters mirror Caffe's ``ConvolutionParameter``: ``num_output``,
+    ``kernel_size``, ``stride``, ``pad``, ``group``.
+    """
+
+    type_name = "Convolution"
+
+    def __init__(
+        self,
+        name: str,
+        num_output: int,
+        kernel_size: int,
+        stride: int = 1,
+        pad: int = 0,
+        group: int = 1,
+        bias: bool = True,
+        weight_filler="xavier",
+        bias_filler=None,
+    ):
+        super().__init__(name)
+        if num_output <= 0 or kernel_size <= 0 or stride <= 0 or pad < 0 or group <= 0:
+            raise ValueError(f"layer {name!r}: invalid convolution geometry")
+        if num_output % group:
+            raise ValueError(f"layer {name!r}: num_output {num_output} not divisible by group {group}")
+        self.num_output = int(num_output)
+        self.kernel_size = int(kernel_size)
+        self.stride = int(stride)
+        self.pad = int(pad)
+        self.group = int(group)
+        self.bias = bool(bias)
+        self._weight_filler = get_filler(weight_filler) if weight_filler else xavier()
+        self._bias_filler = get_filler(bias_filler) if bias_filler else constant(0.0)
+        self._cache = None
+
+    # --------------------------------------------------------------- set-up
+    def _infer_shape(self, in_shape):
+        if len(in_shape) != 3:
+            raise ShapeError(f"layer {self.name!r} expects (C, H, W) input, got {in_shape}")
+        c, h, w = in_shape
+        if c % self.group:
+            raise ShapeError(f"layer {self.name!r}: {c} channels not divisible by group {self.group}")
+        self.in_channels = c
+        self.out_h = conv_output_size(h, self.kernel_size, self.stride, self.pad)
+        self.out_w = conv_output_size(w, self.kernel_size, self.stride, self.pad)
+        return (self.num_output, self.out_h, self.out_w)
+
+    def _declare_params(self):
+        k = self.kernel_size
+        cin_g = self.in_channels // self.group
+        self.weight = self._add_param("weight", (self.num_output, cin_g, k, k), self._weight_filler)
+        if self.bias:
+            self.bias_blob = self._add_param("bias", (self.num_output,), self._bias_filler)
+
+    # -------------------------------------------------------------- compute
+    def forward(self, x, train=False):
+        self._check_input(x)
+        n = x.shape[0]
+        g = self.group
+        k = self.kernel_size
+        cin_g = self.in_channels // g
+        cout_g = self.num_output // g
+        cols = im2col(x, k, k, self.stride, self.pad)  # (N, C*k*k, L)
+        length = self.out_h * self.out_w
+        cols_g = cols.reshape(n, g, cin_g * k * k, length)
+        w = self.weight.require_data().reshape(g, cout_g, cin_g * k * k)
+        y = np.einsum("gok,ngkl->ngol", w, cols_g, optimize=True)
+        y = y.reshape(n, self.num_output, self.out_h, self.out_w)
+        if self.bias:
+            y += self.bias_blob.require_data()[None, :, None, None]
+        if train:
+            self._cache = (cols_g, x.shape)
+        return y
+
+    def backward(self, dout):
+        if self._cache is None:
+            raise RuntimeError(f"layer {self.name!r}: backward before forward(train=True)")
+        cols_g, x_shape = self._cache
+        n = dout.shape[0]
+        g = self.group
+        k = self.kernel_size
+        cin_g = self.in_channels // g
+        cout_g = self.num_output // g
+        length = self.out_h * self.out_w
+        dout_g = dout.reshape(n, g, cout_g, length)
+        dw = np.einsum("ngol,ngkl->gok", dout_g, cols_g, optimize=True)
+        self.weight.grad += dw.reshape(self.weight.shape)
+        if self.bias:
+            self.bias_blob.grad += dout.sum(axis=(0, 2, 3))
+        w = self.weight.require_data().reshape(g, cout_g, cin_g * k * k)
+        dcols = np.einsum("gok,ngol->ngkl", w, dout_g, optimize=True)
+        dcols = dcols.reshape(n, self.in_channels * k * k, length)
+        return col2im(dcols, x_shape, k, k, self.stride, self.pad)
+
+    # ------------------------------------------------------ cost accounting
+    def flops_per_sample(self) -> int:
+        k = self.kernel_size
+        cin_g = self.in_channels // self.group
+        flops = 2 * self.num_output * cin_g * k * k * self.out_h * self.out_w
+        if self.bias:
+            flops += self.num_output * self.out_h * self.out_w
+        return flops
+
+    def gemm_shapes(self, batch: int) -> List[GemmShape]:
+        k = self.kernel_size
+        cin_g = self.in_channels // self.group
+        cout_g = self.num_output // self.group
+        length = self.out_h * self.out_w * int(batch)
+        return [(cout_g, length, cin_g * k * k)] * self.group

@@ -1,0 +1,45 @@
+"""Dropout (AlexNet fc6/fc7, DeepFace F7).  Identity at inference, which is
+the only mode the DjiNN service exercises; training applies inverted dropout
+so inference needs no rescaling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Layer, register_layer
+
+__all__ = ["DropoutLayer"]
+
+
+@register_layer
+class DropoutLayer(Layer):
+    type_name = "Dropout"
+
+    def __init__(self, name: str, ratio: float = 0.5, seed: int = 0):
+        super().__init__(name)
+        if not 0.0 <= ratio < 1.0:
+            raise ValueError(f"layer {name!r}: dropout ratio must be in [0, 1), got {ratio}")
+        self.ratio = float(ratio)
+        self._rng = np.random.default_rng(seed)
+        self._mask = None
+
+    def _infer_shape(self, in_shape):
+        return in_shape
+
+    def forward(self, x, train=False):
+        self._check_input(x)
+        if not train or self.ratio == 0.0:
+            return x
+        keep = 1.0 - self.ratio
+        self._mask = (self._rng.random(x.shape) < keep).astype(x.dtype) / keep
+        return x * self._mask
+
+    def backward(self, dout):
+        if self._mask is None:
+            # forward ran in inference mode (or ratio 0): identity gradient
+            return dout
+        return dout * self._mask
+
+    def flops_per_sample(self) -> int:
+        return 0  # free at inference, which is what the service runs

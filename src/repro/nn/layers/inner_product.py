@@ -1,0 +1,88 @@
+"""Fully-connected (inner product) layer — the GEMM at the heart of every
+Tonic DNN (Kaldi's acoustic model and all three SENNA networks are stacks of
+these, and the classifier layers of every CNN are too).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from ..initializers import constant, get_filler, xavier
+from .base import GemmShape, Layer, ShapeError, register_layer
+
+__all__ = ["InnerProductLayer"]
+
+
+@register_layer
+class InnerProductLayer(Layer):
+    """``y = x @ W.T + b`` with ``W`` of shape ``(num_output, fan_in)``.
+
+    Any input shape is accepted and flattened, as in Caffe.
+    """
+
+    type_name = "InnerProduct"
+
+    def __init__(
+        self,
+        name: str,
+        num_output: int,
+        bias: bool = True,
+        weight_filler="xavier",
+        bias_filler=None,
+    ):
+        super().__init__(name)
+        if num_output <= 0:
+            raise ValueError(f"layer {name!r}: num_output must be positive")
+        self.num_output = int(num_output)
+        self.bias = bool(bias)
+        self._weight_filler = get_filler(weight_filler) if weight_filler else xavier()
+        self._bias_filler = get_filler(bias_filler) if bias_filler else constant(0.0)
+        self._x_flat = None
+
+    # --------------------------------------------------------------- set-up
+    def _infer_shape(self, in_shape):
+        self.fan_in = int(math.prod(in_shape))
+        return (self.num_output,)
+
+    def _declare_params(self):
+        self.weight = self._add_param("weight", (self.num_output, self.fan_in), self._weight_filler)
+        if self.bias:
+            self.bias_blob = self._add_param("bias", (self.num_output,), self._bias_filler)
+
+    # -------------------------------------------------------------- compute
+    def forward(self, x, train=False):
+        self._check_input(x)
+        w = self.weight.require_data()
+        x2 = x.reshape(x.shape[0], self.fan_in)
+        y = x2 @ w.T
+        if self.bias:
+            y += self.bias_blob.require_data()
+        if train:
+            self._x_flat = x2
+            self._x_shape = x.shape
+        return y
+
+    def backward(self, dout):
+        if self._x_flat is None:
+            raise RuntimeError(f"layer {self.name!r}: backward before forward(train=True)")
+        if dout.shape != (self._x_flat.shape[0], self.num_output):
+            raise ShapeError(f"layer {self.name!r}: bad gradient shape {dout.shape}")
+        self.weight.grad += dout.T @ self._x_flat
+        if self.bias:
+            self.bias_blob.grad += dout.sum(axis=0)
+        dx = dout @ self.weight.require_data()
+        return dx.reshape(self._x_shape)
+
+    # ------------------------------------------------------ cost accounting
+    def flops_per_sample(self) -> int:
+        flops = 2 * self.num_output * self.fan_in
+        if self.bias:
+            flops += self.num_output
+        return flops
+
+    def gemm_shapes(self, batch: int) -> List[GemmShape]:
+        # C[num_output x batch] = W[num_output x fan_in] @ X[fan_in x batch]
+        return [(self.num_output, int(batch), self.fan_in)]

@@ -1,0 +1,72 @@
+"""Local Response Normalization (cross-channel), as used by AlexNet."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Layer, ShapeError, register_layer
+
+__all__ = ["LRNLayer"]
+
+
+def _channel_window_sum(x: np.ndarray, half: int) -> np.ndarray:
+    """Sum over a sliding channel window of radius ``half`` (axis=1)."""
+    c = x.shape[1]
+    csum = np.concatenate(
+        [np.zeros_like(x[:, :1]), np.cumsum(x, axis=1)], axis=1
+    )  # csum[:, i] = sum of first i channels
+    lo = np.clip(np.arange(c) - half, 0, c)
+    hi = np.clip(np.arange(c) + half + 1, 0, c)
+    return csum[:, hi] - csum[:, lo]
+
+
+@register_layer
+class LRNLayer(Layer):
+    """``y_i = x_i / (k + alpha/n * sum_{j near i} x_j^2)^beta``.
+
+    Defaults are AlexNet's (local_size=5, alpha=1e-4, beta=0.75, k=1).
+    """
+
+    type_name = "LRN"
+
+    def __init__(self, name: str, local_size: int = 5, alpha: float = 1e-4, beta: float = 0.75, k: float = 1.0):
+        super().__init__(name)
+        if local_size <= 0 or local_size % 2 == 0:
+            raise ValueError(f"layer {name!r}: local_size must be odd and positive")
+        self.local_size = int(local_size)
+        self.alpha = float(alpha)
+        self.beta = float(beta)
+        self.k = float(k)
+        self._cache = None
+
+    def _infer_shape(self, in_shape):
+        if len(in_shape) != 3:
+            raise ShapeError(f"layer {self.name!r} expects (C, H, W) input, got {in_shape}")
+        return in_shape
+
+    def forward(self, x, train=False):
+        self._check_input(x)
+        half = (self.local_size - 1) // 2
+        scale = self.k + (self.alpha / self.local_size) * _channel_window_sum(x * x, half)
+        y = x * np.power(scale, -self.beta)
+        if train:
+            self._cache = (x, scale)
+        return y
+
+    def backward(self, dout):
+        if self._cache is None:
+            raise RuntimeError(f"layer {self.name!r}: backward before forward(train=True)")
+        x, scale = self._cache
+        half = (self.local_size - 1) // 2
+        pow_term = np.power(scale, -self.beta)
+        # dL/dx_m = dout_m * scale_m^-b
+        #         - (2*a*b/n) * x_m * sum_{i: m in window(i)} dout_i x_i scale_i^{-b-1}
+        inner = dout * x * pow_term / scale
+        window = _channel_window_sum(inner, half)
+        coeff = 2.0 * self.alpha * self.beta / self.local_size
+        return dout * pow_term - coeff * x * window
+
+    def flops_per_sample(self) -> int:
+        assert self.in_shape is not None
+        # square, window-sum, scale, pow, multiply: ~ (local_size + 4) per elem
+        return (self.local_size + 4) * int(np.prod(self.in_shape))

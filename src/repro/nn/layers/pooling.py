@@ -1,0 +1,103 @@
+"""Max and average pooling (the downsampling stages of the CNN pipelines)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ._im2col import conv_output_size
+from .base import Layer, ShapeError, register_layer
+
+__all__ = ["PoolingLayer"]
+
+
+@register_layer
+class PoolingLayer(Layer):
+    """Spatial pooling over (C, H, W) inputs.
+
+    ``mode`` is ``"max"`` or ``"ave"`` (Caffe's naming).  Caffe-style *ceil*
+    output sizing is not used; windows must tile the (padded) input exactly
+    or hang off the end harmlessly via implicit -inf/0 padding.
+    """
+
+    type_name = "Pooling"
+
+    def __init__(self, name: str, kernel_size: int, stride: int = None, pad: int = 0, mode: str = "max"):
+        super().__init__(name)
+        if mode not in ("max", "ave"):
+            raise ValueError(f"layer {name!r}: mode must be 'max' or 'ave', got {mode!r}")
+        if kernel_size <= 0 or pad < 0:
+            raise ValueError(f"layer {name!r}: invalid pooling geometry")
+        self.kernel_size = int(kernel_size)
+        self.stride = int(stride) if stride is not None else int(kernel_size)
+        self.pad = int(pad)
+        self.mode = mode
+        self._cache = None
+
+    def _infer_shape(self, in_shape):
+        if len(in_shape) != 3:
+            raise ShapeError(f"layer {self.name!r} expects (C, H, W) input, got {in_shape}")
+        c, h, w = in_shape
+        self.out_h = conv_output_size(h, self.kernel_size, self.stride, self.pad)
+        self.out_w = conv_output_size(w, self.kernel_size, self.stride, self.pad)
+        return (c, self.out_h, self.out_w)
+
+    def _windows(self, x):
+        k, s, p = self.kernel_size, self.stride, self.pad
+        if p:
+            fill = -np.inf if self.mode == "max" else 0.0
+            x = np.pad(x, ((0, 0), (0, 0), (p, p), (p, p)), constant_values=fill)
+        s0, s1, s2, s3 = x.strides
+        return np.lib.stride_tricks.as_strided(
+            x,
+            shape=(x.shape[0], x.shape[1], self.out_h, self.out_w, k, k),
+            strides=(s0, s1, s2 * s, s3 * s, s2, s3),
+            writeable=False,
+        )
+
+    def forward(self, x, train=False):
+        self._check_input(x)
+        win = self._windows(x)
+        flat = win.reshape(*win.shape[:4], -1)
+        if self.mode == "max":
+            idx = flat.argmax(axis=-1)
+            y = np.take_along_axis(flat, idx[..., None], axis=-1)[..., 0]
+        else:
+            y = flat.mean(axis=-1)
+            idx = None
+        if train:
+            self._cache = (idx, x.shape)
+        return np.ascontiguousarray(y)
+
+    def backward(self, dout):
+        if self._cache is None:
+            raise RuntimeError(f"layer {self.name!r}: backward before forward(train=True)")
+        idx, x_shape = self._cache
+        k, s, p = self.kernel_size, self.stride, self.pad
+        n, c, h, w = x_shape
+        hp, wp = h + 2 * p, w + 2 * p
+        dxp = np.zeros((n, c, hp, wp), dtype=dout.dtype)
+        oh, ow = self.out_h, self.out_w
+        if self.mode == "max":
+            ki, kj = np.divmod(idx, k)  # (n, c, oh, ow)
+            base_i = np.arange(oh)[None, None, :, None] * s
+            base_j = np.arange(ow)[None, None, None, :] * s
+            rows = (base_i + ki).ravel()
+            cols = (base_j + kj).ravel()
+            nn, cc = np.meshgrid(np.arange(n), np.arange(c), indexing="ij")
+            nn = np.broadcast_to(nn[..., None, None], idx.shape).ravel()
+            cc = np.broadcast_to(cc[..., None, None], idx.shape).ravel()
+            np.add.at(dxp, (nn, cc, rows, cols), dout.ravel())
+        else:
+            share = dout / (k * k)
+            for i in range(k):
+                for j in range(k):
+                    dxp[:, :, i : i + s * oh : s, j : j + s * ow : s] += share
+        if p:
+            return dxp[:, :, p : p + h, p : p + w]
+        return dxp
+
+    def flops_per_sample(self) -> int:
+        # one compare/add per window element
+        assert self.out_shape is not None
+        c = self.out_shape[0]
+        return c * self.out_h * self.out_w * self.kernel_size * self.kernel_size

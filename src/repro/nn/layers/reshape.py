@@ -1,0 +1,29 @@
+"""Shape-adapting layers: Flatten (CNN -> classifier handoff)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .base import Layer, register_layer
+
+__all__ = ["FlattenLayer"]
+
+
+@register_layer
+class FlattenLayer(Layer):
+    """Flatten all sample dimensions to a vector (Caffe's ``Flatten``)."""
+
+    type_name = "Flatten"
+
+    def _infer_shape(self, in_shape):
+        return (int(math.prod(in_shape)),)
+
+    def forward(self, x, train=False):
+        self._check_input(x)
+        self._in_batch_shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, dout):
+        return dout.reshape(self._in_batch_shape)

@@ -1,0 +1,102 @@
+"""Declarative network specifications — the prototxt analogue.
+
+A :class:`NetSpec` is a named, validated, serializable description of a
+feed-forward network: an input shape plus an ordered list of
+:class:`LayerSpec` entries.  Model factories in :mod:`repro.models` produce
+these; :class:`repro.nn.network.Net` instantiates them; the DjiNN model
+registry ships them to the service; and :mod:`repro.gpusim` costs them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from .layers.base import create_layer, layer_registry
+
+__all__ = ["LayerSpec", "NetSpec"]
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """One layer: a registered type name, a unique name, and its parameters."""
+
+    type: str
+    name: str
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def validate(self) -> None:
+        if self.type not in layer_registry():
+            raise ValueError(
+                f"layer {self.name!r}: unknown type {self.type!r}; "
+                f"known: {sorted(layer_registry())}"
+            )
+        if not self.name:
+            raise ValueError("layer name must be non-empty")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"type": self.type, "name": self.name, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "LayerSpec":
+        return cls(type=d["type"], name=d["name"], params=dict(d.get("params", {})))
+
+
+@dataclass(frozen=True)
+class NetSpec:
+    """A whole network: name, per-sample input shape, ordered layers."""
+
+    name: str
+    input_shape: Tuple[int, ...]
+    layers: Tuple[LayerSpec, ...]
+
+    def __post_init__(self):
+        object.__setattr__(self, "input_shape", tuple(int(d) for d in self.input_shape))
+        object.__setattr__(self, "layers", tuple(self.layers))
+        self.validate()
+
+    def validate(self) -> None:
+        if not self.layers:
+            raise ValueError(f"net {self.name!r} has no layers")
+        if any(d <= 0 for d in self.input_shape):
+            raise ValueError(f"net {self.name!r}: bad input shape {self.input_shape}")
+        seen = set()
+        for spec in self.layers:
+            spec.validate()
+            if spec.name in seen:
+                raise ValueError(f"net {self.name!r}: duplicate layer name {spec.name!r}")
+            seen.add(spec.name)
+
+    # ------------------------------------------------------------ utilities
+    def build_layers(self) -> List:
+        """Instantiate (but do not set up) the layer objects."""
+        return [create_layer(s.type, s.name, **s.params) for s in self.layers]
+
+    def without(self, *types: str) -> "NetSpec":
+        """A copy with all layers of the given types removed.
+
+        Used by the trainer to strip the inference-time Softmax when the
+        fused softmax-cross-entropy loss is applied instead.
+        """
+        kept = tuple(s for s in self.layers if s.type not in types)
+        return NetSpec(name=self.name, input_shape=self.input_shape, layers=kept)
+
+    @property
+    def depth(self) -> int:
+        """Layer count as the paper's Table 1 counts layers (all stages)."""
+        return len(self.layers)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "input_shape": list(self.input_shape),
+            "layers": [s.to_dict() for s in self.layers],
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "NetSpec":
+        return cls(
+            name=d["name"],
+            input_shape=tuple(d["input_shape"]),
+            layers=tuple(LayerSpec.from_dict(s) for s in d["layers"]),
+        )

@@ -1,0 +1,112 @@
+"""Minibatch SGD training.
+
+The paper serves *pre-trained* models; training is out of its scope, but a
+reproduction needs weights from somewhere.  Large nets get seeded synthetic
+weights (throughput does not depend on weight values); the small nets (DIG's
+LeNet-5, SENNA's taggers) are genuinely trained on synthetic datasets with
+this solver so the end-to-end examples classify correctly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from .layers.softmax import softmax_cross_entropy
+from .network import Net
+
+__all__ = ["SgdSolver", "TrainLog", "accuracy"]
+
+
+@dataclass
+class TrainLog:
+    """Per-step loss history plus per-epoch evaluation accuracy."""
+
+    losses: List[float] = field(default_factory=list)
+    epoch_accuracy: List[float] = field(default_factory=list)
+
+
+def accuracy(net: Net, inputs: np.ndarray, labels: np.ndarray, batch: int = 256) -> float:
+    """Top-1 accuracy of ``net`` over a dataset."""
+    if len(inputs) == 0:
+        raise ValueError("empty evaluation set")
+    correct = 0
+    for start in range(0, len(inputs), batch):
+        xb = inputs[start : start + batch]
+        yb = labels[start : start + batch]
+        correct += int((net.predict(xb) == yb).sum())
+    return correct / len(inputs)
+
+
+class SgdSolver:
+    """Plain SGD with momentum and L2 weight decay (Caffe's default solver).
+
+    The solver trains a net whose final layer emits *logits*; the softmax and
+    cross-entropy are fused in the loss (build nets for training with
+    ``spec.without("Softmax")``).
+    """
+
+    def __init__(
+        self,
+        net: Net,
+        lr: float = 0.01,
+        momentum: float = 0.9,
+        weight_decay: float = 0.0,
+        lr_decay: float = 1.0,
+    ):
+        if not net.materialized:
+            raise ValueError("materialize the net before constructing a solver")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.net = net
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.lr_decay = lr_decay
+        self._velocity = [np.zeros(b.shape, dtype=np.float32) for b in net.params()]
+
+    def step(self, x: np.ndarray, labels: np.ndarray) -> float:
+        """One forward/backward/update step on a minibatch; returns the loss."""
+        self.net.zero_grad()
+        logits = self.net.forward(x, train=True)
+        loss, dlogits = softmax_cross_entropy(logits, labels)
+        self.net.backward(dlogits)
+        for blob, vel in zip(self.net.params(), self._velocity):
+            grad = blob.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * blob.data
+            vel *= self.momentum
+            vel -= self.lr * grad
+            blob.data += vel
+        return loss
+
+    def fit(
+        self,
+        inputs: np.ndarray,
+        labels: np.ndarray,
+        epochs: int = 1,
+        batch: int = 32,
+        seed: int = 0,
+        eval_set: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+        on_epoch: Optional[Callable[[int, TrainLog], None]] = None,
+    ) -> TrainLog:
+        """Train over a dataset for ``epochs`` passes with shuffling."""
+        if len(inputs) != len(labels):
+            raise ValueError("inputs and labels disagree on length")
+        rng = np.random.default_rng(seed)
+        log = TrainLog()
+        for epoch in range(epochs):
+            order = rng.permutation(len(inputs))
+            for start in range(0, len(inputs), batch):
+                idx = order[start : start + batch]
+                log.losses.append(self.step(inputs[idx], labels[idx]))
+            if eval_set is not None:
+                log.epoch_accuracy.append(accuracy(self.net, *eval_set))
+            if on_epoch is not None:
+                on_epoch(epoch, log)
+            self.lr *= self.lr_decay
+        return log

@@ -1,0 +1,89 @@
+"""Static cost accounting over a network: per-layer FLOPs, GEMM shapes,
+parameter and activation traffic.  This is the contract between the
+functional framework (:mod:`repro.nn`) and the GPU performance model
+(:mod:`repro.gpusim`): the same lowering that executes on numpy is what gets
+costed on the modeled K40.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from .network import Net
+from .tensor import FLOAT_BYTES
+
+__all__ = ["LayerCost", "NetCost", "analyze"]
+
+
+@dataclass(frozen=True)
+class LayerCost:
+    """Cost profile of one layer at a given batch size."""
+
+    name: str
+    type: str
+    flops: int                      # total forward FLOPs for the batch
+    gemms: Tuple[Tuple[int, int, int], ...]  # (M, N, K) per lowered GEMM
+    param_bytes: int                # weight bytes the layer must stream
+    activation_bytes: int           # input read + output written
+
+    @property
+    def is_gemm(self) -> bool:
+        return bool(self.gemms)
+
+
+@dataclass(frozen=True)
+class NetCost:
+    """Aggregate cost profile of a network at a given batch size."""
+
+    net_name: str
+    batch: int
+    layers: Tuple[LayerCost, ...]
+
+    @property
+    def total_flops(self) -> int:
+        return sum(l.flops for l in self.layers)
+
+    @property
+    def total_param_bytes(self) -> int:
+        return sum(l.param_bytes for l in self.layers)
+
+    @property
+    def total_activation_bytes(self) -> int:
+        return sum(l.activation_bytes for l in self.layers)
+
+    @property
+    def gemm_count(self) -> int:
+        return sum(len(l.gemms) for l in self.layers)
+
+    @property
+    def kernel_count(self) -> int:
+        """Kernel launches: each GEMM plus one kernel per non-GEMM layer."""
+        return sum(len(l.gemms) if l.is_gemm else 1 for l in self.layers)
+
+
+def analyze(net: Net, batch: int = 1) -> NetCost:
+    """Compute the :class:`NetCost` of ``net`` at ``batch`` (no weights needed)."""
+    if batch <= 0:
+        raise ValueError(f"batch must be positive, got {batch}")
+    layers: List[LayerCost] = []
+    for layer in net.layers:
+        layers.append(
+            LayerCost(
+                name=layer.name,
+                type=layer.type_name,
+                flops=layer.flops_per_sample() * batch,
+                gemms=tuple(layer.gemm_shapes(batch)),
+                param_bytes=layer.param_bytes(),
+                activation_bytes=layer.activation_bytes_per_sample() * batch,
+            )
+        )
+    return NetCost(net_name=net.name, batch=batch, layers=tuple(layers))
+
+
+def input_bytes(net: Net, batch: int = 1) -> int:
+    """Bytes of raw float input a batch ships to the device."""
+    size = 1
+    for d in net.input_shape:
+        size *= d
+    return size * batch * FLOAT_BYTES

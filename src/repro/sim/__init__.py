@@ -1,0 +1,34 @@
+"""``repro.sim`` — a dependency-free discrete-event simulation substrate.
+
+Generator-based processes, FIFO resources, queueing stations with latency
+statistics, and open/closed-loop load generators.  Used to study the
+service's queueing behaviour (latency under load, saturation knees) on top
+of the GPU model's service times.
+"""
+
+from .cluster import DjinnEndpointSim, LoadPoint
+from .wscflow import DesignLatency, compare_designs, simulate_design_flow
+from .core import Acquire, Environment, Process, Release, Resource, SimError, Timeout
+from .loadgen import closed_loop_clients, poisson_arrivals, run_closed_loop, run_open_loop
+from .queueing import LatencyStats, Station
+
+__all__ = [
+    "DjinnEndpointSim",
+    "LoadPoint",
+    "DesignLatency",
+    "compare_designs",
+    "simulate_design_flow",
+    "Acquire",
+    "Environment",
+    "Process",
+    "Release",
+    "Resource",
+    "SimError",
+    "Timeout",
+    "LatencyStats",
+    "Station",
+    "closed_loop_clients",
+    "poisson_arrivals",
+    "run_closed_loop",
+    "run_open_loop",
+]

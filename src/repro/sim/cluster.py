@@ -1,0 +1,109 @@
+"""Service-level queueing simulation of a DjiNN deployment.
+
+Connects the GPU performance model to the DES substrate: an endpoint of
+``gpus`` devices serves one application at a fixed batch size; queries
+arrive open-loop (Poisson) and are coalesced into batches.  This is the
+queueing story behind the paper's latency figures — "as the throughput
+plateaus ... the queuing delay starts to dominate the latency" (§5.1) —
+made quantitative: latency-vs-load curves with tail percentiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..gpusim.appmodel import AppModel
+from ..gpusim.device import PLATFORM, PlatformSpec
+from .core import Environment, Timeout
+from .queueing import Station
+
+__all__ = ["LoadPoint", "DjinnEndpointSim"]
+
+
+@dataclass(frozen=True)
+class LoadPoint:
+    """Latency behaviour of the endpoint at one offered load."""
+
+    offered_qps: float
+    achieved_qps: float
+    mean_latency_s: float
+    p99_latency_s: float
+    utilization: float
+
+
+class DjinnEndpointSim:
+    """An N-GPU DjiNN endpoint for one application.
+
+    Queries arrive Poisson at ``offered_qps`` and are coalesced into
+    batches of the application's batch size (a batch departs when full —
+    the paper's saturated-load regime); each batch occupies one GPU for
+    the modeled batched forward-pass time.
+    """
+
+    def __init__(
+        self,
+        model: AppModel,
+        gpus: int = 1,
+        batch: Optional[int] = None,
+        platform: PlatformSpec = PLATFORM,
+    ):
+        if gpus < 1:
+            raise ValueError("need at least one GPU")
+        self.model = model
+        self.gpus = gpus
+        self.batch = batch or model.best_batch
+        self.platform = platform
+        self.batch_service_s = model.gpu_query_time(self.batch, platform)
+
+    @property
+    def capacity_qps(self) -> float:
+        """Saturation throughput of the endpoint (queries/second)."""
+        return self.gpus * self.batch / self.batch_service_s
+
+    def run(self, offered_qps: float, queries: int = 5000, seed: int = 0) -> LoadPoint:
+        """Simulate ``queries`` arrivals at ``offered_qps``."""
+        if offered_qps <= 0:
+            raise ValueError("offered_qps must be positive")
+        env = Environment()
+        station = Station(env, servers=self.gpus,
+                          service_time=lambda n: self.batch_service_s,
+                          name=f"{self.model.app}-endpoint")
+        rng = np.random.default_rng(seed)
+        #: per-query arrival times, for end-to-end (arrival -> batch done) latency
+        waiting: List[float] = []
+        query_latency: List[float] = []
+
+        def arrivals():
+            for _ in range(queries):
+                yield Timeout(float(rng.exponential(1.0 / offered_qps)))
+                waiting.append(env.now)
+                if len(waiting) >= self.batch:
+                    batch_arrivals = waiting[:]
+                    waiting.clear()
+                    proc = station.submit(len(batch_arrivals))
+
+                    def record(p=proc, arrived=batch_arrivals):
+                        yield p
+                        for t in arrived:
+                            query_latency.append(env.now - t)
+
+                    env.process(record())
+
+        env.process(arrivals())
+        env.run()
+        lat = np.asarray(query_latency) if query_latency else np.zeros(1)
+        return LoadPoint(
+            offered_qps=offered_qps,
+            achieved_qps=len(query_latency) / env.now if env.now > 0 else 0.0,
+            mean_latency_s=float(lat.mean()),
+            p99_latency_s=float(np.percentile(lat, 99)),
+            utilization=station.utilization(),
+        )
+
+    def load_sweep(self, fractions=(0.2, 0.4, 0.6, 0.8, 0.9, 0.95),
+                   queries: int = 5000, seed: int = 0) -> List[LoadPoint]:
+        """Latency across offered loads, as fractions of capacity."""
+        return [self.run(f * self.capacity_qps, queries, seed) for f in fractions]

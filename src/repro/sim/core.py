@@ -1,0 +1,178 @@
+"""A small discrete-event simulation kernel.
+
+Generator-based processes over an event heap, in the style of SimPy but a
+few hundred lines and dependency-free.  Processes are Python generators that
+yield commands:
+
+* ``Timeout(delay)``    — sleep for ``delay`` simulated seconds
+* ``Acquire(resource)`` — wait for one unit of a resource (FIFO)
+* ``Release(resource)`` — return a unit
+* another process       — wait for that process to finish
+
+The queueing layer (:mod:`repro.sim.queueing`) and the service-cluster load
+generator (:mod:`repro.sim.loadgen`) build on this to measure the latency
+behaviour the paper's Figures 7c and 9 report.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from typing import Any, Callable, Generator, List, Optional
+
+__all__ = ["Environment", "Process", "Resource", "Timeout", "Acquire", "Release", "SimError"]
+
+
+class SimError(RuntimeError):
+    """Misuse of the simulation kernel (e.g. releasing an idle resource)."""
+
+
+class Timeout:
+    """Yield to sleep for ``delay`` simulated seconds."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        self.delay = delay
+
+
+class Resource:
+    """A counted FIFO resource (``capacity`` concurrent holders)."""
+
+    def __init__(self, env: "Environment", capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.name = name or f"resource@{id(self):x}"
+        self.in_use = 0
+        self.queue: deque = deque()
+        #: total simulated time integral of in_use (for utilization reports)
+        self._busy_integral = 0.0
+        self._last_change = 0.0
+
+    def _account(self) -> None:
+        now = self.env.now
+        self._busy_integral += self.in_use * (now - self._last_change)
+        self._last_change = now
+
+    def utilization(self) -> float:
+        """Average fraction of capacity held since t=0."""
+        self._account()
+        if self.env.now <= 0:
+            return 0.0
+        return self._busy_integral / (self.env.now * self.capacity)
+
+
+class Acquire:
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: Resource):
+        self.resource = resource
+
+
+class Release:
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: Resource):
+        self.resource = resource
+
+
+class Process:
+    """A running generator; yielding on it waits for completion."""
+
+    def __init__(self, env: "Environment", generator: Generator, name: str = ""):
+        self.env = env
+        self.generator = generator
+        self.name = name
+        self.finished = False
+        self.value: Any = None
+        self._waiters: List["Process"] = []
+
+
+class Environment:
+    """The event loop: schedules processes on a time-ordered heap."""
+
+    def __init__(self):
+        self.now = 0.0
+        self._heap: List = []
+        self._counter = itertools.count()
+        self._active = 0
+
+    # ------------------------------------------------------------ scheduling
+    def schedule(self, process: Process, delay: float = 0.0) -> None:
+        heapq.heappush(self._heap, (self.now + delay, next(self._counter), process))
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Register and start a new process."""
+        proc = Process(self, generator, name)
+        self._active += 1
+        self.schedule(proc)
+        return proc
+
+    def timeout(self, delay: float) -> Timeout:
+        return Timeout(delay)
+
+    # -------------------------------------------------------------- running
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the heap drains or simulated time reaches ``until``."""
+        while self._heap:
+            at, _seq, proc = self._heap[0]
+            if until is not None and at > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._heap)
+            self.now = at
+            self._step(proc)
+        return self.now
+
+    def _step(self, proc: Process) -> None:
+        try:
+            command = next(proc.generator)
+        except StopIteration as stop:
+            self._finish(proc, getattr(stop, "value", None))
+            return
+        if isinstance(command, Timeout):
+            self.schedule(proc, command.delay)
+        elif isinstance(command, Acquire):
+            self._acquire(proc, command.resource)
+        elif isinstance(command, Release):
+            self._release(command.resource)
+            self.schedule(proc)
+        elif isinstance(command, Process):
+            if command.finished:
+                self.schedule(proc)
+            else:
+                command._waiters.append(proc)
+        else:
+            raise SimError(f"process {proc.name!r} yielded unknown command {command!r}")
+
+    def _finish(self, proc: Process, value: Any) -> None:
+        proc.finished = True
+        proc.value = value
+        self._active -= 1
+        for waiter in proc._waiters:
+            self.schedule(waiter)
+        proc._waiters.clear()
+
+    # ------------------------------------------------------------ resources
+    def _acquire(self, proc: Process, resource: Resource) -> None:
+        resource._account()
+        if resource.in_use < resource.capacity:
+            resource.in_use += 1
+            self.schedule(proc)
+        else:
+            resource.queue.append(proc)
+
+    def _release(self, resource: Resource) -> None:
+        resource._account()
+        if resource.in_use <= 0:
+            raise SimError(f"release of idle resource {resource.name!r}")
+        if resource.queue:
+            nxt = resource.queue.popleft()
+            self.schedule(nxt)  # hand the unit straight to the next waiter
+        else:
+            resource.in_use -= 1

@@ -1,0 +1,79 @@
+"""Load generators: open-loop Poisson arrivals and closed-loop clients.
+
+The paper's throughput experiments drive DjiNN closed-loop (clients issue
+the next query as soon as the previous returns); its latency-vs-load
+behaviour is the open-loop view.  Both are provided.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from .core import Environment, Timeout
+from .queueing import Station
+
+__all__ = ["poisson_arrivals", "closed_loop_clients", "run_open_loop", "run_closed_loop"]
+
+
+def poisson_arrivals(
+    env: Environment,
+    station: Station,
+    rate_qps: float,
+    count: int,
+    seed: int = 0,
+    payload: Callable[[int], object] = lambda i: i,
+):
+    """Submit ``count`` requests with exponential inter-arrival times."""
+    if rate_qps <= 0:
+        raise ValueError(f"arrival rate must be positive, got {rate_qps}")
+    rng = np.random.default_rng(seed)
+
+    def generator():
+        for i in range(count):
+            yield Timeout(float(rng.exponential(1.0 / rate_qps)))
+            station.submit(payload(i))
+
+    return env.process(generator(), name="poisson-arrivals")
+
+
+def closed_loop_clients(
+    env: Environment,
+    station: Station,
+    clients: int,
+    queries_per_client: int,
+    think_time_s: float = 0.0,
+    payload: Callable[[int], object] = lambda i: i,
+):
+    """``clients`` independent clients, each issuing queries back-to-back."""
+    if clients < 1:
+        raise ValueError("need at least one client")
+
+    def client(cid: int):
+        for i in range(queries_per_client):
+            request = station.submit(payload(cid * queries_per_client + i))
+            yield request
+            if think_time_s:
+                yield Timeout(think_time_s)
+
+    return [env.process(client(c), name=f"client-{c}") for c in range(clients)]
+
+
+def run_open_loop(station: Station, rate_qps: float, count: int = 2000, seed: int = 0):
+    """Drive a station open-loop; returns (achieved_qps, stats)."""
+    env = station.env
+    poisson_arrivals(env, station, rate_qps, count, seed=seed)
+    env.run()
+    qps = station.stats.count / env.now if env.now > 0 else 0.0
+    return qps, station.stats
+
+
+def run_closed_loop(station: Station, clients: int, queries_per_client: int = 100,
+                    think_time_s: float = 0.0):
+    """Drive a station closed-loop; returns (achieved_qps, stats)."""
+    env = station.env
+    closed_loop_clients(env, station, clients, queries_per_client, think_time_s)
+    env.run()
+    qps = station.stats.count / env.now if env.now > 0 else 0.0
+    return qps, station.stats

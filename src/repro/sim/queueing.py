@@ -1,0 +1,71 @@
+"""Queueing building blocks on the DES kernel: latency accounting and a
+single-queue multi-server station (the shape of a DjiNN GPU endpoint).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List
+
+import numpy as np
+
+from .core import Acquire, Environment, Release, Resource, Timeout
+
+__all__ = ["LatencyStats", "Station"]
+
+
+@dataclass
+class LatencyStats:
+    """Collected per-request latencies with summary accessors."""
+
+    samples: List[float] = field(default_factory=list)
+
+    def record(self, latency_s: float) -> None:
+        self.samples.append(latency_s)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    def mean(self) -> float:
+        return float(np.mean(self.samples)) if self.samples else 0.0
+
+    def percentile(self, q: float) -> float:
+        return float(np.percentile(self.samples, q)) if self.samples else 0.0
+
+
+class Station:
+    """A FIFO service station with ``servers`` parallel units.
+
+    ``service_time`` maps a request payload to its service duration — for a
+    DjiNN GPU endpoint that's the batched forward-pass time from the GPU
+    model.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        servers: int,
+        service_time: Callable[[object], float],
+        name: str = "station",
+    ):
+        self.env = env
+        self.resource = Resource(env, capacity=servers, name=name)
+        self.service_time = service_time
+        self.stats = LatencyStats()
+        self.name = name
+
+    def submit(self, payload: object):
+        """A generator process serving one request; yield it to wait."""
+
+        def request():
+            arrived = self.env.now
+            yield Acquire(self.resource)
+            yield Timeout(self.service_time(payload))
+            yield Release(self.resource)
+            self.stats.record(self.env.now - arrived)
+
+        return self.env.process(request(), name=f"{self.name}-req")
+
+    def utilization(self) -> float:
+        return self.resource.utilization()

@@ -1,0 +1,127 @@
+"""Query-flow latency through the three WSC designs (Figure 14, simulated).
+
+The paper compares the CPU-only, integrated-GPU and disaggregated-GPU
+designs on *cost* at matched throughput; this simulation asks the adjacent
+question its Figure 14 arrows raise: what does each design do to a query's
+*latency*?  Each design is a pipeline of DES stations:
+
+* CPU-only        — one pool of cores runs the whole query.
+* Integrated GPU  — pre/post on the host's cores, a PCIe hop, a GPU pool.
+* Disaggregated   — pre/post on a beefy server, a *network* hop (teamed
+                    10GbE: lower bandwidth, higher latency than PCIe), then
+                    the remote GPU pool.
+
+GPU service uses the Table 3 batch's amortized per-query time; queries
+arrive open-loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from ..gpusim.appmodel import AppModel
+from ..gpusim.device import PLATFORM, PlatformSpec
+from ..gpusim.pcie import Link, PCIE_V3_X16
+from .core import Acquire, Environment, Release, Resource, Timeout
+from .queueing import LatencyStats
+
+__all__ = ["DesignLatency", "NETWORK_HOP", "simulate_design_flow", "compare_designs"]
+
+#: The disaggregated design's CPU->GPU-host hop: 16 teamed 10GbE (16 GB/s
+#: effective) with switch-traversal latency.
+NETWORK_HOP = Link("16x10GbE fabric", 20.0, protocol_overhead=0.2, latency_us=150.0)
+
+DESIGNS = ("cpu_only", "integrated", "disaggregated")
+
+
+@dataclass(frozen=True)
+class DesignLatency:
+    """One design's simulated latency behaviour for one application."""
+
+    design: str
+    mean_latency_s: float
+    p99_latency_s: float
+    achieved_qps: float
+
+
+def simulate_design_flow(
+    model: AppModel,
+    design: str,
+    offered_qps: float,
+    gpus: int = 2,
+    cpu_cores: int = 12,
+    queries: int = 2000,
+    platform: PlatformSpec = PLATFORM,
+    seed: int = 0,
+) -> DesignLatency:
+    """Open-loop simulation of one application through one design."""
+    if design not in DESIGNS:
+        raise ValueError(f"unknown design {design!r}; choose from {DESIGNS}")
+    if offered_qps <= 0:
+        raise ValueError("offered_qps must be positive")
+
+    prepost_s = model.cpu_prepost_time(platform.cpu_core)
+    cpu_full_s = model.cpu_query_time(platform.cpu_core)
+    # amortized per-query GPU time at the Table 3 batch (transfers excluded:
+    # the hop is modeled explicitly per design)
+    batch = model.best_batch
+    gpu_s = model.gpu_profile(batch, platform.gpu).time_s / batch
+    bytes_per_query = model.wire_bytes_per_query
+    hop = PCIE_V3_X16 if design == "integrated" else NETWORK_HOP
+
+    env = Environment()
+    cores = Resource(env, capacity=cpu_cores, name="cpu-cores")
+    gpu_pool = Resource(env, capacity=gpus, name="gpus")
+    link = Resource(env, capacity=1, name="hop")
+    stats = LatencyStats()
+    rng = np.random.default_rng(seed)
+
+    def query():
+        arrived = env.now
+        if design == "cpu_only":
+            yield Acquire(cores)
+            yield Timeout(cpu_full_s)
+            yield Release(cores)
+        else:
+            if prepost_s > 0:
+                yield Acquire(cores)
+                yield Timeout(prepost_s)
+                yield Release(cores)
+            yield Acquire(link)
+            yield Timeout(hop.transfer_s(bytes_per_query))
+            yield Release(link)
+            yield Acquire(gpu_pool)
+            yield Timeout(gpu_s)
+            yield Release(gpu_pool)
+        stats.record(env.now - arrived)
+
+    def arrivals():
+        for _ in range(queries):
+            yield Timeout(float(rng.exponential(1.0 / offered_qps)))
+            env.process(query())
+
+    env.process(arrivals())
+    env.run()
+    return DesignLatency(
+        design=design,
+        mean_latency_s=stats.mean(),
+        p99_latency_s=stats.percentile(99),
+        achieved_qps=stats.count / env.now if env.now > 0 else 0.0,
+    )
+
+
+def compare_designs(
+    model: AppModel,
+    offered_qps: float,
+    gpus: int = 2,
+    cpu_cores: int = 12,
+    queries: int = 2000,
+) -> Dict[str, DesignLatency]:
+    """All three designs at the same offered load."""
+    return {
+        design: simulate_design_flow(model, design, offered_qps, gpus, cpu_cores, queries)
+        for design in DESIGNS
+    }

@@ -1,0 +1,84 @@
+"""``repro.tonic`` — the Tonic Suite: 7 end-to-end DNN applications.
+
+Image tasks (IMC, DIG, FACE), speech (ASR with a real filterbank frontend
+and Viterbi decoder), and NLP (POS, CHK, NER with window features and
+sentence-level tag search).  Every app follows the paper's
+preprocess -> DNN service -> postprocess structure and can run its DNN
+stage either in-process or against a live DjiNN server.
+"""
+
+from .app import DnnBackend, LocalBackend, StageTiming, TonicApp
+from .asr import AsrApp, HmmTopology, Transcript, acoustic_training_set, frame_state_labels, words_from_phones
+from .datasets import (
+    digit_dataset,
+    face_images,
+    imagenet_like_images,
+    render_digit,
+    sentence_queries,
+    speech_queries,
+)
+from .dig import DigApp
+from .dsp import FrontendConfig, fbank_features, mfcc, splice
+from .face import FaceApp, Identification
+from .imaging import bilinear_resize, center_crop, fit_to, per_channel_standardize
+from .imc import Classification, ImcApp
+from .metrics import edit_distance, iob_spans, span_f1, tagging_accuracy, word_error_rate
+from .nlp import ChkApp, NerApp, NlpApp, PosApp, TagTransitions, tagging_training_set
+from .speechsynth import LEXICON, PHONES, synthesize_words
+from .textgen import TaggedSentence, generate_corpus, generate_sentence
+from .viterbi import beam_search, viterbi, viterbi_score
+from .vocab import Vocabulary, WindowFeaturizer
+
+__all__ = [
+    "DnnBackend",
+    "LocalBackend",
+    "StageTiming",
+    "TonicApp",
+    "AsrApp",
+    "HmmTopology",
+    "Transcript",
+    "acoustic_training_set",
+    "frame_state_labels",
+    "words_from_phones",
+    "digit_dataset",
+    "face_images",
+    "imagenet_like_images",
+    "render_digit",
+    "sentence_queries",
+    "speech_queries",
+    "DigApp",
+    "FrontendConfig",
+    "fbank_features",
+    "mfcc",
+    "splice",
+    "FaceApp",
+    "Identification",
+    "Classification",
+    "ImcApp",
+    "bilinear_resize",
+    "center_crop",
+    "fit_to",
+    "per_channel_standardize",
+    "edit_distance",
+    "word_error_rate",
+    "tagging_accuracy",
+    "iob_spans",
+    "span_f1",
+    "ChkApp",
+    "NerApp",
+    "NlpApp",
+    "PosApp",
+    "TagTransitions",
+    "tagging_training_set",
+    "LEXICON",
+    "PHONES",
+    "synthesize_words",
+    "TaggedSentence",
+    "generate_corpus",
+    "generate_sentence",
+    "viterbi",
+    "viterbi_score",
+    "beam_search",
+    "Vocabulary",
+    "WindowFeaturizer",
+]

@@ -1,0 +1,109 @@
+"""TonicApp: the common shape of every Tonic Suite application.
+
+Each application is *preprocess -> DNN -> postprocess* (paper Figure 3).
+The DNN stage is pluggable: a local :class:`repro.nn.Net`, or a
+:class:`repro.core.client.DjinnClient` request to a running DjiNN service —
+the application code is identical either way, which is the paper's central
+service-architecture point.
+
+``run`` times the three stages, producing the measured counterpart of the
+paper's Figure 4 cycle breakdown.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from ..nn.network import Net
+
+__all__ = ["StageTiming", "DnnBackend", "LocalBackend", "TonicApp"]
+
+
+@dataclass
+class StageTiming:
+    """Wall-clock seconds spent in each stage of one query."""
+
+    pre_s: float = 0.0
+    dnn_s: float = 0.0
+    post_s: float = 0.0
+
+    @property
+    def total_s(self) -> float:
+        return self.pre_s + self.dnn_s + self.post_s
+
+    @property
+    def dnn_fraction(self) -> float:
+        total = self.total_s
+        return self.dnn_s / total if total > 0 else 0.0
+
+    def __add__(self, other: "StageTiming") -> "StageTiming":
+        return StageTiming(
+            self.pre_s + other.pre_s,
+            self.dnn_s + other.dnn_s,
+            self.post_s + other.post_s,
+        )
+
+
+class DnnBackend:
+    """Anything that can evaluate a named model on a batch of inputs."""
+
+    def infer(self, model: str, inputs: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+
+class LocalBackend(DnnBackend):
+    """Run inference in-process on a materialized net (no service)."""
+
+    def __init__(self, net: Net):
+        if not net.materialized:
+            raise ValueError(f"net {net.name!r} must be materialized for a LocalBackend")
+        self.net = net
+
+    def infer(self, model: str, inputs: np.ndarray) -> np.ndarray:
+        return self.net.forward(inputs)
+
+
+class TonicApp:
+    """Base class; subclasses implement ``preprocess`` and ``postprocess``.
+
+    Parameters
+    ----------
+    app:
+        Application key (``imc``, ``dig``, ...), also the model name
+        requested from the DjiNN service.
+    backend:
+        Where the DNN stage runs.
+    """
+
+    def __init__(self, app: str, backend: DnnBackend):
+        self.app = app
+        self.backend = backend
+
+    # ------------------------------------------------------------- pipeline
+    def preprocess(self, raw: Any) -> np.ndarray:
+        """Turn a raw query into the (n, *input_shape) DNN input batch."""
+        raise NotImplementedError
+
+    def postprocess(self, outputs: np.ndarray, raw: Any) -> Any:
+        """Turn DNN outputs into the application's answer."""
+        raise NotImplementedError
+
+    def run(self, raw: Any) -> Any:
+        """Process one query end to end."""
+        result, _ = self.run_timed(raw)
+        return result
+
+    def run_timed(self, raw: Any):
+        """Process one query, returning ``(result, StageTiming)``."""
+        t0 = time.perf_counter()
+        inputs = self.preprocess(raw)
+        t1 = time.perf_counter()
+        outputs = self.backend.infer(self.app, inputs)
+        t2 = time.perf_counter()
+        result = self.postprocess(outputs, raw)
+        t3 = time.perf_counter()
+        return result, StageTiming(pre_s=t1 - t0, dnn_s=t2 - t1, post_s=t3 - t2)

@@ -1,0 +1,270 @@
+"""ASR — Automatic Speech Recognition (Kaldi-style hybrid DNN/HMM).
+
+Paper §3.2.2: the app "requires preprocessing to generate feature vectors
+describing the speech input that are sent to the DjiNN webservice.  The
+service returns predictions for each feature vector that are postprocessed
+to find the most likely sequence of text."
+
+Reproduction pipeline:
+
+* preprocess  — filterbank frontend + frame splicing (:mod:`repro.tonic.dsp`)
+* DNN service — per-frame senone posteriors from the acoustic model
+* postprocess — posterior-to-likelihood conversion, Viterbi over a 3-state
+  left-to-right phone HMM, then a lexicon dynamic program that segments the
+  phone string into words
+
+The full-fidelity acoustic model (Table 1: 3483 senones, ~30M parameters) is
+used by the performance model; the *functional* pipeline defaults to the
+compact tying below (16 phones x 3 states = 48 senones) so a small acoustic
+model trained on the synthesizer really decodes text (see
+``examples/asr_pipeline.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .app import DnnBackend, TonicApp
+from .dsp import FrontendConfig, fbank_features, splice
+from .metrics import edit_distance
+from .speechsynth import LEXICON, PHONES
+from .viterbi import beam_search, viterbi
+
+__all__ = [
+    "AsrApp",
+    "HmmTopology",
+    "Transcript",
+    "words_from_phones",
+    "frame_state_labels",
+    "acoustic_training_set",
+    "STATES_PER_PHONE",
+]
+
+#: Left-to-right states per phone (standard 3-state topology).
+STATES_PER_PHONE = 3
+
+
+@dataclass(frozen=True)
+class Transcript:
+    """Decoded text plus the intermediate phone path for inspection."""
+
+    words: Tuple[str, ...]
+    phones: Tuple[str, ...]
+    log_score: float
+
+    @property
+    def text(self) -> str:
+        return " ".join(self.words)
+
+
+class HmmTopology:
+    """3-state left-to-right HMM over the phone inventory.
+
+    Builds the (S, S) log-transition matrix used by Viterbi decoding:
+    self-loops, within-phone advances, and uniform phone-to-phone bigrams at
+    phone exits.
+    """
+
+    def __init__(self, phones: Sequence[str] = PHONES, self_loop: float = 0.6):
+        if not 0.0 < self_loop < 1.0:
+            raise ValueError(f"self_loop must be in (0, 1), got {self_loop}")
+        self.phones = tuple(phones)
+        self.num_states = len(self.phones) * STATES_PER_PHONE
+        advance = 1.0 - self_loop
+        bigram = advance / len(self.phones)
+        trans = np.full((self.num_states, self.num_states), -np.inf)
+        for p in range(len(self.phones)):
+            for s in range(STATES_PER_PHONE):
+                state = p * STATES_PER_PHONE + s
+                trans[state, state] = np.log(self_loop)
+                if s + 1 < STATES_PER_PHONE:
+                    trans[state, state + 1] = np.log(advance)
+                else:  # phone exit: enter any phone's first state
+                    for q in range(len(self.phones)):
+                        trans[state, q * STATES_PER_PHONE] = np.log(bigram)
+        self.log_transitions = trans
+        # start in any phone's first state
+        init = np.full(self.num_states, -np.inf)
+        init[:: STATES_PER_PHONE] = -np.log(len(self.phones))
+        self.log_initial = init
+
+    def state_phone(self, state: int) -> str:
+        return self.phones[state // STATES_PER_PHONE]
+
+
+def _collapse_path(topology: HmmTopology, path: List[int]) -> List[str]:
+    """State path -> phone sequence: collapse runs, drop silence."""
+    phones: List[str] = []
+    prev_phone_idx = -1
+    for state in path:
+        phone_idx = state // STATES_PER_PHONE
+        if phone_idx != prev_phone_idx:
+            phones.append(topology.phones[phone_idx])
+            prev_phone_idx = phone_idx
+    return [p for p in phones if p != "sil"]
+
+
+def words_from_phones(
+    phones: Sequence[str],
+    lexicon: Dict[str, Tuple[str, ...]] = LEXICON,
+    slack: int = 1,
+    unmatched_cost: float = 3.0,
+) -> List[str]:
+    """Segment a phone string into lexicon words by dynamic programming.
+
+    ``dp[i]`` = cheapest parse of ``phones[:i]``; each word may consume a
+    segment within ``slack`` of its pronunciation length at a cost equal to
+    the segment/pronunciation edit distance; a phone may also be skipped at
+    ``unmatched_cost`` (decoder insertions).
+    """
+    n = len(phones)
+    INF = float("inf")
+    cost = [INF] * (n + 1)
+    parse: List[List[str]] = [[] for _ in range(n + 1)]
+    cost[0] = 0.0
+    for i in range(n):
+        if cost[i] == INF:
+            continue
+        # skip one phone
+        if cost[i] + unmatched_cost < cost[i + 1]:
+            cost[i + 1] = cost[i] + unmatched_cost
+            parse[i + 1] = parse[i]
+        for word, pron in lexicon.items():
+            for seg_len in range(max(1, len(pron) - slack), len(pron) + slack + 1):
+                j = i + seg_len
+                if j > n:
+                    continue
+                c = cost[i] + edit_distance(phones[i:j], pron)
+                if c < cost[j]:
+                    cost[j] = c
+                    parse[j] = parse[i] + [word]
+    return list(parse[n])
+
+
+class AsrApp(TonicApp):
+    """Speech-to-text over raw mono audio at 16 kHz.
+
+    Parameters
+    ----------
+    backend:
+        DNN backend; its model must output one posterior row per input
+        frame with ``num_senones`` columns.
+    num_senones:
+        Output width of the acoustic model.  When it exceeds the HMM state
+        count, senones are tied to states by ``senone % num_states``
+        (a synthetic tying that stands in for Kaldi's tree, documented in
+        DESIGN.md); when equal, the mapping is identity.
+    log_priors:
+        Senone log-priors for posterior -> likelihood conversion (uniform
+        when omitted; supply training-set frequencies for trained models).
+    beam_width:
+        When set, decode with beam search (the Kaldi-style approximate
+        search) instead of exact Viterbi.
+    """
+
+    def __init__(
+        self,
+        backend: DnnBackend,
+        num_senones: int = len(PHONES) * STATES_PER_PHONE,
+        frontend: FrontendConfig = FrontendConfig(),
+        topology: Optional[HmmTopology] = None,
+        log_priors: Optional[np.ndarray] = None,
+        lexicon: Dict[str, Tuple[str, ...]] = LEXICON,
+        beam_width: Optional[int] = None,
+    ):
+        super().__init__("asr", backend)
+        self.frontend = frontend
+        self.topology = topology or HmmTopology()
+        if num_senones < self.topology.num_states:
+            raise ValueError(
+                f"num_senones ({num_senones}) must cover the "
+                f"{self.topology.num_states} HMM states"
+            )
+        self.num_senones = num_senones
+        if log_priors is not None and log_priors.shape != (num_senones,):
+            raise ValueError(f"log_priors must have shape ({num_senones},)")
+        self.log_priors = log_priors
+        self.lexicon = dict(lexicon)
+        if beam_width is not None and beam_width < 1:
+            raise ValueError(f"beam_width must be >= 1, got {beam_width}")
+        self.beam_width = beam_width
+
+    # ------------------------------------------------------------- pipeline
+    def preprocess(self, raw: np.ndarray) -> np.ndarray:
+        features = fbank_features(np.asarray(raw, dtype=np.float64), self.frontend)
+        return splice(features).astype(np.float32)
+
+    def postprocess(self, outputs: np.ndarray, raw) -> Transcript:
+        log_post = np.log(np.maximum(outputs, 1e-12))
+        if self.log_priors is not None:
+            log_post = log_post - self.log_priors[None, :]
+        states = self.topology.num_states
+        if self.num_senones == states:
+            emissions = log_post
+        else:
+            # synthetic tying: fold senones onto states by modulo, taking the
+            # best-scoring senone in each tied class
+            emissions = np.full((log_post.shape[0], states), -np.inf)
+            for state in range(states):
+                emissions[:, state] = log_post[:, state::states].max(axis=1)
+        if self.beam_width is not None:
+            path, score = beam_search(
+                emissions, self.topology.log_transitions,
+                self.topology.log_initial, beam_width=self.beam_width,
+            )
+        else:
+            path, score = viterbi(
+                emissions, self.topology.log_transitions, self.topology.log_initial
+            )
+        phones = _collapse_path(self.topology, path)
+        words = words_from_phones(phones, self.lexicon)
+        return Transcript(tuple(words), tuple(phones), score)
+
+
+# ---------------------------------------------------------------------------
+# Training supervision from the synthesizer's alignments
+# ---------------------------------------------------------------------------
+
+def frame_state_labels(
+    alignment: List[Tuple[str, int, int]],
+    num_frames: int,
+    frontend: FrontendConfig = FrontendConfig(),
+    topology: Optional[HmmTopology] = None,
+) -> np.ndarray:
+    """Per-frame tied-state labels from a synthesizer phone alignment.
+
+    A frame's label is the phone active at its center sample; the substate
+    (0/1/2) is the relative position within that phone segment.
+    """
+    topo = topology or HmmTopology()
+    phone_index = {p: i for i, p in enumerate(topo.phones)}
+    labels = np.zeros(num_frames, dtype=np.int64)
+    half = frontend.frame_len // 2
+    seg = 0
+    for t in range(num_frames):
+        center = t * frontend.hop_len + half
+        while seg + 1 < len(alignment) and center >= alignment[seg][2]:
+            seg += 1
+        phone, start, end = alignment[seg]
+        rel = (center - start) / max(1, end - start)
+        substate = min(STATES_PER_PHONE - 1, int(rel * STATES_PER_PHONE))
+        labels[t] = phone_index[phone] * STATES_PER_PHONE + substate
+    return labels
+
+
+def acoustic_training_set(
+    utterances: Sequence[Tuple[np.ndarray, List[Tuple[str, int, int]]]],
+    frontend: FrontendConfig = FrontendConfig(),
+    topology: Optional[HmmTopology] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """(spliced features, state labels) over a set of aligned utterances."""
+    feats: List[np.ndarray] = []
+    labels: List[np.ndarray] = []
+    for audio, alignment in utterances:
+        f = splice(fbank_features(audio, frontend)).astype(np.float32)
+        feats.append(f)
+        labels.append(frame_state_labels(alignment, len(f), frontend, topology))
+    return np.concatenate(feats), np.concatenate(labels)

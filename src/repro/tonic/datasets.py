@@ -1,0 +1,182 @@
+"""Synthetic workload generators for every Tonic application.
+
+The paper drives DjiNN with real images, recordings and sentences; we have
+no datasets, so each generator produces seeded synthetic inputs with the
+same shapes and wire sizes as the paper's Table 3.  The digit renderer and
+the text grammar produce *learnable* data (labels derive from the content),
+so DIG and the NLP taggers can be genuinely trained and evaluated;
+IMC/FACE inputs are procedural patterns whose labels parameterize the
+generator (enough to exercise the full pipeline and, for FACE, to separate
+identities).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .speechsynth import LEXICON as SPEECH_LEXICON
+from .speechsynth import synthesize_words
+from .textgen import TaggedSentence, generate_corpus
+
+__all__ = [
+    "render_digit",
+    "digit_dataset",
+    "imagenet_like_images",
+    "face_images",
+    "speech_queries",
+    "sentence_queries",
+]
+
+# ---------------------------------------------------------------------------
+# DIG: seven-segment-style rendered digits (learnable: LeNet-5 trains to >98%)
+# ---------------------------------------------------------------------------
+
+# segment name -> (row0, row1, col0, col1) on a 28x28 canvas
+_SEGMENTS = {
+    "A": (4, 6, 9, 19),     # top bar
+    "B": (5, 14, 17, 19),   # top-right
+    "C": (14, 23, 17, 19),  # bottom-right
+    "D": (22, 24, 9, 19),   # bottom bar
+    "E": (14, 23, 9, 11),   # bottom-left
+    "F": (5, 14, 9, 11),    # top-left
+    "G": (13, 15, 9, 19),   # middle bar
+}
+
+_DIGIT_SEGMENTS = {
+    0: "ABCDEF",
+    1: "BC",
+    2: "ABGED",
+    3: "ABGCD",
+    4: "FGBC",
+    5: "AFGCD",
+    6: "AFGECD",
+    7: "ABC",
+    8: "ABCDEFG",
+    9: "ABCFGD",
+}
+
+
+def render_digit(digit: int, rng: np.random.Generator, noise: float = 0.15) -> np.ndarray:
+    """Render one hand-written-style digit as a 28x28 float image in [0, 1]."""
+    if digit not in _DIGIT_SEGMENTS:
+        raise ValueError(f"digit must be 0-9, got {digit}")
+    canvas = np.zeros((28, 28), dtype=np.float32)
+    for seg in _DIGIT_SEGMENTS[digit]:
+        r0, r1, c0, c1 = _SEGMENTS[seg]
+        canvas[r0:r1, c0:c1] = 1.0
+    # random translation (the "handwriting")
+    dr, dc = rng.integers(-2, 3, size=2)
+    canvas = np.roll(canvas, (dr, dc), axis=(0, 1))
+    # light blur: 3x3 box filter
+    padded = np.pad(canvas, 1)
+    blurred = sum(
+        padded[1 + i : 29 + i, 1 + j : 29 + j] for i in (-1, 0, 1) for j in (-1, 0, 1)
+    ) / 9.0
+    blurred = 0.5 * canvas + 0.5 * blurred
+    blurred += rng.normal(0.0, noise, size=blurred.shape).astype(np.float32)
+    return np.clip(blurred, 0.0, 1.0)
+
+
+def digit_dataset(count: int, seed: int = 0, noise: float = 0.15) -> Tuple[np.ndarray, np.ndarray]:
+    """(images, labels): ``count`` 1x28x28 digits with balanced labels."""
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, 10, size=count)
+    images = np.stack([render_digit(int(d), rng, noise) for d in labels])
+    return images[:, None, :, :].astype(np.float32), labels.astype(np.int64)
+
+
+# ---------------------------------------------------------------------------
+# IMC: procedural 3x227x227 "photos" (class determines texture statistics)
+# ---------------------------------------------------------------------------
+
+def imagenet_like_images(
+    count: int, num_classes: int = 1000, seed: int = 0, size: int = 227
+) -> Tuple[np.ndarray, np.ndarray]:
+    """(images, labels): class-parameterized gratings + blobs + noise.
+
+    Each image is 604KB on the wire as float32 (3 * 227 * 227 * 4 bytes),
+    matching Table 3's IMC input size.
+    """
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, num_classes, size=count)
+    yy, xx = np.mgrid[0:size, 0:size] / size
+    images = np.empty((count, 3, size, size), dtype=np.float32)
+    for i, label in enumerate(labels):
+        crng = np.random.default_rng(int(label))
+        freqs = crng.uniform(2, 14, size=3)
+        phases = crng.uniform(0, 2 * np.pi, size=3)
+        angle = crng.uniform(0, np.pi)
+        coord = xx * np.cos(angle) + yy * np.sin(angle)
+        for ch in range(3):
+            images[i, ch] = 0.5 + 0.4 * np.sin(2 * np.pi * freqs[ch] * coord + phases[ch])
+        images[i] += rng.normal(0, 0.05, size=(3, size, size)).astype(np.float32)
+    return np.clip(images, 0.0, 1.0), labels.astype(np.int64)
+
+
+# ---------------------------------------------------------------------------
+# FACE: procedural 3x152x152 aligned "faces" (identity sets the geometry)
+# ---------------------------------------------------------------------------
+
+def face_images(
+    count: int, num_identities: int = 83, seed: int = 0, size: int = 152
+) -> Tuple[np.ndarray, np.ndarray]:
+    """(images, labels): ellipse head + identity-specific features + noise.
+
+    Each image is ~271KB on the wire as float32 (3 * 152 * 152 * 4 bytes),
+    matching Table 3's FACE input size.
+    """
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, num_identities, size=count)
+    yy, xx = np.mgrid[0:size, 0:size]
+    cy = cx = size / 2.0
+    images = np.empty((count, 3, size, size), dtype=np.float32)
+    for i, identity in enumerate(labels):
+        irng = np.random.default_rng(1000 + int(identity))
+        head_w = irng.uniform(0.30, 0.42) * size
+        head_h = irng.uniform(0.38, 0.48) * size
+        eye_dx = irng.uniform(0.10, 0.16) * size
+        eye_y = cy - irng.uniform(0.05, 0.12) * size
+        mouth_w = irng.uniform(0.08, 0.18) * size
+        skin = irng.uniform(0.5, 0.9, size=3)
+        img = np.zeros((3, size, size), dtype=np.float32)
+        head = ((xx - cx) / head_w) ** 2 + ((yy - cy) / head_h) ** 2 <= 1.0
+        for ch in range(3):
+            img[ch][head] = skin[ch]
+        for ex in (cx - eye_dx, cx + eye_dx):
+            eye = (xx - ex) ** 2 + (yy - eye_y) ** 2 <= (0.03 * size) ** 2
+            img[:, eye] = 0.05
+        mouth = (np.abs(xx - cx) <= mouth_w) & (np.abs(yy - (cy + 0.18 * size)) <= 0.015 * size)
+        img[:, mouth] = 0.2
+        img += rng.normal(0, 0.04, size=img.shape).astype(np.float32)
+        images[i] = np.clip(img, 0.0, 1.0)
+    return images, labels.astype(np.int64)
+
+
+# ---------------------------------------------------------------------------
+# ASR: synthesized utterances
+# ---------------------------------------------------------------------------
+
+def speech_queries(
+    count: int, words_per_query: int = 3, seed: int = 0
+) -> List[Tuple[np.ndarray, List[str]]]:
+    """``count`` (audio, transcript) pairs from the speech lexicon."""
+    rng = np.random.default_rng(seed)
+    vocabulary = sorted(SPEECH_LEXICON)
+    queries = []
+    for i in range(count):
+        words = [vocabulary[int(rng.integers(len(vocabulary)))] for _ in range(words_per_query)]
+        audio, _ = synthesize_words(words, seed=seed * 10007 + i)
+        queries.append((audio, words))
+    return queries
+
+
+# ---------------------------------------------------------------------------
+# NLP: tagged sentences (shared across POS / CHK / NER)
+# ---------------------------------------------------------------------------
+
+def sentence_queries(count: int, seed: int = 0) -> List[TaggedSentence]:
+    """``count`` gold-tagged sentences (Table 3's 28-word queries batch
+    several of these per request; see :mod:`repro.gpusim.appmodel`)."""
+    return generate_corpus(count, seed=seed)

@@ -1,0 +1,40 @@
+"""DIG — Digit Recognition (LeNet-5).
+
+Paper Table 3: a DIG query carries **100 images** and returns 100
+classifications.  Preprocessing pads the 28x28 digits to LeNet-5's 32x32
+retina and normalizes, as the original MNIST pipeline does.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from .app import DnnBackend, TonicApp
+
+__all__ = ["DigApp"]
+
+
+class DigApp(TonicApp):
+    """Digit recognition over batches of 1x28x28 float images in [0, 1]."""
+
+    RAW_SHAPE = (1, 28, 28)
+    IMAGES_PER_QUERY = 100  # Table 3
+
+    def __init__(self, backend: DnnBackend):
+        super().__init__("dig", backend)
+
+    def preprocess(self, raw: np.ndarray) -> np.ndarray:
+        images = np.asarray(raw, dtype=np.float32)
+        if images.ndim == 3:
+            images = images[None]
+        if images.ndim != 4 or images.shape[1:] != self.RAW_SHAPE:
+            raise ValueError(
+                f"DIG expects (n, 1, 28, 28) images, got {np.asarray(raw).shape}"
+            )
+        padded = np.pad(images, ((0, 0), (0, 0), (2, 2), (2, 2)))
+        return (padded - 0.5) * 2.0  # center to [-1, 1] for the tanh net
+
+    def postprocess(self, outputs: np.ndarray, raw) -> List[int]:
+        return [int(i) for i in np.argmax(outputs, axis=1)]

@@ -1,0 +1,124 @@
+"""Speech DSP frontend for the ASR task (the Kaldi-style preprocessing the
+paper counts as ASR's substantial non-DNN work, Figure 4).
+
+Pipeline: pre-emphasis -> 25ms/10ms Hamming-windowed frames -> FFT power
+spectrum -> mel filterbank -> log -> (optional DCT to MFCC) -> mean/variance
+normalization -> +/-5 frame splicing into the 440-dim vectors the acoustic
+model consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FrontendConfig", "frame_signal", "mel_filterbank", "fbank_features", "mfcc", "splice"]
+
+
+@dataclass(frozen=True)
+class FrontendConfig:
+    """Feature-extraction parameters (Kaldi defaults of the era)."""
+
+    sample_rate: int = 16000
+    frame_ms: float = 25.0
+    hop_ms: float = 10.0
+    preemphasis: float = 0.97
+    num_mel: int = 40
+    low_hz: float = 20.0
+    high_hz: float = 7800.0
+
+    @property
+    def frame_len(self) -> int:
+        return int(round(self.sample_rate * self.frame_ms / 1000.0))
+
+    @property
+    def hop_len(self) -> int:
+        return int(round(self.sample_rate * self.hop_ms / 1000.0))
+
+    @property
+    def fft_size(self) -> int:
+        n = 1
+        while n < self.frame_len:
+            n *= 2
+        return n
+
+
+def frame_signal(signal: np.ndarray, config: FrontendConfig) -> np.ndarray:
+    """Pre-emphasize and slice ``signal`` into Hamming-windowed frames."""
+    signal = np.asarray(signal, dtype=np.float64)
+    if signal.ndim != 1:
+        raise ValueError(f"expected mono signal, got shape {signal.shape}")
+    emphasized = np.empty_like(signal)
+    emphasized[0] = signal[0]
+    emphasized[1:] = signal[1:] - config.preemphasis * signal[:-1]
+    flen, hop = config.frame_len, config.hop_len
+    if len(emphasized) < flen:
+        emphasized = np.pad(emphasized, (0, flen - len(emphasized)))
+    count = 1 + (len(emphasized) - flen) // hop
+    idx = np.arange(flen)[None, :] + hop * np.arange(count)[:, None]
+    return emphasized[idx] * np.hamming(flen)[None, :]
+
+
+def _hz_to_mel(hz):
+    return 2595.0 * np.log10(1.0 + np.asarray(hz) / 700.0)
+
+
+def _mel_to_hz(mel):
+    return 700.0 * (np.power(10.0, np.asarray(mel) / 2595.0) - 1.0)
+
+
+def mel_filterbank(config: FrontendConfig) -> np.ndarray:
+    """Triangular mel filterbank matrix of shape (num_mel, fft_bins)."""
+    bins = config.fft_size // 2 + 1
+    mel_points = np.linspace(
+        _hz_to_mel(config.low_hz), _hz_to_mel(config.high_hz), config.num_mel + 2
+    )
+    hz_points = _mel_to_hz(mel_points)
+    bin_points = np.floor((config.fft_size + 1) * hz_points / config.sample_rate).astype(int)
+    bin_points = np.clip(bin_points, 0, bins - 1)
+    fb = np.zeros((config.num_mel, bins))
+    for m in range(1, config.num_mel + 1):
+        left, center, right = bin_points[m - 1], bin_points[m], bin_points[m + 1]
+        if center > left:
+            fb[m - 1, left:center] = (np.arange(left, center) - left) / (center - left)
+        if right > center:
+            fb[m - 1, center:right] = (right - np.arange(center, right)) / (right - center)
+        fb[m - 1, center] = 1.0
+    return fb
+
+
+def fbank_features(signal: np.ndarray, config: FrontendConfig = FrontendConfig()) -> np.ndarray:
+    """Log-mel filterbank features, mean/variance normalized per utterance.
+
+    Returns shape (frames, num_mel).
+    """
+    frames = frame_signal(signal, config)
+    spectrum = np.abs(np.fft.rfft(frames, n=config.fft_size, axis=1)) ** 2
+    mel = spectrum @ mel_filterbank(config).T
+    logmel = np.log(np.maximum(mel, 1e-10))
+    mean = logmel.mean(axis=0, keepdims=True)
+    std = logmel.std(axis=0, keepdims=True)
+    return (logmel - mean) / np.maximum(std, 1e-3)
+
+
+def mfcc(signal: np.ndarray, config: FrontendConfig = FrontendConfig(), num_ceps: int = 13) -> np.ndarray:
+    """MFCCs via DCT-II of the log-mel energies (kept for completeness)."""
+    from scipy.fftpack import dct
+
+    logmel = fbank_features(signal, config)
+    return dct(logmel, type=2, axis=1, norm="ortho")[:, :num_ceps]
+
+
+def splice(features: np.ndarray, context: int = 5) -> np.ndarray:
+    """Stack ``context`` frames either side of each frame (edge-replicated).
+
+    (frames, d) -> (frames, (2*context+1)*d); this produces the acoustic
+    model's 11x40 = 440-dim input vectors.
+    """
+    if features.ndim != 2:
+        raise ValueError(f"expected (frames, dims) features, got {features.shape}")
+    frames = len(features)
+    padded = np.pad(features, ((context, context), (0, 0)), mode="edge")
+    stacked = [padded[i : i + frames] for i in range(2 * context + 1)]
+    return np.concatenate(stacked, axis=1)

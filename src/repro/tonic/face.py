@@ -1,0 +1,50 @@
+"""FACE — Facial Recognition (DeepFace retargeted to PubFig83's 83 identities).
+
+Paper §3.2.1: "the facial recognition application predicts the identity of
+faces using the DjiNN webservice"; one aligned 152x152 face per query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .app import DnnBackend, TonicApp
+from .imaging import fit_to
+
+__all__ = ["FaceApp", "Identification"]
+
+
+@dataclass(frozen=True)
+class Identification:
+    identity: str
+    index: int
+    probability: float
+
+
+class FaceApp(TonicApp):
+    """Identity prediction over 3x152x152 aligned-face float images."""
+
+    INPUT_SHAPE = (3, 152, 152)
+
+    def __init__(self, backend: DnnBackend, identities: Optional[Sequence[str]] = None,
+                 num_identities: int = 83):
+        super().__init__("face", backend)
+        self.identities = (
+            list(identities) if identities else [f"celebrity_{i:02d}" for i in range(num_identities)]
+        )
+
+    def preprocess(self, raw: np.ndarray) -> np.ndarray:
+        image = np.asarray(raw, dtype=np.float32)
+        if image.ndim != 3 or image.shape[0] != 3:
+            raise ValueError(f"FACE expects one (3, H, W) image, got {image.shape}")
+        if image.shape != self.INPUT_SHAPE:
+            image = fit_to(image, *self.INPUT_SHAPE[1:])
+        return (image - 0.5)[None]
+
+    def postprocess(self, outputs: np.ndarray, raw) -> Identification:
+        probs = outputs[0]
+        best = int(np.argmax(probs))
+        return Identification(self.identities[best], best, float(probs[best]))

@@ -1,0 +1,73 @@
+"""Image preprocessing: bilinear resize, center crop, channel stats.
+
+The Tonic image applications receive photos of arbitrary geometry; the
+service networks want fixed retinas (AlexNet 3x227x227, DeepFace
+3x152x152).  This module is the resize/crop stage of that preprocessing —
+pure numpy, CHW layout, float images in [0, 1].
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["bilinear_resize", "center_crop", "fit_to", "per_channel_standardize"]
+
+
+def bilinear_resize(image: np.ndarray, out_h: int, out_w: int) -> np.ndarray:
+    """Resize a (C, H, W) image with bilinear interpolation."""
+    if image.ndim != 3:
+        raise ValueError(f"expected (C, H, W) image, got shape {image.shape}")
+    if out_h < 1 or out_w < 1:
+        raise ValueError("output size must be positive")
+    c, h, w = image.shape
+    if (h, w) == (out_h, out_w):
+        return image.astype(np.float32, copy=True)
+    # align-corners=False sampling grid (the common convention)
+    ys = (np.arange(out_h) + 0.5) * h / out_h - 0.5
+    xs = (np.arange(out_w) + 0.5) * w / out_w - 0.5
+    y0 = np.clip(np.floor(ys).astype(int), 0, h - 1)
+    x0 = np.clip(np.floor(xs).astype(int), 0, w - 1)
+    y1 = np.clip(y0 + 1, 0, h - 1)
+    x1 = np.clip(x0 + 1, 0, w - 1)
+    wy = np.clip(ys - y0, 0.0, 1.0)[None, :, None]
+    wx = np.clip(xs - x0, 0.0, 1.0)[None, None, :]
+
+    top = image[:, y0][:, :, x0] * (1 - wx) + image[:, y0][:, :, x1] * wx
+    bottom = image[:, y1][:, :, x0] * (1 - wx) + image[:, y1][:, :, x1] * wx
+    return (top * (1 - wy) + bottom * wy).astype(np.float32)
+
+
+def center_crop(image: np.ndarray, out_h: int, out_w: int) -> np.ndarray:
+    """Crop the central (out_h, out_w) window of a (C, H, W) image."""
+    if image.ndim != 3:
+        raise ValueError(f"expected (C, H, W) image, got shape {image.shape}")
+    c, h, w = image.shape
+    if out_h > h or out_w > w:
+        raise ValueError(f"crop {out_h}x{out_w} exceeds image {h}x{w}")
+    top = (h - out_h) // 2
+    left = (w - out_w) // 2
+    return image[:, top : top + out_h, left : left + out_w]
+
+
+def fit_to(image: np.ndarray, out_h: int, out_w: int) -> np.ndarray:
+    """Resize-then-center-crop to exactly (out_h, out_w), preserving aspect.
+
+    The standard Caffe deployment transform: scale the short side to the
+    target, crop the rest.
+    """
+    c, h, w = image.shape
+    scale = max(out_h / h, out_w / w)
+    resized = bilinear_resize(image, max(out_h, int(round(h * scale))),
+                              max(out_w, int(round(w * scale))))
+    return center_crop(resized, out_h, out_w)
+
+
+def per_channel_standardize(image: np.ndarray) -> np.ndarray:
+    """Zero-mean, unit-variance per channel (a training-time transform)."""
+    if image.ndim != 3:
+        raise ValueError(f"expected (C, H, W) image, got shape {image.shape}")
+    mean = image.mean(axis=(1, 2), keepdims=True)
+    std = image.std(axis=(1, 2), keepdims=True)
+    return ((image - mean) / np.maximum(std, 1e-6)).astype(np.float32)

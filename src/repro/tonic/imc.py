@@ -1,0 +1,58 @@
+"""IMC — Image Classification (AlexNet, 1000 ImageNet classes).
+
+Paper §3.2.1: "image classification sends an image to the DjiNN service and
+a prediction of what the image contains is sent to the application"; the
+image tasks have no pre/post-processing beyond shipping the pixels and
+reading the top prediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from .app import DnnBackend, TonicApp
+from .imaging import fit_to
+
+__all__ = ["ImcApp", "Classification"]
+
+
+@dataclass(frozen=True)
+class Classification:
+    """Top-1 prediction with its probability and top-5 alternatives."""
+
+    label: str
+    index: int
+    probability: float
+    top5: Tuple[Tuple[str, float], ...]
+
+
+class ImcApp(TonicApp):
+    """Image classification over 3x227x227 float images in [0, 1]."""
+
+    INPUT_SHAPE = (3, 227, 227)
+    #: Caffe's per-channel ImageNet means, scaled to [0, 1] pixel range.
+    CHANNEL_MEANS = np.array([0.408, 0.459, 0.482], dtype=np.float32)
+
+    def __init__(self, backend: DnnBackend, labels: Optional[Sequence[str]] = None,
+                 num_classes: int = 1000):
+        super().__init__("imc", backend)
+        self.labels = list(labels) if labels else [f"class_{i:04d}" for i in range(num_classes)]
+
+    def preprocess(self, raw: np.ndarray) -> np.ndarray:
+        image = np.asarray(raw, dtype=np.float32)
+        if image.ndim != 3 or image.shape[0] != 3:
+            raise ValueError(f"IMC expects one (3, H, W) image, got {image.shape}")
+        if image.shape != self.INPUT_SHAPE:
+            # arbitrary photo geometry: scale-and-crop to AlexNet's retina
+            image = fit_to(image, *self.INPUT_SHAPE[1:])
+        return (image - self.CHANNEL_MEANS[:, None, None])[None]
+
+    def postprocess(self, outputs: np.ndarray, raw) -> Classification:
+        probs = outputs[0]
+        order = np.argsort(probs)[::-1][:5]
+        top5 = tuple((self.labels[i], float(probs[i])) for i in order)
+        best = int(order[0])
+        return Classification(self.labels[best], best, float(probs[best]), top5)

@@ -1,0 +1,103 @@
+"""Evaluation metrics for the Tonic tasks.
+
+Word error rate for ASR (the metric Kaldi's benchmarks quote), tagging
+accuracy, and span-level F1 over IOB2 annotations (the CoNLL metric for
+chunking and NER — per-token accuracy flatters taggers that break spans).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Set, Tuple
+
+import numpy as np
+
+__all__ = ["edit_distance", "word_error_rate", "tagging_accuracy", "iob_spans", "span_f1"]
+
+
+def edit_distance(a: Sequence, b: Sequence) -> int:
+    """Levenshtein distance between two sequences."""
+    dist = np.arange(len(b) + 1)
+    for i, item_a in enumerate(a, 1):
+        prev_diag = dist[0]
+        dist[0] = i
+        for j, item_b in enumerate(b, 1):
+            cur = dist[j]
+            dist[j] = min(dist[j] + 1, dist[j - 1] + 1, prev_diag + (item_a != item_b))
+            prev_diag = cur
+    return int(dist[-1])
+
+
+def word_error_rate(hypotheses: Sequence[Sequence[str]],
+                    references: Sequence[Sequence[str]]) -> float:
+    """Corpus WER: total edit distance over total reference words."""
+    if len(hypotheses) != len(references):
+        raise ValueError("hypotheses and references disagree on length")
+    errors = sum(edit_distance(h, r) for h, r in zip(hypotheses, references))
+    words = sum(len(r) for r in references)
+    if words == 0:
+        raise ValueError("empty reference corpus")
+    return errors / words
+
+
+def tagging_accuracy(predicted: Sequence[Sequence[str]],
+                     gold: Sequence[Sequence[str]]) -> float:
+    """Per-token accuracy over a tagged corpus."""
+    correct = total = 0
+    for pred, ref in zip(predicted, gold):
+        if len(pred) != len(ref):
+            raise ValueError("prediction/gold length mismatch within a sentence")
+        correct += sum(p == g for p, g in zip(pred, ref))
+        total += len(ref)
+    if total == 0:
+        raise ValueError("empty corpus")
+    return correct / total
+
+
+def iob_spans(tags: Sequence[str]) -> Set[Tuple[int, int, str]]:
+    """Extract (start, end, type) spans from an IOB2 tag sequence.
+
+    ``end`` is exclusive.  An I- tag without a compatible open span starts a
+    new one (the standard lenient reading).
+    """
+    spans: Set[Tuple[int, int, str]] = set()
+    start, kind = None, None
+    for i, tag in enumerate(tags):
+        if tag.startswith("B-"):
+            if start is not None:
+                spans.add((start, i, kind))
+            start, kind = i, tag[2:]
+        elif tag.startswith("I-"):
+            if start is None or kind != tag[2:]:
+                if start is not None:
+                    spans.add((start, i, kind))
+                start, kind = i, tag[2:]
+        else:  # "O"
+            if start is not None:
+                spans.add((start, i, kind))
+            start, kind = None, None
+    if start is not None:
+        spans.add((start, len(tags), kind))
+    return spans
+
+
+@dataclass(frozen=True)
+class _F1:
+    precision: float
+    recall: float
+    f1: float
+
+
+def span_f1(predicted: Sequence[Sequence[str]], gold: Sequence[Sequence[str]]) -> _F1:
+    """CoNLL-style span precision/recall/F1 over IOB2 corpora."""
+    tp = pred_count = gold_count = 0
+    for pred, ref in zip(predicted, gold):
+        pred_spans = iob_spans(pred)
+        gold_spans = iob_spans(ref)
+        tp += len(pred_spans & gold_spans)
+        pred_count += len(pred_spans)
+        gold_count += len(gold_spans)
+    precision = tp / pred_count if pred_count else 0.0
+    recall = tp / gold_count if gold_count else 0.0
+    f1 = 2 * precision * recall / (precision + recall) if precision + recall else 0.0
+    return _F1(precision=precision, recall=recall, f1=f1)

@@ -1,0 +1,165 @@
+"""NLP tasks — POS tagging, word chunking, named-entity recognition (SENNA).
+
+Paper §3.2.3: "the text is preprocessed into word vector representations
+before being sent to DjiNN.  After receiving the word predictions from the
+DNN service, the postprocessing step searches for the most likely sequence
+of tagged words."  CHK additionally chains a POS request first and feeds the
+predicted tags into its own features.
+
+The "most likely sequence" search is SENNA's sentence-level Viterbi over a
+tag-transition matrix; here the transition scores are estimated from the
+training corpus (:func:`TagTransitions.fit`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..models.senna import CHUNK_TAGS, NER_TAGS, POS_TAGS
+from .app import DnnBackend, TonicApp
+from .textgen import TaggedSentence
+from .viterbi import viterbi
+from .vocab import Vocabulary, WindowFeaturizer
+
+__all__ = ["TagTransitions", "NlpApp", "PosApp", "ChkApp", "NerApp", "TASK_TAGS"]
+
+TASK_TAGS = {"pos": tuple(POS_TAGS), "chk": tuple(CHUNK_TAGS), "ner": tuple(NER_TAGS)}
+
+
+class TagTransitions:
+    """Log transition scores between tags, estimated by add-one counting."""
+
+    def __init__(self, tags: Sequence[str]):
+        self.tags = tuple(tags)
+        self.index = {t: i for i, t in enumerate(self.tags)}
+        n = len(self.tags)
+        self.log_trans = np.zeros((n, n))  # uniform until fitted
+        self.log_init = np.zeros(n)
+
+    def fit(self, tag_sequences: Sequence[Sequence[str]]) -> "TagTransitions":
+        n = len(self.tags)
+        counts = np.ones((n, n))
+        init = np.ones(n)
+        for seq in tag_sequences:
+            ids = [self.index[t] for t in seq]
+            if ids:
+                init[ids[0]] += 1
+            for a, b in zip(ids, ids[1:]):
+                counts[a, b] += 1
+        self.log_trans = np.log(counts / counts.sum(axis=1, keepdims=True))
+        self.log_init = np.log(init / init.sum())
+        return self
+
+
+class NlpApp(TonicApp):
+    """Shared pipeline for the three taggers.
+
+    Parameters
+    ----------
+    task:
+        ``"pos"``, ``"chk"`` or ``"ner"``.
+    featurizer:
+        Word-window featurizer (embeds words + discrete features).
+    transitions:
+        Tag-transition model used by the Viterbi postprocess; defaults to
+        uniform transitions (pure per-word argmax behaviour).
+    """
+
+    def __init__(
+        self,
+        task: str,
+        backend: DnnBackend,
+        featurizer: WindowFeaturizer,
+        transitions: Optional[TagTransitions] = None,
+    ):
+        if task not in TASK_TAGS:
+            raise ValueError(f"unknown NLP task {task!r}; known: {sorted(TASK_TAGS)}")
+        super().__init__(task, backend)
+        self.task = task
+        self.tags = TASK_TAGS[task]
+        self.featurizer = featurizer
+        self.transitions = transitions or TagTransitions(self.tags)
+
+    def _words(self, raw) -> List[str]:
+        if isinstance(raw, TaggedSentence):
+            return list(raw.words)
+        if isinstance(raw, str):
+            return raw.split()
+        return list(raw)
+
+    def _feature_ids(self, words: List[str]) -> Optional[List[int]]:
+        return None  # default: capitalization feature
+
+    def preprocess(self, raw) -> np.ndarray:
+        words = self._words(raw)
+        if not words:
+            raise ValueError(f"{self.task.upper()} query must contain at least one word")
+        return self.featurizer.featurize(words, self._feature_ids(words))
+
+    def postprocess(self, outputs: np.ndarray, raw) -> List[str]:
+        log_emissions = np.log(np.maximum(outputs, 1e-12))
+        path, _ = viterbi(
+            log_emissions, self.transitions.log_trans, self.transitions.log_init
+        )
+        return [self.tags[i] for i in path]
+
+
+class PosApp(NlpApp):
+    """Part-of-speech tagging (45 Penn Treebank tags)."""
+
+    def __init__(self, backend, featurizer, transitions=None):
+        super().__init__("pos", backend, featurizer, transitions)
+
+
+class NerApp(NlpApp):
+    """Named-entity recognition (CoNLL-2003 IOB2 tags)."""
+
+    def __init__(self, backend, featurizer, transitions=None):
+        super().__init__("ner", backend, featurizer, transitions)
+
+
+class ChkApp(NlpApp):
+    """Word chunking (CoNLL-2000 IOB2 tags), chained behind POS.
+
+    As in the paper, a CHK query first runs the POS application and encodes
+    the predicted POS tags as the discrete feature of its own windows — so
+    one CHK query costs two DNN service requests.
+    """
+
+    def __init__(self, backend, featurizer, pos_app: PosApp, transitions=None):
+        super().__init__("chk", backend, featurizer, transitions)
+        self.pos_app = pos_app
+        # POS tag -> feature id, offset past the caps features (0-3)
+        self._pos_feature = {tag: 4 + i for i, tag in enumerate(POS_TAGS)}
+
+    def _feature_ids(self, words: List[str]) -> List[int]:
+        pos_tags = self.pos_app.run(words)
+        return [self._pos_feature[t] for t in pos_tags]
+
+
+def tagging_training_set(
+    task: str,
+    corpus: Sequence[TaggedSentence],
+    featurizer: WindowFeaturizer,
+    pos_app: Optional[PosApp] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """(window vectors, tag labels) over a corpus, for training a tagger.
+
+    For CHK, gold POS tags are used as the chained feature (teacher forcing);
+    at inference the app uses predicted tags instead.
+    """
+    tags = TASK_TAGS[task]
+    tag_index = {t: i for i, t in enumerate(tags)}
+    gold = {"pos": lambda s: s.pos, "chk": lambda s: s.chunks, "ner": lambda s: s.entities}[task]
+    pos_feature = {tag: 4 + i for i, tag in enumerate(POS_TAGS)}
+    xs: List[np.ndarray] = []
+    ys: List[int] = []
+    for sentence in corpus:
+        feature_ids = None
+        if task == "chk":
+            feature_ids = [pos_feature[t] for t in sentence.pos]
+        xs.append(featurizer.featurize(list(sentence.words), feature_ids))
+        ys.extend(tag_index[t] for t in gold(sentence))
+    return np.concatenate(xs), np.asarray(ys, dtype=np.int64)

@@ -1,0 +1,146 @@
+"""Generic Viterbi decoding in log space.
+
+The same dynamic program serves both postprocessing stages the paper
+describes: ASR's "most likely sequence of text" search over acoustic
+posteriors (§3.2.2) and the NLP tasks' "most likely sequence of tagged
+words" (§3.2.3, SENNA's sentence-level inference).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+__all__ = ["viterbi", "viterbi_score", "beam_search"]
+
+NEG_INF = -1e30
+
+
+def viterbi(
+    log_emissions: np.ndarray,
+    log_transitions: np.ndarray,
+    log_initial: np.ndarray = None,
+) -> Tuple[List[int], float]:
+    """Most likely state path through a lattice.
+
+    Parameters
+    ----------
+    log_emissions:
+        (T, S) per-step state scores.
+    log_transitions:
+        (S, S) scores; ``log_transitions[i, j]`` scores moving i -> j.
+    log_initial:
+        (S,) scores for the first state; uniform if omitted.
+
+    Returns the best path (length T) and its total log score.
+    """
+    emissions = np.asarray(log_emissions, dtype=np.float64)
+    trans = np.asarray(log_transitions, dtype=np.float64)
+    if emissions.ndim != 2:
+        raise ValueError(f"log_emissions must be (T, S), got {emissions.shape}")
+    steps, states = emissions.shape
+    if trans.shape != (states, states):
+        raise ValueError(
+            f"log_transitions must be ({states}, {states}), got {trans.shape}"
+        )
+    if steps == 0:
+        return [], 0.0
+    if log_initial is None:
+        score = emissions[0].copy()
+    else:
+        init = np.asarray(log_initial, dtype=np.float64)
+        if init.shape != (states,):
+            raise ValueError(f"log_initial must be ({states},), got {init.shape}")
+        score = init + emissions[0]
+
+    backptr = np.zeros((steps, states), dtype=np.int64)
+    for t in range(1, steps):
+        candidate = score[:, None] + trans  # (from, to)
+        backptr[t] = np.argmax(candidate, axis=0)
+        score = candidate[backptr[t], np.arange(states)] + emissions[t]
+
+    best_last = int(np.argmax(score))
+    best_score = float(score[best_last])
+    path = [best_last]
+    for t in range(steps - 1, 0, -1):
+        path.append(int(backptr[t, path[-1]]))
+    path.reverse()
+    return path, best_score
+
+
+def beam_search(
+    log_emissions: np.ndarray,
+    log_transitions: np.ndarray,
+    log_initial: np.ndarray = None,
+    beam_width: int = 8,
+) -> Tuple[List[int], float]:
+    """Approximate best-path search keeping only ``beam_width`` live states.
+
+    This is how production decoders (Kaldi's included) trade exactness for
+    speed on large state spaces: at each step only the highest-scoring
+    states are extended.  With ``beam_width >= S`` it degenerates to exact
+    Viterbi; the tests quantify how quickly the approximation converges.
+    """
+    if beam_width < 1:
+        raise ValueError(f"beam_width must be >= 1, got {beam_width}")
+    emissions = np.asarray(log_emissions, dtype=np.float64)
+    trans = np.asarray(log_transitions, dtype=np.float64)
+    if emissions.ndim != 2:
+        raise ValueError(f"log_emissions must be (T, S), got {emissions.shape}")
+    steps, states = emissions.shape
+    if trans.shape != (states, states):
+        raise ValueError(f"log_transitions must be ({states}, {states})")
+    if steps == 0:
+        return [], 0.0
+
+    score = emissions[0].copy()
+    if log_initial is not None:
+        score = score + np.asarray(log_initial, dtype=np.float64)
+    width = min(beam_width, states)
+    live = np.argpartition(score, -width)[-width:]
+
+    backptr = np.zeros((steps, states), dtype=np.int64)
+    pruned = np.full(states, -np.inf)
+    pruned[live] = score[live]
+    score = pruned
+    for t in range(1, steps):
+        candidate = score[live][:, None] + trans[live]      # (beam, S)
+        best_src = np.argmax(candidate, axis=0)
+        backptr[t] = live[best_src]
+        stepped = candidate[best_src, np.arange(states)] + emissions[t]
+        live = np.argpartition(stepped, -width)[-width:]
+        live = live[np.isfinite(stepped[live])]
+        if live.size == 0:  # everything pruned to -inf: fall back to best
+            live = np.array([int(np.argmax(stepped))])
+        score = np.full(states, -np.inf)
+        score[live] = stepped[live]
+
+    best_last = int(live[np.argmax(score[live])])
+    best_score = float(score[best_last])
+    path = [best_last]
+    for t in range(steps - 1, 0, -1):
+        path.append(int(backptr[t, path[-1]]))
+    path.reverse()
+    return path, best_score
+
+
+def viterbi_score(
+    path: List[int],
+    log_emissions: np.ndarray,
+    log_transitions: np.ndarray,
+    log_initial: np.ndarray = None,
+) -> float:
+    """Log score of a specific path (for testing optimality properties)."""
+    emissions = np.asarray(log_emissions, dtype=np.float64)
+    trans = np.asarray(log_transitions, dtype=np.float64)
+    if len(path) != len(emissions):
+        raise ValueError("path length must equal number of steps")
+    if not path:
+        return 0.0
+    total = emissions[0, path[0]]
+    if log_initial is not None:
+        total += log_initial[path[0]]
+    for t in range(1, len(path)):
+        total += trans[path[t - 1], path[t]] + emissions[t, path[t]]
+    return float(total)

@@ -1,0 +1,114 @@
+"""Vocabulary, word embeddings, and SENNA window features.
+
+SENNA's word-embedding lookup and discrete-feature extraction happen in the
+*application* (preprocessing), not the DNN service — the paper's Table 3
+shows the NLP services receiving already-vectorized word windows.  This
+module is that preprocessing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from ..models.senna import FEATURE_DIM, WINDOW, WORD_DIM
+
+__all__ = ["Vocabulary", "WindowFeaturizer", "PAD_TOKEN", "UNK_TOKEN"]
+
+PAD_TOKEN = "<pad>"
+UNK_TOKEN = "<unk>"
+
+
+class Vocabulary:
+    """A closed vocabulary with seeded dense embeddings.
+
+    SENNA's embeddings came from two months of Wikipedia pre-training; ours
+    are seeded random vectors that the taggers' training shapes indirectly
+    (the window network learns on top of fixed embeddings, as SENNA does in
+    its frozen-embedding configuration).
+    """
+
+    def __init__(self, words: Iterable[str], dim: int = WORD_DIM, seed: int = 7):
+        uniq: List[str] = [PAD_TOKEN, UNK_TOKEN]
+        seen = set(uniq)
+        for word in words:
+            token = word.lower()
+            if token not in seen:
+                uniq.append(token)
+                seen.add(token)
+        self._index: Dict[str, int] = {w: i for i, w in enumerate(uniq)}
+        self.words = uniq
+        self.dim = dim
+        rng = np.random.default_rng(seed)
+        self.embeddings = rng.normal(0.0, 0.3, size=(len(uniq), dim)).astype(np.float32)
+        self.embeddings[0] = 0.0  # pad embeds to zero
+
+    def __len__(self) -> int:
+        return len(self.words)
+
+    def index(self, word: str) -> int:
+        return self._index.get(word.lower(), self._index[UNK_TOKEN])
+
+    def embed(self, word: str) -> np.ndarray:
+        return self.embeddings[self.index(word)]
+
+
+def _caps_feature(word: str) -> int:
+    """SENNA's capitalization feature: 0 lower, 1 upper-initial, 2 all-caps, 3 other."""
+    if word.islower() or not any(c.isalpha() for c in word):
+        return 0
+    if word.isupper():
+        return 2
+    if word[0].isupper():
+        return 1
+    return 3
+
+
+class WindowFeaturizer:
+    """Turn a sentence into per-word 5x(50+10)-dim window vectors.
+
+    The 10-dim discrete-feature slot encodes capitalization for POS/NER; for
+    CHK it instead encodes the POS tag predicted by the chained POS request
+    (paper §3.2.3: CHK "internally makes a POS service request, updates the
+    tags for its input, and then makes its own DNN service request").
+    """
+
+    def __init__(self, vocab: Vocabulary, feature_vocab_size: int = 64, seed: int = 13):
+        self.vocab = vocab
+        rng = np.random.default_rng(seed)
+        self.feature_embeddings = rng.normal(
+            0.0, 0.3, size=(feature_vocab_size, FEATURE_DIM)
+        ).astype(np.float32)
+        self.feature_vocab_size = feature_vocab_size
+
+    @property
+    def window_dim(self) -> int:
+        return WINDOW * (self.vocab.dim + FEATURE_DIM)
+
+    def _token_vector(self, word: str, feature_id: int) -> np.ndarray:
+        if word == PAD_TOKEN:
+            return np.zeros(self.vocab.dim + FEATURE_DIM, dtype=np.float32)
+        feat = self.feature_embeddings[feature_id % self.feature_vocab_size]
+        return np.concatenate([self.vocab.embed(word), feat])
+
+    def featurize(
+        self, words: Sequence[str], feature_ids: Sequence[int] = None
+    ) -> np.ndarray:
+        """Window vectors for every word: shape (len(words), window_dim).
+
+        ``feature_ids`` supplies one discrete feature per word (defaults to
+        the capitalization feature).
+        """
+        if feature_ids is None:
+            feature_ids = [_caps_feature(w) for w in words]
+        if len(feature_ids) != len(words):
+            raise ValueError("feature_ids must align with words")
+        half = WINDOW // 2
+        padded_words = [PAD_TOKEN] * half + [w for w in words] + [PAD_TOKEN] * half
+        padded_feats = [0] * half + list(feature_ids) + [0] * half
+        token_vecs = np.stack(
+            [self._token_vector(w, f) for w, f in zip(padded_words, padded_feats)]
+        )
+        rows = [token_vecs[i : i + WINDOW].reshape(-1) for i in range(len(words))]
+        return np.stack(rows) if rows else np.zeros((0, self.window_dim), dtype=np.float32)

@@ -1,0 +1,37 @@
+"""``repro.wsc`` — warehouse-scale computer designs and TCO (paper §6).
+
+The Table 4 cost model, Table 5 workload mixes, Table 6 interconnect
+generations, the three WSC design points (CPU-only / integrated GPU /
+disaggregated GPU), and the analyses behind Figures 15 and 16.
+"""
+
+from .analysis import FutureNetworkPoint, TcoSweepPoint, future_network_study, tco_sweep
+from .costs import CostFactors, Inventory, TcoBreakdown, monthly_loan_payment, tco
+from .designs import DesignResult, ServicePlan, WscDesigner
+from .interconnect import CONFIGS, PCIE3_10GBE, PCIE4_40GBE, QPI_400GBE, InterconnectConfig
+from .workloads import IMAGE, MIXED, NLP, WORKLOADS, Workload
+
+__all__ = [
+    "FutureNetworkPoint",
+    "TcoSweepPoint",
+    "future_network_study",
+    "tco_sweep",
+    "CostFactors",
+    "Inventory",
+    "TcoBreakdown",
+    "monthly_loan_payment",
+    "tco",
+    "DesignResult",
+    "ServicePlan",
+    "WscDesigner",
+    "CONFIGS",
+    "PCIE3_10GBE",
+    "PCIE4_40GBE",
+    "QPI_400GBE",
+    "InterconnectConfig",
+    "IMAGE",
+    "MIXED",
+    "NLP",
+    "WORKLOADS",
+    "Workload",
+]

@@ -1,0 +1,108 @@
+"""The paper's §6 experiments: Figure 15's TCO sweeps and Figure 16's
+future-network study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..gpusim.appmodel import app_model
+from ..gpusim.multigpu import GpuServerModel
+from .costs import CostFactors, TcoBreakdown
+from .designs import DesignResult, WscDesigner
+from .interconnect import CONFIGS, PCIE3_10GBE, InterconnectConfig
+from .workloads import Workload
+
+__all__ = ["TcoSweepPoint", "tco_sweep", "FutureNetworkPoint", "future_network_study"]
+
+
+@dataclass(frozen=True)
+class TcoSweepPoint:
+    """One x-position of Figure 15: normalized TCO of the three designs."""
+
+    dnn_fraction: float
+    cpu_only: float          # always 1.0 (the normalization base)
+    integrated: float
+    disaggregated: float
+
+
+def tco_sweep(
+    workload: Workload,
+    fractions: Sequence[float] = tuple(i / 10 for i in range(1, 11)),
+    designer: WscDesigner = None,
+) -> List[TcoSweepPoint]:
+    """Normalized TCO across DNN-share fractions (one Figure 15 panel)."""
+    designer = designer or WscDesigner()
+    points = []
+    for f in fractions:
+        results = designer.all_designs(workload, f)
+        base = results["cpu_only"].total_tco
+        points.append(
+            TcoSweepPoint(
+                dnn_fraction=f,
+                cpu_only=1.0,
+                integrated=results["integrated"].total_tco / base,
+                disaggregated=results["disaggregated"].total_tco / base,
+            )
+        )
+    return points
+
+
+# ---------------------------------------------------------------------------
+# Figure 16: what better interconnects buy
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FutureNetworkPoint:
+    """One interconnect config's outcome for a workload (one Fig 16 group)."""
+
+    config: InterconnectConfig
+    performance: float                    # workload throughput vs PCIe v3 design
+    breakdowns: Dict[str, TcoBreakdown]   # per design, at the scaled target
+
+
+def _host_throughput_ratio(app: str, config: InterconnectConfig,
+                           designer: WscDesigner) -> float:
+    """How much more of this service one disagg GPU host delivers vs v3."""
+
+    def per_host(c: InterconnectConfig) -> float:
+        per_gpu = GpuServerModel(app_model(app), designer.platform).per_gpu_qps()
+        unconstrained = per_gpu * c.gpus_per_disagg_host
+        feed_cap = c.host_bottleneck_gbs * 1e9 / app_model(app).wire_bytes_per_query
+        return min(unconstrained, feed_cap)
+
+    return per_host(config) / per_host(PCIE3_10GBE)
+
+
+def future_network_study(
+    workload: Workload,
+    dnn_fraction: float = 1.0,
+    configs: Sequence[InterconnectConfig] = CONFIGS,
+    total_servers: int = 500,
+    factors: CostFactors = CostFactors(),
+) -> List[FutureNetworkPoint]:
+    """Figure 16: grow the WSC to the throughput each network unlocks.
+
+    For each interconnect generation, the workload target is scaled by the
+    average per-service gain a disaggregated GPU host realizes from the
+    richer network (bandwidth-bound services scale; compute-bound ones
+    don't).  The integrated and disaggregated designs are provisioned under
+    that generation's interconnect; the CPU-only design must simply buy
+    proportionally more servers (it keeps PCIe v3 + 10GbE — more network
+    does not make CPUs faster).
+    """
+    baseline_designer = WscDesigner(total_servers, factors=factors, config=PCIE3_10GBE)
+    points = []
+    for config in configs:
+        designer = WscDesigner(total_servers, factors=factors, config=config)
+        ratios = [_host_throughput_ratio(app, config, designer) for app in workload.apps]
+        performance = sum(ratios) / len(ratios)
+        breakdowns = {
+            "cpu_only": baseline_designer.cpu_only(workload, dnn_fraction, scale=performance).breakdown,
+            "integrated": designer.integrated(workload, dnn_fraction, scale=performance).breakdown,
+            "disaggregated": designer.disaggregated(workload, dnn_fraction, scale=performance).breakdown,
+        }
+        points.append(FutureNetworkPoint(config=config, performance=performance,
+                                         breakdowns=breakdowns))
+    return points

@@ -1,0 +1,164 @@
+"""TCO cost model (paper Table 4 and §6.3).
+
+Methodology follows the paper's description (inspired by Barroso et al.):
+upfront hardware capital expenditures (servers, GPUs, NICs), facility capex
+per provisioned watt, financing at 8% over the 3-year amortization period,
+and operating costs (facility opex per watt, electricity under PUE, and
+monthly maintenance).  One stated assumption the paper leaves implicit:
+"server maintenance/operations 5%/month" is charged as 5% of the monthly
+amortized hardware cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["CostFactors", "Inventory", "TcoBreakdown", "monthly_loan_payment", "tco"]
+
+HOURS_PER_MONTH = 24 * 365 / 12
+
+
+@dataclass(frozen=True)
+class CostFactors:
+    """Table 4, plus component power draws measured on the paper's server."""
+
+    gpu_server_cost: float = 6864.0        # 300W GPU-capable server
+    gpu_server_watts: float = 300.0
+    gpu_cost: float = 3314.0               # high-end 240W GPU
+    gpu_watts: float = 240.0
+    wimpy_server_cost: float = 1716.0      # 75W wimpy server
+    wimpy_server_watts: float = 75.0
+    nic_cost: float = 750.0                # per 10GbE NIC incl. switch share
+    capex_per_watt: float = 10.0           # WSC facility capex
+    opex_per_watt_month: float = 0.04      # operational expenditures
+    pue: float = 1.1
+    electricity_per_kwh: float = 0.067
+    interest_rate_yearly: float = 0.08
+    lifetime_months: int = 36              # server lifetime = loan period
+    maintenance_monthly_frac: float = 0.05
+
+
+@dataclass(frozen=True)
+class Inventory:
+    """Hardware counts for one WSC design (fluid counts are allowed for
+    large fleets; design provisioning applies integer rounding where the
+    paper's quantization effects matter)."""
+
+    beefy_servers: float = 0.0
+    wimpy_servers: float = 0.0
+    gpus: float = 0.0
+    nics: float = 0.0
+    #: NIC cost multiplier for upgraded networks (Table 6 assumptions)
+    nic_cost_factor: float = 1.0
+    #: how many servers carry an interconnect upgrade, and its unit cost
+    upgraded_servers: float = 0.0
+    upgrade_unit_cost: float = 0.0
+
+    def __add__(self, other: "Inventory") -> "Inventory":
+        if self.nic_cost_factor != other.nic_cost_factor:
+            raise ValueError("cannot add inventories with different NIC pricing")
+        if (self.upgrade_unit_cost and other.upgrade_unit_cost
+                and self.upgrade_unit_cost != other.upgrade_unit_cost):
+            raise ValueError("cannot add inventories with different upgrade pricing")
+        return Inventory(
+            self.beefy_servers + other.beefy_servers,
+            self.wimpy_servers + other.wimpy_servers,
+            self.gpus + other.gpus,
+            self.nics + other.nics,
+            self.nic_cost_factor,
+            self.upgraded_servers + other.upgraded_servers,
+            self.upgrade_unit_cost or other.upgrade_unit_cost,
+        )
+
+    def watts(self, factors: CostFactors) -> float:
+        return (
+            self.beefy_servers * factors.gpu_server_watts
+            + self.wimpy_servers * factors.wimpy_server_watts
+            + self.gpus * factors.gpu_watts
+        )
+
+    def hardware_cost(self, factors: CostFactors) -> Dict[str, float]:
+        return {
+            "servers": (
+                self.beefy_servers * factors.gpu_server_cost
+                + self.wimpy_servers * factors.wimpy_server_cost
+                + self.upgraded_servers * self.upgrade_unit_cost
+            ),
+            "gpus": self.gpus * factors.gpu_cost,
+            "network": self.nics * factors.nic_cost * self.nic_cost_factor,
+        }
+
+
+@dataclass
+class TcoBreakdown:
+    """Lifetime (3-year) TCO split into the components Figure 16 plots."""
+
+    servers: float
+    gpus: float
+    network: float
+    facility: float
+    interest: float
+    power: float
+    opex: float
+    maintenance: float
+
+    @property
+    def total(self) -> float:
+        return (
+            self.servers + self.gpus + self.network + self.facility
+            + self.interest + self.power + self.opex + self.maintenance
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "servers": self.servers,
+            "gpus": self.gpus,
+            "network": self.network,
+            "facility": self.facility,
+            "interest": self.interest,
+            "power": self.power,
+            "opex": self.opex,
+            "maintenance": self.maintenance,
+        }
+
+
+def monthly_loan_payment(principal: float, yearly_rate: float, months: int) -> float:
+    """Standard amortized loan payment."""
+    if principal < 0:
+        raise ValueError("principal must be non-negative")
+    if months <= 0:
+        raise ValueError("months must be positive")
+    monthly_rate = yearly_rate / 12.0
+    if monthly_rate == 0:
+        return principal / months
+    factor = (1 + monthly_rate) ** months
+    return principal * monthly_rate * factor / (factor - 1)
+
+
+def tco(inventory: Inventory, factors: CostFactors = CostFactors()) -> TcoBreakdown:
+    """Three-year total cost of ownership of a hardware inventory."""
+    hardware = inventory.hardware_cost(factors)
+    watts = inventory.watts(factors)
+    facility = watts * factors.capex_per_watt
+    capex = sum(hardware.values()) + facility
+
+    months = factors.lifetime_months
+    payments = monthly_loan_payment(capex, factors.interest_rate_yearly, months) * months
+    interest = payments - capex
+
+    power = watts * factors.pue * HOURS_PER_MONTH * months * factors.electricity_per_kwh / 1000.0
+    opex = watts * factors.opex_per_watt_month * months
+    hw_total = sum(hardware.values())
+    maintenance = factors.maintenance_monthly_frac * (hw_total / months) * months
+
+    return TcoBreakdown(
+        servers=hardware["servers"],
+        gpus=hardware["gpus"],
+        network=hardware["network"],
+        facility=facility,
+        interest=interest,
+        power=power,
+        opex=opex,
+        maintenance=maintenance,
+    )

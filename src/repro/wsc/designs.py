@@ -1,0 +1,213 @@
+"""The three WSC design points (paper §6.2-6.3, Figure 14).
+
+*CPU Only* — homogeneous beefy servers run everything.
+*Integrated GPU* — the DNN-service portion runs on servers that bundle a
+beefy CPU with a fixed 12 GPUs (the homogeneity constraint); a service that
+cannot feed 12 GPUs through the host link strands the remainder.
+*Disaggregated GPU* — beefy CPU servers keep the non-DNN work; GPUs live in
+wimpy-core hosts behind a 16x10GbE network and are provisioned exactly.
+
+Provisioning methodology (per the paper): fix a CPU-only WSC of
+``total_servers``; apportion its servers across the workload's services to
+obtain per-service throughput targets; then build each GPU design out to
+match those targets and compare TCO.
+
+Queries keep their CPU-side pre/post-processing in every design (the red
+arrows of the paper's Figure 14): GPU designs accelerate only the DNN
+portion, so each service retains beefy-CPU capacity for its pre/post work —
+integrated servers supply it from their own sockets, the disaggregated
+design provisions separate beefy servers.  This retention is what caps the
+NLP workload's TCO improvement near the paper's 4x.  Set
+``include_prepost=False`` to model pure-inference provisioning instead
+(EXPERIMENTS.md discusses how the two readings bracket the paper's
+Figure 15 numbers).
+
+Server counts are integral per service — the quantization is what produces
+Figure 15b's crossover, where integrated servers' fixed 12-GPU bundles stop
+being wasteful once every service is large enough to fill them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..gpusim.appmodel import app_model
+from ..gpusim.device import PLATFORM, PlatformSpec
+from ..gpusim.multigpu import GpuServerModel
+from .costs import CostFactors, Inventory, TcoBreakdown, tco
+from .interconnect import PCIE3_10GBE, InterconnectConfig
+from .workloads import Workload
+
+__all__ = ["ServicePlan", "DesignResult", "WscDesigner"]
+
+
+@dataclass(frozen=True)
+class ServicePlan:
+    """Per-service provisioning detail inside one design."""
+
+    app: str
+    target_qps: float
+    gpus: float = 0.0
+    servers: float = 0.0          # integrated servers or disagg GPU hosts
+    gpus_per_server: float = 0.0  # usable GPUs per server (bandwidth-capped)
+
+
+@dataclass
+class DesignResult:
+    """One provisioned WSC design with its cost."""
+
+    design: str
+    inventory: Inventory
+    breakdown: TcoBreakdown
+    plans: Dict[str, ServicePlan] = field(default_factory=dict)
+
+    @property
+    def total_tco(self) -> float:
+        return self.breakdown.total
+
+
+class WscDesigner:
+    """Builds and costs the three designs for a workload mix."""
+
+    def __init__(
+        self,
+        total_servers: int = 500,
+        platform: PlatformSpec = PLATFORM,
+        factors: CostFactors = CostFactors(),
+        config: InterconnectConfig = PCIE3_10GBE,
+        include_prepost: bool = True,
+    ):
+        if total_servers < 1:
+            raise ValueError("total_servers must be positive")
+        self.total_servers = total_servers
+        self.platform = platform
+        self.factors = factors
+        self.config = config
+        self.include_prepost = include_prepost
+
+    # ------------------------------------------------------------- targets
+    def _cpu_query_time(self, app: str) -> float:
+        model = app_model(app)
+        if self.include_prepost:
+            return model.cpu_query_time(self.platform.cpu_core)
+        return model.cpu_dnn_time(self.platform.cpu_core)
+
+    def service_targets(self, workload: Workload, dnn_fraction: float,
+                        scale: float = 1.0) -> Dict[str, float]:
+        """Per-service QPS the CPU-only design delivers (the match target)."""
+        cores = self.platform.total_cores
+        targets = {}
+        for app, share in workload.shares(dnn_fraction).items():
+            servers = share * self.total_servers
+            targets[app] = servers * cores / self._cpu_query_time(app) * scale
+        return targets
+
+    def _prepost_servers(self, app: str, target_qps: float) -> float:
+        """Beefy servers a GPU design keeps for this service's pre/post."""
+        if not self.include_prepost:
+            return 0.0
+        per_query = app_model(app).cpu_prepost_time(self.platform.cpu_core)
+        return target_qps * per_query / self.platform.total_cores
+
+    def _per_gpu_qps(self, app: str) -> float:
+        return GpuServerModel(app_model(app), self.platform).per_gpu_qps()
+
+    # ------------------------------------------------------------- designs
+    def cpu_only(self, workload: Workload, dnn_fraction: float,
+                 scale: float = 1.0) -> DesignResult:
+        """Homogeneous CPU servers; throughput scaling means more servers."""
+        servers = self.total_servers * ((1.0 - dnn_fraction) + dnn_fraction * scale)
+        inventory = Inventory(beefy_servers=servers, nics=servers)
+        plans = {
+            app: ServicePlan(app=app, target_qps=qps)
+            for app, qps in self.service_targets(workload, dnn_fraction, scale).items()
+        }
+        return DesignResult("cpu_only", inventory, tco(inventory, self.factors), plans)
+
+    def integrated(self, workload: Workload, dnn_fraction: float,
+                   scale: float = 1.0) -> DesignResult:
+        """Non-DNN servers plus fixed 12-GPU integrated servers per service."""
+        config = self.config
+        non_dnn = (1.0 - dnn_fraction) * self.total_servers
+        inventory = Inventory(
+            beefy_servers=non_dnn,
+            nics=non_dnn,
+            nic_cost_factor=config.nic_cost_factor,
+            upgrade_unit_cost=config.interconnect_upgrade_per_server,
+        )
+        plans: Dict[str, ServicePlan] = {}
+        for app, target in self.service_targets(workload, dnn_fraction, scale).items():
+            per_gpu = self._per_gpu_qps(app)
+            bw_per_gpu = per_gpu * app_model(app).wire_bytes_per_query  # bytes/s
+            usable = min(
+                config.gpus_per_integrated_server,
+                config.host_link_gbs * 1e9 / bw_per_gpu,
+            )
+            if target > 0:
+                servers = math.ceil(target / (per_gpu * usable))
+                # the integrated servers' own CPUs absorb pre/post work;
+                # overflow runs on plain beefy servers of the same type
+                prepost_extra = math.ceil(
+                    max(0.0, self._prepost_servers(app, target) - servers)
+                )
+            else:
+                servers = prepost_extra = 0
+            plans[app] = ServicePlan(app, target, gpus=config.gpus_per_integrated_server * servers,
+                                     servers=servers + prepost_extra, gpus_per_server=usable)
+            inventory = inventory + Inventory(
+                beefy_servers=servers + prepost_extra,
+                gpus=config.gpus_per_integrated_server * servers,
+                nics=servers + prepost_extra,
+                nic_cost_factor=config.nic_cost_factor,
+                upgraded_servers=servers,
+                upgrade_unit_cost=config.interconnect_upgrade_per_server,
+            )
+        return DesignResult("integrated", inventory, tco(inventory, self.factors), plans)
+
+    def disaggregated(self, workload: Workload, dnn_fraction: float,
+                      scale: float = 1.0) -> DesignResult:
+        """Non-DNN beefy servers plus exactly-provisioned wimpy GPU hosts."""
+        config = self.config
+        non_dnn = (1.0 - dnn_fraction) * self.total_servers
+        inventory = Inventory(
+            beefy_servers=non_dnn,
+            nics=non_dnn,
+            nic_cost_factor=config.nic_cost_factor,
+            upgrade_unit_cost=config.interconnect_upgrade_per_server,
+        )
+        feed_gbs = config.host_bottleneck_gbs
+        plans: Dict[str, ServicePlan] = {}
+        for app, target in self.service_targets(workload, dnn_fraction, scale).items():
+            per_gpu = self._per_gpu_qps(app)
+            bytes_per_query = app_model(app).wire_bytes_per_query
+            bw_per_gpu = per_gpu * bytes_per_query
+            # one GPU cannot be fed faster than the host's network ingress
+            per_gpu_eff = min(per_gpu, feed_gbs * 1e9 / bytes_per_query)
+            gpus_per_host = max(1.0, min(config.gpus_per_disagg_host,
+                                         feed_gbs * 1e9 / bw_per_gpu))
+            gpus = math.ceil(target / per_gpu_eff) if target > 0 else 0
+            hosts = math.ceil(gpus / gpus_per_host) if gpus else 0
+            prepost = math.ceil(self._prepost_servers(app, target)) if target > 0 else 0
+            plans[app] = ServicePlan(app, target, gpus=gpus, servers=hosts,
+                                     gpus_per_server=gpus_per_host)
+            inventory = inventory + Inventory(
+                beefy_servers=prepost,
+                wimpy_servers=hosts,
+                gpus=gpus,
+                nics=hosts * config.nics_per_gpu_host + prepost,
+                nic_cost_factor=config.nic_cost_factor,
+                upgraded_servers=hosts,
+                upgrade_unit_cost=config.interconnect_upgrade_per_server,
+            )
+        return DesignResult("disaggregated", inventory, tco(inventory, self.factors), plans)
+
+    # ------------------------------------------------------------ combined
+    def all_designs(self, workload: Workload, dnn_fraction: float,
+                    scale: float = 1.0) -> Dict[str, DesignResult]:
+        return {
+            "cpu_only": self.cpu_only(workload, dnn_fraction, scale),
+            "integrated": self.integrated(workload, dnn_fraction, scale),
+            "disaggregated": self.disaggregated(workload, dnn_fraction, scale),
+        }

@@ -1,0 +1,85 @@
+"""Interconnect/network design points (paper Table 6 and §6.4).
+
+Three generations pairing an in-server CPU->GPU interconnect with a network
+provisioned to saturate it (assuming the paper's 20% ethernet protocol
+overhead):
+
+* PCIe v3 x16 + 16 teamed 10GbE  (the measured baseline)
+* PCIe v4 x16 + 9 teamed 40GbE   (cutting-edge at the time)
+* QPI x12 links + 8 teamed 400GbE (near-future, 12 GPUs per 2-socket host)
+
+The paper's price columns are partially garbled in the available text, so
+the cost factors below are stated assumptions: 40GbE NICs at 2.5x the
+10GbE unit price, 400GbE at 8x (near-future pricing, per the paper's
+optimistic projections); PCIe v4 adds $250/server, QPI-attached GPU fabric
+adds $2000/server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..gpusim.pcie import ethernet_effective_gbs
+
+__all__ = ["InterconnectConfig", "PCIE3_10GBE", "PCIE4_40GBE", "QPI_400GBE", "CONFIGS"]
+
+
+@dataclass(frozen=True)
+class InterconnectConfig:
+    """One Table 6 row: in-server link + matched network for a GPU host."""
+
+    name: str
+    host_link_gbs: float           # CPU->GPU aggregate inside one server
+    nics_per_gpu_host: int
+    nic_raw_gbs: float
+    nic_cost_factor: float         # vs the $750 10GbE baseline unit
+    interconnect_upgrade_per_server: float
+    gpus_per_integrated_server: int
+    gpus_per_disagg_host: int
+
+    @property
+    def network_gbs_per_host(self) -> float:
+        """Effective ethernet ingress of one GPU host."""
+        return self.nics_per_gpu_host * ethernet_effective_gbs(self.nic_raw_gbs)
+
+    @property
+    def host_bottleneck_gbs(self) -> float:
+        """The binding data-feed limit of a disaggregated GPU host."""
+        return min(self.network_gbs_per_host, self.host_link_gbs)
+
+
+PCIE3_10GBE = InterconnectConfig(
+    name="PCIe v3 + 10GbE",
+    host_link_gbs=31.5,            # 2 root complexes x PCIe v3 x16
+    nics_per_gpu_host=16,
+    nic_raw_gbs=1.25,
+    nic_cost_factor=1.0,
+    interconnect_upgrade_per_server=0.0,
+    gpus_per_integrated_server=12,
+    gpus_per_disagg_host=8,
+)
+
+PCIE4_40GBE = InterconnectConfig(
+    name="PCIe v4 + 40GbE",
+    host_link_gbs=63.5,            # 2 x PCIe v4 x16
+    nics_per_gpu_host=9,
+    nic_raw_gbs=5.0,
+    nic_cost_factor=2.5,
+    interconnect_upgrade_per_server=250.0,
+    gpus_per_integrated_server=12,
+    gpus_per_disagg_host=8,
+)
+
+QPI_400GBE = InterconnectConfig(
+    name="QPI + 400GbE",
+    host_link_gbs=307.2,           # 12 point-to-point QPI links
+    nics_per_gpu_host=8,
+    nic_raw_gbs=50.0,
+    nic_cost_factor=8.0,
+    interconnect_upgrade_per_server=2000.0,
+    gpus_per_integrated_server=12,
+    gpus_per_disagg_host=12,
+)
+
+CONFIGS: Tuple[InterconnectConfig, ...] = (PCIE3_10GBE, PCIE4_40GBE, QPI_400GBE)

@@ -1,0 +1,40 @@
+"""DNN service workload mixes (paper Table 5).
+
+A workload assigns equal shares of the WSC's DNN-service cycles to its
+member applications, exactly as the paper provisions ("given a workload
+composed of 70% from the MIXED DNN workload ... we would provision ... 10%
+to each of the DNN services").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = ["Workload", "MIXED", "IMAGE", "NLP", "WORKLOADS"]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named DNN service mix with equal per-service shares."""
+
+    name: str
+    apps: Tuple[str, ...]
+
+    def __post_init__(self):
+        if not self.apps:
+            raise ValueError(f"workload {self.name!r} has no applications")
+
+    def shares(self, dnn_fraction: float) -> Dict[str, float]:
+        """Fraction of the total WSC assigned to each service."""
+        if not 0.0 <= dnn_fraction <= 1.0:
+            raise ValueError(f"dnn_fraction must be in [0, 1], got {dnn_fraction}")
+        per_service = dnn_fraction / len(self.apps)
+        return {app: per_service for app in self.apps}
+
+
+MIXED = Workload("MIXED", ("imc", "dig", "face", "asr", "pos", "chk", "ner"))
+IMAGE = Workload("IMAGE", ("imc", "dig", "face"))
+NLP = Workload("NLP", ("pos", "chk", "ner"))
+
+WORKLOADS: Dict[str, Workload] = {"MIXED": MIXED, "IMAGE": IMAGE, "NLP": NLP}

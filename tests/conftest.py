@@ -1,0 +1,15 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(0xD1A77)
+
+
+@pytest.fixture(scope="session")
+def session_rng():
+    return np.random.default_rng(1234)

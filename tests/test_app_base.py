@@ -1,0 +1,64 @@
+"""Tests for the TonicApp base plumbing (timings, backend protocol)."""
+
+import numpy as np
+import pytest
+
+from repro.tonic.app import DnnBackend, StageTiming, TonicApp
+
+
+class _Doubler(TonicApp):
+    """A trivial app: preprocess scales, postprocess sums."""
+
+    def preprocess(self, raw):
+        return np.asarray(raw, dtype=np.float32) * 2.0
+
+    def postprocess(self, outputs, raw):
+        return float(outputs.sum())
+
+
+class _EchoBackend(DnnBackend):
+    def __init__(self):
+        self.calls = []
+
+    def infer(self, model, inputs):
+        self.calls.append((model, inputs.shape))
+        return inputs + 1.0
+
+
+class TestStageTiming:
+    def test_total_and_fraction(self):
+        t = StageTiming(pre_s=1.0, dnn_s=2.0, post_s=1.0)
+        assert t.total_s == 4.0
+        assert t.dnn_fraction == 0.5
+
+    def test_zero_total_fraction(self):
+        assert StageTiming().dnn_fraction == 0.0
+
+    def test_addition_accumulates_stages(self):
+        total = StageTiming(1, 2, 3) + StageTiming(4, 5, 6)
+        assert (total.pre_s, total.dnn_s, total.post_s) == (5, 7, 9)
+
+
+class TestTonicAppPlumbing:
+    def test_run_equals_run_timed_result(self):
+        app = _Doubler("echo", _EchoBackend())
+        x = np.ones((2, 3))
+        result, timing = app.run_timed(x)
+        assert app.run(x) == result
+        assert result == float((x * 2 + 1).sum())
+        assert timing.pre_s >= 0 and timing.dnn_s >= 0 and timing.post_s >= 0
+
+    def test_backend_receives_app_name_as_model(self):
+        backend = _EchoBackend()
+        app = _Doubler("echo", backend)
+        app.run(np.ones((1, 2)))
+        assert backend.calls == [("echo", (1, 2))]
+
+    def test_base_class_is_abstract(self):
+        app = TonicApp("x", _EchoBackend())
+        with pytest.raises(NotImplementedError):
+            app.run(np.ones(2))
+
+    def test_dnn_backend_protocol_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            DnnBackend().infer("m", np.ones(1))

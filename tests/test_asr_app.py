@@ -1,0 +1,138 @@
+"""Unit tests for the ASR application: HMM topology, phone-to-word DP, frame
+labeling, and the untrained end-to-end path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import LayerSpec, Net, NetSpec
+from repro.tonic import LocalBackend, PHONES, synthesize_words
+from repro.tonic.asr import (
+    STATES_PER_PHONE,
+    AsrApp,
+    HmmTopology,
+    acoustic_training_set,
+    frame_state_labels,
+    words_from_phones,
+)
+
+
+def tiny_acoustic_net(num_senones):
+    spec = NetSpec("tiny_am", (440,), (
+        LayerSpec("InnerProduct", "h", {"num_output": 32}),
+        LayerSpec("Sigmoid", "s"),
+        LayerSpec("InnerProduct", "out", {"num_output": num_senones}),
+        LayerSpec("Softmax", "p"),
+    ))
+    return Net(spec).materialize(0)
+
+
+class TestHmmTopology:
+    def test_state_count(self):
+        topo = HmmTopology()
+        assert topo.num_states == len(PHONES) * STATES_PER_PHONE
+
+    def test_left_to_right_structure(self):
+        topo = HmmTopology(self_loop=0.6)
+        t = topo.log_transitions
+        # self loops on every state
+        assert np.all(np.isfinite(np.diag(t)))
+        # state 0 -> state 1 allowed; 0 -> 2 forbidden
+        assert np.isfinite(t[0, 1]) and not np.isfinite(t[0, 2])
+        # exit states connect to every phone's entry state
+        exit_state = STATES_PER_PHONE - 1
+        entries = t[exit_state, ::STATES_PER_PHONE]
+        assert np.all(np.isfinite(entries))
+
+    def test_rows_are_normalized_probabilities(self):
+        topo = HmmTopology(self_loop=0.7)
+        probs = np.exp(topo.log_transitions)
+        probs[~np.isfinite(topo.log_transitions)] = 0.0
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, rtol=1e-9)
+
+    def test_initial_only_on_entry_states(self):
+        topo = HmmTopology()
+        init = topo.log_initial
+        assert np.all(np.isfinite(init[::STATES_PER_PHONE]))
+        assert not np.any(np.isfinite(init[1::STATES_PER_PHONE]))
+
+    def test_rejects_bad_self_loop(self):
+        with pytest.raises(ValueError):
+            HmmTopology(self_loop=1.0)
+
+
+class TestWordsFromPhones:
+    def test_exact_pronunciations_recovered(self):
+        assert words_from_phones(["g", "ow"]) == ["go"]
+        assert words_from_phones(["g", "ow", "s", "t", "aa", "b"]) == ["go", "stop"]
+
+    def test_tolerates_one_phone_error(self):
+        # 'stop' with its final phone wrong still beats the skip penalty
+        assert "stop" in words_from_phones(["s", "t", "aa", "d"])
+
+    def test_tolerates_insertion(self):
+        assert words_from_phones(["g", "g", "ow"]) == ["go"]
+
+    def test_empty_input(self):
+        assert words_from_phones([]) == []
+
+    def test_garbage_is_skipped_not_hallucinated(self):
+        # pure silence-adjacent noise phones produce at most short parses
+        out = words_from_phones(["k"])
+        assert len(out) <= 1
+
+
+class TestFrameLabels:
+    def test_labels_follow_alignment(self):
+        audio, alignment = synthesize_words(["go"], seed=0)
+        from repro.tonic.dsp import FrontendConfig, fbank_features
+        frames = len(fbank_features(audio))
+        labels = frame_state_labels(alignment, frames)
+        topo = HmmTopology()
+        phones_seen = {topo.phones[l // STATES_PER_PHONE] for l in labels}
+        assert {"sil", "g", "ow"} <= phones_seen
+
+    def test_substates_progress_within_phone(self):
+        alignment = [("aa", 0, 16000)]  # one long phone
+        labels = frame_state_labels(alignment, 98)
+        subs = labels % STATES_PER_PHONE
+        # early frames are state 0, late frames state 2
+        assert subs[0] == 0 and subs[-1] == STATES_PER_PHONE - 1
+        assert np.all(np.diff(subs) >= 0)
+
+    def test_training_set_shapes(self):
+        utts = [synthesize_words(["go"], seed=i) for i in range(2)]
+        feats, labels = acoustic_training_set(utts)
+        assert feats.shape[1] == 440
+        assert feats.shape[0] == labels.shape[0]
+        assert labels.max() < len(PHONES) * STATES_PER_PHONE
+
+
+class TestAsrApp:
+    def test_preprocess_produces_spliced_frames(self):
+        app = AsrApp(LocalBackend(tiny_acoustic_net(48)))
+        audio, _ = synthesize_words(["go", "left"], seed=1)
+        feats = app.preprocess(audio)
+        assert feats.shape[1] == 440
+
+    def test_untrained_pipeline_runs_end_to_end(self):
+        app = AsrApp(LocalBackend(tiny_acoustic_net(48)))
+        audio, _ = synthesize_words(["yes"], seed=2)
+        transcript = app.run(audio)
+        assert isinstance(transcript.text, str)
+        assert np.isfinite(transcript.log_score)
+
+    def test_senone_tying_for_oversized_output(self):
+        """A full-size 3483-senone model decodes via modulo tying."""
+        app = AsrApp(LocalBackend(tiny_acoustic_net(96)), num_senones=96)
+        audio, _ = synthesize_words(["no"], seed=3)
+        transcript = app.run(audio)
+        assert transcript.phones is not None
+
+    def test_rejects_insufficient_senones(self):
+        with pytest.raises(ValueError, match="cover"):
+            AsrApp(LocalBackend(tiny_acoustic_net(10)), num_senones=10)
+
+    def test_rejects_bad_priors(self):
+        with pytest.raises(ValueError, match="log_priors"):
+            AsrApp(LocalBackend(tiny_acoustic_net(48)), log_priors=np.zeros(3))

@@ -1,0 +1,88 @@
+"""Randomized stress tests of the batching executor: under arbitrary
+interleavings of request sizes across threads, every client must get
+exactly its own rows back.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import BatchingExecutor, BatchPolicy, ModelRegistry
+from repro.models import senna
+
+
+@pytest.fixture(scope="module")
+def registry():
+    reg = ModelRegistry()
+    reg.register_spec("pos", senna("pos"), seed=0)
+    return reg
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+@pytest.mark.parametrize("max_batch,timeout_ms", [(4, 1.0), (32, 5.0), (256, 0.5)])
+def test_random_request_streams_scatter_correctly(registry, seed, max_batch, timeout_ms):
+    """8 threads, each a random stream of 1-7-row requests with distinctive
+    contents; all results must equal a direct forward of the same rows."""
+    rng = np.random.default_rng(seed)
+    net = registry.get("pos")
+    executor = BatchingExecutor(registry, BatchPolicy(max_batch, timeout_ms))
+    failures = []
+
+    def client(cid):
+        crng = np.random.default_rng(1000 * seed + cid)
+        for i in range(10):
+            rows = int(crng.integers(1, 8))
+            # encode (client, request) in the inputs so misrouting is loud
+            x = crng.normal(size=(rows, 300)).astype(np.float32)
+            x[:, 0] = cid * 100 + i
+            try:
+                got = executor.submit("pos", x)
+                want = net.forward(x)
+                if not np.allclose(got, want, rtol=1e-4, atol=1e-5):
+                    failures.append((cid, i, "wrong rows"))
+                if got.shape != (rows, 45):
+                    failures.append((cid, i, f"bad shape {got.shape}"))
+            except Exception as exc:  # noqa: BLE001 - collected for assertion
+                failures.append((cid, i, repr(exc)))
+
+    threads = [threading.Thread(target=client, args=(c,)) for c in range(8)]
+    try:
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    finally:
+        executor.close()
+    assert not failures, failures[:5]
+    # row conservation: replay each client's RNG stream to count its rows
+    expected_rows = 0
+    for cid in range(8):
+        crng = np.random.default_rng(1000 * seed + cid)
+        for _ in range(10):
+            rows = int(crng.integers(1, 8))
+            crng.normal(size=(rows, 300))
+            expected_rows += rows
+    assert sum(executor.executed_batches["pos"]) == expected_rows
+
+
+def test_row_conservation(registry):
+    """Rows in == rows out of the executor, across any coalescing."""
+    executor = BatchingExecutor(registry, BatchPolicy(max_batch=16, timeout_ms=2.0))
+    sizes = [1, 3, 5, 2, 7, 4, 6, 1, 2, 3]
+    barrier = threading.Barrier(len(sizes))
+
+    def client(n):
+        barrier.wait()
+        executor.submit("pos", np.zeros((n, 300), np.float32))
+
+    threads = [threading.Thread(target=client, args=(n,)) for n in sizes]
+    try:
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    finally:
+        executor.close()
+    assert sum(executor.executed_batches["pos"]) == sum(sizes)
+    assert max(executor.executed_batches["pos"]) <= 16 + max(sizes)

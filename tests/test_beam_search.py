@@ -1,0 +1,123 @@
+"""Beam-search decoder tests: convergence to exact Viterbi, admissibility."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tonic.viterbi import beam_search, viterbi, viterbi_score
+
+
+def random_lattice(steps, states, seed):
+    rng = np.random.default_rng(seed)
+    return (rng.normal(size=(steps, states)),
+            rng.normal(size=(states, states)),
+            rng.normal(size=states))
+
+
+class TestBeamSearch:
+    def test_full_beam_equals_exact_viterbi(self):
+        em, tr, init = random_lattice(12, 6, 0)
+        exact_path, exact_score = viterbi(em, tr, init)
+        beam_path, beam_score = beam_search(em, tr, init, beam_width=6)
+        assert beam_path == exact_path
+        assert beam_score == pytest.approx(exact_score)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        steps=st.integers(1, 10),
+        states=st.integers(2, 8),
+        width=st.integers(1, 8),
+        seed=st.integers(0, 1000),
+    )
+    def test_never_beats_exact_and_score_is_consistent(self, steps, states, width, seed):
+        """Property: beam score <= exact score, and the returned score is
+        the true score of the returned path."""
+        em, tr, init = random_lattice(steps, states, seed)
+        _, exact = viterbi(em, tr, init)
+        path, score = beam_search(em, tr, init, beam_width=width)
+        assert score <= exact + 1e-9
+        assert viterbi_score(path, em, tr, init) == pytest.approx(score, rel=1e-9)
+
+    def test_wider_beams_help_on_average(self):
+        """Beam search is NOT monotone in width per instance (a pruned state
+        can own the only good continuation — hypothesis found such cases),
+        but across many lattices wider beams close most of the gap to exact
+        Viterbi."""
+        import numpy as np
+
+        regret = {w: [] for w in (1, 2, 4, 8)}
+        for seed in range(60):
+            em, tr, init = random_lattice(10, 8, seed)
+            _, exact = viterbi(em, tr, init)
+            for w in regret:
+                regret[w].append(exact - beam_search(em, tr, init, beam_width=w)[1])
+        means = {w: float(np.mean(r)) for w, r in regret.items()}
+        assert means[8] <= 1e-9                 # full width is exact
+        assert means[1] >= means[4] >= means[8]  # average regret shrinks
+        assert all(min(r) >= -1e-9 for r in regret.values())  # never beats exact
+
+    def test_beam_one_is_greedy(self):
+        """Width 1 follows the locally best extension at every step."""
+        em = np.log(np.array([[0.9, 0.1], [0.1, 0.9]]))
+        tr = np.log(np.array([[0.9, 0.1], [0.1, 0.9]]))
+        path, _ = beam_search(em, tr, beam_width=1)
+        assert path[0] == 0  # greedy start on the locally best state
+
+    def test_empty_sequence(self):
+        path, score = beam_search(np.zeros((0, 3)), np.zeros((3, 3)))
+        assert path == [] and score == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            beam_search(np.zeros((2, 3)), np.zeros((3, 3)), beam_width=0)
+        with pytest.raises(ValueError):
+            beam_search(np.zeros((2, 3)), np.zeros((2, 2)))
+
+    def test_handles_forbidden_transitions(self):
+        """-inf transitions (the ASR HMM's structure) must not crash."""
+        em = np.zeros((5, 4))
+        tr = np.full((4, 4), -np.inf)
+        for i in range(4):
+            tr[i, i] = np.log(0.5)
+            tr[i, (i + 1) % 4] = np.log(0.5)
+        path, score = beam_search(em, tr, beam_width=2)
+        assert len(path) == 5
+        assert np.isfinite(score)
+
+
+class TestAsrBeamDecoding:
+    @pytest.fixture(scope="class")
+    def backend(self):
+        from repro.nn import LayerSpec, Net, NetSpec
+        from repro.tonic import LocalBackend
+
+        spec = NetSpec("am", (440,), (
+            LayerSpec("InnerProduct", "h", {"num_output": 32}),
+            LayerSpec("Sigmoid", "s"),
+            LayerSpec("InnerProduct", "o", {"num_output": 48}),
+            LayerSpec("Softmax", "p"),
+        ))
+        return LocalBackend(Net(spec).materialize(0))
+
+    def test_beam_app_runs_end_to_end(self, backend):
+        from repro.tonic import AsrApp, synthesize_words
+
+        app = AsrApp(backend, beam_width=8)
+        audio, _ = synthesize_words(["go"], seed=1)
+        transcript = app.run(audio)
+        assert np.isfinite(transcript.log_score)
+
+    def test_wide_beam_matches_exact_decoder(self, backend):
+        from repro.tonic import AsrApp, synthesize_words
+
+        exact = AsrApp(backend)
+        wide = AsrApp(backend, beam_width=48)
+        audio, _ = synthesize_words(["stop", "go"], seed=2)
+        assert wide.run(audio).words == exact.run(audio).words
+
+    def test_bad_beam_rejected(self, backend):
+        from repro.tonic import AsrApp
+
+        with pytest.raises(ValueError):
+            AsrApp(backend, beam_width=0)

@@ -1,0 +1,110 @@
+"""CLI tests: serve + query over a real socket, models, plan."""
+
+import threading
+import time
+
+import pytest
+
+from repro.cli import main
+
+
+class TestModels:
+    def test_lists_all_seven(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        for app in ("imc", "dig", "face", "asr", "pos", "chk", "ner"):
+            assert app in out
+        assert "AlexNet" in out and "DeepFace" in out
+
+
+class TestPlan:
+    def test_prints_capacity_and_tco(self, capsys):
+        assert main(["plan"]) == 0
+        out = capsys.readouterr().out
+        assert "QPS/GPU" in out
+        assert "cpu_only" in out and "disaggregated" in out
+
+
+class TestServeAndQuery:
+    @pytest.fixture
+    def live_server(self):
+        """Run `djinn serve` on a free port in a thread; stop it afterwards."""
+        import socket
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        thread = threading.Thread(
+            target=main, args=(["serve", "--models", "dig,pos", "--port", str(port)],),
+            daemon=True,
+        )
+        thread.start()
+        # wait for the port to accept connections
+        deadline = time.time() + 10
+        while time.time() < deadline:
+            try:
+                socket.create_connection(("127.0.0.1", port), timeout=0.2).close()
+                break
+            except OSError:
+                time.sleep(0.05)
+        else:
+            pytest.fail("server never came up")
+        yield port
+        from repro.core import DjinnClient
+        DjinnClient("127.0.0.1", port).shutdown_server()
+        thread.join(timeout=5)
+
+    def test_query_dig(self, live_server, capsys):
+        assert main(["query", "--port", str(live_server), "--app", "dig",
+                     "--count", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "predictions:" in out
+        assert "dnn" in out
+
+    def test_query_pos(self, live_server, capsys):
+        assert main(["query", "--port", str(live_server), "--app", "pos"]) == 0
+        out = capsys.readouterr().out
+        assert "/" in out  # word/TAG pairs
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit, match="unknown model"):
+            main(["serve", "--models", "bert"])
+
+    def test_load_flag_serves_saved_models(self, tmp_path, capsys):
+        """`djinn serve --load path=name` serves a save_net archive."""
+        import socket
+
+        from repro.core import DjinnClient
+        from repro.models import senna
+        from repro.nn import Net, save_net
+
+        path = tmp_path / "trained_pos.npz"
+        save_net(Net(senna("pos")).materialize(7), path)
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        thread = threading.Thread(
+            target=main,
+            args=(["serve", "--models", "", "--load", f"{path}=mypos",
+                   "--port", str(port)],),
+            daemon=True,
+        )
+        thread.start()
+        deadline = time.time() + 10
+        client = None
+        while time.time() < deadline:
+            try:
+                client = DjinnClient("127.0.0.1", port, timeout_s=1.0)
+                break
+            except OSError:
+                time.sleep(0.05)
+        assert client is not None, "server never came up"
+        try:
+            assert client.list_models() == ["mypos"]
+        finally:
+            client.shutdown_server()
+            thread.join(timeout=5)
+
+    def test_load_flag_rejects_malformed_entry(self):
+        with pytest.raises(SystemExit, match="PATH=NAME"):
+            main(["serve", "--models", "", "--load", "nonsense"])

@@ -1,0 +1,120 @@
+"""Unit tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.tonic.datasets import (
+    digit_dataset,
+    face_images,
+    imagenet_like_images,
+    render_digit,
+    sentence_queries,
+    speech_queries,
+)
+
+
+class TestDigitRenderer:
+    def test_image_properties(self, rng):
+        image = render_digit(3, rng)
+        assert image.shape == (28, 28)
+        assert image.dtype == np.float32
+        assert 0.0 <= image.min() and image.max() <= 1.0
+
+    def test_rejects_non_digits(self, rng):
+        with pytest.raises(ValueError):
+            render_digit(10, rng)
+
+    def test_digits_are_visually_distinct(self, rng):
+        """Average renderings of different digits differ substantially."""
+        means = {}
+        for digit in range(10):
+            means[digit] = np.mean(
+                [render_digit(digit, rng, noise=0.0) for _ in range(8)], axis=0
+            )
+        for a in range(10):
+            for b in range(a + 1, 10):
+                diff = float(np.abs(means[a] - means[b]).mean())
+                assert diff > 0.01, (a, b)
+
+    def test_same_digit_varies_between_renders(self, rng):
+        a = render_digit(5, rng)
+        b = render_digit(5, rng)
+        assert not np.array_equal(a, b)  # jitter + noise
+
+    def test_dataset_shapes_and_balance(self):
+        images, labels = digit_dataset(500, seed=0)
+        assert images.shape == (500, 1, 28, 28)
+        assert labels.shape == (500,)
+        counts = np.bincount(labels, minlength=10)
+        assert counts.min() > 20  # roughly balanced
+
+    def test_dataset_reproducible(self):
+        a = digit_dataset(10, seed=3)
+        b = digit_dataset(10, seed=3)
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])
+
+
+class TestImagenetLike:
+    def test_table3_wire_size(self):
+        images, _ = imagenet_like_images(2, seed=0)
+        assert images.shape == (2, 3, 227, 227)
+        assert images[0].nbytes == pytest.approx(604 * 1024, rel=0.01)
+
+    def test_class_parameterizes_texture(self):
+        a, _ = imagenet_like_images(1, num_classes=2, seed=0)
+        # same label => same base texture across seeds (modulo noise)
+        images, labels = imagenet_like_images(6, num_classes=2, seed=1)
+        same = [i for i in range(6) if labels[i] == labels[0]]
+        diff = [i for i in range(6) if labels[i] != labels[0]]
+        if same[1:] and diff:
+            corr_same = np.corrcoef(images[same[0]].ravel(), images[same[1]].ravel())[0, 1]
+            corr_diff = np.corrcoef(images[same[0]].ravel(), images[diff[0]].ravel())[0, 1]
+            assert corr_same > corr_diff
+
+    def test_pixel_range(self):
+        images, _ = imagenet_like_images(2, seed=5)
+        assert images.min() >= 0.0 and images.max() <= 1.0
+
+
+class TestFaces:
+    def test_table3_wire_size(self):
+        faces, _ = face_images(1, seed=0)
+        assert faces.shape == (1, 3, 152, 152)
+        assert faces[0].nbytes == pytest.approx(271 * 1024, rel=0.01)
+
+    def test_labels_bounded_by_identities(self):
+        _, labels = face_images(20, num_identities=5, seed=1)
+        assert labels.max() < 5
+
+    def test_faces_have_structure(self):
+        """A face image is not pure noise: the head region is brighter than
+        the corners."""
+        faces, _ = face_images(3, seed=2)
+        center = faces[:, :, 60:90, 60:90].mean()
+        corners = faces[:, :, :20, :20].mean()
+        assert center > corners + 0.1
+
+
+class TestSpeechQueries:
+    def test_transcripts_are_lexicon_words(self):
+        from repro.tonic.speechsynth import LEXICON
+
+        for audio, words in speech_queries(5, words_per_query=2, seed=0):
+            assert len(words) == 2
+            assert all(w in LEXICON for w in words)
+            assert audio.ndim == 1 and len(audio) > 1000
+
+    def test_reproducible(self):
+        a = speech_queries(3, seed=4)
+        b = speech_queries(3, seed=4)
+        for (audio_a, words_a), (audio_b, words_b) in zip(a, b):
+            np.testing.assert_array_equal(audio_a, audio_b)
+            assert words_a == words_b
+
+
+class TestSentenceQueries:
+    def test_returns_tagged_sentences(self):
+        sentences = sentence_queries(5, seed=0)
+        assert len(sentences) == 5
+        assert all(len(s.pos) == len(s.words) for s in sentences)

@@ -1,0 +1,103 @@
+"""Unit tests for the speech DSP frontend."""
+
+import numpy as np
+import pytest
+
+from repro.tonic.dsp import (
+    FrontendConfig,
+    fbank_features,
+    frame_signal,
+    mel_filterbank,
+    mfcc,
+    splice,
+)
+
+CONFIG = FrontendConfig()
+
+
+class TestConfig:
+    def test_default_frame_geometry(self):
+        assert CONFIG.frame_len == 400      # 25ms @ 16kHz
+        assert CONFIG.hop_len == 160        # 10ms @ 16kHz
+        assert CONFIG.fft_size == 512       # next power of two
+
+
+class TestFraming:
+    def test_frame_count(self, rng):
+        signal = rng.normal(size=16000)  # 1 second
+        frames = frame_signal(signal, CONFIG)
+        assert frames.shape == (1 + (16000 - 400) // 160, 400)
+
+    def test_short_signal_padded_to_one_frame(self, rng):
+        frames = frame_signal(rng.normal(size=100), CONFIG)
+        assert frames.shape == (1, 400)
+
+    def test_rejects_stereo(self, rng):
+        with pytest.raises(ValueError, match="mono"):
+            frame_signal(rng.normal(size=(100, 2)), CONFIG)
+
+    def test_hamming_window_applied(self):
+        frames = frame_signal(np.ones(400), CONFIG)
+        # pre-emphasis leaves sample 0 at 1.0; window edge ~0.08 (Hamming)
+        assert frames[0, 0] == pytest.approx(np.hamming(400)[0])
+
+
+class TestMelFilterbank:
+    def test_shape(self):
+        fb = mel_filterbank(CONFIG)
+        assert fb.shape == (40, 257)
+
+    def test_filters_are_normalized_triangles(self):
+        fb = mel_filterbank(CONFIG)
+        assert np.all(fb >= 0.0)
+        assert np.all(fb.max(axis=1) == 1.0)
+
+    def test_filters_cover_the_band_without_gaps(self):
+        fb = mel_filterbank(CONFIG)
+        coverage = fb.sum(axis=0)
+        low_bin = int(np.ceil(CONFIG.low_hz * CONFIG.fft_size / CONFIG.sample_rate)) + 2
+        high_bin = int(CONFIG.high_hz * CONFIG.fft_size / CONFIG.sample_rate) - 2
+        assert np.all(coverage[low_bin:high_bin] > 0.0)
+
+    def test_center_frequencies_increase(self):
+        fb = mel_filterbank(CONFIG)
+        centers = fb.argmax(axis=1)
+        assert np.all(np.diff(centers) >= 0)
+
+
+class TestFeatures:
+    def test_fbank_shape_and_normalization(self, rng):
+        feats = fbank_features(rng.normal(size=8000))
+        assert feats.shape[1] == 40
+        np.testing.assert_allclose(feats.mean(axis=0), 0.0, atol=1e-6)
+
+    def test_fbank_distinguishes_tones(self):
+        t = np.arange(8000) / 16000
+        low = fbank_features(np.sin(2 * np.pi * 300 * t))
+        high = fbank_features(np.sin(2 * np.pi * 3000 * t))
+        # peak mel channel should be different for the two tones
+        assert low.mean(axis=0).argmax() != high.mean(axis=0).argmax()
+
+    def test_mfcc_shape(self, rng):
+        assert mfcc(rng.normal(size=8000), num_ceps=13).shape[1] == 13
+
+
+class TestSplice:
+    def test_output_width(self, rng):
+        feats = rng.normal(size=(20, 40))
+        assert splice(feats, context=5).shape == (20, 11 * 40)
+
+    def test_center_slice_is_the_frame_itself(self, rng):
+        feats = rng.normal(size=(10, 4))
+        spliced = splice(feats, context=2)
+        np.testing.assert_array_equal(spliced[:, 2 * 4 : 3 * 4], feats)
+
+    def test_edges_replicate(self, rng):
+        feats = rng.normal(size=(5, 3))
+        spliced = splice(feats, context=2)
+        # leftmost context of the first frame is the first frame itself
+        np.testing.assert_array_equal(spliced[0, :3], feats[0])
+
+    def test_rejects_bad_rank(self, rng):
+        with pytest.raises(ValueError):
+            splice(rng.normal(size=(5,)))

@@ -1,0 +1,55 @@
+"""Energy-model tests: the perf/watt arithmetic under the paper's TCO."""
+
+import pytest
+
+from repro.gpusim import app_model
+from repro.gpusim.energy import K40_POWER, XEON_CORE_POWER, PowerDraw, query_energy
+from repro.models import APPLICATIONS
+
+
+class TestPowerDraw:
+    def test_idle_to_peak_interpolation(self):
+        draw = PowerDraw("x", idle_w=10.0, peak_w=110.0)
+        assert draw.watts(0.0) == 10.0
+        assert draw.watts(1.0) == 110.0
+        assert draw.watts(0.5) == 60.0
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            K40_POWER.watts(1.5)
+
+
+class TestQueryEnergy:
+    @pytest.fixture(scope="class")
+    def energies(self):
+        return {app: query_energy(app_model(app)) for app in APPLICATIONS}
+
+    def test_gpu_wins_energy_per_query_everywhere(self, energies):
+        """The TCO result requires the GPU to win perf/W, not just perf."""
+        for app, e in energies.items():
+            assert e.energy_ratio > 1.0, app
+
+    def test_energy_win_smaller_than_speedup(self, energies):
+        """A K40 draws ~14x a core's power, so the energy advantage is the
+        speedup divided by roughly that factor."""
+        for app, e in energies.items():
+            speedup = e.gpu_qps / e.cpu_qps
+            assert e.energy_ratio < speedup, app
+
+    def test_asr_energy_advantage_is_large(self, energies):
+        assert energies["asr"].energy_ratio > 5.0
+
+    def test_face_is_the_weakest_energy_win(self, energies):
+        """FACE's memory-bound forward pass keeps the GPU drawing power for
+        the least useful work — lowest perf/W advantage of the suite."""
+        face = energies["face"].energy_ratio
+        assert all(face <= energies[a].energy_ratio for a in APPLICATIONS)
+
+    def test_ratios_in_plausible_band(self, energies):
+        for app, e in energies.items():
+            assert 1.0 < e.energy_ratio < 30.0, app
+
+    def test_energy_times_qps_is_power(self, energies):
+        e = energies["imc"]
+        implied_watts = e.gpu_j * e.gpu_qps
+        assert K40_POWER.idle_w <= implied_watts <= K40_POWER.peak_w

@@ -1,0 +1,94 @@
+"""Unit tests for the roofline kernel cost model."""
+
+import pytest
+
+from repro.gpusim import K40, XEON_E5_2620V2_CORE, Kernel, gpu_kernel_timing
+from repro.gpusim.cost import cpu_forward_time, gpu_forward_time
+from repro.models import build_net
+from repro.nn import analyze
+
+
+def gemm_kernel(flops=1e9, blocks=2000, tile_util=1.0, param_bytes=0.0,
+                activation_bytes=0.0, kind="gemm", reduction=512, launches=1):
+    return Kernel("k", kind, flops, param_bytes, activation_bytes,
+                  blocks=blocks, tile_util=tile_util, reduction=reduction,
+                  launches=launches)
+
+
+class TestKernelTiming:
+    def test_compute_bound_time_scales_with_flops(self):
+        t1 = gpu_kernel_timing(gemm_kernel(flops=1e9), K40).time_s
+        t2 = gpu_kernel_timing(gemm_kernel(flops=2e9), K40).time_s
+        assert t2 / t1 == pytest.approx(2.0, rel=0.05)
+
+    def test_low_occupancy_slows_kernels(self):
+        fast = gpu_kernel_timing(gemm_kernel(blocks=2000), K40)
+        slow = gpu_kernel_timing(gemm_kernel(blocks=8), K40)
+        assert slow.time_s > 5 * fast.time_s
+        assert slow.occupancy < fast.occupancy
+
+    def test_memory_bound_kernel_ignores_occupancy(self):
+        """A weight-streaming kernel is paced by DRAM, not FLOPs."""
+        kernel = gemm_kernel(flops=1e6, param_bytes=400e6, blocks=5000)
+        timing = gpu_kernel_timing(kernel, K40)
+        assert not timing.compute_bound
+        expected = 400e6 / (K40.effective_mem_gbs * 1e9)
+        assert timing.busy_s == pytest.approx(expected, rel=0.01)
+
+    def test_lc_kernels_pay_the_streaming_penalty(self):
+        shared = gemm_kernel(flops=1e6, param_bytes=100e6, kind="gemm")
+        unshared = gemm_kernel(flops=1e6, param_bytes=100e6, kind="lc_gemm")
+        a = gpu_kernel_timing(shared, K40).busy_s
+        b = gpu_kernel_timing(unshared, K40).busy_s
+        assert b == pytest.approx(a * K40.lc_mem_penalty, rel=0.01)
+
+    def test_min_kernel_floor(self):
+        tiny = gemm_kernel(flops=10.0, blocks=1)
+        timing = gpu_kernel_timing(tiny, K40)
+        assert timing.busy_s >= K40.min_kernel_us * 1e-6
+
+    def test_launch_overhead_added_per_launch(self):
+        one = gpu_kernel_timing(gemm_kernel(flops=1e6, launches=1), K40).time_s
+        ten = gpu_kernel_timing(gemm_kernel(flops=1e6, launches=10), K40).time_s
+        assert ten > one  # same total flops, more launches
+
+    def test_resource_demand_in_unit_interval(self):
+        for kernel in (gemm_kernel(), gemm_kernel(param_bytes=1e9),
+                       gemm_kernel(kind="elementwise", tile_util=1.0, reduction=0)):
+            demand = gpu_kernel_timing(kernel, K40).resource_demand
+            assert 0.0 < demand <= 1.0
+
+    def test_short_reduction_lowers_compute_demand(self):
+        long_k = gpu_kernel_timing(gemm_kernel(reduction=2048), K40)
+        short_k = gpu_kernel_timing(gemm_kernel(reduction=16), K40)
+        assert short_k.resource_demand < long_k.resource_demand
+
+
+class TestForwardTimes:
+    def test_gpu_time_grows_sublinearly_then_linearly_with_batch(self):
+        """The batching effect behind Figure 7a: cheap at first (occupancy
+        fills), linear once saturated."""
+        net = build_net("pos")
+        t1 = gpu_forward_time(analyze(net, 28), K40).time_s
+        t64 = gpu_forward_time(analyze(net, 28 * 64), K40).time_s
+        t128 = gpu_forward_time(analyze(net, 28 * 128), K40).time_s
+        assert t64 < 64 * t1 * 0.25          # batching is a big win early
+        assert t128 / t64 == pytest.approx(2.0, rel=0.25)  # linear once full
+
+    def test_cpu_time_linear_in_batch_for_large_nets(self):
+        net = build_net("asr")
+        t1 = cpu_forward_time(analyze(net, 100), XEON_E5_2620V2_CORE)
+        t2 = cpu_forward_time(analyze(net, 200), XEON_E5_2620V2_CORE)
+        assert t2 / t1 == pytest.approx(2.0, rel=0.1)
+
+    def test_weighted_occupancy_bounded(self):
+        profile = gpu_forward_time(analyze(build_net("asr"), 548), K40)
+        assert 0.0 < profile.weighted_occupancy <= K40.occupancy_cap + 1e-9
+
+    def test_gpu_faster_than_cpu_at_natural_query_sizes(self):
+        # one query's DNN rows per Table 3 (a DIG query is 100 images, etc.)
+        for app, rows in (("imc", 1), ("dig", 100), ("face", 1), ("asr", 548), ("pos", 28)):
+            cost = analyze(build_net(app), rows)
+            gpu = gpu_forward_time(cost, K40).time_s
+            cpu = cpu_forward_time(cost, XEON_E5_2620V2_CORE)
+            assert gpu < cpu, app

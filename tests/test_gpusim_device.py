@@ -1,0 +1,58 @@
+"""Device spec arithmetic and calibration-constant sanity."""
+
+import pytest
+
+from repro.gpusim import K40, PLATFORM, XEON_E5_2620V2_CORE
+
+
+class TestK40:
+    def test_peak_flops_matches_published_spec(self):
+        # 2880 cores x 745 MHz x 2 (FMA) = 4.29 TFLOP/s SP
+        assert K40.peak_gflops == pytest.approx(4291.2, rel=1e-3)
+
+    def test_thread_capacity(self):
+        assert K40.max_threads == 15 * 2048
+
+    def test_effective_memory_below_peak(self):
+        assert 0 < K40.effective_mem_gbs < K40.mem_bandwidth_gbs
+
+    def test_memory_capacity_is_12gb(self):
+        assert K40.mem_bytes == 12 * 1024**3
+
+    def test_mps_client_limit_is_16(self):
+        # the paper sweeps 1..16 concurrent processes (Kepler's MPS limit)
+        assert K40.max_concurrent_processes == 16
+
+    def test_calibration_constants_in_sane_ranges(self):
+        assert 0.1 < K40.gemm_efficiency < 0.9
+        assert 0.5 < K40.mem_efficiency <= 1.0
+        assert 0.0 < K40.occupancy_cap <= 1.0
+        assert K40.lc_mem_penalty >= 1.0
+
+
+class TestXeonCore:
+    def test_peak_flops(self):
+        # 2.1 GHz x 8 SP FLOPs/cycle (AVX FMA-less Ivy Bridge mul+add)
+        assert XEON_E5_2620V2_CORE.peak_gflops == pytest.approx(16.8)
+
+    def test_gpu_to_cpu_peak_ratio_is_about_255(self):
+        """The raw silicon ratio the paper's speedups are bounded by."""
+        ratio = K40.peak_gflops / XEON_E5_2620V2_CORE.peak_gflops
+        assert 200 < ratio < 300
+
+
+class TestPlatform:
+    def test_matches_table2(self):
+        assert PLATFORM.gpus == 8
+        assert PLATFORM.total_cores == 12
+        assert PLATFORM.gpu is K40
+
+    def test_host_link_is_two_root_complexes(self):
+        assert PLATFORM.host_link_gbs == pytest.approx(2 * PLATFORM.pcie_per_gpu_gbs)
+
+    def test_all_models_fit_in_gpu_memory(self):
+        """The DjiNN registry pins every Tonic model in GPU DRAM at once."""
+        from repro.models import APPLICATIONS, build_net
+
+        resident = sum(build_net(app).param_bytes() for app in APPLICATIONS)
+        assert resident < K40.mem_bytes * 0.5  # plenty of headroom for activations

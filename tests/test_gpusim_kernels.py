@@ -1,0 +1,81 @@
+"""Unit tests for kernel lowering and the occupancy calculator."""
+
+import pytest
+
+from repro.gpusim import K40, Kernel, lower, occupancy, tile_utilization
+from repro.models import build_net
+from repro.nn import analyze
+
+
+def kernels_for(app, batch=1):
+    return lower(analyze(build_net(app), batch=batch), K40)
+
+
+class TestTileUtilization:
+    def test_full_tiles(self):
+        assert tile_utilization(64, 64, K40) == 1.0
+
+    def test_partial_tiles_penalized(self):
+        # M=6 uses 6/32 of the tile rows
+        assert tile_utilization(6, 64, K40) == pytest.approx(6 / 32)
+
+    def test_never_exceeds_one(self):
+        for m, n in [(1, 1), (33, 33), (500, 28)]:
+            assert 0.0 < tile_utilization(m, n, K40) <= 1.0
+
+
+class TestOccupancy:
+    def test_small_kernel_low_occupancy(self):
+        kernel = Kernel("k", "gemm", 1e6, 0, 0, blocks=8, tile_util=1.0, reduction=64)
+        assert occupancy(kernel, K40) == pytest.approx(8 * 256 / 30720)
+
+    def test_large_kernel_hits_cap(self):
+        kernel = Kernel("k", "gemm", 1e9, 0, 0, blocks=10_000, tile_util=1.0, reduction=64)
+        assert occupancy(kernel, K40) == K40.occupancy_cap
+
+    def test_kernel_validation(self):
+        with pytest.raises(ValueError):
+            Kernel("k", "gemm", 1.0, 0, 0, blocks=0, tile_util=1.0)
+        with pytest.raises(ValueError):
+            Kernel("k", "gemm", 1.0, 0, 0, blocks=1, tile_util=0.0)
+
+
+class TestLowering:
+    def test_dropout_and_flatten_lower_to_nothing(self):
+        names = {k.name for k in kernels_for("imc")}
+        assert "drop6" not in names and "drop7" not in names
+
+    def test_alexnet_grouped_convs_fold_launches(self):
+        kernels = {k.name: k for k in kernels_for("imc")}
+        assert kernels["conv2"].launches == 2
+        assert kernels["conv3"].launches == 1
+
+    def test_deepface_lc_layers_fuse_positions_into_one_launch(self):
+        kernels = {k.name: k for k in kernels_for("face")}
+        l4 = kernels["l4"]
+        assert l4.kind == "lc_gemm"
+        assert l4.launches == 1
+        assert l4.blocks > 1000  # one tile grid per output position
+
+    def test_elementwise_kernels_carry_activation_bytes(self):
+        kernels = {k.name: k for k in kernels_for("asr")}
+        sig = kernels["sigmoid1"]
+        assert sig.kind == "elementwise"
+        assert sig.activation_bytes == 2 * 2048 * 4
+        assert sig.param_bytes == 0
+
+    def test_gemm_reduction_dimension_recorded(self):
+        kernels = {k.name: k for k in kernels_for("asr")}
+        assert kernels["affine1"].reduction == 440
+        assert kernels["affine2"].reduction == 2048
+
+    def test_kernel_count_matches_netcost(self):
+        cost = analyze(build_net("pos"), batch=1)
+        kernels = lower(cost, K40)
+        # pos: l1, hardtanh, l3, softmax = 4 kernels
+        assert len(kernels) == 4
+
+    def test_batch_scales_blocks_for_fc_nets(self):
+        one = {k.name: k for k in kernels_for("pos", batch=28)}
+        big = {k.name: k for k in kernels_for("pos", batch=28 * 64)}
+        assert big["l1"].blocks > one["l1"].blocks

@@ -1,0 +1,97 @@
+"""The paper's abstract, verified end-to-end against the reproduction.
+
+Each test quotes one headline sentence and checks the modeled system
+reproduces it (within the documented first-order tolerances; EXPERIMENTS.md
+records exact paper-vs-measured values).
+"""
+
+import pytest
+
+from repro.gpusim import GpuServerModel, app_model
+from repro.gpusim.mps import service_segments, simulate_concurrent
+from repro.gpusim.multigpu import MPS_INSTANCES
+from repro.models import APPLICATIONS
+from repro.wsc import MIXED, NLP, tco_sweep
+
+
+def optimized_speedup(app: str) -> float:
+    """Batching (Table 3) + 4 MPS instances vs one Xeon core (Fig 10)."""
+    model = app_model(app)
+    result = simulate_concurrent(service_segments(model), MPS_INSTANCES, "mps")
+    qps = result.qps * model.best_batch
+    return qps * model.cpu_dnn_time()
+
+
+class TestAbstract:
+    def test_120x_throughput_for_all_but_facial_recognition(self):
+        """'We improve DNN throughput by over 120x for all but one
+        application (40x for Facial Recognition) on an NVIDIA K40 GPU.'"""
+        for app in APPLICATIONS:
+            speedup = optimized_speedup(app)
+            if app == "face":
+                assert 25 < speedup < 80, speedup    # paper: 40x
+            else:
+                assert speedup > 100, (app, speedup)  # paper: >120x
+
+    def test_near_linear_scaling_1000x_for_3_apps(self):
+        """'On a GPU server composed of 8 NVIDIA K40s, we achieve
+        near-linear scaling (around 1000x throughput improvement) for 3 of
+        the 7 applications.'"""
+        winners = 0
+        for app in APPLICATIONS:
+            srv = GpuServerModel(app_model(app))
+            rel = srv.scale(8).qps / srv.scale(1).qps
+            total = srv.speedup_vs_cpu_core(8)
+            if rel > 7.0 and total > 700:
+                winners += 1
+        assert winners >= 3
+
+    def test_nlp_bandwidth_constrained(self):
+        """'We identify natural language processing workloads as being
+        bandwidth constrained.'"""
+        for app in ("pos", "chk", "ner"):
+            assert GpuServerModel(app_model(app)).scale(8).link_limited
+
+    def test_bandwidth_fixes_buy_up_to_4_5x(self):
+        """'...showing performance improvements of up to 4.5x over
+        bandwidth-constrained designs.'"""
+        from repro.wsc import future_network_study
+
+        best = max(p.performance for p in future_network_study(NLP))
+        assert 3.0 < best < 6.0
+
+    def test_gpu_wscs_improve_tco_over_cpu_only(self):
+        """'GPU-enabled WSCs improve total cost of ownership over CPU-only
+        designs by 4-20x, depending on the composition of the workload.'
+
+        Our faithful pre/post-retention model lands lower (2.5-9x) — the
+        divergence and its cause are analyzed in EXPERIMENTS.md; the
+        composition-dependence and the ordering are reproduced.
+        """
+        mixed = 1.0 / tco_sweep(MIXED, (1.0,))[0].disaggregated
+        nlp = 1.0 / tco_sweep(NLP, (1.0,))[0].disaggregated
+        assert mixed > 2.5
+        assert nlp > 1.5
+        assert mixed > nlp  # composition matters, NLP benefits least
+
+
+class TestSection5Summary:
+    def test_batching_plus_mps_lifts_nlp_from_7x_past_100x(self):
+        """§5: 'For NLP applications, batching and MPS together improve the
+        GPU throughput gain from 7x to over 120x.'"""
+        for app in ("pos", "chk", "ner"):
+            base = app_model(app).gpu_speedup(1)
+            final = optimized_speedup(app)
+            assert base < 10
+            assert final > 100
+            assert final / base > 12
+
+    def test_four_mps_instances_is_the_knee(self):
+        """§5.2: 'four MPS concurrent DNN servers on one GPU achieves high
+        throughput gain with limited latency impact.'"""
+        for app in ("dig", "pos"):
+            segments = service_segments(app_model(app))
+            k4 = simulate_concurrent(segments, 4, "mps")
+            k16 = simulate_concurrent(segments, 16, "mps")
+            assert k16.qps < k4.qps * 1.35       # little throughput left past 4
+            assert k16.mean_latency_s > 2 * k4.mean_latency_s  # but much worse latency

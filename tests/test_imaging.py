@@ -1,0 +1,101 @@
+"""Unit tests for the image preprocessing substrate."""
+
+import numpy as np
+import pytest
+
+from repro.tonic.imaging import bilinear_resize, center_crop, fit_to, per_channel_standardize
+
+
+class TestBilinearResize:
+    def test_identity_when_same_size(self, rng):
+        image = rng.random((3, 8, 8)).astype(np.float32)
+        out = bilinear_resize(image, 8, 8)
+        np.testing.assert_array_equal(out, image)
+        assert out is not image  # a copy, callers may mutate
+
+    def test_constant_image_stays_constant(self):
+        image = np.full((3, 10, 7), 0.3, dtype=np.float32)
+        out = bilinear_resize(image, 23, 31)
+        np.testing.assert_allclose(out, 0.3, rtol=1e-6)
+
+    def test_upscale_preserves_gradient(self):
+        """A linear ramp resampled bilinearly stays (nearly) linear."""
+        ramp = np.tile(np.linspace(0, 1, 16, dtype=np.float32), (1, 16, 1))
+        out = bilinear_resize(ramp, 16, 64)
+        diffs = np.diff(out[0, 0, 4:-4])
+        assert np.all(diffs >= -1e-6)
+        assert diffs.max() < 3.0 / 64
+
+    def test_downscale_averages(self):
+        checker = np.indices((8, 8)).sum(axis=0) % 2
+        image = checker[None].astype(np.float32)
+        out = bilinear_resize(image, 4, 4)
+        assert abs(float(out.mean()) - 0.5) < 0.1
+
+    def test_range_preserved(self, rng):
+        image = rng.random((3, 9, 13)).astype(np.float32)
+        out = bilinear_resize(image, 30, 5)
+        assert out.min() >= image.min() - 1e-6
+        assert out.max() <= image.max() + 1e-6
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            bilinear_resize(rng.random((8, 8)), 4, 4)
+        with pytest.raises(ValueError):
+            bilinear_resize(rng.random((1, 8, 8)), 0, 4)
+
+
+class TestCenterCrop:
+    def test_extracts_central_window(self):
+        image = np.arange(36, dtype=np.float32).reshape(1, 6, 6)
+        out = center_crop(image, 2, 2)
+        np.testing.assert_array_equal(out[0], [[14, 15], [20, 21]])
+
+    def test_full_size_is_identity(self, rng):
+        image = rng.random((3, 5, 5)).astype(np.float32)
+        np.testing.assert_array_equal(center_crop(image, 5, 5), image)
+
+    def test_rejects_oversized_crop(self, rng):
+        with pytest.raises(ValueError, match="exceeds"):
+            center_crop(rng.random((3, 4, 4)), 5, 5)
+
+
+class TestFitTo:
+    @pytest.mark.parametrize("h,w", [(300, 400), (227, 227), (150, 600), (500, 230)])
+    def test_always_produces_target_geometry(self, rng, h, w):
+        image = rng.random((3, h, w)).astype(np.float32)
+        out = fit_to(image, 227, 227)
+        assert out.shape == (3, 227, 227)
+
+    def test_feeds_imc_app_with_arbitrary_photos(self, rng):
+        from repro.models import build_net
+        from repro.tonic import ImcApp, LocalBackend
+
+        app = ImcApp(LocalBackend(build_net("imc", materialize=True)))
+        photo = rng.random((3, 320, 480)).astype(np.float32)
+        result = app.run(photo)
+        assert result.label.startswith("class_")
+
+    def test_face_app_resizes_too(self, rng):
+        from repro.nn import LayerSpec, Net, NetSpec
+        from repro.tonic import FaceApp, LocalBackend
+
+        spec = NetSpec("t", (3, 152, 152), (
+            LayerSpec("Pooling", "p", {"kernel_size": 8, "stride": 8}),
+            LayerSpec("InnerProduct", "fc", {"num_output": 83}),
+            LayerSpec("Softmax", "s"),
+        ))
+        app = FaceApp(LocalBackend(Net(spec).materialize(0)))
+        assert app.run(rng.random((3, 200, 180)).astype(np.float32)).index >= 0
+
+
+class TestStandardize:
+    def test_zero_mean_unit_variance_per_channel(self, rng):
+        image = rng.normal(3.0, 2.0, size=(3, 16, 16))
+        out = per_channel_standardize(image)
+        np.testing.assert_allclose(out.mean(axis=(1, 2)), 0.0, atol=1e-5)
+        np.testing.assert_allclose(out.std(axis=(1, 2)), 1.0, rtol=1e-4)
+
+    def test_constant_channel_does_not_blow_up(self):
+        out = per_channel_standardize(np.full((1, 4, 4), 2.0))
+        assert np.all(np.isfinite(out))

@@ -1,0 +1,65 @@
+"""Unit tests for repro.nn.initializers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.nn.initializers import constant, gaussian, get_filler, uniform, xavier
+
+
+class TestFillers:
+    def test_constant(self, rng):
+        out = constant(3.5)((4, 4), rng)
+        assert out.dtype == np.float32
+        assert np.all(out == 3.5)
+
+    def test_gaussian_statistics(self, rng):
+        out = gaussian(std=0.1)((200, 200), rng)
+        assert abs(float(out.mean())) < 0.01
+        assert abs(float(out.std()) - 0.1) < 0.01
+
+    def test_uniform_bounds(self, rng):
+        out = uniform(-0.2, 0.2)((1000,), rng)
+        assert out.min() >= -0.2 and out.max() <= 0.2
+
+    def test_xavier_scale_tracks_fan_in(self, rng):
+        out = xavier()((64, 100), rng)
+        bound = math.sqrt(3.0 / 100)
+        assert out.min() >= -bound and out.max() <= bound
+        # a wider fan-in gives a tighter bound
+        out2 = xavier()((64, 10000), rng)
+        assert float(np.abs(out2).max()) < float(np.abs(out).max())
+
+    def test_xavier_fan_in_for_conv_blobs(self, rng):
+        # fan_in = C*k*k for (O, C, k, k) blobs, matching Caffe
+        out = xavier()((8, 3, 5, 5), rng)
+        bound = math.sqrt(3.0 / 75)
+        assert float(np.abs(out).max()) <= bound
+
+    def test_deterministic_under_same_seed(self):
+        a = gaussian()((5, 5), np.random.default_rng(9))
+        b = gaussian()((5, 5), np.random.default_rng(9))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestGetFiller:
+    def test_resolves_names(self, rng):
+        assert np.all(get_filler("constant")((2,), rng) == 0.0)
+
+    def test_resolves_name_kwargs_tuple(self, rng):
+        filler = get_filler(("gaussian", {"std": 2.0}))
+        out = filler((500, 50), rng)
+        assert 1.8 < float(out.std()) < 2.2
+
+    def test_passes_through_callables(self, rng):
+        marker = lambda shape, r: np.ones(shape)  # noqa: E731
+        assert get_filler(marker) is marker
+
+    def test_unknown_name_raises_with_candidates(self):
+        with pytest.raises(ValueError, match="known"):
+            get_filler("he_normal")
+
+    def test_bad_spec_type(self):
+        with pytest.raises(TypeError):
+            get_filler(42)

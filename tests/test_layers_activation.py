@@ -1,0 +1,79 @@
+"""Unit tests for the activation layers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import check_layer_gradients
+from repro.nn.layers import HardTanhLayer, ReLULayer, SigmoidLayer, TanhLayer
+
+ALL_ACTIVATIONS = [ReLULayer, SigmoidLayer, TanhLayer, HardTanhLayer]
+
+
+def make(cls, shape=(4,)):
+    layer = cls("act")
+    layer.setup(shape)
+    return layer
+
+
+class TestForwardValues:
+    def test_relu(self):
+        layer = make(ReLULayer, (3,))
+        x = np.array([[-1.0, 0.0, 2.0]], dtype=np.float32)
+        np.testing.assert_array_equal(layer.forward(x), [[0.0, 0.0, 2.0]])
+
+    def test_sigmoid_range_and_midpoint(self, rng):
+        layer = make(SigmoidLayer, (100,))
+        x = rng.normal(scale=50.0, size=(2, 100)).astype(np.float32)
+        y = layer.forward(x)
+        assert np.all((y >= 0.0) & (y <= 1.0))
+        assert not np.any(np.isnan(y))  # stable at extreme inputs
+        mid = layer.forward(np.zeros((1, 100), dtype=np.float32))
+        np.testing.assert_allclose(mid, 0.5)
+
+    def test_tanh(self, rng):
+        layer = make(TanhLayer, (10,))
+        x = rng.normal(size=(3, 10)).astype(np.float32)
+        np.testing.assert_allclose(layer.forward(x), np.tanh(x), rtol=1e-6)
+
+    def test_hardtanh_clamps(self):
+        layer = make(HardTanhLayer, (4,))
+        x = np.array([[-5.0, -0.5, 0.5, 5.0]], dtype=np.float32)
+        np.testing.assert_array_equal(layer.forward(x), [[-1.0, -0.5, 0.5, 1.0]])
+
+
+class TestShapeAndCost:
+    @pytest.mark.parametrize("cls", ALL_ACTIVATIONS)
+    def test_shape_preserved(self, cls):
+        layer = make(cls, (3, 5, 5))
+        assert layer.out_shape == (3, 5, 5)
+        assert layer.flops_per_sample() == 75
+        assert layer.gemm_shapes(4) == []
+        assert layer.param_count() == 0
+
+
+class TestBackward:
+    @pytest.mark.parametrize("cls", ALL_ACTIVATIONS)
+    def test_gradients_match_numerical(self, rng, cls):
+        layer = make(cls, (6,))
+        # avoid the kink points of relu/hardtanh for finite differences
+        x = rng.uniform(0.1, 0.8, size=(3, 6)) * rng.choice([-1.0, 1.0], size=(3, 6))
+        errors = check_layer_gradients(layer, x, eps=1e-5)
+        assert errors["input"] < 1e-4, (cls.__name__, errors)
+
+    @pytest.mark.parametrize("cls", ALL_ACTIVATIONS)
+    def test_backward_before_forward_raises(self, cls):
+        layer = make(cls)
+        with pytest.raises(RuntimeError, match="backward before forward"):
+            layer.backward(np.zeros((1, 4)))
+
+    def test_relu_masks_negative_side(self):
+        layer = make(ReLULayer, (2,))
+        layer.forward(np.array([[-1.0, 1.0]], dtype=np.float32), train=True)
+        dx = layer.backward(np.array([[7.0, 7.0]], dtype=np.float32))
+        np.testing.assert_array_equal(dx, [[0.0, 7.0]])
+
+    def test_hardtanh_blocks_gradient_outside_band(self):
+        layer = make(HardTanhLayer, (3,))
+        layer.forward(np.array([[-2.0, 0.0, 2.0]], dtype=np.float32), train=True)
+        dx = layer.backward(np.ones((1, 3), dtype=np.float32))
+        np.testing.assert_array_equal(dx, [[0.0, 1.0, 0.0]])

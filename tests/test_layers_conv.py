@@ -1,0 +1,131 @@
+"""Unit tests for im2col lowering and the convolution layer, including a
+naive direct-convolution reference implementation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import check_layer_gradients
+from repro.nn.layers import ConvolutionLayer, ShapeError
+from repro.nn.layers._im2col import col2im, conv_output_size, im2col
+
+
+def naive_conv(x, weight, bias, stride, pad, group):
+    """Direct convolution, trusted reference."""
+    n, c, h, w = x.shape
+    cout, cin_g, kh, kw = weight.shape
+    if pad:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    out_h = (x.shape[2] - kh) // stride + 1
+    out_w = (x.shape[3] - kw) // stride + 1
+    y = np.zeros((n, cout, out_h, out_w))
+    cpg_in = c // group
+    cpg_out = cout // group
+    for b in range(n):
+        for o in range(cout):
+            g = o // cpg_out
+            for i in range(out_h):
+                for j in range(out_w):
+                    patch = x[b, g * cpg_in : (g + 1) * cpg_in,
+                              i * stride : i * stride + kh,
+                              j * stride : j * stride + kw]
+                    y[b, o, i, j] = np.sum(patch * weight[o]) + (bias[o] if bias is not None else 0.0)
+    return y
+
+
+class TestIm2Col:
+    def test_output_size_formula(self):
+        assert conv_output_size(227, 11, 4, 0) == 55
+        assert conv_output_size(27, 5, 1, 2) == 27
+
+    def test_rejects_oversized_kernel(self):
+        with pytest.raises(ValueError, match="does not fit"):
+            conv_output_size(4, 7, 1, 0)
+
+    def test_im2col_shape(self, rng):
+        x = rng.normal(size=(2, 3, 8, 8))
+        cols = im2col(x, 3, 3, stride=1, pad=1)
+        assert cols.shape == (2, 3 * 9, 64)
+
+    def test_im2col_values(self, rng):
+        x = rng.normal(size=(1, 1, 4, 4))
+        cols = im2col(x, 2, 2, stride=2, pad=0)
+        # first output position is the top-left 2x2 window, flattened (kh, kw)
+        np.testing.assert_allclose(cols[0, :, 0], x[0, 0, :2, :2].ravel())
+
+    def test_col2im_adjoint_of_im2col(self, rng):
+        """<im2col(x), c> == <x, col2im(c)> — the transpose relationship
+        every backward pass relies on."""
+        x = rng.normal(size=(2, 3, 7, 7))
+        cols = im2col(x, 3, 3, stride=2, pad=1)
+        c = rng.normal(size=cols.shape)
+        lhs = float(np.sum(cols * c))
+        rhs = float(np.sum(x * col2im(c, x.shape, 3, 3, stride=2, pad=1)))
+        assert abs(lhs - rhs) < 1e-8 * max(1.0, abs(lhs))
+
+
+class TestConvolutionForward:
+    @pytest.mark.parametrize("stride,pad,group", [(1, 0, 1), (2, 1, 1), (1, 2, 2), (3, 0, 2)])
+    def test_matches_naive_reference(self, rng, stride, pad, group):
+        layer = ConvolutionLayer("conv", num_output=4, kernel_size=3,
+                                 stride=stride, pad=pad, group=group)
+        layer.setup((4, 9, 9))
+        layer.materialize(rng)
+        x = rng.normal(size=(2, 4, 9, 9)).astype(np.float32)
+        y = layer.forward(x)
+        expected = naive_conv(x, layer.weight.data, layer.bias_blob.data, stride, pad, group)
+        np.testing.assert_allclose(y, expected, rtol=1e-4, atol=1e-5)
+
+    def test_output_shape(self, rng):
+        layer = ConvolutionLayer("conv", num_output=96, kernel_size=11, stride=4)
+        assert layer.setup((3, 227, 227)) == (96, 55, 55)
+
+    def test_rejects_non_chw_input(self):
+        layer = ConvolutionLayer("conv", num_output=4, kernel_size=3)
+        with pytest.raises(ShapeError):
+            layer.setup((16,))
+
+    def test_rejects_indivisible_groups(self):
+        with pytest.raises(ValueError, match="divisible"):
+            ConvolutionLayer("conv", num_output=5, kernel_size=3, group=2)
+        layer = ConvolutionLayer("conv", num_output=4, kernel_size=3, group=2)
+        with pytest.raises(ShapeError, match="divisible"):
+            layer.setup((3, 8, 8))
+
+
+class TestConvolutionBackward:
+    @pytest.mark.parametrize("stride,pad,group", [(1, 0, 1), (2, 1, 2)])
+    def test_gradients_match_numerical(self, rng, stride, pad, group):
+        layer = ConvolutionLayer("conv", num_output=4, kernel_size=3,
+                                 stride=stride, pad=pad, group=group)
+        layer.setup((2, 6, 6))
+        layer.materialize(rng)
+        errors = check_layer_gradients(layer, rng.normal(size=(2, 2, 6, 6)))
+        assert all(err < 1e-3 for err in errors.values()), errors
+
+    def test_backward_requires_train_forward(self, rng):
+        layer = ConvolutionLayer("conv", num_output=2, kernel_size=3)
+        layer.setup((1, 5, 5))
+        layer.materialize(rng)
+        layer.forward(rng.normal(size=(1, 1, 5, 5)), train=False)
+        with pytest.raises(RuntimeError, match="backward before forward"):
+            layer.backward(np.zeros((1, 2, 3, 3)))
+
+
+class TestConvolutionCost:
+    def test_flops_formula(self):
+        layer = ConvolutionLayer("conv", num_output=8, kernel_size=3, group=2, bias=False)
+        layer.setup((4, 6, 6))
+        # per group: 4 out-ch x (2 in-ch * 9) fan-in x 16 positions x 2
+        assert layer.flops_per_sample() == 2 * 8 * 2 * 9 * 16
+
+    def test_gemm_shapes_per_group_scale_with_batch(self):
+        layer = ConvolutionLayer("conv", num_output=8, kernel_size=3, group=2)
+        layer.setup((4, 6, 6))
+        shapes = layer.gemm_shapes(batch=3)
+        assert shapes == [(4, 48, 18), (4, 48, 18)]
+
+    def test_alexnet_conv1_params(self):
+        layer = ConvolutionLayer("conv1", num_output=96, kernel_size=11, stride=4)
+        layer.setup((3, 227, 227))
+        assert layer.param_count() == 96 * 3 * 121 + 96

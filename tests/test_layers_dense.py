@@ -1,0 +1,106 @@
+"""Unit tests for the inner-product layer."""
+
+import numpy as np
+import pytest
+
+from repro.nn import check_layer_gradients
+from repro.nn.layers import InnerProductLayer, ShapeError
+
+
+def make_layer(num_output=7, in_shape=(5,), bias=True, seed=0):
+    layer = InnerProductLayer("fc", num_output=num_output, bias=bias)
+    layer.setup(in_shape)
+    layer.materialize(np.random.default_rng(seed))
+    return layer
+
+
+class TestSetup:
+    def test_flattens_any_input_shape(self):
+        layer = InnerProductLayer("fc", num_output=10)
+        assert layer.setup((3, 4, 5)) == (10,)
+        assert layer.fan_in == 60
+        assert layer.weight.shape == (10, 60)
+
+    def test_bias_optional(self):
+        layer = InnerProductLayer("fc", num_output=4, bias=False)
+        layer.setup((6,))
+        assert len(layer.params) == 1
+
+    def test_rejects_bad_num_output(self):
+        with pytest.raises(ValueError):
+            InnerProductLayer("fc", num_output=0)
+
+
+class TestForward:
+    def test_matches_manual_matmul(self, rng):
+        layer = make_layer(3, (4,))
+        x = rng.normal(size=(6, 4)).astype(np.float32)
+        y = layer.forward(x)
+        expected = x @ layer.weight.data.T + layer.bias_blob.data
+        np.testing.assert_allclose(y, expected, rtol=1e-5)
+
+    def test_multidim_input_flattened(self, rng):
+        layer = make_layer(3, (2, 3))
+        x = rng.normal(size=(4, 2, 3)).astype(np.float32)
+        y = layer.forward(x)
+        assert y.shape == (4, 3)
+        expected = x.reshape(4, 6) @ layer.weight.data.T + layer.bias_blob.data
+        np.testing.assert_allclose(y, expected, rtol=1e-5)
+
+    def test_shape_validation(self, rng):
+        layer = make_layer(3, (4,))
+        with pytest.raises(ShapeError, match="expected input"):
+            layer.forward(rng.normal(size=(2, 5)))
+
+    def test_unmaterialized_raises(self):
+        layer = InnerProductLayer("fc", num_output=2)
+        layer.setup((3,))
+        with pytest.raises(RuntimeError, match="not materialized"):
+            layer.forward(np.zeros((1, 3)))
+
+
+class TestBackward:
+    def test_gradients_match_numerical(self, rng):
+        layer = make_layer(4, (3,))
+        errors = check_layer_gradients(layer, rng.normal(size=(3, 3)))
+        assert all(err < 1e-4 for err in errors.values()), errors
+
+    def test_gradients_accumulate_across_calls(self, rng):
+        layer = make_layer(2, (3,))
+        x = rng.normal(size=(2, 3)).astype(np.float32)
+        dy = np.ones((2, 2), dtype=np.float32)
+        layer.forward(x, train=True)
+        layer.backward(dy)
+        first = layer.weight.grad.copy()
+        layer.forward(x, train=True)
+        layer.backward(dy)
+        np.testing.assert_allclose(layer.weight.grad, 2 * first, rtol=1e-5)
+
+    def test_backward_before_forward_raises(self):
+        layer = make_layer(2, (3,))
+        with pytest.raises(RuntimeError, match="backward before forward"):
+            layer.backward(np.zeros((1, 2)))
+
+    def test_dx_restores_input_shape(self, rng):
+        layer = make_layer(4, (2, 3))
+        x = rng.normal(size=(5, 2, 3))
+        layer.forward(x, train=True)
+        dx = layer.backward(np.ones((5, 4)))
+        assert dx.shape == (5, 2, 3)
+
+
+class TestCostAccounting:
+    def test_flops_count_macs_as_two(self):
+        layer = InnerProductLayer("fc", num_output=10, bias=True)
+        layer.setup((20,))
+        assert layer.flops_per_sample() == 2 * 10 * 20 + 10
+
+    def test_gemm_shape_is_output_by_batch_by_fanin(self):
+        layer = InnerProductLayer("fc", num_output=10)
+        layer.setup((20,))
+        assert layer.gemm_shapes(batch=8) == [(10, 8, 20)]
+
+    def test_param_count(self):
+        layer = InnerProductLayer("fc", num_output=10)
+        layer.setup((20,))
+        assert layer.param_count() == 10 * 20 + 10

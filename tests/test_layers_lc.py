@@ -1,0 +1,94 @@
+"""Unit tests for the locally-connected layer (DeepFace's L4-L6)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import check_layer_gradients
+from repro.nn.layers import ConvolutionLayer, LocallyConnectedLayer
+
+
+def naive_local(x, weight, stride, pad):
+    """Direct unshared convolution, trusted reference."""
+    n, c, h, w = x.shape
+    positions, cout, fan_in = weight.shape
+    if pad:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    k = int(round((fan_in // c) ** 0.5))
+    out_h = (x.shape[2] - k) // stride + 1
+    out_w = (x.shape[3] - k) // stride + 1
+    y = np.zeros((n, cout, out_h, out_w))
+    for b in range(n):
+        for i in range(out_h):
+            for j in range(out_w):
+                pos = i * out_w + j
+                patch = x[b, :, i * stride : i * stride + k, j * stride : j * stride + k].ravel()
+                y[b, :, i, j] = weight[pos] @ patch
+    return y
+
+
+class TestForward:
+    @pytest.mark.parametrize("stride,pad", [(1, 0), (2, 1)])
+    def test_matches_naive_reference(self, rng, stride, pad):
+        layer = LocallyConnectedLayer("lc", num_output=3, kernel_size=3,
+                                      stride=stride, pad=pad, bias=False)
+        layer.setup((2, 7, 7))
+        layer.materialize(rng)
+        x = rng.normal(size=(2, 2, 7, 7)).astype(np.float32)
+        y = layer.forward(x)
+        expected = naive_local(x, layer.weight.data, stride, pad)
+        np.testing.assert_allclose(y, expected, rtol=1e-4, atol=1e-5)
+
+    def test_differs_from_shared_conv_with_different_position_weights(self, rng):
+        """Sanity: unshared weights really vary by position."""
+        lc = LocallyConnectedLayer("lc", num_output=2, kernel_size=3, bias=False)
+        lc.setup((1, 5, 5))
+        lc.materialize(rng)
+        x = np.zeros((1, 1, 5, 5), dtype=np.float32)
+        x[0, 0, 1, 1] = 1.0  # activates several windows with distinct weights
+        y = lc.forward(x)
+        flat = y.reshape(2, -1)
+        assert np.unique(np.round(flat, 6)).size > 2
+
+    def test_equals_conv_when_weights_replicated(self, rng):
+        """With every position given identical weights, LC == convolution."""
+        conv = ConvolutionLayer("c", num_output=3, kernel_size=3, bias=False)
+        conv.setup((2, 6, 6))
+        conv.materialize(rng)
+        lc = LocallyConnectedLayer("l", num_output=3, kernel_size=3, bias=False)
+        lc.setup((2, 6, 6))
+        lc.materialize(rng)
+        shared = conv.weight.data.reshape(3, -1)
+        lc.weight.data = np.broadcast_to(shared, lc.weight.shape).copy()
+        x = rng.normal(size=(2, 2, 6, 6)).astype(np.float32)
+        np.testing.assert_allclose(lc.forward(x), conv.forward(x), rtol=1e-4, atol=1e-5)
+
+
+class TestBackward:
+    def test_gradients_match_numerical(self, rng):
+        layer = LocallyConnectedLayer("lc", num_output=2, kernel_size=3, stride=2)
+        layer.setup((1, 7, 7))
+        layer.materialize(rng)
+        errors = check_layer_gradients(layer, rng.normal(size=(2, 1, 7, 7)))
+        assert all(err < 1e-3 for err in errors.values()), errors
+
+
+class TestCost:
+    def test_param_count_scales_with_positions(self):
+        layer = LocallyConnectedLayer("lc", num_output=16, kernel_size=9, bias=False)
+        layer.setup((16, 63, 63))
+        assert layer.param_count() == 55 * 55 * 16 * (16 * 81)
+
+    def test_gemm_shapes_are_one_small_gemm_per_position(self):
+        layer = LocallyConnectedLayer("lc", num_output=4, kernel_size=3)
+        layer.setup((2, 5, 5))
+        shapes = layer.gemm_shapes(batch=2)
+        assert len(shapes) == 9
+        assert shapes[0] == (4, 2, 18)
+
+    def test_flops_match_conv_of_same_geometry(self):
+        """Same math as a conv; only the weights are unshared."""
+        lc = LocallyConnectedLayer("lc", num_output=4, kernel_size=3, bias=False)
+        lc.setup((2, 6, 6))
+        conv = ConvolutionLayer("c", num_output=4, kernel_size=3, bias=False)
+        conv.setup((2, 6, 6))
+        assert lc.flops_per_sample() == conv.flops_per_sample()

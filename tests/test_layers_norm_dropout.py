@@ -1,0 +1,91 @@
+"""Unit tests for LRN, dropout, and flatten layers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import check_layer_gradients
+from repro.nn.layers import DropoutLayer, FlattenLayer, LRNLayer
+
+
+def naive_lrn(x, local_size, alpha, beta, k):
+    n, c, h, w = x.shape
+    half = (local_size - 1) // 2
+    y = np.zeros_like(x)
+    for ch in range(c):
+        lo, hi = max(0, ch - half), min(c, ch + half + 1)
+        scale = k + (alpha / local_size) * np.sum(x[:, lo:hi] ** 2, axis=1)
+        y[:, ch] = x[:, ch] / scale**beta
+    return y
+
+
+class TestLRN:
+    def test_matches_naive(self, rng):
+        layer = LRNLayer("norm", local_size=5, alpha=1e-4, beta=0.75)
+        layer.setup((8, 4, 4))
+        x = rng.normal(size=(2, 8, 4, 4)).astype(np.float32)
+        np.testing.assert_allclose(
+            layer.forward(x), naive_lrn(x, 5, 1e-4, 0.75, 1.0), rtol=1e-5, atol=1e-6
+        )
+
+    def test_identity_like_for_tiny_alpha(self, rng):
+        layer = LRNLayer("norm", alpha=1e-12)
+        layer.setup((4, 3, 3))
+        x = rng.normal(size=(1, 4, 3, 3)).astype(np.float32)
+        np.testing.assert_allclose(layer.forward(x), x, rtol=1e-5)
+
+    def test_gradients_match_numerical(self, rng):
+        layer = LRNLayer("norm", local_size=3, alpha=0.1, beta=0.75)
+        layer.setup((5, 2, 2))
+        errors = check_layer_gradients(layer, rng.normal(size=(2, 5, 2, 2)), eps=1e-4)
+        assert errors["input"] < 1e-3, errors
+
+    def test_rejects_even_window(self):
+        with pytest.raises(ValueError, match="odd"):
+            LRNLayer("norm", local_size=4)
+
+
+class TestDropout:
+    def test_identity_at_inference(self, rng):
+        layer = DropoutLayer("drop", ratio=0.5)
+        layer.setup((10,))
+        x = rng.normal(size=(4, 10)).astype(np.float32)
+        np.testing.assert_array_equal(layer.forward(x, train=False), x)
+
+    def test_training_zeroes_and_rescales(self):
+        layer = DropoutLayer("drop", ratio=0.5, seed=3)
+        layer.setup((10000,))
+        x = np.ones((1, 10000), dtype=np.float32)
+        y = layer.forward(x, train=True)
+        dropped = float((y == 0).mean())
+        assert 0.45 < dropped < 0.55
+        # surviving activations are scaled by 1/keep so E[y] == x
+        assert abs(float(y.mean()) - 1.0) < 0.05
+        np.testing.assert_allclose(np.unique(y), [0.0, 2.0])
+
+    def test_backward_uses_same_mask(self):
+        layer = DropoutLayer("drop", ratio=0.5, seed=1)
+        layer.setup((100,))
+        x = np.ones((1, 100), dtype=np.float32)
+        y = layer.forward(x, train=True)
+        dx = layer.backward(np.ones_like(y))
+        np.testing.assert_array_equal((dx == 0), (y == 0))
+
+    def test_rejects_bad_ratio(self):
+        with pytest.raises(ValueError):
+            DropoutLayer("drop", ratio=1.0)
+
+    def test_zero_flops_at_inference(self):
+        layer = DropoutLayer("drop")
+        layer.setup((10,))
+        assert layer.flops_per_sample() == 0
+
+
+class TestFlatten:
+    def test_flattens_and_restores(self, rng):
+        layer = FlattenLayer("flat")
+        assert layer.setup((2, 3, 4)) == (24,)
+        x = rng.normal(size=(5, 2, 3, 4)).astype(np.float32)
+        y = layer.forward(x, train=True)
+        assert y.shape == (5, 24)
+        dx = layer.backward(y)
+        np.testing.assert_array_equal(dx, x)

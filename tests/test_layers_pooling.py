@@ -1,0 +1,87 @@
+"""Unit tests for max/average pooling."""
+
+import numpy as np
+import pytest
+
+from repro.nn import check_layer_gradients
+from repro.nn.layers import PoolingLayer, ShapeError
+
+
+def naive_pool(x, k, stride, pad, mode):
+    n, c, h, w = x.shape
+    fill = -np.inf if mode == "max" else 0.0
+    if pad:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)), constant_values=fill)
+    out_h = (x.shape[2] - k) // stride + 1
+    out_w = (x.shape[3] - k) // stride + 1
+    y = np.zeros((n, c, out_h, out_w))
+    for i in range(out_h):
+        for j in range(out_w):
+            window = x[:, :, i * stride : i * stride + k, j * stride : j * stride + k]
+            y[:, :, i, j] = window.max(axis=(2, 3)) if mode == "max" else window.mean(axis=(2, 3))
+    return y
+
+
+class TestForward:
+    @pytest.mark.parametrize("mode", ["max", "ave"])
+    @pytest.mark.parametrize("k,stride,pad", [(2, 2, 0), (3, 2, 0), (3, 1, 1)])
+    def test_matches_naive(self, rng, mode, k, stride, pad):
+        layer = PoolingLayer("pool", kernel_size=k, stride=stride, pad=pad, mode=mode)
+        layer.setup((3, 8, 8))
+        x = rng.normal(size=(2, 3, 8, 8)).astype(np.float32)
+        np.testing.assert_allclose(
+            layer.forward(x), naive_pool(x, k, stride, pad, mode), rtol=1e-5, atol=1e-6
+        )
+
+    def test_default_stride_equals_kernel(self):
+        layer = PoolingLayer("pool", kernel_size=2)
+        assert layer.setup((4, 8, 8)) == (4, 4, 4)
+
+    def test_alexnet_pool_geometry(self):
+        layer = PoolingLayer("pool1", kernel_size=3, stride=2)
+        assert layer.setup((96, 55, 55)) == (96, 27, 27)
+
+    def test_rejects_bad_mode(self):
+        with pytest.raises(ValueError, match="max.*ave"):
+            PoolingLayer("pool", kernel_size=2, mode="avg")
+
+    def test_rejects_vector_input(self):
+        layer = PoolingLayer("pool", kernel_size=2)
+        with pytest.raises(ShapeError):
+            layer.setup((10,))
+
+
+class TestBackward:
+    def test_max_routes_gradient_to_argmax_only(self):
+        layer = PoolingLayer("pool", kernel_size=2, mode="max")
+        layer.setup((1, 2, 2))
+        x = np.array([[[[1.0, 3.0], [2.0, 0.0]]]], dtype=np.float32)
+        layer.forward(x, train=True)
+        dx = layer.backward(np.array([[[[5.0]]]], dtype=np.float32))
+        np.testing.assert_array_equal(dx, [[[[0.0, 5.0], [0.0, 0.0]]]])
+
+    def test_ave_spreads_gradient_uniformly(self):
+        layer = PoolingLayer("pool", kernel_size=2, mode="ave")
+        layer.setup((1, 2, 2))
+        x = np.ones((1, 1, 2, 2), dtype=np.float32)
+        layer.forward(x, train=True)
+        dx = layer.backward(np.full((1, 1, 1, 1), 4.0, dtype=np.float32))
+        np.testing.assert_allclose(dx, np.ones((1, 1, 2, 2)))
+
+    @pytest.mark.parametrize("mode", ["max", "ave"])
+    def test_gradients_match_numerical(self, rng, mode):
+        layer = PoolingLayer("pool", kernel_size=2, stride=2, mode=mode)
+        layer.setup((2, 6, 6))
+        # distinct values so the max argmax is stable under the epsilon
+        x = rng.permutation(np.arange(2 * 2 * 36, dtype=np.float64)).reshape(2, 2, 6, 6) * 0.1
+        errors = check_layer_gradients(layer, x, eps=1e-4)
+        assert errors["input"] < 1e-4, errors
+
+    def test_overlapping_max_accumulates(self):
+        layer = PoolingLayer("pool", kernel_size=3, stride=1, mode="max")
+        layer.setup((1, 3, 3))
+        x = np.zeros((1, 1, 3, 3), dtype=np.float32)
+        x[0, 0, 1, 1] = 10.0  # the single max for the only window
+        layer.forward(x, train=True)
+        dx = layer.backward(np.ones((1, 1, 1, 1), dtype=np.float32))
+        assert dx[0, 0, 1, 1] == 1.0

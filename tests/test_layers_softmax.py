@@ -1,0 +1,75 @@
+"""Unit tests for softmax and the fused softmax-cross-entropy loss."""
+
+import numpy as np
+import pytest
+
+from repro.nn import check_layer_gradients, numerical_gradient
+from repro.nn.layers import ShapeError, SoftmaxLayer, softmax, softmax_cross_entropy
+
+
+class TestSoftmaxFunction:
+    def test_rows_sum_to_one(self, rng):
+        probs = softmax(rng.normal(size=(8, 10)), axis=1)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, rtol=1e-6)
+        assert np.all(probs > 0)
+
+    def test_shift_invariance(self, rng):
+        x = rng.normal(size=(3, 5))
+        np.testing.assert_allclose(softmax(x), softmax(x + 1000.0), rtol=1e-6)
+
+    def test_stable_at_large_magnitudes(self):
+        probs = softmax(np.array([[1e4, 0.0, -1e4]]))
+        assert not np.any(np.isnan(probs))
+        np.testing.assert_allclose(probs[0, 0], 1.0)
+
+    def test_preserves_argmax(self, rng):
+        x = rng.normal(size=(20, 7))
+        np.testing.assert_array_equal(np.argmax(softmax(x), 1), np.argmax(x, 1))
+
+
+class TestSoftmaxLayer:
+    def test_forward_normalizes(self, rng):
+        layer = SoftmaxLayer("prob")
+        layer.setup((6,))
+        y = layer.forward(rng.normal(size=(4, 6)))
+        np.testing.assert_allclose(y.sum(axis=1), 1.0, rtol=1e-6)
+
+    def test_jacobian_matches_numerical(self, rng):
+        layer = SoftmaxLayer("prob")
+        layer.setup((5,))
+        errors = check_layer_gradients(layer, rng.normal(size=(2, 5)), eps=1e-5)
+        assert errors["input"] < 1e-4
+
+
+class TestCrossEntropy:
+    def test_loss_value_for_uniform_logits(self):
+        logits = np.zeros((4, 10), dtype=np.float32)
+        labels = np.array([0, 3, 5, 9])
+        loss, _ = softmax_cross_entropy(logits, labels)
+        np.testing.assert_allclose(loss, np.log(10), rtol=1e-6)
+
+    def test_perfect_prediction_has_near_zero_loss(self):
+        logits = np.full((2, 4), -100.0, dtype=np.float32)
+        logits[0, 1] = logits[1, 2] = 100.0
+        loss, _ = softmax_cross_entropy(logits, np.array([1, 2]))
+        assert loss < 1e-6
+
+    def test_gradient_matches_numerical(self, rng):
+        logits = rng.normal(size=(3, 5))
+        labels = np.array([1, 0, 4])
+        _, grad = softmax_cross_entropy(logits.astype(np.float32), labels)
+        num = numerical_gradient(
+            lambda z: softmax_cross_entropy(z, labels)[0], logits.copy(), eps=1e-4
+        )
+        np.testing.assert_allclose(grad, num, rtol=1e-2, atol=1e-4)
+
+    def test_gradient_rows_sum_to_zero(self, rng):
+        _, grad = softmax_cross_entropy(rng.normal(size=(6, 8)).astype(np.float32),
+                                        np.zeros(6, dtype=int))
+        np.testing.assert_allclose(grad.sum(axis=1), 0.0, atol=1e-6)
+
+    def test_rejects_mismatched_labels(self):
+        with pytest.raises(ShapeError):
+            softmax_cross_entropy(np.zeros((3, 4)), np.zeros(2, dtype=int))
+        with pytest.raises(ShapeError):
+            softmax_cross_entropy(np.zeros((3,)), np.zeros(3, dtype=int))

@@ -1,0 +1,144 @@
+"""Unit and property tests for the evaluation metrics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tonic.metrics import (
+    edit_distance,
+    iob_spans,
+    span_f1,
+    tagging_accuracy,
+    word_error_rate,
+)
+
+
+class TestEditDistance:
+    @pytest.mark.parametrize("a,b,expected", [
+        ([], [], 0),
+        (["x"], [], 1),
+        (["a", "b"], ["a", "b"], 0),
+        (["a", "b", "c"], ["a", "x", "c"], 1),
+        (["a", "b"], ["b", "a"], 2),
+        ("kitten", "sitting", 3),
+    ])
+    def test_known_values(self, a, b, expected):
+        assert edit_distance(a, b) == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        a=st.lists(st.integers(0, 3), max_size=8),
+        b=st.lists(st.integers(0, 3), max_size=8),
+        c=st.lists(st.integers(0, 3), max_size=8),
+    )
+    def test_metric_axioms(self, a, b, c):
+        """Symmetry, identity, and the triangle inequality."""
+        assert edit_distance(a, b) == edit_distance(b, a)
+        assert edit_distance(a, a) == 0
+        assert edit_distance(a, c) <= edit_distance(a, b) + edit_distance(b, c)
+
+    @settings(max_examples=30, deadline=None)
+    @given(a=st.lists(st.integers(0, 3), max_size=8),
+           b=st.lists(st.integers(0, 3), max_size=8))
+    def test_bounded_by_lengths(self, a, b):
+        d = edit_distance(a, b)
+        assert abs(len(a) - len(b)) <= d <= max(len(a), len(b))
+
+
+class TestWer:
+    def test_perfect_is_zero(self):
+        assert word_error_rate([["go", "left"]], [["go", "left"]]) == 0.0
+
+    def test_one_substitution(self):
+        assert word_error_rate([["go", "right"]], [["go", "left"]]) == pytest.approx(0.5)
+
+    def test_can_exceed_one_on_insertions(self):
+        assert word_error_rate([["a", "b", "c", "d"]], [["a"]]) == 3.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            word_error_rate([["a"]], [])
+        with pytest.raises(ValueError):
+            word_error_rate([[]], [[]])
+
+
+class TestTaggingAccuracy:
+    def test_counts_tokens_across_sentences(self):
+        acc = tagging_accuracy([["A", "B"], ["A"]], [["A", "A"], ["A"]])
+        assert acc == pytest.approx(2 / 3)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            tagging_accuracy([["A"]], [["A", "B"]])
+
+
+class TestIobSpans:
+    def test_simple_spans(self):
+        tags = ["B-NP", "I-NP", "O", "B-VP"]
+        assert iob_spans(tags) == {(0, 2, "NP"), (3, 4, "VP")}
+
+    def test_adjacent_b_tags_split_spans(self):
+        assert iob_spans(["B-NP", "B-NP"]) == {(0, 1, "NP"), (1, 2, "NP")}
+
+    def test_orphan_i_starts_a_span(self):
+        assert iob_spans(["O", "I-NP", "I-NP"]) == {(1, 3, "NP")}
+
+    def test_type_change_splits(self):
+        assert iob_spans(["B-NP", "I-VP"]) == {(0, 1, "NP"), (1, 2, "VP")}
+
+    def test_span_runs_to_end(self):
+        assert iob_spans(["B-PP", "I-PP"]) == {(0, 2, "PP")}
+
+    def test_all_outside(self):
+        assert iob_spans(["O", "O"]) == set()
+
+
+class TestSpanF1:
+    def test_perfect(self):
+        gold = [["B-NP", "I-NP", "O"]]
+        result = span_f1(gold, gold)
+        assert result.f1 == 1.0
+
+    def test_boundary_error_fails_the_whole_span(self):
+        pred = [["B-NP", "O", "O"]]
+        gold = [["B-NP", "I-NP", "O"]]
+        result = span_f1(pred, gold)
+        assert result.f1 == 0.0  # per-token accuracy would be 2/3
+
+    def test_partial_credit_across_spans(self):
+        pred = [["B-NP", "O", "B-VP"]]
+        gold = [["B-NP", "O", "B-NP"]]
+        result = span_f1(pred, gold)
+        assert result.precision == pytest.approx(0.5)
+        assert result.recall == pytest.approx(0.5)
+
+    def test_empty_predictions(self):
+        result = span_f1([["O", "O"]], [["B-NP", "I-NP"]])
+        assert result.precision == 0.0 and result.recall == 0.0 and result.f1 == 0.0
+
+    def test_trained_chunker_scores_high_span_f1(self):
+        """End-to-end: span F1 on the synthetic chunking task."""
+        from repro.models import senna
+        from repro.nn import Net, SgdSolver
+        from repro.tonic import LocalBackend, Vocabulary, WindowFeaturizer, generate_corpus
+        from repro.tonic.nlp import PosApp, ChkApp, TagTransitions, TASK_TAGS, tagging_training_set
+
+        corpus = generate_corpus(250, seed=0)
+        test = generate_corpus(40, seed=999)
+        vocab = Vocabulary(w for s in corpus for w in s.words)
+        featurizer = WindowFeaturizer(vocab)
+        nets = {}
+        for task in ("pos", "chk"):
+            net = Net(senna(task, include_softmax=False)).materialize(0)
+            x, y = tagging_training_set(task, corpus, featurizer)
+            SgdSolver(net, lr=0.05, momentum=0.9).fit(x, y, epochs=4, batch=32)
+            serve = Net(senna(task))
+            serve.copy_weights_from(net)
+            nets[task] = serve
+        pos = PosApp(LocalBackend(nets["pos"]), featurizer,
+                     TagTransitions(TASK_TAGS["pos"]).fit([s.pos for s in corpus]))
+        chk = ChkApp(LocalBackend(nets["chk"]), featurizer, pos_app=pos,
+                     transitions=TagTransitions(TASK_TAGS["chk"]).fit([s.chunks for s in corpus]))
+        predicted = [chk.run(s) for s in test]
+        gold = [list(s.chunks) for s in test]
+        assert span_f1(predicted, gold).f1 > 0.85

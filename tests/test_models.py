@@ -1,0 +1,124 @@
+"""Model zoo conformance against the paper's Table 1."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    APPLICATIONS,
+    DEEPFACE_ORIGINAL_IDENTITIES,
+    alexnet,
+    build_net,
+    build_spec,
+    deepface,
+    kaldi_asr,
+    lenet5,
+    model_info,
+    senna,
+    weighted_layer_count,
+)
+from repro.nn import Net
+
+
+class TestTable1Conformance:
+    """Parameter counts within 20% of Table 1's published values."""
+
+    @pytest.mark.parametrize("app,expected", [
+        ("imc", 60_000_000),
+        ("dig", 60_000),
+        ("asr", 30_000_000),
+        ("pos", 180_000),
+    ])
+    def test_param_counts_match_paper(self, app, expected):
+        params = build_net(app).param_count()
+        assert 0.8 * expected < params < 1.2 * expected, (app, params)
+
+    def test_face_matches_paper_at_original_identities(self):
+        # Table 1's 120M corresponds to the original 4030-way DeepFace
+        params = Net(deepface(DEEPFACE_ORIGINAL_IDENTITIES)).param_count()
+        assert 0.85 * 120_000_000 < params < 1.15 * 120_000_000
+
+    @pytest.mark.parametrize("app", APPLICATIONS)
+    def test_network_type_matches(self, app):
+        info = model_info(app)
+        spec = build_spec(app)
+        has_conv = any(s.type in ("Convolution", "LocallyConnected") for s in spec.layers)
+        assert has_conv == (info.network_type == "CNN")
+
+    def test_lenet_weighted_depth_is_7(self):
+        assert weighted_layer_count(lenet5()) == 7
+
+    def test_senna_weighted_depth_is_2_linear_stages(self):
+        # the paper's "3 layers" counts linear-hardtanh-linear
+        spec = senna("pos")
+        assert [s.type for s in spec.layers[:3]] == ["InnerProduct", "HardTanh", "InnerProduct"]
+
+    def test_alexnet_has_22_stages_before_softmax(self):
+        spec = alexnet()
+        assert spec.depth == 23  # 22 + inference softmax
+        assert spec.layers[-1].type == "Softmax"
+
+    def test_kaldi_is_13_weighted_plus_activation_stages(self):
+        spec = kaldi_asr()
+        affines = [s for s in spec.layers if s.type == "InnerProduct"]
+        sigmoids = [s for s in spec.layers if s.type == "Sigmoid"]
+        assert len(affines) == 7 and len(sigmoids) == 6  # 13 stages
+
+
+class TestArchitectureShapes:
+    def test_alexnet_output(self):
+        net = Net(alexnet())
+        assert net.input_shape == (3, 227, 227)
+        assert net.output_shape == (1000,)
+
+    def test_alexnet_fc6_fan_in_is_9216(self):
+        net = Net(alexnet())
+        fc6 = next(l for l in net.layers if l.name == "fc6")
+        assert fc6.fan_in == 256 * 6 * 6
+
+    def test_lenet_output(self):
+        net = Net(lenet5())
+        assert net.input_shape == (1, 32, 32)
+        assert net.output_shape == (10,)
+
+    def test_deepface_uses_locally_connected_layers(self):
+        spec = deepface()
+        lc = [s for s in spec.layers if s.type == "LocallyConnected"]
+        assert [s.name for s in lc] == ["l4", "l5", "l6"]
+        assert Net(spec).output_shape == (83,)
+
+    def test_kaldi_input_is_spliced_fbank(self):
+        net = Net(kaldi_asr())
+        assert net.input_shape == (440,)
+        assert net.output_shape == (3483,)
+
+    @pytest.mark.parametrize("task,tags", [("pos", 45), ("chk", 23), ("ner", 9)])
+    def test_senna_tag_outputs(self, task, tags):
+        assert Net(senna(task)).output_shape == (tags,)
+
+    def test_include_softmax_false_strips_final_layer(self):
+        for factory in (alexnet, lenet5, deepface, kaldi_asr):
+            spec = factory(include_softmax=False)
+            assert spec.layers[-1].type != "Softmax"
+
+
+class TestRegistryApi:
+    def test_unknown_app_lists_candidates(self):
+        with pytest.raises(ValueError, match="known"):
+            model_info("speech")
+
+    def test_build_net_materialize(self):
+        net = build_net("dig", materialize=True, seed=2)
+        assert net.materialized
+        out = net.forward(np.zeros((1, 1, 32, 32), np.float32))
+        np.testing.assert_allclose(out.sum(), 1.0, rtol=1e-5)
+
+    def test_small_models_forward_pass(self, rng):
+        for app in ("dig", "pos", "chk", "ner"):
+            net = build_net(app, materialize=True)
+            x = rng.normal(size=(2, *net.input_shape)).astype(np.float32)
+            y = net.forward(x)
+            assert y.shape == (2, *net.output_shape)
+            np.testing.assert_allclose(y.sum(axis=1), 1.0, rtol=1e-4)
+
+    def test_applications_ordering_matches_paper(self):
+        assert APPLICATIONS == ("imc", "dig", "face", "asr", "pos", "chk", "ner")

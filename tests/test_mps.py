@@ -1,0 +1,134 @@
+"""Unit and behaviour tests for the MPS concurrency simulator (Figs 8/9)."""
+
+import pytest
+
+from repro.gpusim import app_model
+from repro.gpusim.mps import Segment, mps_sweep, service_segments, simulate_concurrent
+
+
+def toy_segments(idle_us=10.0, work_us=100.0, demand=0.25):
+    return [
+        Segment("idle", idle_us * 1e-6),
+        Segment("gpu", work_us * 1e-6, demand),
+        Segment("idle", idle_us * 1e-6),
+    ]
+
+
+class TestSegment:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Segment("cpu", 1.0)
+        with pytest.raises(ValueError):
+            Segment("idle", -1.0)
+
+
+class TestFluidModel:
+    def test_single_instance_throughput_is_cycle_rate(self):
+        segs = toy_segments()
+        result = simulate_concurrent(segs, 1, "mps")
+        cycle = sum(s.duration_s for s in segs)
+        assert result.qps == pytest.approx(1.0 / cycle, rel=0.02)
+        assert result.mean_latency_s == pytest.approx(cycle, rel=0.02)
+
+    def test_mps_scales_until_demand_saturates(self):
+        """demand=0.25 -> ~4 instances fit before the device saturates."""
+        segs = toy_segments(demand=0.25)
+        base = simulate_concurrent(segs, 1, "mps").qps
+        four = simulate_concurrent(segs, 4, "mps").qps
+        sixteen = simulate_concurrent(segs, 16, "mps").qps
+        assert four == pytest.approx(4 * base, rel=0.05)
+        assert sixteen < 6 * base  # saturated well below 16x
+
+    def test_exclusive_throughput_flat(self):
+        segs = toy_segments(demand=0.25)
+        base = simulate_concurrent(segs, 1, "exclusive").qps
+        eight = simulate_concurrent(segs, 8, "exclusive").qps
+        assert eight == pytest.approx(base, rel=0.10)
+
+    def test_exclusive_latency_grows_with_instances(self):
+        segs = toy_segments()
+        l1 = simulate_concurrent(segs, 1, "exclusive").mean_latency_s
+        l8 = simulate_concurrent(segs, 8, "exclusive").mean_latency_s
+        assert l8 > 5 * l1
+
+    def test_mps_latency_below_exclusive_when_underutilized(self):
+        segs = toy_segments(demand=0.2)
+        mps = simulate_concurrent(segs, 4, "mps").mean_latency_s
+        excl = simulate_concurrent(segs, 4, "exclusive").mean_latency_s
+        assert mps < excl
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_concurrent(toy_segments(), 2, "timeslice")
+        with pytest.raises(ValueError):
+            simulate_concurrent(toy_segments(), 0, "mps")
+
+    def test_idle_only_workload_scales_perfectly(self):
+        segs = [Segment("idle", 1e-4)]
+        base = simulate_concurrent(segs, 1, "mps").qps
+        eight = simulate_concurrent(segs, 8, "mps").qps
+        assert eight == pytest.approx(8 * base, rel=0.02)
+
+
+class TestServiceSegments:
+    def test_alternates_transfers_gaps_and_kernels(self):
+        segs = service_segments(app_model("pos"))
+        kinds = [s.kind for s in segs]
+        assert kinds[0] == "idle" and kinds[-1] == "idle"
+        assert "gpu" in kinds
+        # every gpu segment is preceded by its launch gap
+        for i, seg in enumerate(segs):
+            if seg.kind == "gpu":
+                assert segs[i - 1].kind == "idle"
+
+    def test_gpu_time_matches_profile_busy_time(self):
+        model = app_model("asr")
+        segs = service_segments(model)
+        gpu_total = sum(s.duration_s for s in segs if s.kind == "gpu")
+        assert gpu_total == pytest.approx(model.gpu_profile(model.best_batch).busy_s, rel=1e-6)
+
+
+class TestPaperClaims:
+    """Paper §5.2: throughput rises with concurrent services and plateaus;
+    MPS beats time-sharing; latency is small below 4 instances and the
+    MPS latency advantage reaches multiples of the time-shared case."""
+
+    @pytest.fixture(scope="class")
+    def sweeps(self):
+        return {app: mps_sweep(app_model(app), (1, 2, 4, 8, 16))
+                for app in ("imc", "dig", "asr", "pos")}
+
+    def test_throughput_monotone_then_plateau(self, sweeps):
+        for app, (mps, _) in sweeps.items():
+            qps = [r.qps for r in mps]
+            assert all(b >= a * 0.99 for a, b in zip(qps, qps[1:])), app
+            assert qps[4] < qps[2] * 1.5, app  # plateau beyond k=4-8
+
+    def test_mps_beats_exclusive(self, sweeps):
+        for app, (mps, excl) in sweeps.items():
+            assert mps[2].qps > excl[2].qps, app  # at 4 instances
+
+    def test_low_occupancy_apps_gain_most(self, sweeps):
+        gain = {app: pair[0][2].qps / pair[0][0].qps for app, pair in sweeps.items()}
+        assert gain["dig"] > gain["asr"]
+        assert gain["pos"] > gain["asr"]
+        assert gain["dig"] > 2.0      # paper: "up to 6x" for the best case
+        assert gain["asr"] < 1.5      # already near-saturated
+
+    def test_mps_latency_advantage_at_high_concurrency(self, sweeps):
+        ratios = {app: excl[3].mean_latency_s / mps[3].mean_latency_s
+                  for app, (mps, excl) in sweeps.items()}
+        assert all(r > 1.05 for r in ratios.values()), ratios
+        assert max(ratios.values()) > 2.0   # paper: "up to 3x" lower with MPS
+
+    def test_latency_modest_below_4_instances(self, sweeps):
+        for app, (mps, _) in sweeps.items():
+            assert mps[2].mean_latency_s < 4 * mps[0].mean_latency_s, app
+
+    def test_latency_at_4_mps_below_cpu_single_query(self, sweeps):
+        # paper: "latency achieved using 4 concurrent DNN services on the
+        # GPU is smaller than the single query service time on the CPU"
+        for app in ("imc", "dig", "asr"):
+            mps, _ = sweeps[app]
+            cpu = app_model(app).cpu_query_time()
+            assert mps[2].mean_latency_s < cpu, app

@@ -1,0 +1,96 @@
+"""Multi-GPU scaling model tests (Figures 11, 12, 13)."""
+
+import pytest
+
+from repro.gpusim import GpuServerModel, app_model
+from repro.gpusim.device import PLATFORM
+
+NLP = ("pos", "chk", "ner")
+COMPUTE_HEAVY = ("imc", "dig", "face", "asr")
+
+
+def server(app):
+    return GpuServerModel(app_model(app))
+
+
+class TestScaling:
+    def test_compute_heavy_apps_scale_near_linearly(self):
+        """Fig 11: image + ASR services scale ~linearly to 8 GPUs.  DIG is
+        the marginal case (its Fig 13 bandwidth line is the highest of the
+        compute-heavy group), so it is allowed to brush the host link."""
+        for app in COMPUTE_HEAVY:
+            pts = server(app).sweep((1, 8))
+            assert pts[1].qps / pts[0].qps > 7.0, app
+        for app in ("imc", "face", "asr"):
+            assert not server(app).scale(8).link_limited, app
+
+    def test_nlp_plateaus_around_4_gpus(self):
+        """Fig 11: NLP throughput plateaus as GPUs reach 4."""
+        for app in NLP:
+            pts = server(app).sweep((1, 2, 4, 8))
+            rel = [p.qps / pts[0].qps for p in pts]
+            assert rel[2] > 3.5, (app, rel)       # still ~linear at 4
+            assert rel[3] < 7.0, (app, rel)       # capped well below 8
+            assert pts[3].link_limited, app
+
+    def test_pinned_inputs_remove_the_plateau(self):
+        """Fig 12: without PCIe transfers every app scales near-linearly."""
+        for app in NLP + COMPUTE_HEAVY:
+            pts = server(app).sweep((1, 8), pinned=True)
+            assert pts[1].qps / pts[0].qps > 7.5, app
+
+    def test_three_apps_reach_about_1000x_at_8_gpus(self):
+        """Abstract: 'near-linear scaling (around 1000x throughput
+        improvement) for 3 of the 7 applications'."""
+        speedups = {app: server(app).speedup_vs_cpu_core(8)
+                    for app in ("imc", "dig", "face", "asr", "pos")}
+        near_1000 = [app for app, s in speedups.items() if s > 700]
+        assert len(near_1000) >= 3, speedups
+
+    def test_scale_validates_gpu_count(self):
+        with pytest.raises(ValueError):
+            server("imc").scale(0)
+
+
+class TestBandwidthRequirements:
+    def test_nlp_requirements_far_exceed_pcie_v3(self):
+        """Fig 13: light-computation tasks require far higher bandwidth."""
+        for app in NLP:
+            required = server(app).bandwidth_required_gbs(8)
+            assert required > 1.5 * PLATFORM.host_link_gbs, (app, required)
+            assert required > 3 * PLATFORM.pcie_per_gpu_gbs, (app, required)
+
+    def test_compute_heavy_apps_need_at_least_4_gbs_at_8_gpus(self):
+        """Fig 13: 'theoretical throughput can be achieved by a network
+        with a bandwidth of at least 4GB/s' for the compute-heavy tasks."""
+        needs = [server(app).bandwidth_required_gbs(8) for app in ("imc", "face", "asr")]
+        assert max(needs) > 4.0
+        assert max(needs) < PLATFORM.host_link_gbs  # and PCIe v3-era links suffice
+
+    def test_10gbe_is_below_everything(self):
+        from repro.gpusim.pcie import ETH_10G
+        for app in ("imc", "dig", "asr", "pos"):
+            assert server(app).bandwidth_required_gbs(8) > ETH_10G.effective_gbs, app
+
+    def test_requirement_linear_in_gpus(self):
+        srv = server("pos")
+        assert srv.bandwidth_required_gbs(8) == pytest.approx(
+            8 * srv.bandwidth_required_gbs(1), rel=1e-6
+        )
+
+
+class TestLinks:
+    def test_link_transfer_time(self):
+        from repro.gpusim.pcie import ETH_10G, PCIE_V3_X16
+        payload = 1e9
+        assert PCIE_V3_X16.transfer_s(payload) < ETH_10G.transfer_s(payload)
+        assert ETH_10G.effective_gbs == pytest.approx(1.0)  # 20% overhead off 1.25
+
+    def test_link_rejects_negative_payload(self):
+        from repro.gpusim.pcie import PCIE_V3_X16
+        with pytest.raises(ValueError):
+            PCIE_V3_X16.transfer_s(-1.0)
+
+    def test_qpi_host_matches_paper_arithmetic(self):
+        from repro.gpusim.pcie import QPI_12_GPU_HOST, QPI_LINK
+        assert QPI_12_GPU_HOST.raw_gbs == pytest.approx(12 * QPI_LINK.raw_gbs)

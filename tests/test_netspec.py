@@ -1,0 +1,71 @@
+"""Unit tests for declarative network specs."""
+
+import pytest
+
+from repro.nn import LayerSpec, NetSpec
+
+
+def toy_spec():
+    return NetSpec(
+        name="toy",
+        input_shape=(4,),
+        layers=(
+            LayerSpec("InnerProduct", "fc1", {"num_output": 8}),
+            LayerSpec("ReLU", "relu1"),
+            LayerSpec("InnerProduct", "fc2", {"num_output": 2}),
+            LayerSpec("Softmax", "prob"),
+        ),
+    )
+
+
+class TestValidation:
+    def test_valid_spec_constructs(self):
+        assert toy_spec().depth == 4
+
+    def test_unknown_layer_type(self):
+        with pytest.raises(ValueError, match="unknown type"):
+            NetSpec("bad", (4,), (LayerSpec("Convolution2D", "c"),))
+
+    def test_duplicate_layer_names(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            NetSpec("bad", (4,), (
+                LayerSpec("ReLU", "a"), LayerSpec("ReLU", "a"),
+            ))
+
+    def test_empty_layers(self):
+        with pytest.raises(ValueError, match="no layers"):
+            NetSpec("bad", (4,), ())
+
+    def test_bad_input_shape(self):
+        with pytest.raises(ValueError, match="bad input shape"):
+            NetSpec("bad", (0,), (LayerSpec("ReLU", "a"),))
+
+    def test_empty_layer_name(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            NetSpec("bad", (4,), (LayerSpec("ReLU", ""),))
+
+
+class TestUtilities:
+    def test_without_strips_types(self):
+        spec = toy_spec().without("Softmax", "ReLU")
+        assert [s.type for s in spec.layers] == ["InnerProduct", "InnerProduct"]
+
+    def test_without_preserves_name_and_input(self):
+        spec = toy_spec().without("Softmax")
+        assert spec.name == "toy" and spec.input_shape == (4,)
+
+    def test_serialization_roundtrip(self):
+        spec = toy_spec()
+        restored = NetSpec.from_dict(spec.to_dict())
+        assert restored == spec
+
+    def test_build_layers_instantiates_in_order(self):
+        layers = toy_spec().build_layers()
+        assert [l.type_name for l in layers] == ["InnerProduct", "ReLU", "InnerProduct", "Softmax"]
+        assert layers[0].num_output == 8
+
+    def test_input_shape_normalized(self):
+        import numpy as np
+        spec = NetSpec("n", (np.int64(4),), (LayerSpec("ReLU", "a"),))
+        assert spec.input_shape == (4,)
+        assert type(spec.input_shape[0]) is int

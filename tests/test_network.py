@@ -1,0 +1,115 @@
+"""Unit tests for the Net container."""
+
+import numpy as np
+import pytest
+
+from repro.nn import LayerSpec, Net, NetSpec
+from repro.nn.layers import ShapeError
+
+
+def cnn_spec():
+    return NetSpec("cnn", (1, 8, 8), (
+        LayerSpec("Convolution", "conv", {"num_output": 4, "kernel_size": 3, "pad": 1}),
+        LayerSpec("ReLU", "relu"),
+        LayerSpec("Pooling", "pool", {"kernel_size": 2}),
+        LayerSpec("InnerProduct", "fc", {"num_output": 5}),
+        LayerSpec("Softmax", "prob"),
+    ))
+
+
+class TestConstruction:
+    def test_shape_inference_without_weights(self):
+        net = Net(cnn_spec())
+        assert net.output_shape == (5,)
+        assert not net.materialized
+        assert net.param_count() == (4 * 9 + 4) + (5 * 64 + 5)
+
+    def test_shape_error_names_the_offending_layer(self):
+        spec = NetSpec("bad", (4,), (
+            LayerSpec("Convolution", "conv", {"num_output": 2, "kernel_size": 3}),
+        ))
+        with pytest.raises(ShapeError, match="conv"):
+            Net(spec)
+
+    def test_forward_before_materialize_raises(self):
+        net = Net(cnn_spec())
+        with pytest.raises(RuntimeError, match="not materialized"):
+            net.forward(np.zeros((1, 1, 8, 8)))
+
+
+class TestForward:
+    def test_deterministic_under_seed(self, rng):
+        x = rng.normal(size=(2, 1, 8, 8)).astype(np.float32)
+        y1 = Net(cnn_spec()).materialize(7).forward(x)
+        y2 = Net(cnn_spec()).materialize(7).forward(x)
+        np.testing.assert_array_equal(y1, y2)
+
+    def test_different_seeds_differ(self, rng):
+        x = rng.normal(size=(1, 1, 8, 8)).astype(np.float32)
+        y1 = Net(cnn_spec()).materialize(1).forward(x)
+        y2 = Net(cnn_spec()).materialize(2).forward(x)
+        assert not np.allclose(y1, y2)
+
+    def test_single_sample_convenience(self, rng):
+        net = Net(cnn_spec()).materialize(0)
+        x = rng.normal(size=(1, 8, 8)).astype(np.float32)
+        assert net.forward(x).shape == (1, 5)
+
+    def test_predict_returns_argmax(self, rng):
+        net = Net(cnn_spec()).materialize(0)
+        x = rng.normal(size=(3, 1, 8, 8)).astype(np.float32)
+        probs = net.forward(x)
+        np.testing.assert_array_equal(net.predict(x), probs.argmax(axis=1))
+
+    def test_inference_is_stateless(self, rng):
+        """Inference passes must not mutate layer state — this is what makes
+        the DjiNN registry's read-only model sharing thread-safe."""
+        net = Net(cnn_spec()).materialize(0)
+        x = rng.normal(size=(2, 1, 8, 8)).astype(np.float32)
+        net.forward(x)
+        caches = [getattr(layer, "_cache", None) for layer in net.layers]
+        assert all(c is None for c in caches)
+
+
+class TestWeightSharing:
+    def test_copy_weights_shares_arrays(self):
+        source = Net(cnn_spec()).materialize(5)
+        clone = Net(cnn_spec())
+        clone.copy_weights_from(source)
+        assert clone.materialized
+        for a, b in zip(clone.params(), source.params()):
+            assert a.data is b.data  # shared, not copied (read-only registry)
+
+    def test_copy_weights_rejects_mismatched_nets(self):
+        other = NetSpec("other", (4,), (LayerSpec("InnerProduct", "fc", {"num_output": 2}),))
+        with pytest.raises(ValueError, match="cannot share"):
+            Net(cnn_spec()).copy_weights_from(Net(other).materialize(0))
+
+
+class TestBackwardEndToEnd:
+    def test_end_to_end_gradcheck(self, rng):
+        """Whole-net backward agrees with finite differences on the loss."""
+        from repro.nn import numerical_gradient
+        from repro.nn.layers import softmax_cross_entropy
+
+        spec = cnn_spec().without("Softmax")
+        net = Net(spec).materialize(3)
+        x = rng.normal(size=(2, 1, 8, 8))
+        labels = np.array([1, 3])
+
+        logits = net.forward(x, train=True)
+        loss, dlogits = softmax_cross_entropy(logits, labels)
+        net.zero_grad()
+        net.forward(x, train=True)
+        dx = net.backward(dlogits)
+
+        num_dx = numerical_gradient(
+            lambda inp: softmax_cross_entropy(net.forward(inp), labels)[0], x.copy(), eps=1e-3
+        )
+        denom = max(1e-6, float(np.abs(num_dx).max()))
+        assert float(np.abs(dx - num_dx).max()) / denom < 5e-2
+
+    def test_summary_lists_all_layers(self):
+        text = Net(cnn_spec()).summary()
+        for name in ("conv", "relu", "pool", "fc", "prob", "total"):
+            assert name in text

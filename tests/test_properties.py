@@ -1,0 +1,161 @@
+"""Property-based tests (hypothesis) on the framework's core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import LayerSpec, Net, NetSpec, check_layer_gradients
+from repro.nn.layers import (
+    ConvolutionLayer,
+    InnerProductLayer,
+    PoolingLayer,
+    softmax,
+)
+from repro.tonic.dsp import splice
+
+SETTINGS = dict(max_examples=25, deadline=None)
+
+
+class TestGradientProperties:
+    @settings(**SETTINGS)
+    @given(
+        num_output=st.integers(1, 12),
+        fan_in=st.integers(1, 12),
+        batch=st.integers(1, 4),
+        seed=st.integers(0, 1000),
+    )
+    def test_inner_product_gradients(self, num_output, fan_in, batch, seed):
+        """Analytic gradients match finite differences for any geometry."""
+        rng = np.random.default_rng(seed)
+        layer = InnerProductLayer("fc", num_output=num_output)
+        layer.setup((fan_in,))
+        layer.materialize(rng)
+        errors = check_layer_gradients(layer, rng.normal(size=(batch, fan_in)))
+        assert all(err < 1e-3 for err in errors.values()), errors
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        channels=st.integers(1, 3),
+        num_output=st.integers(1, 4),
+        kernel=st.integers(1, 3),
+        stride=st.integers(1, 2),
+        pad=st.integers(0, 1),
+        seed=st.integers(0, 1000),
+    )
+    def test_convolution_gradients(self, channels, num_output, kernel, stride, pad, seed):
+        rng = np.random.default_rng(seed)
+        size = 5
+        if size + 2 * pad < kernel:
+            return
+        layer = ConvolutionLayer("c", num_output=num_output, kernel_size=kernel,
+                                 stride=stride, pad=pad)
+        layer.setup((channels, size, size))
+        layer.materialize(rng)
+        errors = check_layer_gradients(layer, rng.normal(size=(2, channels, size, size)))
+        assert all(err < 2e-3 for err in errors.values()), errors
+
+
+class TestShapeProperties:
+    @settings(**SETTINGS)
+    @given(
+        h=st.integers(4, 16),
+        w=st.integers(4, 16),
+        kernel=st.integers(1, 4),
+        stride=st.integers(1, 3),
+        seed=st.integers(0, 100),
+    )
+    def test_pooling_forward_shape_contract(self, h, w, kernel, stride, seed):
+        """setup()'s inferred shape always matches forward()'s output."""
+        if kernel > min(h, w):
+            return
+        rng = np.random.default_rng(seed)
+        layer = PoolingLayer("p", kernel_size=kernel, stride=stride)
+        out_shape = layer.setup((2, h, w))
+        y = layer.forward(rng.normal(size=(3, 2, h, w)).astype(np.float32))
+        assert y.shape == (3, *out_shape)
+
+    @settings(**SETTINGS)
+    @given(
+        layers=st.lists(st.integers(1, 20), min_size=1, max_size=4),
+        fan_in=st.integers(1, 16),
+        batch=st.integers(1, 5),
+        seed=st.integers(0, 100),
+    )
+    def test_mlp_forward_shape_and_finiteness(self, layers, fan_in, batch, seed):
+        """Any random MLP spec produces finite outputs of the declared shape."""
+        specs = []
+        for i, width in enumerate(layers):
+            specs.append(LayerSpec("InnerProduct", f"fc{i}", {"num_output": width}))
+            specs.append(LayerSpec("Tanh", f"act{i}"))
+        net = Net(NetSpec("rand", (fan_in,), tuple(specs))).materialize(seed)
+        x = np.random.default_rng(seed).normal(size=(batch, fan_in))
+        y = net.forward(x)
+        assert y.shape == (batch, layers[-1])
+        assert np.all(np.isfinite(y))
+
+
+class TestSoftmaxProperties:
+    @settings(**SETTINGS)
+    @given(
+        rows=st.integers(1, 8),
+        cols=st.integers(2, 16),
+        scale=st.floats(0.1, 100.0),
+        seed=st.integers(0, 1000),
+    )
+    def test_softmax_is_a_distribution(self, rows, cols, scale, seed):
+        x = np.random.default_rng(seed).normal(scale=scale, size=(rows, cols))
+        probs = softmax(x)
+        assert np.all(probs >= 0)
+        np.testing.assert_allclose(probs.sum(axis=-1), 1.0, rtol=1e-5)
+
+    @settings(**SETTINGS)
+    @given(seed=st.integers(0, 1000), shift=st.floats(-50, 50))
+    def test_softmax_shift_invariance(self, seed, shift):
+        x = np.random.default_rng(seed).normal(size=(4, 6))
+        np.testing.assert_allclose(softmax(x), softmax(x + shift), rtol=1e-5, atol=1e-8)
+
+
+class TestAccountingProperties:
+    @settings(**SETTINGS)
+    @given(batch=st.integers(1, 64), seed=st.integers(0, 100))
+    def test_flops_linear_in_batch_for_any_model(self, batch, seed):
+        from repro.models import build_net
+        from repro.nn import analyze
+
+        app = ("dig", "pos", "asr")[seed % 3]
+        net = build_net(app)
+        assert analyze(net, batch).total_flops == batch * analyze(net, 1).total_flops
+
+    @settings(**SETTINGS)
+    @given(frames=st.integers(1, 30), dims=st.integers(1, 8), context=st.integers(0, 5))
+    def test_splice_preserves_center_frame(self, frames, dims, context):
+        feats = np.random.default_rng(frames).normal(size=(frames, dims))
+        spliced = splice(feats, context=context)
+        assert spliced.shape == (frames, (2 * context + 1) * dims)
+        center = spliced[:, context * dims : (context + 1) * dims]
+        np.testing.assert_array_equal(center, feats)
+
+
+class TestProtocolProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        dims=st.lists(st.integers(1, 8), min_size=1, max_size=4),
+        seed=st.integers(0, 1000),
+        name=st.text(alphabet="abcdefghijklmnopqrstuvwxyz_", min_size=0, max_size=30),
+    )
+    def test_any_tensor_roundtrips(self, dims, seed, name):
+        import socket
+
+        from repro.core.protocol import Message, MessageType, recv_message, send_message
+
+        tensor = np.random.default_rng(seed).normal(size=tuple(dims)).astype(np.float32)
+        a, b = socket.socketpair()
+        try:
+            send_message(a, Message(MessageType.INFER_REQUEST, name=name, tensor=tensor))
+            out = recv_message(b)
+        finally:
+            a.close()
+            b.close()
+        assert out.name == name
+        np.testing.assert_array_equal(out.tensor, tensor)

@@ -1,0 +1,125 @@
+"""Unit tests for the DjiNN wire protocol."""
+
+import socket
+
+import numpy as np
+import pytest
+
+from repro.core.protocol import (
+    Message,
+    MessageType,
+    ProtocolError,
+    recv_message,
+    send_message,
+)
+
+
+@pytest.fixture
+def sock_pair():
+    a, b = socket.socketpair()
+    yield a, b
+    a.close()
+    b.close()
+
+
+def roundtrip(pair, message):
+    a, b = pair
+    send_message(a, message)
+    return recv_message(b)
+
+
+class TestRoundtrip:
+    def test_tensor_message(self, sock_pair, rng):
+        tensor = rng.normal(size=(3, 4, 5)).astype(np.float32)
+        out = roundtrip(sock_pair, Message(MessageType.INFER_REQUEST, name="imc", tensor=tensor))
+        assert out.type == MessageType.INFER_REQUEST
+        assert out.name == "imc"
+        np.testing.assert_array_equal(out.tensor, tensor)
+
+    def test_tensor_cast_to_float32(self, sock_pair):
+        tensor = np.arange(6, dtype=np.float64).reshape(2, 3)
+        out = roundtrip(sock_pair, Message(MessageType.INFER_RESPONSE, tensor=tensor))
+        assert out.tensor.dtype == np.float32
+        np.testing.assert_array_equal(out.tensor, tensor)
+
+    def test_non_contiguous_tensor(self, sock_pair, rng):
+        tensor = rng.normal(size=(4, 6)).astype(np.float32)[:, ::2]
+        out = roundtrip(sock_pair, Message(MessageType.INFER_RESPONSE, tensor=tensor))
+        np.testing.assert_array_equal(out.tensor, tensor)
+
+    def test_text_message(self, sock_pair):
+        out = roundtrip(sock_pair, Message(MessageType.ERROR, text="no such model: café"))
+        assert out.type == MessageType.ERROR
+        assert out.text == "no such model: café"
+
+    def test_empty_message(self, sock_pair):
+        out = roundtrip(sock_pair, Message(MessageType.LIST_REQUEST))
+        assert out.type == MessageType.LIST_REQUEST
+        assert out.tensor is None and out.text == ""
+
+    def test_back_to_back_frames(self, sock_pair):
+        a, b = sock_pair
+        send_message(a, Message(MessageType.LIST_REQUEST))
+        send_message(a, Message(MessageType.STATS_REQUEST))
+        assert recv_message(b).type == MessageType.LIST_REQUEST
+        assert recv_message(b).type == MessageType.STATS_REQUEST
+
+    def test_large_tensor(self, sock_pair, rng):
+        """A payload larger than the kernel socket buffer needs a concurrent
+        reader (send from a thread, as a real client/server pair would)."""
+        import threading
+
+        tensor = rng.normal(size=(100, 1000)).astype(np.float32)  # ~400KB
+        a, b = sock_pair
+        sender = threading.Thread(
+            target=send_message,
+            args=(a, Message(MessageType.INFER_REQUEST, name="x", tensor=tensor)),
+        )
+        sender.start()
+        out = recv_message(b)
+        sender.join(timeout=10)
+        assert not sender.is_alive()
+        np.testing.assert_array_equal(out.tensor, tensor)
+
+
+class TestErrors:
+    def test_bad_magic(self, sock_pair):
+        a, b = sock_pair
+        a.sendall(b"HTTP" + bytes(20))
+        with pytest.raises(ProtocolError, match="magic"):
+            recv_message(b)
+
+    def test_bad_version(self, sock_pair):
+        a, b = sock_pair
+        a.sendall(b"DJNN" + bytes([99, 1, 0, 0, 0]) + bytes(16))
+        with pytest.raises(ProtocolError, match="version"):
+            recv_message(b)
+
+    def test_unknown_message_type(self, sock_pair):
+        a, b = sock_pair
+        a.sendall(b"DJNN" + bytes([1, 200, 0, 0, 0]) + bytes(8))
+        with pytest.raises(ProtocolError, match="unknown message type"):
+            recv_message(b)
+
+    def test_truncated_frame_raises_connection_error(self, sock_pair):
+        a, b = sock_pair
+        a.sendall(b"DJNN" + bytes([1]))
+        a.close()
+        with pytest.raises(ConnectionError):
+            recv_message(b)
+
+    def test_dims_body_mismatch(self, sock_pair):
+        a, b = sock_pair
+        import struct
+        # claims a (2, 2) tensor but ships only 4 bytes
+        frame = struct.pack("<4sBBHB", b"DJNN", 1, 2, 0, 2)
+        frame += struct.pack("<I", 2) + struct.pack("<I", 2)
+        frame += struct.pack("<Q", 4) + b"\x00" * 4
+        a.sendall(frame)
+        with pytest.raises(ProtocolError, match="imply"):
+            recv_message(b)
+
+    def test_received_tensor_is_writable_copy(self, sock_pair):
+        out = roundtrip(sock_pair, Message(MessageType.INFER_RESPONSE,
+                                           tensor=np.ones((2, 2), np.float32)))
+        out.tensor[0, 0] = 5.0  # must not raise (frombuffer would be read-only)

@@ -1,0 +1,66 @@
+"""Tests for the DjiNN endpoint queueing simulation."""
+
+import pytest
+
+from repro.gpusim import app_model
+from repro.sim.cluster import DjinnEndpointSim
+
+
+@pytest.fixture(scope="module")
+def pos_endpoint():
+    return DjinnEndpointSim(app_model("pos"), gpus=2)
+
+
+class TestCapacity:
+    def test_capacity_arithmetic(self, pos_endpoint):
+        expected = 2 * 64 / app_model("pos").gpu_query_time(64)
+        assert pos_endpoint.capacity_qps == pytest.approx(expected)
+
+    def test_capacity_scales_with_gpus(self):
+        one = DjinnEndpointSim(app_model("imc"), gpus=1).capacity_qps
+        four = DjinnEndpointSim(app_model("imc"), gpus=4).capacity_qps
+        assert four == pytest.approx(4 * one)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DjinnEndpointSim(app_model("pos"), gpus=0)
+        with pytest.raises(ValueError):
+            DjinnEndpointSim(app_model("pos")).run(0.0)
+
+
+class TestLatencyBehaviour:
+    def test_achieved_tracks_offered_below_capacity(self, pos_endpoint):
+        point = pos_endpoint.run(0.5 * pos_endpoint.capacity_qps, queries=4000)
+        assert point.achieved_qps == pytest.approx(point.offered_qps, rel=0.1)
+        assert point.utilization < 0.7
+
+    def test_batch_fill_dominates_at_low_load(self, pos_endpoint):
+        """With full-batch departures, a lightly loaded endpoint makes
+        queries wait for the batch to fill — latency *drops* as load rises
+        (the phenomenon timeout-based batching policies exist to fix)."""
+        low = pos_endpoint.run(0.1 * pos_endpoint.capacity_qps, queries=3000)
+        high = pos_endpoint.run(0.8 * pos_endpoint.capacity_qps, queries=3000)
+        assert low.mean_latency_s > high.mean_latency_s
+
+    def test_queueing_dominates_past_capacity(self, pos_endpoint):
+        """Offering more than capacity grows the queue without bound —
+        'the queuing delay starts to dominate the latency' (§5.1)."""
+        near = pos_endpoint.run(0.9 * pos_endpoint.capacity_qps, queries=4000)
+        over = pos_endpoint.run(1.5 * pos_endpoint.capacity_qps, queries=6000)
+        assert over.mean_latency_s > 3 * near.mean_latency_s  # grows with backlog
+        assert over.achieved_qps < over.offered_qps * 0.95    # throughput sheds
+
+    def test_p99_at_least_mean(self, pos_endpoint):
+        point = pos_endpoint.run(0.7 * pos_endpoint.capacity_qps, queries=3000)
+        assert point.p99_latency_s >= point.mean_latency_s
+
+    def test_latency_floor_is_service_time(self, pos_endpoint):
+        point = pos_endpoint.run(0.8 * pos_endpoint.capacity_qps, queries=3000)
+        assert point.mean_latency_s >= pos_endpoint.batch_service_s
+
+    def test_smaller_batch_cuts_low_load_latency(self):
+        big = DjinnEndpointSim(app_model("pos"), gpus=1, batch=64)
+        small = DjinnEndpointSim(app_model("pos"), gpus=1, batch=4)
+        rate = 0.2 * big.capacity_qps
+        assert small.run(rate, queries=2000).mean_latency_s < big.run(
+            rate, queries=2000).mean_latency_s

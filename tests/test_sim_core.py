@@ -1,0 +1,168 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import Acquire, Environment, Release, Resource, SimError, Timeout
+
+
+class TestTimeAdvance:
+    def test_timeouts_fire_in_order(self):
+        env = Environment()
+        trace = []
+
+        def proc(name, delay):
+            yield Timeout(delay)
+            trace.append((name, env.now))
+
+        env.process(proc("b", 2.0))
+        env.process(proc("a", 1.0))
+        env.run()
+        assert trace == [("a", 1.0), ("b", 2.0)]
+
+    def test_simultaneous_events_run_in_schedule_order(self):
+        env = Environment()
+        trace = []
+
+        def proc(name):
+            yield Timeout(1.0)
+            trace.append(name)
+
+        for name in "abc":
+            env.process(proc(name))
+        env.run()
+        assert trace == ["a", "b", "c"]
+
+    def test_run_until_stops_the_clock(self):
+        env = Environment()
+
+        def proc():
+            yield Timeout(10.0)
+
+        env.process(proc())
+        assert env.run(until=3.0) == 3.0
+        assert env.now == 3.0
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            Timeout(-1.0)
+
+    def test_return_value_captured(self):
+        env = Environment()
+
+        def proc():
+            yield Timeout(1.0)
+            return 42
+
+        p = env.process(proc())
+        env.run()
+        assert p.finished and p.value == 42
+
+
+class TestProcessWaiting:
+    def test_process_waits_for_another(self):
+        env = Environment()
+        trace = []
+
+        def child():
+            yield Timeout(5.0)
+            trace.append(("child", env.now))
+
+        def parent():
+            c = env.process(child())
+            yield c
+            trace.append(("parent", env.now))
+
+        env.process(parent())
+        env.run()
+        assert trace == [("child", 5.0), ("parent", 5.0)]
+
+    def test_waiting_on_finished_process_resumes_immediately(self):
+        env = Environment()
+        done = []
+
+        def quick():
+            return 1
+            yield  # pragma: no cover
+
+        def waiter(target):
+            yield Timeout(3.0)
+            yield target
+            done.append(env.now)
+
+        target = env.process(quick())
+        env.process(waiter(target))
+        env.run()
+        assert done == [3.0]
+
+    def test_unknown_yield_raises(self):
+        env = Environment()
+
+        def proc():
+            yield "nonsense"
+
+        env.process(proc())
+        with pytest.raises(SimError, match="unknown command"):
+            env.run()
+
+
+class TestResources:
+    def test_capacity_enforced_fifo(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        trace = []
+
+        def proc(name):
+            yield Acquire(res)
+            trace.append((name, "in", env.now))
+            yield Timeout(2.0)
+            yield Release(res)
+
+        for name in "abc":
+            env.process(proc(name))
+        env.run()
+        assert trace == [("a", "in", 0.0), ("b", "in", 2.0), ("c", "in", 4.0)]
+
+    def test_multi_capacity(self):
+        env = Environment()
+        res = Resource(env, capacity=2)
+        entered = []
+
+        def proc():
+            yield Acquire(res)
+            entered.append(env.now)
+            yield Timeout(1.0)
+            yield Release(res)
+
+        for _ in range(4):
+            env.process(proc())
+        env.run()
+        assert entered == [0.0, 0.0, 1.0, 1.0]
+
+    def test_release_idle_resource_raises(self):
+        env = Environment()
+        res = Resource(env)
+
+        def proc():
+            yield Release(res)
+
+        env.process(proc())
+        with pytest.raises(SimError, match="idle resource"):
+            env.run()
+
+    def test_utilization_accounting(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+
+        def proc():
+            yield Acquire(res)
+            yield Timeout(3.0)
+            yield Release(res)
+            yield Timeout(1.0)  # idle tail
+
+        env.process(proc())
+        env.run()
+        assert res.utilization() == pytest.approx(0.75)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            Resource(Environment(), capacity=0)

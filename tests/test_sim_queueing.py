@@ -1,0 +1,96 @@
+"""Queueing-layer tests, including validation against M/M/1 theory."""
+
+import numpy as np
+import pytest
+
+from repro.sim import Environment, Station, run_closed_loop, run_open_loop
+
+
+def make_station(servers=1, service_s=0.01):
+    env = Environment()
+    return Station(env, servers=servers, service_time=lambda p: service_s)
+
+
+class TestStation:
+    def test_records_every_request(self):
+        station = make_station()
+        for i in range(5):
+            station.submit(i)
+        station.env.run()
+        assert station.stats.count == 5
+
+    def test_latency_is_at_least_service_time(self):
+        station = make_station(service_s=0.02)
+        station.submit(0)
+        station.env.run()
+        assert station.stats.samples[0] == pytest.approx(0.02)
+
+    def test_payload_dependent_service_time(self):
+        env = Environment()
+        station = Station(env, servers=1, service_time=lambda batch: 0.001 * batch)
+        station.submit(5)
+        env.run()
+        assert station.stats.samples[0] == pytest.approx(0.005)
+
+    def test_latency_stats_percentiles(self):
+        station = make_station()
+        for i in range(100):
+            station.submit(i)
+        station.env.run()
+        assert station.stats.percentile(99) >= station.stats.percentile(50)
+        assert station.stats.mean() > 0
+
+
+class TestOpenLoop:
+    def test_mm1_mean_latency_matches_theory(self):
+        """M/M/1 at rho=0.7: W = 1/(mu - lambda)."""
+        env = Environment()
+        rng = np.random.default_rng(5)
+        station = Station(env, servers=1,
+                          service_time=lambda p: float(rng.exponential(0.01)))
+        qps, stats = run_open_loop(station, rate_qps=70.0, count=8000, seed=2)
+        theory = 1.0 / (100.0 - 70.0)
+        assert stats.mean() == pytest.approx(theory, rel=0.15)
+
+    def test_md1_queueing_delay(self):
+        """M/D/1 at rho=0.8: Wq = rho*S / (2*(1-rho))."""
+        station = make_station(service_s=0.01)
+        _, stats = run_open_loop(station, rate_qps=80.0, count=8000, seed=3)
+        theory = 0.8 * 0.01 / (2 * 0.2) + 0.01
+        assert stats.mean() == pytest.approx(theory, rel=0.15)
+
+    def test_latency_explodes_near_saturation(self):
+        light = make_station(service_s=0.01)
+        _, light_stats = run_open_loop(light, rate_qps=50.0, count=3000, seed=1)
+        heavy = make_station(service_s=0.01)
+        _, heavy_stats = run_open_loop(heavy, rate_qps=97.0, count=3000, seed=1)
+        assert heavy_stats.mean() > 5 * light_stats.mean()
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            run_open_loop(make_station(), rate_qps=0.0)
+
+
+class TestClosedLoop:
+    def test_throughput_caps_at_service_capacity(self):
+        station = make_station(servers=2, service_s=0.01)
+        qps, _ = run_closed_loop(station, clients=16, queries_per_client=100)
+        assert qps == pytest.approx(200.0, rel=0.05)
+
+    def test_littles_law_holds(self):
+        """Closed loop: clients = throughput x latency (Little's law)."""
+        station = make_station(servers=2, service_s=0.01)
+        qps, stats = run_closed_loop(station, clients=8, queries_per_client=200)
+        assert qps * stats.mean() == pytest.approx(8.0, rel=0.05)
+
+    def test_think_time_lowers_utilization(self):
+        fast = make_station()
+        q_fast, _ = run_closed_loop(fast, clients=4, queries_per_client=100)
+        slow = make_station()
+        q_slow, _ = run_closed_loop(slow, clients=4, queries_per_client=100,
+                                    think_time_s=0.05)
+        assert q_slow < q_fast
+
+    def test_rejects_zero_clients(self):
+        with pytest.raises(ValueError):
+            run_closed_loop(make_station(), clients=0)

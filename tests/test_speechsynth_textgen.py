@@ -1,0 +1,119 @@
+"""Unit tests for the speech synthesizer and the tagged-text generator."""
+
+import numpy as np
+import pytest
+
+from repro.models.senna import CHUNK_TAGS, NER_TAGS, POS_TAGS
+from repro.tonic.speechsynth import (
+    LEXICON,
+    PHONES,
+    phone_formants,
+    synthesize_phone,
+    synthesize_words,
+)
+from repro.tonic.textgen import LEXICON as TEXT_LEXICON
+from repro.tonic.textgen import generate_corpus, generate_sentence
+
+
+class TestSpeechSynth:
+    def test_every_lexicon_phone_is_known(self):
+        for word, pron in LEXICON.items():
+            for phone in pron:
+                assert phone in PHONES, (word, phone)
+
+    def test_phone_formants_unknown_raises(self):
+        with pytest.raises(ValueError, match="known"):
+            phone_formants("zh")
+
+    def test_phone_duration(self, rng):
+        seg = synthesize_phone("aa", 0.05, rng)
+        assert len(seg) == int(0.05 * 16000)
+
+    def test_silence_is_quiet(self, rng):
+        sil = synthesize_phone("sil", 0.1, rng)
+        voiced = synthesize_phone("aa", 0.1, rng)
+        assert float(np.abs(sil).mean()) < 0.1 * float(np.abs(voiced).mean())
+
+    def test_vowels_have_distinct_spectra(self, rng):
+        from repro.tonic.dsp import fbank_features
+
+        aa = fbank_features(synthesize_phone("aa", 0.3, rng))
+        iy = fbank_features(synthesize_phone("iy", 0.3, rng))
+        assert aa.mean(axis=0).argmax() != iy.mean(axis=0).argmax()
+
+    def test_alignment_covers_whole_signal(self):
+        audio, alignment = synthesize_words(["go", "stop"], seed=1)
+        assert alignment[0][1] == 0
+        assert alignment[-1][2] == len(audio)
+        for (_, _, end), (_, start, _) in zip(alignment, alignment[1:]):
+            assert end == start  # contiguous, non-overlapping
+
+    def test_alignment_contains_expected_phones(self):
+        _, alignment = synthesize_words(["go"], seed=0)
+        phones = [p for p, _, _ in alignment if p != "sil"]
+        assert phones == ["g", "ow"]
+
+    def test_unknown_word_raises(self):
+        with pytest.raises(ValueError, match="lexicon"):
+            synthesize_words(["hello"])
+
+    def test_deterministic_per_seed(self):
+        a, _ = synthesize_words(["yes"], seed=5)
+        b, _ = synthesize_words(["yes"], seed=5)
+        np.testing.assert_array_equal(a, b)
+        c, _ = synthesize_words(["yes"], seed=6)
+        assert len(a) != len(c) or not np.array_equal(a, c)
+
+
+class TestTextGen:
+    def test_corpus_is_reproducible(self):
+        a = generate_corpus(10, seed=3)
+        b = generate_corpus(10, seed=3)
+        assert [s.words for s in a] == [s.words for s in b]
+
+    def test_annotations_align(self, rng):
+        for sentence in generate_corpus(50, seed=1):
+            n = len(sentence.words)
+            assert len(sentence.pos) == len(sentence.chunks) == len(sentence.entities) == n
+
+    def test_pos_tags_are_valid_and_match_lexicon(self):
+        for sentence in generate_corpus(50, seed=2):
+            for word, tag in zip(sentence.words, sentence.pos):
+                assert tag in POS_TAGS
+                assert TEXT_LEXICON[word] == tag
+
+    def test_chunk_tags_form_valid_iob(self):
+        for sentence in generate_corpus(50, seed=4):
+            prev = "O"
+            for tag in sentence.chunks:
+                assert tag in CHUNK_TAGS
+                if tag.startswith("I-"):
+                    assert prev in (f"B-{tag[2:]}", f"I-{tag[2:]}"), sentence.chunks
+                prev = tag
+
+    def test_ner_tags_form_valid_iob(self):
+        for sentence in generate_corpus(50, seed=5):
+            prev = "O"
+            for tag in sentence.entities:
+                assert tag in NER_TAGS
+                if tag.startswith("I-"):
+                    assert prev in (f"B-{tag[2:]}", f"I-{tag[2:]}")
+                prev = tag
+
+    def test_entities_are_proper_nouns(self):
+        for sentence in generate_corpus(50, seed=6):
+            for tag, pos in zip(sentence.entities, sentence.pos):
+                if tag != "O":
+                    assert pos == "NNP"
+
+    def test_sentences_start_with_np(self):
+        for sentence in generate_corpus(20, seed=7):
+            assert sentence.chunks[0] == "B-NP"
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ValueError):
+            generate_corpus(-1)
+
+    def test_sentence_lengths_vary(self):
+        lengths = {len(s) for s in generate_corpus(50, seed=8)}
+        assert len(lengths) > 3

@@ -1,0 +1,65 @@
+"""Unit tests for repro.nn.tensor.Blob."""
+
+import numpy as np
+import pytest
+
+from repro.nn.initializers import constant, gaussian
+from repro.nn.tensor import FLOAT_BYTES, Blob
+
+
+class TestBlobConstruction:
+    def test_shape_normalized_to_ints(self):
+        blob = Blob("w", (np.int64(3), 4))
+        assert blob.shape == (3, 4)
+        assert all(isinstance(d, int) for d in blob.shape)
+
+    def test_size_and_nbytes(self):
+        blob = Blob("w", (3, 4, 5))
+        assert blob.size == 60
+        assert blob.nbytes == 60 * FLOAT_BYTES
+
+    def test_scalar_like_shape(self):
+        blob = Blob("b", (7,))
+        assert blob.size == 7
+
+    @pytest.mark.parametrize("shape", [(0,), (3, 0), (-1, 4)])
+    def test_rejects_non_positive_dims(self, shape):
+        with pytest.raises(ValueError, match="non-positive"):
+            Blob("bad", shape)
+
+
+class TestBlobMaterialization:
+    def test_starts_unmaterialized(self):
+        blob = Blob("w", (2, 2))
+        assert not blob.materialized
+        assert blob.data is None and blob.grad is None
+
+    def test_materialize_fills_data_and_zero_grad(self, rng):
+        blob = Blob("w", (4, 3))
+        blob.materialize(gaussian(0.5), rng)
+        assert blob.materialized
+        assert blob.data.shape == (4, 3)
+        assert blob.data.dtype == np.float32
+        assert np.all(blob.grad == 0.0)
+
+    def test_materialize_rejects_wrong_filler_shape(self, rng):
+        blob = Blob("w", (2, 2))
+        with pytest.raises(ValueError, match="produced shape"):
+            blob.materialize(lambda shape, r: np.zeros((3, 3)), rng)
+
+    def test_require_data_raises_until_materialized(self, rng):
+        blob = Blob("w", (2,))
+        with pytest.raises(RuntimeError, match="not materialized"):
+            blob.require_data()
+        blob.materialize(constant(1.0), rng)
+        assert np.all(blob.require_data() == 1.0)
+
+    def test_zero_grad(self, rng):
+        blob = Blob("w", (3,))
+        blob.materialize(constant(0.0), rng)
+        blob.grad += 5.0
+        blob.zero_grad()
+        assert np.all(blob.grad == 0.0)
+
+    def test_zero_grad_noop_when_unmaterialized(self):
+        Blob("w", (3,)).zero_grad()  # must not raise

@@ -1,0 +1,108 @@
+"""Unit and integration tests for the SGD solver."""
+
+import numpy as np
+import pytest
+
+from repro.nn import LayerSpec, Net, NetSpec, SgdSolver, accuracy
+
+
+def two_blob_problem(n=200, seed=0):
+    """Two well-separated Gaussian blobs in 2-D — learnable in a few epochs."""
+    rng = np.random.default_rng(seed)
+    half = n // 2
+    x0 = rng.normal((-2.0, -2.0), 0.5, size=(half, 2))
+    x1 = rng.normal((2.0, 2.0), 0.5, size=(half, 2))
+    x = np.concatenate([x0, x1]).astype(np.float32)
+    y = np.concatenate([np.zeros(half, int), np.ones(half, int)])
+    order = rng.permutation(n)
+    return x[order], y[order]
+
+
+def logits_mlp(hidden=8):
+    return Net(NetSpec("mlp", (2,), (
+        LayerSpec("InnerProduct", "fc1", {"num_output": hidden}),
+        LayerSpec("Tanh", "act"),
+        LayerSpec("InnerProduct", "fc2", {"num_output": 2}),
+    ))).materialize(1)
+
+
+class TestSolverValidation:
+    def test_requires_materialized_net(self):
+        net = Net(NetSpec("m", (2,), (LayerSpec("InnerProduct", "fc", {"num_output": 2}),)))
+        with pytest.raises(ValueError, match="materialize"):
+            SgdSolver(net)
+
+    @pytest.mark.parametrize("kwargs", [{"lr": 0.0}, {"lr": -1.0}, {"momentum": 1.0}])
+    def test_rejects_bad_hyperparameters(self, kwargs):
+        with pytest.raises(ValueError):
+            SgdSolver(logits_mlp(), **kwargs)
+
+    def test_fit_rejects_mismatched_lengths(self):
+        solver = SgdSolver(logits_mlp())
+        with pytest.raises(ValueError, match="length"):
+            solver.fit(np.zeros((3, 2)), np.zeros(2, int))
+
+
+class TestTraining:
+    def test_loss_decreases_on_separable_problem(self):
+        x, y = two_blob_problem()
+        solver = SgdSolver(logits_mlp(), lr=0.1)
+        log = solver.fit(x, y, epochs=5, batch=16)
+        first = np.mean(log.losses[:5])
+        last = np.mean(log.losses[-5:])
+        assert last < first * 0.2
+
+    def test_reaches_high_accuracy(self):
+        x, y = two_blob_problem()
+        net = logits_mlp()
+        SgdSolver(net, lr=0.1).fit(x, y, epochs=5, batch=16)
+        assert accuracy(net, x, y) > 0.98
+
+    def test_momentum_accelerates_early_progress(self):
+        x, y = two_blob_problem()
+        plain = SgdSolver(logits_mlp(), lr=0.02, momentum=0.0)
+        log_plain = plain.fit(x, y, epochs=2, batch=16, seed=3)
+        fast = SgdSolver(logits_mlp(), lr=0.02, momentum=0.9)
+        log_fast = fast.fit(x, y, epochs=2, batch=16, seed=3)
+        assert np.mean(log_fast.losses[-5:]) < np.mean(log_plain.losses[-5:])
+
+    def test_weight_decay_shrinks_weights(self):
+        x, y = two_blob_problem()
+        net_a, net_b = logits_mlp(), logits_mlp()
+        SgdSolver(net_a, lr=0.05, weight_decay=0.0).fit(x, y, epochs=3, seed=1)
+        SgdSolver(net_b, lr=0.05, weight_decay=0.05).fit(x, y, epochs=3, seed=1)
+        norm_a = sum(float(np.abs(p.data).sum()) for p in net_a.params())
+        norm_b = sum(float(np.abs(p.data).sum()) for p in net_b.params())
+        assert norm_b < norm_a
+
+    def test_lr_decay_applied_per_epoch(self):
+        x, y = two_blob_problem(n=32)
+        solver = SgdSolver(logits_mlp(), lr=0.1, lr_decay=0.5)
+        solver.fit(x, y, epochs=3, batch=16)
+        np.testing.assert_allclose(solver.lr, 0.1 * 0.5**3)
+
+    def test_eval_set_tracked_per_epoch(self):
+        x, y = two_blob_problem()
+        solver = SgdSolver(logits_mlp(), lr=0.1)
+        log = solver.fit(x, y, epochs=3, batch=32, eval_set=(x, y))
+        assert len(log.epoch_accuracy) == 3
+        assert log.epoch_accuracy[-1] >= log.epoch_accuracy[0]
+
+    def test_on_epoch_callback_invoked(self):
+        x, y = two_blob_problem(n=32)
+        seen = []
+        SgdSolver(logits_mlp(), lr=0.1).fit(
+            x, y, epochs=2, on_epoch=lambda e, log: seen.append(e)
+        )
+        assert seen == [0, 1]
+
+
+class TestAccuracy:
+    def test_batched_evaluation_matches_full(self):
+        x, y = two_blob_problem(n=100)
+        net = logits_mlp()
+        assert accuracy(net, x, y, batch=7) == accuracy(net, x, y, batch=100)
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy(logits_mlp(), np.zeros((0, 2)), np.zeros(0, int))

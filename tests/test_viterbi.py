@@ -1,0 +1,88 @@
+"""Unit and property tests for the Viterbi decoder."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tonic.viterbi import viterbi, viterbi_score
+
+
+def brute_force_best(log_emissions, log_trans, log_init=None):
+    steps, states = log_emissions.shape
+    best_path, best_score = None, -np.inf
+    for path in itertools.product(range(states), repeat=steps):
+        score = viterbi_score(list(path), log_emissions, log_trans, log_init)
+        if score > best_score:
+            best_path, best_score = list(path), score
+    return best_path, best_score
+
+
+class TestBasics:
+    def test_single_step_picks_argmax(self):
+        em = np.array([[0.1, 0.9, 0.3]])
+        path, score = viterbi(np.log(em), np.zeros((3, 3)))
+        assert path == [1]
+        assert score == pytest.approx(np.log(0.9))
+
+    def test_transitions_override_greedy_choice(self):
+        # greedy would pick state 1 at t=0, but moving out of 1 is forbidden
+        em = np.log(np.array([[0.4, 0.6], [0.9, 0.1]]))
+        trans = np.log(np.array([[0.9, 0.1], [1e-9, 1e-9]]))
+        path, _ = viterbi(em, trans)
+        assert path == [0, 0]
+
+    def test_empty_sequence(self):
+        path, score = viterbi(np.zeros((0, 3)), np.zeros((3, 3)))
+        assert path == [] and score == 0.0
+
+    def test_initial_distribution_respected(self):
+        em = np.zeros((2, 2))
+        init = np.log(np.array([1e-9, 1.0]))
+        path, _ = viterbi(em, np.zeros((2, 2)), init)
+        assert path[0] == 1
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            viterbi(np.zeros((3, 2)), np.zeros((3, 3)))
+        with pytest.raises(ValueError):
+            viterbi(np.zeros((3,)), np.zeros((3, 3)))
+        with pytest.raises(ValueError):
+            viterbi(np.zeros((3, 2)), np.zeros((2, 2)), np.zeros(3))
+
+    def test_score_function_validates_length(self):
+        with pytest.raises(ValueError):
+            viterbi_score([0], np.zeros((2, 2)), np.zeros((2, 2)))
+
+
+class TestOptimality:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        steps=st.integers(min_value=1, max_value=5),
+        states=st.integers(min_value=2, max_value=4),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_matches_brute_force(self, steps, states, seed):
+        """Property: the Viterbi path score equals the exhaustive optimum."""
+        rng = np.random.default_rng(seed)
+        em = rng.normal(size=(steps, states))
+        trans = rng.normal(size=(states, states))
+        init = rng.normal(size=states)
+        path, score = viterbi(em, trans, init)
+        _, brute = brute_force_best(em, trans, init)
+        assert score == pytest.approx(brute, rel=1e-9)
+        assert viterbi_score(path, em, trans, init) == pytest.approx(score, rel=1e-9)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_path_beats_random_paths(self, seed):
+        """Property: no sampled path scores above the Viterbi path."""
+        rng = np.random.default_rng(seed)
+        em = rng.normal(size=(8, 5))
+        trans = rng.normal(size=(5, 5))
+        _, best = viterbi(em, trans)
+        for _ in range(25):
+            random_path = rng.integers(0, 5, size=8).tolist()
+            assert viterbi_score(random_path, em, trans) <= best + 1e-9

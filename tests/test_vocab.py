@@ -1,0 +1,88 @@
+"""Unit tests for vocabulary, embeddings, and window features."""
+
+import numpy as np
+import pytest
+
+from repro.models.senna import FEATURE_DIM, WINDOW, WORD_DIM
+from repro.tonic.vocab import PAD_TOKEN, UNK_TOKEN, Vocabulary, WindowFeaturizer
+from repro.tonic.vocab import _caps_feature
+
+
+class TestVocabulary:
+    def test_case_insensitive_lookup(self):
+        vocab = Vocabulary(["Server", "Query"])
+        assert vocab.index("server") == vocab.index("SERVER")
+
+    def test_unknown_maps_to_unk(self):
+        vocab = Vocabulary(["alpha"])
+        assert vocab.index("omega") == vocab.index(UNK_TOKEN)
+
+    def test_dedupes_words(self):
+        vocab = Vocabulary(["a", "A", "a", "b"])
+        assert len(vocab) == 4  # pad, unk, a, b
+
+    def test_pad_embedding_is_zero(self):
+        vocab = Vocabulary(["x"])
+        np.testing.assert_array_equal(vocab.embed(PAD_TOKEN), 0.0)
+
+    def test_embeddings_seeded(self):
+        a = Vocabulary(["x", "y"], seed=3).embed("x")
+        b = Vocabulary(["x", "y"], seed=3).embed("x")
+        np.testing.assert_array_equal(a, b)
+
+    def test_embedding_dim(self):
+        vocab = Vocabulary(["x"], dim=25)
+        assert vocab.embed("x").shape == (25,)
+
+
+class TestCapsFeature:
+    @pytest.mark.parametrize("word,expected", [
+        ("lower", 0), ("Title", 1), ("ALLCAPS", 2), ("mIxEd", 3), ("123", 0),
+    ])
+    def test_categories(self, word, expected):
+        assert _caps_feature(word) == expected
+
+
+class TestWindowFeaturizer:
+    @pytest.fixture
+    def featurizer(self):
+        return WindowFeaturizer(Vocabulary(["the", "fox", "runs"]))
+
+    def test_window_dim_matches_senna_input(self, featurizer):
+        assert featurizer.window_dim == WINDOW * (WORD_DIM + FEATURE_DIM)
+        # the SENNA network's input shape must match exactly
+        from repro.models import senna
+        from repro.nn import Net
+        assert Net(senna("pos")).input_shape == (featurizer.window_dim,)
+
+    def test_one_row_per_word(self, featurizer):
+        rows = featurizer.featurize(["the", "fox", "runs"])
+        assert rows.shape == (3, featurizer.window_dim)
+
+    def test_padding_at_sentence_edges(self, featurizer):
+        rows = featurizer.featurize(["fox"])
+        dim = WORD_DIM + FEATURE_DIM
+        # positions 0,1 and 3,4 of the window are pad (zero) vectors
+        np.testing.assert_array_equal(rows[0, : 2 * dim], 0.0)
+        np.testing.assert_array_equal(rows[0, 3 * dim :], 0.0)
+        assert np.any(rows[0, 2 * dim : 3 * dim] != 0.0)
+
+    def test_window_shifts_by_one_word(self, featurizer):
+        rows = featurizer.featurize(["the", "fox", "runs"])
+        dim = WORD_DIM + FEATURE_DIM
+        # word 0's right-neighbor slot equals word 1's center slot
+        np.testing.assert_array_equal(
+            rows[0, 3 * dim : 4 * dim], rows[1, 2 * dim : 3 * dim]
+        )
+
+    def test_custom_feature_ids_change_vectors(self, featurizer):
+        base = featurizer.featurize(["fox"], feature_ids=[0])
+        alt = featurizer.featurize(["fox"], feature_ids=[7])
+        assert not np.array_equal(base, alt)
+
+    def test_feature_ids_must_align(self, featurizer):
+        with pytest.raises(ValueError, match="align"):
+            featurizer.featurize(["a", "b"], feature_ids=[1])
+
+    def test_empty_sentence_gives_empty_matrix(self, featurizer):
+        assert featurizer.featurize([]).shape == (0, featurizer.window_dim)

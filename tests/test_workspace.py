@@ -1,0 +1,75 @@
+"""Unit tests for static cost accounting (the nn -> gpusim contract)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import LayerSpec, Net, NetSpec, analyze
+from repro.nn.workspace import input_bytes
+
+
+def mlp(hidden=16):
+    return Net(NetSpec("mlp", (8,), (
+        LayerSpec("InnerProduct", "fc1", {"num_output": hidden}),
+        LayerSpec("Sigmoid", "sig"),
+        LayerSpec("InnerProduct", "fc2", {"num_output": 4}),
+        LayerSpec("Softmax", "prob"),
+    )))
+
+
+class TestAnalyze:
+    def test_total_flops_scale_linearly_with_batch(self):
+        net = mlp()
+        one = analyze(net, batch=1).total_flops
+        eight = analyze(net, batch=8).total_flops
+        assert eight == 8 * one
+
+    def test_param_bytes_do_not_scale_with_batch(self):
+        net = mlp()
+        assert analyze(net, 1).total_param_bytes == analyze(net, 64).total_param_bytes
+        assert analyze(net, 1).total_param_bytes == net.param_bytes()
+
+    def test_gemm_count(self):
+        cost = analyze(mlp(), batch=2)
+        assert cost.gemm_count == 2
+
+    def test_kernel_count_counts_elementwise_layers_once(self):
+        # fc1, sig, fc2, prob -> 4 kernels
+        assert analyze(mlp(), 1).kernel_count == 4
+
+    def test_gemm_shapes_carry_batch(self):
+        cost = analyze(mlp(), batch=5)
+        fc1 = cost.layers[0]
+        assert fc1.gemms == ((16, 5, 8),)
+
+    def test_hand_computed_flops(self):
+        cost = analyze(mlp(hidden=16), batch=1)
+        fc1, sig, fc2, prob = cost.layers
+        assert fc1.flops == 2 * 16 * 8 + 16
+        assert sig.flops == 16
+        assert fc2.flops == 2 * 4 * 16 + 4
+        assert prob.flops == 3 * 4
+
+    def test_activation_bytes(self):
+        cost = analyze(mlp(), batch=2)
+        fc1 = cost.layers[0]
+        assert fc1.activation_bytes == (8 + 16) * 4 * 2
+
+    def test_rejects_bad_batch(self):
+        with pytest.raises(ValueError):
+            analyze(mlp(), batch=0)
+
+    def test_no_materialization_needed(self):
+        net = mlp()
+        analyze(net, 4)
+        assert not net.materialized
+
+    def test_input_bytes(self):
+        assert input_bytes(mlp(), batch=3) == 8 * 3 * 4
+
+    def test_conv_gemm_matches_caffe_lowering(self):
+        net = Net(NetSpec("c", (3, 8, 8), (
+            LayerSpec("Convolution", "conv", {"num_output": 4, "kernel_size": 3, "group": 1}),
+        )))
+        cost = analyze(net, batch=2)
+        # M=num_output, N=out_h*out_w*batch, K=C*k*k
+        assert cost.layers[0].gemms == ((4, 36 * 2, 27),)

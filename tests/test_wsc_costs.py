@@ -1,0 +1,94 @@
+"""Unit tests for the TCO cost model (Table 4 arithmetic)."""
+
+import pytest
+
+from repro.wsc import CostFactors, Inventory, monthly_loan_payment, tco
+
+
+class TestLoanMath:
+    def test_zero_rate_is_straight_line(self):
+        assert monthly_loan_payment(3600.0, 0.0, 36) == pytest.approx(100.0)
+
+    def test_payment_exceeds_straight_line_with_interest(self):
+        assert monthly_loan_payment(3600.0, 0.08, 36) > 100.0
+
+    def test_total_interest_reasonable_for_8pct_3yr(self):
+        principal = 1_000_000.0
+        payments = monthly_loan_payment(principal, 0.08, 36) * 36
+        interest_frac = (payments - principal) / principal
+        assert 0.10 < interest_frac < 0.16  # ~12.8% for 8% APR over 3 years
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            monthly_loan_payment(-1.0, 0.08, 36)
+        with pytest.raises(ValueError):
+            monthly_loan_payment(1.0, 0.08, 0)
+
+
+class TestInventory:
+    def test_watts(self):
+        inv = Inventory(beefy_servers=2, wimpy_servers=4, gpus=8)
+        factors = CostFactors()
+        assert inv.watts(factors) == 2 * 300 + 4 * 75 + 8 * 240
+
+    def test_hardware_cost_components(self):
+        inv = Inventory(beefy_servers=1, wimpy_servers=1, gpus=2, nics=3)
+        hw = inv.hardware_cost(CostFactors())
+        assert hw["servers"] == 6864 + 1716
+        assert hw["gpus"] == 2 * 3314
+        assert hw["network"] == 3 * 750
+
+    def test_nic_cost_factor_scales_network(self):
+        inv = Inventory(nics=10, nic_cost_factor=2.5)
+        assert inv.hardware_cost(CostFactors())["network"] == 10 * 750 * 2.5
+
+    def test_upgrade_cost_charged_per_upgraded_server(self):
+        inv = Inventory(beefy_servers=5, upgraded_servers=2, upgrade_unit_cost=250.0)
+        assert inv.hardware_cost(CostFactors())["servers"] == 5 * 6864 + 500
+
+    def test_addition(self):
+        total = Inventory(beefy_servers=1, gpus=2) + Inventory(wimpy_servers=3, nics=4)
+        assert total.beefy_servers == 1 and total.wimpy_servers == 3
+        assert total.gpus == 2 and total.nics == 4
+
+    def test_addition_rejects_mixed_network_pricing(self):
+        with pytest.raises(ValueError):
+            Inventory(nic_cost_factor=1.0) + Inventory(nic_cost_factor=2.0)
+
+
+class TestTco:
+    def test_all_components_positive_for_real_inventory(self):
+        breakdown = tco(Inventory(beefy_servers=100, gpus=50, nics=120))
+        for name, value in breakdown.as_dict().items():
+            assert value > 0, name
+        assert breakdown.total == pytest.approx(sum(breakdown.as_dict().values()))
+
+    def test_facility_capex_is_10_dollars_per_watt(self):
+        breakdown = tco(Inventory(beefy_servers=1))
+        assert breakdown.facility == pytest.approx(300 * 10)
+
+    def test_power_cost_uses_pue_and_rate(self):
+        factors = CostFactors()
+        breakdown = tco(Inventory(beefy_servers=1), factors)
+        expected = 300 * 1.1 * (24 * 365 / 12) * 36 * 0.067 / 1000
+        assert breakdown.power == pytest.approx(expected)
+
+    def test_opex_is_4_cents_per_watt_month(self):
+        breakdown = tco(Inventory(beefy_servers=1))
+        assert breakdown.opex == pytest.approx(300 * 0.04 * 36)
+
+    def test_maintenance_is_5pct_of_hardware(self):
+        breakdown = tco(Inventory(beefy_servers=1))
+        assert breakdown.maintenance == pytest.approx(0.05 * 6864)
+
+    def test_tco_scales_linearly_with_fleet(self):
+        one = tco(Inventory(beefy_servers=10, gpus=5, nics=10)).total
+        ten = tco(Inventory(beefy_servers=100, gpus=50, nics=100)).total
+        assert ten == pytest.approx(10 * one, rel=1e-9)
+
+    def test_gpu_heavy_inventory_is_power_dominated_vs_server_count(self):
+        """A GPU's lifetime power+facility cost is comparable to its
+        purchase price — the effect the paper's TCO hinges on."""
+        breakdown = tco(Inventory(gpus=1))
+        lifetime_power_side = breakdown.facility + breakdown.power + breakdown.opex
+        assert lifetime_power_side > 0.8 * breakdown.gpus

@@ -1,0 +1,182 @@
+"""WSC design provisioning and the Figure 15 / Figure 16 claims."""
+
+import pytest
+
+from repro.wsc import (
+    IMAGE,
+    MIXED,
+    NLP,
+    PCIE3_10GBE,
+    QPI_400GBE,
+    Workload,
+    WscDesigner,
+    future_network_study,
+    tco_sweep,
+)
+
+
+@pytest.fixture(scope="module")
+def designer():
+    return WscDesigner()
+
+
+class TestWorkloads:
+    def test_table5_compositions(self):
+        assert MIXED.apps == ("imc", "dig", "face", "asr", "pos", "chk", "ner")
+        assert IMAGE.apps == ("imc", "dig", "face")
+        assert NLP.apps == ("pos", "chk", "ner")
+
+    def test_equal_shares(self):
+        shares = MIXED.shares(0.7)
+        assert all(s == pytest.approx(0.1) for s in shares.values())
+
+    def test_share_validation(self):
+        with pytest.raises(ValueError):
+            MIXED.shares(1.5)
+        with pytest.raises(ValueError):
+            Workload("empty", ())
+
+
+class TestProvisioning:
+    def test_cpu_only_server_count_fixed(self, designer):
+        result = designer.cpu_only(MIXED, 0.5)
+        assert result.inventory.beefy_servers == designer.total_servers
+        assert result.inventory.gpus == 0
+
+    def test_targets_scale_with_dnn_fraction(self, designer):
+        low = designer.service_targets(MIXED, 0.1)
+        high = designer.service_targets(MIXED, 1.0)
+        for app in low:
+            assert high[app] == pytest.approx(10 * low[app])
+
+    def test_integrated_buys_gpus_in_dozens(self, designer):
+        result = designer.integrated(IMAGE, 0.9)
+        gpu_servers = sum(
+            1 for plan in result.plans.values() for _ in range(int(plan.servers))
+        )
+        assert result.inventory.gpus % 12 == 0
+        assert result.inventory.gpus >= 12
+
+    def test_disaggregated_provisions_gpus_exactly(self, designer):
+        result = designer.disaggregated(IMAGE, 0.9)
+        # far fewer GPUs than integrated's 12-per-server bundles at this point
+        integrated = designer.integrated(IMAGE, 0.9)
+        assert result.inventory.gpus <= integrated.inventory.gpus
+        assert result.inventory.wimpy_servers > 0
+        assert result.inventory.nics >= 16 * result.inventory.wimpy_servers
+
+    def test_nlp_strands_integrated_gpus(self, designer):
+        """Paper §6.3: 'NLP services can saturate only a subset of those
+        available GPUs because they are bandwidth-limited by PCIe'."""
+        result = designer.integrated(NLP, 1.0)
+        for plan in result.plans.values():
+            assert plan.gpus_per_server < 12
+
+    def test_image_services_fill_integrated_servers(self, designer):
+        result = designer.integrated(IMAGE, 1.0)
+        for app in ("imc", "face"):
+            assert result.plans[app].gpus_per_server == 12
+
+    def test_prepost_retention_adds_beefy_servers_for_asr(self, designer):
+        with_pp = designer.disaggregated(MIXED, 1.0)
+        no_pp = WscDesigner(include_prepost=False).disaggregated(MIXED, 1.0)
+        assert with_pp.inventory.beefy_servers > no_pp.inventory.beefy_servers
+
+    def test_zero_fraction_designs_collapse_to_cpu_only(self, designer):
+        for build in (designer.integrated, designer.disaggregated):
+            result = build(MIXED, 0.0)
+            assert result.inventory.gpus == 0
+            assert result.total_tco == pytest.approx(
+                designer.cpu_only(MIXED, 0.0).total_tco
+            )
+
+    def test_total_servers_validation(self):
+        with pytest.raises(ValueError):
+            WscDesigner(total_servers=0)
+
+
+class TestFig15Claims:
+    @pytest.fixture(scope="class")
+    def sweeps(self):
+        fractions = (0.1, 0.3, 0.5, 0.72, 0.9, 1.0)
+        return {wl.name: tco_sweep(wl, fractions) for wl in (MIXED, IMAGE, NLP)}
+
+    def test_gpu_designs_win_everywhere_above_10pct(self, sweeps):
+        for name, points in sweeps.items():
+            for p in points[1:]:
+                assert p.disaggregated < 1.0, (name, p.dnn_fraction)
+
+    def test_improvement_grows_with_dnn_share(self, sweeps):
+        for name, points in sweeps.items():
+            dis = [p.disaggregated for p in points]
+            assert all(b <= a * 1.02 for a, b in zip(dis, dis[1:])), name
+
+    def test_mixed_reaches_multiples_over_cpu_only(self, sweeps):
+        best = 1.0 / sweeps["MIXED"][-1].disaggregated
+        assert best > 2.5  # paper reports 4-20x; see EXPERIMENTS.md
+
+    def test_nlp_improvement_capped_near_4x(self, sweeps):
+        """Fig 15c: 'a maximum improvement of 4x, as opposed to 20x'."""
+        best = 1.0 / sweeps["NLP"][-1].disaggregated
+        assert 1.5 < best < 5.0
+
+    def test_nlp_improves_less_than_image(self, sweeps):
+        nlp_best = 1.0 / sweeps["NLP"][-1].disaggregated
+        image_best = 1.0 / sweeps["IMAGE"][-1].disaggregated
+        assert nlp_best < image_best
+
+    def test_disagg_beats_integrated_for_mixed_and_nlp_at_high_share(self, sweeps):
+        for name in ("MIXED", "NLP"):
+            p = sweeps[name][-1]
+            assert p.disaggregated < p.integrated, name
+
+    def test_image_crossover_integrated_wins_at_full_dnn(self, sweeps):
+        """Fig 15b: past the crossover the integrated design is cheaper."""
+        p = sweeps["IMAGE"][-1]
+        assert p.integrated < p.disaggregated
+
+    def test_image_disagg_wins_at_low_dnn_share(self, sweeps):
+        p = sweeps["IMAGE"][0]
+        assert p.disaggregated <= p.integrated * 1.01
+
+
+class TestFig16Claims:
+    @pytest.fixture(scope="class")
+    def studies(self):
+        return {wl.name: future_network_study(wl) for wl in (MIXED, NLP)}
+
+    def test_performance_multipliers_increase_with_bandwidth(self, studies):
+        for name, points in studies.items():
+            perf = [p.performance for p in points]
+            assert perf[0] == pytest.approx(1.0)
+            assert perf[0] < perf[1] < perf[2], name
+
+    def test_nlp_reaches_about_4_5x(self, studies):
+        """Intro: 'performance improvements of up to 4.5x over
+        bandwidth-constrained designs'."""
+        best = studies["NLP"][-1].performance
+        assert 3.5 < best < 5.5
+
+    def test_cpu_only_cost_scales_with_performance(self, studies):
+        for name, points in studies.items():
+            base = points[0].breakdowns["cpu_only"].total
+            for p in points[1:]:
+                assert p.breakdowns["cpu_only"].total == pytest.approx(
+                    base * ((1 - 1.0) + p.performance), rel=0.01
+                ), name
+
+    def test_disagg_growth_is_network_heavy(self, studies):
+        """Paper: 'growth in TCO for the Disaggregated design stems
+        primarily from increased networking costs'."""
+        for name, points in studies.items():
+            base = points[0].breakdowns["disaggregated"]
+            qpi = points[-1].breakdowns["disaggregated"]
+            network_growth = qpi.network / base.network
+            server_growth = qpi.servers / base.servers
+            assert network_growth > server_growth, name
+
+    def test_gpu_designs_stay_cheaper_than_cpu_only(self, studies):
+        for name, points in studies.items():
+            for p in points:
+                assert p.breakdowns["disaggregated"].total < p.breakdowns["cpu_only"].total
+                assert p.breakdowns["integrated"].total < p.breakdowns["cpu_only"].total

@@ -1,0 +1,48 @@
+"""Interconnect config tests (Table 6 arithmetic)."""
+
+import pytest
+
+from repro.gpusim.pcie import ethernet_effective_gbs
+from repro.wsc import CONFIGS, PCIE3_10GBE, PCIE4_40GBE, QPI_400GBE
+
+
+class TestTable6Arithmetic:
+    def test_baseline_network_matches_paper_footnote(self):
+        """Paper footnote 1: 16 x 10GbE at 80% of theoretical peak = 16 GB/s."""
+        assert PCIE3_10GBE.network_gbs_per_host == pytest.approx(16.0)
+
+    def test_pcie_v4_network_sized_to_saturate_the_bus(self):
+        """Paper §6.4: 9 teamed 40GbE connections saturate PCIe v4."""
+        assert PCIE4_40GBE.nics_per_gpu_host == 9
+        assert PCIE4_40GBE.network_gbs_per_host >= 31.75
+
+    def test_qpi_network_sized_to_saturate_the_links(self):
+        """Paper §6.4: 8 teamed 400GbE saturate 12 QPI links (307.2 GB/s)."""
+        assert QPI_400GBE.nics_per_gpu_host == 8
+        assert QPI_400GBE.network_gbs_per_host >= 307.2
+
+    def test_ethernet_overhead_is_20pct(self):
+        assert ethernet_effective_gbs(1.25) == pytest.approx(1.0)
+
+    def test_generations_strictly_improve_host_feed(self):
+        feeds = [c.host_bottleneck_gbs for c in CONFIGS]
+        assert feeds[0] < feeds[1] < feeds[2]
+
+    def test_bottleneck_is_min_of_network_and_link(self):
+        for config in CONFIGS:
+            assert config.host_bottleneck_gbs == pytest.approx(
+                min(config.network_gbs_per_host, config.host_link_gbs)
+            )
+
+    def test_qpi_hosts_carry_12_gpus(self):
+        """Paper §6.4 assumes 12 GPUs inside a 2-socket QPI server."""
+        assert QPI_400GBE.gpus_per_disagg_host == 12
+        assert QPI_400GBE.gpus_per_integrated_server == 12
+
+    def test_upgrade_costs_monotone(self):
+        costs = [c.interconnect_upgrade_per_server for c in CONFIGS]
+        assert costs[0] <= costs[1] <= costs[2]
+
+    def test_nic_prices_rise_with_generation(self):
+        factors = [c.nic_cost_factor for c in CONFIGS]
+        assert factors[0] < factors[1] < factors[2]

@@ -1,0 +1,55 @@
+"""Per-design query-latency simulation tests."""
+
+import pytest
+
+from repro.gpusim import app_model
+from repro.sim.wscflow import NETWORK_HOP, compare_designs, simulate_design_flow
+
+
+class TestDesignFlow:
+    @pytest.fixture(scope="class")
+    def pos_results(self):
+        # 5000 QPS is comfortably inside every design's capacity for POS
+        return compare_designs(app_model("pos"), offered_qps=5000.0)
+
+    def test_gpu_designs_cut_latency_for_heavy_apps(self):
+        """IMC on a GPU answers in ms; 12 Xeon cores take ~140 ms."""
+        results = compare_designs(app_model("imc"), offered_qps=50.0)
+        assert results["integrated"].mean_latency_s < 0.2 * results["cpu_only"].mean_latency_s
+        assert results["disaggregated"].mean_latency_s < 0.2 * results["cpu_only"].mean_latency_s
+
+    def test_disaggregation_pays_a_network_hop(self, pos_results):
+        """The disaggregated design's extra fabric hop shows up as latency —
+        the flexibility/latency trade behind the paper's Figure 14c."""
+        assert (pos_results["disaggregated"].mean_latency_s
+                > pos_results["integrated"].mean_latency_s)
+
+    def test_all_designs_sustain_the_offered_load(self, pos_results):
+        for result in pos_results.values():
+            assert result.achieved_qps == pytest.approx(5000.0, rel=0.1)
+
+    def test_p99_at_least_mean(self, pos_results):
+        for result in pos_results.values():
+            assert result.p99_latency_s >= result.mean_latency_s
+
+    def test_overload_diverges(self):
+        """Past the CPU-only capacity (12 cores / 4.9 s per ASR query),
+        latency is queue-dominated."""
+        over = simulate_design_flow(app_model("asr"), "cpu_only",
+                                    offered_qps=6.0, queries=500)
+        under = simulate_design_flow(app_model("asr"), "cpu_only",
+                                     offered_qps=1.5, queries=500)
+        assert over.mean_latency_s > 10 * under.mean_latency_s
+
+    def test_network_hop_assumptions(self):
+        from repro.gpusim.pcie import PCIE_V3_X16
+
+        # the fabric hop has more latency and less bandwidth than PCIe
+        assert NETWORK_HOP.latency_us > PCIE_V3_X16.latency_us
+        assert NETWORK_HOP.effective_gbs <= PCIE_V3_X16.effective_gbs + 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unknown design"):
+            simulate_design_flow(app_model("pos"), "hybrid", 100.0)
+        with pytest.raises(ValueError):
+            simulate_design_flow(app_model("pos"), "cpu_only", 0.0)
