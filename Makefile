@@ -1,0 +1,17 @@
+# Convenience targets; everything assumes the in-tree layout (src/ on path).
+
+PY ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench-gateway bench-all
+
+test:
+	$(PY) -m pytest -x -q
+
+# Reproduce the Fig 11-shaped throughput-vs-replicas curve on the real
+# gateway; writes benchmarks/results/gateway_scaling.txt.
+bench-gateway:
+	cd benchmarks && PYTHONPATH=../src $(PY) -m pytest bench_gateway_scaling.py -x -q -p no:cacheprovider
+
+bench-all:
+	cd benchmarks && PYTHONPATH=../src $(PY) -m pytest . -x -q -p no:cacheprovider

@@ -9,6 +9,10 @@ Commands
     Start a DjiNN server with seeded models and block until Ctrl-C.
 ``djinn query --host H --port P --app dig``
     Run one Tonic query against a live server and print the result.
+``djinn gateway --backends N [--models ...] [--policy P] [--port N]``
+    Launch an in-process fleet of N DjiNN backends behind a sharded,
+    fault-tolerant gateway speaking the same protocol (clients and
+    ``djinn query`` work unchanged against the gateway port).
 ``djinn plan``
     Per-GPU capability and WSC design comparison (the capacity-planning
     example, in command form).
@@ -115,6 +119,45 @@ def cmd_query(args) -> int:
     return 0
 
 
+def cmd_gateway(args) -> int:
+    from .core import BatchPolicy
+    from .gateway import ClusterLauncher, GatewayServer, RetryPolicy
+
+    if args.backends < 1:
+        raise SystemExit(f"--backends must be >= 1, got {args.backends}")
+    registry = _build_registry([m for m in args.models.split(",") if m])
+    batching = None
+    if args.batch:
+        batching = BatchPolicy(max_batch=args.batch, timeout_ms=args.timeout_ms)
+    cluster = ClusterLauncher(
+        registry, backends=args.backends, batching=batching,
+        service_floor_s=args.floor_ms / 1e3,
+    )
+    cluster.start()
+    try:
+        gateway = GatewayServer(
+            cluster.addresses, host=args.host, port=args.port,
+            policy=args.policy,
+            retry=RetryPolicy(max_attempts=args.retries),
+            health_interval_s=args.health_interval,
+        )
+        gateway.start()
+        try:
+            host, port = gateway.address
+            print(f"gateway fronting {len(cluster)} backends "
+                  f"{[p for _, p in cluster.addresses]} on {host}:{port} "
+                  f"(policy={args.policy}); Ctrl-C to stop")
+            while gateway._running.is_set():
+                time.sleep(0.5)
+        except KeyboardInterrupt:
+            print("\nstopping...")
+        finally:
+            gateway.stop()
+    finally:
+        cluster.stop()
+    return 0
+
+
 def cmd_plan(_args) -> int:
     from .gpusim import all_app_models, select_batch
     from .gpusim.mps import service_segments, simulate_concurrent
@@ -160,11 +203,30 @@ def main(argv=None) -> int:
     query.add_argument("--count", type=int, default=5)
     query.add_argument("--seed", type=int, default=0)
 
+    gateway = sub.add_parser(
+        "gateway", help="front an in-process DjiNN fleet with the gateway")
+    gateway.add_argument("--backends", type=int, default=2,
+                         help="fleet size (one DjiNN instance per replica)")
+    gateway.add_argument("--models", default="dig,pos", help="comma-separated model names")
+    gateway.add_argument("--host", default="127.0.0.1")
+    gateway.add_argument("--port", type=int, default=7888)
+    gateway.add_argument("--policy", default="round_robin",
+                         choices=("round_robin", "least_outstanding", "model_affinity"))
+    gateway.add_argument("--retries", type=int, default=3,
+                         help="per-request transport-failure retry budget")
+    gateway.add_argument("--health-interval", type=float, default=0.5,
+                         help="seconds between backend health probes")
+    gateway.add_argument("--batch", type=int, default=0,
+                         help="enable dynamic batching on each backend")
+    gateway.add_argument("--timeout-ms", type=float, default=2.0)
+    gateway.add_argument("--floor-ms", type=float, default=0.0,
+                         help="device-pace each backend (min service ms per batch)")
+
     sub.add_parser("plan", help="capacity and TCO planning summary")
 
     args = parser.parse_args(argv)
-    return {"models": cmd_models, "serve": cmd_serve,
-            "query": cmd_query, "plan": cmd_plan}[args.command](args)
+    return {"models": cmd_models, "serve": cmd_serve, "query": cmd_query,
+            "gateway": cmd_gateway, "plan": cmd_plan}[args.command](args)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -7,7 +7,7 @@ plugs directly into the Tonic applications.
 """
 
 from .batching import BatchingExecutor, BatchPolicy
-from .client import DjinnClient, DjinnServiceError, RemoteBackend
+from .client import DjinnClient, DjinnConnectionError, DjinnServiceError, RemoteBackend
 from .loadgen import LoadResult, run_closed_loop_load
 from .protocol import Message, MessageType, ProtocolError, recv_message, send_message
 from .registry import ModelRegistry
@@ -18,6 +18,7 @@ __all__ = [
     "BatchingExecutor",
     "BatchPolicy",
     "DjinnClient",
+    "DjinnConnectionError",
     "DjinnServiceError",
     "RemoteBackend",
     "Message",

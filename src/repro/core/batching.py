@@ -53,11 +53,18 @@ class _Pending:
 
 
 class BatchingExecutor:
-    """Per-model batching queues with one worker thread per model."""
+    """Per-model batching queues with one worker thread per model.
 
-    def __init__(self, registry: ModelRegistry, policy: BatchPolicy = BatchPolicy()):
+    ``service_floor_s`` imposes a minimum wall-clock time per executed
+    batch (compute + GIL-released sleep), pacing each worker like a serial
+    device — see :class:`repro.core.server.DjinnServer`.
+    """
+
+    def __init__(self, registry: ModelRegistry, policy: BatchPolicy = BatchPolicy(),
+                 service_floor_s: float = 0.0):
         self.registry = registry
         self.policy = policy
+        self.service_floor_s = service_floor_s
         self._queues: Dict[str, Queue] = {}
         self._workers: Dict[str, threading.Thread] = {}
         self._lock = threading.Lock()
@@ -137,8 +144,13 @@ class BatchingExecutor:
             if not batch:
                 return
             try:
+                start = time.monotonic()
                 stacked = np.concatenate([p.inputs for p in batch], axis=0)
                 outputs = net.forward(stacked)
+                if self.service_floor_s:
+                    remaining = self.service_floor_s - (time.monotonic() - start)
+                    if remaining > 0:
+                        time.sleep(remaining)
                 self.executed_batches[model].append(len(stacked))
                 offset = 0
                 for pending in batch:

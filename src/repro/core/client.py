@@ -11,11 +11,22 @@ import numpy as np
 from ..tonic.app import DnnBackend
 from .protocol import Message, MessageType, recv_message, send_message
 
-__all__ = ["DjinnClient", "RemoteBackend", "DjinnServiceError"]
+__all__ = ["DjinnClient", "RemoteBackend", "DjinnServiceError", "DjinnConnectionError"]
 
 
 class DjinnServiceError(RuntimeError):
     """The service answered with an ERROR frame."""
+
+
+class DjinnConnectionError(DjinnServiceError, OSError):
+    """The request failed at the transport level (connect/send/recv).
+
+    Unlike a plain :class:`DjinnServiceError` (the model rejected the
+    request), a connection error is retryable: the same request may succeed
+    against another replica, or this one after :meth:`DjinnClient.reconnect`.
+    Also an :class:`OSError` so callers that treat the client like a raw
+    socket (``except OSError`` around connect/poll loops) keep working.
+    """
 
 
 class DjinnClient:
@@ -26,19 +37,45 @@ class DjinnClient:
     """
 
     def __init__(self, host: str, port: int, timeout_s: float = 30.0):
-        self._sock = socket.create_connection((host, port), timeout=timeout_s)
-        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._host, self._port, self._timeout_s = host, port, timeout_s
+        self._sock = self._connect()
         self._closed = False
+
+    def _connect(self) -> socket.socket:
+        try:
+            sock = socket.create_connection((self._host, self._port),
+                                            timeout=self._timeout_s)
+        except OSError as exc:
+            raise DjinnConnectionError(
+                f"cannot connect to {self._host}:{self._port}: {exc}"
+            ) from exc
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return sock
 
     # -------------------------------------------------------------- plumbing
     def _roundtrip(self, request: Message) -> Message:
         if self._closed:
             raise RuntimeError("client is closed")
-        send_message(self._sock, request)
-        response = recv_message(self._sock)
+        try:
+            send_message(self._sock, request)
+            response = recv_message(self._sock)
+        except (ConnectionError, socket.timeout, OSError) as exc:
+            raise DjinnConnectionError(
+                f"transport failure talking to {self._host}:{self._port}: {exc}"
+            ) from exc
         if response.type == MessageType.ERROR:
             raise DjinnServiceError(response.text)
         return response
+
+    def reconnect(self) -> "DjinnClient":
+        """Drop the current connection (if any) and dial the server again."""
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        self._sock = self._connect()
+        self._closed = False
+        return self
 
     def close(self) -> None:
         if not self._closed:
@@ -47,6 +84,10 @@ class DjinnClient:
                 self._sock.close()
             except OSError:
                 pass
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return (self._host, self._port)
 
     def __enter__(self) -> "DjinnClient":
         return self
@@ -77,7 +118,7 @@ class DjinnClient:
         """Ask the server to stop (used by examples; tests stop it directly)."""
         try:
             self._roundtrip(Message(MessageType.SHUTDOWN))
-        except (ConnectionError, OSError):
+        except (DjinnConnectionError, ConnectionError, OSError):
             pass
         self.close()
 

@@ -28,7 +28,16 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-__all__ = ["MessageType", "Message", "ProtocolError", "send_message", "recv_message"]
+__all__ = [
+    "MessageType",
+    "Message",
+    "ProtocolError",
+    "send_message",
+    "recv_message",
+    "MAX_BODY_BYTES",
+    "MAX_NAME_BYTES",
+    "MAX_NDIM",
+]
 
 MAGIC = b"DJNN"
 VERSION = 1
@@ -38,6 +47,10 @@ _BODY_LEN = struct.Struct("<Q")
 
 #: Upper bound on a single payload (guards against corrupt frames).
 MAX_BODY_BYTES = 1 << 31
+#: Upper bound on a model-name field; real names are a few bytes.
+MAX_NAME_BYTES = 1024
+#: Upper bound on tensor rank; the Tonic models top out at rank 4.
+MAX_NDIM = 16
 
 
 class ProtocolError(RuntimeError):
@@ -73,8 +86,12 @@ class Message:
 def send_message(sock: socket.socket, message: Message) -> None:
     """Serialize and send one frame."""
     name = message.name.encode("utf-8")
+    if len(name) > MAX_NAME_BYTES:
+        raise ProtocolError(f"model name too long: {len(name)} bytes")
     tensor = message.tensor
     dims: Tuple[int, ...] = tuple(tensor.shape) if tensor is not None else ()
+    if len(dims) > MAX_NDIM:
+        raise ProtocolError(f"tensor rank too large: {len(dims)}")
     body = message.body()
     if len(body) > MAX_BODY_BYTES:
         raise ProtocolError(f"payload too large: {len(body)} bytes")
@@ -106,6 +123,12 @@ def recv_message(sock: socket.socket) -> Message:
         raise ProtocolError(f"bad magic {magic!r}")
     if version != VERSION:
         raise ProtocolError(f"unsupported protocol version {version}")
+    # Bound the variable-length fields *before* reading them, so a corrupt
+    # header can't drive huge _recv_exact allocations.
+    if name_len > MAX_NAME_BYTES:
+        raise ProtocolError(f"model name too long: {name_len} bytes")
+    if ndim > MAX_NDIM:
+        raise ProtocolError(f"tensor rank too large: {ndim}")
     dims = tuple(
         _DIM.unpack(_recv_exact(sock, _DIM.size))[0] for _ in range(ndim)
     )

@@ -10,6 +10,10 @@ served in order (clients open several connections for concurrency, as the
 paper's load generator does).  Models live in a shared read-only
 :class:`ModelRegistry`; an optional :class:`BatchingExecutor` coalesces
 concurrent requests per model (§5.1).
+
+:class:`TcpServiceBase` holds the protocol-speaking TCP skeleton (accept
+loop, per-connection workers, hard-stop connection teardown); it is shared
+with the gateway front-end in :mod:`repro.gateway.server`.
 """
 
 from __future__ import annotations
@@ -25,41 +29,34 @@ from .protocol import Message, MessageType, ProtocolError, recv_message, send_me
 from .registry import ModelRegistry
 from .stats import ServiceStats
 
-__all__ = ["DjinnServer"]
+__all__ = ["TcpServiceBase", "DjinnServer"]
 
 
-class DjinnServer:
-    """DNN-as-a-service over TCP.
+class TcpServiceBase:
+    """Threaded TCP server skeleton for the DjiNN wire protocol.
 
-    Parameters
-    ----------
-    registry:
-        Models to serve (materialized, shared read-only across workers).
-    host, port:
-        Bind address; ``port=0`` picks a free port (see :attr:`address`).
-    batching:
-        Optional dynamic batching policy; ``None`` executes each request's
-        inputs as its own forward pass.
+    Subclasses implement :meth:`_handle` (dispatch one request; return
+    ``False`` to drop the connection) and may override :meth:`_on_start` /
+    :meth:`_on_stop` for extra lifecycle work.  ``stop()`` hard-closes live
+    connections so blocked workers unwind and clients see a transport error
+    immediately — from a gateway's point of view this is exactly what a
+    killed instance looks like.
     """
 
-    def __init__(
-        self,
-        registry: ModelRegistry,
-        host: str = "127.0.0.1",
-        port: int = 0,
-        batching: Optional[BatchPolicy] = None,
-    ):
-        self.registry = registry
-        self.stats = ServiceStats()
+    #: thread-name prefix for accept/worker threads
+    service_name = "djinn"
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0):
         self._host, self._port = host, port
-        self._executor = BatchingExecutor(registry, batching) if batching else None
         self._listener: Optional[socket.socket] = None
         self._accept_thread: Optional[threading.Thread] = None
         self._workers = []
+        self._conns = []
+        self._conns_lock = threading.Lock()
         self._running = threading.Event()
 
     # ------------------------------------------------------------ lifecycle
-    def start(self) -> "DjinnServer":
+    def start(self):
         if self._listener is not None:
             raise RuntimeError("server already started")
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
@@ -68,8 +65,10 @@ class DjinnServer:
         listener.listen(64)
         self._listener = listener
         self._running.set()
+        self._on_start()
         self._accept_thread = threading.Thread(
-            target=self._accept_loop, daemon=True, name="djinn-accept"
+            target=self._accept_loop, daemon=True,
+            name=f"{self.service_name}-accept",
         )
         self._accept_thread.start()
         return self
@@ -79,14 +78,37 @@ class DjinnServer:
             return
         self._running.clear()
         if self._listener is not None:
+            # shutdown() wakes a thread blocked in accept(); close() alone
+            # leaves the kernel socket accepting until that thread returns,
+            # so a "stopped" server could still take one more connection.
+            try:
+                self._listener.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
             try:
                 self._listener.close()
             except OSError:
                 pass
+        with self._conns_lock:
+            conns, self._conns = self._conns, []
+        for conn in conns:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
         if self._accept_thread is not None:
             self._accept_thread.join(timeout=5.0)
-        if self._executor is not None:
-            self._executor.close()
+        self._on_stop()
+
+    def _on_start(self) -> None:
+        """Subclass hook, runs after the listener binds."""
+
+    def _on_stop(self) -> None:
+        """Subclass hook, runs after connections are torn down."""
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -94,7 +116,7 @@ class DjinnServer:
             raise RuntimeError("server not started")
         return self._listener.getsockname()
 
-    def __enter__(self) -> "DjinnServer":
+    def __enter__(self):
         return self.start()
 
     def __exit__(self, *exc) -> None:
@@ -108,28 +130,90 @@ class DjinnServer:
                 conn, _addr = self._listener.accept()
             except OSError:
                 return  # listener closed
+            with self._conns_lock:
+                self._conns.append(conn)
             worker = threading.Thread(
                 target=self._serve_connection, args=(conn,), daemon=True,
-                name="djinn-worker",
+                name=f"{self.service_name}-worker",
             )
             self._workers.append(worker)
             worker.start()
 
     def _serve_connection(self, conn: socket.socket) -> None:
-        with conn:
-            while self._running.is_set():
-                try:
-                    request = recv_message(conn)
-                except (ConnectionError, OSError):
-                    return
-                except ProtocolError as exc:
-                    self._safe_send(conn, Message(MessageType.ERROR, text=str(exc)))
-                    return
-                if not self._handle(conn, request):
-                    return
+        try:
+            with conn:
+                while self._running.is_set():
+                    try:
+                        request = recv_message(conn)
+                    except (ConnectionError, OSError):
+                        return
+                    except ProtocolError as exc:
+                        self._safe_send(conn, Message(MessageType.ERROR, text=str(exc)))
+                        return
+                    if not self._handle(conn, request):
+                        return
+        finally:
+            with self._conns_lock:
+                if conn in self._conns:
+                    self._conns.remove(conn)
 
     def _handle(self, conn: socket.socket, request: Message) -> bool:
         """Dispatch one request; returns False to drop the connection."""
+        raise NotImplementedError
+
+    @staticmethod
+    def _safe_send(conn: socket.socket, message: Message) -> None:
+        try:
+            send_message(conn, message)
+        except OSError:
+            pass  # client went away; nothing to do
+
+
+class DjinnServer(TcpServiceBase):
+    """DNN-as-a-service over TCP.
+
+    Parameters
+    ----------
+    registry:
+        Models to serve (materialized, shared read-only across workers).
+    host, port:
+        Bind address; ``port=0`` picks a free port (see :attr:`address`).
+    batching:
+        Optional dynamic batching policy; ``None`` executes each request's
+        inputs as its own forward pass.
+    service_floor_s:
+        Minimum wall-clock service time per executed forward pass.  The
+        remainder (floor minus compute) is slept with the GIL released, so
+        it paces this instance like a backend whose latency is dominated by
+        an attached device (the paper's one-GPU-per-instance setup, §5.2)
+        rather than by host CPU.  ``0.0`` (default) disables pacing.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        batching: Optional[BatchPolicy] = None,
+        service_floor_s: float = 0.0,
+    ):
+        super().__init__(host=host, port=port)
+        if service_floor_s < 0:
+            raise ValueError(f"service_floor_s must be >= 0, got {service_floor_s}")
+        self.registry = registry
+        self.stats = ServiceStats()
+        self._floor_s = service_floor_s
+        self._executor = (
+            BatchingExecutor(registry, batching, service_floor_s=service_floor_s)
+            if batching else None
+        )
+
+    def _on_stop(self) -> None:
+        if self._executor is not None:
+            self._executor.close()
+
+    # ------------------------------------------------------------- serving
+    def _handle(self, conn: socket.socket, request: Message) -> bool:
         if request.type == MessageType.INFER_REQUEST:
             self._handle_infer(conn, request)
             return True
@@ -170,6 +254,10 @@ class DjinnServer:
                 outputs = self._executor.submit(request.name, inputs)
             else:
                 outputs = net.forward(inputs)
+                if self._floor_s:
+                    remaining = self._floor_s - (time.perf_counter() - start)
+                    if remaining > 0:
+                        time.sleep(remaining)
         except (KeyError, ValueError) as exc:
             self._safe_send(conn, Message(MessageType.ERROR, text=str(exc)))
             return
@@ -177,10 +265,3 @@ class DjinnServer:
         self._safe_send(
             conn, Message(MessageType.INFER_RESPONSE, name=request.name, tensor=outputs)
         )
-
-    @staticmethod
-    def _safe_send(conn: socket.socket, message: Message) -> None:
-        try:
-            send_message(conn, message)
-        except OSError:
-            pass  # client went away; nothing to do

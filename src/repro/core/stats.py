@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from typing import Dict, List
 
@@ -14,8 +15,9 @@ __all__ = ["ServiceStats"]
 class ServiceStats:
     """Thread-safe per-model QPS / latency accounting.
 
-    Keeps a bounded window of recent latencies per model, enough for the
-    mean and tail percentiles the evaluation plots.
+    Keeps a bounded window of recent latencies (and their completion
+    timestamps) per model, enough for the mean, the tail percentiles, and
+    the windowed throughput the evaluation plots.
     """
 
     def __init__(self, window: int = 10_000):
@@ -24,33 +26,51 @@ class ServiceStats:
         self._window = window
         self._lock = threading.Lock()
         self._latencies: Dict[str, deque] = {}
+        self._stamps: Dict[str, deque] = {}
         self._counts: Dict[str, int] = {}
         self._inputs: Dict[str, int] = {}
 
     def record(self, model: str, latency_s: float, inputs: int = 1) -> None:
+        now = time.monotonic()
         with self._lock:
             if model not in self._latencies:
                 self._latencies[model] = deque(maxlen=self._window)
+                self._stamps[model] = deque(maxlen=self._window)
                 self._counts[model] = 0
                 self._inputs[model] = 0
             self._latencies[model].append(latency_s)
+            self._stamps[model].append(now)
             self._counts[model] += 1
             self._inputs[model] += inputs
 
     def snapshot(self) -> Dict[str, Dict[str, float]]:
-        """Per-model summary: count, inputs, mean/p50/p99 latency (ms)."""
+        """Per-model summary: count, inputs, mean/p50/p95/p99 latency (ms),
+        and ``qps`` — requests in the window over the window's wall-clock
+        span (0.0 until the window spans a measurable interval)."""
         with self._lock:
             out: Dict[str, Dict[str, float]] = {}
             for model, window in self._latencies.items():
                 lat = np.asarray(window, dtype=np.float64) * 1e3
+                stamps = self._stamps[model]
+                span = stamps[-1] - stamps[0] if len(stamps) > 1 else 0.0
                 out[model] = {
                     "requests": float(self._counts[model]),
                     "inputs": float(self._inputs[model]),
                     "mean_ms": float(lat.mean()),
                     "p50_ms": float(np.percentile(lat, 50)),
+                    "p95_ms": float(np.percentile(lat, 95)),
                     "p99_ms": float(np.percentile(lat, 99)),
+                    "qps": float(len(stamps) / span) if span > 0 else 0.0,
                 }
             return out
+
+    def reset(self) -> None:
+        """Drop all windows and counters (e.g. between benchmark phases)."""
+        with self._lock:
+            self._latencies.clear()
+            self._stamps.clear()
+            self._counts.clear()
+            self._inputs.clear()
 
     def requests(self, model: str) -> int:
         with self._lock:

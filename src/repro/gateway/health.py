@@ -1,0 +1,70 @@
+"""Health checking: periodic LIST_REQUEST probes with mark-down/mark-up.
+
+Each probe opens (or reuses) nothing from the request path — it dials a
+dedicated short-lived connection, asks the backend for its model list, and
+marks the backend up (caching the models for routing and aggregated LIST
+responses) or down.  A backend that crashed mid-request is usually marked
+down by the request path first; the prober is what brings it *back* once
+it answers again.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from ..core.client import DjinnClient, DjinnServiceError
+from .pool import BackendHandle, BackendPool
+
+__all__ = ["HealthChecker"]
+
+
+class HealthChecker:
+    """Background prober for a :class:`BackendPool`."""
+
+    def __init__(self, pool: BackendPool, interval_s: float = 1.0,
+                 probe_timeout_s: float = 5.0):
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be positive, got {interval_s}")
+        self.pool = pool
+        self.interval_s = interval_s
+        self.probe_timeout_s = probe_timeout_s
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # ----------------------------------------------------------- probing
+    def probe(self, backend: BackendHandle) -> bool:
+        """One synchronous probe; updates the backend's health state."""
+        try:
+            with DjinnClient(backend.host, backend.port,
+                             timeout_s=self.probe_timeout_s) as client:
+                models = client.list_models()
+        except (DjinnServiceError, OSError):
+            backend.mark_down()
+            return False
+        backend.mark_up(models)
+        return True
+
+    def probe_all(self) -> int:
+        """Probe every backend once; returns how many are healthy."""
+        return sum(self.probe(backend) for backend in self.pool)
+
+    # --------------------------------------------------------- lifecycle
+    def start(self) -> "HealthChecker":
+        if self._thread is not None:
+            raise RuntimeError("health checker already started")
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._loop, daemon=True,
+                                        name="gateway-health")
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self.probe_all()

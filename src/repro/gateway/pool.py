@@ -1,0 +1,140 @@
+"""Backend fleet bookkeeping: per-backend connection pools and health state.
+
+The gateway fronts N independent ``DjinnServer`` instances (one per GPU in
+the paper's §5.2 setup).  Each backend gets a :class:`BackendHandle` that
+tracks health, in-flight load, the model set seen by the last probe, and a
+small pool of idle :class:`DjinnClient` connections.  Connections are
+checked out per request and returned on success; failed connections are
+discarded so the next checkout dials fresh.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.client import DjinnClient, DjinnConnectionError
+
+__all__ = ["BackendHandle", "BackendPool"]
+
+
+class BackendHandle:
+    """One backend instance as the gateway sees it."""
+
+    def __init__(self, host: str, port: int, timeout_s: float = 30.0,
+                 max_idle: int = 8):
+        self.host, self.port = host, port
+        self.timeout_s = timeout_s
+        self.key = f"{host}:{port}"
+        self.max_idle = max_idle
+        self._lock = threading.Lock()
+        self._idle: List[DjinnClient] = []
+        self._healthy = True
+        self._outstanding = 0
+        #: model names reported by the last successful health probe
+        self.models: Tuple[str, ...] = ()
+        #: consecutive probe/request failures (reset on success)
+        self.failures = 0
+
+    # ----------------------------------------------------------- health
+    @property
+    def healthy(self) -> bool:
+        with self._lock:
+            return self._healthy
+
+    def mark_down(self) -> None:
+        with self._lock:
+            self._healthy = False
+            self.failures += 1
+            idle, self._idle = self._idle, []
+        for client in idle:  # stale connections are useless after a crash
+            client.close()
+
+    def mark_up(self, models: Sequence[str] = ()) -> None:
+        with self._lock:
+            self._healthy = True
+            self.failures = 0
+            if models:
+                self.models = tuple(models)
+
+    # ------------------------------------------------------------- load
+    @property
+    def outstanding(self) -> int:
+        with self._lock:
+            return self._outstanding
+
+    # ------------------------------------------------------ connections
+    def checkout(self) -> DjinnClient:
+        """Borrow a connection (dials a new one when the pool is empty).
+
+        Raises :class:`DjinnConnectionError` if the backend is unreachable.
+        """
+        with self._lock:
+            client = self._idle.pop() if self._idle else None
+            self._outstanding += 1
+        if client is not None:
+            return client
+        try:
+            return DjinnClient(self.host, self.port, timeout_s=self.timeout_s)
+        except DjinnConnectionError:
+            with self._lock:
+                self._outstanding -= 1
+            raise
+
+    def checkin(self, client: DjinnClient, ok: bool = True) -> None:
+        """Return a borrowed connection; broken ones are discarded."""
+        with self._lock:
+            self._outstanding = max(0, self._outstanding - 1)
+            if ok and self._healthy and len(self._idle) < self.max_idle:
+                self._idle.append(client)
+                return
+        client.close()
+
+    def close(self) -> None:
+        with self._lock:
+            idle, self._idle = self._idle, []
+        for client in idle:
+            client.close()
+
+    def __repr__(self) -> str:
+        state = "up" if self.healthy else "DOWN"
+        return f"<BackendHandle {self.key} {state} outstanding={self.outstanding}>"
+
+
+class BackendPool:
+    """The gateway's view of the whole fleet."""
+
+    def __init__(self, addresses: Sequence[Tuple[str, int]],
+                 timeout_s: float = 30.0, max_idle: int = 8):
+        if not addresses:
+            raise ValueError("gateway needs at least one backend address")
+        self.backends: List[BackendHandle] = [
+            BackendHandle(host, port, timeout_s=timeout_s, max_idle=max_idle)
+            for host, port in addresses
+        ]
+        self._by_key: Dict[str, BackendHandle] = {b.key: b for b in self.backends}
+        if len(self._by_key) != len(self.backends):
+            raise ValueError("duplicate backend addresses")
+
+    def healthy(self) -> List[BackendHandle]:
+        return [b for b in self.backends if b.healthy]
+
+    def get(self, key: str) -> Optional[BackendHandle]:
+        return self._by_key.get(key)
+
+    def model_names(self) -> List[str]:
+        """Union of model names across healthy backends (sorted)."""
+        names = set()
+        for backend in self.healthy():
+            names.update(backend.models)
+        return sorted(names)
+
+    def close(self) -> None:
+        for backend in self.backends:
+            backend.close()
+
+    def __len__(self) -> int:
+        return len(self.backends)
+
+    def __iter__(self):
+        return iter(self.backends)

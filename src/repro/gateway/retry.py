@@ -1,0 +1,46 @@
+"""Retry budgeting: exponential backoff with jitter, bounded attempts.
+
+Transport-level failures (:class:`repro.core.DjinnConnectionError`) are
+retryable — the same request may succeed on another replica.  Model-level
+errors are not.  The gateway spends at most ``max_attempts`` tries per
+request, sleeping ``base_delay_s * 2**k`` (capped, jittered) between them,
+and only surfaces an error to the client once the budget is spent.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to try a request and how long to wait between tries."""
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.02
+    max_delay_s: float = 1.0
+    jitter_frac: float = 0.5
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay_s < 0 or self.max_delay_s < self.base_delay_s:
+            raise ValueError("need 0 <= base_delay_s <= max_delay_s")
+        if not 0.0 <= self.jitter_frac <= 1.0:
+            raise ValueError(f"jitter_frac must be in [0, 1], got {self.jitter_frac}")
+
+    def delay_s(self, attempt: int, rng: random.Random) -> float:
+        """Backoff before retry number ``attempt`` (0-based), jittered.
+
+        Full jitter on the top ``jitter_frac`` of the exponential delay:
+        delays from concurrent retries decorrelate instead of stampeding
+        the next backend in lockstep.
+        """
+        capped = min(self.base_delay_s * (2 ** attempt), self.max_delay_s)
+        if self.jitter_frac == 0.0:
+            return capped
+        floor = capped * (1.0 - self.jitter_frac)
+        return floor + rng.random() * (capped - floor)

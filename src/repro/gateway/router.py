@@ -1,0 +1,87 @@
+"""Request routing: shard requests across healthy backends.
+
+Three pluggable policies, mirroring what a warehouse-scale front-end does
+in front of a fleet of accelerator-backed instances:
+
+``round_robin``
+    Rotate through healthy backends — the paper's own multi-GPU experiment
+    (§5.2) distributes load evenly across instances.
+``least_outstanding``
+    Pick the healthy backend with the fewest in-flight requests; adapts to
+    heterogeneous service times without explicit feedback.
+``model_affinity``
+    Rendezvous-hash the model name over the fleet so one model's requests
+    concentrate on the backends that already have it hot (weights resident,
+    caches warm), while different models spread out.  Backends whose last
+    health probe actually reported the model rank ahead of ones that
+    merely hash well.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import threading
+from typing import Callable, Dict, List
+
+from .pool import BackendHandle, BackendPool
+
+__all__ = ["Router", "POLICIES", "rendezvous_score"]
+
+
+def rendezvous_score(model: str, key: str) -> int:
+    """Stable per-(model, backend) weight for highest-random-weight hashing."""
+    digest = hashlib.blake2b(f"{model}|{key}".encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+def _round_robin(counter: itertools.count):
+    def order(model: str, backends: List[BackendHandle]) -> List[BackendHandle]:
+        start = next(counter) % len(backends)
+        return backends[start:] + backends[:start]
+    return order
+
+
+def _least_outstanding(model: str, backends: List[BackendHandle]) -> List[BackendHandle]:
+    return sorted(backends, key=lambda b: (b.outstanding, b.key))
+
+
+def _model_affinity(model: str, backends: List[BackendHandle]) -> List[BackendHandle]:
+    return sorted(
+        backends,
+        key=lambda b: (model not in b.models, -rendezvous_score(model, b.key)),
+    )
+
+
+#: policy name -> factory returning an ordering function
+POLICIES: Dict[str, Callable] = {
+    "round_robin": lambda: _round_robin(itertools.count()),
+    "least_outstanding": lambda: _least_outstanding,
+    "model_affinity": lambda: _model_affinity,
+}
+
+
+class Router:
+    """Order healthy backends for one request under a named policy.
+
+    :meth:`route` returns the full preference list (best first) so the
+    retry loop can fail over without re-consulting the policy; an empty
+    list means no backend is currently marked healthy.
+    """
+
+    def __init__(self, pool: BackendPool, policy: str = "round_robin"):
+        if policy not in POLICIES:
+            raise ValueError(
+                f"unknown routing policy {policy!r}; choose from {sorted(POLICIES)}"
+            )
+        self.pool = pool
+        self.policy = policy
+        self._order = POLICIES[policy]()
+        self._lock = threading.Lock()
+
+    def route(self, model: str) -> List[BackendHandle]:
+        backends = self.pool.healthy()
+        if not backends:
+            return []
+        with self._lock:  # round-robin counter and sorts stay race-free
+            return list(self._order(model, backends))

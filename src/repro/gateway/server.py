@@ -1,0 +1,224 @@
+"""The gateway front-end: one address that speaks for a DjiNN fleet.
+
+Speaks the existing DjiNN wire protocol, so :class:`repro.core.DjinnClient`
+and :class:`repro.core.RemoteBackend` work against it unchanged:
+
+* ``INFER_REQUEST`` — routed to a healthy backend under the configured
+  policy; transport failures burn the retry budget (exponential backoff +
+  jitter, failing over to the next candidate) before an ERROR frame is
+  surfaced.  Model-level errors pass through immediately — retrying a
+  request the model rejected wastes the fleet's time.
+* ``LIST_REQUEST`` — union of model names across healthy backends.
+* ``STATS_REQUEST`` — per-model stats merged across the fleet (counts and
+  qps summed, latency moments weighted by request count), with the
+  gateway's own end-to-end view under ``gateway:<model>`` keys.
+* ``SHUTDOWN`` — stops the gateway (backends are owned by their launcher).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import socket
+import threading
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.client import DjinnConnectionError, DjinnServiceError
+from ..core.protocol import Message, MessageType
+from ..core.server import TcpServiceBase
+from ..core.stats import ServiceStats
+from .health import HealthChecker
+from .pool import BackendPool
+from .retry import RetryPolicy
+from .router import Router
+
+__all__ = ["GatewayServer", "merge_stats"]
+
+
+def merge_stats(snapshots: Sequence[Dict[str, Dict[str, float]]]) -> Dict[str, Dict[str, float]]:
+    """Merge per-backend ``ServiceStats.snapshot()`` dicts into a fleet view.
+
+    ``requests``/``inputs``/``qps`` add across backends; the latency moments
+    (mean and percentiles) are combined as request-count-weighted means —
+    exact for ``mean_ms``, the standard frontend approximation for the
+    percentiles (true fleet percentiles would need the raw windows on the
+    wire).  ``backends`` counts how many replicas reported the model.
+    """
+    sums: Dict[str, Dict[str, float]] = {}
+    for snap in snapshots:
+        for model, stats in snap.items():
+            acc = sums.setdefault(model, {
+                "requests": 0.0, "inputs": 0.0, "qps": 0.0, "backends": 0.0,
+                "_wsum": {},
+            })
+            weight = float(stats.get("requests", 0.0))
+            acc["requests"] += weight
+            acc["inputs"] += float(stats.get("inputs", 0.0))
+            acc["qps"] += float(stats.get("qps", 0.0))
+            acc["backends"] += 1.0
+            for key in ("mean_ms", "p50_ms", "p95_ms", "p99_ms"):
+                if key in stats:
+                    acc["_wsum"][key] = acc["_wsum"].get(key, 0.0) + weight * stats[key]
+    merged: Dict[str, Dict[str, float]] = {}
+    for model, acc in sums.items():
+        weighted = acc.pop("_wsum")
+        out = dict(acc)
+        for key, total in weighted.items():
+            out[key] = total / acc["requests"] if acc["requests"] else 0.0
+        merged[model] = out
+    return merged
+
+
+class GatewayServer(TcpServiceBase):
+    """Sharded, fault-tolerant TCP front-end for N DjiNN backends.
+
+    Parameters
+    ----------
+    backends:
+        ``(host, port)`` addresses of the fleet (e.g.
+        :attr:`ClusterLauncher.addresses`).
+    policy:
+        Routing policy name — see :data:`repro.gateway.router.POLICIES`.
+    retry:
+        Transport-failure retry budget; defaults to 3 attempts with
+        20 ms base backoff.
+    health_interval_s:
+        Period of the background LIST_REQUEST probes.  ``start()`` always
+        runs one synchronous probe sweep so routing begins informed.
+    """
+
+    service_name = "gateway"
+
+    def __init__(
+        self,
+        backends: Sequence[Tuple[str, int]],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        policy: str = "round_robin",
+        retry: Optional[RetryPolicy] = None,
+        health_interval_s: float = 0.5,
+        backend_timeout_s: float = 30.0,
+    ):
+        super().__init__(host=host, port=port)
+        self.pool = BackendPool(backends, timeout_s=backend_timeout_s)
+        self.router = Router(self.pool, policy=policy)
+        self.retry = retry or RetryPolicy()
+        self.health = HealthChecker(self.pool, interval_s=health_interval_s,
+                                    probe_timeout_s=backend_timeout_s)
+        self.stats = ServiceStats()
+        self._rng = random.Random(0x6A7E)
+        self._rng_lock = threading.Lock()
+
+    # ------------------------------------------------------------ lifecycle
+    def _on_start(self) -> None:
+        self.health.probe_all()
+        self.health.start()
+
+    def _on_stop(self) -> None:
+        self.health.stop()
+        self.pool.close()
+
+    # ------------------------------------------------------------- serving
+    def _handle(self, conn: socket.socket, request: Message) -> bool:
+        if request.type == MessageType.INFER_REQUEST:
+            self._safe_send(conn, self._forward_infer(request))
+            return True
+        if request.type == MessageType.LIST_REQUEST:
+            if not self.pool.model_names():
+                self.health.probe_all()  # nothing cached yet (or fleet was down)
+            self._safe_send(
+                conn,
+                Message(MessageType.LIST_RESPONSE,
+                        text="\n".join(self.pool.model_names())),
+            )
+            return True
+        if request.type == MessageType.STATS_REQUEST:
+            self._safe_send(
+                conn,
+                Message(MessageType.STATS_RESPONSE,
+                        text=json.dumps(self._aggregate_stats())),
+            )
+            return True
+        if request.type == MessageType.SHUTDOWN:
+            self._safe_send(conn, Message(MessageType.SHUTDOWN))
+            threading.Thread(target=self.stop, daemon=True).start()
+            return False
+        self._safe_send(
+            conn, Message(MessageType.ERROR, text=f"unexpected message type {request.type}")
+        )
+        return True
+
+    # ---------------------------------------------------------- forwarding
+    def _forward_infer(self, request: Message) -> Message:
+        if request.tensor is None:
+            return Message(MessageType.ERROR, text="inference request carries no tensor")
+        start = time.perf_counter()
+        tried: set = set()
+        last_error = "no healthy backends"
+        for attempt in range(self.retry.max_attempts):
+            if attempt:
+                with self._rng_lock:
+                    delay = self.retry.delay_s(attempt - 1, self._rng)
+                time.sleep(delay)
+            candidates = self.router.route(request.name)
+            if not candidates:
+                # whole fleet marked down — probe for recoveries right away
+                self.health.probe_all()
+                candidates = self.router.route(request.name)
+                if not candidates:
+                    continue
+            # prefer backends this request hasn't burned yet
+            fresh = [b for b in candidates if b.key not in tried] or candidates
+            backend = fresh[0]
+            tried.add(backend.key)
+            try:
+                client = backend.checkout()
+            except DjinnConnectionError as exc:
+                backend.mark_down()
+                last_error = str(exc)
+                continue
+            ok = False
+            try:
+                outputs = client.infer(request.name, request.tensor)
+                ok = True
+            except DjinnConnectionError as exc:
+                backend.mark_down()
+                last_error = str(exc)
+                continue
+            except DjinnServiceError as exc:
+                ok = True  # the connection is fine; the model said no
+                return Message(MessageType.ERROR, text=str(exc))
+            finally:
+                backend.checkin(client, ok=ok)
+            self.stats.record(request.name, time.perf_counter() - start,
+                              inputs=len(request.tensor))
+            return Message(MessageType.INFER_RESPONSE, name=request.name,
+                           tensor=outputs)
+        return Message(
+            MessageType.ERROR,
+            text=(f"request for {request.name!r} failed after "
+                  f"{self.retry.max_attempts} attempts: {last_error}"),
+        )
+
+    # --------------------------------------------------------------- stats
+    def _aggregate_stats(self) -> Dict[str, Dict[str, float]]:
+        snapshots: List[Dict[str, Dict[str, float]]] = []
+        for backend in self.pool.healthy():
+            try:
+                client = backend.checkout()
+            except DjinnConnectionError:
+                backend.mark_down()
+                continue
+            ok = False
+            try:
+                snapshots.append(client.stats())
+                ok = True
+            except DjinnConnectionError:
+                backend.mark_down()
+            finally:
+                backend.checkin(client, ok=ok)
+        merged = merge_stats(snapshots)
+        for model, stats in self.stats.snapshot().items():
+            merged[f"gateway:{model}"] = stats
+        return merged

@@ -108,3 +108,43 @@ class TestServeAndQuery:
     def test_load_flag_rejects_malformed_entry(self):
         with pytest.raises(SystemExit, match="PATH=NAME"):
             main(["serve", "--models", "", "--load", "nonsense"])
+
+
+class TestGatewayCommand:
+    def test_gateway_fronts_fleet_and_serves_queries(self):
+        """`djinn gateway --backends 2` serves unchanged clients."""
+        import socket
+
+        import numpy as np
+
+        from repro.core import DjinnClient
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        thread = threading.Thread(
+            target=main,
+            args=(["gateway", "--backends", "2", "--models", "pos",
+                   "--port", str(port), "--policy", "round_robin"],),
+            daemon=True,
+        )
+        thread.start()
+        deadline = time.time() + 15
+        client = None
+        while time.time() < deadline:
+            try:
+                client = DjinnClient("127.0.0.1", port, timeout_s=1.0)
+                break
+            except OSError:
+                time.sleep(0.05)
+        assert client is not None, "gateway never came up"
+        try:
+            assert client.list_models() == ["pos"]
+            out = client.infer("pos", np.zeros((1, 300), np.float32))
+            assert out.shape == (1, 45)
+            stats = client.stats()
+            assert stats["pos"]["requests"] == 1.0
+        finally:
+            client.shutdown_server()
+            thread.join(timeout=10)
+        assert not thread.is_alive()

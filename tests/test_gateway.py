@@ -1,0 +1,432 @@
+"""Gateway tests: routing policies, fault tolerance, stats aggregation."""
+
+import random
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DjinnClient,
+    DjinnConnectionError,
+    DjinnServer,
+    DjinnServiceError,
+    ModelRegistry,
+)
+from repro.gateway import (
+    BackendHandle,
+    ClusterLauncher,
+    GatewayServer,
+    HealthChecker,
+    BackendPool,
+    RetryPolicy,
+    Router,
+    merge_stats,
+    rendezvous_score,
+)
+from repro.models import lenet5, senna
+
+
+@pytest.fixture(scope="module")
+def registry():
+    reg = ModelRegistry()
+    reg.register_spec("dig", lenet5(), seed=0)
+    reg.register_spec("pos", senna("pos"), seed=1)
+    return reg
+
+
+def make_handles(n, models=("dig", "pos")):
+    handles = [BackendHandle("127.0.0.1", 9000 + i) for i in range(n)]
+    for handle in handles:
+        handle.mark_up(models)
+    return handles
+
+
+class FakePool:
+    """A BackendPool stand-in for policy unit tests (no sockets)."""
+
+    def __init__(self, handles):
+        self.backends = handles
+
+    def healthy(self):
+        return [b for b in self.backends if b.healthy]
+
+    def __iter__(self):
+        return iter(self.backends)
+
+
+class TestRoutingPolicies:
+    def test_round_robin_cycles(self):
+        handles = make_handles(3)
+        router = Router(FakePool(handles), policy="round_robin")
+        first = [router.route("dig")[0].key for _ in range(6)]
+        assert first == [h.key for h in handles] * 2
+
+    def test_round_robin_skips_unhealthy(self):
+        handles = make_handles(3)
+        handles[1].mark_down()
+        router = Router(FakePool(handles), policy="round_robin")
+        chosen = {router.route("dig")[0].key for _ in range(4)}
+        assert handles[1].key not in chosen
+        assert chosen == {handles[0].key, handles[2].key}
+
+    def test_least_outstanding_picks_idle_backend(self):
+        handles = make_handles(3)
+        handles[0]._outstanding = 5
+        handles[1]._outstanding = 1
+        handles[2]._outstanding = 3
+        router = Router(FakePool(handles), policy="least_outstanding")
+        assert [b.key for b in router.route("dig")] == [
+            handles[1].key, handles[2].key, handles[0].key]
+
+    def test_model_affinity_is_stable_and_spreads_models(self):
+        handles = make_handles(5, models=())
+        router = Router(FakePool(handles), policy="model_affinity")
+        # same model always lands on the same backend while the fleet is stable
+        assert len({router.route("dig")[0].key for _ in range(10)}) == 1
+        # ...and different models spread over more than one backend
+        firsts = {router.route(m)[0].key for m in ("dig", "pos", "chk", "ner", "imc", "asr")}
+        assert len(firsts) > 1
+
+    def test_model_affinity_prefers_hot_backends(self):
+        handles = make_handles(4, models=())
+        # exactly one backend reports the model loaded; it must win over hashing
+        cold = sorted(handles, key=lambda b: -rendezvous_score("dig", b.key))
+        hot = cold[-1]  # worst hash rank, but it has the model hot
+        hot.mark_up(("dig",))
+        router = Router(FakePool(handles), policy="model_affinity")
+        assert router.route("dig")[0].key == hot.key
+
+    def test_model_affinity_fails_over_on_mark_down(self):
+        handles = make_handles(4, models=())
+        router = Router(FakePool(handles), policy="model_affinity")
+        primary = router.route("dig")[0]
+        primary.mark_down()
+        fallback = router.route("dig")[0]
+        assert fallback.key != primary.key
+        # recovery restores the original preference
+        primary.mark_up()
+        assert router.route("dig")[0].key == primary.key
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown routing policy"):
+            Router(FakePool(make_handles(1)), policy="random")
+
+    def test_empty_route_when_all_down(self):
+        handles = make_handles(2)
+        for handle in handles:
+            handle.mark_down()
+        router = Router(FakePool(handles), policy="round_robin")
+        assert router.route("dig") == []
+
+
+class TestRetryPolicy:
+    def test_delays_grow_and_cap(self):
+        policy = RetryPolicy(max_attempts=6, base_delay_s=0.01, max_delay_s=0.05,
+                             jitter_frac=0.0)
+        rng = random.Random(0)
+        delays = [policy.delay_s(k, rng) for k in range(5)]
+        assert delays == [0.01, 0.02, 0.04, 0.05, 0.05]
+
+    def test_jitter_stays_in_band(self):
+        policy = RetryPolicy(base_delay_s=0.02, jitter_frac=0.5)
+        rng = random.Random(7)
+        for attempt in range(4):
+            cap = min(0.02 * 2 ** attempt, policy.max_delay_s)
+            for _ in range(50):
+                d = policy.delay_s(attempt, rng)
+                assert cap * 0.5 <= d <= cap
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay_s=0.5, max_delay_s=0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter_frac=1.5)
+
+
+class TestMergeStats:
+    def test_counts_sum_and_means_weight(self):
+        a = {"pos": {"requests": 3.0, "inputs": 6.0, "mean_ms": 10.0,
+                     "p50_ms": 9.0, "p95_ms": 20.0, "p99_ms": 30.0, "qps": 5.0}}
+        b = {"pos": {"requests": 1.0, "inputs": 2.0, "mean_ms": 50.0,
+                     "p50_ms": 45.0, "p95_ms": 60.0, "p99_ms": 70.0, "qps": 2.0}}
+        merged = merge_stats([a, b])["pos"]
+        assert merged["requests"] == 4.0
+        assert merged["inputs"] == 8.0
+        assert merged["qps"] == 7.0
+        assert merged["backends"] == 2.0
+        assert merged["mean_ms"] == pytest.approx(20.0)  # (3*10 + 1*50) / 4
+        assert merged["p99_ms"] == pytest.approx(40.0)
+
+    def test_disjoint_models_pass_through(self):
+        merged = merge_stats([
+            {"dig": {"requests": 2.0, "mean_ms": 1.0}},
+            {"pos": {"requests": 5.0, "mean_ms": 3.0}},
+        ])
+        assert merged["dig"]["requests"] == 2.0
+        assert merged["pos"]["mean_ms"] == 3.0
+        assert merged["dig"]["backends"] == 1.0
+
+    def test_zero_request_snapshot_does_not_divide_by_zero(self):
+        merged = merge_stats([{"dig": {"requests": 0.0, "mean_ms": 0.0}}])
+        assert merged["dig"]["mean_ms"] == 0.0
+
+
+@pytest.fixture
+def fleet(registry):
+    """Three live backends behind a gateway, fast health checking."""
+    with ClusterLauncher(registry, backends=3) as cluster:
+        gateway = GatewayServer(
+            cluster.addresses, policy="round_robin",
+            retry=RetryPolicy(max_attempts=4, base_delay_s=0.01, max_delay_s=0.05),
+            health_interval_s=0.2, backend_timeout_s=5.0,
+        )
+        with gateway:
+            yield cluster, gateway
+
+
+class TestGatewayService:
+    def test_list_models_is_fleet_union(self, fleet):
+        _, gateway = fleet
+        with DjinnClient(*gateway.address) as cli:
+            assert cli.list_models() == ["dig", "pos"]
+
+    def test_infer_matches_local_forward(self, fleet, registry, rng):
+        _, gateway = fleet
+        x = rng.normal(size=(4, 1, 32, 32)).astype(np.float32)
+        with DjinnClient(*gateway.address) as cli:
+            np.testing.assert_allclose(
+                cli.infer("dig", x), registry.get("dig").forward(x), rtol=1e-5)
+
+    def test_round_robin_spreads_load_across_backends(self, fleet, rng):
+        cluster, gateway = fleet
+        x = rng.normal(size=(1, 300)).astype(np.float32)
+        with DjinnClient(*gateway.address) as cli:
+            for _ in range(6):
+                cli.infer("pos", x)
+        served = [srv.stats.requests("pos") for srv in cluster.servers]
+        assert sum(served) == 6
+        assert all(count == 2 for count in served)
+
+    def test_stats_aggregate_across_fleet(self, fleet, rng):
+        _, gateway = fleet
+        x = rng.normal(size=(2, 300)).astype(np.float32)
+        with DjinnClient(*gateway.address) as cli:
+            for _ in range(5):
+                cli.infer("pos", x)
+            stats = cli.stats()
+        assert stats["pos"]["requests"] == 5.0
+        assert stats["pos"]["inputs"] == 10.0
+        assert stats["pos"]["backends"] == 3.0  # round-robin touched everyone
+        assert stats["pos"]["p95_ms"] >= 0.0
+        # the gateway's own end-to-end accounting rides along
+        assert stats["gateway:pos"]["requests"] == 5.0
+
+    def test_model_error_not_retried(self, fleet, rng):
+        cluster, gateway = fleet
+        with DjinnClient(*gateway.address) as cli:
+            with pytest.raises(DjinnServiceError, match="not loaded"):
+                cli.infer("asr", np.zeros((1, 440), np.float32))
+        # a model-level error burns one backend attempt, not the whole budget
+        assert sum(srv.stats.requests("asr") for srv in cluster.servers) == 0
+
+    def test_killed_backend_marked_down_and_requests_survive(self, fleet, rng):
+        cluster, gateway = fleet
+        x = rng.normal(size=(1, 300)).astype(np.float32)
+        with DjinnClient(*gateway.address) as cli:
+            for _ in range(3):  # warm pooled connections to every backend
+                cli.infer("pos", x)
+            dead_host, dead_port = cluster.kill_backend(0)
+            # every request after the kill must still succeed (retry on survivors)
+            for _ in range(6):
+                assert cli.infer("pos", x).shape == (1, 45)
+        dead_key = f"{dead_host}:{dead_port}"
+        assert dead_key not in {b.key for b in gateway.pool.healthy()}
+        backend = gateway.pool.get(dead_key)
+        assert backend is not None and not backend.healthy
+
+    def test_kill_mid_run_under_concurrent_load(self, registry, rng):
+        """The acceptance scenario: a backend dies mid-run, no client errors.
+
+        Backends are device-paced (5 ms/request) so the run provably spans
+        the kill — without pacing the whole load can drain before the kill
+        lands and nothing would be exercised.
+        """
+        x = rng.normal(size=(1, 300)).astype(np.float32)
+        errors = []
+        done = []
+        with ClusterLauncher(registry, backends=3, service_floor_s=0.005) as cluster:
+            gateway = GatewayServer(
+                cluster.addresses, policy="round_robin",
+                retry=RetryPolicy(max_attempts=4, base_delay_s=0.01, max_delay_s=0.05),
+                health_interval_s=0.2, backend_timeout_s=5.0,
+            )
+            with gateway:
+
+                def client_loop(n):
+                    try:
+                        with DjinnClient(*gateway.address) as cli:
+                            for _ in range(n):
+                                out = cli.infer("pos", x)
+                                assert out.shape == (1, 45)
+                                done.append(1)
+                    except Exception as exc:  # noqa: BLE001 - recorded for the assert
+                        errors.append(exc)
+
+                threads = [threading.Thread(target=client_loop, args=(15,))
+                           for _ in range(3)]
+                for t in threads:
+                    t.start()
+                time.sleep(0.05)  # let the run get going, then yank a backend
+                dead_host, dead_port = cluster.kill_backend(1)
+                for t in threads:
+                    t.join(timeout=30)
+                assert not errors
+                assert sum(done) == 45
+                # the run outlived the kill, so some request hit the dead
+                # backend and was retried — which is what marked it down
+                backend = gateway.pool.get(f"{dead_host}:{dead_port}")
+                assert backend is not None and not backend.healthy
+
+    def test_all_backends_down_surfaces_service_error(self, registry, rng):
+        with ClusterLauncher(registry, backends=2) as cluster:
+            gateway = GatewayServer(
+                cluster.addresses,
+                retry=RetryPolicy(max_attempts=2, base_delay_s=0.01, max_delay_s=0.02),
+                health_interval_s=5.0,  # keep the prober out of the way
+            )
+            with gateway:
+                with DjinnClient(*gateway.address) as cli:
+                    cluster.kill_backend(0)
+                    cluster.kill_backend(1)
+                    with pytest.raises(DjinnServiceError, match="failed after 2 attempts"):
+                        cli.infer("pos", rng.normal(size=(1, 300)).astype(np.float32))
+
+
+class TestHealthChecker:
+    def test_probe_marks_down_then_up_again(self, registry):
+        server = DjinnServer(registry).start()
+        host, port = server.address
+        pool = BackendPool([(host, port)], timeout_s=2.0)
+        checker = HealthChecker(pool, interval_s=0.1, probe_timeout_s=2.0)
+        backend = pool.backends[0]
+        assert checker.probe(backend)
+        assert backend.models == ("dig", "pos")
+        server.stop()
+        assert not checker.probe(backend)
+        assert not backend.healthy
+        # a replacement instance on the same port brings it back
+        server2 = DjinnServer(registry, host=host, port=port).start()
+        try:
+            assert checker.probe(backend)
+            assert backend.healthy
+        finally:
+            server2.stop()
+            pool.close()
+
+    def test_background_prober_recovers_fleet_state(self, registry):
+        server = DjinnServer(registry).start()
+        host, port = server.address
+        pool = BackendPool([(host, port)], timeout_s=2.0)
+        checker = HealthChecker(pool, interval_s=0.05, probe_timeout_s=2.0).start()
+        try:
+            server.stop()
+            deadline = time.time() + 5
+            while pool.backends[0].healthy and time.time() < deadline:
+                time.sleep(0.02)
+            assert not pool.backends[0].healthy
+        finally:
+            checker.stop()
+            pool.close()
+
+
+class TestClusterLauncher:
+    def test_registry_factory_builds_per_backend(self):
+        built = []
+
+        def factory(index):
+            reg = ModelRegistry()
+            reg.register_spec("pos", senna("pos"), seed=index)
+            built.append(index)
+            return reg
+
+        with ClusterLauncher(factory, backends=2) as cluster:
+            assert built == [0, 1]
+            assert len(cluster.addresses) == 2
+
+    def test_validation_and_double_start(self, registry):
+        with pytest.raises(ValueError, match="at least one backend"):
+            ClusterLauncher(registry, backends=0)
+        cluster = ClusterLauncher(registry, backends=1).start()
+        try:
+            with pytest.raises(RuntimeError, match="already started"):
+                cluster.start()
+        finally:
+            cluster.stop()
+
+
+class TestClientReconnect:
+    def test_reconnect_after_server_restart(self, registry, rng):
+        server = DjinnServer(registry).start()
+        host, port = server.address
+        client = DjinnClient(host, port, timeout_s=5.0)
+        x = rng.normal(size=(1, 300)).astype(np.float32)
+        assert client.infer("pos", x).shape == (1, 45)
+        server.stop()
+        with pytest.raises(DjinnConnectionError):
+            client.infer("pos", x)
+        # reconnect with nothing listening fails too — and drops the dead
+        # socket, releasing the port for the replacement instance
+        with pytest.raises(DjinnConnectionError):
+            client.reconnect()
+        time.sleep(0.05)
+        server2 = DjinnServer(registry, host=host, port=port).start()
+        try:
+            client.reconnect()
+            assert client.infer("pos", x).shape == (1, 45)
+        finally:
+            client.close()
+            server2.stop()
+
+    def test_connection_error_is_both_service_error_and_oserror(self):
+        import socket as _socket
+
+        with _socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            free_port = probe.getsockname()[1]
+        with pytest.raises(DjinnServiceError):
+            DjinnClient("127.0.0.1", free_port, timeout_s=0.5)
+        with pytest.raises(OSError):
+            DjinnClient("127.0.0.1", free_port, timeout_s=0.5)
+
+
+class TestServiceStatsExtensions:
+    def test_snapshot_has_p95_and_qps(self):
+        from repro.core import ServiceStats
+
+        stats = ServiceStats()
+        for i in range(20):
+            stats.record("pos", 0.01)
+        snap = stats.snapshot()["pos"]
+        assert snap["p95_ms"] == pytest.approx(10.0)
+        assert snap["qps"] > 0.0
+        assert snap["p50_ms"] <= snap["p95_ms"] <= snap["p99_ms"]
+
+    def test_single_sample_has_zero_qps(self):
+        from repro.core import ServiceStats
+
+        stats = ServiceStats()
+        stats.record("dig", 0.005)
+        assert stats.snapshot()["dig"]["qps"] == 0.0
+
+    def test_reset_clears_everything(self):
+        from repro.core import ServiceStats
+
+        stats = ServiceStats()
+        stats.record("dig", 0.005)
+        stats.reset()
+        assert stats.snapshot() == {}
+        assert stats.requests("dig") == 0

@@ -6,6 +6,8 @@ import numpy as np
 import pytest
 
 from repro.core.protocol import (
+    MAX_NAME_BYTES,
+    MAX_NDIM,
     Message,
     MessageType,
     ProtocolError,
@@ -123,3 +125,69 @@ class TestErrors:
         out = roundtrip(sock_pair, Message(MessageType.INFER_RESPONSE,
                                            tensor=np.ones((2, 2), np.float32)))
         out.tensor[0, 0] = 5.0  # must not raise (frombuffer would be read-only)
+
+
+class TestHeaderBounds:
+    """A corrupt header must not drive huge reads — it must fail fast."""
+
+    @staticmethod
+    def header(name_len=0, ndim=0, mtype=4, version=1, magic=b"DJNN"):
+        import struct
+        return struct.pack("<4sBBHB", magic, version, mtype, name_len, ndim)
+
+    def test_name_len_over_bound_rejected(self, sock_pair):
+        a, b = sock_pair
+        a.sendall(self.header(name_len=0xFFFF))
+        with pytest.raises(ProtocolError, match="name too long"):
+            recv_message(b)
+
+    def test_ndim_over_bound_rejected(self, sock_pair):
+        a, b = sock_pair
+        a.sendall(self.header(ndim=255))
+        with pytest.raises(ProtocolError, match="rank too large"):
+            recv_message(b)
+
+    def test_bounds_are_inclusive(self, sock_pair):
+        """A frame right at the limits still parses (no off-by-one)."""
+        msg = Message(MessageType.INFER_REQUEST, name="x" * MAX_NAME_BYTES,
+                      tensor=np.zeros((1,) * MAX_NDIM, np.float32))
+        out = roundtrip(sock_pair, msg)
+        assert out.name == "x" * MAX_NAME_BYTES
+        assert out.tensor.shape == (1,) * MAX_NDIM
+
+    def test_send_side_rejects_oversized_name(self, sock_pair):
+        a, _ = sock_pair
+        with pytest.raises(ProtocolError, match="name too long"):
+            send_message(a, Message(MessageType.LIST_REQUEST,
+                                    name="x" * (MAX_NAME_BYTES + 1)))
+
+    def test_send_side_rejects_oversized_rank(self, sock_pair):
+        a, _ = sock_pair
+        with pytest.raises(ProtocolError, match="rank too large"):
+            send_message(a, Message(MessageType.INFER_REQUEST, name="m",
+                                    tensor=np.zeros((1,) * (MAX_NDIM + 1), np.float32)))
+
+    def test_fuzzed_headers_never_hang_or_overallocate(self, sock_pair):
+        """Random corrupt headers: every outcome is a clean ProtocolError or
+        ConnectionError, raised from the header alone (socket then closed)."""
+        import struct
+
+        rng = np.random.default_rng(0xFADE)
+        for _ in range(50):
+            a, b = __import__("socket").socketpair()
+            try:
+                name_len = int(rng.integers(MAX_NAME_BYTES + 1, 0xFFFF + 1))
+                ndim = int(rng.integers(MAX_NDIM + 1, 256))
+                corrupt = self.header(
+                    name_len=name_len if rng.random() < 0.5 else 0,
+                    ndim=ndim if rng.random() < 0.5 else 0,
+                    mtype=int(rng.integers(0, 256)),
+                    version=int(rng.integers(0, 256)),
+                    magic=bytes(rng.integers(0, 256, size=4, dtype=np.uint8)),
+                )
+                a.sendall(corrupt)
+                a.close()
+                with pytest.raises((ProtocolError, ConnectionError)):
+                    recv_message(b)
+            finally:
+                b.close()
