@@ -3,10 +3,19 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-gateway bench-all
+.PHONY: test trace-demo bench-gateway bench-all
 
 test:
 	$(PY) -m pytest -x -q
+
+# Trace one batch of requests through gateway + fleet with per-layer
+# profiling on; writes a Chrome trace (chrome://tracing / Perfetto) and the
+# Prometheus-style metrics exposition into benchmarks/results/, and fails
+# if span coverage or the exposition format regresses.
+trace-demo:
+	$(PY) -m repro.cli trace --backends 2 --batch 8 --requests 6 \
+		--out benchmarks/results/trace_demo.json \
+		--metrics-out benchmarks/results/trace_demo_metrics.prom --check
 
 # Reproduce the Fig 11-shaped throughput-vs-replicas curve on the real
 # gateway; writes benchmarks/results/gateway_scaling.txt.

@@ -13,6 +13,14 @@ Commands
     Launch an in-process fleet of N DjiNN backends behind a sharded,
     fault-tolerant gateway speaking the same protocol (clients and
     ``djinn query`` work unchanged against the gateway port).
+``djinn metrics --host H --port P [--json]``
+    Fetch a live server's (or gateway's fleet-merged) metrics registry and
+    print it as Prometheus-style text exposition.
+``djinn trace [--backends N] [--requests K] [--out trace.json]``
+    Run a small in-process fleet behind a gateway with tracing and
+    per-layer profiling on, send traced queries, print the span tree, and
+    dump a Chrome trace (chrome://tracing / Perfetto) plus the metrics
+    exposition — the paper's Fig-4 breakdown, live.
 ``djinn plan``
     Per-GPU capability and WSC design comparison (the capacity-planning
     example, in command form).
@@ -158,6 +166,111 @@ def cmd_gateway(args) -> int:
     return 0
 
 
+def cmd_metrics(args) -> int:
+    import json
+
+    from .core import DjinnClient
+
+    with DjinnClient(args.host, args.port) as client:
+        if args.json:
+            print(json.dumps(client.metrics(), indent=2, sort_keys=True))
+        else:
+            sys.stdout.write(client.metrics_text())
+    return 0
+
+
+#: span names a healthy traced request must produce (``djinn trace --check``)
+REQUIRED_SPANS = (
+    "client.infer", "gateway.infer", "gateway.queue", "gateway.backend",
+    "backend.infer", "backend.queue", "batch.assemble", "net.forward",
+)
+
+
+def cmd_trace(args) -> int:
+    import os
+
+    from .core import BatchPolicy, DjinnClient
+    from .gateway import ClusterLauncher, GatewayServer
+    from .obs import coverage, format_trace, get_tracer, parse_exposition
+
+    names = [m for m in args.models.split(",") if m]
+    registry = _build_registry(names)
+    tracer = get_tracer()
+    tracer.clear()
+    tracer.enable()
+    rng = np.random.default_rng(args.seed)
+    cluster = ClusterLauncher(
+        registry, backends=args.backends,
+        batching=BatchPolicy(max_batch=args.batch, timeout_ms=args.timeout_ms),
+        profile_layers=True,
+    )
+    try:
+        with cluster:
+            gateway = GatewayServer(cluster.addresses)
+            gateway.start()
+            try:
+                host, port = gateway.address
+                print(f"fleet of {len(cluster)} backends behind {host}:{port}; "
+                      f"sending {args.requests} traced request(s)...")
+                with DjinnClient(host, port) as client:
+                    for i in range(args.requests):
+                        model = names[i % len(names)]
+                        shape = (2,) + tuple(registry.get(model).input_shape)
+                        client.infer(model, rng.normal(size=shape).astype(np.float32))
+                    metrics_text = client.metrics_text()
+            finally:
+                gateway.stop()
+    finally:
+        tracer.disable()
+
+    trace_ids = tracer.trace_ids()
+    if not trace_ids:
+        print("no traces captured", file=sys.stderr)
+        return 1
+    spans = tracer.spans(trace_ids[-1])
+    cov = coverage(spans)
+    print(f"\n--- last trace ({len(spans)} spans, "
+          f"coverage {cov:.1%} of client-observed wall time) ---")
+    print(format_trace(spans))
+
+    if args.out:
+        os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
+        tracer.dump_chrome(args.out)
+        print(f"\nChrome trace ({len(trace_ids)} traces) -> {args.out}")
+    if args.metrics_out:
+        os.makedirs(os.path.dirname(args.metrics_out) or ".", exist_ok=True)
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            fh.write(metrics_text)
+        print(f"metrics exposition -> {args.metrics_out}")
+
+    if args.check:
+        failures = []
+        seen = {span.name for span in spans}
+        for required in REQUIRED_SPANS:
+            if required not in seen:
+                failures.append(f"missing span {required!r}")
+        if not any(name.startswith("layer.") for name in seen):
+            failures.append("missing per-layer spans (layer.*)")
+        if cov < 0.95:
+            failures.append(f"trace coverage {cov:.1%} < 95%")
+        try:
+            samples = parse_exposition(metrics_text)
+        except ValueError as exc:
+            failures.append(f"exposition does not parse: {exc}")
+        else:
+            for metric in ("djinn_requests_total", "djinn_request_latency_seconds_bucket",
+                           "gateway_requests_total"):
+                if metric not in samples:
+                    failures.append(f"exposition lacks {metric}")
+        if failures:
+            print("\nCHECK FAILED:\n  " + "\n  ".join(failures), file=sys.stderr)
+            return 1
+        print("\ncheck ok: all required spans present, coverage >= 95%, "
+              "exposition parses")
+    tracer.clear()
+    return 0
+
+
 def cmd_plan(_args) -> int:
     from .gpusim import all_app_models, select_batch
     from .gpusim.mps import service_segments, simulate_concurrent
@@ -222,11 +335,37 @@ def main(argv=None) -> int:
     gateway.add_argument("--floor-ms", type=float, default=0.0,
                          help="device-pace each backend (min service ms per batch)")
 
+    metrics = sub.add_parser(
+        "metrics", help="fetch and print a live server's metrics exposition")
+    metrics.add_argument("--host", default="127.0.0.1")
+    metrics.add_argument("--port", type=int, default=7889)
+    metrics.add_argument("--json", action="store_true",
+                         help="print the raw registry dump instead of text exposition")
+
+    trace = sub.add_parser(
+        "trace", help="run a traced fleet demo and dump a Chrome trace")
+    trace.add_argument("--backends", type=int, default=2)
+    trace.add_argument("--models", default="dig,pos", help="comma-separated model names")
+    trace.add_argument("--requests", type=int, default=4,
+                       help="traced queries to send through the gateway")
+    trace.add_argument("--batch", type=int, default=8,
+                       help="dynamic batching max batch on each backend")
+    trace.add_argument("--timeout-ms", type=float, default=2.0)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--out", default="trace.json",
+                       help="Chrome trace-event JSON output path ('' to skip)")
+    trace.add_argument("--metrics-out", default="",
+                       help="also write the fleet metrics exposition here")
+    trace.add_argument("--check", action="store_true",
+                       help="exit nonzero unless required spans, >=95%% coverage, "
+                            "and parseable exposition are all present")
+
     sub.add_parser("plan", help="capacity and TCO planning summary")
 
     args = parser.parse_args(argv)
     return {"models": cmd_models, "serve": cmd_serve, "query": cmd_query,
-            "gateway": cmd_gateway, "plan": cmd_plan}[args.command](args)
+            "gateway": cmd_gateway, "metrics": cmd_metrics, "trace": cmd_trace,
+            "plan": cmd_plan}[args.command](args)
 
 
 if __name__ == "__main__":  # pragma: no cover

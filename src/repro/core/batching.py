@@ -9,6 +9,12 @@ forward pass and scatter the results back to the waiting requests.
 On the numpy substrate the win is BLAS efficiency rather than GPU occupancy,
 but the mechanism (and its latency/throughput trade-off, which
 ``benchmarks/bench_ablation_batch_policy.py`` sweeps) is the same.
+
+Observability: requests that arrive with trace context get ``backend.queue``
+(enqueue → batch execution start) and ``batch.assemble`` spans, the batch's
+single forward pass is replayed into every participating trace (optionally
+with per-layer sub-spans), and executed batch sizes feed a
+``djinn_batch_size`` histogram when a metrics registry is attached.
 """
 
 from __future__ import annotations
@@ -17,13 +23,19 @@ import threading
 import time
 from dataclasses import dataclass
 from queue import Empty, Queue
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..obs.metrics import MetricsRegistry
+from ..obs.profile import LayerTimer
+from ..obs.trace import Tracer, get_tracer
 from .registry import ModelRegistry
 
 __all__ = ["BatchPolicy", "BatchingExecutor"]
+
+#: Bucket bounds for the executed-batch-size histogram (inputs per forward).
+BATCH_SIZE_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
 
 
 @dataclass(frozen=True)
@@ -43,13 +55,18 @@ class BatchPolicy:
 class _Pending:
     """One submitted request waiting for its slice of a batched result."""
 
-    __slots__ = ("inputs", "event", "result", "error")
+    __slots__ = ("inputs", "event", "result", "error", "trace", "enqueue_s")
 
-    def __init__(self, inputs: np.ndarray):
+    def __init__(self, inputs: np.ndarray,
+                 trace: Optional[Tuple[int, int]] = None,
+                 enqueue_s: float = 0.0):
         self.inputs = inputs
         self.event = threading.Event()
         self.result: Optional[np.ndarray] = None
         self.error: Optional[Exception] = None
+        #: (trace_id, parent_span_id) carried from the requesting connection
+        self.trace = trace
+        self.enqueue_s = enqueue_s
 
 
 class BatchingExecutor:
@@ -57,14 +74,30 @@ class BatchingExecutor:
 
     ``service_floor_s`` imposes a minimum wall-clock time per executed
     batch (compute + GIL-released sleep), pacing each worker like a serial
-    device — see :class:`repro.core.server.DjinnServer`.
+    device — see :class:`repro.core.server.DjinnServer`.  ``clock`` is the
+    monotonic time source shared with the owning server; ``tracer``,
+    ``metrics`` and ``profile_layers`` wire the executor into that server's
+    observability surfaces.
     """
 
     def __init__(self, registry: ModelRegistry, policy: BatchPolicy = BatchPolicy(),
-                 service_floor_s: float = 0.0):
+                 service_floor_s: float = 0.0,
+                 clock: Callable[[], float] = time.monotonic,
+                 tracer: Optional[Tracer] = None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 profile_layers: bool = False):
         self.registry = registry
         self.policy = policy
         self.service_floor_s = service_floor_s
+        self.clock = clock
+        self.tracer = tracer if tracer is not None else get_tracer()
+        self.profile_layers = profile_layers
+        self._batch_size = (
+            metrics.histogram("djinn_batch_size",
+                              "Inputs per executed forward pass, per model.",
+                              ("model",), buckets=BATCH_SIZE_BUCKETS)
+            if metrics is not None else None
+        )
         self._queues: Dict[str, Queue] = {}
         self._workers: Dict[str, threading.Thread] = {}
         self._lock = threading.Lock()
@@ -102,10 +135,17 @@ class BatchingExecutor:
             worker.join(timeout=5.0)
 
     # -------------------------------------------------------------- submit
-    def submit(self, model: str, inputs: np.ndarray) -> np.ndarray:
-        """Enqueue ``inputs`` (n, *input_shape); blocks until results ready."""
+    def submit(self, model: str, inputs: np.ndarray,
+               trace: Optional[Tuple[int, int]] = None) -> np.ndarray:
+        """Enqueue ``inputs`` (n, *input_shape); blocks until results ready.
+
+        ``trace`` is an optional ``(trace_id, parent_span_id)`` pair; when
+        present, the request's queue wait and the batch it lands in are
+        recorded as spans of that trace.
+        """
         queue = self._ensure_worker(model)
-        pending = _Pending(np.ascontiguousarray(inputs, dtype=np.float32))
+        pending = _Pending(np.ascontiguousarray(inputs, dtype=np.float32),
+                           trace, self.clock())
         queue.put(pending)
         pending.event.wait()
         if pending.error is not None:
@@ -121,9 +161,9 @@ class BatchingExecutor:
             return []
         batch = [first]
         rows = len(first.inputs)
-        deadline = time.monotonic() + self.policy.timeout_ms / 1e3
+        deadline = self.clock() + self.policy.timeout_ms / 1e3
         while rows < self.policy.max_batch:
-            remaining = deadline - time.monotonic()
+            remaining = deadline - self.clock()
             if remaining <= 0:
                 break
             try:
@@ -139,19 +179,47 @@ class BatchingExecutor:
 
     def _run_worker(self, model: str, queue: Queue) -> None:
         net = self.registry.get(model)
+        tracer = self.tracer
         while True:
             batch = self._collect(queue)
             if not batch:
                 return
             try:
-                start = time.monotonic()
+                start = self.clock()
+                traced = ([p for p in batch if p.trace is not None]
+                          if tracer.enabled else [])
+                for pending in traced:
+                    tid, parent = pending.trace
+                    tracer.add_span("backend.queue", pending.enqueue_s, start,
+                                    tid, parent, category="queue", model=model)
                 stacked = np.concatenate([p.inputs for p in batch], axis=0)
-                outputs = net.forward(stacked)
+                assembled = self.clock()
+                for pending in traced:
+                    tid, parent = pending.trace
+                    tracer.add_span("batch.assemble", start, assembled,
+                                    tid, parent, category="batch",
+                                    batch_size=len(stacked),
+                                    requests=len(batch))
+                timer = (LayerTimer(self.clock)
+                         if traced and self.profile_layers else None)
+                forward_start = self.clock()
+                outputs = net.forward(stacked, timer=timer)
+                forward_end = self.clock()
+                for pending in traced:
+                    tid, parent = pending.trace
+                    fspan = tracer.add_span("net.forward", forward_start,
+                                            forward_end, tid, parent,
+                                            category="compute", model=model,
+                                            batch_size=len(stacked))
+                    if timer is not None:
+                        timer.emit_spans(tracer, tid, fspan.span_id)
                 if self.service_floor_s:
-                    remaining = self.service_floor_s - (time.monotonic() - start)
+                    remaining = self.service_floor_s - (self.clock() - start)
                     if remaining > 0:
                         time.sleep(remaining)
                 self.executed_batches[model].append(len(stacked))
+                if self._batch_size is not None:
+                    self._batch_size.labels(model=model).observe(len(stacked))
                 offset = 0
                 for pending in batch:
                     n = len(pending.inputs)

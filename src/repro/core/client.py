@@ -4,10 +4,12 @@ from __future__ import annotations
 
 import json
 import socket
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..obs.metrics import render_exposition
+from ..obs.trace import Tracer, get_tracer
 from ..tonic.app import DnnBackend
 from .protocol import Message, MessageType, recv_message, send_message
 
@@ -34,10 +36,18 @@ class DjinnClient:
 
     One client maps to one TCP connection; requests on it are serialized.
     Load generators open one client per concurrent stream.
+
+    ``tracer`` defaults to the process tracer (disabled unless enabled);
+    while it is enabled each :meth:`infer` opens a ``client.infer`` span and
+    sends its trace context on the wire (protocol v2), so the server's spans
+    join the same trace.  With the tracer disabled, frames are byte-identical
+    to the pre-trace protocol.
     """
 
-    def __init__(self, host: str, port: int, timeout_s: float = 30.0):
+    def __init__(self, host: str, port: int, timeout_s: float = 30.0,
+                 tracer: Optional[Tracer] = None):
         self._host, self._port, self._timeout_s = host, port, timeout_s
+        self._tracer = tracer if tracer is not None else get_tracer()
         self._sock = self._connect()
         self._closed = False
 
@@ -99,9 +109,18 @@ class DjinnClient:
     def infer(self, model: str, inputs: np.ndarray) -> np.ndarray:
         """Run a batch through ``model`` on the service."""
         inputs = np.ascontiguousarray(inputs, dtype=np.float32)
-        response = self._roundtrip(
-            Message(MessageType.INFER_REQUEST, name=model, tensor=inputs)
-        )
+        tracer = self._tracer
+        if tracer.enabled:
+            with tracer.span("client.infer", category="client", model=model,
+                             backend=f"{self._host}:{self._port}") as span:
+                response = self._roundtrip(
+                    Message(MessageType.INFER_REQUEST, name=model, tensor=inputs,
+                            trace_id=span.trace_id, span_id=span.span_id)
+                )
+        else:
+            response = self._roundtrip(
+                Message(MessageType.INFER_REQUEST, name=model, tensor=inputs)
+            )
         if response.type != MessageType.INFER_RESPONSE or response.tensor is None:
             raise DjinnServiceError(f"unexpected response type {response.type}")
         return response.tensor
@@ -113,6 +132,17 @@ class DjinnClient:
     def stats(self) -> Dict[str, Dict[str, float]]:
         response = self._roundtrip(Message(MessageType.STATS_REQUEST))
         return json.loads(response.text) if response.text else {}
+
+    def metrics(self) -> dict:
+        """The server's metrics-registry dump (see ``repro.obs.metrics``)."""
+        response = self._roundtrip(Message(MessageType.METRICS_REQUEST))
+        if response.type != MessageType.METRICS_RESPONSE:
+            raise DjinnServiceError(f"unexpected response type {response.type}")
+        return json.loads(response.text) if response.text else {"metrics": {}}
+
+    def metrics_text(self) -> str:
+        """The server's metrics as Prometheus-style text exposition."""
+        return render_exposition(self.metrics())
 
     def shutdown_server(self) -> None:
         """Ask the server to stop (used by examples; tests stop it directly)."""

@@ -60,13 +60,13 @@ def run_closed_loop_load(
             barrier.wait()  # start all clients together
             for i in range(requests_per_client):
                 batch = make_input(cid * requests_per_client + i)
-                start = time.perf_counter()
+                start = time.monotonic()
                 try:
                     client.infer(model, batch)
                 except Exception:
                     errors[cid] += 1
                     continue
-                latencies[cid].append(time.perf_counter() - start)
+                latencies[cid].append(time.monotonic() - start)
                 inputs_sent[cid] += len(batch)
                 if think_time_s:
                     time.sleep(think_time_s)
@@ -76,10 +76,10 @@ def run_closed_loop_load(
     for t in threads:
         t.start()
     barrier.wait()
-    start = time.perf_counter()
+    start = time.monotonic()
     for t in threads:
         t.join()
-    duration = time.perf_counter() - start
+    duration = time.monotonic() - start
 
     flat = np.asarray([lat for per in latencies for lat in per])
     total = int(flat.size)

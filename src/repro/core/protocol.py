@@ -1,4 +1,4 @@
-"""DjiNN wire protocol: a custom binary protocol over TCP/IP.
+r"""DjiNN wire protocol: a custom binary protocol over TCP/IP.
 
 The paper (§3.1) describes DjiNN as "a standalone service accepting and
 processing external requests ... using a custom socket protocol over
@@ -8,14 +8,22 @@ message type, a model name, and a float32 tensor payload.
 Frame layout (all integers little-endian)::
 
     magic     4 bytes  b"DJNN"
-    version   u8
+    version   u8       1 (plain) or 2 (carries trace context)
     type      u8       MessageType
     name_len  u16      model-name byte count
     ndim      u8       payload tensor rank (0 = no tensor)
+    trace_id  u64      \ only when version == 2: request-scoped trace
+    span_id   u64      / context (sender's span, the receiver's parent)
     dims      u32 * ndim
     body_len  u64      payload byte count (tensor data or UTF-8 text)
     name      name_len bytes (UTF-8)
     body      body_len bytes
+
+The trace context is optional and backward compatible: senders emit the
+version-1 layout unless a message actually carries trace IDs, so untraced
+traffic is byte-identical to the original protocol and old peers
+interoperate unchanged.  A version-2 frame sent to a pre-trace peer fails
+loudly (version check) rather than desyncing the stream.
 """
 
 from __future__ import annotations
@@ -37,13 +45,20 @@ __all__ = [
     "MAX_BODY_BYTES",
     "MAX_NAME_BYTES",
     "MAX_NDIM",
+    "VERSION",
+    "TRACE_VERSION",
 ]
 
 MAGIC = b"DJNN"
 VERSION = 1
+#: Version emitted when a frame carries trace context (see module docstring).
+TRACE_VERSION = 2
 _HEADER = struct.Struct("<4sBBHB")
+_TRACE = struct.Struct("<QQ")
 _DIM = struct.Struct("<I")
 _BODY_LEN = struct.Struct("<Q")
+
+_MAX_ID = (1 << 64) - 1
 
 #: Upper bound on a single payload (guards against corrupt frames).
 MAX_BODY_BYTES = 1 << 31
@@ -66,16 +81,26 @@ class MessageType(IntEnum):
     STATS_REQUEST = 6
     STATS_RESPONSE = 7    # body = UTF-8 JSON service statistics
     SHUTDOWN = 8
+    METRICS_REQUEST = 9
+    METRICS_RESPONSE = 10  # body = UTF-8 JSON MetricsRegistry dump
 
 
 @dataclass
 class Message:
-    """One protocol frame."""
+    """One protocol frame.
+
+    ``trace_id``/``span_id`` are the optional request-scoped trace context
+    (0 = absent).  A request carries the sender's span as ``span_id``; the
+    receiver parents its own spans under it and echoes the context back on
+    the response.
+    """
 
     type: MessageType
     name: str = ""
     tensor: Optional[np.ndarray] = None
     text: str = ""
+    trace_id: int = 0
+    span_id: int = 0
 
     def body(self) -> bytes:
         if self.tensor is not None:
@@ -95,8 +120,17 @@ def send_message(sock: socket.socket, message: Message) -> None:
     body = message.body()
     if len(body) > MAX_BODY_BYTES:
         raise ProtocolError(f"payload too large: {len(body)} bytes")
-    header = _HEADER.pack(MAGIC, VERSION, int(message.type), len(name), len(dims))
+    traced = bool(message.trace_id or message.span_id)
+    if traced and not (0 <= message.trace_id <= _MAX_ID
+                       and 0 <= message.span_id <= _MAX_ID):
+        raise ProtocolError(
+            f"trace context out of u64 range: "
+            f"({message.trace_id}, {message.span_id})")
+    version = TRACE_VERSION if traced else VERSION
+    header = _HEADER.pack(MAGIC, version, int(message.type), len(name), len(dims))
     parts = [header]
+    if traced:
+        parts.append(_TRACE.pack(message.trace_id, message.span_id))
     parts.extend(_DIM.pack(d) for d in dims)
     parts.append(_BODY_LEN.pack(len(body)))
     parts.append(name)
@@ -121,7 +155,7 @@ def recv_message(sock: socket.socket) -> Message:
     magic, version, mtype, name_len, ndim = _HEADER.unpack(_recv_exact(sock, _HEADER.size))
     if magic != MAGIC:
         raise ProtocolError(f"bad magic {magic!r}")
-    if version != VERSION:
+    if version not in (VERSION, TRACE_VERSION):
         raise ProtocolError(f"unsupported protocol version {version}")
     # Bound the variable-length fields *before* reading them, so a corrupt
     # header can't drive huge _recv_exact allocations.
@@ -129,6 +163,9 @@ def recv_message(sock: socket.socket) -> Message:
         raise ProtocolError(f"model name too long: {name_len} bytes")
     if ndim > MAX_NDIM:
         raise ProtocolError(f"tensor rank too large: {ndim}")
+    trace_id = span_id = 0
+    if version == TRACE_VERSION:
+        trace_id, span_id = _TRACE.unpack(_recv_exact(sock, _TRACE.size))
     dims = tuple(
         _DIM.unpack(_recv_exact(sock, _DIM.size))[0] for _ in range(ndim)
     )
@@ -149,5 +186,7 @@ def recv_message(sock: socket.socket) -> Message:
                 f"tensor dims {dims} imply {expected} bytes, frame has {body_len}"
             )
         tensor = np.frombuffer(body, dtype=np.float32).reshape(dims).copy()
-        return Message(type=mtype, name=name, tensor=tensor)
-    return Message(type=mtype, name=name, text=body.decode("utf-8"))
+        return Message(type=mtype, name=name, tensor=tensor,
+                       trace_id=trace_id, span_id=span_id)
+    return Message(type=mtype, name=name, text=body.decode("utf-8"),
+                   trace_id=trace_id, span_id=span_id)

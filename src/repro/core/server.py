@@ -22,8 +22,12 @@ import json
 import socket
 import threading
 import time
-from typing import Optional, Tuple
+from contextlib import nullcontext
+from typing import Callable, Optional, Tuple
 
+from ..obs.metrics import MetricsRegistry
+from ..obs.profile import LayerTimer
+from ..obs.trace import Tracer, get_tracer
 from .batching import BatchingExecutor, BatchPolicy
 from .protocol import Message, MessageType, ProtocolError, recv_message, send_message
 from .registry import ModelRegistry
@@ -187,6 +191,18 @@ class DjinnServer(TcpServiceBase):
         it paces this instance like a backend whose latency is dominated by
         an attached device (the paper's one-GPU-per-instance setup, §5.2)
         rather than by host CPU.  ``0.0`` (default) disables pacing.
+    clock:
+        Monotonic time source used for every latency measurement and window
+        stamp on this server (injected for testability; the stack
+        standardizes on ``time.monotonic``).
+    tracer:
+        Span collector for requests that arrive with trace context;
+        defaults to the process tracer, which is disabled until something
+        (e.g. ``djinn trace``) enables it.
+    profile_layers:
+        When True *and* a request is traced, time each network layer of its
+        forward pass and attach ``layer.*`` spans (the Fig-4 breakdown).
+        Off by default; untraced/unprofiled requests run the original loop.
     """
 
     def __init__(
@@ -196,15 +212,27 @@ class DjinnServer(TcpServiceBase):
         port: int = 0,
         batching: Optional[BatchPolicy] = None,
         service_floor_s: float = 0.0,
+        clock: Callable[[], float] = time.monotonic,
+        tracer: Optional[Tracer] = None,
+        profile_layers: bool = False,
     ):
         super().__init__(host=host, port=port)
         if service_floor_s < 0:
             raise ValueError(f"service_floor_s must be >= 0, got {service_floor_s}")
         self.registry = registry
-        self.stats = ServiceStats()
+        self._clock = clock
+        self.tracer = tracer if tracer is not None else get_tracer()
+        self.profile_layers = profile_layers
+        self.metrics = MetricsRegistry()
+        self.stats = ServiceStats(clock=clock, registry=self.metrics)
+        self._errors = self.metrics.counter(
+            "djinn_errors_total", "Requests rejected, per model and reason.",
+            ("model", "reason"))
         self._floor_s = service_floor_s
         self._executor = (
-            BatchingExecutor(registry, batching, service_floor_s=service_floor_s)
+            BatchingExecutor(registry, batching, service_floor_s=service_floor_s,
+                             clock=clock, tracer=self.tracer,
+                             metrics=self.metrics, profile_layers=profile_layers)
             if batching else None
         )
 
@@ -229,6 +257,13 @@ class DjinnServer(TcpServiceBase):
                 Message(MessageType.STATS_RESPONSE, text=json.dumps(self.stats.snapshot())),
             )
             return True
+        if request.type == MessageType.METRICS_REQUEST:
+            self._safe_send(
+                conn,
+                Message(MessageType.METRICS_RESPONSE,
+                        text=json.dumps(self.metrics.dump())),
+            )
+            return True
         if request.type == MessageType.SHUTDOWN:
             self._safe_send(conn, Message(MessageType.SHUTDOWN))
             threading.Thread(target=self.stop, daemon=True).start()
@@ -239,29 +274,64 @@ class DjinnServer(TcpServiceBase):
         return True
 
     def _handle_infer(self, conn: socket.socket, request: Message) -> None:
-        start = time.perf_counter()
-        try:
-            if request.tensor is None:
-                raise ValueError("inference request carries no tensor")
-            net = self.registry.get(request.name)
-            inputs = request.tensor
-            if inputs.shape[1:] != net.input_shape:
-                raise ValueError(
-                    f"model {request.name!r} expects inputs of shape "
-                    f"(n, {', '.join(map(str, net.input_shape))}), got {inputs.shape}"
-                )
-            if self._executor is not None:
-                outputs = self._executor.submit(request.name, inputs)
-            else:
-                outputs = net.forward(inputs)
-                if self._floor_s:
-                    remaining = self._floor_s - (time.perf_counter() - start)
-                    if remaining > 0:
-                        time.sleep(remaining)
-        except (KeyError, ValueError) as exc:
-            self._safe_send(conn, Message(MessageType.ERROR, text=str(exc)))
-            return
-        self.stats.record(request.name, time.perf_counter() - start, inputs=len(inputs))
-        self._safe_send(
-            conn, Message(MessageType.INFER_RESPONSE, name=request.name, tensor=outputs)
+        clock = self._clock
+        tracer = self.tracer
+        traced = bool(request.trace_id) and tracer.enabled
+        span_cm = (
+            tracer.span("backend.infer", category="backend",
+                        trace_id=request.trace_id, parent_id=request.span_id,
+                        model=request.name)
+            if traced else nullcontext(None)
         )
+        with span_cm as span:
+            start = clock()
+            try:
+                if request.tensor is None:
+                    raise ValueError("inference request carries no tensor")
+                net = self.registry.get(request.name)
+                inputs = request.tensor
+                if inputs.shape[1:] != net.input_shape:
+                    raise ValueError(
+                        f"model {request.name!r} expects inputs of shape "
+                        f"(n, {', '.join(map(str, net.input_shape))}), got {inputs.shape}"
+                    )
+                if self._executor is not None:
+                    outputs = self._executor.submit(
+                        request.name, inputs,
+                        trace=(span.trace_id, span.span_id) if traced else None,
+                    )
+                else:
+                    timer = (LayerTimer(clock)
+                             if traced and self.profile_layers else None)
+                    forward_start = clock()
+                    outputs = net.forward(inputs, timer=timer)
+                    forward_end = clock()
+                    if traced:
+                        fspan = tracer.add_span(
+                            "net.forward", forward_start, forward_end,
+                            span.trace_id, span.span_id, category="compute",
+                            model=request.name, batch_size=len(inputs))
+                        if timer is not None:
+                            timer.emit_spans(tracer, span.trace_id, fspan.span_id)
+                    if self._floor_s:
+                        remaining = self._floor_s - (clock() - start)
+                        if remaining > 0:
+                            time.sleep(remaining)
+            except (KeyError, ValueError) as exc:
+                reason = "unknown_model" if isinstance(exc, KeyError) else "bad_request"
+                self._errors.labels(model=request.name or "?", reason=reason).inc()
+                self._safe_send(conn, Message(MessageType.ERROR, text=str(exc),
+                                              trace_id=request.trace_id,
+                                              span_id=request.span_id))
+                return
+            self.stats.record(request.name, clock() - start, inputs=len(inputs))
+            response = Message(MessageType.INFER_RESPONSE, name=request.name,
+                               tensor=outputs, trace_id=request.trace_id,
+                               span_id=request.span_id)
+            if traced:
+                send_start = clock()
+                self._safe_send(conn, response)
+                tracer.add_span("backend.respond", send_start, clock(),
+                                span.trace_id, span.span_id, category="network")
+            else:
+                self._safe_send(conn, response)

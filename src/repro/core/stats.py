@@ -1,13 +1,21 @@
-"""Service-side instrumentation: per-model query counts and latency stats."""
+"""Service-side instrumentation: per-model query counts and latency stats.
+
+Since the observability PR, :class:`ServiceStats` is a thin per-model view
+over :mod:`repro.obs.metrics` — requests/inputs are Counters and latency is
+one :class:`~repro.obs.metrics.Histogram` family with a bounded raw window
+for exact percentiles — so there is exactly one latency-accounting path,
+and the same numbers surface identically through ``STATS_REQUEST`` (JSON
+summaries) and ``METRICS_REQUEST`` (Prometheus-style exposition).
+"""
 
 from __future__ import annotations
 
-import threading
 import time
 from collections import deque
-from typing import Dict, List
+from threading import Lock
+from typing import Callable, Dict, Optional
 
-import numpy as np
+from ..obs.metrics import MetricsRegistry
 
 __all__ = ["ServiceStats"]
 
@@ -15,63 +23,93 @@ __all__ = ["ServiceStats"]
 class ServiceStats:
     """Thread-safe per-model QPS / latency accounting.
 
-    Keeps a bounded window of recent latencies (and their completion
-    timestamps) per model, enough for the mean, the tail percentiles, and
-    the windowed throughput the evaluation plots.
+    Parameters
+    ----------
+    window:
+        Size of the raw-latency window per model (percentiles and the
+        windowed throughput are computed over it).
+    clock:
+        Monotonic time source for window timestamps; injected so tests can
+        drive time by hand.  The whole serving stack standardizes on
+        ``time.monotonic`` (one clock kind end to end).
+    registry:
+        Metrics registry to account into; each server passes its own so
+        replicas don't collide.  ``None`` creates a private registry.
+    prefix:
+        Metric-name prefix — ``djinn`` for backends, ``gateway`` for the
+        fleet front-end — keeping the two latency populations separate when
+        a gateway merges backend registries into its own.
     """
 
-    def __init__(self, window: int = 10_000):
+    def __init__(self, window: int = 10_000,
+                 clock: Callable[[], float] = time.monotonic,
+                 registry: Optional[MetricsRegistry] = None,
+                 prefix: str = "djinn"):
         if window <= 0:
             raise ValueError(f"window must be positive, got {window}")
         self._window = window
-        self._lock = threading.Lock()
-        self._latencies: Dict[str, deque] = {}
+        self._clock = clock
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._requests = self.registry.counter(
+            f"{prefix}_requests_total", "Requests served, per model.", ("model",))
+        self._inputs = self.registry.counter(
+            f"{prefix}_inputs_total", "Individual inputs processed, per model.",
+            ("model",))
+        self._latency = self.registry.histogram(
+            f"{prefix}_request_latency_seconds",
+            "End-to-end request service latency, per model.", ("model",),
+            window=window)
+        self._lock = Lock()
         self._stamps: Dict[str, deque] = {}
-        self._counts: Dict[str, int] = {}
-        self._inputs: Dict[str, int] = {}
 
     def record(self, model: str, latency_s: float, inputs: int = 1) -> None:
-        now = time.monotonic()
+        now = self._clock()
+        self._requests.labels(model=model).inc()
+        self._inputs.labels(model=model).inc(inputs)
+        self._latency.labels(model=model).observe(latency_s)
         with self._lock:
-            if model not in self._latencies:
-                self._latencies[model] = deque(maxlen=self._window)
-                self._stamps[model] = deque(maxlen=self._window)
-                self._counts[model] = 0
-                self._inputs[model] = 0
-            self._latencies[model].append(latency_s)
-            self._stamps[model].append(now)
-            self._counts[model] += 1
-            self._inputs[model] += inputs
+            stamps = self._stamps.get(model)
+            if stamps is None:
+                stamps = self._stamps[model] = deque(maxlen=self._window)
+            stamps.append(now)
 
     def snapshot(self) -> Dict[str, Dict[str, float]]:
-        """Per-model summary: count, inputs, mean/p50/p95/p99 latency (ms),
-        and ``qps`` — requests in the window over the window's wall-clock
-        span (0.0 until the window spans a measurable interval)."""
-        with self._lock:
-            out: Dict[str, Dict[str, float]] = {}
-            for model, window in self._latencies.items():
-                lat = np.asarray(window, dtype=np.float64) * 1e3
-                stamps = self._stamps[model]
+        """Per-model summary: count, inputs, mean/p50/p95/p99/max latency
+        (ms), the number of samples currently in the percentile window, and
+        ``qps`` — requests in the window over the window's wall-clock span
+        (0.0 until the window spans a measurable interval)."""
+        out: Dict[str, Dict[str, float]] = {}
+        for (model,), hist in self._latency.children():
+            values = hist.window_values()
+            if not values:
+                continue
+            with self._lock:
+                stamps = self._stamps.get(model, ())
                 span = stamps[-1] - stamps[0] if len(stamps) > 1 else 0.0
-                out[model] = {
-                    "requests": float(self._counts[model]),
-                    "inputs": float(self._inputs[model]),
-                    "mean_ms": float(lat.mean()),
-                    "p50_ms": float(np.percentile(lat, 50)),
-                    "p95_ms": float(np.percentile(lat, 95)),
-                    "p99_ms": float(np.percentile(lat, 99)),
-                    "qps": float(len(stamps) / span) if span > 0 else 0.0,
-                }
-            return out
+                n_stamps = len(stamps)
+            out[model] = {
+                "requests": float(self._requests.labels(model=model).value),
+                "inputs": float(self._inputs.labels(model=model).value),
+                "mean_ms": float(sum(values) / len(values)) * 1e3,
+                "p50_ms": hist.percentile(50) * 1e3,
+                "p95_ms": hist.percentile(95) * 1e3,
+                "p99_ms": hist.percentile(99) * 1e3,
+                "max_ms": hist.max * 1e3,
+                "window": float(len(values)),
+                "qps": float(n_stamps / span) if span > 0 else 0.0,
+            }
+        return out
 
     def reset(self) -> None:
         """Drop all windows and counters (e.g. between benchmark phases)."""
+        self._requests.clear()
+        self._inputs.clear()
+        self._latency.clear()
         with self._lock:
-            self._latencies.clear()
             self._stamps.clear()
-            self._counts.clear()
-            self._inputs.clear()
 
     def requests(self, model: str) -> int:
-        with self._lock:
-            return self._counts.get(model, 0)
+        for (name,), counter in self._requests.children():
+            if name == model:
+                return int(counter.value)
+        return 0

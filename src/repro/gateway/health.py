@@ -6,6 +6,11 @@ marks the backend up (caching the models for routing and aggregated LIST
 responses) or down.  A backend that crashed mid-request is usually marked
 down by the request path first; the prober is what brings it *back* once
 it answers again.
+
+Health transitions are not silent: ``BackendHandle.mark_down``/``mark_up``
+fire the pool's transition observer, which the gateway wires to labeled
+``gateway_backend_transitions_total`` counters and structured ``event=…``
+log lines (see :class:`repro.gateway.server.GatewayServer`).
 """
 
 from __future__ import annotations

@@ -32,8 +32,9 @@ class ClusterLauncher:
         fleets (e.g. model-partitioned backends).
     backends:
         Fleet size.
-    batching, service_floor_s:
-        Forwarded to every :class:`DjinnServer`.
+    batching, service_floor_s, profile_layers:
+        Forwarded to every :class:`DjinnServer` (``profile_layers`` arms
+        per-layer span capture for traced requests).
     """
 
     def __init__(
@@ -43,6 +44,7 @@ class ClusterLauncher:
         host: str = "127.0.0.1",
         batching: Optional[BatchPolicy] = None,
         service_floor_s: float = 0.0,
+        profile_layers: bool = False,
     ):
         if backends < 1:
             raise ValueError(f"need at least one backend, got {backends}")
@@ -51,6 +53,7 @@ class ClusterLauncher:
         self._host = host
         self._batching = batching
         self._floor_s = service_floor_s
+        self._profile_layers = profile_layers
         self.servers: List[DjinnServer] = []
 
     def _registry_for(self, index: int) -> ModelRegistry:
@@ -66,6 +69,7 @@ class ClusterLauncher:
             server = DjinnServer(
                 self._registry_for(i), host=self._host, port=0,
                 batching=self._batching, service_floor_s=self._floor_s,
+                profile_layers=self._profile_layers,
             )
             server.start()
             self.servers.append(server)

@@ -11,22 +11,32 @@ discarded so the next checkout dials fresh.
 from __future__ import annotations
 
 import threading
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.client import DjinnClient, DjinnConnectionError
+from ..obs.trace import Tracer
 
 __all__ = ["BackendHandle", "BackendPool"]
+
+#: ``observer(event, handle)`` fires on actual health transitions —
+#: ``event`` is ``"mark_down"`` or ``"mark_up"`` — so the gateway can count
+#: and log them without the pool knowing about metrics.
+TransitionObserver = Callable[[str, "BackendHandle"], None]
 
 
 class BackendHandle:
     """One backend instance as the gateway sees it."""
 
     def __init__(self, host: str, port: int, timeout_s: float = 30.0,
-                 max_idle: int = 8):
+                 max_idle: int = 8,
+                 observer: Optional[TransitionObserver] = None,
+                 tracer: Optional[Tracer] = None):
         self.host, self.port = host, port
         self.timeout_s = timeout_s
         self.key = f"{host}:{port}"
         self.max_idle = max_idle
+        self._observer = observer
+        self._tracer = tracer
         self._lock = threading.Lock()
         self._idle: List[DjinnClient] = []
         self._healthy = True
@@ -44,18 +54,24 @@ class BackendHandle:
 
     def mark_down(self) -> None:
         with self._lock:
+            transitioned = self._healthy
             self._healthy = False
             self.failures += 1
             idle, self._idle = self._idle, []
         for client in idle:  # stale connections are useless after a crash
             client.close()
+        if transitioned and self._observer is not None:
+            self._observer("mark_down", self)
 
     def mark_up(self, models: Sequence[str] = ()) -> None:
         with self._lock:
+            transitioned = not self._healthy
             self._healthy = True
             self.failures = 0
             if models:
                 self.models = tuple(models)
+        if transitioned and self._observer is not None:
+            self._observer("mark_up", self)
 
     # ------------------------------------------------------------- load
     @property
@@ -75,7 +91,8 @@ class BackendHandle:
         if client is not None:
             return client
         try:
-            return DjinnClient(self.host, self.port, timeout_s=self.timeout_s)
+            return DjinnClient(self.host, self.port, timeout_s=self.timeout_s,
+                               tracer=self._tracer)
         except DjinnConnectionError:
             with self._lock:
                 self._outstanding -= 1
@@ -105,11 +122,14 @@ class BackendPool:
     """The gateway's view of the whole fleet."""
 
     def __init__(self, addresses: Sequence[Tuple[str, int]],
-                 timeout_s: float = 30.0, max_idle: int = 8):
+                 timeout_s: float = 30.0, max_idle: int = 8,
+                 observer: Optional[TransitionObserver] = None,
+                 tracer: Optional[Tracer] = None):
         if not addresses:
             raise ValueError("gateway needs at least one backend address")
         self.backends: List[BackendHandle] = [
-            BackendHandle(host, port, timeout_s=timeout_s, max_idle=max_idle)
+            BackendHandle(host, port, timeout_s=timeout_s, max_idle=max_idle,
+                          observer=observer, tracer=tracer)
             for host, port in addresses
         ]
         self._by_key: Dict[str, BackendHandle] = {b.key: b for b in self.backends}

@@ -18,54 +18,73 @@ and :class:`repro.core.RemoteBackend` work against it unchanged:
 from __future__ import annotations
 
 import json
+import logging
 import random
 import socket
 import threading
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from contextlib import nullcontext
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.client import DjinnConnectionError, DjinnServiceError
 from ..core.protocol import Message, MessageType
 from ..core.server import TcpServiceBase
 from ..core.stats import ServiceStats
+from ..obs.metrics import MetricsRegistry, merge_dumps
+from ..obs.trace import Tracer, get_tracer, log_event
 from .health import HealthChecker
-from .pool import BackendPool
+from .pool import BackendHandle, BackendPool
 from .retry import RetryPolicy
 from .router import Router
 
 __all__ = ["GatewayServer", "merge_stats"]
 
+logger = logging.getLogger("repro.gateway")
+
 
 def merge_stats(snapshots: Sequence[Dict[str, Dict[str, float]]]) -> Dict[str, Dict[str, float]]:
     """Merge per-backend ``ServiceStats.snapshot()`` dicts into a fleet view.
 
-    ``requests``/``inputs``/``qps`` add across backends; the latency moments
-    (mean and percentiles) are combined as request-count-weighted means —
-    exact for ``mean_ms``, the standard frontend approximation for the
-    percentiles (true fleet percentiles would need the raw windows on the
-    wire).  ``backends`` counts how many replicas reported the model.
+    ``requests``/``inputs``/``qps``/``window`` add across backends; the
+    latency moments (mean and percentiles) are combined as
+    request-count-weighted means — exact for ``mean_ms``, the standard
+    frontend approximation for the percentiles (true fleet percentiles
+    would need the raw windows on the wire); ``max_ms`` takes the fleet
+    maximum.  ``backends`` counts how many replicas reported the model.
     """
     sums: Dict[str, Dict[str, float]] = {}
     for snap in snapshots:
         for model, stats in snap.items():
             acc = sums.setdefault(model, {
                 "requests": 0.0, "inputs": 0.0, "qps": 0.0, "backends": 0.0,
-                "_wsum": {},
+                "_wsum": {}, "_max": None, "_window": None,
             })
             weight = float(stats.get("requests", 0.0))
             acc["requests"] += weight
             acc["inputs"] += float(stats.get("inputs", 0.0))
             acc["qps"] += float(stats.get("qps", 0.0))
             acc["backends"] += 1.0
+            if "max_ms" in stats:
+                current = acc["_max"]
+                acc["_max"] = (float(stats["max_ms"]) if current is None
+                               else max(current, float(stats["max_ms"])))
+            if "window" in stats:
+                acc["_window"] = (acc["_window"] or 0.0) + float(stats["window"])
             for key in ("mean_ms", "p50_ms", "p95_ms", "p99_ms"):
                 if key in stats:
                     acc["_wsum"][key] = acc["_wsum"].get(key, 0.0) + weight * stats[key]
     merged: Dict[str, Dict[str, float]] = {}
     for model, acc in sums.items():
         weighted = acc.pop("_wsum")
+        maximum = acc.pop("_max")
+        window = acc.pop("_window")
         out = dict(acc)
         for key, total in weighted.items():
             out[key] = total / acc["requests"] if acc["requests"] else 0.0
+        if maximum is not None:
+            out["max_ms"] = maximum
+        if window is not None:
+            out["window"] = window
         merged[model] = out
     return merged
 
@@ -86,6 +105,18 @@ class GatewayServer(TcpServiceBase):
     health_interval_s:
         Period of the background LIST_REQUEST probes.  ``start()`` always
         runs one synchronous probe sweep so routing begins informed.
+    clock:
+        Monotonic time source for latency accounting (injected for
+        testability; the stack standardizes on ``time.monotonic``).
+    tracer:
+        Span collector; defaults to the process tracer (disabled until
+        enabled).  Traced requests get ``gateway.infer`` → ``gateway.queue``
+        / ``gateway.backend`` spans, and the trace context is forwarded to
+        the chosen backend on the wire.
+
+    Health and retry events (mark-down, mark-up, per-request retries,
+    exhausted budgets) increment labeled counters in :attr:`metrics` and
+    emit structured ``event=…`` log lines on the ``repro.gateway`` logger.
     """
 
     service_name = "gateway"
@@ -99,16 +130,44 @@ class GatewayServer(TcpServiceBase):
         retry: Optional[RetryPolicy] = None,
         health_interval_s: float = 0.5,
         backend_timeout_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+        tracer: Optional[Tracer] = None,
     ):
         super().__init__(host=host, port=port)
-        self.pool = BackendPool(backends, timeout_s=backend_timeout_s)
+        self._clock = clock
+        self.tracer = tracer if tracer is not None else get_tracer()
+        self.metrics = MetricsRegistry()
+        self._transitions = self.metrics.counter(
+            "gateway_backend_transitions_total",
+            "Backend health transitions observed by the gateway.",
+            ("backend", "event"))
+        self._retries = self.metrics.counter(
+            "gateway_retries_total",
+            "Transport-failure retries spent, per model.", ("model",))
+        self._exhausted = self.metrics.counter(
+            "gateway_retry_exhausted_total",
+            "Requests failed after the whole retry budget, per model.",
+            ("model",))
+        self.pool = BackendPool(backends, timeout_s=backend_timeout_s,
+                                observer=self._on_transition,
+                                tracer=self.tracer)
         self.router = Router(self.pool, policy=policy)
         self.retry = retry or RetryPolicy()
         self.health = HealthChecker(self.pool, interval_s=health_interval_s,
                                     probe_timeout_s=backend_timeout_s)
-        self.stats = ServiceStats()
+        self.stats = ServiceStats(clock=clock, registry=self.metrics,
+                                  prefix="gateway")
         self._rng = random.Random(0x6A7E)
         self._rng_lock = threading.Lock()
+
+    # -------------------------------------------------------------- events
+    def _on_transition(self, event: str, backend: BackendHandle) -> None:
+        self._transitions.labels(backend=backend.key, event=event).inc()
+        log_event(
+            logger, f"backend.{event}",
+            level=logging.WARNING if event == "mark_down" else logging.INFO,
+            backend=backend.key, failures=backend.failures,
+        )
 
     # ------------------------------------------------------------ lifecycle
     def _on_start(self) -> None:
@@ -140,6 +199,13 @@ class GatewayServer(TcpServiceBase):
                         text=json.dumps(self._aggregate_stats())),
             )
             return True
+        if request.type == MessageType.METRICS_REQUEST:
+            self._safe_send(
+                conn,
+                Message(MessageType.METRICS_RESPONSE,
+                        text=json.dumps(self._aggregate_metrics())),
+            )
+            return True
         if request.type == MessageType.SHUTDOWN:
             self._safe_send(conn, Message(MessageType.SHUTDOWN))
             threading.Thread(target=self.stop, daemon=True).start()
@@ -152,54 +218,89 @@ class GatewayServer(TcpServiceBase):
     # ---------------------------------------------------------- forwarding
     def _forward_infer(self, request: Message) -> Message:
         if request.tensor is None:
-            return Message(MessageType.ERROR, text="inference request carries no tensor")
-        start = time.perf_counter()
-        tried: set = set()
-        last_error = "no healthy backends"
-        for attempt in range(self.retry.max_attempts):
-            if attempt:
-                with self._rng_lock:
-                    delay = self.retry.delay_s(attempt - 1, self._rng)
-                time.sleep(delay)
-            candidates = self.router.route(request.name)
-            if not candidates:
-                # whole fleet marked down — probe for recoveries right away
-                self.health.probe_all()
+            return Message(MessageType.ERROR, text="inference request carries no tensor",
+                           trace_id=request.trace_id, span_id=request.span_id)
+        clock = self._clock
+        tracer = self.tracer
+        traced = bool(request.trace_id) and tracer.enabled
+        span_cm = (
+            tracer.span("gateway.infer", category="gateway",
+                        trace_id=request.trace_id, parent_id=request.span_id,
+                        model=request.name)
+            if traced else nullcontext(None)
+        )
+        with span_cm as span:
+            start = clock()
+            tried: set = set()
+            last_error = "no healthy backends"
+            for attempt in range(self.retry.max_attempts):
+                if attempt:
+                    self._retries.labels(model=request.name).inc()
+                    with self._rng_lock:
+                        delay = self.retry.delay_s(attempt - 1, self._rng)
+                    log_event(logger, "retry", level=logging.WARNING,
+                              model=request.name, attempt=attempt,
+                              delay_ms=round(delay * 1e3, 3), error=last_error)
+                    time.sleep(delay)
                 candidates = self.router.route(request.name)
                 if not candidates:
+                    # whole fleet marked down — probe for recoveries right away
+                    self.health.probe_all()
+                    candidates = self.router.route(request.name)
+                    if not candidates:
+                        continue
+                # prefer backends this request hasn't burned yet
+                fresh = [b for b in candidates if b.key not in tried] or candidates
+                backend = fresh[0]
+                tried.add(backend.key)
+                try:
+                    client = backend.checkout()
+                except DjinnConnectionError as exc:
+                    backend.mark_down()
+                    last_error = str(exc)
                     continue
-            # prefer backends this request hasn't burned yet
-            fresh = [b for b in candidates if b.key not in tried] or candidates
-            backend = fresh[0]
-            tried.add(backend.key)
-            try:
-                client = backend.checkout()
-            except DjinnConnectionError as exc:
-                backend.mark_down()
-                last_error = str(exc)
-                continue
-            ok = False
-            try:
-                outputs = client.infer(request.name, request.tensor)
-                ok = True
-            except DjinnConnectionError as exc:
-                backend.mark_down()
-                last_error = str(exc)
-                continue
-            except DjinnServiceError as exc:
-                ok = True  # the connection is fine; the model said no
-                return Message(MessageType.ERROR, text=str(exc))
-            finally:
-                backend.checkin(client, ok=ok)
-            self.stats.record(request.name, time.perf_counter() - start,
-                              inputs=len(request.tensor))
-            return Message(MessageType.INFER_RESPONSE, name=request.name,
-                           tensor=outputs)
-        return Message(
-            MessageType.ERROR,
-            text=(f"request for {request.name!r} failed after "
-                  f"{self.retry.max_attempts} attempts: {last_error}"),
-        )
+                ok = False
+                try:
+                    if traced:
+                        # routing + any backoff so far is the gateway's
+                        # "queue" share of the request's timeline
+                        tracer.add_span("gateway.queue", start, clock(),
+                                        span.trace_id, span.span_id,
+                                        category="queue", attempts=attempt + 1)
+                        with tracer.span("gateway.backend", category="gateway",
+                                         trace_id=span.trace_id,
+                                         parent_id=span.span_id,
+                                         backend=backend.key):
+                            outputs = client.infer(request.name, request.tensor)
+                    else:
+                        outputs = client.infer(request.name, request.tensor)
+                    ok = True
+                except DjinnConnectionError as exc:
+                    backend.mark_down()
+                    last_error = str(exc)
+                    continue
+                except DjinnServiceError as exc:
+                    ok = True  # the connection is fine; the model said no
+                    return Message(MessageType.ERROR, text=str(exc),
+                                   trace_id=request.trace_id,
+                                   span_id=request.span_id)
+                finally:
+                    backend.checkin(client, ok=ok)
+                self.stats.record(request.name, clock() - start,
+                                  inputs=len(request.tensor))
+                return Message(MessageType.INFER_RESPONSE, name=request.name,
+                               tensor=outputs, trace_id=request.trace_id,
+                               span_id=request.span_id)
+            self._exhausted.labels(model=request.name).inc()
+            log_event(logger, "retry.exhausted", level=logging.ERROR,
+                      model=request.name, attempts=self.retry.max_attempts,
+                      error=last_error)
+            return Message(
+                MessageType.ERROR,
+                text=(f"request for {request.name!r} failed after "
+                      f"{self.retry.max_attempts} attempts: {last_error}"),
+                trace_id=request.trace_id, span_id=request.span_id,
+            )
 
     # --------------------------------------------------------------- stats
     def _aggregate_stats(self) -> Dict[str, Dict[str, float]]:
@@ -222,3 +323,24 @@ class GatewayServer(TcpServiceBase):
         for model, stats in self.stats.snapshot().items():
             merged[f"gateway:{model}"] = stats
         return merged
+
+    def _aggregate_metrics(self) -> dict:
+        """Fleet-level metrics: every healthy backend's registry dump merged
+        with the gateway's own (name prefixes keep the two populations
+        apart: ``djinn_*`` is backend-side, ``gateway_*`` is this process)."""
+        dumps: List[dict] = [self.metrics.dump()]
+        for backend in self.pool.healthy():
+            try:
+                client = backend.checkout()
+            except DjinnConnectionError:
+                backend.mark_down()
+                continue
+            ok = False
+            try:
+                dumps.append(client.metrics())
+                ok = True
+            except (DjinnConnectionError, DjinnServiceError):
+                pass  # pre-metrics backend or transport failure: skip it
+            finally:
+                backend.checkin(client, ok=ok)
+        return merge_dumps(dumps)

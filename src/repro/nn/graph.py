@@ -174,7 +174,9 @@ class GraphNet:
             blob.zero_grad()
 
     # ------------------------------------------------------------- compute
-    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+    def forward(self, x: np.ndarray, train: bool = False, timer=None) -> np.ndarray:
+        """Run the DAG forward pass; ``timer`` is the same optional per-layer
+        profiling hook as :meth:`repro.nn.Net.forward` (begin/end per layer)."""
         if not self._materialized:
             raise RuntimeError(f"graph {self.name!r} is not materialized")
         x = np.asarray(x, dtype=np.float32)
@@ -184,10 +186,14 @@ class GraphNet:
         for layer in self.layers:
             spec = self._specs[layer.name]
             inputs = [tops[b] for b in spec.bottoms]
+            if timer is not None:
+                timer.begin(layer)
             if isinstance(layer, MultiInputLayer):
                 tops[layer.name] = layer.forward(inputs, train=train)
             else:
                 tops[layer.name] = layer.forward(inputs[0], train=train)
+            if timer is not None:
+                timer.end(layer)
         if train:
             self._tops_kept = True
         return tops[self.spec.output]

@@ -99,15 +99,28 @@ class Net:
         self._materialized = True
 
     # -------------------------------------------------------------- compute
-    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
-        """Run the forward pass on a batch ``x`` of shape (N, *input_shape)."""
+    def forward(self, x: np.ndarray, train: bool = False, timer=None) -> np.ndarray:
+        """Run the forward pass on a batch ``x`` of shape (N, *input_shape).
+
+        ``timer`` is an optional per-layer profiling hook (duck-typed to
+        :class:`repro.obs.LayerTimer`): ``timer.begin(layer)`` /
+        ``timer.end(layer)`` bracket each layer, yielding the paper's
+        Fig-4-style breakdown.  ``timer=None`` (the default) runs the
+        original loop — disabled profiling costs nothing.
+        """
         if not self._materialized:
             raise RuntimeError(f"net {self.name!r} is not materialized")
         x = np.asarray(x, dtype=np.float32)
         if x.ndim == len(self.input_shape):  # single sample convenience
             x = x[None]
-        for layer in self.layers:
-            x = layer.forward(x, train=train)
+        if timer is None:
+            for layer in self.layers:
+                x = layer.forward(x, train=train)
+        else:
+            for layer in self.layers:
+                timer.begin(layer)
+                x = layer.forward(x, train=train)
+                timer.end(layer)
         return x
 
     def backward(self, dout: np.ndarray) -> np.ndarray:

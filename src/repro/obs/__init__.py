@@ -1,0 +1,67 @@
+"""``repro.obs`` — observability substrate for the DjiNN serving stack.
+
+The paper's analysis (Figs 4–9) is observability: per-layer timelines,
+queueing vs. compute splits, fleet-level throughput accounting.  This
+package is that machinery for the reproduction, and the measurement
+substrate every later performance PR reports against.
+
+Layers
+------
+:mod:`repro.obs.metrics`
+    Thread-safe Counter/Gauge/Histogram families with labels, per-server
+    :class:`MetricsRegistry`, Prometheus-style exposition, wire-friendly
+    dumps and fleet-level merges.
+:mod:`repro.obs.trace`
+    :class:`Span`/:class:`Tracer` with wire-propagated trace IDs (protocol
+    v2), Chrome trace-event export, coverage analysis, and the structured
+    ``log_event`` helper.
+:mod:`repro.obs.profile`
+    :class:`LayerTimer`, the per-layer forward-pass breakdown hook.
+"""
+
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    default_registry,
+    merge_dumps,
+    parse_exposition,
+    render_exposition,
+)
+from .profile import LayerRecord, LayerTimer
+from .trace import (
+    NOOP_SPAN,
+    Span,
+    Tracer,
+    coverage,
+    format_trace,
+    get_tracer,
+    log_event,
+    new_id,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS_S",
+    "default_registry",
+    "merge_dumps",
+    "parse_exposition",
+    "render_exposition",
+    "LayerRecord",
+    "LayerTimer",
+    "Span",
+    "Tracer",
+    "NOOP_SPAN",
+    "coverage",
+    "format_trace",
+    "get_tracer",
+    "log_event",
+    "new_id",
+]

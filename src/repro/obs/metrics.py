@@ -1,0 +1,554 @@
+"""Metrics: thread-safe Counter/Gauge/Histogram families with labels.
+
+The paper's evaluation is built on counting things — queries served, where
+each millisecond went (Figs 4–9) — so the serving stack needs a first-class
+metrics substrate rather than ad-hoc dicts.  This module provides:
+
+* a :class:`MetricsRegistry` holding named metric *families*; each family
+  fans out to children keyed by label values (``family.labels(model="dig")``);
+* :class:`Counter` (monotone), :class:`Gauge` (up/down), and
+  :class:`Histogram` (fixed log-scale buckets plus an optional bounded
+  window of raw samples for exact percentiles);
+* Prometheus-style text exposition (:meth:`MetricsRegistry.expose`), a
+  JSON-able structural dump (:meth:`MetricsRegistry.dump`) that travels on
+  the wire in ``METRICS_RESPONSE`` frames, :func:`merge_dumps` so a gateway
+  can aggregate a fleet's registries, and :func:`parse_exposition` so tests
+  and CI can assert the text format stays well-formed.
+
+Everything is safe to call from many worker threads; the hot path
+(``child.inc()`` / ``child.observe()``) takes one small lock.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import threading
+from bisect import bisect_left
+from collections import deque
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS_S",
+    "default_registry",
+    "render_exposition",
+    "parse_exposition",
+    "merge_dumps",
+]
+
+#: Fixed log-scale latency buckets (seconds): 100 µs doubling up to ~105 s.
+#: Every latency histogram in the stack shares these bounds so fleet-level
+#: merges are exact (bucket-wise sums, no resampling).
+DEFAULT_LATENCY_BUCKETS_S: Tuple[float, ...] = tuple(
+    1e-4 * (2.0 ** i) for i in range(21)
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _check_name(name: str, kind: str = "metric") -> str:
+    if not _NAME_RE.match(name):
+        raise ValueError(f"invalid {kind} name {name!r}")
+    return name
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_bound(bound: float) -> str:
+    return "+Inf" if math.isinf(bound) else ("%g" % bound)
+
+
+# --------------------------------------------------------------------- children
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A value that can go up and down (queue depth, in-flight requests)."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram with sum/count/min/max.
+
+    ``window`` > 0 additionally keeps that many recent raw observations so
+    :meth:`percentile` is exact over the window (what `ServiceStats` needs
+    for p50/p95/p99); with ``window=0`` percentiles fall back to linear
+    interpolation within the matching bucket.
+    """
+
+    __slots__ = ("buckets", "_counts", "_lock", "_sum", "_count",
+                 "_min", "_max", "_window")
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS_S,
+                 window: int = 0):
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(b <= a for a, b in zip(bounds, bounds[1:])):
+            raise ValueError(f"bucket bounds must be strictly increasing, got {bounds}")
+        self.buckets = bounds
+        self._counts = [0] * (len(bounds) + 1)  # last slot is +Inf
+        self._lock = threading.Lock()
+        self._sum = 0.0
+        self._count = 0
+        self._min = math.inf
+        self._max = -math.inf
+        self._window: Optional[deque] = deque(maxlen=window) if window else None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        idx = bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[idx] += 1
+            self._sum += value
+            self._count += 1
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+            if self._window is not None:
+                self._window.append(value)
+
+    # ------------------------------------------------------------- reading
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    @property
+    def min(self) -> float:
+        with self._lock:
+            return self._min if self._count else 0.0
+
+    @property
+    def max(self) -> float:
+        with self._lock:
+            return self._max if self._count else 0.0
+
+    def counts(self) -> List[int]:
+        """Per-bucket (non-cumulative) counts; last entry is the +Inf bucket."""
+        with self._lock:
+            return list(self._counts)
+
+    def window_values(self) -> List[float]:
+        with self._lock:
+            return list(self._window) if self._window is not None else []
+
+    def percentile(self, q: float) -> float:
+        """q-th percentile (0..100): exact over the raw window when kept,
+        otherwise linearly interpolated within the matching bucket."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        with self._lock:
+            if self._count == 0:
+                return 0.0
+            if self._window:
+                values = sorted(self._window)
+                if len(values) == 1:
+                    return values[0]
+                rank = (q / 100.0) * (len(values) - 1)
+                lo = int(rank)
+                hi = min(lo + 1, len(values) - 1)
+                frac = rank - lo
+                return values[lo] * (1.0 - frac) + values[hi] * frac
+            # bucket interpolation
+            target = (q / 100.0) * self._count
+            cumulative = 0
+            for idx, bucket_count in enumerate(self._counts):
+                cumulative += bucket_count
+                if cumulative >= target and bucket_count:
+                    upper = (self.buckets[idx] if idx < len(self.buckets)
+                             else self._max)
+                    lower = self.buckets[idx - 1] if idx > 0 else 0.0
+                    upper = min(upper, self._max)
+                    lower = max(lower, self._min if idx == 0 else lower)
+                    if upper <= lower:
+                        return upper
+                    frac = (target - (cumulative - bucket_count)) / bucket_count
+                    return lower + (upper - lower) * min(1.0, max(0.0, frac))
+            return self._max
+
+    def merge_counts(self, counts: Sequence[int], total: int, total_sum: float,
+                     minimum: float, maximum: float) -> None:
+        """Fold another histogram's state (same bucket bounds) into this one."""
+        if len(counts) != len(self._counts):
+            raise ValueError(
+                f"bucket count mismatch: {len(counts)} vs {len(self._counts)}")
+        with self._lock:
+            for i, c in enumerate(counts):
+                self._counts[i] += int(c)
+            self._count += int(total)
+            self._sum += float(total_sum)
+            if total:
+                self._min = min(self._min, minimum)
+                self._max = max(self._max, maximum)
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+# --------------------------------------------------------------------- families
+class MetricFamily:
+    """One named metric with a fixed label schema, fanning out to children."""
+
+    def __init__(self, name: str, kind: str, help: str = "",
+                 labelnames: Sequence[str] = (), **child_kwargs):
+        self.name = _check_name(name)
+        if kind not in _KINDS:
+            raise ValueError(f"unknown metric kind {kind!r}")
+        for label in labelnames:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"invalid label name {label!r}")
+        self.kind = kind
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._child_kwargs = child_kwargs
+        self._lock = threading.Lock()
+        self._children: Dict[Tuple[str, ...], object] = {}
+
+    def labels(self, **labelvalues: str):
+        """The child for this label combination (created on first use)."""
+        if set(labelvalues) != set(self.labelnames):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {self.labelnames}, "
+                f"got {tuple(sorted(labelvalues))}"
+            )
+        key = tuple(str(labelvalues[name]) for name in self.labelnames)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = _KINDS[self.kind](**self._child_kwargs)
+                self._children[key] = child
+            return child
+
+    def children(self) -> List[Tuple[Tuple[str, ...], object]]:
+        with self._lock:
+            return list(self._children.items())
+
+    def clear(self) -> None:
+        """Drop all children (e.g. between benchmark phases)."""
+        with self._lock:
+            self._children.clear()
+
+    # convenience: a label-less family acts like its single child
+    def _solo(self):
+        if self.labelnames:
+            raise ValueError(f"metric {self.name!r} requires labels {self.labelnames}")
+        return self.labels()
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._solo().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._solo().dec(amount)
+
+    def set(self, value: float) -> None:
+        self._solo().set(value)
+
+    def observe(self, value: float) -> None:
+        self._solo().observe(value)
+
+
+# --------------------------------------------------------------------- registry
+class MetricsRegistry:
+    """A named collection of metric families.
+
+    Each server owns one registry (so replicas don't collide) and exposes it
+    over the wire; a process-wide :func:`default_registry` exists for
+    library code that has nowhere better to register.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._families: Dict[str, MetricFamily] = {}
+
+    def _get_or_create(self, name: str, kind: str, help: str,
+                       labelnames: Sequence[str], **child_kwargs) -> MetricFamily:
+        with self._lock:
+            family = self._families.get(name)
+            if family is not None:
+                if family.kind != kind:
+                    raise ValueError(
+                        f"metric {name!r} already registered as {family.kind}")
+                if family.labelnames != tuple(labelnames):
+                    raise ValueError(
+                        f"metric {name!r} already registered with labels "
+                        f"{family.labelnames}, got {tuple(labelnames)}")
+                return family
+            family = MetricFamily(name, kind, help=help, labelnames=labelnames,
+                                  **child_kwargs)
+            self._families[name] = family
+            return family
+
+    def counter(self, name: str, help: str = "",
+                labelnames: Sequence[str] = ()) -> MetricFamily:
+        return self._get_or_create(name, "counter", help, labelnames)
+
+    def gauge(self, name: str, help: str = "",
+              labelnames: Sequence[str] = ()) -> MetricFamily:
+        return self._get_or_create(name, "gauge", help, labelnames)
+
+    def histogram(self, name: str, help: str = "",
+                  labelnames: Sequence[str] = (),
+                  buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS_S,
+                  window: int = 0) -> MetricFamily:
+        return self._get_or_create(name, "histogram", help, labelnames,
+                                   buckets=buckets, window=window)
+
+    def families(self) -> List[MetricFamily]:
+        with self._lock:
+            return [self._families[name] for name in sorted(self._families)]
+
+    def get(self, name: str) -> Optional[MetricFamily]:
+        with self._lock:
+            return self._families.get(name)
+
+    # ------------------------------------------------------------ exporting
+    def dump(self) -> dict:
+        """JSON-able structural snapshot (what METRICS_RESPONSE carries)."""
+        metrics = {}
+        for family in self.families():
+            samples = []
+            for key, child in sorted(family.children()):
+                labels = dict(zip(family.labelnames, key))
+                if family.kind == "histogram":
+                    samples.append({
+                        "labels": labels,
+                        "counts": child.counts(),
+                        "sum": child.sum,
+                        "count": child.count,
+                        "min": child.min,
+                        "max": child.max,
+                    })
+                else:
+                    samples.append({"labels": labels, "value": child.value})
+            entry = {
+                "type": family.kind,
+                "help": family.help,
+                "labelnames": list(family.labelnames),
+                "samples": samples,
+            }
+            if family.kind == "histogram":
+                entry["buckets"] = [b for b in family._child_kwargs["buckets"]]
+            metrics[family.name] = entry
+        return {"metrics": metrics}
+
+    def expose(self) -> str:
+        """Prometheus-style text exposition of the whole registry."""
+        return render_exposition(self.dump())
+
+
+_DEFAULT_REGISTRY = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-wide registry (one per Python process)."""
+    return _DEFAULT_REGISTRY
+
+
+# ------------------------------------------------------------------- exposition
+def _render_labels(labels: Mapping[str, str], extra: str = "") -> str:
+    parts = [f'{k}="{_escape_label_value(str(v))}"' for k, v in labels.items()]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def render_exposition(dump: dict) -> str:
+    """Render a registry dump (or merged dumps) as Prometheus text format."""
+    lines: List[str] = []
+    for name in sorted(dump.get("metrics", {})):
+        entry = dump["metrics"][name]
+        if entry.get("help"):
+            lines.append(f"# HELP {name} {entry['help']}")
+        lines.append(f"# TYPE {name} {entry['type']}")
+        for sample in entry["samples"]:
+            labels = sample.get("labels", {})
+            if entry["type"] == "histogram":
+                bounds = list(entry.get("buckets", ())) + [math.inf]
+                cumulative = 0
+                for bound, count in zip(bounds, sample["counts"]):
+                    cumulative += count
+                    le = f'le="{_format_bound(bound)}"'
+                    lines.append(
+                        f"{name}_bucket{_render_labels(labels, le)} {cumulative}")
+                lines.append(
+                    f"{name}_sum{_render_labels(labels)} "
+                    f"{_format_value(sample['sum'])}")
+                lines.append(
+                    f"{name}_count{_render_labels(labels)} {sample['count']}")
+            else:
+                lines.append(
+                    f"{name}{_render_labels(labels)} "
+                    f"{_format_value(sample['value'])}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"          # metric name
+    r"(?:\{(.*)\})?"                        # optional label block
+    r" (-?(?:[0-9]*\.?[0-9]+(?:[eE][+-]?[0-9]+)?|Inf)|\+Inf|NaN)$"
+)
+_LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_exposition(text: str) -> Dict[str, Dict[Tuple[Tuple[str, str], ...], float]]:
+    """Parse Prometheus text exposition into ``{name: {labels: value}}``.
+
+    Strict on purpose — this is the CI gate that keeps :func:`render_exposition`
+    honest.  Raises :class:`ValueError` on any malformed line.
+    """
+    out: Dict[str, Dict[Tuple[Tuple[str, str], ...], float]] = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                raise ValueError(f"line {lineno}: malformed comment {line!r}")
+            if parts[1] == "TYPE" and parts[3] not in ("counter", "gauge", "histogram"):
+                raise ValueError(f"line {lineno}: unknown metric type {parts[3]!r}")
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise ValueError(f"line {lineno}: malformed sample {line!r}")
+        name, label_block, value_text = match.groups()
+        labels: List[Tuple[str, str]] = []
+        if label_block:
+            consumed = 0
+            for pair in _LABEL_PAIR_RE.finditer(label_block):
+                labels.append((pair.group(1), pair.group(2)))
+                consumed = pair.end()
+                if consumed < len(label_block) and label_block[consumed] == ",":
+                    consumed += 1
+            if consumed != len(label_block):
+                raise ValueError(f"line {lineno}: malformed labels {label_block!r}")
+        if value_text in ("+Inf", "Inf"):
+            value = math.inf
+        elif value_text == "-Inf":
+            value = -math.inf
+        elif value_text == "NaN":
+            value = math.nan
+        else:
+            value = float(value_text)
+        out.setdefault(name, {})[tuple(labels)] = value
+    return out
+
+
+# ------------------------------------------------------------------------ merge
+def merge_dumps(dumps: Iterable[dict]) -> dict:
+    """Merge registry dumps into a fleet-level dump.
+
+    Counters and gauges sum per label-set (a gauge sum reads as fleet total,
+    e.g. total in-flight); histograms merge bucket-wise, which is exact
+    because every latency histogram shares :data:`DEFAULT_LATENCY_BUCKETS_S`.
+    Histograms with mismatched bucket bounds raise :class:`ValueError`.
+    """
+    merged: Dict[str, dict] = {}
+    for dump in dumps:
+        for name, entry in dump.get("metrics", {}).items():
+            target = merged.get(name)
+            if target is None:
+                target = {
+                    "type": entry["type"],
+                    "help": entry.get("help", ""),
+                    "labelnames": list(entry.get("labelnames", [])),
+                    "samples": [],
+                }
+                if entry["type"] == "histogram":
+                    target["buckets"] = list(entry.get("buckets", ()))
+                merged[name] = target
+            elif target["type"] != entry["type"]:
+                raise ValueError(
+                    f"metric {name!r} has conflicting types "
+                    f"{target['type']} vs {entry['type']}")
+            elif (entry["type"] == "histogram"
+                  and list(entry.get("buckets", ())) != target["buckets"]):
+                raise ValueError(f"metric {name!r} has mismatched bucket bounds")
+            by_labels = {
+                tuple(sorted(s.get("labels", {}).items())): s
+                for s in target["samples"]
+            }
+            for sample in entry["samples"]:
+                key = tuple(sorted(sample.get("labels", {}).items()))
+                existing = by_labels.get(key)
+                if existing is None:
+                    copied = json.loads(json.dumps(sample))  # deep, JSON-safe
+                    target["samples"].append(copied)
+                    by_labels[key] = copied
+                elif entry["type"] == "histogram":
+                    existing["counts"] = [
+                        a + b for a, b in zip(existing["counts"], sample["counts"])
+                    ]
+                    existing["sum"] += sample["sum"]
+                    existing["count"] += sample["count"]
+                    if sample["count"]:
+                        existing["min"] = (min(existing["min"], sample["min"])
+                                           if existing["count"] - sample["count"]
+                                           else sample["min"])
+                        existing["max"] = max(existing["max"], sample["max"])
+                else:
+                    existing["value"] += sample["value"]
+    for entry in merged.values():
+        entry["samples"].sort(key=lambda s: tuple(sorted(s.get("labels", {}).items())))
+    return {"metrics": merged}

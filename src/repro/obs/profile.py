@@ -1,0 +1,94 @@
+"""Per-layer profiling: the Fig-4-style forward-pass breakdown.
+
+The paper attributes each query's GPU time to individual network layers
+(nvprof timelines, Fig. 4) and draws its batching conclusions from which
+layers dominate.  :class:`LayerTimer` is the hook that produces the same
+breakdown here: pass one to :meth:`repro.nn.Net.forward` (``timer=``) and it
+records a wall-clock interval per layer.  The hook is opt-in — ``forward``
+without a timer runs the exact pre-existing loop, so disabled profiling
+costs nothing.
+"""
+
+from __future__ import annotations
+
+from time import monotonic
+from typing import Callable, List, NamedTuple, Optional
+
+__all__ = ["LayerRecord", "LayerTimer"]
+
+
+class LayerRecord(NamedTuple):
+    """One layer's slice of a forward pass."""
+
+    name: str
+    type_name: str
+    start_s: float
+    end_s: float
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+class LayerTimer:
+    """Times each layer of one (or more) forward passes.
+
+    A timer is cheap and single-threaded by design: make one per profiled
+    forward pass.  ``begin``/``end`` are the :meth:`Net.forward` hook
+    surface; everything else is reporting.
+    """
+
+    def __init__(self, clock: Callable[[], float] = monotonic):
+        self.clock = clock
+        self.records: List[LayerRecord] = []
+        self._open: Optional[tuple] = None
+
+    # ------------------------------------------------------------- hook API
+    def begin(self, layer) -> None:
+        self._open = (layer.name, layer.type_name, self.clock())
+
+    def end(self, layer) -> None:
+        if self._open is None or self._open[0] != layer.name:
+            raise RuntimeError(f"LayerTimer.end({layer.name!r}) without begin")
+        name, type_name, start_s = self._open
+        self._open = None
+        self.records.append(LayerRecord(name, type_name, start_s, self.clock()))
+
+    # ------------------------------------------------------------ reporting
+    def total_s(self) -> float:
+        return sum(r.duration_s for r in self.records)
+
+    def breakdown(self) -> List[tuple]:
+        """``(layer, type, seconds, fraction_of_total)`` per recorded layer."""
+        total = self.total_s()
+        return [
+            (r.name, r.type_name, r.duration_s,
+             (r.duration_s / total) if total > 0 else 0.0)
+            for r in self.records
+        ]
+
+    def format(self) -> str:
+        """Human-readable per-layer table (the Fig-4 shape, in text)."""
+        header = f"{'layer':24s} {'type':18s} {'ms':>10s} {'share':>7s}"
+        lines = [header, "-" * len(header)]
+        for name, type_name, seconds, frac in self.breakdown():
+            lines.append(
+                f"{name:24s} {type_name:18s} {seconds * 1e3:>10.3f} {frac:>6.1%}")
+        lines.append(f"{'total':24s} {'':18s} {self.total_s() * 1e3:>10.3f}")
+        return "\n".join(lines)
+
+    def emit_spans(self, tracer, trace_id: int, parent_id: int) -> None:
+        """Replay the recorded layers as ``layer.<name>`` spans of a trace."""
+        for record in self.records:
+            tracer.add_span(
+                f"layer.{record.name}", record.start_s, record.end_s,
+                trace_id, parent_id, category="layer",
+                layer_type=record.type_name,
+            )
+
+    def reset(self) -> None:
+        self.records.clear()
+        self._open = None
+
+    def __len__(self) -> int:
+        return len(self.records)

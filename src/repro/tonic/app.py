@@ -99,11 +99,11 @@ class TonicApp:
 
     def run_timed(self, raw: Any):
         """Process one query, returning ``(result, StageTiming)``."""
-        t0 = time.perf_counter()
+        t0 = time.monotonic()
         inputs = self.preprocess(raw)
-        t1 = time.perf_counter()
+        t1 = time.monotonic()
         outputs = self.backend.infer(self.app, inputs)
-        t2 = time.perf_counter()
+        t2 = time.monotonic()
         result = self.postprocess(outputs, raw)
-        t3 = time.perf_counter()
+        t3 = time.monotonic()
         return result, StageTiming(pre_s=t1 - t0, dnn_s=t2 - t1, post_s=t3 - t2)

@@ -430,3 +430,143 @@ class TestServiceStatsExtensions:
         stats.reset()
         assert stats.snapshot() == {}
         assert stats.requests("dig") == 0
+
+
+class TestServiceStatsObservability:
+    def test_snapshot_has_max_and_window(self):
+        from repro.core import ServiceStats
+
+        stats = ServiceStats(window=4)
+        for latency in (0.001, 0.040, 0.002):
+            stats.record("dig", latency)
+        snap = stats.snapshot()["dig"]
+        assert snap["max_ms"] == pytest.approx(40.0)
+        assert snap["window"] == 3.0
+        # window is bounded, max is all-time
+        for _ in range(6):
+            stats.record("dig", 0.001)
+        snap = stats.snapshot()["dig"]
+        assert snap["window"] == 4.0
+        assert snap["max_ms"] == pytest.approx(40.0)
+
+    def test_injected_clock_drives_qps(self):
+        from repro.core import ServiceStats
+
+        now = [100.0]
+        stats = ServiceStats(clock=lambda: now[0])
+        for _ in range(5):
+            stats.record("pos", 0.01)
+            now[0] += 0.5  # 5 requests over 2.0s of fake time
+        assert stats.snapshot()["pos"]["qps"] == pytest.approx(5 / 2.0)
+
+    def test_stats_surface_in_metrics_registry(self):
+        """The same numbers back STATS (JSON) and METRICS (exposition)."""
+        from repro.core import ServiceStats
+        from repro.obs import parse_exposition
+
+        stats = ServiceStats()
+        for _ in range(3):
+            stats.record("dig", 0.004, inputs=2)
+        samples = parse_exposition(stats.registry.expose())
+        key = (("model", "dig"),)
+        assert samples["djinn_requests_total"][key] == 3
+        assert samples["djinn_inputs_total"][key] == 6
+        assert samples["djinn_request_latency_seconds_count"][key] == 3
+
+
+class TestMergeStatsObservability:
+    def test_max_and_window_merge(self):
+        a = {"pos": {"requests": 2.0, "mean_ms": 5.0, "max_ms": 11.0,
+                     "window": 2.0}}
+        b = {"pos": {"requests": 3.0, "mean_ms": 5.0, "max_ms": 40.0,
+                     "window": 3.0}}
+        merged = merge_stats([a, b])["pos"]
+        assert merged["max_ms"] == 40.0   # fleet max, not a sum
+        assert merged["window"] == 5.0    # samples available fleet-wide
+
+    def test_snapshots_without_new_fields_still_merge(self):
+        merged = merge_stats([{"pos": {"requests": 2.0, "mean_ms": 5.0}}])
+        assert "max_ms" not in merged["pos"]
+
+
+class TestGatewayObservability:
+    def test_metrics_request_aggregates_fleet(self, fleet, rng):
+        from repro.obs import parse_exposition
+
+        _, gateway = fleet
+        x = rng.normal(size=(1, 300)).astype(np.float32)
+        with DjinnClient(*gateway.address) as cli:
+            for _ in range(6):
+                cli.infer("pos", x)
+            dump = cli.metrics()
+            text = cli.metrics_text()
+        # backend request counters merge across the 3 replicas
+        samples = dump["metrics"]["djinn_requests_total"]["samples"]
+        assert sum(s["value"] for s in samples
+                   if s["labels"]["model"] == "pos") == 6.0
+        # the gateway's own accounting rides along under its prefix
+        gw = dump["metrics"]["gateway_requests_total"]["samples"]
+        assert sum(s["value"] for s in gw
+                   if s["labels"]["model"] == "pos") == 6.0
+        # latency histograms merged bucket-wise
+        (hist,) = [s for s in
+                   dump["metrics"]["djinn_request_latency_seconds"]["samples"]
+                   if s["labels"]["model"] == "pos"]
+        assert hist["count"] == 6
+        # and the rendered exposition is strictly parseable
+        parsed = parse_exposition(text)
+        assert parsed["djinn_requests_total"][(("model", "pos"),)] == 6.0
+
+    def test_backend_death_increments_transition_counter(self, fleet, caplog):
+        import logging as _logging
+
+        cluster, gateway = fleet
+        dead = cluster.kill_backend(0)
+        handle = next(b for b in gateway.pool if b.key == f"{dead[0]}:{dead[1]}")
+        with caplog.at_level(_logging.INFO, logger="repro.gateway"):
+            gateway.health.probe(handle)
+        counter = gateway.metrics.get("gateway_backend_transitions_total")
+        assert counter.labels(backend=handle.key, event="mark_down").value == 1.0
+        assert any("event=backend.mark_down" in r.getMessage()
+                   and f"backend={handle.key}" in r.getMessage()
+                   for r in caplog.records)
+        # a second failed probe is not a transition — no double counting
+        gateway.health.probe(handle)
+        assert counter.labels(backend=handle.key, event="mark_down").value == 1.0
+
+    def test_mark_up_transition_counted(self, registry):
+        with ClusterLauncher(registry, backends=1) as cluster:
+            gateway = GatewayServer(cluster.addresses, health_interval_s=30.0)
+            with gateway:
+                (handle,) = list(gateway.pool)
+                handle.mark_down()
+                gateway.health.probe(handle)  # backend is alive -> back up
+                counter = gateway.metrics.get("gateway_backend_transitions_total")
+                assert counter.labels(backend=handle.key,
+                                      event="mark_up").value == 1.0
+
+    def test_retry_and_exhausted_counters(self, caplog):
+        import logging as _logging
+        import socket as _socket
+
+        # reserve a port that nothing listens on
+        probe = _socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        dead = probe.getsockname()
+        probe.close()
+        gateway = GatewayServer(
+            [dead], retry=RetryPolicy(max_attempts=3, base_delay_s=0.001,
+                                      max_delay_s=0.002),
+            health_interval_s=30.0)
+        with gateway:
+            with caplog.at_level(_logging.WARNING, logger="repro.gateway"):
+                with DjinnClient(*gateway.address) as cli:
+                    with pytest.raises(DjinnServiceError, match="failed after"):
+                        cli.infer("pos", np.zeros((1, 300), np.float32))
+            retries = gateway.metrics.get("gateway_retries_total")
+            exhausted = gateway.metrics.get("gateway_retry_exhausted_total")
+            assert retries.labels(model="pos").value == 2.0  # attempts 2 and 3
+            assert exhausted.labels(model="pos").value == 1.0
+            messages = [r.getMessage() for r in caplog.records]
+            assert any(m.startswith("event=retry ") for m in messages)
+            assert any(m.startswith("event=retry.exhausted") for m in messages)

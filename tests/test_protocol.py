@@ -8,6 +8,8 @@ import pytest
 from repro.core.protocol import (
     MAX_NAME_BYTES,
     MAX_NDIM,
+    TRACE_VERSION,
+    VERSION,
     Message,
     MessageType,
     ProtocolError,
@@ -82,6 +84,81 @@ class TestRoundtrip:
         sender.join(timeout=10)
         assert not sender.is_alive()
         np.testing.assert_array_equal(out.tensor, tensor)
+
+
+class TestTraceContext:
+    """The optional version-2 trace extension and its v1 interop."""
+
+    def test_trace_ids_roundtrip(self, sock_pair, rng):
+        tensor = rng.normal(size=(2, 3)).astype(np.float32)
+        msg = Message(MessageType.INFER_REQUEST, name="pos", tensor=tensor,
+                      trace_id=0xDEADBEEFCAFEF00D, span_id=42)
+        out = roundtrip(sock_pair, msg)
+        assert out.trace_id == 0xDEADBEEFCAFEF00D
+        assert out.span_id == 42
+        np.testing.assert_array_equal(out.tensor, tensor)
+
+    def test_untraced_frame_is_byte_identical_v1(self, sock_pair):
+        """A new sender with no trace context must emit exactly the old
+        wire bytes — this is what keeps old receivers working."""
+        a, b = sock_pair
+        msg = Message(MessageType.INFER_REQUEST, name="dig",
+                      tensor=np.zeros((1, 4), np.float32))
+        send_message(a, msg)
+        frame = b.recv(1 << 16)
+        # hand-pack the original v1 layout
+        import struct
+        expected = struct.pack("<4sBBHB", b"DJNN", VERSION,
+                               int(MessageType.INFER_REQUEST), 3, 2)
+        expected += struct.pack("<I", 1) + struct.pack("<I", 4)
+        expected += struct.pack("<Q", 16) + b"dig" + bytes(16)
+        assert frame == expected
+
+    def test_old_client_v1_frame_parses_with_zero_trace(self, sock_pair):
+        """Hand-packed v1 frame (an old client) → new receiver: trace
+        context reads as absent, everything else intact."""
+        import struct
+        a, b = sock_pair
+        frame = struct.pack("<4sBBHB", b"DJNN", VERSION,
+                            int(MessageType.STATS_REQUEST), 0, 0)
+        frame += struct.pack("<Q", 0)
+        a.sendall(frame)
+        out = recv_message(b)
+        assert out.type == MessageType.STATS_REQUEST
+        assert out.trace_id == 0 and out.span_id == 0
+
+    def test_hand_packed_v2_frame_parses(self, sock_pair):
+        import struct
+        a, b = sock_pair
+        frame = struct.pack("<4sBBHB", b"DJNN", TRACE_VERSION,
+                            int(MessageType.LIST_REQUEST), 0, 0)
+        frame += struct.pack("<QQ", 7, 9) + struct.pack("<Q", 0)
+        a.sendall(frame)
+        out = recv_message(b)
+        assert out.type == MessageType.LIST_REQUEST
+        assert (out.trace_id, out.span_id) == (7, 9)
+
+    def test_traced_error_and_text_frames(self, sock_pair):
+        out = roundtrip(sock_pair, Message(MessageType.ERROR, text="boom",
+                                           trace_id=1, span_id=2))
+        assert (out.trace_id, out.span_id) == (1, 2)
+        assert out.text == "boom"
+
+    def test_trace_id_out_of_u64_range_rejected(self, sock_pair):
+        a, _ = sock_pair
+        with pytest.raises(ProtocolError, match="u64"):
+            send_message(a, Message(MessageType.LIST_REQUEST, trace_id=1 << 64))
+        with pytest.raises(ProtocolError, match="u64"):
+            send_message(a, Message(MessageType.LIST_REQUEST,
+                                    trace_id=1, span_id=-5))
+
+    def test_metrics_message_types_roundtrip(self, sock_pair):
+        assert roundtrip(sock_pair, Message(MessageType.METRICS_REQUEST)).type \
+            == MessageType.METRICS_REQUEST
+        out = roundtrip(sock_pair, Message(MessageType.METRICS_RESPONSE,
+                                           text='{"metrics": {}}'))
+        assert out.type == MessageType.METRICS_RESPONSE
+        assert out.text == '{"metrics": {}}'
 
 
 class TestErrors:
