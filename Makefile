@@ -3,10 +3,23 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test trace-demo bench-gateway bench-all
+.PHONY: test chaos trace-demo bench-gateway bench-all
 
 test:
 	$(PY) -m pytest -x -q
+
+# Determinism gate: run the chaos suite twice with the same fault-plan seed,
+# dumping every scenario's invariant report, then require the two report
+# sets to be byte-identical.  CHAOS_SEED=n replays a specific schedule.
+CHAOS_SEED ?= 0
+chaos:
+	rm -rf benchmarks/results/chaos/run1 benchmarks/results/chaos/run2
+	CHAOS_SEED=$(CHAOS_SEED) CHAOS_REPORT_DIR=benchmarks/results/chaos/run1 \
+		$(PY) -m pytest tests/test_chaos.py -x -q
+	CHAOS_SEED=$(CHAOS_SEED) CHAOS_REPORT_DIR=benchmarks/results/chaos/run2 \
+		$(PY) -m pytest tests/test_chaos.py -x -q
+	diff -r benchmarks/results/chaos/run1 benchmarks/results/chaos/run2
+	@echo "chaos determinism gate: reports identical across runs"
 
 # Trace one batch of requests through gateway + fleet with per-layer
 # profiling on; writes a Chrome trace (chrome://tracing / Perfetto) and the

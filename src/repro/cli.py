@@ -21,6 +21,11 @@ Commands
     per-layer profiling on, send traced queries, print the span tree, and
     dump a Chrome trace (chrome://tracing / Perfetto) plus the metrics
     exposition — the paper's Fig-4 breakdown, live.
+``djinn chaos [--scenario NAME] [--seed N] [--requests K] [--json] [--out D]``
+    Run seeded fault-injection scenarios against an in-process gateway +
+    fleet and check the end-to-end invariants (no request lost or answered
+    twice, retries within budget and matching the metrics, traces closed).
+    ``--list`` prints the catalog; exits nonzero on any violation.
 ``djinn plan``
     Per-GPU capability and WSC design comparison (the capacity-planning
     example, in command form).
@@ -271,6 +276,49 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    import json
+    import os
+
+    from .faults import SCENARIOS, default_registry, run_scenario
+
+    if args.list:
+        width = max(len(name) for name in SCENARIOS)
+        for name, scenario in SCENARIOS.items():
+            print(f"{name:{width}s}  {scenario.description}")
+        return 0
+    names = [s for s in args.scenario.split(",") if s] or list(SCENARIOS)
+    for name in names:
+        if name not in SCENARIOS:
+            raise SystemExit(f"unknown scenario {name!r}; see `djinn chaos --list`")
+    registry = default_registry()
+    failed = 0
+    for name in names:
+        report = run_scenario(name, seed=args.seed, registry=registry,
+                              requests=args.requests or None)
+        violations = report.check()
+        if args.json:
+            print(report.to_json())
+        else:
+            verdict = "OK" if not violations else "FAIL"
+            print(f"{name:26s} {verdict:4s} ok={report.ok:3d} "
+                  f"errors={report.error_total} lost={report.lost} "
+                  f"retries={report.retries_metric} "
+                  f"injected={report.injected_total}")
+            for violation in violations:
+                print(f"  VIOLATION: {violation}")
+        if args.out:
+            os.makedirs(args.out, exist_ok=True)
+            path = os.path.join(args.out, f"{name}.json")
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(report.to_json() + "\n")
+        failed += bool(violations)
+    if failed:
+        print(f"\n{failed} scenario(s) violated invariants", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_plan(_args) -> int:
     from .gpusim import all_app_models, select_batch
     from .gpusim.mps import service_segments, simulate_concurrent
@@ -360,12 +408,27 @@ def main(argv=None) -> int:
                        help="exit nonzero unless required spans, >=95%% coverage, "
                             "and parseable exposition are all present")
 
+    chaos = sub.add_parser(
+        "chaos", help="run seeded fault-injection scenarios and check invariants")
+    chaos.add_argument("--scenario", default="",
+                       help="comma-separated scenario names (default: all)")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="fault-plan seed (same seed -> identical report)")
+    chaos.add_argument("--requests", type=int, default=0,
+                       help="override the per-scenario request count")
+    chaos.add_argument("--json", action="store_true",
+                       help="print full invariant reports as JSON")
+    chaos.add_argument("--out", default="",
+                       help="directory to write per-scenario report JSON into")
+    chaos.add_argument("--list", action="store_true",
+                       help="print the scenario catalog and exit")
+
     sub.add_parser("plan", help="capacity and TCO planning summary")
 
     args = parser.parse_args(argv)
     return {"models": cmd_models, "serve": cmd_serve, "query": cmd_query,
             "gateway": cmd_gateway, "metrics": cmd_metrics, "trace": cmd_trace,
-            "plan": cmd_plan}[args.command](args)
+            "chaos": cmd_chaos, "plan": cmd_plan}[args.command](args)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -30,6 +30,7 @@ import numpy as np
 from ..obs.metrics import MetricsRegistry
 from ..obs.profile import LayerTimer
 from ..obs.trace import Tracer, get_tracer
+from . import faultsite
 from .registry import ModelRegistry
 
 __all__ = ["BatchPolicy", "BatchingExecutor"]
@@ -185,6 +186,8 @@ class BatchingExecutor:
             if not batch:
                 return
             try:
+                if faultsite.active is not None:
+                    faultsite.active.on_batch(model)
                 start = self.clock()
                 traced = ([p for p in batch if p.trace is not None]
                           if tracer.enabled else [])

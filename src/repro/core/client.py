@@ -11,7 +11,7 @@ import numpy as np
 from ..obs.metrics import render_exposition
 from ..obs.trace import Tracer, get_tracer
 from ..tonic.app import DnnBackend
-from .protocol import Message, MessageType, recv_message, send_message
+from .protocol import Message, MessageType, ProtocolError, recv_message, send_message
 
 __all__ = ["DjinnClient", "RemoteBackend", "DjinnServiceError", "DjinnConnectionError"]
 
@@ -45,10 +45,11 @@ class DjinnClient:
     """
 
     def __init__(self, host: str, port: int, timeout_s: float = 30.0,
-                 tracer: Optional[Tracer] = None):
+                 tracer: Optional[Tracer] = None, fault_scope: str = "client"):
         self._host, self._port, self._timeout_s = host, port, timeout_s
         self._tracer = tracer if tracer is not None else get_tracer()
-        self._sock = self._connect()
+        self._fault_scope = fault_scope
+        self._sock: Optional[socket.socket] = self._connect()
         self._closed = False
 
     def _connect(self) -> socket.socket:
@@ -63,13 +64,36 @@ class DjinnClient:
         return sock
 
     # -------------------------------------------------------------- plumbing
+    def _teardown(self) -> None:
+        """Drop the socket; the next roundtrip dials fresh."""
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
     def _roundtrip(self, request: Message) -> Message:
         if self._closed:
             raise RuntimeError("client is closed")
+        if self._sock is None:
+            # previous roundtrip died on a transport error; reconnect rather
+            # than read whatever half-frame the dead stream left behind
+            self._sock = self._connect()
         try:
             send_message(self._sock, request)
-            response = recv_message(self._sock)
+            response = recv_message(self._sock, fault_scope=self._fault_scope)
+        except ProtocolError as exc:
+            # A malformed frame means the stream is desynced: any bytes still
+            # buffered belong to no known frame boundary, so the connection
+            # can never be trusted again.  Surface it as retryable transport
+            # failure — a fresh connection will resync.
+            self._teardown()
+            raise DjinnConnectionError(
+                f"protocol desync talking to {self._host}:{self._port}: {exc}"
+            ) from exc
         except (ConnectionError, socket.timeout, OSError) as exc:
+            self._teardown()
             raise DjinnConnectionError(
                 f"transport failure talking to {self._host}:{self._port}: {exc}"
             ) from exc
@@ -79,10 +103,7 @@ class DjinnClient:
 
     def reconnect(self) -> "DjinnClient":
         """Drop the current connection (if any) and dial the server again."""
-        try:
-            self._sock.close()
-        except OSError:
-            pass
+        self._teardown()
         self._sock = self._connect()
         self._closed = False
         return self
@@ -90,10 +111,7 @@ class DjinnClient:
     def close(self) -> None:
         if not self._closed:
             self._closed = True
-            try:
-                self._sock.close()
-            except OSError:
-                pass
+            self._teardown()
 
     @property
     def address(self) -> Tuple[str, int]:

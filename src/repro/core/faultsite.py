@@ -1,0 +1,48 @@
+"""The fault-injection seam for :mod:`repro.faults`.
+
+Production code never imports the chaos machinery; instead, the handful of
+places where the serving stack touches the outside world (protocol
+send/recv, connection accept, pool checkout, batch execution, health
+probes) consult :data:`active` — a module global that is ``None`` unless a
+:class:`repro.faults.FaultPlan` has been armed.  The per-call cost when
+nothing is armed is a single attribute load and ``is not None`` test, so
+the hooks are safe to leave in hot paths (``make bench-gateway`` measures
+the same throughput with and without this module present).
+
+This module is a dependency-free leaf so every layer (core, gateway,
+faults) can import it without cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["InjectedFault", "active", "install", "uninstall"]
+
+
+class InjectedFault(ConnectionError):
+    """A deliberately injected transport-level failure.
+
+    Subclasses :class:`ConnectionError` so every existing handler that
+    survives a real peer reset (client roundtrips, server connection loops,
+    gateway retries) treats an injected fault exactly like the genuine
+    article — the point of the exercise.
+    """
+
+
+#: The armed :class:`repro.faults.FaultInjector`, or ``None`` (production).
+active = None  # type: Optional[object]
+
+
+def install(injector) -> None:
+    """Arm ``injector`` process-wide; refuses to stack plans."""
+    global active
+    if active is not None:
+        raise RuntimeError("a fault plan is already armed; disarm it first")
+    active = injector
+
+
+def uninstall() -> None:
+    """Disarm whatever is installed (idempotent)."""
+    global active
+    active = None

@@ -36,6 +36,8 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from . import faultsite
+
 __all__ = [
     "MessageType",
     "Message",
@@ -135,7 +137,10 @@ def send_message(sock: socket.socket, message: Message) -> None:
     parts.append(_BODY_LEN.pack(len(body)))
     parts.append(name)
     parts.append(body)
-    sock.sendall(b"".join(parts))
+    frame = b"".join(parts)
+    if faultsite.active is not None:
+        frame = faultsite.active.on_send(sock, message.type.name, frame)
+    sock.sendall(frame)
 
 
 def _recv_exact(sock: socket.socket, count: int) -> bytes:
@@ -150,8 +155,15 @@ def _recv_exact(sock: socket.socket, count: int) -> bytes:
     return b"".join(chunks)
 
 
-def recv_message(sock: socket.socket) -> Message:
-    """Receive and parse one frame (blocking)."""
+def recv_message(sock: socket.socket, fault_scope: str = "") -> Message:
+    """Receive and parse one frame (blocking).
+
+    ``fault_scope`` names the receiving role for the fault-injection seam
+    (e.g. ``"client"``, ``"gateway.client"``, ``"probe"``, or a server's
+    service name); it has no effect unless a fault plan is armed.
+    """
+    if faultsite.active is not None:
+        faultsite.active.on_recv(sock, fault_scope)
     magic, version, mtype, name_len, ndim = _HEADER.unpack(_recv_exact(sock, _HEADER.size))
     if magic != MAGIC:
         raise ProtocolError(f"bad magic {magic!r}")

@@ -28,6 +28,7 @@ from typing import Callable, Optional, Tuple
 from ..obs.metrics import MetricsRegistry
 from ..obs.profile import LayerTimer
 from ..obs.trace import Tracer, get_tracer
+from . import faultsite
 from .batching import BatchingExecutor, BatchPolicy
 from .protocol import Message, MessageType, ProtocolError, recv_message, send_message
 from .registry import ModelRegistry
@@ -134,6 +135,13 @@ class TcpServiceBase:
                 conn, _addr = self._listener.accept()
             except OSError:
                 return  # listener closed
+            if faultsite.active is not None and faultsite.active.on_accept(self.service_name):
+                # injected refusal: the peer's first read sees a dead socket
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+                continue
             with self._conns_lock:
                 self._conns.append(conn)
             worker = threading.Thread(
@@ -148,13 +156,20 @@ class TcpServiceBase:
             with conn:
                 while self._running.is_set():
                     try:
-                        request = recv_message(conn)
+                        request = recv_message(conn, fault_scope=self.service_name)
                     except (ConnectionError, OSError):
                         return
                     except ProtocolError as exc:
                         self._safe_send(conn, Message(MessageType.ERROR, text=str(exc)))
                         return
-                    if not self._handle(conn, request):
+                    try:
+                        if not self._handle(conn, request):
+                            return
+                    except (ConnectionError, OSError):
+                        # the handler lost its transport mid-request (e.g. a
+                        # backend crash surfaced through the batching
+                        # executor); drop the connection so the peer fails
+                        # fast instead of waiting on a wedged stream
                         return
         finally:
             with self._conns_lock:

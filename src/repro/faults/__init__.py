@@ -1,0 +1,31 @@
+"""Deterministic fault injection and the chaos harness for the DjiNN stack.
+
+A seeded :class:`FaultPlan` schedules faults at injection sites wired
+through the serving stack (protocol send/recv, connection accept, pool
+checkout, batch execution, health probes — see :data:`SITES`); every hook
+is a no-op until a plan is armed.  :class:`ChaosHarness` runs a real
+gateway + backend fleet under a plan and distills the run into a
+:class:`ChaosReport` whose invariants (no request lost or answered twice,
+retries within budget and matching the metrics, traces closed) are what
+``tests/test_chaos.py`` and ``djinn chaos`` assert.
+"""
+
+from ..core.faultsite import InjectedFault
+from .harness import ChaosHarness, ChaosReport, default_registry
+from .plan import KINDS_BY_SITE, SITES, FaultInjector, FaultPlan, FaultRule
+from .scenarios import SCENARIOS, Scenario, run_scenario
+
+__all__ = [
+    "SITES",
+    "KINDS_BY_SITE",
+    "FaultRule",
+    "FaultPlan",
+    "FaultInjector",
+    "InjectedFault",
+    "ChaosHarness",
+    "ChaosReport",
+    "Scenario",
+    "SCENARIOS",
+    "run_scenario",
+    "default_registry",
+]

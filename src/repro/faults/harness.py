@@ -1,0 +1,327 @@
+"""The chaos harness: run a real gateway + fleet under an armed fault plan
+and witness the end-to-end invariants through the observability substrate.
+
+:class:`ChaosHarness` stands up an in-process fleet (via
+:class:`repro.gateway.ClusterLauncher`) behind a real
+:class:`repro.gateway.GatewayServer`, arms a :class:`FaultPlan`, and drives
+a *sequential* load loop: one logical request at a time, each input stamped
+with its request ordinal so a stale or misrouted response is detected by
+payload, not just by count.  Sequential traffic is deliberate — it is what
+makes the fault schedule (and therefore the whole run) a pure function of
+the plan seed, so any failure replays from its seed alone.
+
+After the loop, the harness reads the run back through obs surfaces —
+``gateway_retries_total`` / ``gateway_retry_exhausted_total`` counters,
+``gateway_backend_transitions_total``, structured ``event=retry`` log
+records, and the process tracer — and distills everything into a
+:class:`ChaosReport` whose :meth:`ChaosReport.check` enforces:
+
+* every request got exactly one response or one typed error — none lost,
+  none duplicated/stale (payload-checked);
+* retries stayed within the :class:`RetryPolicy` budget and the logged
+  retry events equal ``gateway_retries_total``;
+* health transitions are consistent with the faults actually injected;
+* every trace closed cleanly (a ``client.infer`` root span exists even for
+  requests that failed).
+
+Reports contain only counts — no wall-clock times — so two runs of the
+same plan seed serialize to byte-identical JSON (the CI determinism gate
+diffs exactly that).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.client import DjinnClient, DjinnConnectionError, DjinnServiceError
+from ..core.registry import ModelRegistry
+from ..gateway.launcher import ClusterLauncher
+from ..gateway.retry import RetryPolicy
+from ..gateway.server import GatewayServer
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import get_tracer
+from .plan import FaultPlan
+
+__all__ = ["ChaosReport", "ChaosHarness", "default_registry"]
+
+
+def default_registry(model: str = "pos") -> ModelRegistry:
+    """The small, fast model the chaos suite exercises by default."""
+    from ..models import build_spec
+
+    registry = ModelRegistry()
+    registry.register_spec(model, build_spec(model), seed=0)
+    return registry
+
+
+@dataclass
+class ChaosReport:
+    """Deterministic summary of one chaos run (counts only, no timings)."""
+
+    scenario: str
+    seed: int
+    requests: int
+    ok: int = 0
+    #: typed client-visible errors, keyed by exception class name
+    errors: Dict[str, int] = field(default_factory=dict)
+    #: responses whose payload did not match the request (stale/duplicate)
+    mismatched: int = 0
+    retry_budget: int = 0          # RetryPolicy.max_attempts
+    retries_logged: int = 0        # event=retry log records observed
+    retries_metric: int = 0        # gateway_retries_total
+    retry_exhausted_metric: int = 0
+    transitions: Dict[str, int] = field(default_factory=dict)
+    injected: Dict[str, int] = field(default_factory=dict)
+    #: distinct traces that closed a ``client.infer`` root span — must equal
+    #: ``requests``: even a request that died in transport leaves a closed
+    #: root.  Stray late spans from other runs' lingering threads carry
+    #: foreign trace IDs with no such root and are deliberately not counted
+    #: (their timing is nondeterministic; the report must not be).
+    traces: int = 0
+
+    @property
+    def error_total(self) -> int:
+        return sum(self.errors.values())
+
+    @property
+    def lost(self) -> int:
+        """Requests that produced neither a response nor a typed error."""
+        return self.requests - self.ok - self.error_total - self.mismatched
+
+    @property
+    def injected_total(self) -> int:
+        return sum(self.injected.values())
+
+    def check(self) -> List[str]:
+        """End-to-end invariant violations (empty = the run held up)."""
+        violations = []
+        if self.lost != 0:
+            violations.append(f"{self.lost} request(s) lost: no response and "
+                              f"no typed error")
+        if self.mismatched != 0:
+            violations.append(f"{self.mismatched} response(s) carried the "
+                              f"wrong payload (stale/duplicated)")
+        if self.retries_logged != self.retries_metric:
+            violations.append(
+                f"retry log records ({self.retries_logged}) != "
+                f"gateway_retries_total ({self.retries_metric})")
+        budget = self.requests * max(0, self.retry_budget - 1)
+        if self.retries_metric > budget:
+            violations.append(
+                f"gateway_retries_total ({self.retries_metric}) exceeds the "
+                f"RetryPolicy budget ({budget})")
+        flaps = sum(count for label, count in self.injected.items()
+                    if label.startswith("health.probe:flap"))
+        if self.transitions.get("mark_down", 0) < flaps:
+            violations.append(
+                f"injected {flaps} probe flap(s) but only "
+                f"{self.transitions.get('mark_down', 0)} mark_down transition(s)")
+        if self.traces != self.requests:
+            violations.append(
+                f"expected one closed client.infer root per request "
+                f"({self.requests}), found {self.traces}")
+        return violations
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "requests": self.requests,
+            "ok": self.ok,
+            "errors": dict(sorted(self.errors.items())),
+            "error_total": self.error_total,
+            "mismatched": self.mismatched,
+            "lost": self.lost,
+            "retry_budget": self.retry_budget,
+            "retries_logged": self.retries_logged,
+            "retries_metric": self.retries_metric,
+            "retry_exhausted_metric": self.retry_exhausted_metric,
+            "transitions": dict(sorted(self.transitions.items())),
+            "injected": dict(sorted(self.injected.items())),
+            "injected_total": self.injected_total,
+            "traces": self.traces,
+            "violations": self.check(),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+
+class _RetryLogCounter(logging.Handler):
+    """Counts the gateway's structured retry events as obs would see them."""
+
+    def __init__(self):
+        super().__init__(level=logging.DEBUG)
+        self.retries = 0
+        self.exhausted = 0
+
+    def emit(self, record: logging.LogRecord) -> None:
+        message = record.getMessage()
+        if message.startswith("event=retry.exhausted"):
+            self.exhausted += 1
+        elif message.startswith("event=retry "):
+            self.retries += 1
+
+
+def _counter_total(registry: MetricsRegistry, name: str) -> int:
+    family = registry.get(name)
+    if family is None:
+        return 0
+    return int(sum(child.value for _, child in family.children()))
+
+
+def _transition_totals(registry: MetricsRegistry) -> Dict[str, int]:
+    """mark_down/mark_up totals, aggregated over (dynamic-port) backends."""
+    family = registry.get("gateway_backend_transitions_total")
+    totals: Dict[str, int] = {}
+    if family is None:
+        return totals
+    event_at = family.labelnames.index("event")
+    for labelvalues, child in family.children():
+        event = labelvalues[event_at]
+        totals[event] = totals.get(event, 0) + int(child.value)
+    return totals
+
+
+class ChaosHarness:
+    """Drive a gateway + fleet under a fault plan; produce a ChaosReport.
+
+    Parameters
+    ----------
+    plan:
+        The fault schedule.  The harness arms it before the gateway's first
+        health sweep, so startup probes are already inside the blast radius.
+    registry:
+        Models to serve; defaults to a fresh single-``pos`` registry
+        (tests pass a shared one to amortize materialization).
+    requests:
+        Length of the sequential load loop.
+    backends:
+        Fleet size behind the gateway.
+    batching:
+        Optional :class:`repro.core.BatchPolicy` for the backends — the
+        ``batch.execute`` fault site only sees traffic when this is set.
+    retry:
+        Gateway retry budget; the default keeps backoff sleeps short so a
+        full chaos suite stays fast.
+    client_timeout_s / backend_timeout_s:
+        Socket timeouts for the harness client and the gateway's backend
+        connections; stall scenarios set these below their ``delay_s``.
+    probe_rounds:
+        Health sweeps run *after* the load loop at a deterministic point
+        (the background prober is parked at a huge interval), so
+        ``health.probe`` flap schedules line up run to run.
+    """
+
+    def __init__(self, plan: FaultPlan, *,
+                 registry: Optional[ModelRegistry] = None,
+                 model: str = "pos",
+                 requests: int = 24,
+                 backends: int = 2,
+                 batching=None,
+                 retry: Optional[RetryPolicy] = None,
+                 client_timeout_s: float = 5.0,
+                 backend_timeout_s: float = 5.0,
+                 probe_rounds: int = 0,
+                 service_floor_s: float = 0.0):
+        if requests < 1:
+            raise ValueError(f"requests must be >= 1, got {requests}")
+        self.plan = plan
+        self.registry = registry if registry is not None else default_registry(model)
+        self.model = model
+        self.requests = requests
+        self.backends = backends
+        self.batching = batching
+        self.retry = retry or RetryPolicy(max_attempts=4, base_delay_s=0.005,
+                                          max_delay_s=0.02)
+        self.client_timeout_s = client_timeout_s
+        self.backend_timeout_s = backend_timeout_s
+        self.probe_rounds = probe_rounds
+        self.service_floor_s = service_floor_s
+
+    # ----------------------------------------------------------------- load
+    def _input(self, index: int, shape) -> np.ndarray:
+        """A payload that names its request: stamp the ordinal into the
+        tensor so a response can be matched to exactly one request."""
+        x = np.full((1,) + tuple(shape), 0.25, dtype=np.float32)
+        x.reshape(-1)[0] = float(index + 1)
+        return x
+
+    def run(self) -> ChaosReport:
+        net = self.registry.get(self.model)
+        report = ChaosReport(scenario=self.plan.name or "custom",
+                             seed=self.plan.seed, requests=self.requests,
+                             retry_budget=self.retry.max_attempts)
+
+        tracer = get_tracer()
+        was_enabled = tracer.enabled
+        tracer.clear()
+        tracer.enable()
+        gw_logger = logging.getLogger("repro.gateway")
+        retry_counter = _RetryLogCounter()
+        old_level = gw_logger.level
+        gw_logger.addHandler(retry_counter)
+        gw_logger.setLevel(logging.INFO)
+        try:
+            with ClusterLauncher(self.registry, backends=self.backends,
+                                 batching=self.batching,
+                                 service_floor_s=self.service_floor_s) as cluster:
+                gateway = GatewayServer(
+                    cluster.addresses, policy="round_robin", retry=self.retry,
+                    health_interval_s=3600.0,  # probes only where scheduled
+                    backend_timeout_s=self.backend_timeout_s,
+                )
+                with self.plan.armed() as injector:
+                    gateway.start()
+                    client = None
+                    try:
+                        host, port = gateway.address
+                        client = DjinnClient(host, port,
+                                             timeout_s=self.client_timeout_s)
+                        for i in range(self.requests):
+                            x = self._input(i, net.input_shape)
+                            expected = net.forward(x)
+                            try:
+                                out = client.infer(self.model, x)
+                            except (DjinnConnectionError,
+                                    DjinnServiceError) as exc:
+                                kind = type(exc).__name__
+                                report.errors[kind] = report.errors.get(kind, 0) + 1
+                            else:
+                                if (out.shape == expected.shape
+                                        and np.allclose(out, expected,
+                                                        rtol=1e-4, atol=1e-5)):
+                                    report.ok += 1
+                                else:
+                                    report.mismatched += 1
+                        for _ in range(self.probe_rounds):
+                            gateway.health.probe_all()
+                        report.retries_metric = _counter_total(
+                            gateway.metrics, "gateway_retries_total")
+                        report.retry_exhausted_metric = _counter_total(
+                            gateway.metrics, "gateway_retry_exhausted_total")
+                        report.transitions = _transition_totals(gateway.metrics)
+                        report.injected = injector.fires()
+                    finally:
+                        if client is not None:
+                            client.close()
+                        gateway.stop()
+        finally:
+            gw_logger.removeHandler(retry_counter)
+            gw_logger.setLevel(old_level)
+            report.retries_logged = retry_counter.retries
+            # even a request that died in transport must leave a closed
+            # client.infer root span — that is the "traces close cleanly"
+            # invariant, read straight off the tracer
+            rooted = {s.trace_id for s in tracer.spans()
+                      if s.name == "client.infer" and s.end_s is not None}
+            report.traces = len(rooted)
+            tracer.clear()
+            if not was_enabled:
+                tracer.disable()
+        return report

@@ -1,0 +1,194 @@
+"""The chaos scenario catalog: named fault plans with known-good shapes.
+
+Each :class:`Scenario` pairs a rule set with the harness configuration it
+needs (timeouts below a stall's ``delay_s``, batching on for batch-site
+faults, post-load probe rounds for flap schedules).  The catalog is ordered
+from "nothing injected" to "everything at once":
+
+* ``baseline`` — no faults; the control run every invariant must pass.
+* single-site scenarios — one failure mode each, with a predictable
+  client-visible outcome (retried transparently vs. surfaced as one typed
+  error) asserted by ``tests/test_chaos.py``.
+* ``mixed`` — probability-triggered faults at three sites at once; only
+  the end-to-end invariants are asserted, which is the point: whatever
+  combination the seed draws, no request may be lost or answered twice.
+
+Event-ordinal comments below rely on the harness's deterministic event
+streams: the gateway's startup probe sweep consumes ``server.accept``
+events 1..N (N backends) and ``health.probe`` events 1..N before any load,
+and each no-fault request contributes two ``INFER_REQUEST`` send events
+(client→gateway, then gateway→backend) and two ``INFER_RESPONSE`` send
+events (backend→gateway, then gateway→client), in that order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..core.batching import BatchPolicy
+from ..core.registry import ModelRegistry
+from .harness import ChaosHarness, ChaosReport
+from .plan import FaultPlan, FaultRule
+
+__all__ = ["Scenario", "SCENARIOS", "run_scenario"]
+
+#: Small batches + short window keep batching scenarios fast.
+_BATCHING = BatchPolicy(max_batch=4, timeout_ms=1.0)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named rule set plus the harness knobs it needs to be meaningful."""
+
+    name: str
+    description: str
+    rules: Tuple[FaultRule, ...]
+    #: extra ChaosHarness keyword arguments (timeouts, batching, probes)
+    harness: Mapping[str, object] = field(default_factory=dict)
+
+    def plan(self, seed: int = 0) -> FaultPlan:
+        return FaultPlan(rules=self.rules, seed=seed, name=self.name)
+
+
+def _catalog(*scenarios: Scenario) -> Dict[str, Scenario]:
+    return {s.name: s for s in scenarios}
+
+
+SCENARIOS: Dict[str, Scenario] = _catalog(
+    Scenario(
+        "baseline",
+        "No faults at all; every request must succeed.",
+        rules=(),
+    ),
+    Scenario(
+        "conn_reset",
+        "Gateway→backend sends of requests 1 and 2 die on a connection "
+        "reset; the retry budget absorbs both (send events 2 and 5 are the "
+        "gateway-side INFER_REQUEST copies).",
+        rules=(FaultRule("protocol.send", "reset", scope="INFER_REQUEST",
+                         nth=(2, 5)),),
+    ),
+    Scenario(
+        "truncated_response",
+        "The gateway's response to request 1 is cut off mid-frame "
+        "(INFER_RESPONSE send event 2 is gateway→client); the client sees "
+        "one typed connection error and reconnects for request 2.",
+        rules=(FaultRule("protocol.send", "truncate", scope="INFER_RESPONSE",
+                         nth=(2,), bytes_kept=12),),
+    ),
+    Scenario(
+        "corrupt_response",
+        "The first backend→gateway response frame arrives with bad magic; "
+        "the gateway treats the protocol desync as a transport failure and "
+        "retries on the other backend — invisible to the client.",
+        rules=(FaultRule("protocol.send", "corrupt", scope="INFER_RESPONSE",
+                         nth=(1,)),),
+    ),
+    Scenario(
+        "corrupt_request",
+        "The client's first request frame is corrupted in flight; the "
+        "gateway answers with a typed ERROR and drops the connection, so "
+        "request 1 fails as a service error and request 2 burns one "
+        "connection error finding out before request 3 reconnects.",
+        rules=(FaultRule("protocol.send", "corrupt", scope="INFER_REQUEST",
+                         nth=(1,)),),
+    ),
+    Scenario(
+        "response_stall_timeout",
+        "The first backend→gateway response stalls past the gateway's "
+        "backend timeout; the gateway abandons the connection and retries "
+        "elsewhere — the late response lands on a closed socket, never a "
+        "live one.",
+        rules=(FaultRule("protocol.send", "stall", scope="INFER_RESPONSE",
+                         nth=(1,), delay_s=0.4),),
+        harness={"backend_timeout_s": 0.15},
+    ),
+    Scenario(
+        "client_stall_timeout",
+        "The gateway→client response to request 1 stalls past the client's "
+        "timeout.  The client MUST tear the connection down: reading the "
+        "next frame off that socket would hand request 2 the stale answer "
+        "to request 1 (the DjinnClient half-state regression).",
+        rules=(FaultRule("protocol.send", "stall", scope="INFER_RESPONSE",
+                         nth=(2,), delay_s=0.4),),
+        harness={"client_timeout_s": 0.15},
+    ),
+    Scenario(
+        "checkout_refused",
+        "Pool checkouts 1 and 3 are refused, marking each backend down in "
+        "turn; the second refusal empties the fleet, so the gateway's "
+        "fleet-down probe sweep must bring both backends back (2 mark_down "
+        "+ 2 mark_up transitions, requests all succeed).",
+        rules=(FaultRule("pool.checkout", "refuse", nth=(1, 3)),),
+    ),
+    Scenario(
+        "accept_refused",
+        "The backend fleet refuses the gateway's first request-path "
+        "connection (accept events 1..2 were the startup probes); the "
+        "gateway retries on the other backend.",
+        rules=(FaultRule("server.accept", "refuse", scope="djinn", nth=(3,)),),
+    ),
+    Scenario(
+        "backend_crash_mid_batch",
+        "With batching on, the forward pass for request 3 dies inside the "
+        "batch worker; every waiter on that batch errors, the connection "
+        "dies, and the gateway retries the request on the other backend.",
+        rules=(FaultRule("batch.execute", "crash", nth=(3,)),),
+        harness={"batching": _BATCHING},
+    ),
+    Scenario(
+        "slow_backend",
+        "Every executed batch is delayed — a saturated backend.  Nothing "
+        "fails; the run just proves delay injection composes with batching "
+        "and timeouts that are not hair-triggered.",
+        rules=(FaultRule("batch.execute", "delay", every=1, delay_s=0.01),),
+        harness={"batching": _BATCHING},
+    ),
+    Scenario(
+        "probe_flap",
+        "After the load loop, one probe sweep flaps both backends down "
+        "(probe events 3 and 4; 1 and 2 were startup) and the next sweep "
+        "recovers them — transitions must equal the injected flaps.",
+        rules=(FaultRule("health.probe", "flap", nth=(3, 4)),),
+        harness={"probe_rounds": 2},
+    ),
+    Scenario(
+        "recv_reset_client",
+        "The client's connection resets while awaiting response 2 — after "
+        "the request was sent, so the fleet did the work; the client sees "
+        "one typed error and its next request reconnects cleanly.",
+        rules=(FaultRule("protocol.recv", "reset", scope="client", nth=(2,)),),
+    ),
+    Scenario(
+        "mixed",
+        "Probability-triggered resets, truncations, and checkout refusals "
+        "all at once over a longer run; whatever the seed draws, the "
+        "end-to-end invariants must hold.",
+        rules=(
+            FaultRule("protocol.send", "reset", scope="INFER_REQUEST",
+                      probability=0.12),
+            FaultRule("protocol.send", "truncate", scope="INFER_RESPONSE",
+                      probability=0.08, limit=2, bytes_kept=16),
+            FaultRule("pool.checkout", "refuse", probability=0.08),
+        ),
+        harness={"requests": 40},
+    ),
+)
+
+
+def run_scenario(name: str, seed: int = 0,
+                 registry: Optional[ModelRegistry] = None,
+                 requests: Optional[int] = None) -> ChaosReport:
+    """Run one catalog scenario and return its invariant report."""
+    try:
+        scenario = SCENARIOS[name]
+    except KeyError:
+        raise KeyError(f"unknown chaos scenario {name!r}; "
+                       f"known: {sorted(SCENARIOS)}") from None
+    kwargs = dict(scenario.harness)
+    if registry is not None:
+        kwargs["registry"] = registry
+    if requests is not None:
+        kwargs["requests"] = requests
+    return ChaosHarness(scenario.plan(seed), **kwargs).run()

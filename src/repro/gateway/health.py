@@ -18,6 +18,7 @@ from __future__ import annotations
 import threading
 from typing import Optional
 
+from ..core import faultsite
 from ..core.client import DjinnClient, DjinnServiceError
 from .pool import BackendHandle, BackendPool
 
@@ -40,9 +41,13 @@ class HealthChecker:
     # ----------------------------------------------------------- probing
     def probe(self, backend: BackendHandle) -> bool:
         """One synchronous probe; updates the backend's health state."""
+        if faultsite.active is not None and faultsite.active.on_probe(backend.key):
+            backend.mark_down()  # injected flap: the probe "failed"
+            return False
         try:
             with DjinnClient(backend.host, backend.port,
-                             timeout_s=self.probe_timeout_s) as client:
+                             timeout_s=self.probe_timeout_s,
+                             fault_scope="probe") as client:
                 models = client.list_models()
         except (DjinnServiceError, OSError):
             backend.mark_down()

@@ -13,6 +13,7 @@ from __future__ import annotations
 import threading
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..core import faultsite
 from ..core.client import DjinnClient, DjinnConnectionError
 from ..obs.trace import Tracer
 
@@ -85,6 +86,8 @@ class BackendHandle:
 
         Raises :class:`DjinnConnectionError` if the backend is unreachable.
         """
+        if faultsite.active is not None:
+            faultsite.active.on_checkout(self.key)  # may raise (injected refusal)
         with self._lock:
             client = self._idle.pop() if self._idle else None
             self._outstanding += 1
@@ -92,7 +95,7 @@ class BackendHandle:
             return client
         try:
             return DjinnClient(self.host, self.port, timeout_s=self.timeout_s,
-                               tracer=self._tracer)
+                               tracer=self._tracer, fault_scope="gateway.client")
         except DjinnConnectionError:
             with self._lock:
                 self._outstanding -= 1

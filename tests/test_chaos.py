@@ -1,0 +1,354 @@
+"""Chaos tests: the fault-injection layer and end-to-end serving invariants.
+
+The scenario tests run a real gateway + backend fleet under seeded fault
+plans (``repro.faults``) and assert the :class:`ChaosReport` invariants:
+no request lost or answered with the wrong payload, retries within the
+``RetryPolicy`` budget and equal to ``gateway_retries_total``, health
+transitions consistent with the injected faults, and one closed
+``client.infer`` root span per request.
+
+Determinism is itself under test: the same plan seed must produce the
+byte-identical report.  Set ``CHAOS_REPORT_DIR`` to dump every scenario
+report as JSON — CI runs this module twice with the same ``CHAOS_SEED``
+into two directories and diffs them.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import DjinnServer, ModelRegistry
+from repro.core.client import DjinnClient, DjinnConnectionError
+from repro.core import faultsite
+from repro.faults import (
+    SCENARIOS,
+    ChaosReport,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+    run_scenario,
+)
+from repro.models import build_spec
+
+
+@pytest.fixture(scope="module")
+def registry():
+    reg = ModelRegistry()
+    reg.register_spec("pos", build_spec("pos"), seed=0)
+    return reg
+
+
+def _emit_report(report):
+    """Write the report where the CI determinism gate can diff it."""
+    out_dir = os.environ.get("CHAOS_REPORT_DIR")
+    if not out_dir:
+        return
+    Path(out_dir).mkdir(parents=True, exist_ok=True)
+    path = Path(out_dir) / f"{report.scenario}_{report.seed}.json"
+    path.write_text(report.to_json() + "\n")
+
+
+# --------------------------------------------------------------------- plans
+class TestFaultRuleValidation:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            FaultRule("protocol.sendd", "reset", nth=(1,))
+
+    def test_kind_must_match_site(self):
+        with pytest.raises(ValueError, match="does not honour"):
+            FaultRule("health.probe", "reset", nth=(1,))
+
+    def test_rule_needs_a_trigger(self):
+        with pytest.raises(ValueError, match="needs a trigger"):
+            FaultRule("protocol.send", "reset")
+
+    def test_nth_is_one_based(self):
+        with pytest.raises(ValueError, match="1-based"):
+            FaultRule("protocol.send", "reset", nth=(0,))
+
+    def test_probability_bounds(self):
+        with pytest.raises(ValueError, match="probability"):
+            FaultRule("protocol.send", "reset", probability=1.5)
+
+    def test_plan_json_roundtrip(self):
+        plan = FaultPlan(
+            rules=(FaultRule("protocol.send", "truncate", scope="INFER_RESPONSE",
+                             nth=(2, 5), bytes_kept=12),
+                   FaultRule("pool.checkout", "refuse", probability=0.1, limit=3)),
+            seed=42, name="roundtrip")
+        restored = FaultPlan.from_dict(json.loads(plan.to_json()))
+        assert restored == plan
+        assert restored.to_json() == plan.to_json()
+
+
+class TestFaultSiteArming:
+    def test_disarmed_by_default(self):
+        assert faultsite.active is None
+
+    def test_armed_plan_installs_and_uninstalls(self):
+        plan = FaultPlan(rules=(FaultRule("protocol.send", "reset", nth=(1,)),))
+        with plan.armed() as injector:
+            assert faultsite.active is injector
+            assert isinstance(injector, FaultInjector)
+        assert faultsite.active is None
+
+    def test_double_arming_rejected(self):
+        plan = FaultPlan(rules=())
+        with plan.armed():
+            with pytest.raises(RuntimeError, match="already armed"):
+                with plan.armed():
+                    pass
+        assert faultsite.active is None
+
+    def test_rearming_builds_fresh_counters(self):
+        """The same plan object replays identically: counters re-zero."""
+        plan = FaultPlan(rules=(FaultRule("health.probe", "flap", nth=(1,)),))
+        for _ in range(2):
+            with plan.armed() as injector:
+                assert injector.on_probe("b1") is True   # event 1: fires
+                assert injector.on_probe("b1") is False  # event 2: spent
+                assert injector.fires() == {"health.probe:flap:*": 1}
+
+
+class TestInjectorTriggers:
+    def test_nth_fires_on_exact_ordinals(self):
+        plan = FaultPlan(rules=(FaultRule("server.accept", "refuse", nth=(2, 4)),))
+        with plan.armed() as injector:
+            assert [injector.on_accept("djinn") for _ in range(5)] \
+                == [False, True, False, True, False]
+
+    def test_scope_filters_event_stream(self):
+        plan = FaultPlan(rules=(FaultRule("server.accept", "refuse",
+                                          scope="djinn", nth=(1,)),))
+        with plan.armed() as injector:
+            assert injector.on_accept("gateway") is False  # wrong scope
+            assert injector.on_accept("djinn") is True     # djinn event 1
+
+    def test_every_and_limit(self):
+        plan = FaultPlan(rules=(FaultRule("server.accept", "refuse",
+                                          every=2, limit=2),))
+        with plan.armed() as injector:
+            fired = [injector.on_accept("djinn") for _ in range(8)]
+            assert fired == [False, True, False, True, False, False, False, False]
+
+    def test_probability_is_seed_deterministic(self):
+        rule = FaultRule("server.accept", "refuse", probability=0.3)
+        outcomes = []
+        for _ in range(2):
+            with FaultPlan(rules=(rule,), seed=9).armed() as injector:
+                outcomes.append([injector.on_accept("djinn") for _ in range(30)])
+        assert outcomes[0] == outcomes[1]
+        assert any(outcomes[0])  # at p=0.3 over 30 draws, some fire
+
+    def test_checkout_refusal_is_typed(self):
+        plan = FaultPlan(rules=(FaultRule("pool.checkout", "refuse", nth=(1,)),))
+        with plan.armed() as injector:
+            with pytest.raises(DjinnConnectionError, match="injected refusal"):
+                injector.on_checkout("127.0.0.1:1")
+
+    def test_injected_fault_is_a_connection_error(self):
+        # existing `except (ConnectionError, OSError)` paths must treat an
+        # injected fault exactly like a real transport failure
+        assert issubclass(InjectedFault, ConnectionError)
+
+
+# ------------------------------------------------------------------ report
+class TestChaosReport:
+    def test_clean_report_has_no_violations(self):
+        report = ChaosReport(scenario="s", seed=0, requests=4, ok=4,
+                             retry_budget=3, traces=4)
+        assert report.check() == []
+        assert report.lost == 0
+
+    def test_lost_requests_flagged(self):
+        report = ChaosReport(scenario="s", seed=0, requests=4, ok=3,
+                             retry_budget=3, traces=4)
+        assert report.lost == 1
+        assert any("lost" in v for v in report.check())
+
+    def test_duplicated_payloads_flagged(self):
+        report = ChaosReport(scenario="s", seed=0, requests=4, ok=3,
+                             mismatched=1, retry_budget=3, traces=4)
+        assert any("wrong payload" in v for v in report.check())
+
+    def test_retry_log_metric_divergence_flagged(self):
+        report = ChaosReport(scenario="s", seed=0, requests=4, ok=4,
+                             retry_budget=3, retries_logged=2,
+                             retries_metric=3, traces=4)
+        assert any("gateway_retries_total" in v for v in report.check())
+
+    def test_retry_budget_overrun_flagged(self):
+        report = ChaosReport(scenario="s", seed=0, requests=2, ok=2,
+                             retry_budget=2, retries_logged=5,
+                             retries_metric=5, traces=2)
+        assert any("budget" in v for v in report.check())
+
+    def test_missing_trace_root_flagged(self):
+        report = ChaosReport(scenario="s", seed=0, requests=4, ok=4,
+                             retry_budget=3, traces=3)
+        assert any("client.infer" in v for v in report.check())
+
+    def test_json_is_stable(self):
+        report = ChaosReport(scenario="s", seed=1, requests=2, ok=2,
+                             retry_budget=3, traces=2)
+        assert report.to_json() == report.to_json()
+        assert json.loads(report.to_json())["violations"] == []
+
+
+# --------------------------------------------------------------- scenarios
+class TestScenarios:
+    """Every catalog scenario must hold the end-to-end invariants."""
+
+    @pytest.mark.parametrize("name", list(SCENARIOS))
+    def test_invariants_hold(self, name, registry, chaos_seed):
+        report = run_scenario(name, seed=chaos_seed, registry=registry)
+        _emit_report(report)
+        assert report.check() == [], report.to_json()
+        assert report.lost == 0
+        assert report.mismatched == 0
+
+    def test_baseline_is_fault_free(self, registry, chaos_seed):
+        report = run_scenario("baseline", seed=chaos_seed, registry=registry)
+        assert report.ok == report.requests
+        assert report.injected == {}
+        assert report.retries_metric == 0
+
+    def test_conn_reset_absorbed_by_retries(self, registry, chaos_seed):
+        report = run_scenario("conn_reset", seed=chaos_seed, registry=registry)
+        assert report.ok == report.requests          # client never saw a fault
+        assert report.retries_metric == 2            # one per injected reset
+        assert report.retries_logged == 2
+        assert report.injected == {"protocol.send:reset:INFER_REQUEST": 2}
+
+    def test_client_stall_surfaces_one_error_no_stale_reads(self, registry,
+                                                            chaos_seed):
+        """The DjinnClient half-state regression scenario: the timed-out
+        request fails typed; no later request reads its stale response."""
+        report = run_scenario("client_stall_timeout", seed=chaos_seed,
+                              registry=registry)
+        assert report.errors == {"DjinnConnectionError": 1}
+        assert report.mismatched == 0
+        assert report.ok == report.requests - 1
+
+    def test_checkout_refusals_recover_through_probes(self, registry,
+                                                      chaos_seed):
+        report = run_scenario("checkout_refused", seed=chaos_seed,
+                              registry=registry)
+        assert report.ok == report.requests
+        # both backends marked down in turn, both recovered by the
+        # fleet-down probe sweep
+        assert report.transitions == {"mark_down": 2, "mark_up": 2}
+
+    def test_probe_flaps_match_transitions(self, registry, chaos_seed):
+        report = run_scenario("probe_flap", seed=chaos_seed, registry=registry)
+        flaps = report.injected.get("health.probe:flap:*", 0)
+        assert flaps == 2
+        assert report.transitions.get("mark_down") == flaps
+        assert report.transitions.get("mark_up") == flaps
+
+    def test_corrupt_request_yields_typed_service_error(self, registry,
+                                                        chaos_seed):
+        report = run_scenario("corrupt_request", seed=chaos_seed,
+                              registry=registry)
+        assert report.errors.get("DjinnServiceError") == 1
+
+    def test_same_seed_same_report(self, registry, chaos_seed):
+        """The determinism gate in miniature: rerunning a plan with the
+        same seed reproduces the invariant report byte for byte."""
+        for name in ("conn_reset", "mixed"):
+            first = run_scenario(name, seed=chaos_seed, registry=registry)
+            second = run_scenario(name, seed=chaos_seed, registry=registry)
+            assert first.to_json() == second.to_json()
+
+    def test_different_seed_changes_mixed_schedule(self, registry):
+        """Probability-triggered plans draw from the plan seed: different
+        seeds give different fault schedules (counts may coincide; the
+        full reports should not)."""
+        a = run_scenario("mixed", seed=1, registry=registry)
+        b = run_scenario("mixed", seed=2, registry=registry)
+        assert a.check() == [] and b.check() == []
+        assert a.to_dict()["injected"] != b.to_dict()["injected"]
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(KeyError, match="unknown chaos scenario"):
+            run_scenario("nope")
+
+
+# ------------------------------------------------- client half-state fix
+class TestClientTransportRecovery:
+    """Satellite regression tests for ``DjinnClient._roundtrip``: after a
+    transport error the socket must be torn down so the next call dials
+    fresh — against a bare DjinnServer, no gateway in between."""
+
+    def _input(self, registry, index):
+        net = registry.get("pos")
+        x = np.full((1,) + net.input_shape, 0.25, dtype=np.float32)
+        x.reshape(-1)[0] = float(index)
+        return net, x
+
+    def test_reconnects_after_mid_frame_reset(self, registry):
+        plan = FaultPlan(rules=(FaultRule("protocol.send", "truncate",
+                                          scope="INFER_RESPONSE", nth=(1,),
+                                          bytes_kept=12),))
+        with DjinnServer(registry) as server:
+            host, port = server.address
+            with plan.armed():
+                with DjinnClient(host, port, timeout_s=5.0) as client:
+                    net, x1 = self._input(registry, 1)
+                    with pytest.raises(DjinnConnectionError):
+                        client.infer("pos", x1)
+                    assert client._sock is None  # torn down, not half-open
+                    _, x2 = self._input(registry, 2)
+                    out = client.infer("pos", x2)  # reconnected transparently
+                    np.testing.assert_allclose(out, net.forward(x2), rtol=1e-5)
+
+    def test_no_stale_response_after_timeout(self, registry):
+        """Without the teardown, the late response to request 1 would be
+        read back as the answer to request 2."""
+        plan = FaultPlan(rules=(FaultRule("protocol.send", "stall",
+                                          scope="INFER_RESPONSE", nth=(1,),
+                                          delay_s=0.3),))
+        with DjinnServer(registry) as server:
+            host, port = server.address
+            with plan.armed():
+                with DjinnClient(host, port, timeout_s=0.1) as client:
+                    net, x1 = self._input(registry, 1)
+                    with pytest.raises(DjinnConnectionError):
+                        client.infer("pos", x1)
+                    _, x2 = self._input(registry, 2)
+                    out = client.infer("pos", x2)
+                    expected = net.forward(x2)
+                    stale = net.forward(x1)
+                    np.testing.assert_allclose(out, expected, rtol=1e-5)
+                    assert not np.allclose(out, stale, rtol=1e-5)
+
+    def test_protocol_desync_is_retryable_and_resets(self, registry):
+        """A corrupted response frame (ProtocolError) must also tear the
+        connection down and surface as a retryable connection error."""
+        plan = FaultPlan(rules=(FaultRule("protocol.send", "corrupt",
+                                          scope="INFER_RESPONSE", nth=(1,)),))
+        with DjinnServer(registry) as server:
+            host, port = server.address
+            with plan.armed():
+                with DjinnClient(host, port, timeout_s=5.0) as client:
+                    net, x1 = self._input(registry, 1)
+                    with pytest.raises(DjinnConnectionError, match="desync"):
+                        client.infer("pos", x1)
+                    assert client._sock is None
+                    _, x2 = self._input(registry, 2)
+                    np.testing.assert_allclose(client.infer("pos", x2),
+                                               net.forward(x2), rtol=1e-5)
+
+    def test_hooks_are_noops_when_disarmed(self, registry):
+        """With no plan armed, the instrumented stack behaves stock."""
+        assert faultsite.active is None
+        with DjinnServer(registry) as server:
+            host, port = server.address
+            with DjinnClient(host, port) as client:
+                net, x = self._input(registry, 1)
+                np.testing.assert_allclose(client.infer("pos", x),
+                                           net.forward(x), rtol=1e-5)

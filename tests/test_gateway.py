@@ -1,6 +1,5 @@
 """Gateway tests: routing policies, fault tolerance, stats aggregation."""
 
-import random
 import threading
 import time
 
@@ -122,16 +121,15 @@ class TestRoutingPolicies:
 
 
 class TestRetryPolicy:
-    def test_delays_grow_and_cap(self):
+    def test_delays_grow_and_cap(self, py_rng):
         policy = RetryPolicy(max_attempts=6, base_delay_s=0.01, max_delay_s=0.05,
                              jitter_frac=0.0)
-        rng = random.Random(0)
-        delays = [policy.delay_s(k, rng) for k in range(5)]
+        delays = [policy.delay_s(k, py_rng) for k in range(5)]
         assert delays == [0.01, 0.02, 0.04, 0.05, 0.05]
 
-    def test_jitter_stays_in_band(self):
+    def test_jitter_stays_in_band(self, py_rng):
         policy = RetryPolicy(base_delay_s=0.02, jitter_frac=0.5)
-        rng = random.Random(7)
+        rng = py_rng
         for attempt in range(4):
             cap = min(0.02 * 2 ** attempt, policy.max_delay_s)
             for _ in range(50):

@@ -1,0 +1,72 @@
+"""Seeded golden-output regression tests for the model zoo.
+
+Each app's net is materialized from seed 0 and run on one seeded input;
+the checked-in digests (``tests/golden/model_outputs.json``) pin the
+output shape, argmax, probability mass, and the first few output values.
+Any change to layer math, weight initialization, or the specs themselves
+shows up here as a concrete numeric diff instead of a silent drift.
+
+Values are compared with a small relative tolerance rather than byte
+equality so the goldens survive BLAS/platform reassociation differences.
+To regenerate after an *intentional* change, rerun the recipe below and
+review the diff:
+
+    net = build_net(app, materialize=True, seed=SEED)
+    x = np.random.default_rng(INPUT_SEED).normal(size=(1,) + net.input_shape)
+    out = net.forward(x.astype(np.float32))
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.models import build_net, model_info
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "model_outputs.json"
+GOLDEN = json.loads(GOLDEN_PATH.read_text())
+
+#: weight seed / input seed baked into the digests
+SEED = 0
+INPUT_SEED = 0xD1A77
+
+RTOL = 1e-4
+ATOL = 1e-6
+
+
+def _forward(app):
+    net = build_net(app, materialize=True, seed=SEED)
+    rng = np.random.default_rng(INPUT_SEED)
+    x = rng.normal(size=(1,) + net.input_shape).astype(np.float32)
+    return net, net.forward(x)
+
+
+@pytest.mark.parametrize("app", sorted(GOLDEN))
+class TestGoldenOutputs:
+    def test_output_matches_digest(self, app):
+        golden = GOLDEN[app]
+        net, out = _forward(app)
+        assert list(net.input_shape) == golden["input_shape"]
+        assert list(out.shape) == golden["output_shape"]
+        flat = out.reshape(-1)
+        assert int(flat.argmax()) == golden["argmax"]
+        assert float(flat.sum()) == pytest.approx(golden["sum"], rel=RTOL)
+        np.testing.assert_allclose(
+            flat[: len(golden["sample"])], golden["sample"],
+            rtol=RTOL, atol=ATOL,
+            err_msg=f"{app}: seeded forward drifted from checked-in golden; "
+                    f"if intentional, regenerate tests/golden/model_outputs.json")
+
+    def test_forward_is_deterministic(self, app):
+        _, first = _forward(app)
+        _, second = _forward(app)
+        np.testing.assert_array_equal(first, second)
+
+
+def test_golden_covers_the_paper_zoo():
+    """The digests pin every network family from Table 1: AlexNet (imc),
+    LeNet (dig), DeepFace (face), Kaldi (asr), SENNA (pos)."""
+    assert sorted(GOLDEN) == ["asr", "dig", "face", "imc", "pos"]
+    for app in GOLDEN:
+        assert model_info(app) is not None

@@ -244,12 +244,9 @@ class TestHeaderBounds:
             send_message(a, Message(MessageType.INFER_REQUEST, name="m",
                                     tensor=np.zeros((1,) * (MAX_NDIM + 1), np.float32)))
 
-    def test_fuzzed_headers_never_hang_or_overallocate(self, sock_pair):
+    def test_fuzzed_headers_never_hang_or_overallocate(self, sock_pair, rng):
         """Random corrupt headers: every outcome is a clean ProtocolError or
         ConnectionError, raised from the header alone (socket then closed)."""
-        import struct
-
-        rng = np.random.default_rng(0xFADE)
         for _ in range(50):
             a, b = __import__("socket").socketpair()
             try:
@@ -268,3 +265,105 @@ class TestHeaderBounds:
                     recv_message(b)
             finally:
                 b.close()
+
+
+def _capture_frame(message):
+    """The exact bytes ``send_message`` puts on the wire for ``message``."""
+    a, b = socket.socketpair()
+    try:
+        send_message(a, message)
+        a.shutdown(socket.SHUT_WR)
+        chunks = []
+        while True:
+            chunk = b.recv(1 << 16)
+            if not chunk:
+                return b"".join(chunks)
+            chunks.append(chunk)
+    finally:
+        a.close()
+        b.close()
+
+
+class TestFuzzRoundtrip:
+    """Property-based sweeps: arbitrary well-formed messages roundtrip
+    exactly, and *every* way of cutting a valid frame short fails typed."""
+
+    def test_random_messages_roundtrip(self, rng):
+        """Random name length / rank / dims / payload, with and without the
+        v2 trace extension — what goes in comes out, field for field."""
+        letters = np.array(list("abcdefghijklmnopqrstuvwxyz_0123456789"))
+        types = (MessageType.INFER_REQUEST, MessageType.INFER_RESPONSE,
+                 MessageType.ERROR, MessageType.LIST_RESPONSE)
+        for _ in range(40):
+            mtype = types[int(rng.integers(0, len(types)))]
+            name = "".join(rng.choice(letters,
+                                      size=int(rng.integers(0, MAX_NAME_BYTES + 1))))
+            traced = bool(rng.random() < 0.5)
+            trace_id = int(rng.integers(1, 1 << 63)) if traced else 0
+            span_id = int(rng.integers(1, 1 << 63)) if traced else 0
+            if mtype in (MessageType.INFER_REQUEST, MessageType.INFER_RESPONSE):
+                ndim = int(rng.integers(1, MAX_NDIM + 1))
+                shape = tuple(int(d) for d in rng.integers(1, 4, size=ndim))
+                tensor = rng.normal(size=shape).astype(np.float32)
+                msg = Message(mtype, name=name, tensor=tensor,
+                              trace_id=trace_id, span_id=span_id)
+            else:
+                tensor = None
+                msg = Message(mtype, name=name,
+                              text="".join(rng.choice(letters,
+                                                      size=int(rng.integers(0, 64)))),
+                              trace_id=trace_id, span_id=span_id)
+            a, b = socket.socketpair()
+            try:
+                send_message(a, msg)
+                out = recv_message(b)
+            finally:
+                a.close()
+                b.close()
+            assert out.type == msg.type
+            assert out.name == msg.name
+            assert out.text == msg.text
+            assert (out.trace_id, out.span_id) == (trace_id, span_id)
+            if tensor is not None:
+                np.testing.assert_array_equal(out.tensor, tensor)
+            else:
+                assert out.tensor is None
+
+    @pytest.mark.parametrize("message", [
+        Message(MessageType.INFER_REQUEST, name="pos",
+                tensor=np.arange(6, dtype=np.float32).reshape(2, 3)),
+        Message(MessageType.INFER_REQUEST, name="pos",
+                tensor=np.arange(4, dtype=np.float32).reshape(2, 2),
+                trace_id=0xABCDEF, span_id=7),
+        Message(MessageType.ERROR, text="model said no"),
+    ], ids=["v1-tensor", "v2-traced-tensor", "text"])
+    def test_every_truncation_point_fails_typed(self, message):
+        """Cut a valid frame at every possible byte boundary: the receiver
+        must raise ProtocolError or ConnectionError each time — never hang,
+        never return a bogus message.  A 1-second socket timeout converts a
+        would-be hang into a loud failure."""
+        frame = _capture_frame(message)
+        assert len(frame) > 9  # sanity: magic + version + some header
+        for cut in range(len(frame)):
+            a, b = socket.socketpair()
+            try:
+                b.settimeout(1.0)
+                a.sendall(frame[:cut])
+                a.close()  # EOF right after the truncated prefix
+                with pytest.raises((ProtocolError, ConnectionError)):
+                    recv_message(b)
+            finally:
+                b.close()
+
+    def test_full_frame_still_parses_after_truncation_sweep(self):
+        """Control for the sweep above: the untruncated frame is valid."""
+        msg = Message(MessageType.INFER_REQUEST, name="pos",
+                      tensor=np.arange(6, dtype=np.float32).reshape(2, 3))
+        a, b = socket.socketpair()
+        try:
+            a.sendall(_capture_frame(msg))
+            out = recv_message(b)
+        finally:
+            a.close()
+            b.close()
+        np.testing.assert_array_equal(out.tensor, msg.tensor)
