@@ -3,7 +3,7 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test chaos trace-demo bench-gateway bench-all
+.PHONY: test chaos trace-demo bench-engine bench-gateway bench-all
 
 test:
 	$(PY) -m pytest -x -q
@@ -29,6 +29,13 @@ trace-demo:
 	$(PY) -m repro.cli trace --backends 2 --batch 8 --requests 6 \
 		--out benchmarks/results/trace_demo.json \
 		--metrics-out benchmarks/results/trace_demo_metrics.prom --check
+
+# Planned-vs-legacy execution sweep (batch size x path) into
+# benchmarks/results/BENCH_engine.json, with the engine gates on: the
+# planned path must be allocation-free in steady state (tracemalloc) and
+# not slower than legacy at batch 1.
+bench-engine:
+	$(PY) benchmarks/bench_engine.py --check
 
 # Reproduce the Fig 11-shaped throughput-vs-replicas curve on the real
 # gateway; writes benchmarks/results/gateway_scaling.txt.

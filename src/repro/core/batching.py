@@ -10,6 +10,20 @@ On the numpy substrate the win is BLAS efficiency rather than GPU occupancy,
 but the mechanism (and its latency/throughput trade-off, which
 ``benchmarks/bench_ablation_batch_policy.py`` sweeps) is the same.
 
+Copy-free serving: each worker compiles an :class:`repro.nn.engine.ExecutionPlan`
+for its model (``use_plans=True``) and gathers request payloads directly into
+the plan's input slab — partial batches run as prefix views, there is no
+re-stack ``np.concatenate``.  Results are scattered back as *read-only views*
+of the plan's output slab; because the arena is reused by the next batch, the
+worker holds ``plan.lock`` until every waiter signals it has consumed its
+view (the lease barrier).  :meth:`BatchingExecutor.submit` copies on behalf
+of the caller (ownership transfer); :meth:`BatchingExecutor.submit_lease`
+hands the view itself to zero-copy consumers such as
+:class:`repro.core.server.DjinnServer`, which serializes straight from the
+slab and then releases.  Batches that overflow the plan envelope (the
+collector admits one oversize request past ``max_batch``) fall back to the
+legacy stacked path.
+
 Observability: requests that arrive with trace context get ``backend.queue``
 (enqueue → batch execution start) and ``batch.assemble`` spans, the batch's
 single forward pass is replayed into every participating trace (optionally
@@ -33,7 +47,7 @@ from ..obs.trace import Tracer, get_tracer
 from . import faultsite
 from .registry import ModelRegistry
 
-__all__ = ["BatchPolicy", "BatchingExecutor"]
+__all__ = ["BatchPolicy", "BatchingExecutor", "ResultLease"]
 
 #: Bucket bounds for the executed-batch-size histogram (inputs per forward).
 BATCH_SIZE_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
@@ -56,7 +70,8 @@ class BatchPolicy:
 class _Pending:
     """One submitted request waiting for its slice of a batched result."""
 
-    __slots__ = ("inputs", "event", "result", "error", "trace", "enqueue_s")
+    __slots__ = ("inputs", "event", "result", "error", "trace", "enqueue_s",
+                 "consumed", "arena")
 
     def __init__(self, inputs: np.ndarray,
                  trace: Optional[Tuple[int, int]] = None,
@@ -68,6 +83,41 @@ class _Pending:
         #: (trace_id, parent_span_id) carried from the requesting connection
         self.trace = trace
         self.enqueue_s = enqueue_s
+        #: set by the consumer once ``result`` is no longer needed; the
+        #: worker's lease barrier waits on this before reusing the arena
+        self.consumed = threading.Event()
+        #: True when ``result`` is a view of a plan arena (volatile: only
+        #: valid until ``consumed`` is set)
+        self.arena = False
+
+
+class ResultLease:
+    """A scatter slice leased to a zero-copy consumer.
+
+    ``outputs`` is a read-only view — of the plan's output slab on the
+    planned path (valid only until :meth:`release`), of a worker-owned batch
+    array on the legacy path.  Always release (or use as a context manager):
+    an unreleased arena lease stalls that model's worker for the barrier
+    timeout.
+    """
+
+    __slots__ = ("_pending",)
+
+    def __init__(self, pending: _Pending):
+        self._pending = pending
+
+    @property
+    def outputs(self) -> np.ndarray:
+        return self._pending.result
+
+    def release(self) -> None:
+        self._pending.consumed.set()
+
+    def __enter__(self) -> "ResultLease":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
 
 
 class BatchingExecutor:
@@ -81,15 +131,21 @@ class BatchingExecutor:
     observability surfaces.
     """
 
+    #: how long the lease barrier waits for consumers before reclaiming the
+    #: arena anyway (a dead consumer must not wedge the worker forever)
+    LEASE_TIMEOUT_S = 5.0
+
     def __init__(self, registry: ModelRegistry, policy: BatchPolicy = BatchPolicy(),
                  service_floor_s: float = 0.0,
                  clock: Callable[[], float] = time.monotonic,
                  tracer: Optional[Tracer] = None,
                  metrics: Optional[MetricsRegistry] = None,
-                 profile_layers: bool = False):
+                 profile_layers: bool = False,
+                 use_plans: bool = True):
         self.registry = registry
         self.policy = policy
         self.service_floor_s = service_floor_s
+        self.use_plans = use_plans
         self.clock = clock
         self.tracer = tracer if tracer is not None else get_tracer()
         self.profile_layers = profile_layers
@@ -136,23 +192,47 @@ class BatchingExecutor:
             worker.join(timeout=5.0)
 
     # -------------------------------------------------------------- submit
-    def submit(self, model: str, inputs: np.ndarray,
-               trace: Optional[Tuple[int, int]] = None) -> np.ndarray:
-        """Enqueue ``inputs`` (n, *input_shape); blocks until results ready.
-
-        ``trace`` is an optional ``(trace_id, parent_span_id)`` pair; when
-        present, the request's queue wait and the batch it lands in are
-        recorded as spans of that trace.
-        """
+    def _enqueue(self, model: str, inputs: np.ndarray,
+                 trace: Optional[Tuple[int, int]]) -> _Pending:
         queue = self._ensure_worker(model)
-        pending = _Pending(np.ascontiguousarray(inputs, dtype=np.float32),
+        # no forced copy: the planned path gathers payloads straight into
+        # the arena, the legacy path concatenates — neither needs contiguity
+        pending = _Pending(np.asarray(inputs, dtype=np.float32),
                            trace, self.clock())
         queue.put(pending)
         pending.event.wait()
         if pending.error is not None:
+            pending.consumed.set()  # unblock the worker's lease barrier
             raise pending.error
         assert pending.result is not None
-        return pending.result
+        return pending
+
+    def submit(self, model: str, inputs: np.ndarray,
+               trace: Optional[Tuple[int, int]] = None) -> np.ndarray:
+        """Enqueue ``inputs`` (n, *input_shape); blocks until results ready.
+
+        Returns an array the caller owns: arena-backed slices are copied out
+        (and the lease released) before returning; legacy slices are durable
+        read-only views of the batch output.  ``trace`` is an optional
+        ``(trace_id, parent_span_id)`` pair; when present, the request's
+        queue wait and the batch it lands in are recorded as spans of that
+        trace.
+        """
+        pending = self._enqueue(model, inputs, trace)
+        result = pending.result
+        if pending.arena:
+            result = result.copy()
+        pending.consumed.set()
+        return result
+
+    def submit_lease(self, model: str, inputs: np.ndarray,
+                     trace: Optional[Tuple[int, int]] = None) -> ResultLease:
+        """Like :meth:`submit` but zero-copy: returns a :class:`ResultLease`
+        whose ``outputs`` view the batch result in place.  The caller must
+        ``release()`` (or exit the context manager) promptly — on the
+        planned path the model's worker holds the arena until then.
+        """
+        return ResultLease(self._enqueue(model, inputs, trace))
 
     # -------------------------------------------------------------- worker
     def _collect(self, queue: Queue) -> List[_Pending]:
@@ -178,13 +258,44 @@ class BatchingExecutor:
             rows += len(item.inputs)
         return batch
 
+    @staticmethod
+    def _gather(plan, batch: List[_Pending], rows: int,
+                sample_shape: Tuple[int, ...]) -> None:
+        """Copy request payloads into the plan's input slab, in order."""
+        slab = plan.input_view(rows)
+        offset = 0
+        for pending in batch:
+            arr = pending.inputs
+            if tuple(arr.shape[1:]) != sample_shape:
+                # np.copyto would silently broadcast a wrong-width payload;
+                # fail the batch the way np.concatenate would have
+                raise ValueError(
+                    f"request payload shape {arr.shape[1:]} does not match "
+                    f"model input shape {sample_shape}")
+            n = arr.shape[0]
+            np.copyto(slab[offset:offset + n], arr)
+            offset += n
+
     def _run_worker(self, model: str, queue: Queue) -> None:
         net = self.registry.get(model)
         tracer = self.tracer
+        plan = None
+        if self.use_plans:
+            try:
+                plan = self.registry.plan(model, self.policy.max_batch)
+            except Exception:  # un-plannable nets serve via the legacy path
+                plan = None
+        sample_shape = tuple(net.input_shape)
         while True:
             batch = self._collect(queue)
             if not batch:
                 return
+            rows = sum(len(p.inputs) for p in batch)
+            # _collect admits one oversize request past max_batch; those
+            # batches overflow the arena and take the legacy stacked path
+            use_plan = plan is not None and rows <= plan.max_batch
+            if use_plan:
+                plan.lock.acquire()
             try:
                 if faultsite.active is not None:
                     faultsite.active.on_batch(model)
@@ -195,42 +306,62 @@ class BatchingExecutor:
                     tid, parent = pending.trace
                     tracer.add_span("backend.queue", pending.enqueue_s, start,
                                     tid, parent, category="queue", model=model)
-                stacked = np.concatenate([p.inputs for p in batch], axis=0)
+                if use_plan:
+                    self._gather(plan, batch, rows, sample_shape)
+                else:
+                    stacked = np.concatenate([p.inputs for p in batch], axis=0)
                 assembled = self.clock()
                 for pending in traced:
                     tid, parent = pending.trace
                     tracer.add_span("batch.assemble", start, assembled,
                                     tid, parent, category="batch",
-                                    batch_size=len(stacked),
+                                    batch_size=rows,
                                     requests=len(batch))
                 timer = (LayerTimer(self.clock)
                          if traced and self.profile_layers else None)
                 forward_start = self.clock()
-                outputs = net.forward(stacked, timer=timer)
+                if use_plan:
+                    outputs = plan.execute(rows, timer=timer)
+                else:
+                    outputs = net.forward(stacked, timer=timer)
                 forward_end = self.clock()
                 for pending in traced:
                     tid, parent = pending.trace
                     fspan = tracer.add_span("net.forward", forward_start,
                                             forward_end, tid, parent,
                                             category="compute", model=model,
-                                            batch_size=len(stacked))
+                                            batch_size=rows)
                     if timer is not None:
                         timer.emit_spans(tracer, tid, fspan.span_id)
                 if self.service_floor_s:
                     remaining = self.service_floor_s - (self.clock() - start)
                     if remaining > 0:
                         time.sleep(remaining)
-                self.executed_batches[model].append(len(stacked))
+                self.executed_batches[model].append(rows)
                 if self._batch_size is not None:
-                    self._batch_size.labels(model=model).observe(len(stacked))
+                    self._batch_size.labels(model=model).observe(rows)
                 offset = 0
                 for pending in batch:
                     n = len(pending.inputs)
-                    pending.result = outputs[offset : offset + n]
+                    view = outputs[offset:offset + n]
+                    view.flags.writeable = False  # consumers copy, never mutate
+                    pending.arena = use_plan
+                    pending.result = view
                     offset += n
             except Exception as exc:  # deliver failures to every waiter
                 for pending in batch:
                     pending.error = exc
+                    pending.consumed.set()  # nothing leased on failure
             finally:
                 for pending in batch:
                     pending.event.set()
+                if use_plan:
+                    # lease barrier: the arena is about to be reused, so wait
+                    # until every consumer has copied/serialized its view
+                    deadline = time.monotonic() + self.LEASE_TIMEOUT_S
+                    try:
+                        for pending in batch:
+                            pending.consumed.wait(
+                                timeout=max(0.0, deadline - time.monotonic()))
+                    finally:
+                        plan.lock.release()

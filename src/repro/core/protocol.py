@@ -104,9 +104,19 @@ class Message:
     trace_id: int = 0
     span_id: int = 0
 
-    def body(self) -> bytes:
+    def body(self):
+        """Payload bytes — a zero-copy memoryview when the tensor allows it.
+
+        A C-contiguous float32 tensor (e.g. a view of an execution plan's
+        output slab) is exposed directly as a read-only buffer; the single
+        copy then happens inside the frame join in :func:`send_message`.
+        Anything else falls back to the converting ``tobytes`` path.
+        """
         if self.tensor is not None:
-            return np.ascontiguousarray(self.tensor, dtype=np.float32).tobytes()
+            t = self.tensor
+            if t.dtype == np.float32 and t.flags.c_contiguous:
+                return t.data.cast("B")
+            return np.ascontiguousarray(t, dtype=np.float32).tobytes()
         return self.text.encode("utf-8")
 
 
@@ -197,7 +207,9 @@ def recv_message(sock: socket.socket, fault_scope: str = "") -> Message:
             raise ProtocolError(
                 f"tensor dims {dims} imply {expected} bytes, frame has {body_len}"
             )
-        tensor = np.frombuffer(body, dtype=np.float32).reshape(dims).copy()
+        # no copy: the frame's body bytes back the tensor directly, so the
+        # array is read-only — consumers that need to mutate copy themselves
+        tensor = np.frombuffer(body, dtype=np.float32).reshape(dims)
         return Message(type=mtype, name=name, tensor=tensor,
                        trace_id=trace_id, span_id=span_id)
     return Message(type=mtype, name=name, text=body.decode("utf-8"),

@@ -10,6 +10,12 @@ The registry is exactly that: one materialized :class:`repro.nn.Net` per
 model name, shared read-only by every worker.  Inference passes never write
 layer state (caches are only populated with ``train=True``), so concurrent
 forward passes over one net are safe.
+
+It also caches one :class:`repro.nn.engine.ExecutionPlan` per (model,
+batch-bucket): plans are sized to the power-of-two bucket covering the
+requested batch, so an executor asking for 16 and a bench asking for 9 share
+one arena instead of compiling per exact size.  Unlike the net, a plan is
+*not* shareable across threads — callers serialize on ``plan.lock``.
 """
 
 from __future__ import annotations
@@ -29,6 +35,10 @@ class ModelRegistry:
     def __init__(self):
         self._models: Dict[str, Net] = {}
         self._lock = threading.Lock()
+        #: (name, batch_bucket) -> compiled ExecutionPlan; separate lock so
+        #: slow plan compiles (FACE arenas) never block model lookups
+        self._plans: Dict[tuple, object] = {}
+        self._plan_lock = threading.Lock()
 
     def register(self, name: str, net: Net) -> None:
         """Register a materialized net under ``name``."""
@@ -53,6 +63,27 @@ class ModelRegistry:
                 raise KeyError(
                     f"model {name!r} not loaded; available: {sorted(self._models)}"
                 ) from None
+
+    def plan(self, name: str, batch: int):
+        """Arena-backed plan for ``name`` covering batches up to ``batch``.
+
+        Plans are cached per power-of-two bucket (``batch=9..16`` all share
+        the 16-wide arena), so the steady state compiles each model once.
+        The returned plan's :attr:`lock` must be held around any use.
+        """
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+        net = self.get(name)
+        bucket = 1 << max(0, batch - 1).bit_length()
+        key = (name, bucket)
+        with self._plan_lock:
+            plan = self._plans.get(key)
+            if plan is None:
+                from ..nn.engine import ExecutionPlan
+
+                plan = ExecutionPlan(net, bucket)
+                self._plans[key] = plan
+            return plan
 
     def names(self) -> List[str]:
         with self._lock:

@@ -300,6 +300,7 @@ class DjinnServer(TcpServiceBase):
         )
         with span_cm as span:
             start = clock()
+            lease = None
             try:
                 if request.tensor is None:
                     raise ValueError("inference request carries no tensor")
@@ -311,10 +312,14 @@ class DjinnServer(TcpServiceBase):
                         f"(n, {', '.join(map(str, net.input_shape))}), got {inputs.shape}"
                     )
                 if self._executor is not None:
-                    outputs = self._executor.submit(
+                    # zero-copy: serialize the response straight from the
+                    # batch output (a plan's output slab on the planned
+                    # path), releasing the lease only after the send
+                    lease = self._executor.submit_lease(
                         request.name, inputs,
                         trace=(span.trace_id, span.span_id) if traced else None,
                     )
+                    outputs = lease.outputs
                 else:
                     timer = (LayerTimer(clock)
                              if traced and self.profile_layers else None)
@@ -339,14 +344,18 @@ class DjinnServer(TcpServiceBase):
                                               trace_id=request.trace_id,
                                               span_id=request.span_id))
                 return
-            self.stats.record(request.name, clock() - start, inputs=len(inputs))
-            response = Message(MessageType.INFER_RESPONSE, name=request.name,
-                               tensor=outputs, trace_id=request.trace_id,
-                               span_id=request.span_id)
-            if traced:
-                send_start = clock()
-                self._safe_send(conn, response)
-                tracer.add_span("backend.respond", send_start, clock(),
-                                span.trace_id, span.span_id, category="network")
-            else:
-                self._safe_send(conn, response)
+            try:
+                self.stats.record(request.name, clock() - start, inputs=len(inputs))
+                response = Message(MessageType.INFER_RESPONSE, name=request.name,
+                                   tensor=outputs, trace_id=request.trace_id,
+                                   span_id=request.span_id)
+                if traced:
+                    send_start = clock()
+                    self._safe_send(conn, response)
+                    tracer.add_span("backend.respond", send_start, clock(),
+                                    span.trace_id, span.span_id, category="network")
+                else:
+                    self._safe_send(conn, response)
+            finally:
+                if lease is not None:
+                    lease.release()

@@ -10,6 +10,7 @@ them.
 """
 
 from . import layers  # noqa: F401  (registers all layer types)
+from .engine import ExecutionPlan, PlanError, measure_steady_state_alloc
 from .gradcheck import check_layer_gradients, max_relative_error, numerical_gradient
 from .graph import INPUT, GraphLayerSpec, GraphNet, GraphSpec
 from .netspec import LayerSpec, NetSpec
@@ -17,7 +18,7 @@ from .network import Net
 from .serialize import load_net, save_net
 from .tensor import FLOAT_BYTES, Blob
 from .train import SgdSolver, TrainLog, accuracy
-from .workspace import LayerCost, NetCost, analyze
+from .workspace import LayerCost, NetCost, analyze, plan_footprint
 
 __all__ = [
     "layers",
@@ -41,4 +42,8 @@ __all__ = [
     "GraphSpec",
     "GraphLayerSpec",
     "INPUT",
+    "ExecutionPlan",
+    "PlanError",
+    "measure_steady_state_alloc",
+    "plan_footprint",
 ]

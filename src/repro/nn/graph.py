@@ -139,6 +139,7 @@ class GraphNet:
             for bottom in layer_spec.bottoms:
                 self._consumers[bottom].append(layer_spec.name)
         self._materialized = False
+        self._plan = None
 
     # ------------------------------------------------------------ protocol
     @property
@@ -152,6 +153,18 @@ class GraphNet:
     @property
     def materialized(self) -> bool:
         return self._materialized
+
+    @property
+    def plan(self):
+        """The attached :class:`repro.nn.engine.ExecutionPlan`, if any."""
+        return self._plan
+
+    def compile_plan(self, max_batch: int):
+        """Compile and attach an arena-backed plan (see :meth:`repro.nn.Net.compile_plan`)."""
+        from .engine import ExecutionPlan
+
+        self._plan = ExecutionPlan(self, max_batch)
+        return self._plan
 
     def params(self) -> List[Blob]:
         return [blob for layer in self.layers for blob in layer.params]
@@ -182,6 +195,8 @@ class GraphNet:
         x = np.asarray(x, dtype=np.float32)
         if x.ndim == len(self.input_shape):
             x = x[None]
+        if self._plan is not None and not train and x.shape[0] <= self._plan.max_batch:
+            return self._plan.run(x, timer=timer)
         tops: Dict[str, np.ndarray] = {INPUT: x}
         for layer in self.layers:
             spec = self._specs[layer.name]

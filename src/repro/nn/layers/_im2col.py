@@ -7,11 +7,11 @@ model treats as the kernel's GEMM dimensions.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Dict, Tuple
 
 import numpy as np
 
-__all__ = ["conv_output_size", "im2col", "col2im"]
+__all__ = ["conv_output_size", "im2col", "col2im", "Im2colPlan"]
 
 
 def conv_output_size(size: int, kernel: int, stride: int, pad: int) -> int:
@@ -22,6 +22,93 @@ def conv_output_size(size: int, kernel: int, stride: int, pad: int) -> int:
             f"kernel {kernel} (stride {stride}, pad {pad}) does not fit input of size {size}"
         )
     return out
+
+
+class Im2colPlan:
+    """Precomputed column-buffer geometry for one window-sliding layer.
+
+    The original :func:`im2col` recomputed output extents, padded shapes and
+    window strides on every call; convolution, locally-connected and pooling
+    layers now hoist that into setup by building one of these, and both the
+    allocating and the planned execution paths reuse it.  All methods are
+    allocation-free given destination buffers.
+    """
+
+    __slots__ = ("in_c", "in_h", "in_w", "kh", "kw", "stride", "pad",
+                 "out_h", "out_w", "padded_h", "padded_w", "fan_in", "length")
+
+    def __init__(self, in_shape: Tuple[int, int, int], kh: int, kw: int,
+                 stride: int, pad: int):
+        self.in_c, self.in_h, self.in_w = (int(d) for d in in_shape)
+        self.kh, self.kw = int(kh), int(kw)
+        self.stride, self.pad = int(stride), int(pad)
+        self.out_h = conv_output_size(self.in_h, self.kh, self.stride, self.pad)
+        self.out_w = conv_output_size(self.in_w, self.kw, self.stride, self.pad)
+        self.padded_h = self.in_h + 2 * self.pad
+        self.padded_w = self.in_w + 2 * self.pad
+        self.fan_in = self.in_c * self.kh * self.kw
+        self.length = self.out_h * self.out_w
+
+    # ------------------------------------------------------------- scratch
+    def pad_spec(self, batch: int) -> Dict[str, Tuple[Tuple[int, ...], np.dtype]]:
+        """Scratch entry for the padded input copy (empty when pad == 0)."""
+        if not self.pad:
+            return {}
+        return {"xpad": ((batch, self.in_c, self.padded_h, self.padded_w),
+                         np.dtype(np.float32))}
+
+    def cols_spec(self, batch: int) -> Dict[str, Tuple[Tuple[int, ...], np.dtype]]:
+        """Scratch entry for the unfolded column buffer."""
+        return {"cols": ((batch, self.fan_in, self.length), np.dtype(np.float32))}
+
+    # ------------------------------------------------------------- kernels
+    def padded(self, x: np.ndarray, scratch: Dict[str, np.ndarray],
+               fill: float = 0.0) -> np.ndarray:
+        """Return the (possibly padded) source array windows slide over.
+
+        With padding, the border of ``scratch["xpad"]`` is refilled and the
+        center overwritten each call — scratch regions are shared between
+        steps, so nothing can be assumed about their previous contents.
+        """
+        if not self.pad:
+            return x
+        xpad = scratch["xpad"][: x.shape[0]]
+        p = self.pad
+        xpad[:, :, :p, :].fill(fill)
+        xpad[:, :, -p:, :].fill(fill)
+        xpad[:, :, p:-p, :p].fill(fill)
+        xpad[:, :, p:-p, -p:].fill(fill)
+        np.copyto(xpad[:, :, p:-p, p:-p], x)
+        return xpad
+
+    def filter_windows(self, src: np.ndarray) -> np.ndarray:
+        """(N, C, kh, kw, out_h, out_w) view — the im2col gather order."""
+        s0, s1, s2, s3 = src.strides
+        return np.lib.stride_tricks.as_strided(
+            src,
+            shape=(src.shape[0], self.in_c, self.kh, self.kw, self.out_h, self.out_w),
+            strides=(s0, s1, s2, s3, s2 * self.stride, s3 * self.stride),
+            writeable=False,
+        )
+
+    def pool_windows(self, src: np.ndarray) -> np.ndarray:
+        """(N, C, out_h, out_w, kh, kw) view — the pooling reduce order."""
+        s0, s1, s2, s3 = src.strides
+        return np.lib.stride_tricks.as_strided(
+            src,
+            shape=(src.shape[0], self.in_c, self.out_h, self.out_w, self.kh, self.kw),
+            strides=(s0, s1, s2 * self.stride, s3 * self.stride, s2, s3),
+            writeable=False,
+        )
+
+    def gather(self, x: np.ndarray, scratch: Dict[str, np.ndarray]) -> np.ndarray:
+        """Unfold ``x`` into ``scratch["cols"]`` (N, C*kh*kw, L); returns it."""
+        n = x.shape[0]
+        cols = scratch["cols"][:n]
+        src = self.padded(x, scratch)
+        cols6 = cols.reshape(n, self.in_c, self.kh, self.kw, self.out_h, self.out_w)
+        np.copyto(cols6, self.filter_windows(src))
+        return cols
 
 
 def im2col(x: np.ndarray, kh: int, kw: int, stride: int, pad: int) -> np.ndarray:

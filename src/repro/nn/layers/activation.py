@@ -34,13 +34,12 @@ class _Activation(Layer):
 @register_layer
 class ReLULayer(_Activation):
     type_name = "ReLU"
+    plan_inplace = True
 
-    def forward(self, x, train=False):
-        self._check_input(x)
-        y = np.maximum(x, 0.0)
+    def forward_into(self, x, out, scratch, train=False):
         if train:
             self._cache = x > 0
-        return y
+        np.maximum(x, 0.0, out=out)
 
     def backward(self, dout):
         mask = self._require_cache()
@@ -50,19 +49,37 @@ class ReLULayer(_Activation):
 @register_layer
 class SigmoidLayer(_Activation):
     type_name = "Sigmoid"
+    plan_inplace = True
 
-    def forward(self, x, train=False):
-        self._check_input(x)
-        # numerically stable logistic
-        y = np.empty_like(x, dtype=np.float64)
-        pos = x >= 0
-        y[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
-        ex = np.exp(x[~pos])
-        y[~pos] = ex / (1.0 + ex)
-        y = y.astype(x.dtype, copy=False)
+    def plan_scratch(self, batch):
+        shape = (batch,) + self.in_shape
+        return {
+            "t": (shape, np.dtype(np.float32)),
+            "pos": (shape, np.dtype(np.bool_)),
+            "neg": (shape, np.dtype(np.bool_)),
+        }
+
+    def forward_into(self, x, out, scratch, train=False):
+        # numerically stable logistic, branch-selected with where= masks so
+        # the kernel stays allocation-free and safe for out-is-x execution
+        n = x.shape[0]
+        t = scratch["t"][:n]
+        pos = scratch["pos"][:n]
+        neg = scratch["neg"][:n]
+        np.greater_equal(x, 0.0, out=pos)
+        np.logical_not(pos, out=neg)
+        # x >= 0: 1 / (1 + exp(-x))
+        np.negative(x, out=t, where=pos)
+        np.exp(t, out=t, where=pos)
+        np.add(t, 1.0, out=t, where=pos)
+        np.reciprocal(t, out=t, where=pos)
+        # x < 0: e / (1 + e) with e = exp(x)
+        np.exp(x, out=out, where=neg)
+        np.add(out, 1.0, out=t, where=neg)
+        np.divide(out, t, out=t, where=neg)
+        np.copyto(out, t)
         if train:
-            self._cache = y
-        return y
+            self._cache = out
 
     def backward(self, dout):
         y = self._require_cache()
@@ -72,13 +89,12 @@ class SigmoidLayer(_Activation):
 @register_layer
 class TanhLayer(_Activation):
     type_name = "Tanh"
+    plan_inplace = True
 
-    def forward(self, x, train=False):
-        self._check_input(x)
-        y = np.tanh(x)
+    def forward_into(self, x, out, scratch, train=False):
+        np.tanh(x, out=out)
         if train:
-            self._cache = y
-        return y
+            self._cache = out
 
     def backward(self, dout):
         y = self._require_cache()
@@ -90,13 +106,12 @@ class HardTanhLayer(_Activation):
     """SENNA's clipped-linear nonlinearity: clamp(x, -1, 1)."""
 
     type_name = "HardTanh"
+    plan_inplace = True
 
-    def forward(self, x, train=False):
-        self._check_input(x)
-        y = np.clip(x, -1.0, 1.0)
+    def forward_into(self, x, out, scratch, train=False):
         if train:
             self._cache = (x > -1.0) & (x < 1.0)
-        return y
+        np.clip(x, -1.0, 1.0, out=out)
 
     def backward(self, dout):
         mask = self._require_cache()

@@ -6,6 +6,24 @@ methods operate on arrays with a leading batch dimension.  Keeping the batch
 out of the static shape lets the GPU performance model ask a single network
 object for its cost at any batch size (`gemm_shapes(batch)`), which is exactly
 the sweep the paper's Figure 7 performs.
+
+Execution surface
+-----------------
+Every layer exposes two forward paths over the *same* kernel:
+
+``forward_into(x, out, scratch, train=False)``
+    The destination-passing kernel: write the result into ``out`` using the
+    preallocated ``scratch`` buffers declared by :meth:`Layer.plan_scratch`.
+    This is what :class:`repro.nn.engine.ExecutionPlan` drives with
+    arena-backed buffers, and it must not allocate in steady state.
+
+``forward(x, train=False)``
+    A thin allocating wrapper: allocate ``out`` and scratch, then call
+    ``forward_into``.  Because both paths run the identical kernel, a planned
+    forward is byte-identical to the legacy allocating forward.
+
+The wrapper preserves the input's float dtype (float64 in, float64 out) so
+numerical gradient checking keeps full precision; plans always run float32.
 """
 
 from __future__ import annotations
@@ -41,6 +59,16 @@ class Layer:
     #: Registry key; subclasses set this (e.g. "InnerProduct").
     type_name: str = "Layer"
 
+    #: The layer's inference output *is* its input (identity or a reshape
+    #: view).  An execution plan maps the output to the input's buffer and
+    #: skips the kernel entirely (Dropout at inference, Flatten).
+    plan_alias: bool = False
+
+    #: The kernel may legally write ``out`` over ``x`` (element-wise layers
+    #: whose reads never trail their writes).  A plan reuses the input buffer
+    #: when the input has no other consumer.
+    plan_inplace: bool = False
+
     def __init__(self, name: str):
         self.name = name
         self.in_shape: Optional[Shape] = None
@@ -73,8 +101,51 @@ class Layer:
             blob.materialize(filler, rng)
 
     # ------------------------------------------------------------- compute
+    def plan_scratch(self, batch: int) -> Dict[str, Tuple[Shape, np.dtype]]:
+        """Scratch buffers :meth:`forward_into` needs at ``batch``.
+
+        Maps a scratch name to ``(shape, dtype)``.  An execution plan carves
+        these from its shared scratch slab; the allocating ``forward`` wrapper
+        allocates them fresh per call via :meth:`alloc_scratch`.
+        """
+        return {}
+
+    def alloc_scratch(self, batch: int, dtype=np.float32) -> Dict[str, np.ndarray]:
+        """Allocate the :meth:`plan_scratch` buffers (float entries take
+        ``dtype`` so the wrapper can run float64 for gradient checking)."""
+        scratch = {}
+        for key, (shape, dt) in self.plan_scratch(batch).items():
+            dt = np.dtype(dt)
+            if dt.kind == "f":
+                dt = np.dtype(dtype)
+            scratch[key] = np.empty(shape, dtype=dt)
+        return scratch
+
+    def forward_into(self, x: np.ndarray, out: np.ndarray,
+                     scratch: Dict[str, np.ndarray], train: bool = False) -> None:
+        """Write ``forward(x)`` into ``out`` using preallocated ``scratch``.
+
+        The default covers layers that only define an allocating ``forward``
+        (it copies the result); hot-path layers override this with a
+        destination-passing kernel and inherit ``forward`` from the wrapper.
+        """
+        if type(self).forward is Layer.forward:
+            raise NotImplementedError(
+                f"{self.type_name} defines neither forward nor forward_into")
+        np.copyto(out, self.forward(x, train=train))
+
     def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
-        raise NotImplementedError
+        """Allocating forward: a thin wrapper over :meth:`forward_into`."""
+        if type(self).forward_into is Layer.forward_into:
+            raise NotImplementedError(
+                f"{self.type_name} defines neither forward nor forward_into")
+        x = np.asarray(x)
+        self._check_input(x)
+        dtype = np.result_type(x.dtype, np.float32)
+        out = np.empty((x.shape[0],) + tuple(self.out_shape), dtype=dtype)
+        self.forward_into(x, out, self.alloc_scratch(x.shape[0], dtype=dtype),
+                          train=train)
+        return out
 
     def backward(self, dout: np.ndarray) -> np.ndarray:
         raise NotImplementedError(f"{self.type_name} has no backward pass")

@@ -10,7 +10,7 @@ from typing import List
 import numpy as np
 
 from ..initializers import constant, get_filler, xavier
-from ._im2col import col2im, conv_output_size, im2col
+from ._im2col import Im2colPlan, col2im
 from .base import GemmShape, Layer, ShapeError, register_layer
 
 __all__ = ["ConvolutionLayer"]
@@ -61,8 +61,11 @@ class ConvolutionLayer(Layer):
         if c % self.group:
             raise ShapeError(f"layer {self.name!r}: {c} channels not divisible by group {self.group}")
         self.in_channels = c
-        self.out_h = conv_output_size(h, self.kernel_size, self.stride, self.pad)
-        self.out_w = conv_output_size(w, self.kernel_size, self.stride, self.pad)
+        k = self.kernel_size
+        # column-buffer geometry hoisted out of the per-call path
+        self._lowering = Im2colPlan(in_shape, k, k, self.stride, self.pad)
+        self.out_h = self._lowering.out_h
+        self.out_w = self._lowering.out_w
         return (self.num_output, self.out_h, self.out_w)
 
     def _declare_params(self):
@@ -73,24 +76,29 @@ class ConvolutionLayer(Layer):
             self.bias_blob = self._add_param("bias", (self.num_output,), self._bias_filler)
 
     # -------------------------------------------------------------- compute
-    def forward(self, x, train=False):
-        self._check_input(x)
+    def plan_scratch(self, batch):
+        spec = dict(self._lowering.cols_spec(batch))
+        spec.update(self._lowering.pad_spec(batch))
+        return spec
+
+    def forward_into(self, x, out, scratch, train=False):
         n = x.shape[0]
         g = self.group
         k = self.kernel_size
         cin_g = self.in_channels // g
         cout_g = self.num_output // g
-        cols = im2col(x, k, k, self.stride, self.pad)  # (N, C*k*k, L)
-        length = self.out_h * self.out_w
+        length = self._lowering.length
+        cols = self._lowering.gather(x, scratch)  # (N, C*k*k, L)
         cols_g = cols.reshape(n, g, cin_g * k * k, length)
         w = self.weight.require_data().reshape(g, cout_g, cin_g * k * k)
-        y = np.einsum("gok,ngkl->ngol", w, cols_g, optimize=True)
-        y = y.reshape(n, self.num_output, self.out_h, self.out_w)
+        out_g = out.reshape(n, g, cout_g, length)
+        for gi in range(g):
+            # (cout_g, K) @ (N, K, L) -> (N, cout_g, L), written in place
+            np.matmul(w[gi], cols_g[:, gi], out=out_g[:, gi])
         if self.bias:
-            y += self.bias_blob.require_data()[None, :, None, None]
+            np.add(out, self.bias_blob.require_data()[None, :, None, None], out=out)
         if train:
             self._cache = (cols_g, x.shape)
-        return y
 
     def backward(self, dout):
         if self._cache is None:

@@ -15,6 +15,8 @@ __all__ = ["DropoutLayer"]
 @register_layer
 class DropoutLayer(Layer):
     type_name = "Dropout"
+    #: identity at inference — execution plans alias output to input
+    plan_alias = True
 
     def __init__(self, name: str, ratio: float = 0.5, seed: int = 0):
         super().__init__(name)

@@ -53,17 +53,15 @@ class InnerProductLayer(Layer):
             self.bias_blob = self._add_param("bias", (self.num_output,), self._bias_filler)
 
     # -------------------------------------------------------------- compute
-    def forward(self, x, train=False):
-        self._check_input(x)
+    def forward_into(self, x, out, scratch, train=False):
         w = self.weight.require_data()
         x2 = x.reshape(x.shape[0], self.fan_in)
-        y = x2 @ w.T
+        np.matmul(x2, w.T, out=out)
         if self.bias:
-            y += self.bias_blob.require_data()
+            np.add(out, self.bias_blob.require_data(), out=out)
         if train:
             self._x_flat = x2
             self._x_shape = x.shape
-        return y
 
     def backward(self, dout):
         if self._x_flat is None:

@@ -20,7 +20,7 @@ from typing import List
 import numpy as np
 
 from ..initializers import constant, get_filler, xavier
-from ._im2col import col2im, conv_output_size, im2col
+from ._im2col import Im2colPlan, col2im
 from .base import GemmShape, Layer, ShapeError, register_layer
 
 __all__ = ["LocallyConnectedLayer"]
@@ -61,8 +61,11 @@ class LocallyConnectedLayer(Layer):
             raise ShapeError(f"layer {self.name!r} expects (C, H, W) input, got {in_shape}")
         c, h, w = in_shape
         self.in_channels = c
-        self.out_h = conv_output_size(h, self.kernel_size, self.stride, self.pad)
-        self.out_w = conv_output_size(w, self.kernel_size, self.stride, self.pad)
+        k = self.kernel_size
+        # column-buffer geometry hoisted out of the per-call path
+        self._lowering = Im2colPlan(in_shape, k, k, self.stride, self.pad)
+        self.out_h = self._lowering.out_h
+        self.out_w = self._lowering.out_w
         self.positions = self.out_h * self.out_w
         return (self.num_output, self.out_h, self.out_w)
 
@@ -78,18 +81,25 @@ class LocallyConnectedLayer(Layer):
             )
 
     # -------------------------------------------------------------- compute
-    def forward(self, x, train=False):
-        self._check_input(x)
-        k = self.kernel_size
-        cols = im2col(x, k, k, self.stride, self.pad)  # (N, C*k*k, L)
+    def plan_scratch(self, batch):
+        spec = dict(self._lowering.cols_spec(batch))
+        spec.update(self._lowering.pad_spec(batch))
+        return spec
+
+    def forward_into(self, x, out, scratch, train=False):
+        n = x.shape[0]
+        cols = self._lowering.gather(x, scratch)  # (N, C*k*k, L)
         w = self.weight.require_data()  # (L, O, K)
-        y = np.einsum("lok,nkl->nol", w, cols, optimize=True)
-        y = y.reshape(x.shape[0], self.num_output, self.out_h, self.out_w)
+        out3 = out.reshape(n, self.num_output, self.positions)
+        # per-position contraction; optimized einsum allocates planner
+        # intermediates (~0.5 MB here) but is ~8x faster than the strict
+        # out=-only path — the one tolerated deviation from allocation-free
+        # plans, so FACE sits outside the strict zero-alloc CI gate
+        np.einsum("lok,nkl->nol", w, cols, out=out3, optimize=True)
         if self.bias:
-            y += self.bias_blob.require_data()[None]
+            np.add(out, self.bias_blob.require_data()[None], out=out)
         if train:
-            self._cache = (np.ascontiguousarray(cols), x.shape)
-        return y
+            self._cache = (cols, x.shape)
 
     def backward(self, dout):
         if self._cache is None:

@@ -35,6 +35,15 @@ class MultiInputLayer(Layer):
     def _infer_multi(self, in_shapes: List[Shape]) -> Shape:
         raise NotImplementedError
 
+    def forward(self, xs: List[np.ndarray], train: bool = False) -> np.ndarray:
+        """Allocating wrapper over :meth:`forward_into` (list-input form)."""
+        xs = [np.asarray(x) for x in xs]
+        n = xs[0].shape[0]
+        dtype = np.result_type(np.float32, *[x.dtype for x in xs])
+        out = np.empty((n,) + tuple(self.out_shape), dtype=dtype)
+        self.forward_into(xs, out, self.alloc_scratch(n, dtype=dtype), train=train)
+        return out
+
     def activation_bytes_per_sample(self) -> int:
         n_in = sum(int(np.prod(s)) for s in self.in_shapes)
         n_out = int(np.prod(self.out_shape))
@@ -56,12 +65,16 @@ class ConcatLayer(MultiInputLayer):
                 raise ShapeError(
                     f"layer {self.name!r}: cannot concat {in_shapes} along axis 0"
                 )
+        self._starts = [0]
+        for shape in in_shapes:
+            self._starts.append(self._starts[-1] + shape[0])
         return (sum(s[0] for s in in_shapes),) + first[1:]
 
-    def forward(self, xs: List[np.ndarray], train: bool = False) -> np.ndarray:
+    def forward_into(self, xs: List[np.ndarray], out, scratch, train=False):
         if len(xs) != len(self.in_shapes):
             raise ShapeError(f"layer {self.name!r} expects {len(self.in_shapes)} inputs")
-        return np.concatenate(xs, axis=1)
+        for x, a, b in zip(xs, self._starts, self._starts[1:]):
+            np.copyto(out[:, a:b], x)
 
     def backward(self, dout: np.ndarray) -> List[np.ndarray]:
         # split points are static (the declared bottom shapes), so inference
@@ -85,13 +98,12 @@ class EltwiseSumLayer(MultiInputLayer):
             raise ShapeError(f"layer {self.name!r}: eltwise inputs differ: {in_shapes}")
         return first
 
-    def forward(self, xs: List[np.ndarray], train: bool = False) -> np.ndarray:
+    def forward_into(self, xs: List[np.ndarray], out, scratch, train=False):
         if len(xs) != len(self.in_shapes):
             raise ShapeError(f"layer {self.name!r} expects {len(self.in_shapes)} inputs")
-        total = xs[0].copy()
+        np.copyto(out, xs[0])
         for x in xs[1:]:
-            total += x
-        return total
+            np.add(out, x, out=out)
 
     def backward(self, dout: np.ndarray) -> List[np.ndarray]:
         return [dout] * len(self.in_shapes)

@@ -44,14 +44,40 @@ class LRNLayer(Layer):
             raise ShapeError(f"layer {self.name!r} expects (C, H, W) input, got {in_shape}")
         return in_shape
 
-    def forward(self, x, train=False):
-        self._check_input(x)
+    def plan_scratch(self, batch):
+        c, h, w = self.in_shape
+        f32 = np.dtype(np.float32)
+        return {
+            "sq": ((batch, c, h, w), f32),
+            "csum": ((batch, c + 1, h, w), f32),
+            "win": ((batch, c, h, w), f32),
+        }
+
+    def forward_into(self, x, out, scratch, train=False):
+        c = self.in_shape[0]
         half = (self.local_size - 1) // 2
-        scale = self.k + (self.alpha / self.local_size) * _channel_window_sum(x * x, half)
-        y = x * np.power(scale, -self.beta)
+        n = x.shape[0]
+        sq = scratch["sq"][:n]
+        csum = scratch["csum"][:n]
+        win = scratch["win"][:n]
+        np.multiply(x, x, out=sq)
+        csum[:, 0].fill(0.0)
+        np.cumsum(sq, axis=1, out=csum[:, 1:])
+        # win[:, i] = csum[:, hi] - csum[:, lo] with hi = min(i+half+1, c),
+        # lo = max(i-half, 0); the clipped gathers decompose into slices
+        # (np.take with out= allocates a temporary, so it is avoided here).
+        top = max(c - half, 0)
+        np.copyto(win[:, :top], csum[:, half + 1:])
+        np.copyto(win[:, top:], csum[:, c:c + 1])
+        if half + 1 < c:
+            np.subtract(win[:, half + 1:], csum[:, 1:c - half],
+                        out=win[:, half + 1:])
+        np.multiply(win, self.alpha / self.local_size, out=win)
+        np.add(win, self.k, out=win)
         if train:
-            self._cache = (x, scale)
-        return y
+            self._cache = (x, win.copy())
+        np.power(win, -self.beta, out=win)
+        np.multiply(x, win, out=out)
 
     def backward(self, dout):
         if self._cache is None:

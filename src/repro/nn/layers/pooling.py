@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ._im2col import conv_output_size
+from ._im2col import Im2colPlan
 from .base import Layer, ShapeError, register_layer
 
 __all__ = ["PoolingLayer"]
@@ -37,36 +37,45 @@ class PoolingLayer(Layer):
         if len(in_shape) != 3:
             raise ShapeError(f"layer {self.name!r} expects (C, H, W) input, got {in_shape}")
         c, h, w = in_shape
-        self.out_h = conv_output_size(h, self.kernel_size, self.stride, self.pad)
-        self.out_w = conv_output_size(w, self.kernel_size, self.stride, self.pad)
+        k = self.kernel_size
+        # window geometry hoisted out of the per-call path
+        self._lowering = Im2colPlan(in_shape, k, k, self.stride, self.pad)
+        self.out_h = self._lowering.out_h
+        self.out_w = self._lowering.out_w
         return (c, self.out_h, self.out_w)
 
-    def _windows(self, x):
-        k, s, p = self.kernel_size, self.stride, self.pad
-        if p:
-            fill = -np.inf if self.mode == "max" else 0.0
-            x = np.pad(x, ((0, 0), (0, 0), (p, p), (p, p)), constant_values=fill)
-        s0, s1, s2, s3 = x.strides
-        return np.lib.stride_tricks.as_strided(
-            x,
-            shape=(x.shape[0], x.shape[1], self.out_h, self.out_w, k, k),
-            strides=(s0, s1, s2 * s, s3 * s, s2, s3),
-            writeable=False,
-        )
+    @property
+    def _pad_fill(self) -> float:
+        return -np.inf if self.mode == "max" else 0.0
 
-    def forward(self, x, train=False):
-        self._check_input(x)
-        win = self._windows(x)
-        flat = win.reshape(*win.shape[:4], -1)
-        if self.mode == "max":
-            idx = flat.argmax(axis=-1)
-            y = np.take_along_axis(flat, idx[..., None], axis=-1)[..., 0]
-        else:
-            y = flat.mean(axis=-1)
-            idx = None
+    def plan_scratch(self, batch):
+        return dict(self._lowering.pad_spec(batch))
+
+    def forward_into(self, x, out, scratch, train=False):
+        src = self._lowering.padded(x, scratch, fill=self._pad_fill)
+        k, s = self.kernel_size, self.stride
+        oh, ow = self.out_h, self.out_w
+        # accumulate k*k shifted strided slices elementwise instead of a
+        # 6-D windowed reduction: each slice walks the image in memory
+        # order, which is several times faster on the large early layers
+        op = np.maximum if self.mode == "max" else np.add
+        for i in range(k):
+            for j in range(k):
+                window = src[:, :, i : i + s * oh : s, j : j + s * ow : s]
+                if i == 0 and j == 0:
+                    np.copyto(out, window)
+                else:
+                    op(out, window, out=out)
+        if self.mode == "ave":
+            np.divide(out, k * k, out=out)
         if train:
+            if self.mode == "max":
+                win = self._lowering.pool_windows(src)  # (N, C, oh, ow, k, k)
+                flat = win.reshape(*win.shape[:4], -1)
+                idx = flat.argmax(axis=-1)
+            else:
+                idx = None
             self._cache = (idx, x.shape)
-        return np.ascontiguousarray(y)
 
     def backward(self, dout):
         if self._cache is None:

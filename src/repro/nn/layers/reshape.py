@@ -16,6 +16,8 @@ class FlattenLayer(Layer):
     """Flatten all sample dimensions to a vector (Caffe's ``Flatten``)."""
 
     type_name = "Flatten"
+    #: a pure reshape — execution plans alias output to the input's buffer
+    plan_alias = True
 
     def _infer_shape(self, in_shape):
         return (int(math.prod(in_shape)),)

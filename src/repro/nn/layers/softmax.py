@@ -47,6 +47,7 @@ class SoftmaxLayer(Layer):
     """
 
     type_name = "Softmax"
+    plan_inplace = True
 
     def __init__(self, name: str):
         super().__init__(name)
@@ -55,12 +56,20 @@ class SoftmaxLayer(Layer):
     def _infer_shape(self, in_shape):
         return in_shape
 
-    def forward(self, x, train=False):
-        self._check_input(x)
-        y = softmax(x, axis=-1)
+    def plan_scratch(self, batch):
+        # one reduction slot per row, reused for the max and the sum
+        shape = (batch,) + self.in_shape[:-1] + (1,)
+        return {"mx": (shape, np.dtype(np.float32))}
+
+    def forward_into(self, x, out, scratch, train=False):
+        mx = scratch["mx"][: x.shape[0]]
+        np.max(x, axis=-1, keepdims=True, out=mx)
+        np.subtract(x, mx, out=out)
+        np.exp(out, out=out)
+        np.sum(out, axis=-1, keepdims=True, out=mx)
+        np.divide(out, mx, out=out)
         if train:
-            self._cache = y
-        return y
+            self._cache = out
 
     def backward(self, dout):
         if self._cache is None:

@@ -38,6 +38,7 @@ class Net:
                 raise ShapeError(f"net {spec.name!r}, layer {layer.name!r}: {exc}") from exc
         self.output_shape = shape
         self._materialized = False
+        self._plan = None
 
     # ----------------------------------------------------------- properties
     @property
@@ -51,6 +52,21 @@ class Net:
     @property
     def materialized(self) -> bool:
         return self._materialized
+
+    @property
+    def plan(self):
+        """The attached :class:`repro.nn.engine.ExecutionPlan`, if any."""
+        return self._plan
+
+    def compile_plan(self, max_batch: int):
+        """Compile and attach an arena-backed plan for batches up to
+        ``max_batch``; subsequent inference ``forward`` calls within the
+        envelope execute through it (same kernels, zero steady-state
+        allocation).  Returns the plan."""
+        from .engine import ExecutionPlan
+
+        self._plan = ExecutionPlan(self, max_batch)
+        return self._plan
 
     def params(self) -> List[Blob]:
         return [blob for layer in self.layers for blob in layer.params]
@@ -113,6 +129,10 @@ class Net:
         x = np.asarray(x, dtype=np.float32)
         if x.ndim == len(self.input_shape):  # single sample convenience
             x = x[None]
+        # inference within the plan envelope executes through the arena;
+        # training and oversize batches fall back to the allocating loop
+        if self._plan is not None and not train and x.shape[0] <= self._plan.max_batch:
+            return self._plan.run(x, timer=timer)
         if timer is None:
             for layer in self.layers:
                 x = layer.forward(x, train=train)

@@ -13,7 +13,7 @@ from typing import List, Tuple
 from .network import Net
 from .tensor import FLOAT_BYTES
 
-__all__ = ["LayerCost", "NetCost", "analyze"]
+__all__ = ["LayerCost", "NetCost", "analyze", "plan_footprint"]
 
 
 @dataclass(frozen=True)
@@ -79,6 +79,25 @@ def analyze(net: Net, batch: int = 1) -> NetCost:
             )
         )
     return NetCost(net_name=net.name, batch=batch, layers=tuple(layers))
+
+
+def plan_footprint(net, batch: int = 1) -> dict:
+    """Memory footprint of an :class:`repro.nn.engine.ExecutionPlan` for
+    ``net`` at ``batch`` — computed by compiling the plan *shape-only*
+    (``allocate=False``), so 120M-parameter nets can be costed without
+    committing their arenas.
+
+    Returns ``{"arena_bytes", "scratch_bytes", "total_bytes", "steps"}``.
+    """
+    from .engine import ExecutionPlan
+
+    plan = ExecutionPlan(net, batch, allocate=False)
+    return {
+        "arena_bytes": plan.arena_bytes,
+        "scratch_bytes": plan.scratch_bytes,
+        "total_bytes": plan.arena_bytes + plan.scratch_bytes,
+        "steps": len(plan.describe()["steps"]),
+    }
 
 
 def input_bytes(net: Net, batch: int = 1) -> int:

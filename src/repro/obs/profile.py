@@ -7,6 +7,11 @@ breakdown here: pass one to :meth:`repro.nn.Net.forward` (``timer=``) and it
 records a wall-clock interval per layer.  The hook is opt-in — ``forward``
 without a timer runs the exact pre-existing loop, so disabled profiling
 costs nothing.
+
+The planned execution path (:class:`repro.nn.engine.ExecutionPlan`) drives
+the same ``begin``/``end`` hook for every compiled step — aliased layers
+included — so per-layer profiles and the derived ``layer.*`` trace spans
+keep the exact taxonomy of the legacy loop whichever path served a batch.
 """
 
 from __future__ import annotations

@@ -198,10 +198,16 @@ class TestErrors:
         with pytest.raises(ProtocolError, match="imply"):
             recv_message(b)
 
-    def test_received_tensor_is_writable_copy(self, sock_pair):
+    def test_received_tensor_is_readonly_zero_copy(self, sock_pair):
+        # the deserialized tensor is backed by the frame's bytes (no copy),
+        # so it is read-only — consumers that need to mutate copy themselves
         out = roundtrip(sock_pair, Message(MessageType.INFER_RESPONSE,
                                            tensor=np.ones((2, 2), np.float32)))
-        out.tensor[0, 0] = 5.0  # must not raise (frombuffer would be read-only)
+        assert not out.tensor.flags.writeable
+        with pytest.raises(ValueError):
+            out.tensor[0, 0] = 5.0
+        owned = out.tensor.copy()
+        owned[0, 0] = 5.0  # the explicit copy is writable
 
 
 class TestHeaderBounds:
