@@ -3,10 +3,21 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test chaos trace-demo bench-engine bench-gateway bench-all
+.PHONY: test test-fast soak chaos trace-demo bench-engine bench-procpool bench-gateway bench-all
 
 test:
 	$(PY) -m pytest -x -q
+
+# Everything except the slow soak/training integration tests — the fast CI
+# job; `make soak` + `make chaos` cover the rest.
+test-fast:
+	$(PY) -m pytest -x -q -m "not slow"
+
+# Sustained concurrent load against a proc-pool fleet: 8 clients x 200
+# mixed-model requests over TCP, payload-checked responses, weight-digest
+# and parent-RSS invariants (tests/test_soak.py).
+soak:
+	$(PY) -m pytest tests/test_soak.py -x -q -m slow
 
 # Determinism gate: run the chaos suite twice with the same fault-plan seed,
 # dumping every scenario's invariant report, then require the two report
@@ -36,6 +47,13 @@ trace-demo:
 # not slower than legacy at batch 1.
 bench-engine:
 	$(PY) benchmarks/bench_engine.py --check
+
+# Proc-pool vs threaded serving throughput under concurrent load, into
+# benchmarks/results/BENCH_procpool.json.  The 2x speedup gate enforces
+# only on >= 4-core hosts; smaller hosts record honest numbers with
+# gate_enforced=false.
+bench-procpool:
+	$(PY) benchmarks/bench_procpool.py --check
 
 # Reproduce the Fig 11-shaped throughput-vs-replicas curve on the real
 # gateway; writes benchmarks/results/gateway_scaling.txt.

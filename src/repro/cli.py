@@ -5,8 +5,11 @@ Commands
 --------
 ``djinn models``
     Print the Tonic model zoo (Table 1).
-``djinn serve [--models dig,pos,...] [--port N] [--batch N --timeout-ms T]``
+``djinn serve [--models dig,pos,...] [--port N] [--batch N --timeout-ms T]
+[--workers proc:N]``
     Start a DjiNN server with seeded models and block until Ctrl-C.
+    ``--workers proc:N`` executes forwards in N shared-memory worker
+    processes (weights mapped read-only, one physical copy).
 ``djinn query --host H --port P --app dig``
     Run one Tonic query against a live server and print the result.
 ``djinn gateway --backends N [--models ...] [--policy P] [--port N]``
@@ -87,11 +90,15 @@ def cmd_serve(args) -> int:
     batching = None
     if args.batch:
         batching = BatchPolicy(max_batch=args.batch, timeout_ms=args.timeout_ms)
-    server = DjinnServer(registry, host=args.host, port=args.port, batching=batching)
+    server = DjinnServer(registry, host=args.host, port=args.port, batching=batching,
+                         workers=args.workers or None)
     server.start()
     host, port = server.address
+    mode = "batched" if batching else "unbatched"
+    if args.workers:
+        mode += f", {args.workers} shm workers"
     print(f"DjiNN serving {registry.names()} on {host}:{port} "
-          f"({'batched' if batching else 'unbatched'}); Ctrl-C to stop")
+          f"({mode}); Ctrl-C to stop")
     try:
         while server._running.is_set():
             time.sleep(0.5)
@@ -145,6 +152,7 @@ def cmd_gateway(args) -> int:
     cluster = ClusterLauncher(
         registry, backends=args.backends, batching=batching,
         service_floor_s=args.floor_ms / 1e3,
+        workers=args.workers or None,
     )
     cluster.start()
     try:
@@ -356,6 +364,9 @@ def main(argv=None) -> int:
     serve.add_argument("--port", type=int, default=7889)
     serve.add_argument("--batch", type=int, default=0, help="enable dynamic batching")
     serve.add_argument("--timeout-ms", type=float, default=2.0)
+    serve.add_argument("--workers", default="",
+                       help="execute forwards in a shared-memory process pool "
+                            "(e.g. proc:4)")
 
     query = sub.add_parser("query", help="run one Tonic query against a server")
     query.add_argument("--host", default="127.0.0.1")
@@ -382,6 +393,9 @@ def main(argv=None) -> int:
     gateway.add_argument("--timeout-ms", type=float, default=2.0)
     gateway.add_argument("--floor-ms", type=float, default=0.0,
                          help="device-pace each backend (min service ms per batch)")
+    gateway.add_argument("--workers", default="",
+                         help="give each backend a shared-memory process pool "
+                              "(e.g. proc:2)")
 
     metrics = sub.add_parser(
         "metrics", help="fetch and print a live server's metrics exposition")

@@ -9,6 +9,7 @@ plugs directly into the Tonic applications.
 from .batching import BatchingExecutor, BatchPolicy
 from .client import DjinnClient, DjinnConnectionError, DjinnServiceError, RemoteBackend
 from .loadgen import LoadResult, run_closed_loop_load
+from .procpool import PoolLease, ProcPoolError, ProcPoolExecutor, parse_workers
 from .protocol import Message, MessageType, ProtocolError, recv_message, send_message
 from .registry import ModelRegistry
 from .server import DjinnServer
@@ -17,6 +18,10 @@ from .stats import ServiceStats
 __all__ = [
     "BatchingExecutor",
     "BatchPolicy",
+    "PoolLease",
+    "ProcPoolError",
+    "ProcPoolExecutor",
+    "parse_workers",
     "DjinnClient",
     "DjinnConnectionError",
     "DjinnServiceError",

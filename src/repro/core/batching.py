@@ -141,11 +141,16 @@ class BatchingExecutor:
                  tracer: Optional[Tracer] = None,
                  metrics: Optional[MetricsRegistry] = None,
                  profile_layers: bool = False,
-                 use_plans: bool = True):
+                 use_plans: bool = True,
+                 pool=None):
         self.registry = registry
         self.policy = policy
         self.service_floor_s = service_floor_s
         self.use_plans = use_plans
+        #: optional :class:`repro.core.procpool.ProcPoolExecutor`; when set,
+        #: assembled batches execute in a worker *process* (weights in shared
+        #: memory) instead of this thread, and the in-parent plan is skipped
+        self.pool = pool
         self.clock = clock
         self.tracer = tracer if tracer is not None else get_tracer()
         self.profile_layers = profile_layers
@@ -280,7 +285,9 @@ class BatchingExecutor:
         net = self.registry.get(model)
         tracer = self.tracer
         plan = None
-        if self.use_plans:
+        if self.use_plans and self.pool is None:
+            # with a proc pool the arena lives in the worker process; no
+            # parent-side plan (and no parent-side arena allocation) needed
             try:
                 plan = self.registry.plan(model, self.policy.max_batch)
             except Exception:  # un-plannable nets serve via the legacy path
@@ -292,8 +299,11 @@ class BatchingExecutor:
                 return
             rows = sum(len(p.inputs) for p in batch)
             # _collect admits one oversize request past max_batch; those
-            # batches overflow the arena and take the legacy stacked path
+            # batches overflow the arena (or pool slot) and take the legacy
+            # stacked path
+            use_pool = self.pool is not None and rows <= self.pool.max_batch
             use_plan = plan is not None and rows <= plan.max_batch
+            lease = None
             if use_plan:
                 plan.lock.acquire()
             try:
@@ -308,7 +318,7 @@ class BatchingExecutor:
                                     tid, parent, category="queue", model=model)
                 if use_plan:
                     self._gather(plan, batch, rows, sample_shape)
-                else:
+                elif not use_pool:
                     stacked = np.concatenate([p.inputs for p in batch], axis=0)
                 assembled = self.clock()
                 for pending in traced:
@@ -322,6 +332,13 @@ class BatchingExecutor:
                 forward_start = self.clock()
                 if use_plan:
                     outputs = plan.execute(rows, timer=timer)
+                elif use_pool:
+                    # gather happens directly into the shm slot; the result
+                    # stays pinned there under the lease until every waiter
+                    # has consumed its view
+                    lease = self.pool.submit_parts(
+                        model, [p.inputs for p in batch])
+                    outputs = lease.outputs
                 else:
                     outputs = net.forward(stacked, timer=timer)
                 forward_end = self.clock()
@@ -344,8 +361,9 @@ class BatchingExecutor:
                 for pending in batch:
                     n = len(pending.inputs)
                     view = outputs[offset:offset + n]
-                    view.flags.writeable = False  # consumers copy, never mutate
-                    pending.arena = use_plan
+                    if view.flags.writeable:
+                        view.flags.writeable = False  # consumers copy, never mutate
+                    pending.arena = use_plan or lease is not None
                     pending.result = view
                     offset += n
             except Exception as exc:  # deliver failures to every waiter
@@ -355,13 +373,17 @@ class BatchingExecutor:
             finally:
                 for pending in batch:
                     pending.event.set()
-                if use_plan:
-                    # lease barrier: the arena is about to be reused, so wait
-                    # until every consumer has copied/serialized its view
+                if use_plan or lease is not None:
+                    # lease barrier: the arena / shm slot is about to be
+                    # reused, so wait until every consumer has
+                    # copied/serialized its view
                     deadline = time.monotonic() + self.LEASE_TIMEOUT_S
                     try:
                         for pending in batch:
                             pending.consumed.wait(
                                 timeout=max(0.0, deadline - time.monotonic()))
                     finally:
-                        plan.lock.release()
+                        if use_plan:
+                            plan.lock.release()
+                        if lease is not None:
+                            lease.release()

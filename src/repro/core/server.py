@@ -25,11 +25,12 @@ import time
 from contextlib import nullcontext
 from typing import Callable, Optional, Tuple
 
-from ..obs.metrics import MetricsRegistry
+from ..obs.metrics import MetricsRegistry, merge_dumps
 from ..obs.profile import LayerTimer
 from ..obs.trace import Tracer, get_tracer
 from . import faultsite
 from .batching import BatchingExecutor, BatchPolicy
+from .procpool import parse_workers
 from .protocol import Message, MessageType, ProtocolError, recv_message, send_message
 from .registry import ModelRegistry
 from .stats import ServiceStats
@@ -218,7 +219,21 @@ class DjinnServer(TcpServiceBase):
         When True *and* a request is traced, time each network layer of its
         forward pass and attach ``layer.*`` spans (the Fig-4 breakdown).
         Off by default; untraced/unprofiled requests run the original loop.
+    workers:
+        Optional process-pool spec (``"proc:N"`` or an int N).  When set,
+        forwards execute in N worker *processes* over shared-memory weights
+        (:class:`repro.core.procpool.ProcPoolExecutor`): with ``batching``
+        the pool runs each assembled batch, without it each request goes
+        straight to a pool slot.  ``None``/``0`` keeps the threaded paths.
+    worker_fault_plan:
+        Optional :class:`repro.faults.FaultPlan` re-armed inside each pool
+        worker with a worker-index-derived seed (chaos testing; the parent
+        process uses the normal ``faultsite`` arming instead).
     """
+
+    #: pool batch envelope when serving without a batching policy — single
+    #: requests larger than this fall back to an in-parent legacy forward
+    DEFAULT_POOL_BATCH = 32
 
     def __init__(
         self,
@@ -230,6 +245,8 @@ class DjinnServer(TcpServiceBase):
         clock: Callable[[], float] = time.monotonic,
         tracer: Optional[Tracer] = None,
         profile_layers: bool = False,
+        workers=None,
+        worker_fault_plan=None,
     ):
         super().__init__(host=host, port=port)
         if service_floor_s < 0:
@@ -244,16 +261,41 @@ class DjinnServer(TcpServiceBase):
             "djinn_errors_total", "Requests rejected, per model and reason.",
             ("model", "reason"))
         self._floor_s = service_floor_s
-        self._executor = (
-            BatchingExecutor(registry, batching, service_floor_s=service_floor_s,
-                             clock=clock, tracer=self.tracer,
-                             metrics=self.metrics, profile_layers=profile_layers)
-            if batching else None
-        )
+        self._pool = None
+        worker_count = parse_workers(workers)
+        if worker_count:
+            from .procpool import ProcPoolExecutor
+
+            self._pool = ProcPoolExecutor(
+                registry, workers=worker_count,
+                max_batch=(batching.max_batch if batching
+                           else self.DEFAULT_POOL_BATCH),
+                metrics=self.metrics, tracer=self.tracer, clock=clock,
+                fault_plan=worker_fault_plan,
+            )
+        if batching:
+            self._executor = BatchingExecutor(
+                registry, batching, service_floor_s=service_floor_s,
+                clock=clock, tracer=self.tracer,
+                metrics=self.metrics, profile_layers=profile_layers,
+                pool=self._pool)
+        else:
+            self._executor = self._pool  # may be None: bare threaded serving
 
     def _on_stop(self) -> None:
-        if self._executor is not None:
+        if self._executor is not None and self._executor is not self._pool:
             self._executor.close()
+        if self._pool is not None:
+            self._pool.close()
+
+    def _metrics_dump(self) -> dict:
+        """This server's registry dump, merged with pool-worker dumps."""
+        dump = self.metrics.dump()
+        if self._pool is not None:
+            worker_dumps = self._pool.worker_metric_dumps()
+            if worker_dumps:
+                dump = merge_dumps([dump] + worker_dumps)
+        return dump
 
     # ------------------------------------------------------------- serving
     def _handle(self, conn: socket.socket, request: Message) -> bool:
@@ -276,7 +318,7 @@ class DjinnServer(TcpServiceBase):
             self._safe_send(
                 conn,
                 Message(MessageType.METRICS_RESPONSE,
-                        text=json.dumps(self.metrics.dump())),
+                        text=json.dumps(self._metrics_dump())),
             )
             return True
         if request.type == MessageType.SHUTDOWN:
@@ -311,10 +353,17 @@ class DjinnServer(TcpServiceBase):
                         f"model {request.name!r} expects inputs of shape "
                         f"(n, {', '.join(map(str, net.input_shape))}), got {inputs.shape}"
                     )
-                if self._executor is not None:
+                use_executor = self._executor is not None
+                if (use_executor and self._executor is self._pool
+                        and len(inputs) > self._pool.max_batch):
+                    # a single request larger than the pool slot envelope:
+                    # serve it in-parent on the legacy path rather than fail
+                    use_executor = False
+                if use_executor:
                     # zero-copy: serialize the response straight from the
                     # batch output (a plan's output slab on the planned
-                    # path), releasing the lease only after the send
+                    # path, a shm response slot on the proc-pool path),
+                    # releasing the lease only after the send
                     lease = self._executor.submit_lease(
                         request.name, inputs,
                         trace=(span.trace_id, span.span_id) if traced else None,

@@ -1,0 +1,194 @@
+"""Shared-memory weight segments for multi-process serving.
+
+Paper §3.1: DjiNN loads each model **once** and gives all workers
+*read-only* access.  With thread workers that falls out of the address
+space; with process workers (:mod:`repro.core.procpool`) it has to be
+engineered: the parent packs every weight blob of a model into one
+``multiprocessing.shared_memory`` segment, and each worker maps the
+segment and rebinds a shape-only net's blobs to ``writeable=False``
+ndarray views over it.  Physical pages are shared by the kernel, so N
+workers cost one copy of the weights regardless of N.
+
+The manifest entry for a model is plain JSON-able data::
+
+    {"app": "imc", "segment": "psm_...", "kind": "net" | "graph",
+     "spec": <NetSpec/GraphSpec dict>, "bytes": <segment payload size>,
+     "blobs": [{"name", "shape", "offset", "nbytes"}, ...]}
+
+Lifecycle rules (exercised by ``tests/test_procpool.py``):
+
+* the *creator* unlinks a segment exactly once (``FileNotFoundError`` on
+  a second unlink is swallowed, so teardown is idempotent);
+* *attachers* only ever close — and a close after the buffer has been
+  exported into live ndarrays would raise ``BufferError``, so close is
+  best-effort and the name is always removed from the resource tracker
+  (Python 3.11 re-registers attached segments, which would otherwise
+  unlink them when the first worker exits).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from multiprocessing import shared_memory
+from typing import Any, Dict, List, Tuple
+
+import numpy as np
+
+__all__ = [
+    "align64",
+    "attach_segment",
+    "close_segment",
+    "unlink_segment",
+    "export_net",
+    "attach_net",
+    "net_blobs",
+    "weight_digest",
+]
+
+ALIGN = 64  # cache-line alignment for every blob start
+
+
+def align64(n: int) -> int:
+    return (int(n) + ALIGN - 1) & ~(ALIGN - 1)
+
+
+_attach_lock = threading.Lock()
+
+
+def attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach an existing segment by name without taking ownership.
+
+    On 3.11 ``SharedMemory(name=...)`` registers the segment with the
+    resource tracker even when merely attaching — and under fork the
+    tracker *process* is shared with the parent, so the attacher's
+    registration (or a later unregister) would fight the creator's and
+    either unlink memory the parent still owns or corrupt the tracker's
+    cache.  Ownership here is explicit — only the creator unlinks — so
+    registration is suppressed for the duration of the attach
+    (``track=False`` avant la lettre; 3.13 grew the real flag).
+    """
+    from multiprocessing import resource_tracker
+
+    with _attach_lock:
+        original = resource_tracker.register
+
+        def _register(rname, rtype):
+            if rtype != "shared_memory":
+                original(rname, rtype)
+
+        resource_tracker.register = _register
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+def close_segment(shm: shared_memory.SharedMemory) -> None:
+    """Best-effort close: tolerates live exported views and double-close."""
+    try:
+        shm.close()
+    except BufferError:
+        # ndarray views over shm.buf are still alive; the mapping dies
+        # with them (or with the process) — unlink does not need it gone.
+        pass
+
+
+def unlink_segment(shm: shared_memory.SharedMemory) -> None:
+    """Unlink exactly once; a second call (or a race) is a no-op."""
+    close_segment(shm)
+    try:
+        shm.unlink()
+    except FileNotFoundError:
+        pass
+
+
+def net_blobs(net) -> List:
+    """Weight blobs of a Net/GraphNet in deterministic layer order."""
+    return [blob for layer in net.layers for blob in layer.params]
+
+
+def export_net(app: str, net) -> Tuple[shared_memory.SharedMemory, Dict[str, Any]]:
+    """Pack ``net``'s weights into a fresh segment; rebind blobs to it.
+
+    After this returns the parent itself reads weights from the shm
+    views (read-only), so the original heap copies are garbage and every
+    process — parent included — maps each model exactly once.
+    """
+    if not net.materialized:
+        raise ValueError(f"model {app!r}: cannot export an unmaterialized net")
+    blobs = net_blobs(net)
+    entries: List[Dict[str, Any]] = []
+    total = 0
+    for blob in blobs:
+        data = np.asarray(blob.require_data(), dtype=np.float32)
+        entries.append({
+            "name": blob.name,
+            "shape": list(data.shape),
+            "offset": total,
+            "nbytes": int(data.nbytes),
+        })
+        total += align64(data.nbytes)
+    shm = shared_memory.SharedMemory(create=True, size=max(total, ALIGN))
+    for blob, entry in zip(blobs, entries):
+        view = np.ndarray(tuple(entry["shape"]), dtype=np.float32,
+                          buffer=shm.buf, offset=entry["offset"])
+        view[...] = np.asarray(blob.require_data(), dtype=np.float32)
+        view.flags.writeable = False
+        blob.data = view
+    kind = "graph" if hasattr(net, "_specs") else "net"
+    manifest_entry = {
+        "app": app,
+        "segment": shm.name,
+        "kind": kind,
+        "spec": net.spec.to_dict(),
+        "bytes": total,
+        "blobs": entries,
+    }
+    return shm, manifest_entry
+
+
+def attach_net(entry: Dict[str, Any]):
+    """Rebuild a net from a manifest entry with shm-backed weights.
+
+    Returns ``(net, shm)``; the net's blobs are ``writeable=False`` views
+    over the segment (a worker that tries to write a weight gets
+    ``ValueError`` from numpy) and ``grad`` is dropped — serving processes
+    never train.
+    """
+    if entry["kind"] == "graph":
+        from ..nn.graph import GraphNet, GraphSpec
+
+        net = GraphNet(GraphSpec.from_dict(entry["spec"]))
+    else:
+        from ..nn.netspec import NetSpec
+        from ..nn.network import Net
+
+        net = Net(NetSpec.from_dict(entry["spec"]))
+    blobs = net_blobs(net)
+    if len(blobs) != len(entry["blobs"]):
+        raise ValueError(
+            f"model {entry['app']!r}: manifest has {len(entry['blobs'])} blobs, "
+            f"rebuilt net has {len(blobs)}")
+    shm = attach_segment(entry["segment"])
+    for blob, meta in zip(blobs, entry["blobs"]):
+        if blob.name != meta["name"] or tuple(blob.shape) != tuple(meta["shape"]):
+            raise ValueError(
+                f"model {entry['app']!r}: blob mismatch — expected "
+                f"{meta['name']}{tuple(meta['shape'])}, rebuilt "
+                f"{blob.name}{tuple(blob.shape)}")
+        view = np.ndarray(tuple(meta["shape"]), dtype=np.float32,
+                          buffer=shm.buf, offset=meta["offset"])
+        view.flags.writeable = False
+        blob.data = view
+        blob.grad = None
+    net._materialized = True  # noqa: SLF001 — weights are bound, just not via materialize()
+    return net, shm
+
+
+def weight_digest(net) -> str:
+    """SHA-256 over all weight bytes in layer order (soak-test invariant)."""
+    digest = hashlib.sha256()
+    for blob in net_blobs(net):
+        digest.update(np.ascontiguousarray(blob.require_data()).tobytes())
+    return digest.hexdigest()

@@ -77,6 +77,10 @@ class ChaosReport:
     retry_exhausted_metric: int = 0
     transitions: Dict[str, int] = field(default_factory=dict)
     injected: Dict[str, int] = field(default_factory=dict)
+    #: proc-pool workers the supervisors respawned (``worker_kill`` runs);
+    #: must equal the injected ``proc.dispatch:kill`` count — every kill
+    #: costs exactly one respawn, and nothing respawns unprovoked.
+    worker_respawns: int = 0
     #: distinct traces that closed a ``client.infer`` root span — must equal
     #: ``requests``: even a request that died in transport leaves a closed
     #: root.  Stray late spans from other runs' lingering threads carry
@@ -125,6 +129,12 @@ class ChaosReport:
             violations.append(
                 f"expected one closed client.infer root per request "
                 f"({self.requests}), found {self.traces}")
+        kills = sum(count for label, count in self.injected.items()
+                    if label.startswith("proc.dispatch:kill"))
+        if self.worker_respawns != kills:
+            violations.append(
+                f"injected {kills} worker kill(s) but supervisors recorded "
+                f"{self.worker_respawns} respawn(s)")
         return violations
 
     def to_dict(self) -> dict:
@@ -144,6 +154,7 @@ class ChaosReport:
             "transitions": dict(sorted(self.transitions.items())),
             "injected": dict(sorted(self.injected.items())),
             "injected_total": self.injected_total,
+            "worker_respawns": self.worker_respawns,
             "traces": self.traces,
             "violations": self.check(),
         }
@@ -216,6 +227,12 @@ class ChaosHarness:
         Health sweeps run *after* the load loop at a deterministic point
         (the background prober is parked at a huge interval), so
         ``health.probe`` flap schedules line up run to run.
+    workers:
+        ``"proc:N"`` makes every backend front a shared-memory process
+        pool; the plan is then *also* armed inside each worker (with a
+        per-worker derived seed), so worker-side sites like
+        ``proc.dispatch`` and ``batch.execute`` fire in the fleet's
+        forked processes, not just the parent.
     """
 
     def __init__(self, plan: FaultPlan, *,
@@ -228,7 +245,8 @@ class ChaosHarness:
                  client_timeout_s: float = 5.0,
                  backend_timeout_s: float = 5.0,
                  probe_rounds: int = 0,
-                 service_floor_s: float = 0.0):
+                 service_floor_s: float = 0.0,
+                 workers: Optional[str] = None):
         if requests < 1:
             raise ValueError(f"requests must be >= 1, got {requests}")
         self.plan = plan
@@ -243,6 +261,7 @@ class ChaosHarness:
         self.backend_timeout_s = backend_timeout_s
         self.probe_rounds = probe_rounds
         self.service_floor_s = service_floor_s
+        self.workers = workers
 
     # ----------------------------------------------------------------- load
     def _input(self, index: int, shape) -> np.ndarray:
@@ -270,7 +289,10 @@ class ChaosHarness:
         try:
             with ClusterLauncher(self.registry, backends=self.backends,
                                  batching=self.batching,
-                                 service_floor_s=self.service_floor_s) as cluster:
+                                 service_floor_s=self.service_floor_s,
+                                 workers=self.workers,
+                                 worker_fault_plan=(self.plan if self.workers
+                                                    else None)) as cluster:
                 gateway = GatewayServer(
                     cluster.addresses, policy="round_robin", retry=self.retry,
                     health_interval_s=3600.0,  # probes only where scheduled
@@ -307,6 +329,10 @@ class ChaosHarness:
                             gateway.metrics, "gateway_retry_exhausted_total")
                         report.transitions = _transition_totals(gateway.metrics)
                         report.injected = injector.fires()
+                        report.worker_respawns = sum(
+                            _counter_total(server.metrics,
+                                           "djinn_proc_worker_respawns_total")
+                            for server in cluster.servers)
                     finally:
                         if client is not None:
                             client.close()

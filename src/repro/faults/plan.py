@@ -38,6 +38,12 @@ Sites and the kinds they honour
                   the moral equivalent of inflating ``service_floor_s``)
 ``health.probe``   (detail: backend key ``host:port``)
     ``flap``      force the probe to fail, marking the backend down
+``proc.dispatch``  (detail: model name)
+    ``kill``      mark the dispatched shm slot so the proc-pool worker that
+                  picks it up dies (``os._exit``) mid-request — exercises
+                  the supervisor's reap/requeue/respawn path.  Fires at the
+                  parent's dispatch ordinal, so it is deterministic no
+                  matter which worker draws the slot.
 """
 
 from __future__ import annotations
@@ -60,7 +66,7 @@ __all__ = ["SITES", "KINDS_BY_SITE", "FaultRule", "FaultPlan", "FaultInjector",
 
 #: Every injection site wired into the serving stack.
 SITES = ("protocol.send", "protocol.recv", "server.accept", "pool.checkout",
-         "batch.execute", "health.probe")
+         "batch.execute", "health.probe", "proc.dispatch")
 
 #: Fault kinds each site honours (validation happens at plan build time).
 KINDS_BY_SITE = {
@@ -70,6 +76,7 @@ KINDS_BY_SITE = {
     "pool.checkout": ("refuse",),
     "batch.execute": ("crash", "delay"),
     "health.probe": ("flap",),
+    "proc.dispatch": ("kill",),
 }
 
 
@@ -289,3 +296,9 @@ class FaultInjector:
         """Called by ``HealthChecker.probe``; True = force the probe down."""
         rule = self._fire("health.probe", backend_key)
         return rule is not None  # only kind: flap
+
+    def on_dispatch(self, model: str) -> bool:
+        """Called by the proc pool as it dispatches a slot; True = mark the
+        slot so the worker that picks it up dies (kind ``kill``)."""
+        rule = self._fire("proc.dispatch", model)
+        return rule is not None

@@ -161,6 +161,16 @@ SCENARIOS: Dict[str, Scenario] = _catalog(
         rules=(FaultRule("protocol.recv", "reset", scope="client", nth=(2,)),),
     ),
     Scenario(
+        "worker_kill",
+        "The shm slot dispatched for request 3 is marked lethal: the "
+        "proc-pool worker that draws it dies (os._exit) mid-request.  The "
+        "supervisor reaps it, requeues the in-flight slot, and respawns a "
+        "replacement — the client sees every request succeed, and the "
+        "respawn counter must equal the injected kill count exactly.",
+        rules=(FaultRule("proc.dispatch", "kill", nth=(3,)),),
+        harness={"workers": "proc:2", "backends": 1},
+    ),
+    Scenario(
         "mixed",
         "Probability-triggered resets, truncations, and checkout refusals "
         "all at once over a longer run; whatever the seed draws, the "

@@ -35,6 +35,11 @@ class ClusterLauncher:
     batching, service_floor_s, profile_layers:
         Forwarded to every :class:`DjinnServer` (``profile_layers`` arms
         per-layer span capture for traced requests).
+    workers, worker_fault_plan:
+        Forwarded to every :class:`DjinnServer`; ``workers="proc:N"`` makes
+        each backend front its own shared-memory process pool.  With a
+        shared registry the weight segments are exported once and mapped by
+        every backend's workers — still one physical copy per host.
     """
 
     def __init__(
@@ -45,6 +50,8 @@ class ClusterLauncher:
         batching: Optional[BatchPolicy] = None,
         service_floor_s: float = 0.0,
         profile_layers: bool = False,
+        workers=None,
+        worker_fault_plan=None,
     ):
         if backends < 1:
             raise ValueError(f"need at least one backend, got {backends}")
@@ -54,6 +61,8 @@ class ClusterLauncher:
         self._batching = batching
         self._floor_s = service_floor_s
         self._profile_layers = profile_layers
+        self._workers = workers
+        self._worker_fault_plan = worker_fault_plan
         self.servers: List[DjinnServer] = []
 
     def _registry_for(self, index: int) -> ModelRegistry:
@@ -70,6 +79,8 @@ class ClusterLauncher:
                 self._registry_for(i), host=self._host, port=0,
                 batching=self._batching, service_floor_s=self._floor_s,
                 profile_layers=self._profile_layers,
+                workers=self._workers,
+                worker_fault_plan=self._worker_fault_plan,
             )
             server.start()
             self.servers.append(server)

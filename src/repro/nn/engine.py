@@ -337,6 +337,31 @@ class ExecutionPlan:
             np.copyto(inp, x)
             return self.execute(n, timer=timer).copy()
 
+    def run_into(self, x: np.ndarray, out: np.ndarray, timer=None) -> np.ndarray:
+        """Gather ``x``, execute, and write the batch result into ``out``.
+
+        The destination-passing twin of :meth:`run`: ``out`` is typically a
+        response-slot view over a shared-memory ring
+        (:mod:`repro.core.procpool`), so the steady state moves exactly two
+        slabs — input into the arena, output into the slot — and allocates
+        nothing.  Returns ``out``.
+        """
+        x = np.asarray(x, dtype=np.float32)
+        n = x.shape[0]
+        with self.lock:
+            inp = self.input_view(n)
+            if x.shape != inp.shape:
+                raise PlanError(
+                    f"plan expects input of shape {inp.shape}, got {x.shape}")
+            result_shape = self.output_view(n).shape
+            if tuple(out.shape) != result_shape:
+                raise PlanError(
+                    f"plan produces output of shape {result_shape}, "
+                    f"destination has {tuple(out.shape)}")
+            np.copyto(inp, x)
+            np.copyto(out, self.execute(n, timer=timer))
+        return out
+
     # ------------------------------------------------------------ reports
     def describe(self) -> dict:
         """Layout summary (arena map, slot sharing, scratch high-water)."""

@@ -29,7 +29,9 @@ from .metrics import (
     default_registry,
     merge_dumps,
     parse_exposition,
+    read_dump_region,
     render_exposition,
+    write_dump_region,
 )
 from .profile import LayerRecord, LayerTimer
 from .trace import (
@@ -53,7 +55,9 @@ __all__ = [
     "default_registry",
     "merge_dumps",
     "parse_exposition",
+    "read_dump_region",
     "render_exposition",
+    "write_dump_region",
     "LayerRecord",
     "LayerTimer",
     "Span",

@@ -24,6 +24,7 @@ from __future__ import annotations
 import json
 import math
 import re
+import struct
 import threading
 from bisect import bisect_left
 from collections import deque
@@ -40,6 +41,9 @@ __all__ = [
     "render_exposition",
     "parse_exposition",
     "merge_dumps",
+    "write_dump_region",
+    "read_dump_region",
+    "DUMP_REGION_HEADER",
 ]
 
 #: Fixed log-scale latency buckets (seconds): 100 µs doubling up to ~105 s.
@@ -552,3 +556,56 @@ def merge_dumps(dumps: Iterable[dict]) -> dict:
     for entry in merged.values():
         entry["samples"].sort(key=lambda s: tuple(sorted(s.get("labels", {}).items())))
     return {"metrics": merged}
+
+
+# -------------------------------------------------------------- shm regions
+#: Bytes reserved at the head of a dump region: u64 seqlock version,
+#: u32 payload length, 4 bytes pad.
+DUMP_REGION_HEADER = 16
+
+
+def write_dump_region(buf, dump: dict) -> None:
+    """Publish a registry dump into a shared-memory region (single writer).
+
+    Seqlock protocol: bump the version to odd, write the JSON payload, bump
+    to even.  A reader that observes an odd version or a version change
+    mid-read retries, so torn reads are impossible without any cross-process
+    lock.  Used by :mod:`repro.core.procpool` workers to export their
+    per-process metrics for the parent's ``merge_dumps`` aggregation.
+    """
+    payload = json.dumps(dump, sort_keys=True).encode("utf-8")
+    if len(payload) > len(buf) - DUMP_REGION_HEADER:
+        raise ValueError(
+            f"metrics dump of {len(payload)} bytes exceeds region capacity "
+            f"{len(buf) - DUMP_REGION_HEADER}")
+    version = struct.unpack_from("<Q", buf, 0)[0]
+    struct.pack_into("<Q", buf, 0, version + 1)  # odd: write in progress
+    struct.pack_into("<I", buf, 8, len(payload))
+    buf[DUMP_REGION_HEADER:DUMP_REGION_HEADER + len(payload)] = payload
+    struct.pack_into("<Q", buf, 0, version + 2)  # even: consistent
+
+
+def read_dump_region(buf, attempts: int = 16) -> Optional[dict]:
+    """Read a dump published by :func:`write_dump_region`.
+
+    Returns ``None`` if the region was never written or stays torn for
+    ``attempts`` tries (writer mid-update on every look — vanishingly rare
+    given the payload is a few KB).
+    """
+    for _ in range(attempts):
+        before = struct.unpack_from("<Q", buf, 0)[0]
+        if before == 0:
+            return None
+        if before & 1:
+            continue
+        length = struct.unpack_from("<I", buf, 8)[0]
+        if length > len(buf) - DUMP_REGION_HEADER:
+            continue
+        payload = bytes(buf[DUMP_REGION_HEADER:DUMP_REGION_HEADER + length])
+        if struct.unpack_from("<Q", buf, 0)[0] != before:
+            continue
+        try:
+            return json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            continue
+    return None

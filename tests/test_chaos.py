@@ -256,6 +256,23 @@ class TestScenarios:
                               registry=registry)
         assert report.errors.get("DjinnServiceError") == 1
 
+    def test_worker_kill_respawns_match_injected(self, registry, chaos_seed):
+        """The proc-pool scenario: a worker dies mid-request, yet the
+        client sees every request succeed, and the supervisor's respawn
+        count equals the injected kill count exactly (nothing killed twice,
+        nothing respawned unprovoked)."""
+        report = run_scenario("worker_kill", seed=chaos_seed, registry=registry)
+        assert report.ok == report.requests
+        assert report.injected == {"proc.dispatch:kill:*": 1}
+        assert report.worker_respawns == 1
+
+    def test_respawn_count_divergence_flagged(self):
+        report = ChaosReport(scenario="s", seed=0, requests=4, ok=4,
+                             retry_budget=3, traces=4,
+                             injected={"proc.dispatch:kill:*": 2},
+                             worker_respawns=1)
+        assert any("respawn" in v for v in report.check())
+
     def test_same_seed_same_report(self, registry, chaos_seed):
         """The determinism gate in miniature: rerunning a plan with the
         same seed reproduces the invariant report byte for byte."""

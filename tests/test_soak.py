@@ -1,0 +1,132 @@
+"""Soak test: a proc-pool fleet under sustained concurrent mixed load.
+
+Eight client threads push 200 stamped requests each (mixed ``pos``/``dig``
+traffic) through a real TCP :class:`DjinnServer` whose batching front-end
+rides a :class:`ProcPoolExecutor`.  Every response is checked against the
+in-process forward of its own stamped input, so a lost, stale, or
+cross-wired response is caught by payload — not by count.  The comparison
+uses the golden-test tolerance rather than byte equality: the server
+coalesces concurrent requests into batches, and BLAS reassociates
+reductions differently at different batch widths (~1e-8 drift).  A wrong
+payload differs by O(1) — whole different stamped input — so the tight
+tolerance loses no detection power.  Bit-exact cross-executor identity at
+*matching* batch shapes is pinned separately in ``tests/test_procpool.py``.
+
+After the load drains, the run must leave no residue:
+
+* the weight digest of every served model is unchanged (nothing scribbled
+  on the shared read-only segments);
+* the shm footprint still equals one copy of the weights (plus per-blob
+  alignment slack) — load does not duplicate model state;
+* parent RSS growth over the whole soak stays bounded — the copy-free
+  slot ring does not leak per-request memory.
+
+Marked ``slow``: this is the longest-running test in the suite and CI runs
+it in the dedicated soak/chaos job (``make soak``).
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import BatchPolicy, DjinnClient, DjinnServer, ModelRegistry
+from repro.core import shm as shmseg
+from repro.models import build_spec
+
+CLIENTS = 8
+REQUESTS_PER_CLIENT = 200
+MODELS = ("pos", "dig")
+
+#: generous bound on parent RSS growth over the soak (bytes); the run moves
+#: ~hundreds of MB through the slot ring, so an unbounded per-request leak
+#: blows through this immediately while steady-state noise never does
+RSS_GROWTH_LIMIT = 80 * 1024 * 1024
+
+
+def _rss_bytes() -> int:
+    with open("/proc/self/status", encoding="ascii") as fh:
+        for line in fh:
+            if line.startswith("VmRSS:"):
+                return int(line.split()[1]) * 1024
+    raise RuntimeError("VmRSS not found in /proc/self/status")
+
+
+def _stamped_input(net, client_id: int, index: int) -> np.ndarray:
+    """A payload that names its request: client id and ordinal are baked
+    into the tensor, so the only byte-equal response is its own."""
+    x = np.full((1,) + net.input_shape, 0.125, dtype=np.float32)
+    flat = x.reshape(-1)
+    flat[0] = float(client_id + 1)
+    flat[1] = float(index + 1)
+    return x
+
+
+@pytest.mark.slow
+def test_proc_pool_fleet_survives_concurrent_soak():
+    registry = ModelRegistry()
+    for seed, name in enumerate(MODELS):
+        registry.register_spec(name, build_spec(name), seed=seed)
+    nets = {name: registry.get(name) for name in MODELS}
+
+    server = DjinnServer(registry, workers="proc:2",
+                         batching=BatchPolicy(max_batch=8, timeout_ms=1.0))
+    server.start()
+    rss_before = _rss_bytes()
+    digests_before = {name: shmseg.weight_digest(net)
+                      for name, net in nets.items()}
+
+    failures: list = []
+    done = [0] * CLIENTS
+
+    def client_loop(client_id: int) -> None:
+        host, port = server.address
+        try:
+            with DjinnClient(host, port, timeout_s=120.0) as client:
+                for i in range(REQUESTS_PER_CLIENT):
+                    name = MODELS[(client_id + i) % len(MODELS)]
+                    x = _stamped_input(nets[name], client_id, i)
+                    out = client.infer(name, x)
+                    expected = nets[name].forward(x)
+                    if (out.shape != expected.shape
+                            or not np.allclose(out, expected,
+                                               rtol=1e-4, atol=1e-6)):
+                        failures.append(
+                            f"client {client_id} request {i} ({name}): "
+                            f"response does not match its stamped input")
+                        return
+                    done[client_id] += 1
+        except Exception as exc:  # noqa: BLE001 - any client error fails the soak
+            failures.append(f"client {client_id}: {type(exc).__name__}: {exc}")
+
+    try:
+        threads = [threading.Thread(target=client_loop, args=(i,),
+                                    name=f"soak-client-{i}")
+                   for i in range(CLIENTS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=560)
+        assert not any(t.is_alive() for t in threads), "soak clients hung"
+        assert failures == []
+        assert done == [REQUESTS_PER_CLIENT] * CLIENTS, (
+            f"lost requests: {done}")
+
+        # ---- residue checks, while the pool is still up ----------------
+        # nothing scribbled on the shared weights
+        for name, net in nets.items():
+            assert shmseg.weight_digest(net) == digests_before[name], (
+                f"{name}: weight digest changed under load")
+        # weights still resident exactly once (param bytes + alignment)
+        param_bytes = registry.total_param_bytes()
+        blob_count = sum(len(shmseg.net_blobs(net)) for net in nets.values())
+        assert param_bytes <= registry.shm_bytes() <= (
+            param_bytes + 64 * blob_count)
+        # no per-request leak in the parent
+        growth = _rss_bytes() - rss_before
+        assert growth < RSS_GROWTH_LIMIT, (
+            f"parent RSS grew {growth / 1e6:.1f} MB over "
+            f"{CLIENTS * REQUESTS_PER_CLIENT} requests")
+    finally:
+        server.stop()
+        registry.close_shm()
