@@ -3,7 +3,7 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast soak chaos trace-demo bench-engine bench-procpool bench-gateway bench-all
+.PHONY: test test-fast soak chaos trace-demo bench-engine bench-procpool bench-gateway bench-slo bench-all
 
 test:
 	$(PY) -m pytest -x -q
@@ -54,6 +54,13 @@ bench-engine:
 # gate_enforced=false.
 bench-procpool:
 	$(PY) benchmarks/bench_procpool.py --check
+
+# Open-loop SLO sweep (fixed vs adaptive vs adaptive+shedding) through the
+# gateway, into benchmarks/results/BENCH_slo.json.  The gate — adaptive
+# must beat fixed attainment at >= 1 saturated load point, with every
+# rejection typed — enforces only on >= 4-core hosts.
+bench-slo:
+	$(PY) benchmarks/bench_slo.py --check
 
 # Reproduce the Fig 11-shaped throughput-vs-replicas curve on the real
 # gateway; writes benchmarks/results/gateway_scaling.txt.

@@ -91,10 +91,13 @@ def cmd_serve(args) -> int:
     if args.batch:
         batching = BatchPolicy(max_batch=args.batch, timeout_ms=args.timeout_ms)
     server = DjinnServer(registry, host=args.host, port=args.port, batching=batching,
-                         workers=args.workers or None)
+                         workers=args.workers or None,
+                         sched=args.sched or None)
     server.start()
     host, port = server.address
     mode = "batched" if batching else "unbatched"
+    if args.sched:
+        mode += f", {args.sched} sched"
     if args.workers:
         mode += f", {args.workers} shm workers"
     print(f"DjiNN serving {registry.names()} on {host}:{port} "
@@ -113,7 +116,8 @@ def cmd_query(args) -> int:
     from .core import DjinnClient, RemoteBackend
 
     with DjinnClient(args.host, args.port) as client:
-        backend = RemoteBackend(client)
+        backend = RemoteBackend(client, deadline_ms=args.deadline_ms,
+                                priority=args.priority, tenant=args.tenant)
         if args.app == "dig":
             from .tonic import DigApp, digit_dataset
 
@@ -149,10 +153,17 @@ def cmd_gateway(args) -> int:
     batching = None
     if args.batch:
         batching = BatchPolicy(max_batch=args.batch, timeout_ms=args.timeout_ms)
+    qos = None
+    if args.admission or args.tenant_qps or args.hedge_ms:
+        from .sched import QosConfig
+
+        qos = QosConfig(admission=args.admission, tenant_qps=args.tenant_qps,
+                        hedge_ms=args.hedge_ms)
     cluster = ClusterLauncher(
         registry, backends=args.backends, batching=batching,
         service_floor_s=args.floor_ms / 1e3,
         workers=args.workers or None,
+        sched=args.sched or None,
     )
     cluster.start()
     try:
@@ -161,13 +172,19 @@ def cmd_gateway(args) -> int:
             policy=args.policy,
             retry=RetryPolicy(max_attempts=args.retries),
             health_interval_s=args.health_interval,
+            qos=qos,
         )
         gateway.start()
         try:
             host, port = gateway.address
+            qos_note = ""
+            if qos is not None:
+                qos_note = (f", admission={'on' if qos.admission else 'off'}"
+                            f", tenant_qps={qos.tenant_qps:g}"
+                            f", hedge_ms={qos.hedge_ms:g}")
             print(f"gateway fronting {len(cluster)} backends "
                   f"{[p for _, p in cluster.addresses]} on {host}:{port} "
-                  f"(policy={args.policy}); Ctrl-C to stop")
+                  f"(policy={args.policy}{qos_note}); Ctrl-C to stop")
             while gateway._running.is_set():
                 time.sleep(0.5)
         except KeyboardInterrupt:
@@ -364,6 +381,10 @@ def main(argv=None) -> int:
     serve.add_argument("--port", type=int, default=7889)
     serve.add_argument("--batch", type=int, default=0, help="enable dynamic batching")
     serve.add_argument("--timeout-ms", type=float, default=2.0)
+    serve.add_argument("--sched", default="", choices=("", "fixed", "adaptive"),
+                       help="batch scheduling policy (EDF queue with deadline "
+                            "expiry; 'adaptive' also sizes batches to fit "
+                            "deadlines)")
     serve.add_argument("--workers", default="",
                        help="execute forwards in a shared-memory process pool "
                             "(e.g. proc:4)")
@@ -374,6 +395,13 @@ def main(argv=None) -> int:
     query.add_argument("--app", default="dig", choices=("dig", "pos", "chk", "ner"))
     query.add_argument("--count", type=int, default=5)
     query.add_argument("--seed", type=int, default=0)
+    query.add_argument("--deadline-ms", type=float, default=0.0,
+                       help="stamp a latency budget on every request "
+                            "(0 = none)")
+    query.add_argument("--priority", type=int, default=0,
+                       help="scheduling priority class (higher runs first)")
+    query.add_argument("--tenant", default="",
+                       help="tenant id for per-tenant gateway rate limits")
 
     gateway = sub.add_parser(
         "gateway", help="front an in-process DjiNN fleet with the gateway")
@@ -393,6 +421,16 @@ def main(argv=None) -> int:
     gateway.add_argument("--timeout-ms", type=float, default=2.0)
     gateway.add_argument("--floor-ms", type=float, default=0.0,
                          help="device-pace each backend (min service ms per batch)")
+    gateway.add_argument("--sched", default="", choices=("", "fixed", "adaptive"),
+                         help="batch scheduling policy on each backend")
+    gateway.add_argument("--admission", action="store_true",
+                         help="shed requests predicted to miss their deadline "
+                              "(typed OVERLOADED with retry_after_ms)")
+    gateway.add_argument("--tenant-qps", type=float, default=0.0,
+                         help="per-tenant token-bucket rate limit (0 = off)")
+    gateway.add_argument("--hedge-ms", type=float, default=0.0,
+                         help="hedge slow requests to a second backend after "
+                              "this delay (-1 = derive from latency model)")
     gateway.add_argument("--workers", default="",
                          help="give each backend a shared-memory process pool "
                               "(e.g. proc:2)")

@@ -7,8 +7,21 @@ plugs directly into the Tonic applications.
 """
 
 from .batching import BatchingExecutor, BatchPolicy
-from .client import DjinnClient, DjinnConnectionError, DjinnServiceError, RemoteBackend
-from .loadgen import LoadResult, run_closed_loop_load
+from .client import (
+    DjinnClient,
+    DjinnConnectionError,
+    DjinnDeadlineError,
+    DjinnOverloadedError,
+    DjinnServiceError,
+    RemoteBackend,
+)
+from .loadgen import (
+    LoadResult,
+    OpenLoopResult,
+    RequestClass,
+    run_closed_loop_load,
+    run_open_loop_load,
+)
 from .procpool import PoolLease, ProcPoolError, ProcPoolExecutor, parse_workers
 from .protocol import Message, MessageType, ProtocolError, recv_message, send_message
 from .registry import ModelRegistry
@@ -24,6 +37,8 @@ __all__ = [
     "parse_workers",
     "DjinnClient",
     "DjinnConnectionError",
+    "DjinnDeadlineError",
+    "DjinnOverloadedError",
     "DjinnServiceError",
     "RemoteBackend",
     "Message",
@@ -35,5 +50,8 @@ __all__ = [
     "DjinnServer",
     "ServiceStats",
     "LoadResult",
+    "OpenLoopResult",
+    "RequestClass",
     "run_closed_loop_load",
+    "run_open_loop_load",
 ]

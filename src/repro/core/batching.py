@@ -44,6 +44,7 @@ import numpy as np
 from ..obs.metrics import MetricsRegistry
 from ..obs.profile import LayerTimer
 from ..obs.trace import Tracer, get_tracer
+from ..sched import DeadlineExceededError, EdfQueue, LatencyModel, make_policy
 from . import faultsite
 from .registry import ModelRegistry
 
@@ -71,11 +72,14 @@ class _Pending:
     """One submitted request waiting for its slice of a batched result."""
 
     __slots__ = ("inputs", "event", "result", "error", "trace", "enqueue_s",
-                 "consumed", "arena")
+                 "consumed", "arena", "deadline_s", "priority", "tenant")
 
     def __init__(self, inputs: np.ndarray,
                  trace: Optional[Tuple[int, int]] = None,
-                 enqueue_s: float = 0.0):
+                 enqueue_s: float = 0.0,
+                 deadline_s: float = float("inf"),
+                 priority: int = 0,
+                 tenant: str = ""):
         self.inputs = inputs
         self.event = threading.Event()
         self.result: Optional[np.ndarray] = None
@@ -83,6 +87,12 @@ class _Pending:
         #: (trace_id, parent_span_id) carried from the requesting connection
         self.trace = trace
         self.enqueue_s = enqueue_s
+        #: absolute monotonic deadline (inf = none), priority class (higher
+        #: first), and tenant — consumed by the EDF queue when a scheduling
+        #: policy is armed, inert otherwise
+        self.deadline_s = deadline_s
+        self.priority = priority
+        self.tenant = tenant
         #: set by the consumer once ``result`` is no longer needed; the
         #: worker's lease barrier waits on this before reusing the arena
         self.consumed = threading.Event()
@@ -142,7 +152,9 @@ class BatchingExecutor:
                  metrics: Optional[MetricsRegistry] = None,
                  profile_layers: bool = False,
                  use_plans: bool = True,
-                 pool=None):
+                 pool=None,
+                 sched=None,
+                 latency: Optional[LatencyModel] = None):
         self.registry = registry
         self.policy = policy
         self.service_floor_s = service_floor_s
@@ -154,12 +166,27 @@ class BatchingExecutor:
         self.clock = clock
         self.tracer = tracer if tracer is not None else get_tracer()
         self.profile_layers = profile_layers
-        self._batch_size = (
-            metrics.histogram("djinn_batch_size",
-                              "Inputs per executed forward pass, per model.",
-                              ("model",), buckets=BATCH_SIZE_BUCKETS)
-            if metrics is not None else None
-        )
+        #: optional :class:`repro.sched.SchedPolicy` (or its name); when set,
+        #: per-model queues become EDF/priority queues, batch size and window
+        #: are decided online, and expired requests are rejected before
+        #: forward.  ``None`` keeps the original fixed path bit-for-bit.
+        self.sched = make_policy(sched) if sched is not None else None
+        #: measured per-model latency curve driving the adaptive policy;
+        #: shared with the owning server/gateway when they pass one in
+        self.latency = latency if latency is not None else LatencyModel()
+        if metrics is not None:
+            self._batch_size = metrics.histogram(
+                "djinn_batch_size",
+                "Inputs per executed forward pass, per model.",
+                ("model",), buckets=BATCH_SIZE_BUCKETS)
+            self._expired = metrics.counter(
+                "djinn_sched_expired_total",
+                "Requests rejected in queue: deadline expired before forward.",
+                ("model",))
+            self.latency.seed_from_metrics(metrics)
+        else:
+            self._batch_size = None
+            self._expired = None
         self._queues: Dict[str, Queue] = {}
         self._workers: Dict[str, threading.Thread] = {}
         self._lock = threading.Lock()
@@ -174,7 +201,7 @@ class BatchingExecutor:
                 raise RuntimeError("executor is closed")
             if model not in self._queues:
                 self.registry.get(model)  # fail fast on unknown models
-                queue: Queue = Queue()
+                queue = EdfQueue() if self.sched is not None else Queue()
                 self._queues[model] = queue
                 self.executed_batches[model] = []
                 worker = threading.Thread(
@@ -198,12 +225,17 @@ class BatchingExecutor:
 
     # -------------------------------------------------------------- submit
     def _enqueue(self, model: str, inputs: np.ndarray,
-                 trace: Optional[Tuple[int, int]]) -> _Pending:
+                 trace: Optional[Tuple[int, int]],
+                 qos: Optional[Tuple[float, int, str]] = None) -> _Pending:
         queue = self._ensure_worker(model)
+        deadline_s, priority, tenant = qos if qos is not None \
+            else (float("inf"), 0, "")
         # no forced copy: the planned path gathers payloads straight into
         # the arena, the legacy path concatenates — neither needs contiguity
         pending = _Pending(np.asarray(inputs, dtype=np.float32),
-                           trace, self.clock())
+                           trace, self.clock(),
+                           deadline_s=deadline_s, priority=priority,
+                           tenant=tenant)
         queue.put(pending)
         pending.event.wait()
         if pending.error is not None:
@@ -213,7 +245,8 @@ class BatchingExecutor:
         return pending
 
     def submit(self, model: str, inputs: np.ndarray,
-               trace: Optional[Tuple[int, int]] = None) -> np.ndarray:
+               trace: Optional[Tuple[int, int]] = None,
+               qos: Optional[Tuple[float, int, str]] = None) -> np.ndarray:
         """Enqueue ``inputs`` (n, *input_shape); blocks until results ready.
 
         Returns an array the caller owns: arena-backed slices are copied out
@@ -221,9 +254,13 @@ class BatchingExecutor:
         read-only views of the batch output.  ``trace`` is an optional
         ``(trace_id, parent_span_id)`` pair; when present, the request's
         queue wait and the batch it lands in are recorded as spans of that
-        trace.
+        trace.  ``qos`` is an optional ``(deadline_s, priority, tenant)``
+        triple (deadline absolute on this executor's clock); it only takes
+        effect when a scheduling policy is armed, and an expired request
+        raises :class:`repro.sched.DeadlineExceededError` instead of
+        running.
         """
-        pending = self._enqueue(model, inputs, trace)
+        pending = self._enqueue(model, inputs, trace, qos)
         result = pending.result
         if pending.arena:
             result = result.copy()
@@ -231,23 +268,31 @@ class BatchingExecutor:
         return result
 
     def submit_lease(self, model: str, inputs: np.ndarray,
-                     trace: Optional[Tuple[int, int]] = None) -> ResultLease:
+                     trace: Optional[Tuple[int, int]] = None,
+                     qos: Optional[Tuple[float, int, str]] = None) -> ResultLease:
         """Like :meth:`submit` but zero-copy: returns a :class:`ResultLease`
         whose ``outputs`` view the batch result in place.  The caller must
         ``release()`` (or exit the context manager) promptly — on the
         planned path the model's worker holds the arena until then.
         """
-        return ResultLease(self._enqueue(model, inputs, trace))
+        return ResultLease(self._enqueue(model, inputs, trace, qos))
 
     # -------------------------------------------------------------- worker
     def _collect(self, queue: Queue) -> List[_Pending]:
-        """Block for the first request, then coalesce within the window."""
+        """Block for the first request, then coalesce within the window.
+
+        The window is anchored at the *first request's enqueue time*, not at
+        worker wake-up: under contention the worker can pick the request up
+        late (lease barriers, floor sleeps, GIL), and re-anchoring at wake-up
+        silently extended every window by that drift — each queued request
+        paid the wait twice.
+        """
         first = queue.get()
         if first is None:
             return []
         batch = [first]
         rows = len(first.inputs)
-        deadline = self.clock() + self.policy.timeout_ms / 1e3
+        deadline = first.enqueue_s + self.policy.timeout_ms / 1e3
         while rows < self.policy.max_batch:
             remaining = deadline - self.clock()
             if remaining <= 0:
@@ -281,7 +326,45 @@ class BatchingExecutor:
             np.copyto(slab[offset:offset + n], arr)
             offset += n
 
-    def _run_worker(self, model: str, queue: Queue) -> None:
+    def _active_models(self) -> int:
+        """Models with queued work right now (drives co-scheduling)."""
+        with self._lock:
+            queues = list(self._queues.values())
+        count = 0
+        for queue in queues:
+            if isinstance(queue, EdfQueue) and queue.depth_rows():
+                count += 1
+        return max(count, 1)
+
+    def _reject_expired(self, model: str, expired: List[_Pending]) -> None:
+        """Deliver typed rejections to requests that died in queue."""
+        now = self.clock()
+        for pending in expired:
+            late = now - pending.deadline_s
+            if not np.isfinite(late):
+                late = 0.0
+            pending.error = DeadlineExceededError(model, max(0.0, late))
+            pending.event.set()
+        if self._expired is not None:
+            self._expired.labels(model=model).inc(len(expired))
+
+    def _collect_sched(self, model: str, queue: EdfQueue) -> List[_Pending]:
+        """Policy-driven assembly: EDF order, online batch size, expiry."""
+        while True:
+            batch, expired = queue.collect(
+                self.sched, clock=self.clock,
+                est_s=lambda rows: self.latency.estimate_s(model, rows),
+                max_batch=self.policy.max_batch,
+                timeout_s=self.policy.timeout_ms / 1e3,
+                active_models=self._active_models)
+            if expired:
+                self._reject_expired(model, expired)
+            if batch:
+                return batch
+            if queue.finished:
+                return []
+
+    def _run_worker(self, model: str, queue) -> None:
         net = self.registry.get(model)
         tracer = self.tracer
         plan = None
@@ -294,7 +377,10 @@ class BatchingExecutor:
                 plan = None
         sample_shape = tuple(net.input_shape)
         while True:
-            batch = self._collect(queue)
+            if self.sched is not None:
+                batch = self._collect_sched(model, queue)
+            else:
+                batch = self._collect(queue)
             if not batch:
                 return
             rows = sum(len(p.inputs) for p in batch)
@@ -342,6 +428,8 @@ class BatchingExecutor:
                 else:
                     outputs = net.forward(stacked, timer=timer)
                 forward_end = self.clock()
+                # refine the measured latency curve on every executed batch
+                self.latency.observe(model, rows, forward_end - forward_start)
                 for pending in traced:
                     tid, parent = pending.trace
                     fspan = tracer.add_span("net.forward", forward_start,

@@ -13,11 +13,42 @@ from ..obs.trace import Tracer, get_tracer
 from ..tonic.app import DnnBackend
 from .protocol import Message, MessageType, ProtocolError, recv_message, send_message
 
-__all__ = ["DjinnClient", "RemoteBackend", "DjinnServiceError", "DjinnConnectionError"]
+__all__ = [
+    "DjinnClient",
+    "RemoteBackend",
+    "DjinnServiceError",
+    "DjinnConnectionError",
+    "DjinnDeadlineError",
+    "DjinnOverloadedError",
+]
 
 
 class DjinnServiceError(RuntimeError):
     """The service answered with an ERROR frame."""
+
+
+class DjinnDeadlineError(DjinnServiceError):
+    """The request's deadline expired before the service ran it.
+
+    A typed rejection (DEADLINE_EXCEEDED frame), not a transport failure:
+    the request was received, parsed, and deliberately dropped because its
+    latency budget was already spent.  Retrying verbatim is pointless — the
+    budget does not reset — so the gateway passes it through un-retried.
+    """
+
+
+class DjinnOverloadedError(DjinnServiceError):
+    """The service shed the request under load (OVERLOADED frame).
+
+    Backpressure, not failure: the request never ran.  ``retry_after_ms``
+    is the sender's hint for when capacity is expected back (0 = unknown);
+    ``reason`` distinguishes tenant throttling from predicted-late shedding.
+    """
+
+    def __init__(self, message: str, reason: str = "", retry_after_ms: float = 0.0):
+        super().__init__(message)
+        self.reason = reason
+        self.retry_after_ms = retry_after_ms
 
 
 class DjinnConnectionError(DjinnServiceError, OSError):
@@ -99,7 +130,34 @@ class DjinnClient:
             ) from exc
         if response.type == MessageType.ERROR:
             raise DjinnServiceError(response.text)
+        if response.type == MessageType.DEADLINE_EXCEEDED:
+            raise DjinnDeadlineError(response.text)
+        if response.type == MessageType.OVERLOADED:
+            try:
+                detail = json.loads(response.text)
+            except ValueError:
+                detail = {"error": response.text}
+            raise DjinnOverloadedError(
+                detail.get("error", response.text),
+                reason=detail.get("reason", ""),
+                retry_after_ms=float(detail.get("retry_after_ms", 0.0)))
         return response
+
+    def interrupt(self) -> None:
+        """Wake a roundtrip blocked in recv on another thread.
+
+        ``close()`` only drops the fd — a thread already parked inside
+        ``recv`` stays parked.  ``shutdown`` forces that recv to return
+        end-of-stream, so the blocked roundtrip unwinds with a
+        :class:`DjinnConnectionError`.  Used by the gateway's hedged
+        requests to cancel the losing arm first-wins.
+        """
+        sock = self._sock
+        if sock is not None:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
 
     def reconnect(self) -> "DjinnClient":
         """Drop the current connection (if any) and dial the server again."""
@@ -124,8 +182,19 @@ class DjinnClient:
         self.close()
 
     # -------------------------------------------------------------- requests
-    def infer(self, model: str, inputs: np.ndarray) -> np.ndarray:
-        """Run a batch through ``model`` on the service."""
+    def infer(self, model: str, inputs: np.ndarray,
+              deadline_ms: float = 0.0, priority: int = 0,
+              tenant: str = "") -> np.ndarray:
+        """Run a batch through ``model`` on the service.
+
+        ``deadline_ms`` is the remaining latency budget (0 = none): a server
+        that cannot run the request within it answers with a typed
+        DEADLINE_EXCEEDED frame (:class:`DjinnDeadlineError`) instead of
+        queueing it to die.  ``priority`` (higher first) and ``tenant`` feed
+        the server-side scheduler and the gateway's admission control.  With
+        all three at their defaults the request is byte-identical to a
+        pre-QoS client's.
+        """
         inputs = np.ascontiguousarray(inputs, dtype=np.float32)
         tracer = self._tracer
         if tracer.enabled:
@@ -133,11 +202,15 @@ class DjinnClient:
                              backend=f"{self._host}:{self._port}") as span:
                 response = self._roundtrip(
                     Message(MessageType.INFER_REQUEST, name=model, tensor=inputs,
-                            trace_id=span.trace_id, span_id=span.span_id)
+                            trace_id=span.trace_id, span_id=span.span_id,
+                            deadline_ms=deadline_ms, priority=priority,
+                            tenant=tenant)
                 )
         else:
             response = self._roundtrip(
-                Message(MessageType.INFER_REQUEST, name=model, tensor=inputs)
+                Message(MessageType.INFER_REQUEST, name=model, tensor=inputs,
+                        deadline_ms=deadline_ms, priority=priority,
+                        tenant=tenant)
             )
         if response.type != MessageType.INFER_RESPONSE or response.tensor is None:
             raise DjinnServiceError(f"unexpected response type {response.type}")
@@ -172,10 +245,21 @@ class DjinnClient:
 
 
 class RemoteBackend(DnnBackend):
-    """A :class:`TonicApp` backend that calls a live DjiNN service."""
+    """A :class:`TonicApp` backend that calls a live DjiNN service.
 
-    def __init__(self, client: DjinnClient):
+    Optional QoS defaults (``deadline_ms``/``priority``/``tenant``) are
+    stamped on every request the backend issues — the way an application
+    front-end would tag all of its traffic with one SLO class.
+    """
+
+    def __init__(self, client: DjinnClient, deadline_ms: float = 0.0,
+                 priority: int = 0, tenant: str = ""):
         self.client = client
+        self.deadline_ms = deadline_ms
+        self.priority = priority
+        self.tenant = tenant
 
     def infer(self, model: str, inputs: np.ndarray) -> np.ndarray:
-        return self.client.infer(model, inputs)
+        return self.client.infer(model, inputs,
+                                 deadline_ms=self.deadline_ms,
+                                 priority=self.priority, tenant=self.tenant)

@@ -7,23 +7,37 @@ message type, a model name, and a float32 tensor payload.
 
 Frame layout (all integers little-endian)::
 
-    magic     4 bytes  b"DJNN"
-    version   u8       1 (plain) or 2 (carries trace context)
-    type      u8       MessageType
-    name_len  u16      model-name byte count
-    ndim      u8       payload tensor rank (0 = no tensor)
-    trace_id  u64      \ only when version == 2: request-scoped trace
-    span_id   u64      / context (sender's span, the receiver's parent)
-    dims      u32 * ndim
-    body_len  u64      payload byte count (tensor data or UTF-8 text)
-    name      name_len bytes (UTF-8)
-    body      body_len bytes
+    magic       4 bytes  b"DJNN"
+    version     u8       1 (plain), 2 (trace context), 3 (trace + QoS)
+    type        u8       MessageType
+    name_len    u16      model-name byte count
+    ndim        u8       payload tensor rank (0 = no tensor)
+    trace_id    u64      \ only when version >= 2: request-scoped trace
+    span_id     u64      / context (sender's span, the receiver's parent)
+    deadline_us u32      \
+    priority    i8        > only when version == 3: QoS block
+    tenant_len  u8       /
+    dims        u32 * ndim
+    body_len    u64      payload byte count (tensor data or UTF-8 text)
+    name        name_len bytes (UTF-8)
+    tenant      tenant_len bytes (UTF-8, version == 3 only)
+    body        body_len bytes
 
 The trace context is optional and backward compatible: senders emit the
 version-1 layout unless a message actually carries trace IDs, so untraced
 traffic is byte-identical to the original protocol and old peers
 interoperate unchanged.  A version-2 frame sent to a pre-trace peer fails
 loudly (version check) rather than desyncing the stream.
+
+Version 3 extends the same scheme to quality-of-service fields: a frame
+carries the QoS block only when the message actually has a deadline,
+priority, or tenant, so QoS-less traffic from a new client is
+byte-identical to what an old client would send (version 1 or 2 as
+before).  A version-3 frame always includes the trace block (zeros when
+untraced) so each version has exactly one layout.  ``deadline_us`` is the
+*remaining* budget at send time, in microseconds (0 = none) — a relative
+duration, not a wall-clock timestamp, so it survives clock skew between
+hosts; each receiver re-anchors it against its own monotonic clock.
 """
 
 from __future__ import annotations
@@ -47,20 +61,27 @@ __all__ = [
     "MAX_BODY_BYTES",
     "MAX_NAME_BYTES",
     "MAX_NDIM",
+    "MAX_TENANT_BYTES",
+    "MAX_DEADLINE_MS",
     "VERSION",
     "TRACE_VERSION",
+    "QOS_VERSION",
 ]
 
 MAGIC = b"DJNN"
 VERSION = 1
 #: Version emitted when a frame carries trace context (see module docstring).
 TRACE_VERSION = 2
+#: Version emitted when a frame carries QoS fields (deadline/priority/tenant).
+QOS_VERSION = 3
 _HEADER = struct.Struct("<4sBBHB")
 _TRACE = struct.Struct("<QQ")
+_QOS = struct.Struct("<IbB")
 _DIM = struct.Struct("<I")
 _BODY_LEN = struct.Struct("<Q")
 
 _MAX_ID = (1 << 64) - 1
+_MAX_DEADLINE_US = (1 << 32) - 1
 
 #: Upper bound on a single payload (guards against corrupt frames).
 MAX_BODY_BYTES = 1 << 31
@@ -68,6 +89,10 @@ MAX_BODY_BYTES = 1 << 31
 MAX_NAME_BYTES = 1024
 #: Upper bound on tensor rank; the Tonic models top out at rank 4.
 MAX_NDIM = 16
+#: Upper bound on a tenant identifier (wire field is one length byte).
+MAX_TENANT_BYTES = 255
+#: Upper bound on a request deadline (wire field is u32 microseconds).
+MAX_DEADLINE_MS = _MAX_DEADLINE_US / 1e3
 
 
 class ProtocolError(RuntimeError):
@@ -85,6 +110,8 @@ class MessageType(IntEnum):
     SHUTDOWN = 8
     METRICS_REQUEST = 9
     METRICS_RESPONSE = 10  # body = UTF-8 JSON MetricsRegistry dump
+    DEADLINE_EXCEEDED = 11  # body = UTF-8 text: request expired before forward
+    OVERLOADED = 12        # body = UTF-8 JSON {"error", "reason", "retry_after_ms"}
 
 
 @dataclass
@@ -95,6 +122,12 @@ class Message:
     (0 = absent).  A request carries the sender's span as ``span_id``; the
     receiver parents its own spans under it and echoes the context back on
     the response.
+
+    ``deadline_ms``/``priority``/``tenant`` are the optional QoS fields
+    (version-3 frames).  ``deadline_ms`` is the remaining latency budget at
+    send time (0.0 = no deadline); ``priority`` is a signed class in
+    [-128, 127], higher scheduled first; ``tenant`` names the requester for
+    per-tenant admission control.
     """
 
     type: MessageType
@@ -103,6 +136,13 @@ class Message:
     text: str = ""
     trace_id: int = 0
     span_id: int = 0
+    deadline_ms: float = 0.0
+    priority: int = 0
+    tenant: str = ""
+
+    @property
+    def has_qos(self) -> bool:
+        return bool(self.deadline_ms or self.priority or self.tenant)
 
     def body(self):
         """Payload bytes — a zero-copy memoryview when the tensor allows it.
@@ -138,14 +178,38 @@ def send_message(sock: socket.socket, message: Message) -> None:
         raise ProtocolError(
             f"trace context out of u64 range: "
             f"({message.trace_id}, {message.span_id})")
-    version = TRACE_VERSION if traced else VERSION
+    qos = message.has_qos
+    tenant = b""
+    if qos:
+        if not 0.0 <= message.deadline_ms <= MAX_DEADLINE_MS:
+            raise ProtocolError(
+                f"deadline out of range: {message.deadline_ms} ms")
+        if not -128 <= message.priority <= 127:
+            raise ProtocolError(f"priority out of i8 range: {message.priority}")
+        tenant = message.tenant.encode("utf-8")
+        if len(tenant) > MAX_TENANT_BYTES:
+            raise ProtocolError(f"tenant too long: {len(tenant)} bytes")
+    if qos:
+        version = QOS_VERSION
+    elif traced:
+        version = TRACE_VERSION
+    else:
+        version = VERSION
     header = _HEADER.pack(MAGIC, version, int(message.type), len(name), len(dims))
     parts = [header]
-    if traced:
+    if version >= TRACE_VERSION:
         parts.append(_TRACE.pack(message.trace_id, message.span_id))
+    if qos:
+        # a nonzero deadline never rounds down to "no deadline" on the wire
+        deadline_us = int(round(message.deadline_ms * 1e3))
+        if message.deadline_ms and not deadline_us:
+            deadline_us = 1
+        parts.append(_QOS.pack(deadline_us, message.priority, len(tenant)))
     parts.extend(_DIM.pack(d) for d in dims)
     parts.append(_BODY_LEN.pack(len(body)))
     parts.append(name)
+    if qos:
+        parts.append(tenant)
     parts.append(body)
     frame = b"".join(parts)
     if faultsite.active is not None:
@@ -177,7 +241,7 @@ def recv_message(sock: socket.socket, fault_scope: str = "") -> Message:
     magic, version, mtype, name_len, ndim = _HEADER.unpack(_recv_exact(sock, _HEADER.size))
     if magic != MAGIC:
         raise ProtocolError(f"bad magic {magic!r}")
-    if version not in (VERSION, TRACE_VERSION):
+    if version not in (VERSION, TRACE_VERSION, QOS_VERSION):
         raise ProtocolError(f"unsupported protocol version {version}")
     # Bound the variable-length fields *before* reading them, so a corrupt
     # header can't drive huge _recv_exact allocations.
@@ -186,8 +250,12 @@ def recv_message(sock: socket.socket, fault_scope: str = "") -> Message:
     if ndim > MAX_NDIM:
         raise ProtocolError(f"tensor rank too large: {ndim}")
     trace_id = span_id = 0
-    if version == TRACE_VERSION:
+    if version >= TRACE_VERSION:
         trace_id, span_id = _TRACE.unpack(_recv_exact(sock, _TRACE.size))
+    deadline_us = priority = tenant_len = 0
+    if version == QOS_VERSION:
+        deadline_us, priority, tenant_len = _QOS.unpack(
+            _recv_exact(sock, _QOS.size))
     dims = tuple(
         _DIM.unpack(_recv_exact(sock, _DIM.size))[0] for _ in range(ndim)
     )
@@ -195,6 +263,7 @@ def recv_message(sock: socket.socket, fault_scope: str = "") -> Message:
     if body_len > MAX_BODY_BYTES:
         raise ProtocolError(f"payload too large: {body_len} bytes")
     name = _recv_exact(sock, name_len).decode("utf-8") if name_len else ""
+    tenant = _recv_exact(sock, tenant_len).decode("utf-8") if tenant_len else ""
     body = _recv_exact(sock, body_len) if body_len else b""
     try:
         mtype = MessageType(mtype)
@@ -211,6 +280,10 @@ def recv_message(sock: socket.socket, fault_scope: str = "") -> Message:
         # array is read-only — consumers that need to mutate copy themselves
         tensor = np.frombuffer(body, dtype=np.float32).reshape(dims)
         return Message(type=mtype, name=name, tensor=tensor,
-                       trace_id=trace_id, span_id=span_id)
+                       trace_id=trace_id, span_id=span_id,
+                       deadline_ms=deadline_us / 1e3, priority=priority,
+                       tenant=tenant)
     return Message(type=mtype, name=name, text=body.decode("utf-8"),
-                   trace_id=trace_id, span_id=span_id)
+                   trace_id=trace_id, span_id=span_id,
+                   deadline_ms=deadline_us / 1e3, priority=priority,
+                   tenant=tenant)

@@ -28,6 +28,7 @@ from typing import Callable, Optional, Tuple
 from ..obs.metrics import MetricsRegistry, merge_dumps
 from ..obs.profile import LayerTimer
 from ..obs.trace import Tracer, get_tracer
+from ..sched import DeadlineExceededError
 from . import faultsite
 from .batching import BatchingExecutor, BatchPolicy
 from .procpool import parse_workers
@@ -229,6 +230,14 @@ class DjinnServer(TcpServiceBase):
         Optional :class:`repro.faults.FaultPlan` re-armed inside each pool
         worker with a worker-index-derived seed (chaos testing; the parent
         process uses the normal ``faultsite`` arming instead).
+    sched:
+        Optional scheduling policy (``"fixed"``, ``"adaptive"``, or a
+        :class:`repro.sched.SchedPolicy`).  Requires ``batching``; arms the
+        executor's EDF/priority queues, online batch sizing, and
+        pre-forward expiry of deadlined requests.  ``None`` (default) keeps
+        the original fixed batching path.  Independently of ``sched``,
+        requests arriving with an already-spent deadline budget are
+        answered with a typed DEADLINE_EXCEEDED frame on every serve path.
     """
 
     #: pool batch envelope when serving without a batching policy — single
@@ -247,10 +256,14 @@ class DjinnServer(TcpServiceBase):
         profile_layers: bool = False,
         workers=None,
         worker_fault_plan=None,
+        sched=None,
     ):
         super().__init__(host=host, port=port)
         if service_floor_s < 0:
             raise ValueError(f"service_floor_s must be >= 0, got {service_floor_s}")
+        if sched is not None and not batching:
+            raise ValueError("sched requires a batching policy "
+                             "(the scheduler drives the batch queues)")
         self.registry = registry
         self._clock = clock
         self.tracer = tracer if tracer is not None else get_tracer()
@@ -260,6 +273,10 @@ class DjinnServer(TcpServiceBase):
         self._errors = self.metrics.counter(
             "djinn_errors_total", "Requests rejected, per model and reason.",
             ("model", "reason"))
+        self._sched_expired = self.metrics.counter(
+            "djinn_sched_expired_total",
+            "Requests rejected in queue: deadline expired before forward.",
+            ("model",))
         self._floor_s = service_floor_s
         self._pool = None
         worker_count = parse_workers(workers)
@@ -278,7 +295,7 @@ class DjinnServer(TcpServiceBase):
                 registry, batching, service_floor_s=service_floor_s,
                 clock=clock, tracer=self.tracer,
                 metrics=self.metrics, profile_layers=profile_layers,
-                pool=self._pool)
+                pool=self._pool, sched=sched)
         else:
             self._executor = self._pool  # may be None: bare threaded serving
 
@@ -343,6 +360,13 @@ class DjinnServer(TcpServiceBase):
         with span_cm as span:
             start = clock()
             lease = None
+            # re-anchor the wire's *remaining budget* on this host's clock;
+            # the absolute deadline then flows through queueing untouched
+            deadline_s = (start + request.deadline_ms / 1e3
+                          if request.deadline_ms else None)
+            if traced and request.has_qos:
+                span.set(deadline_ms=request.deadline_ms,
+                         priority=request.priority, tenant=request.tenant)
             try:
                 if request.tensor is None:
                     raise ValueError("inference request carries no tensor")
@@ -353,6 +377,13 @@ class DjinnServer(TcpServiceBase):
                         f"model {request.name!r} expects inputs of shape "
                         f"(n, {', '.join(map(str, net.input_shape))}), got {inputs.shape}"
                     )
+                if deadline_s is not None and clock() >= deadline_s:
+                    # dead on arrival: reject on every serve path (the
+                    # scheduler handles in-queue expiry; this covers the
+                    # bare and pool paths, and budgets spent in transit)
+                    self._sched_expired.labels(model=request.name or "?").inc()
+                    raise DeadlineExceededError(request.name,
+                                                clock() - deadline_s)
                 use_executor = self._executor is not None
                 if (use_executor and self._executor is self._pool
                         and len(inputs) > self._pool.max_batch):
@@ -364,9 +395,18 @@ class DjinnServer(TcpServiceBase):
                     # batch output (a plan's output slab on the planned
                     # path, a shm response slot on the proc-pool path),
                     # releasing the lease only after the send
+                    kwargs = {}
+                    if request.has_qos and self._executor is not self._pool:
+                        # the bare pool has no queue to schedule; its
+                        # deadline handling is the dead-on-arrival check
+                        kwargs["qos"] = (
+                            deadline_s if deadline_s is not None
+                            else float("inf"),
+                            request.priority, request.tenant)
                     lease = self._executor.submit_lease(
                         request.name, inputs,
                         trace=(span.trace_id, span.span_id) if traced else None,
+                        **kwargs,
                     )
                     outputs = lease.outputs
                 else:
@@ -386,6 +426,15 @@ class DjinnServer(TcpServiceBase):
                         remaining = self._floor_s - (clock() - start)
                         if remaining > 0:
                             time.sleep(remaining)
+            except DeadlineExceededError as exc:
+                # typed rejection, not an ERROR: the request was valid, its
+                # budget was simply spent (the scheduler counts queue-side
+                # expiries; the dead-on-arrival check above counts its own)
+                self._safe_send(conn, Message(MessageType.DEADLINE_EXCEEDED,
+                                              text=str(exc),
+                                              trace_id=request.trace_id,
+                                              span_id=request.span_id))
+                return
             except (KeyError, ValueError) as exc:
                 reason = "unknown_model" if isinstance(exc, KeyError) else "bad_request"
                 self._errors.labels(model=request.name or "?", reason=reason).inc()

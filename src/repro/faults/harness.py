@@ -71,6 +71,15 @@ class ChaosReport:
     errors: Dict[str, int] = field(default_factory=dict)
     #: responses whose payload did not match the request (stale/duplicate)
     mismatched: int = 0
+    #: typed QoS rejections, split out of ``errors`` for the SLO invariants:
+    #: ``shed`` counts OVERLOADED (admission/backpressure), ``expired``
+    #: counts DEADLINE_EXCEEDED.  Each is cross-checked against the metric
+    #: the fleet recorded — a shed/expired answer the metrics never saw (or
+    #: vice versa) means a rejection path bypassed observability.
+    shed: int = 0
+    expired: int = 0
+    shed_metric: int = 0           # gateway_admission_rejected_total
+    expired_metric: int = 0        # gateway_expired_total + backend expiries
     retry_budget: int = 0          # RetryPolicy.max_attempts
     retries_logged: int = 0        # event=retry log records observed
     retries_metric: int = 0        # gateway_retries_total
@@ -129,6 +138,15 @@ class ChaosReport:
             violations.append(
                 f"expected one closed client.infer root per request "
                 f"({self.requests}), found {self.traces}")
+        if self.shed != self.shed_metric:
+            violations.append(
+                f"client saw {self.shed} OVERLOADED rejection(s) but the "
+                f"gateway recorded {self.shed_metric} in "
+                f"gateway_admission_rejected_total")
+        if self.expired != self.expired_metric:
+            violations.append(
+                f"client saw {self.expired} DEADLINE_EXCEEDED rejection(s) "
+                f"but the fleet recorded {self.expired_metric} expiries")
         kills = sum(count for label, count in self.injected.items()
                     if label.startswith("proc.dispatch:kill"))
         if self.worker_respawns != kills:
@@ -147,6 +165,10 @@ class ChaosReport:
             "error_total": self.error_total,
             "mismatched": self.mismatched,
             "lost": self.lost,
+            "shed": self.shed,
+            "expired": self.expired,
+            "shed_metric": self.shed_metric,
+            "expired_metric": self.expired_metric,
             "retry_budget": self.retry_budget,
             "retries_logged": self.retries_logged,
             "retries_metric": self.retries_metric,
@@ -233,6 +255,17 @@ class ChaosHarness:
         per-worker derived seed), so worker-side sites like
         ``proc.dispatch`` and ``batch.execute`` fire in the fleet's
         forked processes, not just the parent.
+    sched, qos, deadlines:
+        QoS wiring: ``sched`` picks the backends' scheduling policy
+        (requires ``batching``), ``qos`` is the gateway's
+        :class:`repro.sched.QosConfig`, and ``deadlines`` is a tuple of
+        per-request deadline budgets in ms, cycled over the load loop
+        (0.0 = no deadline for that request).  With all three at their
+        defaults the harness issues exactly the pre-QoS byte stream.
+        Determinism note: a deadline either comfortably exceeds the
+        service time (never expires) or is impossibly small (always
+        expires at the first dead-on-arrival check) — mid-range deadlines
+        would make the report racy.
     """
 
     def __init__(self, plan: FaultPlan, *,
@@ -246,9 +279,14 @@ class ChaosHarness:
                  backend_timeout_s: float = 5.0,
                  probe_rounds: int = 0,
                  service_floor_s: float = 0.0,
-                 workers: Optional[str] = None):
+                 workers: Optional[str] = None,
+                 sched=None,
+                 qos=None,
+                 deadlines: tuple = ()):
         if requests < 1:
             raise ValueError(f"requests must be >= 1, got {requests}")
+        if any(d < 0 for d in deadlines):
+            raise ValueError(f"deadlines must be >= 0, got {deadlines}")
         self.plan = plan
         self.registry = registry if registry is not None else default_registry(model)
         self.model = model
@@ -262,6 +300,9 @@ class ChaosHarness:
         self.probe_rounds = probe_rounds
         self.service_floor_s = service_floor_s
         self.workers = workers
+        self.sched = sched
+        self.qos = qos
+        self.deadlines = tuple(deadlines)
 
     # ----------------------------------------------------------------- load
     def _input(self, index: int, shape) -> np.ndarray:
@@ -288,7 +329,7 @@ class ChaosHarness:
         gw_logger.setLevel(logging.INFO)
         try:
             with ClusterLauncher(self.registry, backends=self.backends,
-                                 batching=self.batching,
+                                 batching=self.batching, sched=self.sched,
                                  service_floor_s=self.service_floor_s,
                                  workers=self.workers,
                                  worker_fault_plan=(self.plan if self.workers
@@ -297,6 +338,7 @@ class ChaosHarness:
                     cluster.addresses, policy="round_robin", retry=self.retry,
                     health_interval_s=3600.0,  # probes only where scheduled
                     backend_timeout_s=self.backend_timeout_s,
+                    qos=self.qos,
                 )
                 with self.plan.armed() as injector:
                     gateway.start()
@@ -308,8 +350,11 @@ class ChaosHarness:
                         for i in range(self.requests):
                             x = self._input(i, net.input_shape)
                             expected = net.forward(x)
+                            deadline_ms = (self.deadlines[i % len(self.deadlines)]
+                                           if self.deadlines else 0.0)
                             try:
-                                out = client.infer(self.model, x)
+                                out = client.infer(self.model, x,
+                                                   deadline_ms=deadline_ms)
                             except (DjinnConnectionError,
                                     DjinnServiceError) as exc:
                                 kind = type(exc).__name__
@@ -329,6 +374,17 @@ class ChaosHarness:
                             gateway.metrics, "gateway_retry_exhausted_total")
                         report.transitions = _transition_totals(gateway.metrics)
                         report.injected = injector.fires()
+                        report.shed = report.errors.get(
+                            "DjinnOverloadedError", 0)
+                        report.expired = report.errors.get(
+                            "DjinnDeadlineError", 0)
+                        report.shed_metric = _counter_total(
+                            gateway.metrics, "gateway_admission_rejected_total")
+                        report.expired_metric = _counter_total(
+                            gateway.metrics, "gateway_expired_total") + sum(
+                            _counter_total(server.metrics,
+                                           "djinn_sched_expired_total")
+                            for server in cluster.servers)
                         report.worker_respawns = sum(
                             _counter_total(server.metrics,
                                            "djinn_proc_worker_respawns_total")

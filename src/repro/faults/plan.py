@@ -44,6 +44,14 @@ Sites and the kinds they honour
                   the supervisor's reap/requeue/respawn path.  Fires at the
                   parent's dispatch ordinal, so it is deterministic no
                   matter which worker draws the slot.
+``sched.admit``    (detail: model name)
+    ``reject``    force the gateway's admission controller to shed the
+                  request (typed OVERLOADED, ``reason="injected"``) —
+                  exercises the load-shedding path without real overload
+``sched.hedge``    (detail: model name)
+    ``delay``     sleep ``delay_s`` in the hedged primary arm before it
+                  contacts its backend, forcing the hedge to fire and win
+                  deterministically
 """
 
 from __future__ import annotations
@@ -66,7 +74,8 @@ __all__ = ["SITES", "KINDS_BY_SITE", "FaultRule", "FaultPlan", "FaultInjector",
 
 #: Every injection site wired into the serving stack.
 SITES = ("protocol.send", "protocol.recv", "server.accept", "pool.checkout",
-         "batch.execute", "health.probe", "proc.dispatch")
+         "batch.execute", "health.probe", "proc.dispatch", "sched.admit",
+         "sched.hedge")
 
 #: Fault kinds each site honours (validation happens at plan build time).
 KINDS_BY_SITE = {
@@ -77,6 +86,8 @@ KINDS_BY_SITE = {
     "batch.execute": ("crash", "delay"),
     "health.probe": ("flap",),
     "proc.dispatch": ("kill",),
+    "sched.admit": ("reject",),
+    "sched.hedge": ("delay",),
 }
 
 
@@ -302,3 +313,15 @@ class FaultInjector:
         slot so the worker that picks it up dies (kind ``kill``)."""
         rule = self._fire("proc.dispatch", model)
         return rule is not None
+
+    def on_admit(self, model: str) -> bool:
+        """Called by the gateway's admission gate; True = force a shed."""
+        rule = self._fire("sched.admit", model)
+        return rule is not None  # only kind: reject
+
+    def on_hedge(self, model: str) -> None:
+        """Called in the hedged primary arm before it contacts a backend;
+        sleeps to force the hedge arm to fire (kind ``delay``)."""
+        rule = self._fire("sched.hedge", model)
+        if rule is not None:
+            time.sleep(rule.delay_s)

@@ -28,6 +28,7 @@ from typing import Dict, Mapping, Optional, Tuple
 
 from ..core.batching import BatchPolicy
 from ..core.registry import ModelRegistry
+from ..sched import QosConfig
 from .harness import ChaosHarness, ChaosReport
 from .plan import FaultPlan, FaultRule
 
@@ -169,6 +170,22 @@ SCENARIOS: Dict[str, Scenario] = _catalog(
         "respawn counter must equal the injected kill count exactly.",
         rules=(FaultRule("proc.dispatch", "kill", nth=(3,)),),
         harness={"workers": "proc:2", "backends": 1},
+    ),
+    Scenario(
+        "deadline_storm",
+        "QoS under fire: every 4th request carries an impossibly small "
+        "deadline (0.0001 ms — already spent by the time any hop sees it) "
+        "and is rejected dead-on-arrival at the gateway; two of the "
+        "admitted requests are force-shed by the sched.admit fault site.  "
+        "Every rejection must be typed (no request lost), and the "
+        "client-observed shed/expired counts must equal what the fleet's "
+        "counters recorded — a rejection the metrics never saw is a "
+        "violation.  Generous 250 ms deadlines on the rest never expire, "
+        "keeping the report a pure function of the seed.",
+        rules=(FaultRule("sched.admit", "reject", nth=(1, 9)),),
+        harness={"batching": _BATCHING, "sched": "adaptive",
+                 "qos": QosConfig(admission=True),
+                 "deadlines": (250.0, 0.0001, 250.0, 250.0)},
     ),
     Scenario(
         "mixed",

@@ -32,8 +32,10 @@ class ClusterLauncher:
         fleets (e.g. model-partitioned backends).
     backends:
         Fleet size.
-    batching, service_floor_s, profile_layers:
-        Forwarded to every :class:`DjinnServer` (``profile_layers`` arms
+    batching, sched, service_floor_s, profile_layers:
+        Forwarded to every :class:`DjinnServer` (``sched`` selects the
+        batching executor's scheduling policy — ``"fixed"``/``"adaptive"``
+        or a :class:`repro.sched.SchedPolicy`; ``profile_layers`` arms
         per-layer span capture for traced requests).
     workers, worker_fault_plan:
         Forwarded to every :class:`DjinnServer`; ``workers="proc:N"`` makes
@@ -48,6 +50,7 @@ class ClusterLauncher:
         backends: int = 2,
         host: str = "127.0.0.1",
         batching: Optional[BatchPolicy] = None,
+        sched=None,
         service_floor_s: float = 0.0,
         profile_layers: bool = False,
         workers=None,
@@ -59,6 +62,7 @@ class ClusterLauncher:
         self._n = backends
         self._host = host
         self._batching = batching
+        self._sched = sched
         self._floor_s = service_floor_s
         self._profile_layers = profile_layers
         self._workers = workers
@@ -77,7 +81,8 @@ class ClusterLauncher:
         for i in range(self._n):
             server = DjinnServer(
                 self._registry_for(i), host=self._host, port=0,
-                batching=self._batching, service_floor_s=self._floor_s,
+                batching=self._batching, sched=self._sched,
+                service_floor_s=self._floor_s,
                 profile_layers=self._profile_layers,
                 workers=self._workers,
                 worker_fault_plan=self._worker_fault_plan,

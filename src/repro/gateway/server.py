@@ -26,12 +26,19 @@ import time
 from contextlib import nullcontext
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..core.client import DjinnConnectionError, DjinnServiceError
+from ..core import faultsite
+from ..core.client import (
+    DjinnConnectionError,
+    DjinnDeadlineError,
+    DjinnOverloadedError,
+    DjinnServiceError,
+)
 from ..core.protocol import Message, MessageType
 from ..core.server import TcpServiceBase
 from ..core.stats import ServiceStats
 from ..obs.metrics import MetricsRegistry, merge_dumps
 from ..obs.trace import Tracer, get_tracer, log_event
+from ..sched import AdmissionController, LatencyModel, QosConfig, Rejection
 from .health import HealthChecker
 from .pool import BackendHandle, BackendPool
 from .retry import RetryPolicy
@@ -40,6 +47,52 @@ from .router import Router
 __all__ = ["GatewayServer", "merge_stats"]
 
 logger = logging.getLogger("repro.gateway")
+
+
+def _overloaded_message(request: Message, error: str, reason: str,
+                        retry_after_ms: float) -> Message:
+    """Backpressure frame: typed OVERLOADED with a machine-readable body."""
+    return Message(
+        MessageType.OVERLOADED,
+        text=json.dumps({"error": error, "reason": reason,
+                         "retry_after_ms": retry_after_ms}),
+        trace_id=request.trace_id, span_id=request.span_id)
+
+
+class _HedgeArm:
+    """Cancellation handle for one arm of a hedged request.
+
+    Tracks the arm's in-flight client so the winning arm can interrupt a
+    roundtrip the loser is still blocked in; a cancel that lands before the
+    client is set fires as soon as it is.
+    """
+
+    __slots__ = ("_lock", "_client", "backend_key", "_cancelled")
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._client = None
+        self.backend_key = ""
+        self._cancelled = False
+
+    def set(self, client, backend_key: str) -> None:
+        with self._lock:
+            self._client = client
+            self.backend_key = backend_key
+            cancelled = self._cancelled
+        if cancelled and client is not None:
+            client.interrupt()
+
+    def clear(self) -> None:
+        with self._lock:
+            self._client = None
+
+    def cancel(self) -> None:
+        with self._lock:
+            self._cancelled = True
+            client = self._client
+        if client is not None:
+            client.interrupt()
 
 
 def merge_stats(snapshots: Sequence[Dict[str, Dict[str, float]]]) -> Dict[str, Dict[str, float]]:
@@ -113,6 +166,16 @@ class GatewayServer(TcpServiceBase):
         enabled).  Traced requests get ``gateway.infer`` → ``gateway.queue``
         / ``gateway.backend`` spans, and the trace context is forwarded to
         the chosen backend on the wire.
+    qos:
+        Optional :class:`repro.sched.QosConfig` arming the QoS surface:
+        admission control (requests predicted to miss their deadline are
+        shed with a typed OVERLOADED + ``retry_after_ms`` instead of
+        queueing to die), per-tenant token buckets, and hedged requests
+        (``hedge_ms``: a second backend is tried when the primary is slow;
+        first response wins, the loser's roundtrip is interrupted).  With
+        ``qos=None`` the gateway still *propagates* deadlines and passes
+        typed DEADLINE_EXCEEDED / OVERLOADED responses through un-retried —
+        retrying a spent budget wastes the fleet's time.
 
     Health and retry events (mark-down, mark-up, per-request retries,
     exhausted budgets) increment labeled counters in :attr:`metrics` and
@@ -132,6 +195,7 @@ class GatewayServer(TcpServiceBase):
         backend_timeout_s: float = 30.0,
         clock: Callable[[], float] = time.monotonic,
         tracer: Optional[Tracer] = None,
+        qos: Optional[QosConfig] = None,
     ):
         super().__init__(host=host, port=port)
         self._clock = clock
@@ -148,6 +212,27 @@ class GatewayServer(TcpServiceBase):
             "gateway_retry_exhausted_total",
             "Requests failed after the whole retry budget, per model.",
             ("model",))
+        self._shed = self.metrics.counter(
+            "gateway_admission_rejected_total",
+            "Requests shed at admission, per model and reason.",
+            ("model", "reason"))
+        self._gw_expired = self.metrics.counter(
+            "gateway_expired_total",
+            "Requests whose deadline was already spent at the gateway.",
+            ("model",))
+        self._hedges = self.metrics.counter(
+            "gateway_hedges_total",
+            "Hedge arms actually launched, per model.", ("model",))
+        self._hedge_wins = self.metrics.counter(
+            "gateway_hedge_wins_total",
+            "Hedged requests won, per model and arm.", ("model", "winner"))
+        self.qos = qos
+        #: fleet-level latency curve (refined by every successful forward)
+        #: driving admission predictions and derived hedge delays
+        self.latency = LatencyModel()
+        self._admission = (
+            AdmissionController(qos, self.latency, clock)
+            if qos is not None and qos.admission else None)
         self.pool = BackendPool(backends, timeout_s=backend_timeout_s,
                                 observer=self._on_transition,
                                 tracer=self.tracer)
@@ -231,76 +316,283 @@ class GatewayServer(TcpServiceBase):
         )
         with span_cm as span:
             start = clock()
-            tried: set = set()
-            last_error = "no healthy backends"
-            for attempt in range(self.retry.max_attempts):
-                if attempt:
-                    self._retries.labels(model=request.name).inc()
-                    with self._rng_lock:
-                        delay = self.retry.delay_s(attempt - 1, self._rng)
-                    log_event(logger, "retry", level=logging.WARNING,
-                              model=request.name, attempt=attempt,
-                              delay_ms=round(delay * 1e3, 3), error=last_error)
-                    time.sleep(delay)
+            if traced and request.has_qos:
+                span.set(deadline_ms=request.deadline_ms,
+                         priority=request.priority, tenant=request.tenant)
+            # re-anchor the wire's remaining budget on this host's clock
+            deadline_s = (start + request.deadline_ms / 1e3
+                          if request.deadline_ms else None)
+            if self.qos is not None:
+                rejected = self._admission_gate(request, deadline_s)
+                if rejected is not None:
+                    return rejected
+            if self._hedge_delay_s(request.name) > 0 and len(self.pool.healthy()) > 1:
+                response = self._forward_hedged(request, span, traced, start,
+                                                deadline_s)
+            else:
+                response = self._forward_attempts(request, span, traced,
+                                                  start, deadline_s)
+                response = self._record_outcome(request, start, response)
+            return response
+
+    # ----------------------------------------------------------- QoS gate
+    def _admission_gate(self, request: Message,
+                        deadline_s: Optional[float]) -> Optional[Message]:
+        """Shed-or-admit decision; a Message means the request is refused."""
+        model = request.name
+        if deadline_s is not None and self._clock() >= deadline_s:
+            # dead on arrival: the budget was spent in transit, so answer
+            # with the same typed rejection the backend scheduler would
+            self._gw_expired.labels(model=model).inc()
+            return Message(
+                MessageType.DEADLINE_EXCEEDED,
+                text=(f"deadline exceeded for {model!r}: budget already "
+                      f"spent at the gateway"),
+                trace_id=request.trace_id, span_id=request.span_id)
+        rejection: Optional[Rejection] = None
+        if faultsite.active is not None and faultsite.active.on_admit(model):
+            rejection = Rejection(
+                reason="injected",
+                message=f"injected admission rejection for {model!r}",
+                retry_after_ms=0.0)
+        elif self._admission is not None:
+            healthy = len(self.pool.healthy())
+            total_outstanding = sum(b.outstanding for b in self.pool.backends)
+            # outstanding work drains across the fleet in parallel; charge
+            # this request the per-backend share, rounded pessimistically
+            per_backend = (-(-total_outstanding // healthy)
+                           if healthy else total_outstanding)
+            rejection = self._admission.admit(model, deadline_s,
+                                              request.tenant, per_backend)
+        if rejection is None:
+            return None
+        self._shed.labels(model=model, reason=rejection.reason).inc()
+        log_event(logger, "admission.shed", level=logging.WARNING,
+                  model=model, reason=rejection.reason,
+                  retry_after_ms=round(rejection.retry_after_ms, 3))
+        return _overloaded_message(request, rejection.message,
+                                   rejection.reason, rejection.retry_after_ms)
+
+    def _hedge_delay_s(self, model: str) -> float:
+        qos = self.qos
+        if qos is None or not qos.hedge_ms:
+            return 0.0
+        if qos.hedge_ms > 0:
+            return qos.hedge_ms / 1e3
+        # hedge_ms == -1: derive from the measured curve — hedge once the
+        # request has waited ~2x the expected service time
+        est = self.latency.estimate_s(model, 1)
+        return max(2.0 * est, 1e-3)
+
+    def _record_outcome(self, request: Message, start: float,
+                        response: Optional[Message]) -> Message:
+        """Account a finished request; fold None (cancelled arm) to ERROR."""
+        if response is None:  # only reachable through a cancelled hedge arm
+            return Message(MessageType.ERROR,
+                           text=f"request for {request.name!r} was cancelled",
+                           trace_id=request.trace_id, span_id=request.span_id)
+        if response.type == MessageType.INFER_RESPONSE:
+            elapsed = self._clock() - start
+            self.stats.record(request.name, elapsed,
+                              inputs=len(request.tensor))
+            self.latency.observe(request.name, 1, elapsed)
+        return response
+
+    # ------------------------------------------------------- attempt loop
+    def _forward_attempts(self, request: Message, span, traced: bool,
+                          start: float, deadline_s: Optional[float],
+                          avoid: frozenset = frozenset(),
+                          cancel: Optional[threading.Event] = None,
+                          inflight: Optional[_HedgeArm] = None) -> Optional[Message]:
+        """Route, retry, and forward one request; the original retry loop.
+
+        ``avoid`` seeds the tried-set (a hedge arm avoids the primary's
+        backend); ``cancel``/``inflight`` wire first-wins cancellation: a
+        cancelled arm returns ``None`` without burning retries or marking
+        backends down on its self-inflicted transport error.
+        """
+        clock = self._clock
+        tried: set = set(avoid)
+        last_error = "no healthy backends"
+        for attempt in range(self.retry.max_attempts):
+            if cancel is not None and cancel.is_set():
+                return None
+            if attempt:
+                self._retries.labels(model=request.name).inc()
+                with self._rng_lock:
+                    delay = self.retry.delay_s(attempt - 1, self._rng)
+                log_event(logger, "retry", level=logging.WARNING,
+                          model=request.name, attempt=attempt,
+                          delay_ms=round(delay * 1e3, 3), error=last_error)
+                time.sleep(delay)
+            if deadline_s is not None and clock() >= deadline_s:
+                # budget burnt in backoff/routing: stop before another hop
+                self._gw_expired.labels(model=request.name).inc()
+                return Message(
+                    MessageType.DEADLINE_EXCEEDED,
+                    text=(f"deadline exceeded for {request.name!r}: budget "
+                          f"spent after {attempt + 1} gateway attempt(s)"),
+                    trace_id=request.trace_id, span_id=request.span_id)
+            candidates = self.router.route(request.name)
+            if not candidates:
+                # whole fleet marked down — probe for recoveries right away
+                self.health.probe_all()
                 candidates = self.router.route(request.name)
                 if not candidates:
-                    # whole fleet marked down — probe for recoveries right away
-                    self.health.probe_all()
-                    candidates = self.router.route(request.name)
-                    if not candidates:
-                        continue
-                # prefer backends this request hasn't burned yet
-                fresh = [b for b in candidates if b.key not in tried] or candidates
-                backend = fresh[0]
-                tried.add(backend.key)
-                try:
-                    client = backend.checkout()
-                except DjinnConnectionError as exc:
-                    backend.mark_down()
-                    last_error = str(exc)
                     continue
-                ok = False
-                try:
-                    if traced:
-                        # routing + any backoff so far is the gateway's
-                        # "queue" share of the request's timeline
-                        tracer.add_span("gateway.queue", start, clock(),
-                                        span.trace_id, span.span_id,
-                                        category="queue", attempts=attempt + 1)
-                        with tracer.span("gateway.backend", category="gateway",
-                                         trace_id=span.trace_id,
-                                         parent_id=span.span_id,
-                                         backend=backend.key):
-                            outputs = client.infer(request.name, request.tensor)
-                    else:
-                        outputs = client.infer(request.name, request.tensor)
-                    ok = True
-                except DjinnConnectionError as exc:
-                    backend.mark_down()
-                    last_error = str(exc)
-                    continue
-                except DjinnServiceError as exc:
-                    ok = True  # the connection is fine; the model said no
-                    return Message(MessageType.ERROR, text=str(exc),
-                                   trace_id=request.trace_id,
-                                   span_id=request.span_id)
-                finally:
-                    backend.checkin(client, ok=ok)
-                self.stats.record(request.name, clock() - start,
-                                  inputs=len(request.tensor))
-                return Message(MessageType.INFER_RESPONSE, name=request.name,
-                               tensor=outputs, trace_id=request.trace_id,
+            # prefer backends this request hasn't burned yet
+            fresh = [b for b in candidates if b.key not in tried] or candidates
+            backend = fresh[0]
+            tried.add(backend.key)
+            try:
+                client = backend.checkout()
+            except DjinnConnectionError as exc:
+                backend.mark_down()
+                last_error = str(exc)
+                continue
+            if inflight is not None:
+                inflight.set(client, backend.key)
+            ok = False
+            try:
+                kwargs = {}
+                if request.has_qos:
+                    remaining_ms = 0.0
+                    if deadline_s is not None:
+                        # forward the *remaining* budget (floored at 1 µs so
+                        # a spent budget still reads as deadlined on the
+                        # wire and gets the backend's typed rejection)
+                        remaining_ms = max((deadline_s - clock()) * 1e3, 1e-3)
+                    kwargs = dict(deadline_ms=remaining_ms,
+                                  priority=request.priority,
+                                  tenant=request.tenant)
+                if traced:
+                    # routing + any backoff so far is the gateway's
+                    # "queue" share of the request's timeline
+                    tracer = self.tracer
+                    tracer.add_span("gateway.queue", start, clock(),
+                                    span.trace_id, span.span_id,
+                                    category="queue", attempts=attempt + 1)
+                    with tracer.span("gateway.backend", category="gateway",
+                                     trace_id=span.trace_id,
+                                     parent_id=span.span_id,
+                                     backend=backend.key):
+                        outputs = client.infer(request.name, request.tensor,
+                                               **kwargs)
+                else:
+                    outputs = client.infer(request.name, request.tensor,
+                                           **kwargs)
+                ok = True
+            except DjinnConnectionError as exc:
+                if cancel is not None and cancel.is_set():
+                    # the other arm won and interrupted this roundtrip; the
+                    # backend did nothing wrong — do not mark it down
+                    return None
+                backend.mark_down()
+                last_error = str(exc)
+                continue
+            except DjinnDeadlineError as exc:
+                ok = True  # typed rejection: pass through, never retry
+                return Message(MessageType.DEADLINE_EXCEEDED, text=str(exc),
+                               trace_id=request.trace_id,
                                span_id=request.span_id)
-            self._exhausted.labels(model=request.name).inc()
-            log_event(logger, "retry.exhausted", level=logging.ERROR,
-                      model=request.name, attempts=self.retry.max_attempts,
-                      error=last_error)
-            return Message(
-                MessageType.ERROR,
-                text=(f"request for {request.name!r} failed after "
-                      f"{self.retry.max_attempts} attempts: {last_error}"),
-                trace_id=request.trace_id, span_id=request.span_id,
-            )
+            except DjinnOverloadedError as exc:
+                ok = True  # backpressure: pass through with its retry hint
+                return _overloaded_message(request, str(exc), exc.reason,
+                                           exc.retry_after_ms)
+            except DjinnServiceError as exc:
+                ok = True  # the connection is fine; the model said no
+                return Message(MessageType.ERROR, text=str(exc),
+                               trace_id=request.trace_id,
+                               span_id=request.span_id)
+            finally:
+                if inflight is not None:
+                    inflight.clear()
+                backend.checkin(client, ok=ok)
+            return Message(MessageType.INFER_RESPONSE, name=request.name,
+                           tensor=outputs, trace_id=request.trace_id,
+                           span_id=request.span_id)
+        self._exhausted.labels(model=request.name).inc()
+        log_event(logger, "retry.exhausted", level=logging.ERROR,
+                  model=request.name, attempts=self.retry.max_attempts,
+                  error=last_error)
+        return Message(
+            MessageType.ERROR,
+            text=(f"request for {request.name!r} failed after "
+                  f"{self.retry.max_attempts} attempts: {last_error}"),
+            trace_id=request.trace_id, span_id=request.span_id,
+        )
+
+    # ------------------------------------------------------------- hedging
+    def _forward_hedged(self, request: Message, span, traced: bool,
+                        start: float, deadline_s: Optional[float]) -> Message:
+        """Tail-latency hedging: race a second backend, first response wins.
+
+        The primary arm runs the normal attempt loop; if it has not
+        finished within the hedge delay, a second arm fires against a
+        different backend.  The first arm to produce a response wins,
+        records the request, and interrupts the loser's in-flight roundtrip
+        (its connection is discarded on checkin, not returned to the pool).
+        """
+        model = request.name
+        done = threading.Event()
+        hedged = threading.Event()  # did the second arm actually launch?
+        results: List[Tuple[int, Message]] = []
+        results_lock = threading.Lock()
+        arms = (_HedgeArm(), _HedgeArm())
+
+        def finish(arm_idx: int, response: Optional[Message]) -> None:
+            if response is None:
+                return  # cancelled arm: the other one already finished
+            with results_lock:
+                if results:
+                    return
+                results.append((arm_idx, response))
+            done.set()
+            arms[1 - arm_idx].cancel()
+
+        def run_primary() -> None:
+            try:
+                if faultsite.active is not None:
+                    faultsite.active.on_hedge(model)  # injected slowness
+                finish(0, self._forward_attempts(
+                    request, span, traced, start, deadline_s,
+                    cancel=done, inflight=arms[0]))
+            except Exception as exc:  # never strand the caller
+                finish(0, Message(MessageType.ERROR, text=str(exc),
+                                  trace_id=request.trace_id,
+                                  span_id=request.span_id))
+
+        def run_hedge() -> None:
+            try:
+                if done.wait(self._hedge_delay_s(model)):
+                    return  # primary answered inside the hedge window
+                hedged.set()
+                self._hedges.labels(model=model).inc()
+                avoid = (frozenset((arms[0].backend_key,))
+                         if arms[0].backend_key else frozenset())
+                finish(1, self._forward_attempts(
+                    request, span, traced, start, deadline_s,
+                    avoid=avoid, cancel=done, inflight=arms[1]))
+            except Exception as exc:
+                finish(1, Message(MessageType.ERROR, text=str(exc),
+                                  trace_id=request.trace_id,
+                                  span_id=request.span_id))
+
+        threads = (
+            threading.Thread(target=run_primary, daemon=True,
+                             name="gateway-hedge-primary"),
+            threading.Thread(target=run_hedge, daemon=True,
+                             name="gateway-hedge-secondary"),
+        )
+        for t in threads:
+            t.start()
+        done.wait()
+        with results_lock:
+            arm_idx, response = results[0]
+        if hedged.is_set():  # a win only counts when there was a race
+            self._hedge_wins.labels(
+                model=model, winner="primary" if arm_idx == 0 else "hedge").inc()
+        return self._record_outcome(request, start, response)
 
     # --------------------------------------------------------------- stats
     def _aggregate_stats(self) -> Dict[str, Dict[str, float]]:

@@ -1,0 +1,42 @@
+"""SLO-aware scheduling: deadline-driven batching, priorities, admission.
+
+The paper fixes its batching policy offline (§5.1 sweeps batch size by
+hand); a service fielding millions of queries has to pick the batching /
+multi-tenancy trade-off *online* from load and deadlines.  This package is
+that decision layer, factored so mechanism and policy stay separate:
+
+- :class:`LatencyModel` — the measured per-model latency curve (EWMA per
+  power-of-two batch bucket, seeded from served Histogram families,
+  refined by every executed batch).
+- :class:`EdfQueue` — a priority-then-earliest-deadline-first queue that
+  replaces the FIFO in :class:`repro.core.batching.BatchingExecutor` when a
+  scheduling policy is armed; expired requests are rejected with a typed
+  DEADLINE_EXCEEDED *before* the forward pass.
+- :class:`SchedPolicy` and its implementations (:class:`FixedSched`,
+  :class:`AdaptiveSched`) — how many rows to wait for and how long, given
+  queue depth, the tightest deadline, and the latency curve.
+- :class:`AdmissionController` / :class:`TokenBucket` / :class:`QosConfig`
+  — gateway-side load shedding and per-tenant rate limiting; requests that
+  cannot meet their deadline are refused at the door (OVERLOADED) instead
+  of queueing to die.
+"""
+
+from .admission import AdmissionController, QosConfig, Rejection, TokenBucket
+from .latency import LatencyModel
+from .policy import AdaptiveSched, Decision, FixedSched, SchedPolicy, make_policy
+from .queue import DeadlineExceededError, EdfQueue
+
+__all__ = [
+    "AdmissionController",
+    "AdaptiveSched",
+    "Decision",
+    "DeadlineExceededError",
+    "EdfQueue",
+    "FixedSched",
+    "LatencyModel",
+    "QosConfig",
+    "Rejection",
+    "SchedPolicy",
+    "TokenBucket",
+    "make_policy",
+]

@@ -1,0 +1,162 @@
+"""Gateway-side admission control: shed at the door, not in the queue.
+
+When predicted queue wait already exceeds a request's deadline the kindest
+answer is an immediate, typed refusal — the client learns in microseconds
+what queueing would have told it only after the deadline had passed, and
+the fleet spends no forward pass on a dead request.  The predictor is
+deliberately simple (outstanding in-flight requests at the gateway times
+the measured batch-1 service estimate, i.e. an M/M/1-flavored wait bound
+scaled by ``shed_margin``): admission control has to be cheap enough to
+run on every request, and a pessimistic linear bound sheds exactly when
+sustained overload makes the queue grow without bound, which is the case
+that matters.
+
+Per-tenant token buckets bound any one tenant's admitted rate regardless
+of deadline, so a single aggressive client cannot convert fleet capacity
+into everyone else's deadline misses.  Both rejection flavors surface as
+OVERLOADED frames carrying a ``retry_after_ms`` hint — backpressure the
+client can act on.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from .latency import LatencyModel
+
+__all__ = ["QosConfig", "TokenBucket", "Rejection", "AdmissionController"]
+
+
+@dataclass(frozen=True)
+class QosConfig:
+    """Gateway QoS knobs (the gateway is QoS-off unless one is supplied).
+
+    ``tenant_qps`` of 0 disables per-tenant throttling; ``hedge_ms`` of 0
+    disables hedged requests.  ``shed_margin`` scales the predicted-wait
+    bound — above 1.0 sheds earlier (more conservative SLOs), below 1.0
+    later.  ``hedge_ms`` of -1.0 means "derive from the latency curve"
+    (hedge once the request has waited past ~2x the expected service time).
+    """
+
+    admission: bool = True
+    tenant_qps: float = 0.0
+    tenant_burst: float = 8.0
+    hedge_ms: float = 0.0
+    shed_margin: float = 1.0
+
+    def __post_init__(self):
+        if self.hedge_ms < 0 and self.hedge_ms != -1.0:
+            raise ValueError(
+                f"hedge_ms must be >= 0 (or -1 to derive), got {self.hedge_ms}")
+        if self.tenant_qps < 0:
+            raise ValueError(f"tenant_qps must be >= 0, got {self.tenant_qps}")
+        if self.tenant_burst <= 0:
+            raise ValueError(
+                f"tenant_burst must be > 0, got {self.tenant_burst}")
+        if self.shed_margin <= 0:
+            raise ValueError(
+                f"shed_margin must be > 0, got {self.shed_margin}")
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/s, capacity ``burst``."""
+
+    def __init__(self, rate: float, burst: float,
+                 clock: Callable[[], float] = time.monotonic):
+        if rate <= 0 or burst <= 0:
+            raise ValueError(f"rate and burst must be > 0, got {rate}, {burst}")
+        self.rate = rate
+        self.burst = burst
+        self._clock = clock
+        self._tokens = burst
+        self._stamp = clock()
+        self._lock = threading.Lock()
+
+    def try_take(self, n: float = 1.0) -> bool:
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(self.burst,
+                               self._tokens + (now - self._stamp) * self.rate)
+            self._stamp = now
+            if self._tokens >= n:
+                self._tokens -= n
+                return True
+            return False
+
+    def retry_after_s(self, n: float = 1.0) -> float:
+        """Seconds until ``n`` tokens will have accrued (0 if already there)."""
+        with self._lock:
+            now = self._clock()
+            tokens = min(self.burst,
+                         self._tokens + (now - self._stamp) * self.rate)
+            return max(0.0, (n - tokens) / self.rate)
+
+
+@dataclass(frozen=True)
+class Rejection:
+    """Why a request was refused at the door, and when to come back."""
+
+    reason: str  # "tenant_throttle" | "predicted_late"
+    message: str
+    retry_after_ms: float
+
+
+class AdmissionController:
+    """Per-request admit/shed decision for the gateway."""
+
+    def __init__(self, config: QosConfig, latency: LatencyModel,
+                 clock: Callable[[], float] = time.monotonic):
+        self.config = config
+        self.latency = latency
+        self._clock = clock
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    def _bucket_for(self, tenant: str) -> TokenBucket:
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = self._buckets[tenant] = TokenBucket(
+                    self.config.tenant_qps, self.config.tenant_burst,
+                    self._clock)
+            return bucket
+
+    def predicted_wait_s(self, model: str, outstanding: int) -> float:
+        """Pessimistic queue-wait bound: serial drain of in-flight work."""
+        est = self.latency.estimate_s(model, 1)
+        return outstanding * est * self.config.shed_margin
+
+    def admit(self, model: str, deadline_s: Optional[float], tenant: str,
+              outstanding: int) -> Optional[Rejection]:
+        """``None`` to admit, a :class:`Rejection` to shed.
+
+        ``deadline_s`` is the absolute monotonic deadline (``None`` = no
+        deadline — such requests are never shed for lateness, only
+        throttled).  ``outstanding`` is the gateway's count of in-flight
+        requests across backends.
+        """
+        if tenant and self.config.tenant_qps > 0:
+            bucket = self._bucket_for(tenant)
+            if not bucket.try_take():
+                after_s = bucket.retry_after_s()
+                return Rejection(
+                    reason="tenant_throttle",
+                    message=(f"tenant {tenant!r} over rate "
+                             f"({self.config.tenant_qps:g} qps)"),
+                    retry_after_ms=after_s * 1e3)
+        if deadline_s is not None:
+            now = self._clock()
+            wait = self.predicted_wait_s(model, outstanding)
+            service = self.latency.estimate_s(model, 1)
+            if now + wait + service > deadline_s:
+                return Rejection(
+                    reason="predicted_late",
+                    message=(f"predicted wait {wait * 1e3:.1f} ms exceeds "
+                             f"deadline budget "
+                             f"{max(0.0, (deadline_s - now)) * 1e3:.1f} ms "
+                             f"for {model!r}"),
+                    retry_after_ms=wait * 1e3)
+        return None

@@ -1,0 +1,114 @@
+"""Measured per-model latency curves for scheduling decisions.
+
+The adaptive policy needs to answer one question quickly and without
+foresight: *how long would a batch of b rows of model m take right now?*
+This model keeps an exponentially weighted moving average of executed-batch
+service time per (model, power-of-two batch bucket) — the same bucketing
+the plan cache uses, so every bucket the executor can actually run
+accumulates its own estimate.  Buckets never observed are interpolated
+linearly in row count from the nearest known bucket, which matches the
+affine cost shape of a batched GEMM (fixed overhead + per-row work) well
+enough for windowing decisions.
+
+Estimates start from the served latency Histogram when one exists (the
+``*_request_latency_seconds`` family, PR 2) and are refined by every batch
+the executor runs, so a freshly armed scheduler is never flying blind on a
+warm service.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional, Tuple
+
+__all__ = ["LatencyModel"]
+
+
+def _bucket(rows: int) -> int:
+    """Power-of-two bucket for a batch of ``rows`` (same as the plan cache)."""
+    return 1 << max(0, rows - 1).bit_length()
+
+
+class LatencyModel:
+    """EWMA of batch service seconds per (model, pow2-batch bucket)."""
+
+    def __init__(self, alpha: float = 0.2):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self._est: Dict[Tuple[str, int], float] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------- updates
+    def observe(self, model: str, rows: int, seconds: float) -> None:
+        """Fold one executed batch into the curve."""
+        if rows < 1 or seconds < 0.0:
+            return
+        key = (model, _bucket(rows))
+        with self._lock:
+            prev = self._est.get(key)
+            if prev is None:
+                self._est[key] = seconds
+            else:
+                self._est[key] = prev + self.alpha * (seconds - prev)
+
+    def seed(self, model: str, rows: int, seconds: float) -> None:
+        """Install an initial estimate; a no-op if the bucket has data."""
+        if rows < 1 or seconds <= 0.0:
+            return
+        key = (model, _bucket(rows))
+        with self._lock:
+            self._est.setdefault(key, seconds)
+
+    def seed_from_metrics(self, registry,
+                          family: str = "djinn_request_latency_seconds") -> int:
+        """Seed batch-1 estimates from a served latency Histogram family.
+
+        Returns the number of models seeded.  Request latency includes
+        queueing and serialization on top of the forward, so the median is
+        used as a (conservative) batch-1 service estimate — the EWMA pulls
+        it onto the true curve within a few observed batches.
+        """
+        fam = registry.get(family)
+        if fam is None:
+            return 0
+        seeded = 0
+        for labels, hist in fam.children():
+            if hist.count == 0:
+                continue
+            model = labels[0] if labels else ""
+            if model:
+                self.seed(model, 1, hist.percentile(50))
+                seeded += 1
+        return seeded
+
+    # ------------------------------------------------------------- queries
+    def estimate_s(self, model: str, rows: int) -> float:
+        """Predicted service seconds for a batch of ``rows`` (0.0 = unknown).
+
+        Exact bucket when observed; otherwise the nearest known bucket for
+        the model, scaled linearly in row count.
+        """
+        if rows < 1:
+            rows = 1
+        target = _bucket(rows)
+        with self._lock:
+            exact = self._est.get((model, target))
+            if exact is not None:
+                return exact
+            nearest: Optional[Tuple[int, float]] = None
+            for (m, bucket), est in self._est.items():
+                if m != model:
+                    continue
+                if nearest is None or abs(bucket - target) < abs(nearest[0] - target):
+                    nearest = (bucket, est)
+        if nearest is None:
+            return 0.0
+        bucket, est = nearest
+        return est * (target / bucket) if target > bucket else est
+
+    def known_buckets(self, model: str) -> Dict[int, float]:
+        """The observed/seeded curve for one model (bucket -> seconds)."""
+        with self._lock:
+            return {bucket: est for (m, bucket), est in self._est.items()
+                    if m == model}

@@ -1,0 +1,132 @@
+"""Scheduling policies: how much to coalesce and how long to wait.
+
+A :class:`SchedPolicy` is consulted by :class:`repro.sched.queue.EdfQueue`
+each time a worker assembles a batch.  The queue supplies the observable
+state — queue depth in rows, the tightest deadline among waiting requests,
+the measured latency curve, and how many models currently have work — and
+the policy answers with a :class:`Decision`: the target batch size and the
+maximum extra time to wait for more arrivals.  Mechanism (ordering, expiry,
+condition-variable waits) stays in the queue; policy stays here, so new
+policies are a single small class.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["Decision", "SchedPolicy", "FixedSched", "AdaptiveSched", "make_policy"]
+
+#: est_s(rows) -> predicted batch service seconds (0.0 = unknown)
+Estimator = Callable[[int], float]
+
+
+@dataclass(frozen=True)
+class Decision:
+    """Dispatch once ``rows`` are buffered or ``wait_s`` has elapsed."""
+
+    rows: int
+    wait_s: float
+
+
+class SchedPolicy:
+    """Interface: pure decision function over queue state."""
+
+    name = "base"
+
+    def plan(self, *, now: float, depth_rows: int, min_deadline_s: float,
+             max_batch: int, timeout_s: float, est_s: Estimator,
+             active_models: int) -> Decision:
+        """Pick a target batch and coalescing window.
+
+        ``min_deadline_s`` is the earliest absolute deadline among queued
+        requests (``math.inf`` when none carries one); ``timeout_s`` is the
+        configured fixed-policy window, which policies treat as the ceiling
+        on added latency.
+        """
+        raise NotImplementedError
+
+
+class FixedSched(SchedPolicy):
+    """The paper's offline policy inside the EDF machinery.
+
+    Keeps the fixed target batch and window, but requests are still served
+    earliest-deadline-first within a batch and expired requests are still
+    rejected before forward — useful as the control arm when ablating the
+    adaptive policy.
+    """
+
+    name = "fixed"
+
+    def plan(self, *, now, depth_rows, min_deadline_s, max_batch, timeout_s,
+             est_s, active_models) -> Decision:
+        return Decision(rows=max_batch, wait_s=timeout_s)
+
+
+class AdaptiveSched(SchedPolicy):
+    """Deadline-driven batch sizing and windowing.
+
+    Three rules, in priority order:
+
+    1. A full batch is already buffered → dispatch immediately.
+    2. Several models have queued work and this queue is shallow
+       (``depth_rows <= co_sched_depth``) → dispatch immediately with what
+       is buffered, so the executor (or proc pool) interleaves models
+       instead of one model's coalescing window starving the others.
+    3. Otherwise pick the largest batch b (halving from ``max_batch``)
+       whose predicted completion ``now + est(b)`` still meets the tightest
+       queued deadline, then wait at most ``headroom_frac`` of the
+       remaining slack (never more than the configured window) for more
+       arrivals.  No deadlines queued → fixed behavior.
+
+    With an empty latency curve (cold start) ``est`` is 0.0 and the policy
+    degrades to the fixed policy plus expiry — it never rejects or shrinks
+    batches on data it does not have.
+    """
+
+    name = "adaptive"
+
+    def __init__(self, co_sched_depth: int = 2, headroom_frac: float = 0.5):
+        if co_sched_depth < 0:
+            raise ValueError(f"co_sched_depth must be >= 0, got {co_sched_depth}")
+        if not 0.0 <= headroom_frac <= 1.0:
+            raise ValueError(
+                f"headroom_frac must be in [0, 1], got {headroom_frac}")
+        self.co_sched_depth = co_sched_depth
+        self.headroom_frac = headroom_frac
+
+    def plan(self, *, now, depth_rows, min_deadline_s, max_batch, timeout_s,
+             est_s, active_models) -> Decision:
+        if depth_rows >= max_batch:
+            return Decision(rows=max_batch, wait_s=0.0)
+        if active_models > 1 and depth_rows <= self.co_sched_depth:
+            return Decision(rows=max(depth_rows, 1), wait_s=0.0)
+        if not math.isfinite(min_deadline_s):
+            return Decision(rows=max_batch, wait_s=timeout_s)
+        rows = max_batch
+        while rows > 1:
+            est = est_s(rows)
+            if est and now + est > min_deadline_s:
+                rows //= 2
+            else:
+                break
+        headroom = min_deadline_s - now - est_s(rows)
+        wait = min(max(headroom * self.headroom_frac, 0.0), timeout_s)
+        return Decision(rows=rows, wait_s=wait)
+
+
+def make_policy(spec) -> SchedPolicy:
+    """Resolve a policy spec: an instance passes through, a name constructs.
+
+    Accepts ``"fixed"`` / ``"adaptive"`` (CLI and launcher convenience) or
+    any :class:`SchedPolicy` instance.
+    """
+    if isinstance(spec, SchedPolicy):
+        return spec
+    if spec == "fixed":
+        return FixedSched()
+    if spec == "adaptive":
+        return AdaptiveSched()
+    raise ValueError(f"unknown scheduling policy {spec!r} "
+                     f"(expected 'fixed', 'adaptive', or a SchedPolicy)")

@@ -1,0 +1,126 @@
+"""Priority + earliest-deadline-first request queue for the batch workers.
+
+Replaces the FIFO in :class:`repro.core.batching.BatchingExecutor` when a
+scheduling policy is armed.  Items need three attributes: ``inputs`` (rows
+= ``len(inputs)``), ``deadline_s`` (absolute monotonic deadline,
+``math.inf`` = none), and ``priority`` (higher scheduled first).  Ordering
+is (priority desc, deadline asc, arrival asc) — within a priority class the
+request closest to missing its SLO runs first, and priority classes never
+interleave: a queued high-priority request always dispatches before any
+lower one, which is the point (and the starvation caveat) of strict
+priority scheduling.
+
+:meth:`collect` is the worker-facing call: block for work, consult the
+policy for a target batch and coalescing window, then hand back the batch
+*and* the requests whose deadline already passed (or provably cannot be met
+even by an immediate batch-of-one), so the executor can reject those with a
+typed DEADLINE_EXCEEDED before spending a forward pass on them.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from typing import Callable, List, Tuple
+
+from .policy import SchedPolicy
+
+__all__ = ["DeadlineExceededError", "EdfQueue"]
+
+
+class DeadlineExceededError(RuntimeError):
+    """A request expired in queue; it was rejected before forward."""
+
+    def __init__(self, model: str, late_s: float = 0.0):
+        self.model = model
+        self.late_s = late_s
+        super().__init__(
+            f"deadline exceeded for {model!r}: request expired in queue "
+            f"({late_s * 1e3:.3f} ms past deadline)")
+
+
+class EdfQueue:
+    """Thread-safe EDF/priority queue with policy-driven batch assembly."""
+
+    def __init__(self):
+        self._heap: List[Tuple[int, float, int, object]] = []
+        self._rows = 0
+        self._seq = 0
+        self._closed = False
+        self._cond = threading.Condition()
+
+    # ------------------------------------------------------------- produce
+    def put(self, item) -> None:
+        """Enqueue one request; ``put(None)`` closes (executor shutdown)."""
+        with self._cond:
+            if item is None:
+                self._closed = True
+                self._cond.notify_all()
+                return
+            entry = (-item.priority, item.deadline_s, self._seq, item)
+            self._seq += 1
+            heapq.heappush(self._heap, entry)
+            self._rows += len(item.inputs)
+            self._cond.notify_all()
+
+    @property
+    def finished(self) -> bool:
+        """Closed and fully drained — the worker may exit."""
+        with self._cond:
+            return self._closed and not self._heap
+
+    def depth_rows(self) -> int:
+        with self._cond:
+            return self._rows
+
+    def _min_deadline(self) -> float:
+        # queues are bounded by max_batch-scale depths; a scan is cheaper
+        # than maintaining a second heap keyed by deadline alone
+        return min(entry[1] for entry in self._heap)
+
+    # ------------------------------------------------------------- consume
+    def collect(self, policy: SchedPolicy, *, clock: Callable[[], float],
+                est_s: Callable[[int], float], max_batch: int,
+                timeout_s: float,
+                active_models: Callable[[], int] = lambda: 1):
+        """Assemble one batch: returns ``(batch, expired)``.
+
+        Blocks until at least one request is queued (or the queue closes),
+        asks ``policy`` for a :class:`~repro.sched.policy.Decision`, waits
+        out the coalescing window, then pops in EDF order.  Requests whose
+        deadline has passed — or that cannot finish even as an immediate
+        batch of one, per the latency curve — come back in ``expired``
+        instead of the batch.  Both lists empty means closed-and-drained.
+        """
+        with self._cond:
+            while not self._heap and not self._closed:
+                self._cond.wait()
+            if not self._heap:
+                return [], []
+            now = clock()
+            decision = policy.plan(
+                now=now, depth_rows=self._rows,
+                min_deadline_s=self._min_deadline(), max_batch=max_batch,
+                timeout_s=timeout_s, est_s=est_s,
+                active_models=active_models())
+            target = max(decision.rows, 1)
+            wait_deadline = now + decision.wait_s
+            while self._rows < target and not self._closed:
+                remaining = wait_deadline - clock()
+                if remaining <= 0:
+                    break
+                self._cond.wait(timeout=remaining)
+            batch: List[object] = []
+            expired: List[object] = []
+            now = clock()
+            est1 = est_s(1)
+            rows = 0
+            while self._heap and rows < target:
+                item = heapq.heappop(self._heap)[-1]
+                self._rows -= len(item.inputs)
+                if item.deadline_s <= now or (est1 and now + est1 > item.deadline_s):
+                    expired.append(item)
+                    continue
+                batch.append(item)
+                rows += len(item.inputs)
+            return batch, expired

@@ -266,6 +266,36 @@ class TestScenarios:
         assert report.injected == {"proc.dispatch:kill:*": 1}
         assert report.worker_respawns == 1
 
+    def test_deadline_storm_sheds_and_expiries_are_typed(self, registry,
+                                                         chaos_seed):
+        """The QoS scenario: every 4th request is dead on arrival, two
+        admitted requests are force-shed, and every rejection is typed —
+        nothing lost, and the client-observed shed/expired counts match
+        the fleet's counters exactly."""
+        report = run_scenario("deadline_storm", seed=chaos_seed,
+                              registry=registry)
+        assert report.check() == [], report.to_json()
+        assert report.expired == report.requests // 4
+        assert report.shed == 2
+        assert report.injected == {"sched.admit:reject:*": 2}
+        assert report.ok == report.requests - report.expired - report.shed
+        assert report.expired_metric == report.expired
+        assert report.shed_metric == report.shed
+
+    def test_shed_metric_divergence_flagged(self):
+        report = ChaosReport(scenario="s", seed=0, requests=4, ok=3,
+                             retry_budget=3, traces=4,
+                             errors={"DjinnOverloadedError": 1},
+                             shed=1, shed_metric=0)
+        assert any("OVERLOADED" in v for v in report.check())
+
+    def test_expired_metric_divergence_flagged(self):
+        report = ChaosReport(scenario="s", seed=0, requests=4, ok=3,
+                             retry_budget=3, traces=4,
+                             errors={"DjinnDeadlineError": 1},
+                             expired=1, expired_metric=2)
+        assert any("DEADLINE_EXCEEDED" in v for v in report.check())
+
     def test_respawn_count_divergence_flagged(self):
         report = ChaosReport(scenario="s", seed=0, requests=4, ok=4,
                              retry_budget=3, traces=4,

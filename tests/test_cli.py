@@ -148,3 +148,46 @@ class TestGatewayCommand:
             client.shutdown_server()
             thread.join(timeout=10)
         assert not thread.is_alive()
+
+    def test_gateway_qos_flags(self):
+        """`djinn gateway --sched adaptive --admission ...` arms QoS
+        end-to-end: deadline-stamped queries serve, doomed ones come back
+        as typed deadline errors."""
+        import socket
+
+        import numpy as np
+
+        from repro.core import DjinnClient, DjinnDeadlineError
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        thread = threading.Thread(
+            target=main,
+            args=(["gateway", "--backends", "1", "--models", "pos",
+                   "--port", str(port), "--batch", "4",
+                   "--sched", "adaptive", "--admission",
+                   "--tenant-qps", "100"],),
+            daemon=True,
+        )
+        thread.start()
+        deadline = time.time() + 15
+        client = None
+        while time.time() < deadline:
+            try:
+                client = DjinnClient("127.0.0.1", port, timeout_s=10.0)
+                break
+            except OSError:
+                time.sleep(0.05)
+        assert client is not None, "gateway never came up"
+        try:
+            out = client.infer("pos", np.zeros((1, 300), np.float32),
+                               deadline_ms=30000.0, priority=2, tenant="cli")
+            assert out.shape == (1, 45)
+            with pytest.raises(DjinnDeadlineError):
+                client.infer("pos", np.zeros((1, 300), np.float32),
+                             deadline_ms=0.0001)
+        finally:
+            client.shutdown_server()
+            thread.join(timeout=10)
+        assert not thread.is_alive()

@@ -568,3 +568,129 @@ class TestGatewayObservability:
             messages = [r.getMessage() for r in caplog.records]
             assert any(m.startswith("event=retry ") for m in messages)
             assert any(m.startswith("event=retry.exhausted") for m in messages)
+
+
+# ------------------------------------------------------------- gateway QoS
+class TestGatewayQos:
+    """Admission control, deadline gating, and hedged requests."""
+
+    @pytest.fixture
+    def qos_fleet(self, registry):
+        """Two sched-armed backends behind a QoS-armed gateway."""
+        from repro.core import BatchPolicy
+        from repro.sched import QosConfig
+
+        with ClusterLauncher(registry, backends=2,
+                             batching=BatchPolicy(max_batch=4, timeout_ms=1.0),
+                             sched="adaptive") as cluster:
+            gateway = GatewayServer(
+                cluster.addresses, policy="round_robin",
+                retry=RetryPolicy(max_attempts=3, base_delay_s=0.01,
+                                  max_delay_s=0.05),
+                health_interval_s=0.5,
+                # tenant_qps deliberately tiny: the throttle test relies on
+                # the spent burst token NOT refilling between two
+                # back-to-back requests, even on a slow loaded host
+                qos=QosConfig(admission=True, tenant_qps=0.5,
+                              tenant_burst=1.0, hedge_ms=60.0),
+            )
+            with gateway:
+                yield cluster, gateway
+
+    def test_qos_request_served_end_to_end(self, qos_fleet, registry, rng):
+        _, gateway = qos_fleet
+        x = rng.normal(size=(2, 1, 32, 32)).astype(np.float32)
+        with DjinnClient(*gateway.address) as cli:
+            out = cli.infer("dig", x, deadline_ms=5000.0, priority=2)
+            np.testing.assert_allclose(out, registry.get("dig").forward(x),
+                                       rtol=1e-5)
+
+    def test_dead_on_arrival_deadline_is_typed(self, qos_fleet, rng):
+        from repro.core import DjinnDeadlineError
+
+        _, gateway = qos_fleet
+        x = rng.normal(size=(1, 1, 32, 32)).astype(np.float32)
+        with DjinnClient(*gateway.address) as cli:
+            with pytest.raises(DjinnDeadlineError, match="deadline exceeded"):
+                cli.infer("dig", x, deadline_ms=0.0001)
+            # the rejection is accounted, and the connection still works
+            assert cli.infer("dig", x, deadline_ms=5000.0).shape == (1, 10)
+        expired = gateway.metrics.get("gateway_expired_total")
+        assert expired.labels(model="dig").value == 1.0
+
+    def test_tenant_throttle_sheds_with_retry_hint(self, qos_fleet, rng):
+        from repro.core import DjinnOverloadedError
+
+        _, gateway = qos_fleet
+        x = rng.normal(size=(1, 1, 32, 32)).astype(np.float32)
+        with DjinnClient(*gateway.address) as cli:
+            assert cli.infer("dig", x, tenant="greedy").shape == (1, 10)
+            with pytest.raises(DjinnOverloadedError) as excinfo:
+                cli.infer("dig", x, tenant="greedy")  # burst of 1 is spent
+            assert excinfo.value.reason == "tenant_throttle"
+            assert excinfo.value.retry_after_ms > 0.0
+            # other tenants are unaffected
+            assert cli.infer("dig", x, tenant="polite").shape == (1, 10)
+        shed = gateway.metrics.get("gateway_admission_rejected_total")
+        assert shed.labels(model="dig", reason="tenant_throttle").value == 1.0
+
+    def test_injected_admission_reject_is_typed(self, qos_fleet, rng):
+        from repro.core import DjinnOverloadedError, faultsite
+        from repro.faults import FaultInjector, FaultPlan, FaultRule
+
+        _, gateway = qos_fleet
+        x = rng.normal(size=(1, 1, 32, 32)).astype(np.float32)
+        plan = FaultPlan(rules=(FaultRule("sched.admit", "reject",
+                                          scope="dig", nth=(1,)),), seed=0)
+        with DjinnClient(*gateway.address) as cli:
+            faultsite.install(FaultInjector(plan))
+            try:
+                with pytest.raises(DjinnOverloadedError) as excinfo:
+                    cli.infer("dig", x)
+            finally:
+                faultsite.uninstall()
+            assert excinfo.value.reason == "injected"
+            assert cli.infer("dig", x).shape == (1, 10)  # rule was one-shot
+
+    def test_hedge_cancels_slow_primary(self, qos_fleet, rng):
+        """The tail-latency race: the primary arm is stalled by an injected
+        delay, the hedge arm answers from the other backend well before the
+        stall clears, and the loser's roundtrip is cancelled first-wins —
+        without marking the stalled backend down."""
+        from repro.core import faultsite
+        from repro.faults import FaultInjector, FaultPlan, FaultRule
+
+        _, gateway = qos_fleet
+        x = rng.normal(size=(1, 1, 32, 32)).astype(np.float32)
+        plan = FaultPlan(rules=(FaultRule("sched.hedge", "delay",
+                                          scope="dig", nth=(1,),
+                                          delay_s=1.0),), seed=0)
+        with DjinnClient(*gateway.address) as cli:
+            faultsite.install(FaultInjector(plan))
+            try:
+                start = time.monotonic()
+                out = cli.infer("dig", x)
+                elapsed = time.monotonic() - start
+            finally:
+                faultsite.uninstall()
+            assert out.shape == (1, 10)
+            # the hedge (fires at 60 ms) must beat the 1 s primary stall
+            assert elapsed < 0.8, f"hedge did not win: {elapsed:.3f}s"
+            hedges = gateway.metrics.get("gateway_hedges_total")
+            wins = gateway.metrics.get("gateway_hedge_wins_total")
+            assert hedges.labels(model="dig").value == 1.0
+            assert wins.labels(model="dig", winner="hedge").value == 1.0
+            # cancellation is not a backend failure: the fleet stays whole
+            assert len(gateway.pool.healthy()) == 2
+            assert cli.infer("dig", x).shape == (1, 10)
+
+    def test_qos_off_by_default(self, fleet, rng):
+        """Without a QosConfig the gateway has no admission path at all —
+        the pre-QoS behavior, bit for bit."""
+        _, gateway = fleet
+        assert gateway.qos is None
+        x = rng.normal(size=(1, 1, 32, 32)).astype(np.float32)
+        with DjinnClient(*gateway.address) as cli:
+            assert cli.infer("dig", x).shape == (1, 10)
+        assert gateway.metrics.get("gateway_admission_rejected_total") \
+            .labels(model="dig", reason="predicted_late").value == 0.0

@@ -6,8 +6,11 @@ import numpy as np
 import pytest
 
 from repro.core.protocol import (
+    MAX_DEADLINE_MS,
     MAX_NAME_BYTES,
     MAX_NDIM,
+    MAX_TENANT_BYTES,
+    QOS_VERSION,
     TRACE_VERSION,
     VERSION,
     Message,
@@ -159,6 +162,130 @@ class TestTraceContext:
                                            text='{"metrics": {}}'))
         assert out.type == MessageType.METRICS_RESPONSE
         assert out.text == '{"metrics": {}}'
+
+
+class TestQosContext:
+    """The version-3 QoS extension and its v1/v2 interop."""
+
+    def test_qos_fields_roundtrip(self, sock_pair, rng):
+        tensor = rng.normal(size=(2, 3)).astype(np.float32)
+        msg = Message(MessageType.INFER_REQUEST, name="pos", tensor=tensor,
+                      deadline_ms=12.5, priority=3, tenant="alice")
+        out = roundtrip(sock_pair, msg)
+        assert out.deadline_ms == pytest.approx(12.5)
+        assert out.priority == 3
+        assert out.tenant == "alice"
+        assert out.has_qos
+        np.testing.assert_array_equal(out.tensor, tensor)
+
+    def test_qos_with_trace_context(self, sock_pair):
+        msg = Message(MessageType.INFER_REQUEST, name="dig",
+                      tensor=np.zeros((1, 4), np.float32),
+                      trace_id=7, span_id=9, deadline_ms=100.0, priority=-2,
+                      tenant="t")
+        out = roundtrip(sock_pair, msg)
+        assert (out.trace_id, out.span_id) == (7, 9)
+        assert (out.deadline_ms, out.priority, out.tenant) == (100.0, -2, "t")
+
+    def test_qos_less_frame_is_byte_identical_v1(self, sock_pair):
+        """A QoS-capable sender with no QoS fields must emit exactly the
+        old wire bytes — golden-digest compatibility depends on this."""
+        import struct
+        a, b = sock_pair
+        msg = Message(MessageType.INFER_REQUEST, name="dig",
+                      tensor=np.zeros((1, 4), np.float32))
+        send_message(a, msg)
+        frame = b.recv(1 << 16)
+        assert frame[4] == VERSION  # not QOS_VERSION
+        expected = struct.pack("<4sBBHB", b"DJNN", VERSION,
+                               int(MessageType.INFER_REQUEST), 3, 2)
+        expected += struct.pack("<I", 1) + struct.pack("<I", 4)
+        expected += struct.pack("<Q", 16) + b"dig" + bytes(16)
+        assert frame == expected
+
+    def test_traced_qos_less_frame_stays_v2(self, sock_pair):
+        a, b = sock_pair
+        send_message(a, Message(MessageType.LIST_REQUEST, trace_id=1, span_id=2))
+        frame = b.recv(1 << 16)
+        assert frame[4] == TRACE_VERSION
+
+    def test_hand_packed_v3_frame_parses(self, sock_pair):
+        """A v3 frame built byte by byte from the documented layout."""
+        import struct
+        a, b = sock_pair
+        tenant = b"acme"
+        frame = struct.pack("<4sBBHB", b"DJNN", QOS_VERSION,
+                            int(MessageType.INFER_REQUEST), 3, 2)
+        frame += struct.pack("<QQ", 0, 0)               # trace block (zeros)
+        frame += struct.pack("<IbB", 2500, -1, len(tenant))  # QoS block
+        frame += struct.pack("<I", 1) + struct.pack("<I", 4)
+        frame += struct.pack("<Q", 16) + b"dig" + tenant + bytes(16)
+        a.sendall(frame)
+        out = recv_message(b)
+        assert out.type == MessageType.INFER_REQUEST
+        assert out.name == "dig"
+        assert out.deadline_ms == pytest.approx(2.5)
+        assert out.priority == -1
+        assert out.tenant == "acme"
+        assert out.tensor.shape == (1, 4)
+
+    def test_tiny_deadline_survives_the_wire(self, sock_pair):
+        """A nonzero deadline must never round down to "no deadline": the
+        wire floor is 1 microsecond."""
+        out = roundtrip(sock_pair, Message(MessageType.INFER_REQUEST,
+                                           name="m", deadline_ms=0.0001))
+        assert out.deadline_ms == pytest.approx(0.001)  # 1 us
+        assert out.has_qos
+
+    def test_deadline_out_of_range_rejected(self, sock_pair):
+        a, _ = sock_pair
+        with pytest.raises(ProtocolError, match="deadline"):
+            send_message(a, Message(MessageType.INFER_REQUEST, name="m",
+                                    deadline_ms=MAX_DEADLINE_MS * 2))
+        with pytest.raises(ProtocolError, match="deadline"):
+            send_message(a, Message(MessageType.INFER_REQUEST, name="m",
+                                    deadline_ms=-1.0))
+
+    def test_priority_out_of_i8_range_rejected(self, sock_pair):
+        a, _ = sock_pair
+        for bad in (128, -129):
+            with pytest.raises(ProtocolError, match="priority"):
+                send_message(a, Message(MessageType.INFER_REQUEST, name="m",
+                                        priority=bad))
+
+    def test_tenant_too_long_rejected(self, sock_pair):
+        a, _ = sock_pair
+        with pytest.raises(ProtocolError, match="tenant"):
+            send_message(a, Message(MessageType.INFER_REQUEST, name="m",
+                                    tenant="x" * (MAX_TENANT_BYTES + 1)))
+
+    def test_max_tenant_roundtrips(self, sock_pair):
+        tenant = "t" * MAX_TENANT_BYTES
+        out = roundtrip(sock_pair, Message(MessageType.INFER_REQUEST,
+                                           name="m", tenant=tenant))
+        assert out.tenant == tenant
+
+    def test_qos_rejection_types_roundtrip(self, sock_pair):
+        out = roundtrip(sock_pair, Message(MessageType.DEADLINE_EXCEEDED,
+                                           text="too late"))
+        assert out.type == MessageType.DEADLINE_EXCEEDED
+        assert out.text == "too late"
+        body = '{"error": "shed", "reason": "predicted_late", "retry_after_ms": 5.0}'
+        out = roundtrip(sock_pair, Message(MessageType.OVERLOADED, text=body))
+        assert out.type == MessageType.OVERLOADED
+        assert out.text == body
+
+    def test_old_receiver_rejects_v3_loudly(self, sock_pair):
+        """There is no silent desync path: a peer that has never heard of
+        version 3 fails the version check on the first header."""
+        import struct
+        a, b = sock_pair
+        frame = struct.pack("<4sBBHB", b"DJNN", 99,
+                            int(MessageType.INFER_REQUEST), 0, 0)
+        frame += struct.pack("<Q", 0)
+        a.sendall(frame)
+        with pytest.raises(ProtocolError, match="version"):
+            recv_message(b)
 
 
 class TestErrors:

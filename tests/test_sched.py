@@ -1,0 +1,460 @@
+"""`repro.sched` — SLO-aware scheduling: latency curves, EDF queueing,
+admission control, policy decisions, and the batching executor wired to all
+of it end to end (typed expiry, priority ordering, and the fixed-window
+anchor regression).
+"""
+
+import math
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import BatchingExecutor, BatchPolicy, ModelRegistry
+from repro.models import build_net
+from repro.obs.metrics import MetricsRegistry
+from repro.sched import (
+    AdaptiveSched,
+    AdmissionController,
+    DeadlineExceededError,
+    EdfQueue,
+    FixedSched,
+    LatencyModel,
+    QosConfig,
+    SchedPolicy,
+    TokenBucket,
+    make_policy,
+)
+
+
+class Item:
+    """Minimal EdfQueue item: rows + deadline + priority."""
+
+    def __init__(self, rows=1, deadline_s=math.inf, priority=0, tag=""):
+        self.inputs = np.zeros((rows, 1), dtype=np.float32)
+        self.deadline_s = deadline_s
+        self.priority = priority
+        self.tag = tag
+
+
+class FakeClock:
+    """A monotonic clock the test advances by hand."""
+
+    def __init__(self, start=100.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+# ------------------------------------------------------------ latency model
+class TestLatencyModel:
+    def test_pow2_bucketing(self):
+        lm = LatencyModel()
+        lm.observe("m", 3, 0.010)   # bucket 4
+        lm.observe("m", 4, 0.030)   # same bucket: EWMA pulls toward 0.030
+        assert lm.known_buckets("m") == {4: pytest.approx(0.014)}
+
+    def test_ewma_converges(self):
+        lm = LatencyModel(alpha=0.5)
+        for _ in range(20):
+            lm.observe("m", 1, 0.008)
+        assert lm.estimate_s("m", 1) == pytest.approx(0.008, rel=1e-3)
+
+    def test_unknown_model_is_zero(self):
+        assert LatencyModel().estimate_s("nope", 4) == 0.0
+
+    def test_interpolates_upward_from_nearest_bucket(self):
+        lm = LatencyModel()
+        lm.observe("m", 2, 0.010)
+        # bucket 8 unknown: scale the bucket-2 estimate linearly in rows
+        assert lm.estimate_s("m", 8) == pytest.approx(0.040)
+        # smaller-than-known batches are not discounted (fixed overhead
+        # dominates): the nearest estimate is used as-is
+        assert lm.estimate_s("m", 1) == pytest.approx(0.010)
+
+    def test_seed_yields_to_observations(self):
+        lm = LatencyModel(alpha=1.0)
+        lm.seed("m", 1, 0.5)
+        lm.observe("m", 1, 0.002)
+        assert lm.estimate_s("m", 1) == pytest.approx(0.002)
+        lm.seed("m", 1, 0.5)  # no-op: bucket already has data
+        assert lm.estimate_s("m", 1) == pytest.approx(0.002)
+
+    def test_seed_from_metrics_reads_latency_family(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram(
+            "djinn_request_latency_seconds", "served latency",
+            labelnames=("model",), buckets=(0.001, 0.01, 0.1, 1.0))
+        for _ in range(10):
+            hist.labels(model="dig").observe(0.02)
+        lm = LatencyModel()
+        assert lm.seed_from_metrics(registry) == 1
+        assert lm.estimate_s("dig", 1) > 0.0
+
+    def test_seed_from_metrics_without_family_is_noop(self):
+        assert LatencyModel().seed_from_metrics(MetricsRegistry()) == 0
+
+    def test_alpha_validated(self):
+        with pytest.raises(ValueError, match="alpha"):
+            LatencyModel(alpha=0.0)
+
+
+# ---------------------------------------------------------------- EDF queue
+class TestEdfQueue:
+    def _drain(self, queue, clock, target=16):
+        batch, expired = queue.collect(
+            FixedSched(), clock=clock, est_s=lambda rows: 0.0,
+            max_batch=target, timeout_s=0.0)
+        return batch, expired
+
+    def test_edf_order_within_priority(self):
+        clock = FakeClock()
+        q = EdfQueue()
+        q.put(Item(deadline_s=clock.now + 3.0, tag="late"))
+        q.put(Item(deadline_s=clock.now + 1.0, tag="tight"))
+        q.put(Item(deadline_s=clock.now + 2.0, tag="mid"))
+        batch, expired = self._drain(q, clock)
+        assert [i.tag for i in batch] == ["tight", "mid", "late"]
+        assert expired == []
+
+    def test_priority_beats_deadline(self):
+        clock = FakeClock()
+        q = EdfQueue()
+        q.put(Item(deadline_s=clock.now + 0.1, priority=0, tag="urgent-low"))
+        q.put(Item(deadline_s=clock.now + 9.0, priority=5, tag="lazy-high"))
+        batch, _ = self._drain(q, clock)
+        assert [i.tag for i in batch] == ["lazy-high", "urgent-low"]
+
+    def test_expired_split_from_batch(self):
+        clock = FakeClock()
+        q = EdfQueue()
+        q.put(Item(deadline_s=clock.now - 0.5, tag="dead"))
+        q.put(Item(deadline_s=clock.now + 5.0, tag="alive"))
+        batch, expired = self._drain(q, clock)
+        assert [i.tag for i in batch] == ["alive"]
+        assert [i.tag for i in expired] == ["dead"]
+
+    def test_provably_unmeetable_deadline_expires_early(self):
+        clock = FakeClock()
+        q = EdfQueue()
+        # deadline is in the future, but even a batch of one takes longer
+        q.put(Item(deadline_s=clock.now + 0.010, tag="doomed"))
+        batch, expired = q.collect(
+            FixedSched(), clock=clock, est_s=lambda rows: 0.050,
+            max_batch=4, timeout_s=0.0)
+        assert batch == []
+        assert [i.tag for i in expired] == ["doomed"]
+
+    def test_close_unblocks_collect(self):
+        q = EdfQueue()
+        out = []
+
+        def worker():
+            out.append(q.collect(FixedSched(), clock=time.monotonic,
+                                 est_s=lambda rows: 0.0, max_batch=4,
+                                 timeout_s=1.0))
+
+        t = threading.Thread(target=worker, daemon=True)
+        t.start()
+        q.put(None)
+        t.join(timeout=5.0)
+        assert not t.is_alive()
+        assert out == [([], [])]
+        assert q.finished
+
+    def test_depth_counts_rows_not_items(self):
+        q = EdfQueue()
+        q.put(Item(rows=3))
+        q.put(Item(rows=2))
+        assert q.depth_rows() == 5
+
+
+# ------------------------------------------------------------------ policies
+class TestPolicies:
+    def _plan(self, policy, **kw):
+        defaults = dict(now=100.0, depth_rows=1, min_deadline_s=math.inf,
+                        max_batch=8, timeout_s=0.010,
+                        est_s=lambda rows: 0.0, active_models=1)
+        defaults.update(kw)
+        return policy.plan(**defaults)
+
+    def test_fixed_returns_configured_window(self):
+        d = self._plan(FixedSched())
+        assert (d.rows, d.wait_s) == (8, 0.010)
+
+    def test_adaptive_full_batch_dispatches_now(self):
+        d = self._plan(AdaptiveSched(), depth_rows=8)
+        assert (d.rows, d.wait_s) == (8, 0.0)
+
+    def test_adaptive_co_schedules_shallow_queues(self):
+        d = self._plan(AdaptiveSched(co_sched_depth=2), depth_rows=2,
+                       active_models=3)
+        assert (d.rows, d.wait_s) == (2, 0.0)
+
+    def test_adaptive_cold_curve_degrades_to_fixed(self):
+        d = self._plan(AdaptiveSched(), min_deadline_s=100.0 + 0.005)
+        assert d.rows == 8
+        assert 0.0 < d.wait_s <= 0.010
+
+    def test_adaptive_shrinks_batch_to_fit_tight_deadline(self):
+        # est(b) = 1 ms per row: a batch of 8 takes 8 ms but the tightest
+        # deadline is 3 ms out — halve to 2 rows (2 ms fits, 4 ms does not)
+        d = self._plan(AdaptiveSched(), min_deadline_s=100.0 + 0.003,
+                       est_s=lambda rows: rows * 0.001)
+        assert d.rows == 2
+        assert d.wait_s <= 0.003
+
+    def test_adaptive_wait_is_headroom_fraction_of_slack(self):
+        d = self._plan(AdaptiveSched(headroom_frac=0.5),
+                       min_deadline_s=100.0 + 0.008,
+                       est_s=lambda rows: rows * 0.0005)
+        # slack after est(8)=4ms is 4ms; wait half of it
+        assert d.rows == 8
+        assert d.wait_s == pytest.approx(0.002)
+
+    def test_adaptive_validation(self):
+        with pytest.raises(ValueError, match="co_sched_depth"):
+            AdaptiveSched(co_sched_depth=-1)
+        with pytest.raises(ValueError, match="headroom_frac"):
+            AdaptiveSched(headroom_frac=1.5)
+
+    def test_make_policy_resolves_names_and_instances(self):
+        assert isinstance(make_policy("fixed"), FixedSched)
+        assert isinstance(make_policy("adaptive"), AdaptiveSched)
+        custom = AdaptiveSched(co_sched_depth=0)
+        assert make_policy(custom) is custom
+        with pytest.raises(ValueError, match="unknown scheduling policy"):
+            make_policy("lifo")
+
+
+# -------------------------------------------------------- admission control
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=2.0, clock=clock)
+        assert bucket.try_take() and bucket.try_take()
+        assert not bucket.try_take()
+        clock.advance(0.101)  # one token accrues (plus float headroom)
+        assert bucket.try_take()
+        assert not bucket.try_take()
+
+    def test_retry_after_tracks_deficit(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=1.0, clock=clock)
+        assert bucket.try_take()
+        assert bucket.retry_after_s() == pytest.approx(0.1)
+        clock.advance(0.05)
+        assert bucket.retry_after_s() == pytest.approx(0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1.0)
+
+
+class TestAdmissionController:
+    def _controller(self, clock, **cfg):
+        config = QosConfig(**cfg)
+        latency = LatencyModel()
+        latency.seed("m", 1, 0.010)
+        return AdmissionController(config, latency, clock=clock), latency
+
+    def test_admits_when_idle(self):
+        clock = FakeClock()
+        ctrl, _ = self._controller(clock)
+        assert ctrl.admit("m", clock.now + 1.0, "", outstanding=0) is None
+
+    def test_sheds_predicted_late(self):
+        clock = FakeClock()
+        ctrl, _ = self._controller(clock)
+        # 10 in flight x 10 ms each = 100 ms predicted wait; 20 ms budget
+        rejection = ctrl.admit("m", clock.now + 0.020, "", outstanding=10)
+        assert rejection is not None
+        assert rejection.reason == "predicted_late"
+        assert rejection.retry_after_ms == pytest.approx(100.0)
+
+    def test_shed_margin_scales_the_bound(self):
+        clock = FakeClock()
+        strict, _ = self._controller(clock, shed_margin=3.0)
+        lax, _ = self._controller(clock, shed_margin=1.0)
+        # 2 x 10 ms = 20 ms wait; 35 ms budget admits at margin 1,
+        # sheds at margin 3 (60 ms scaled wait)
+        assert lax.admit("m", clock.now + 0.035, "", outstanding=2) is None
+        assert strict.admit("m", clock.now + 0.035, "", outstanding=2) is not None
+
+    def test_no_deadline_never_predicted_late(self):
+        clock = FakeClock()
+        ctrl, _ = self._controller(clock)
+        assert ctrl.admit("m", None, "", outstanding=1000) is None
+
+    def test_tenant_throttle_is_per_tenant(self):
+        clock = FakeClock()
+        ctrl, _ = self._controller(clock, tenant_qps=10.0, tenant_burst=1.0)
+        assert ctrl.admit("m", None, "alice", outstanding=0) is None
+        rejection = ctrl.admit("m", None, "alice", outstanding=0)
+        assert rejection is not None and rejection.reason == "tenant_throttle"
+        assert rejection.retry_after_ms > 0.0
+        # bob has his own bucket
+        assert ctrl.admit("m", None, "bob", outstanding=0) is None
+
+    def test_anonymous_requests_bypass_throttle(self):
+        clock = FakeClock()
+        ctrl, _ = self._controller(clock, tenant_qps=10.0, tenant_burst=1.0)
+        for _ in range(5):
+            assert ctrl.admit("m", None, "", outstanding=0) is None
+
+    def test_qos_config_validation(self):
+        with pytest.raises(ValueError, match="hedge_ms"):
+            QosConfig(hedge_ms=-2.0)
+        QosConfig(hedge_ms=-1.0)  # sentinel: derive from the curve
+        with pytest.raises(ValueError, match="tenant_qps"):
+            QosConfig(tenant_qps=-1.0)
+        with pytest.raises(ValueError, match="shed_margin"):
+            QosConfig(shed_margin=0.0)
+
+
+# ----------------------------------------------------- executor integration
+@pytest.fixture(scope="module")
+def sched_registry():
+    reg = ModelRegistry()
+    reg.register("dig", build_net("dig", materialize=True))
+    return reg
+
+
+def dig_batch(n=1):
+    return np.full((n, 1, 32, 32), 0.25, dtype=np.float32)
+
+
+class TestExecutorScheduling:
+    def test_expired_request_rejected_before_forward(self, sched_registry):
+        metrics = MetricsRegistry()
+        executor = BatchingExecutor(
+            sched_registry, BatchPolicy(max_batch=4, timeout_ms=5.0),
+            sched="adaptive", metrics=metrics)
+        try:
+            past = time.monotonic() - 1.0
+            with pytest.raises(DeadlineExceededError, match="expired in queue"):
+                executor.submit("dig", dig_batch(), qos=(past, 0, ""))
+            fam = metrics.get("djinn_sched_expired_total")
+            assert fam is not None
+            assert sum(c.value for _, c in fam.children()) == 1
+        finally:
+            executor.close()
+
+    def test_scheduled_path_serves_and_learns_latency(self, sched_registry):
+        executor = BatchingExecutor(
+            sched_registry, BatchPolicy(max_batch=4, timeout_ms=1.0),
+            sched="adaptive")
+        try:
+            net = sched_registry.get("dig")
+            x = dig_batch(2)
+            out = executor.submit("dig", x,
+                                  qos=(time.monotonic() + 30.0, 0, "t"))
+            np.testing.assert_allclose(out, net.forward(x), rtol=1e-5)
+            assert executor.latency.estimate_s("dig", 2) > 0.0
+        finally:
+            executor.close()
+
+    def test_qos_less_submits_work_under_sched(self, sched_registry):
+        executor = BatchingExecutor(
+            sched_registry, BatchPolicy(max_batch=4, timeout_ms=1.0),
+            sched="fixed")
+        try:
+            out = executor.submit("dig", dig_batch())
+            assert out.shape == (1, 10)
+        finally:
+            executor.close()
+
+    def test_high_priority_overtakes_low_in_queue(self, sched_registry):
+        """While the worker is stalled on a first batch, a later high-
+        priority submit must be served before earlier low-priority ones."""
+        executor = BatchingExecutor(
+            sched_registry, BatchPolicy(max_batch=1, timeout_ms=1.0),
+            sched="adaptive", service_floor_s=0.15)
+        order = []
+        order_lock = threading.Lock()
+        started = threading.Event()
+
+        def submit(tag, priority, delay):
+            if tag == "first":
+                started.set()
+            else:
+                started.wait()
+                time.sleep(delay)
+            executor.submit("dig", dig_batch(),
+                            qos=(time.monotonic() + 30.0, priority, ""))
+            with order_lock:
+                order.append(tag)
+
+        threads = [
+            threading.Thread(target=submit, args=("first", 0, 0.0)),
+            threading.Thread(target=submit, args=("low", 0, 0.02)),
+            threading.Thread(target=submit, args=("high", 9, 0.05)),
+        ]
+        try:
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=30.0)
+            # "first" occupies the worker; "low" and "high" queue behind it
+            # and must come back priority-first despite arrival order
+            assert order[0] == "first"
+            assert order[1:] == ["high", "low"]
+        finally:
+            executor.close()
+
+    def test_fixed_window_anchored_at_enqueue(self, sched_registry):
+        """Regression: the legacy collector's coalescing window starts at
+        the first request's *enqueue* time, not at worker wake-up.  A
+        request the worker picks up late (stalled behind a long batch) has
+        already served its window and must dispatch immediately — the
+        drifty collector re-anchored at wake-up and made every queued
+        request pay the wait twice."""
+        from queue import Queue
+
+        from repro.core.batching import _Pending
+
+        executor = BatchingExecutor(
+            sched_registry, BatchPolicy(max_batch=4, timeout_ms=100.0))
+        try:
+            queue = Queue()
+            # enqueued 50 ms ago: the 100 ms window is half spent already
+            pending = _Pending(dig_batch(), None, time.monotonic() - 0.05)
+            queue.put(pending)
+            start = time.monotonic()
+            batch = executor._collect(queue)
+            elapsed = time.monotonic() - start
+            assert batch == [pending]
+            # remaining window is ~50 ms; the drifty collector would have
+            # waited the full 100 ms from wake-up
+            assert elapsed < 0.085, (
+                f"collector waited {elapsed * 1e3:.1f} ms — window "
+                f"re-anchored at worker wakeup instead of enqueue")
+        finally:
+            executor.close()
+
+    def test_stale_request_dispatches_without_waiting(self, sched_registry):
+        """The drift fix's limit case: a request older than the whole
+        window dispatches with no coalescing wait at all."""
+        from queue import Queue
+
+        from repro.core.batching import _Pending
+
+        executor = BatchingExecutor(
+            sched_registry, BatchPolicy(max_batch=4, timeout_ms=200.0))
+        try:
+            queue = Queue()
+            pending = _Pending(dig_batch(), None, time.monotonic() - 1.0)
+            queue.put(pending)
+            start = time.monotonic()
+            batch = executor._collect(queue)
+            elapsed = time.monotonic() - start
+            assert batch == [pending]
+            assert elapsed < 0.05, (
+                f"stale request still waited {elapsed * 1e3:.1f} ms")
+        finally:
+            executor.close()
