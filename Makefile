@@ -3,7 +3,7 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast soak chaos trace-demo bench-engine bench-procpool bench-gateway bench-slo bench-all
+.PHONY: test test-fast soak chaos trace-demo bench-engine bench-procpool bench-gateway bench-slo bench-cost bench-all
 
 test:
 	$(PY) -m pytest -x -q
@@ -61,6 +61,15 @@ bench-procpool:
 # rejection typed — enforces only on >= 4-core hosts.
 bench-slo:
 	$(PY) benchmarks/bench_slo.py --check
+
+# Per-request cost-attribution sweep (model x batch x execution mode) into
+# benchmarks/results/BENCH_cost.json.  The gate requires stage shares
+# (including the honest residual) to sum to 100% in every configuration,
+# attribution coverage >= 95% (residual <= 5%), the metrics exposition to
+# survive a render -> parse round trip, and at least one tail exemplar to
+# resolve back to a full cost ledger.
+bench-cost:
+	$(PY) benchmarks/bench_cost_breakdown.py --check
 
 # Reproduce the Fig 11-shaped throughput-vs-replicas curve on the real
 # gateway; writes benchmarks/results/gateway_scaling.txt.

@@ -1,0 +1,218 @@
+"""Per-request cost attribution: where a DjiNN request's time actually goes.
+
+The paper's Fig-4 shows a static per-layer breakdown measured offline; the
+serving stack's span tracer lets us reproduce that breakdown *per request,
+in production form*: every traced request is folded into a cost ledger over
+a fixed stage taxonomy (client.serialize, queueing, batch assembly, the
+forward pass, respond) with an explicit *unattributed* residual — time the
+instrumentation cannot explain is reported, never silently absorbed.
+
+This bench sweeps serving configurations (model x max-batch x execution
+mode) against a live server, aggregates the ledgers of every traced
+request (wall-time weighted), and records the stage shares.  It also
+exercises the tail-exemplar path end to end: the latency histogram's
+slowest-request exemplars are resolved back through the tracer into a full
+cost ledger — the same lookup ``djinn slow`` performs.
+
+``--check`` gates (CI):
+
+* stage shares (incl. the residual) sum to 100% in every configuration;
+* the unattributed residual stays under ``--residual-limit`` (default 5%)
+  in every gated configuration — attribution must explain the request;
+* the metrics exposition survives a render -> parse round trip;
+* at least one tail exemplar resolves to a full cost ledger.
+
+Usage::
+
+    python benchmarks/bench_cost_breakdown.py            # sweep + JSON
+    python benchmarks/bench_cost_breakdown.py --check    # CI gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core import BatchPolicy, DjinnClient, DjinnServer, ModelRegistry  # noqa: E402
+from repro.models import build_spec  # noqa: E402
+from repro.obs import (aggregate_shares, build_ledger, build_ledgers,  # noqa: E402
+                       get_tracer, parse_exposition, render_exposition)
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+MODELS = ("dig", "imc")
+BATCHES = (1, 8, 32)
+MODES = ("threaded", "proc:2")
+
+
+def _tail_exemplars(dump: dict) -> list:
+    """``(latency_s, trace_id_hex)`` from the request-latency histogram."""
+    entry = dump.get("metrics", {}).get("djinn_request_latency_seconds", {})
+    found = []
+    for sample in entry.get("samples", ()):
+        for value, label in sample.get("exemplars", ()):
+            found.append((float(value), str(label)))
+    found.sort(key=lambda e: (-e[0], e[1]))
+    return found
+
+
+def run_config(model: str, batch: int, mode: str, requests: int,
+               warmup: int) -> dict:
+    """Serve ``requests`` traced queries and fold them into stage shares."""
+    tracer = get_tracer()
+    registry = ModelRegistry()
+    registry.register_spec(model, build_spec(model), seed=0)
+    server = DjinnServer(
+        registry, port=0,
+        batching=BatchPolicy(max_batch=batch, timeout_ms=2.0),
+        workers=(None if mode == "threaded" else mode),
+        profile_layers=True)
+    server.start()
+    tracer.clear()
+    tracer.enable()
+    try:
+        host, port = server.address
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(
+            (batch,) + tuple(registry.get(model).input_shape)).astype(np.float32)
+        with DjinnClient(host, port) as client:
+            for _ in range(warmup):
+                client.infer(model, x)
+            # let the server finish the last warmup request's bookkeeping
+            # before clearing, or its tail spans leak into the measurement
+            time.sleep(0.05)
+            tracer.clear()  # ledgers cover only the measured requests
+            for _ in range(requests):
+                client.infer(model, x)
+            dump = client.metrics()
+    finally:
+        tracer.disable()
+        server.stop()
+
+    # keep only complete traces (a client.infer root): a request straddling
+    # the post-warmup clear leaves a rootless span fragment behind
+    by_trace = {}
+    for span in tracer.spans():
+        by_trace.setdefault(span.trace_id, []).append(span)
+    complete = [span for spans in by_trace.values()
+                if any(s.name == "client.infer" for s in spans)
+                for span in spans]
+    ledgers = build_ledgers(complete)
+    shares = aggregate_shares(ledgers)
+    wall_s = sum(ledger.wall_s for ledger in ledgers)
+
+    # the djinn-slow path: histogram exemplar -> tracer -> cost ledger
+    exemplar_entry = None
+    for latency_s, trace_hex in _tail_exemplars(dump):
+        spans = tracer.spans(int(trace_hex, 16))
+        if spans:
+            ledger = build_ledger(spans)
+            exemplar_entry = {"latency_s": latency_s, "trace_id": trace_hex,
+                              "ledger": ledger.to_dict()}
+            break
+
+    tracer.clear()
+    return {
+        "model": model,
+        "batch": batch,
+        "mode": mode,
+        "requests": len(ledgers),
+        "wall_s": wall_s,
+        "shares": shares,
+        "residual_share": shares.get("unattributed", 0.0),
+        "tail_exemplar": exemplar_entry,
+        "exposition": render_exposition(dump),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--requests", type=int, default=12,
+                        help="measured traced requests per configuration")
+    parser.add_argument("--warmup", type=int, default=3,
+                        help="untimed requests before measuring (JIT, caches)")
+    parser.add_argument("--residual-limit", type=float, default=0.05,
+                        help="max unattributed share tolerated by --check")
+    parser.add_argument("--out", default=os.path.join(RESULTS_DIR,
+                                                      "BENCH_cost.json"))
+    parser.add_argument("--check", action="store_true",
+                        help="CI gate: shares sum to 100%%, residual under "
+                             "the limit, exposition round-trips, a tail "
+                             "exemplar resolves to a ledger")
+    args = parser.parse_args(argv)
+
+    configs = []
+    for model in MODELS:
+        for mode in MODES:
+            for batch in BATCHES:
+                entry = run_config(model, batch, mode,
+                                   args.requests, args.warmup)
+                configs.append(entry)
+                ordered = sorted(
+                    ((stage, share) for stage, share in entry["shares"].items()
+                     if share > 0.005), key=lambda e: -e[1])
+                breakdown = "  ".join(f"{stage} {share:.1%}"
+                                      for stage, share in ordered)
+                print(f"{model:4s} batch={batch:<3d} {mode:9s} "
+                      f"residual {entry['residual_share']:5.1%}  {breakdown}")
+
+    results = {
+        "cpu_count": os.cpu_count() or 1,
+        "requests_per_config": args.requests,
+        "residual_limit": args.residual_limit,
+        "configs": [{k: v for k, v in entry.items() if k != "exposition"}
+                    for entry in configs],
+    }
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(args.out, "w") as handle:
+        json.dump(results, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+
+    if args.check:
+        failures = []
+        for entry in configs:
+            tag = f"{entry['model']}/batch={entry['batch']}/{entry['mode']}"
+            total = sum(entry["shares"].values())
+            if entry["shares"] and abs(total - 1.0) > 1e-6:
+                failures.append(f"{tag}: stage shares sum to {total:.4f}, "
+                                f"not 1.0")
+            if not entry["requests"]:
+                failures.append(f"{tag}: no ledgers built")
+            if entry["residual_share"] > args.residual_limit:
+                failures.append(
+                    f"{tag}: unattributed residual "
+                    f"{entry['residual_share']:.1%} > "
+                    f"{args.residual_limit:.0%}")
+            try:
+                samples = parse_exposition(entry["exposition"])
+            except ValueError as exc:
+                failures.append(f"{tag}: exposition does not parse: {exc}")
+            else:
+                for metric in ("djinn_requests_total",
+                               "djinn_stage_seconds_total",
+                               "djinn_request_latency_seconds_bucket"):
+                    if metric not in samples:
+                        failures.append(f"{tag}: exposition lacks {metric}")
+        if not any(entry["tail_exemplar"] for entry in configs):
+            failures.append("no tail exemplar resolved to a cost ledger")
+        if failures:
+            for failure in failures:
+                print(f"CHECK FAILED: {failure}", file=sys.stderr)
+            return 1
+        worst = max(entry["residual_share"] for entry in configs)
+        print(f"cost check passed: {len(configs)} configs, worst residual "
+              f"{worst:.1%} <= {args.residual_limit:.0%}, exposition "
+              f"round-trips, tail exemplar ledger present")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

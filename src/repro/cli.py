@@ -19,11 +19,22 @@ Commands
 ``djinn metrics --host H --port P [--json]``
     Fetch a live server's (or gateway's fleet-merged) metrics registry and
     print it as Prometheus-style text exposition.
-``djinn trace [--backends N] [--requests K] [--out trace.json]``
+``djinn trace [--backends N] [--requests K] [--out trace.json] [--json]``
     Run a small in-process fleet behind a gateway with tracing and
     per-layer profiling on, send traced queries, print the span tree, and
     dump a Chrome trace (chrome://tracing / Perfetto) plus the metrics
-    exposition — the paper's Fig-4 breakdown, live.
+    exposition — the paper's Fig-4 breakdown, live.  ``--json`` prints
+    the last trace as structured span records instead of the tree.
+``djinn slow [--backends N] [--requests K] [--top K] [--json]``
+    Run a traced in-process fleet, then chase the tail: the latency
+    histograms carry trace-id exemplars for their slowest requests, and
+    ``slow`` resolves each one back to its full span tree and per-stage
+    cost ledger (where the p99 actually went).
+``djinn top --host H --port P [--interval S] [--iterations N]``
+    Live terminal view of a running server or gateway: per-model qps and
+    p50/p95/p99, stage-breakdown bars from the always-on stage-seconds
+    counters, SLO burn rates, and worker health — fleet-wide when pointed
+    at a gateway (its metrics merge every backend's shm dump).
 ``djinn chaos [--scenario NAME] [--seed N] [--requests K] [--json] [--out D]``
     Run seeded fault-injection scenarios against an in-process gateway +
     fleet and check the end-to-end invariants (no request lost or answered
@@ -56,7 +67,7 @@ def _build_registry(names: List[str]):
     for seed, name in enumerate(names):
         if name not in SERVABLE:
             raise SystemExit(f"unknown model {name!r}; choose from {', '.join(SERVABLE)}")
-        print(f"loading {name} (seeded synthetic weights)...")
+        print(f"loading {name} (seeded synthetic weights)...", file=sys.stderr)
         registry.register_spec(name, build_spec(name), seed=seed)
     return registry
 
@@ -217,6 +228,7 @@ REQUIRED_SPANS = (
 
 
 def cmd_trace(args) -> int:
+    import json
     import os
 
     from .core import BatchPolicy, DjinnClient
@@ -225,6 +237,7 @@ def cmd_trace(args) -> int:
 
     names = [m for m in args.models.split(",") if m]
     registry = _build_registry(names)
+    out = sys.stderr if args.json else sys.stdout
     tracer = get_tracer()
     tracer.clear()
     tracer.enable()
@@ -241,7 +254,7 @@ def cmd_trace(args) -> int:
             try:
                 host, port = gateway.address
                 print(f"fleet of {len(cluster)} backends behind {host}:{port}; "
-                      f"sending {args.requests} traced request(s)...")
+                      f"sending {args.requests} traced request(s)...", file=out)
                 with DjinnClient(host, port) as client:
                     for i in range(args.requests):
                         model = names[i % len(names)]
@@ -259,19 +272,26 @@ def cmd_trace(args) -> int:
         return 1
     spans = tracer.spans(trace_ids[-1])
     cov = coverage(spans)
-    print(f"\n--- last trace ({len(spans)} spans, "
-          f"coverage {cov:.1%} of client-observed wall time) ---")
-    print(format_trace(spans))
+    if args.json:
+        print(json.dumps({
+            "trace_id": f"{trace_ids[-1]:016x}",
+            "coverage": cov,
+            "spans": [span.to_dict() for span in spans],
+        }, indent=2, sort_keys=True))
+    else:
+        print(f"\n--- last trace ({len(spans)} spans, "
+              f"coverage {cov:.1%} of client-observed wall time) ---")
+        print(format_trace(spans))
 
     if args.out:
         os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
         tracer.dump_chrome(args.out)
-        print(f"\nChrome trace ({len(trace_ids)} traces) -> {args.out}")
+        print(f"\nChrome trace ({len(trace_ids)} traces) -> {args.out}", file=out)
     if args.metrics_out:
         os.makedirs(os.path.dirname(args.metrics_out) or ".", exist_ok=True)
         with open(args.metrics_out, "w", encoding="utf-8") as fh:
             fh.write(metrics_text)
-        print(f"metrics exposition -> {args.metrics_out}")
+        print(f"metrics exposition -> {args.metrics_out}", file=out)
 
     if args.check:
         failures = []
@@ -296,9 +316,234 @@ def cmd_trace(args) -> int:
             print("\nCHECK FAILED:\n  " + "\n  ".join(failures), file=sys.stderr)
             return 1
         print("\ncheck ok: all required spans present, coverage >= 95%, "
-              "exposition parses")
+              "exposition parses", file=out)
     tracer.clear()
     return 0
+
+
+def _latency_exemplars(dump: dict) -> List:
+    """``(latency_s, trace_id_hex)`` tail exemplars from a metrics dump,
+    slowest first.  Prefers the gateway's client-observed histogram (it
+    includes queueing and routing) over the backend one."""
+    metrics = dump.get("metrics", {})
+    for name in ("gateway_request_latency_seconds", "djinn_request_latency_seconds"):
+        entry = metrics.get(name)
+        if entry is None:
+            continue
+        found = []
+        for sample in entry.get("samples", ()):
+            for value, label in sample.get("exemplars", ()):
+                found.append((float(value), str(label)))
+        if found:
+            found.sort(key=lambda e: (-e[0], e[1]))
+            return found
+    return []
+
+
+def cmd_slow(args) -> int:
+    import json
+
+    from .core import BatchPolicy, DjinnClient
+    from .gateway import ClusterLauncher, GatewayServer
+    from .obs import build_ledger, format_ledger, format_trace, get_tracer
+
+    names = [m for m in args.models.split(",") if m]
+    registry = _build_registry(names)
+    out = sys.stderr if args.json else sys.stdout
+    tracer = get_tracer()
+    tracer.clear()
+    tracer.enable()
+    rng = np.random.default_rng(args.seed)
+    cluster = ClusterLauncher(
+        registry, backends=args.backends,
+        batching=BatchPolicy(max_batch=args.batch, timeout_ms=args.timeout_ms),
+        profile_layers=True,
+    )
+    try:
+        with cluster:
+            gateway = GatewayServer(cluster.addresses)
+            gateway.start()
+            try:
+                host, port = gateway.address
+                print(f"fleet of {len(cluster)} backends behind {host}:{port}; "
+                      f"sending {args.requests} traced request(s)...", file=out)
+                with DjinnClient(host, port) as client:
+                    for i in range(args.requests):
+                        model = names[i % len(names)]
+                        shape = (1,) + tuple(registry.get(model).input_shape)
+                        client.infer(model, rng.normal(size=shape).astype(np.float32))
+                    dump = client.metrics()
+            finally:
+                gateway.stop()
+    finally:
+        tracer.disable()
+
+    exemplars = _latency_exemplars(dump)
+    if not exemplars:
+        print("no tail exemplars captured", file=sys.stderr)
+        return 1
+    reports = []
+    for value, trace_hex in exemplars[:args.top]:
+        spans = tracer.spans(int(trace_hex, 16))
+        if spans:
+            reports.append((value, trace_hex, spans, build_ledger(spans)))
+    if not reports:
+        print("exemplar trace ids did not resolve to captured spans",
+              file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps([{
+            "rank": rank,
+            "latency_s": value,
+            "trace_id": trace_hex,
+            "ledger": ledger.to_dict(),
+            "spans": [span.to_dict() for span in spans],
+        } for rank, (value, trace_hex, spans, ledger)
+            in enumerate(reports, 1)], indent=2, sort_keys=True))
+    else:
+        for rank, (value, trace_hex, spans, ledger) in enumerate(reports, 1):
+            print(f"\n=== #{rank} slowest: {value * 1e3:.2f} ms"
+                  f"  trace {trace_hex} ===")
+            print(format_trace(spans))
+            print()
+            print(format_ledger(ledger))
+    tracer.clear()
+    return 0
+
+
+def _sample_map(dump: dict, name: str):
+    """``{sorted-label-tuple: sample}`` plus histogram bucket bounds."""
+    entry = dump.get("metrics", {}).get(name)
+    if not entry:
+        return {}, []
+    samples = {}
+    for sample in entry.get("samples", ()):
+        key = tuple(sorted(sample.get("labels", {}).items()))
+        samples[key] = sample
+    return samples, list(entry.get("buckets", ()))
+
+
+def _top_frame(dump: dict, prev: dict, elapsed_s: float, monitor) -> str:
+    """Render one ``djinn top`` frame from two consecutive metrics dumps."""
+    from .obs import percentile_from_counts
+
+    prefix = ("gateway" if "gateway_requests_total" in dump.get("metrics", {})
+              else "djinn")
+    requests, _ = _sample_map(dump, f"{prefix}_requests_total")
+    prev_requests, _ = _sample_map(prev, f"{prefix}_requests_total")
+    latency, bounds = _sample_map(dump, f"{prefix}_request_latency_seconds")
+    prev_latency, _ = _sample_map(prev, f"{prefix}_request_latency_seconds")
+
+    lines = [f"{'model':8s} {'qps':>8s} {'p50ms':>8s} {'p95ms':>8s} "
+             f"{'p99ms':>8s} {'burn5m':>7s} {'burn1h':>7s}  slo"]
+    for key, sample in sorted(requests.items()):
+        model = dict(key).get("model", "?")
+        delta = sample["value"] - prev_requests.get(key, {}).get("value", 0.0)
+        qps = delta / elapsed_s if elapsed_s > 0 else 0.0
+        counts = []
+        hist = latency.get(key)
+        if hist is not None:
+            counts = list(hist["counts"])
+            prev_hist = prev_latency.get(key)
+            if prev_hist is not None:
+                fresh = [c - p for c, p in zip(counts, prev_hist["counts"])]
+                if sum(fresh) > 0:  # interval percentiles when there is traffic
+                    counts = fresh
+        pcts = [percentile_from_counts(bounds, counts, q) * 1e3
+                if counts and sum(counts) else 0.0 for q in (50.0, 95.0, 99.0)]
+        snap = monitor.snapshot(model)
+        state = "FIRING" if snap["firing"] else "ok"
+        lines.append(f"{model:8s} {qps:>8.1f} {pcts[0]:>8.2f} {pcts[1]:>8.2f} "
+                     f"{pcts[2]:>8.2f} "
+                     f"{snap[f'burn_{int(monitor.windows_s[0])}s']:>7.2f} "
+                     f"{snap[f'burn_{int(monitor.windows_s[-1])}s']:>7.2f}  {state}")
+
+    stages = {}
+    for family in ("gateway_stage_seconds_total", "djinn_stage_seconds_total"):
+        cur, _ = _sample_map(dump, family)
+        old, _ = _sample_map(prev, family)
+        for key, sample in cur.items():
+            stage = dict(key).get("stage", "?")
+            delta = sample["value"] - old.get(key, {}).get("value", 0.0)
+            stages[stage] = stages.get(stage, 0.0) + max(0.0, delta)
+    if sum(stages.values()) <= 0.0:  # no traffic this interval: lifetime shares
+        for family in ("gateway_stage_seconds_total", "djinn_stage_seconds_total"):
+            cur, _ = _sample_map(dump, family)
+            for key, sample in cur.items():
+                stage = dict(key).get("stage", "?")
+                stages[stage] = stages.get(stage, 0.0) + sample["value"]
+    total_stage = sum(stages.values())
+    if total_stage > 0.0:
+        lines.append("stage breakdown (request-weighted share of serving time):")
+        for stage, seconds in sorted(stages.items(), key=lambda e: -e[1]):
+            share = seconds / total_stage
+            lines.append(f"  {stage:16s} {share:>6.1%} {'#' * int(round(share * 30))}")
+
+    health = []
+    workers, _ = _sample_map(dump, "djinn_proc_workers")
+    if workers:
+        live = sum(s["value"] for s in workers.values())
+        respawns, _ = _sample_map(dump, "djinn_proc_worker_respawns_total")
+        died = sum(s["value"] for s in respawns.values())
+        health.append(f"proc workers: {live:g} live, {died:g} respawned")
+    transitions, _ = _sample_map(dump, "gateway_backend_transitions_total")
+    if transitions:
+        flips = sum(s["value"] for s in transitions.values())
+        health.append(f"backend health transitions: {flips:g}")
+    if health:
+        lines.append(" | ".join(health))
+    return "\n".join(lines)
+
+
+def cmd_top(args) -> int:
+    from .core import DjinnClient
+    from .obs import BurnRateMonitor
+
+    monitor = BurnRateMonitor(objective=args.objective)
+    prev = None
+    prev_t = 0.0
+    frames = 0
+    try:
+        while True:
+            try:
+                with DjinnClient(args.host, args.port) as client:
+                    dump = client.metrics()
+            except OSError as exc:
+                print(f"cannot reach {args.host}:{args.port}: {exc}",
+                      file=sys.stderr)
+                return 1
+            now = time.monotonic()
+            for family in ("gateway_slo_requests_total", "djinn_slo_requests_total"):
+                samples, _ = _sample_map(dump, family)
+                if not samples:
+                    continue
+                per_model = {}
+                for key, sample in samples.items():
+                    labels = dict(key)
+                    acc = per_model.setdefault(labels.get("model", "?"), [0.0, 0.0])
+                    acc[1] += sample["value"]
+                    if labels.get("outcome") == "met":
+                        acc[0] += sample["value"]
+                for model, (met, total) in per_model.items():
+                    monitor.record_totals(model, met, total)
+                break  # gateway view already folds in the fleet
+            monitor.check()
+            if prev is not None:
+                frame = _top_frame(dump, prev, now - prev_t, monitor)
+                if sys.stdout.isatty() and not args.iterations:
+                    sys.stdout.write("\x1b[2J\x1b[H")
+                print(f"djinn top — {args.host}:{args.port} — "
+                      f"frame {frames + 1}, {now - prev_t:.1f}s window")
+                print(frame)
+                sys.stdout.flush()
+                frames += 1
+                if args.iterations and frames >= args.iterations:
+                    return 0
+            prev, prev_t = dump, now
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        print()
+        return 0
 
 
 def cmd_chaos(args) -> int:
@@ -459,6 +704,35 @@ def main(argv=None) -> int:
     trace.add_argument("--check", action="store_true",
                        help="exit nonzero unless required spans, >=95%% coverage, "
                             "and parseable exposition are all present")
+    trace.add_argument("--json", action="store_true",
+                       help="print the last trace as JSON span records "
+                            "(progress chatter goes to stderr)")
+
+    slow = sub.add_parser(
+        "slow", help="trace a fleet and dissect its slowest requests")
+    slow.add_argument("--backends", type=int, default=2)
+    slow.add_argument("--models", default="dig,pos", help="comma-separated model names")
+    slow.add_argument("--requests", type=int, default=24,
+                      help="traced queries to send through the gateway")
+    slow.add_argument("--batch", type=int, default=8,
+                      help="dynamic batching max batch on each backend")
+    slow.add_argument("--timeout-ms", type=float, default=2.0)
+    slow.add_argument("--seed", type=int, default=0)
+    slow.add_argument("--top", type=int, default=3,
+                      help="how many tail exemplars to dissect")
+    slow.add_argument("--json", action="store_true",
+                      help="print span trees and cost ledgers as JSON")
+
+    top = sub.add_parser(
+        "top", help="live qps/latency/stage/burn view of a running server")
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument("--port", type=int, default=7889)
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="seconds between metric polls")
+    top.add_argument("--iterations", type=int, default=0,
+                     help="stop after N rendered frames (0 = until Ctrl-C)")
+    top.add_argument("--objective", type=float, default=0.99,
+                     help="SLO attainment objective for burn-rate math")
 
     chaos = sub.add_parser(
         "chaos", help="run seeded fault-injection scenarios and check invariants")
@@ -480,6 +754,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     return {"models": cmd_models, "serve": cmd_serve, "query": cmd_query,
             "gateway": cmd_gateway, "metrics": cmd_metrics, "trace": cmd_trace,
+            "slow": cmd_slow, "top": cmd_top,
             "chaos": cmd_chaos, "plan": cmd_plan}[args.command](args)
 
 

@@ -72,7 +72,8 @@ class _Pending:
     """One submitted request waiting for its slice of a batched result."""
 
     __slots__ = ("inputs", "event", "result", "error", "trace", "enqueue_s",
-                 "consumed", "arena", "deadline_s", "priority", "tenant")
+                 "delivered_s", "consumed", "arena", "deadline_s", "priority",
+                 "tenant")
 
     def __init__(self, inputs: np.ndarray,
                  trace: Optional[Tuple[int, int]] = None,
@@ -87,6 +88,10 @@ class _Pending:
         #: (trace_id, parent_span_id) carried from the requesting connection
         self.trace = trace
         self.enqueue_s = enqueue_s
+        #: stamped by the worker when the result view is handed over; lets
+        #: the consumer's respond accounting start at delivery rather than
+        #: at its own wake-up (the gap is thread scheduling, not response)
+        self.delivered_s = 0.0
         #: absolute monotonic deadline (inf = none), priority class (higher
         #: first), and tenant — consumed by the EDF queue when a scheduling
         #: policy is armed, inert otherwise
@@ -119,6 +124,11 @@ class ResultLease:
     @property
     def outputs(self) -> np.ndarray:
         return self._pending.result
+
+    @property
+    def delivered_s(self) -> float:
+        """Worker-side delivery stamp (0.0 until the result is handed out)."""
+        return self._pending.delivered_s
 
     def release(self) -> None:
         self._pending.consumed.set()
@@ -183,10 +193,15 @@ class BatchingExecutor:
                 "djinn_sched_expired_total",
                 "Requests rejected in queue: deadline expired before forward.",
                 ("model",))
+            self._stage_seconds = metrics.counter(
+                "djinn_stage_seconds_total",
+                "Request-weighted seconds spent per serving stage, per model.",
+                ("model", "stage"))
             self.latency.seed_from_metrics(metrics)
         else:
             self._batch_size = None
             self._expired = None
+            self._stage_seconds = None
         self._queues: Dict[str, Queue] = {}
         self._workers: Dict[str, threading.Thread] = {}
         self._lock = threading.Lock()
@@ -227,13 +242,16 @@ class BatchingExecutor:
     def _enqueue(self, model: str, inputs: np.ndarray,
                  trace: Optional[Tuple[int, int]],
                  qos: Optional[Tuple[float, int, str]] = None) -> _Pending:
+        # queue time starts when the caller hands the request over, not
+        # after worker/bookkeeping setup — the gap is queueing, not limbo
+        enqueue_s = self.clock()
         queue = self._ensure_worker(model)
         deadline_s, priority, tenant = qos if qos is not None \
             else (float("inf"), 0, "")
         # no forced copy: the planned path gathers payloads straight into
         # the arena, the legacy path concatenates — neither needs contiguity
         pending = _Pending(np.asarray(inputs, dtype=np.float32),
-                           trace, self.clock(),
+                           trace, enqueue_s,
                            deadline_s=deadline_s, priority=priority,
                            tenant=tenant)
         queue.put(pending)
@@ -339,17 +357,31 @@ class BatchingExecutor:
     def _reject_expired(self, model: str, expired: List[_Pending]) -> None:
         """Deliver typed rejections to requests that died in queue."""
         now = self.clock()
+        tracer = self.tracer
         for pending in expired:
             late = now - pending.deadline_s
             if not np.isfinite(late):
                 late = 0.0
-            pending.error = DeadlineExceededError(model, max(0.0, late))
+            late = max(0.0, late)
+            if tracer.enabled and pending.trace is not None:
+                tid, parent = pending.trace
+                tracer.add_span("sched.expire", pending.enqueue_s, now,
+                                tid, parent, category="sched", model=model,
+                                late_ms=round(late * 1e3, 3))
+            pending.error = DeadlineExceededError(model, late)
             pending.event.set()
         if self._expired is not None:
             self._expired.labels(model=model).inc(len(expired))
 
-    def _collect_sched(self, model: str, queue: EdfQueue) -> List[_Pending]:
-        """Policy-driven assembly: EDF order, online batch size, expiry."""
+    def _collect_sched(self, model: str,
+                       queue: EdfQueue) -> Tuple[List[_Pending], float]:
+        """Policy-driven assembly: EDF order, online batch size, expiry.
+
+        Returns the batch plus the time assembly began — the anchor for
+        ``sched.wait`` spans (policy-imposed wait, vs. backlog wait which is
+        the rest of ``backend.queue``).
+        """
+        collect_start = self.clock()
         while True:
             batch, expired = queue.collect(
                 self.sched, clock=self.clock,
@@ -360,9 +392,9 @@ class BatchingExecutor:
             if expired:
                 self._reject_expired(model, expired)
             if batch:
-                return batch
+                return batch, collect_start
             if queue.finished:
-                return []
+                return [], collect_start
 
     def _run_worker(self, model: str, queue) -> None:
         net = self.registry.get(model)
@@ -377,8 +409,9 @@ class BatchingExecutor:
                 plan = None
         sample_shape = tuple(net.input_shape)
         while True:
+            collect_start = 0.0
             if self.sched is not None:
-                batch = self._collect_sched(model, queue)
+                batch, collect_start = self._collect_sched(model, queue)
             else:
                 batch = self._collect(queue)
             if not batch:
@@ -400,19 +433,19 @@ class BatchingExecutor:
                           if tracer.enabled else [])
                 for pending in traced:
                     tid, parent = pending.trace
-                    tracer.add_span("backend.queue", pending.enqueue_s, start,
-                                    tid, parent, category="queue", model=model)
+                    qspan = tracer.add_span("backend.queue", pending.enqueue_s,
+                                            start, tid, parent,
+                                            category="queue", model=model)
+                    if self.sched is not None:
+                        wait_from = max(pending.enqueue_s, collect_start)
+                        if start > wait_from:
+                            tracer.add_span("sched.wait", wait_from, start,
+                                            tid, qspan.span_id,
+                                            category="sched", model=model)
                 if use_plan:
                     self._gather(plan, batch, rows, sample_shape)
                 elif not use_pool:
                     stacked = np.concatenate([p.inputs for p in batch], axis=0)
-                assembled = self.clock()
-                for pending in traced:
-                    tid, parent = pending.trace
-                    tracer.add_span("batch.assemble", start, assembled,
-                                    tid, parent, category="batch",
-                                    batch_size=rows,
-                                    requests=len(batch))
                 timer = (LayerTimer(self.clock)
                          if traced and self.profile_layers else None)
                 forward_start = self.clock()
@@ -428,20 +461,29 @@ class BatchingExecutor:
                 else:
                     outputs = net.forward(stacked, timer=timer)
                 forward_end = self.clock()
+                if self.service_floor_s:
+                    # pace before the post-forward accounting so the paced
+                    # idle stays out of the scatter span (it is injected
+                    # device time, honestly left unattributed)
+                    remaining = self.service_floor_s - (self.clock() - start)
+                    if remaining > 0:
+                        time.sleep(remaining)
+                post_start = self.clock()
                 # refine the measured latency curve on every executed batch
                 self.latency.observe(model, rows, forward_end - forward_start)
                 for pending in traced:
+                    # assemble emitted late so its extent can run right up to
+                    # the forward (gather + timer setup, gap-free)
                     tid, parent = pending.trace
+                    tracer.add_span("batch.assemble", start, forward_start,
+                                    tid, parent, category="batch",
+                                    batch_size=rows, requests=len(batch))
                     fspan = tracer.add_span("net.forward", forward_start,
                                             forward_end, tid, parent,
                                             category="compute", model=model,
                                             batch_size=rows)
                     if timer is not None:
                         timer.emit_spans(tracer, tid, fspan.span_id)
-                if self.service_floor_s:
-                    remaining = self.service_floor_s - (self.clock() - start)
-                    if remaining > 0:
-                        time.sleep(remaining)
                 self.executed_batches[model].append(rows)
                 if self._batch_size is not None:
                     self._batch_size.labels(model=model).observe(rows)
@@ -454,6 +496,42 @@ class BatchingExecutor:
                     pending.arena = use_plan or lease is not None
                     pending.result = view
                     offset += n
+                if self._stage_seconds is not None:
+                    # request-weighted: each waiter experienced the assemble
+                    # and forward; queue time is summed per request.  Stages
+                    # are exclusive (matching the cost ledger): the policy
+                    # wait slice goes to sched.wait, not backend.queue too.
+                    stage = self._stage_seconds
+                    if self.sched is not None and collect_start:
+                        queue_s = sum(
+                            max(0.0, min(start, collect_start) - p.enqueue_s)
+                            for p in batch)
+                        wait_s = sum(
+                            max(0.0, start - max(p.enqueue_s, collect_start))
+                            for p in batch)
+                        if wait_s > 0:
+                            stage.labels(model=model, stage="sched.wait").inc(wait_s)
+                    else:
+                        queue_s = sum(max(0.0, start - p.enqueue_s)
+                                      for p in batch)
+                    stage.labels(model=model, stage="backend.queue").inc(queue_s)
+                    stage.labels(model=model, stage="net.forward").inc(
+                        (forward_end - forward_start) * len(batch))
+                delivered = self.clock()
+                for pending in batch:
+                    pending.delivered_s = delivered
+                for pending in traced:
+                    # batch disassembly: accounting + handing each waiter its
+                    # result view, the tail of the batching overhead
+                    tid, parent = pending.trace
+                    tracer.add_span("batch.scatter", post_start, delivered,
+                                    tid, parent, category="batch",
+                                    batch_size=rows)
+                if self._stage_seconds is not None:
+                    self._stage_seconds.labels(
+                        model=model, stage="batch.assemble").inc(
+                        ((forward_start - start) + (delivered - post_start))
+                        * len(batch))
             except Exception as exc:  # deliver failures to every waiter
                 for pending in batch:
                     pending.error = exc

@@ -516,6 +516,9 @@ class ProcPoolExecutor:
             raise ValueError(
                 f"batch of {rows} rows exceeds pool envelope {self.max_batch}")
 
+        # the forward span starts here: slot acquisition and the copy into
+        # the shm slot are the cost of issuing this batch to the executor
+        start = self.clock()
         try:
             slot = self._free.get(timeout=self.SLOT_TIMEOUT_S)
         except queue.Empty:
@@ -541,7 +544,6 @@ class ProcPoolExecutor:
         with self._lock:
             self._waiters[slot] = waiter
         self._dispatch_total.labels(model=model).inc()
-        start = self.clock()
         self._work_q.put(slot)
 
         if not waiter.event.wait(self.REQUEST_TIMEOUT_S):

@@ -19,6 +19,7 @@ with the gateway front-end in :mod:`repro.gateway.server`.
 from __future__ import annotations
 
 import json
+import logging
 import socket
 import threading
 import time
@@ -27,6 +28,7 @@ from typing import Callable, Optional, Tuple
 
 from ..obs.metrics import MetricsRegistry, merge_dumps
 from ..obs.profile import LayerTimer
+from ..obs.slo import BurnRateMonitor
 from ..obs.trace import Tracer, get_tracer
 from ..sched import DeadlineExceededError
 from . import faultsite
@@ -277,6 +279,18 @@ class DjinnServer(TcpServiceBase):
             "djinn_sched_expired_total",
             "Requests rejected in queue: deadline expired before forward.",
             ("model",))
+        self._slo = self.metrics.counter(
+            "djinn_slo_requests_total",
+            "Deadline-carrying requests, per model and outcome "
+            "(met|missed|expired).", ("model", "outcome"))
+        self._stage_seconds = self.metrics.counter(
+            "djinn_stage_seconds_total",
+            "Request-weighted seconds spent per serving stage, per model.",
+            ("model", "stage"))
+        #: multi-window error-budget burn over deadline attainment; firing /
+        #: resolved transitions land in the structured log
+        self.slo_monitor = BurnRateMonitor(
+            clock=clock, logger=logging.getLogger("repro.core.server"))
         self._floor_s = service_floor_s
         self._pool = None
         worker_count = parse_workers(workers)
@@ -381,15 +395,29 @@ class DjinnServer(TcpServiceBase):
                     # dead on arrival: reject on every serve path (the
                     # scheduler handles in-queue expiry; this covers the
                     # bare and pool paths, and budgets spent in transit)
+                    now = clock()
                     self._sched_expired.labels(model=request.name or "?").inc()
-                    raise DeadlineExceededError(request.name,
-                                                clock() - deadline_s)
+                    if traced:
+                        tracer.add_span(
+                            "sched.expire", start, now, span.trace_id,
+                            span.span_id, category="sched",
+                            model=request.name,
+                            late_ms=round((now - deadline_s) * 1e3, 3))
+                    raise DeadlineExceededError(request.name, now - deadline_s)
                 use_executor = self._executor is not None
                 if (use_executor and self._executor is self._pool
                         and len(inputs) > self._pool.max_batch):
                     # a single request larger than the pool slot envelope:
                     # serve it in-parent on the legacy path rather than fail
                     use_executor = False
+                pre_end = clock()
+                self._stage_seconds.labels(
+                    model=request.name,
+                    stage="preprocess").inc(pre_end - start)
+                if traced:
+                    tracer.add_span("preprocess", start, pre_end,
+                                    span.trace_id, span.span_id,
+                                    category="backend", model=request.name)
                 if use_executor:
                     # zero-copy: serialize the response straight from the
                     # batch output (a plan's output slab on the planned
@@ -430,6 +458,7 @@ class DjinnServer(TcpServiceBase):
                 # typed rejection, not an ERROR: the request was valid, its
                 # budget was simply spent (the scheduler counts queue-side
                 # expiries; the dead-on-arrival check above counts its own)
+                self._record_slo(request.name, "expired")
                 self._safe_send(conn, Message(MessageType.DEADLINE_EXCEEDED,
                                               text=str(exc),
                                               trace_id=request.trace_id,
@@ -443,17 +472,42 @@ class DjinnServer(TcpServiceBase):
                                               span_id=request.span_id))
                 return
             try:
-                self.stats.record(request.name, clock() - start, inputs=len(inputs))
+                finish = clock()
+                # respond starts when the executor handed the result over:
+                # the worker's delivery stamp when available (the gap up to
+                # ``finish`` is this thread waking up, part of responding)
+                respond_start = finish
+                if lease is not None:
+                    delivered = getattr(lease, "delivered_s", 0.0)
+                    if 0.0 < delivered < finish:
+                        respond_start = delivered
+                self.stats.record(
+                    request.name, finish - start, inputs=len(inputs),
+                    exemplar=f"{span.trace_id:016x}" if traced else None)
+                if deadline_s is not None:
+                    self._record_slo(
+                        request.name,
+                        "met" if finish <= deadline_s else "missed")
                 response = Message(MessageType.INFER_RESPONSE, name=request.name,
                                    tensor=outputs, trace_id=request.trace_id,
                                    span_id=request.span_id)
+                self._safe_send(conn, response)
+                send_end = clock()
+                # respond covers everything after the forward: accounting,
+                # response serialization (straight from the lease's slab on
+                # the zero-copy path), and the socket send
+                self._stage_seconds.labels(
+                    model=request.name,
+                    stage="respond").inc(send_end - respond_start)
                 if traced:
-                    send_start = clock()
-                    self._safe_send(conn, response)
-                    tracer.add_span("backend.respond", send_start, clock(),
+                    tracer.add_span("backend.respond", respond_start, send_end,
                                     span.trace_id, span.span_id, category="network")
-                else:
-                    self._safe_send(conn, response)
             finally:
                 if lease is not None:
                     lease.release()
+
+    def _record_slo(self, model: str, outcome: str) -> None:
+        """Account one deadline-carrying request's outcome and re-check burn."""
+        self._slo.labels(model=model or "?", outcome=outcome).inc()
+        self.slo_monitor.record(model or "?", attained=outcome == "met")
+        self.slo_monitor.check()

@@ -39,12 +39,15 @@ class ServiceStats:
         Metric-name prefix — ``djinn`` for backends, ``gateway`` for the
         fleet front-end — keeping the two latency populations separate when
         a gateway merges backend registries into its own.
+    exemplars:
+        Tail exemplars kept per model on the latency histogram: the trace
+        IDs of the slowest requests, resolvable by ``djinn slow``.
     """
 
     def __init__(self, window: int = 10_000,
                  clock: Callable[[], float] = time.monotonic,
                  registry: Optional[MetricsRegistry] = None,
-                 prefix: str = "djinn"):
+                 prefix: str = "djinn", exemplars: int = 8):
         if window <= 0:
             raise ValueError(f"window must be positive, got {window}")
         self._window = window
@@ -58,15 +61,16 @@ class ServiceStats:
         self._latency = self.registry.histogram(
             f"{prefix}_request_latency_seconds",
             "End-to-end request service latency, per model.", ("model",),
-            window=window)
+            window=window, exemplars=exemplars)
         self._lock = Lock()
         self._stamps: Dict[str, deque] = {}
 
-    def record(self, model: str, latency_s: float, inputs: int = 1) -> None:
+    def record(self, model: str, latency_s: float, inputs: int = 1,
+               exemplar: Optional[str] = None) -> None:
         now = self._clock()
         self._requests.labels(model=model).inc()
         self._inputs.labels(model=model).inc(inputs)
-        self._latency.labels(model=model).observe(latency_s)
+        self._latency.labels(model=model).observe(latency_s, exemplar=exemplar)
         with self._lock:
             stamps = self._stamps.get(model)
             if stamps is None:

@@ -96,6 +96,14 @@ class ChaosReport:
     #: foreign trace IDs with no such root and are deliberately not counted
     #: (their timing is nondeterministic; the report must not be).
     traces: int = 0
+    #: scheduling/hedging spans observed over rooted traces — the span-side
+    #: mirror of the typed-rejection counts: every shed request must close a
+    #: ``sched.admit`` span, every expiry a ``sched.expire`` span, and every
+    #: launched hedge arm a ``gateway.hedge`` span
+    admit_spans: int = 0
+    expire_spans: int = 0
+    hedge_spans: int = 0
+    hedges_metric: int = 0         # gateway_hedges_total
 
     @property
     def error_total(self) -> int:
@@ -153,6 +161,18 @@ class ChaosReport:
             violations.append(
                 f"injected {kills} worker kill(s) but supervisors recorded "
                 f"{self.worker_respawns} respawn(s)")
+        if self.admit_spans != self.shed:
+            violations.append(
+                f"client saw {self.shed} shed request(s) but traces closed "
+                f"{self.admit_spans} sched.admit span(s)")
+        if self.expire_spans != self.expired:
+            violations.append(
+                f"client saw {self.expired} expired request(s) but traces "
+                f"closed {self.expire_spans} sched.expire span(s)")
+        if self.hedge_spans != self.hedges_metric:
+            violations.append(
+                f"gateway launched {self.hedges_metric} hedge arm(s) but "
+                f"traces closed {self.hedge_spans} gateway.hedge span(s)")
         return violations
 
     def to_dict(self) -> dict:
@@ -178,6 +198,10 @@ class ChaosReport:
             "injected_total": self.injected_total,
             "worker_respawns": self.worker_respawns,
             "traces": self.traces,
+            "admit_spans": self.admit_spans,
+            "expire_spans": self.expire_spans,
+            "hedge_spans": self.hedge_spans,
+            "hedges_metric": self.hedges_metric,
             "violations": self.check(),
         }
 
@@ -389,6 +413,8 @@ class ChaosHarness:
                             _counter_total(server.metrics,
                                            "djinn_proc_worker_respawns_total")
                             for server in cluster.servers)
+                        report.hedges_metric = _counter_total(
+                            gateway.metrics, "gateway_hedges_total")
                     finally:
                         if client is not None:
                             client.close()
@@ -400,9 +426,21 @@ class ChaosHarness:
             # even a request that died in transport must leave a closed
             # client.infer root span — that is the "traces close cleanly"
             # invariant, read straight off the tracer
-            rooted = {s.trace_id for s in tracer.spans()
+            spans = tracer.spans()
+            rooted = {s.trace_id for s in spans
                       if s.name == "client.infer" and s.end_s is not None}
             report.traces = len(rooted)
+            # span-side mirror of the typed QoS outcomes, counted only over
+            # rooted traces (foreign late spans must not perturb the report)
+            span_counts = {"sched.admit": 0, "sched.expire": 0,
+                           "gateway.hedge": 0}
+            for s in spans:
+                if (s.name in span_counts and s.end_s is not None
+                        and s.trace_id in rooted):
+                    span_counts[s.name] += 1
+            report.admit_spans = span_counts["sched.admit"]
+            report.expire_spans = span_counts["sched.expire"]
+            report.hedge_spans = span_counts["gateway.hedge"]
             tracer.clear()
             if not was_enabled:
                 tracer.disable()

@@ -37,6 +37,7 @@ from ..core.protocol import Message, MessageType
 from ..core.server import TcpServiceBase
 from ..core.stats import ServiceStats
 from ..obs.metrics import MetricsRegistry, merge_dumps
+from ..obs.slo import BurnRateMonitor
 from ..obs.trace import Tracer, get_tracer, log_event
 from ..sched import AdmissionController, LatencyModel, QosConfig, Rejection
 from .health import HealthChecker
@@ -226,6 +227,17 @@ class GatewayServer(TcpServiceBase):
         self._hedge_wins = self.metrics.counter(
             "gateway_hedge_wins_total",
             "Hedged requests won, per model and arm.", ("model", "winner"))
+        self._slo = self.metrics.counter(
+            "gateway_slo_requests_total",
+            "Deadline-carrying requests, per model and outcome "
+            "(met|missed|expired|shed|failed).", ("model", "outcome"))
+        self._stage_seconds = self.metrics.counter(
+            "gateway_stage_seconds_total",
+            "Seconds spent per gateway stage, per model "
+            "(successful forwards).", ("model", "stage"))
+        #: multi-window error-budget burn over end-to-end attainment (the
+        #: client-visible SLO, gating on everything the fleet did)
+        self.slo_monitor = BurnRateMonitor(clock=clock, logger=logger)
         self.qos = qos
         #: fleet-level latency curve (refined by every successful forward)
         #: driving admission predictions and derived hedge delays
@@ -322,28 +334,60 @@ class GatewayServer(TcpServiceBase):
             # re-anchor the wire's remaining budget on this host's clock
             deadline_s = (start + request.deadline_ms / 1e3
                           if request.deadline_ms else None)
+            response = None
             if self.qos is not None:
-                rejected = self._admission_gate(request, deadline_s)
-                if rejected is not None:
-                    return rejected
-            if self._hedge_delay_s(request.name) > 0 and len(self.pool.healthy()) > 1:
-                response = self._forward_hedged(request, span, traced, start,
-                                                deadline_s)
-            else:
-                response = self._forward_attempts(request, span, traced,
-                                                  start, deadline_s)
-                response = self._record_outcome(request, start, response)
+                response = self._admission_gate(request, deadline_s,
+                                                span, traced)
+            if response is None:
+                if (self._hedge_delay_s(request.name) > 0
+                        and len(self.pool.healthy()) > 1):
+                    response = self._forward_hedged(request, span, traced,
+                                                    start, deadline_s)
+                else:
+                    response = self._forward_attempts(request, span, traced,
+                                                      start, deadline_s)
+                    response = self._record_outcome(request, start, response)
+            if deadline_s is not None:
+                self._record_slo(request.name, response, deadline_s)
             return response
 
+    _SLO_OUTCOMES = {
+        MessageType.INFER_RESPONSE: "met",       # demoted to missed when late
+        MessageType.DEADLINE_EXCEEDED: "expired",
+        MessageType.OVERLOADED: "shed",
+    }
+
+    def _record_slo(self, model: str, response: Message,
+                    deadline_s: float) -> None:
+        """Account one deadlined request's end-to-end outcome; re-check burn."""
+        outcome = self._SLO_OUTCOMES.get(response.type, "failed")
+        if outcome == "met" and self._clock() > deadline_s:
+            outcome = "missed"
+        self._slo.labels(model=model or "?", outcome=outcome).inc()
+        self.slo_monitor.record(model or "?", attained=outcome == "met")
+        self.slo_monitor.check()
+
     # ----------------------------------------------------------- QoS gate
-    def _admission_gate(self, request: Message,
-                        deadline_s: Optional[float]) -> Optional[Message]:
-        """Shed-or-admit decision; a Message means the request is refused."""
+    def _admission_gate(self, request: Message, deadline_s: Optional[float],
+                        span=None, traced: bool = False) -> Optional[Message]:
+        """Shed-or-admit decision; a Message means the request is refused.
+
+        Refusals are visible in the trace: a spent budget closes with a
+        ``sched.expire`` span, a shed request with a ``sched.admit`` span
+        carrying the rejection reason.
+        """
         model = request.name
-        if deadline_s is not None and self._clock() >= deadline_s:
+        gate_start = self._clock()
+        if deadline_s is not None and gate_start >= deadline_s:
             # dead on arrival: the budget was spent in transit, so answer
             # with the same typed rejection the backend scheduler would
             self._gw_expired.labels(model=model).inc()
+            if traced:
+                self.tracer.add_span(
+                    "sched.expire", gate_start, self._clock(),
+                    span.trace_id, span.span_id, category="sched",
+                    model=model,
+                    late_ms=round((gate_start - deadline_s) * 1e3, 3))
             return Message(
                 MessageType.DEADLINE_EXCEEDED,
                 text=(f"deadline exceeded for {model!r}: budget already "
@@ -367,6 +411,12 @@ class GatewayServer(TcpServiceBase):
         if rejection is None:
             return None
         self._shed.labels(model=model, reason=rejection.reason).inc()
+        if traced:
+            self.tracer.add_span(
+                "sched.admit", gate_start, self._clock(),
+                span.trace_id, span.span_id, category="sched", model=model,
+                decision="shed", reason=rejection.reason,
+                retry_after_ms=round(rejection.retry_after_ms, 3))
         log_event(logger, "admission.shed", level=logging.WARNING,
                   model=model, reason=rejection.reason,
                   retry_after_ms=round(rejection.retry_after_ms, 3))
@@ -393,8 +443,10 @@ class GatewayServer(TcpServiceBase):
                            trace_id=request.trace_id, span_id=request.span_id)
         if response.type == MessageType.INFER_RESPONSE:
             elapsed = self._clock() - start
+            exemplar = (f"{request.trace_id:016x}"
+                        if request.trace_id and self.tracer.enabled else None)
             self.stats.record(request.name, elapsed,
-                              inputs=len(request.tensor))
+                              inputs=len(request.tensor), exemplar=exemplar)
             self.latency.observe(request.name, 1, elapsed)
         return response
 
@@ -428,6 +480,13 @@ class GatewayServer(TcpServiceBase):
             if deadline_s is not None and clock() >= deadline_s:
                 # budget burnt in backoff/routing: stop before another hop
                 self._gw_expired.labels(model=request.name).inc()
+                if traced:
+                    now = clock()
+                    self.tracer.add_span(
+                        "sched.expire", start, now, span.trace_id,
+                        span.span_id, category="sched", model=request.name,
+                        late_ms=round((now - deadline_s) * 1e3, 3),
+                        attempts=attempt + 1)
                 return Message(
                     MessageType.DEADLINE_EXCEEDED,
                     text=(f"deadline exceeded for {request.name!r}: budget "
@@ -465,11 +524,12 @@ class GatewayServer(TcpServiceBase):
                     kwargs = dict(deadline_ms=remaining_ms,
                                   priority=request.priority,
                                   tenant=request.tenant)
+                rpc_start = clock()
                 if traced:
                     # routing + any backoff so far is the gateway's
                     # "queue" share of the request's timeline
                     tracer = self.tracer
-                    tracer.add_span("gateway.queue", start, clock(),
+                    tracer.add_span("gateway.queue", start, rpc_start,
                                     span.trace_id, span.span_id,
                                     category="queue", attempts=attempt + 1)
                     with tracer.span("gateway.backend", category="gateway",
@@ -481,6 +541,7 @@ class GatewayServer(TcpServiceBase):
                 else:
                     outputs = client.infer(request.name, request.tensor,
                                            **kwargs)
+                rpc_end = clock()
                 ok = True
             except DjinnConnectionError as exc:
                 if cancel is not None and cancel.is_set():
@@ -508,6 +569,14 @@ class GatewayServer(TcpServiceBase):
                 if inflight is not None:
                     inflight.clear()
                 backend.checkin(client, ok=ok)
+            # always-on stage accounting for the successful forward: the
+            # routing/backoff share and the backend roundtrip share
+            self._stage_seconds.labels(
+                model=request.name, stage="gateway.queue").inc(
+                    max(0.0, rpc_start - start))
+            self._stage_seconds.labels(
+                model=request.name, stage="gateway.rpc").inc(
+                    max(0.0, rpc_end - rpc_start))
             return Message(MessageType.INFER_RESPONSE, name=request.name,
                            tensor=outputs, trace_id=request.trace_id,
                            span_id=request.span_id)
@@ -562,10 +631,13 @@ class GatewayServer(TcpServiceBase):
                                   trace_id=request.trace_id,
                                   span_id=request.span_id))
 
+        hedge_launch = [0.0]  # stamped by the hedge arm when it actually fires
+
         def run_hedge() -> None:
             try:
                 if done.wait(self._hedge_delay_s(model)):
                     return  # primary answered inside the hedge window
+                hedge_launch[0] = self._clock()
                 hedged.set()
                 self._hedges.labels(model=model).inc()
                 avoid = (frozenset((arms[0].backend_key,))
@@ -590,8 +662,13 @@ class GatewayServer(TcpServiceBase):
         with results_lock:
             arm_idx, response = results[0]
         if hedged.is_set():  # a win only counts when there was a race
-            self._hedge_wins.labels(
-                model=model, winner="primary" if arm_idx == 0 else "hedge").inc()
+            winner = "primary" if arm_idx == 0 else "hedge"
+            self._hedge_wins.labels(model=model, winner=winner).inc()
+            if traced:
+                self.tracer.add_span(
+                    "gateway.hedge", hedge_launch[0] or start, self._clock(),
+                    span.trace_id, span.span_id, category="gateway",
+                    model=model, winner=winner)
         return self._record_outcome(request, start, response)
 
     # --------------------------------------------------------------- stats

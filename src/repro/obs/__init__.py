@@ -17,8 +17,23 @@ Layers
     ``log_event`` helper.
 :mod:`repro.obs.profile`
     :class:`LayerTimer`, the per-layer forward-pass breakdown hook.
+:mod:`repro.obs.cost`
+    Per-request cost ledgers: fold a span tree into the fixed stage
+    taxonomy (:data:`~repro.obs.cost.STAGES`) with an honest unattributed
+    residual.
+:mod:`repro.obs.slo`
+    :class:`BurnRateMonitor`, multi-window SLO error-budget burn alerting
+    over per-class attainment counts.
 """
 
+from .cost import (
+    STAGES,
+    CostLedger,
+    aggregate_shares,
+    build_ledger,
+    build_ledgers,
+    format_ledger,
+)
 from .metrics import (
     DEFAULT_LATENCY_BUCKETS_S,
     Counter,
@@ -28,12 +43,15 @@ from .metrics import (
     MetricsRegistry,
     default_registry,
     merge_dumps,
+    merge_exemplars,
     parse_exposition,
+    percentile_from_counts,
     read_dump_region,
     render_exposition,
     write_dump_region,
 )
 from .profile import LayerRecord, LayerTimer
+from .slo import DEFAULT_BURN_WINDOWS_S, BurnRateMonitor
 from .trace import (
     NOOP_SPAN,
     Span,
@@ -54,12 +72,22 @@ __all__ = [
     "DEFAULT_LATENCY_BUCKETS_S",
     "default_registry",
     "merge_dumps",
+    "merge_exemplars",
     "parse_exposition",
+    "percentile_from_counts",
     "read_dump_region",
     "render_exposition",
     "write_dump_region",
     "LayerRecord",
     "LayerTimer",
+    "STAGES",
+    "CostLedger",
+    "aggregate_shares",
+    "build_ledger",
+    "build_ledgers",
+    "format_ledger",
+    "BurnRateMonitor",
+    "DEFAULT_BURN_WINDOWS_S",
     "Span",
     "Tracer",
     "NOOP_SPAN",

@@ -21,6 +21,7 @@ Everything is safe to call from many worker threads; the hot path
 
 from __future__ import annotations
 
+import heapq
 import json
 import math
 import re
@@ -41,6 +42,8 @@ __all__ = [
     "render_exposition",
     "parse_exposition",
     "merge_dumps",
+    "merge_exemplars",
+    "percentile_from_counts",
     "write_dump_region",
     "read_dump_region",
     "DUMP_REGION_HEADER",
@@ -135,16 +138,24 @@ class Histogram:
     :meth:`percentile` is exact over the window (what `ServiceStats` needs
     for p50/p95/p99); with ``window=0`` percentiles fall back to linear
     interpolation within the matching bucket.
+
+    ``exemplars`` > 0 keeps that many **tail exemplars**: the largest
+    observations seen so far, each with an opaque label (a trace ID in the
+    serving stack).  A latency histogram then *names* its outliers — the
+    ``djinn slow`` CLI resolves those trace IDs back to full span trees and
+    cost ledgers, which is how "what is my p99 doing" becomes answerable.
     """
 
     __slots__ = ("buckets", "_counts", "_lock", "_sum", "_count",
-                 "_min", "_max", "_window")
+                 "_min", "_max", "_window", "_ex_cap", "_ex_heap", "_ex_seq")
 
     def __init__(self, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS_S,
-                 window: int = 0):
+                 window: int = 0, exemplars: int = 0):
         bounds = tuple(float(b) for b in buckets)
         if not bounds or any(b <= a for a, b in zip(bounds, bounds[1:])):
             raise ValueError(f"bucket bounds must be strictly increasing, got {bounds}")
+        if exemplars < 0:
+            raise ValueError(f"exemplars must be >= 0, got {exemplars}")
         self.buckets = bounds
         self._counts = [0] * (len(bounds) + 1)  # last slot is +Inf
         self._lock = threading.Lock()
@@ -153,8 +164,14 @@ class Histogram:
         self._min = math.inf
         self._max = -math.inf
         self._window: Optional[deque] = deque(maxlen=window) if window else None
+        self._ex_cap = int(exemplars)
+        #: min-heap of (value, seq, label): the cap largest observations
+        self._ex_heap: List[Tuple[float, int, str]] = []
+        self._ex_seq = 0
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: Optional[str] = None) -> None:
+        """Record ``value``; ``exemplar`` labels it (e.g. a trace ID) so the
+        slowest observations stay resolvable to their traces."""
         value = float(value)
         idx = bisect_left(self.buckets, value)
         with self._lock:
@@ -167,6 +184,19 @@ class Histogram:
                 self._max = value
             if self._window is not None:
                 self._window.append(value)
+            if self._ex_cap and exemplar is not None:
+                entry = (value, self._ex_seq, str(exemplar))
+                self._ex_seq += 1
+                if len(self._ex_heap) < self._ex_cap:
+                    heapq.heappush(self._ex_heap, entry)
+                elif entry > self._ex_heap[0]:
+                    heapq.heapreplace(self._ex_heap, entry)
+
+    def exemplars(self) -> List[Tuple[float, str]]:
+        """Retained tail exemplars as ``(value, label)``, slowest first."""
+        with self._lock:
+            entries = sorted(self._ex_heap, reverse=True)
+        return [(value, label) for value, _seq, label in entries]
 
     # ------------------------------------------------------------- reading
     @property
@@ -309,8 +339,8 @@ class MetricFamily:
     def set(self, value: float) -> None:
         self._solo().set(value)
 
-    def observe(self, value: float) -> None:
-        self._solo().observe(value)
+    def observe(self, value: float, exemplar: Optional[str] = None) -> None:
+        self._solo().observe(value, exemplar=exemplar)
 
 
 # --------------------------------------------------------------------- registry
@@ -355,9 +385,10 @@ class MetricsRegistry:
     def histogram(self, name: str, help: str = "",
                   labelnames: Sequence[str] = (),
                   buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS_S,
-                  window: int = 0) -> MetricFamily:
+                  window: int = 0, exemplars: int = 0) -> MetricFamily:
         return self._get_or_create(name, "histogram", help, labelnames,
-                                   buckets=buckets, window=window)
+                                   buckets=buckets, window=window,
+                                   exemplars=exemplars)
 
     def families(self) -> List[MetricFamily]:
         with self._lock:
@@ -376,14 +407,19 @@ class MetricsRegistry:
             for key, child in sorted(family.children()):
                 labels = dict(zip(family.labelnames, key))
                 if family.kind == "histogram":
-                    samples.append({
+                    sample = {
                         "labels": labels,
                         "counts": child.counts(),
                         "sum": child.sum,
                         "count": child.count,
                         "min": child.min,
                         "max": child.max,
-                    })
+                    }
+                    exemplar_list = child.exemplars()
+                    if exemplar_list:
+                        sample["exemplars"] = [[v, label]
+                                               for v, label in exemplar_list]
+                    samples.append(sample)
                 else:
                     samples.append({"labels": labels, "value": child.value})
             entry = {
@@ -394,6 +430,9 @@ class MetricsRegistry:
             }
             if family.kind == "histogram":
                 entry["buckets"] = [b for b in family._child_kwargs["buckets"]]
+                cap = family._child_kwargs.get("exemplars", 0)
+                if cap:
+                    entry["exemplars_cap"] = cap
             metrics[family.name] = entry
         return {"metrics": metrics}
 
@@ -500,6 +539,44 @@ def parse_exposition(text: str) -> Dict[str, Dict[Tuple[Tuple[str, str], ...], f
 
 
 # ------------------------------------------------------------------------ merge
+def merge_exemplars(a: Sequence[Sequence], b: Sequence[Sequence],
+                    cap: int) -> List[List]:
+    """Merge two ``[value, label]`` exemplar lists, keeping the ``cap``
+    largest values (ties broken by label for determinism)."""
+    combined = [[float(v), str(label)] for v, label in list(a) + list(b)]
+    combined.sort(key=lambda e: (-e[0], e[1]))
+    return combined[:max(0, int(cap))]
+
+
+def percentile_from_counts(bounds: Sequence[float], counts: Sequence[int],
+                           q: float) -> float:
+    """q-th percentile (0..100) from a histogram dump's bucket counts.
+
+    Linear interpolation within the matching bucket — the same estimate a
+    live :class:`Histogram` without a raw window would give, usable on
+    merged fleet dumps where no raw samples exist (``djinn top``).
+    ``counts`` is per-bucket (non-cumulative), last entry the +Inf bucket.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    counts = [int(c) for c in counts]
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    target = (q / 100.0) * total
+    cumulative = 0
+    for idx, bucket_count in enumerate(counts):
+        cumulative += bucket_count
+        if cumulative >= target and bucket_count:
+            upper = bounds[idx] if idx < len(bounds) else bounds[-1] * 2.0
+            lower = bounds[idx - 1] if idx > 0 else 0.0
+            if upper <= lower:
+                return upper
+            frac = (target - (cumulative - bucket_count)) / bucket_count
+            return lower + (upper - lower) * min(1.0, max(0.0, frac))
+    return bounds[-1]
+
+
 def merge_dumps(dumps: Iterable[dict]) -> dict:
     """Merge registry dumps into a fleet-level dump.
 
@@ -521,6 +598,8 @@ def merge_dumps(dumps: Iterable[dict]) -> dict:
                 }
                 if entry["type"] == "histogram":
                     target["buckets"] = list(entry.get("buckets", ()))
+                    if entry.get("exemplars_cap"):
+                        target["exemplars_cap"] = int(entry["exemplars_cap"])
                 merged[name] = target
             elif target["type"] != entry["type"]:
                 raise ValueError(
@@ -529,6 +608,10 @@ def merge_dumps(dumps: Iterable[dict]) -> dict:
             elif (entry["type"] == "histogram"
                   and list(entry.get("buckets", ())) != target["buckets"]):
                 raise ValueError(f"metric {name!r} has mismatched bucket bounds")
+            if entry["type"] == "histogram" and entry.get("exemplars_cap"):
+                target["exemplars_cap"] = max(
+                    int(target.get("exemplars_cap", 0)),
+                    int(entry["exemplars_cap"]))
             by_labels = {
                 tuple(sorted(s.get("labels", {}).items())): s
                 for s in target["samples"]
@@ -551,6 +634,13 @@ def merge_dumps(dumps: Iterable[dict]) -> dict:
                                            if existing["count"] - sample["count"]
                                            else sample["min"])
                         existing["max"] = max(existing["max"], sample["max"])
+                    if existing.get("exemplars") or sample.get("exemplars"):
+                        cap = int(target.get("exemplars_cap", 0)) or max(
+                            len(existing.get("exemplars", ())),
+                            len(sample.get("exemplars", ())))
+                        existing["exemplars"] = merge_exemplars(
+                            existing.get("exemplars", ()),
+                            sample.get("exemplars", ()), cap)
                 else:
                     existing["value"] += sample["value"]
     for entry in merged.values():

@@ -1,0 +1,188 @@
+"""SLO burn-rate monitoring over per-class attainment counts.
+
+DjiNN §6 argues DNN-as-a-service lives or dies on tail latency at scale —
+so a WSC operator does not watch *attainment* (a scalar that averages away
+incidents), they watch **error-budget burn rate**: with an objective of,
+say, 99 % of requests meeting their deadline, the error budget is 1 %, and
+
+    burn = miss_rate / (1 − objective)
+
+A burn of 1.0 spends exactly the budget; 10.0 exhausts a month's budget in
+three days.  Following the multi-window pattern, an alert fires only when
+**every** configured window (default 5 m *and* 1 h) burns above the
+threshold: the long window proves the problem is sustained, the short one
+proves it is still happening — so the alert is neither noisy nor stale.
+
+:class:`BurnRateMonitor` is fed either inline (``record(key, attained)``
+on each request, as the backend/gateway serve paths do) or from polled
+cumulative counters (``record_totals``, as ``djinn top`` does against
+``*_slo_requests_total`` dumps).  State transitions emit structured
+``event=slo.burn`` lines via :func:`repro.obs.trace.log_event`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from time import monotonic
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .trace import log_event
+
+__all__ = ["BurnRateMonitor", "DEFAULT_BURN_WINDOWS_S"]
+
+#: Multi-window defaults: 5 minutes (still happening) and 1 hour (sustained).
+DEFAULT_BURN_WINDOWS_S: Tuple[float, ...] = (300.0, 3600.0)
+
+
+class BurnRateMonitor:
+    """Tracks per-key SLO attainment and flags sustained budget burn.
+
+    Parameters
+    ----------
+    objective:
+        Target attainment fraction (0.99 → a 1 % error budget).
+    windows_s:
+        Look-back windows; an alert requires *all* of them over threshold.
+    threshold:
+        Burn-rate multiple that trips the alert (1.0 = budget spent exactly
+        on schedule).
+    clock:
+        Injectable monotonic time source (tests drive time by hand).
+    bucket_s:
+        Time-bucket granularity; defaults to 1/30 of the shortest window.
+    logger:
+        Destination for ``event=slo.burn`` transition lines (optional).
+    """
+
+    def __init__(self, objective: float = 0.99,
+                 windows_s: Sequence[float] = DEFAULT_BURN_WINDOWS_S,
+                 threshold: float = 2.0,
+                 clock: Callable[[], float] = monotonic,
+                 bucket_s: Optional[float] = None,
+                 logger=None):
+        if not 0.0 < objective < 1.0:
+            raise ValueError(f"objective must be in (0, 1), got {objective}")
+        if not windows_s or any(w <= 0 for w in windows_s):
+            raise ValueError(f"windows must be positive, got {windows_s}")
+        if threshold <= 0:
+            raise ValueError(f"threshold must be > 0, got {threshold}")
+        self.objective = float(objective)
+        self.windows_s = tuple(sorted(float(w) for w in windows_s))
+        self.threshold = float(threshold)
+        self.clock = clock
+        self.bucket_s = float(bucket_s) if bucket_s else self.windows_s[0] / 30.0
+        if self.bucket_s <= 0:
+            raise ValueError(f"bucket_s must be > 0, got {self.bucket_s}")
+        self.logger = logger
+        self._lock = threading.Lock()
+        #: key → deque of [bucket_start_s, total, missed]
+        self._buckets: Dict[str, deque] = {}
+        #: key → (last_total, last_missed) cumulative baselines (record_totals)
+        self._baselines: Dict[str, Tuple[float, float]] = {}
+        #: key → currently firing?
+        self._firing: Dict[str, bool] = {}
+
+    # --------------------------------------------------------------- feeding
+    def record(self, key: str, attained: bool, count: int = 1) -> None:
+        """Inline feed: ``count`` requests for ``key``, met or missed."""
+        self._add(key, total=count, missed=0 if attained else count)
+
+    def record_totals(self, key: str, attained_total: float,
+                      total: float) -> None:
+        """Polled feed from cumulative counters (fleet dumps).
+
+        Deltas against the previous poll are bucketed at the poll time; a
+        counter going backwards (process restart) resets the baseline.
+        """
+        missed_total = max(0.0, total - attained_total)
+        with self._lock:
+            last_total, last_missed = self._baselines.get(key, (0.0, 0.0))
+            if total < last_total or missed_total < last_missed:
+                last_total, last_missed = 0.0, 0.0  # counter reset
+            self._baselines[key] = (total, missed_total)
+        delta_total = total - last_total
+        delta_missed = missed_total - last_missed
+        if delta_total > 0:
+            self._add(key, total=delta_total, missed=delta_missed)
+
+    def _add(self, key: str, total: float, missed: float) -> None:
+        now = self.clock()
+        bucket_start = now - (now % self.bucket_s)
+        with self._lock:
+            buckets = self._buckets.get(key)
+            if buckets is None:
+                buckets = self._buckets[key] = deque()
+            if buckets and buckets[-1][0] == bucket_start:
+                buckets[-1][1] += total
+                buckets[-1][2] += missed
+            else:
+                buckets.append([bucket_start, total, missed])
+            horizon = now - self.windows_s[-1] - self.bucket_s
+            while buckets and buckets[0][0] < horizon:
+                buckets.popleft()
+
+    # --------------------------------------------------------------- reading
+    def keys(self) -> List[str]:
+        with self._lock:
+            return sorted(self._buckets)
+
+    def _window_counts(self, key: str, window_s: float) -> Tuple[float, float]:
+        cutoff = self.clock() - window_s
+        with self._lock:
+            buckets = self._buckets.get(key, ())
+            total = sum(b[1] for b in buckets if b[0] >= cutoff)
+            missed = sum(b[2] for b in buckets if b[0] >= cutoff)
+        return total, missed
+
+    def burn_rate(self, key: str, window_s: float) -> float:
+        """Error-budget burn multiple for ``key`` over the last ``window_s``.
+
+        0.0 when no requests were seen in the window.
+        """
+        total, missed = self._window_counts(key, window_s)
+        if total <= 0:
+            return 0.0
+        return (missed / total) / (1.0 - self.objective)
+
+    def snapshot(self, key: str) -> Dict[str, float]:
+        """``{"burn_300s": ..., "burn_3600s": ...}`` plus firing state."""
+        out = {f"burn_{int(w)}s": self.burn_rate(key, w) for w in self.windows_s}
+        out["firing"] = 1.0 if self._firing.get(key) else 0.0
+        return out
+
+    # -------------------------------------------------------------- alerting
+    def check(self) -> List[dict]:
+        """Evaluate every key; emit and return state-transition events.
+
+        A key *fires* when all windows burn ≥ threshold (with traffic in the
+        shortest window); it *resolves* when the shortest window drops back
+        under threshold.  Each transition yields one event dict and one
+        structured ``event=slo.burn`` log line.
+        """
+        events: List[dict] = []
+        for key in self.keys():
+            burns = {w: self.burn_rate(key, w) for w in self.windows_s}
+            short_total, _ = self._window_counts(key, self.windows_s[0])
+            firing_now = (short_total > 0
+                          and all(b >= self.threshold for b in burns.values()))
+            was_firing = self._firing.get(key, False)
+            if firing_now and not was_firing:
+                state = "firing"
+            elif was_firing and burns[self.windows_s[0]] < self.threshold:
+                state = "resolved"
+            else:
+                continue
+            self._firing[key] = state == "firing"
+            event = {
+                "key": key,
+                "state": state,
+                "objective": self.objective,
+                "threshold": self.threshold,
+            }
+            event.update({f"burn_{int(w)}s": round(b, 3)
+                          for w, b in burns.items()})
+            events.append(event)
+            if self.logger is not None:
+                log_event(self.logger, "slo.burn", **event)
+        return events

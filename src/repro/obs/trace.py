@@ -75,6 +75,21 @@ class Span:
         self.attrs.update(attrs)
         return self
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-able record (``djinn trace --json`` / ``djinn slow --json``)."""
+        return {
+            "name": self.name,
+            "category": self.category,
+            "trace_id": f"{self.trace_id:016x}",
+            "span_id": f"{self.span_id:016x}",
+            "parent_id": f"{self.parent_id:016x}",
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "duration_s": self.duration_s,
+            "thread": self.thread,
+            "attrs": {k: str(v) for k, v in self.attrs.items()},
+        }
+
     def __repr__(self) -> str:  # pragma: no cover
         return (f"Span({self.name!r}, trace={self.trace_id:#x}, "
                 f"dur={self.duration_s * 1e3:.3f}ms)")

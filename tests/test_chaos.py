@@ -281,6 +281,32 @@ class TestScenarios:
         assert report.ok == report.requests - report.expired - report.shed
         assert report.expired_metric == report.expired
         assert report.shed_metric == report.shed
+        # span coverage of the QoS decisions: every trace still closes a
+        # client.infer root (check() enforces traces == requests), and each
+        # shed/expired request additionally closed its decision span
+        assert report.traces == report.requests
+        assert report.admit_spans == report.shed
+        assert report.expire_spans == report.expired
+
+    def test_admit_span_divergence_flagged(self):
+        report = ChaosReport(scenario="s", seed=0, requests=4, ok=3,
+                             retry_budget=3, traces=4,
+                             errors={"DjinnOverloadedError": 1},
+                             shed=1, shed_metric=1, admit_spans=0)
+        assert any("sched.admit" in v for v in report.check())
+
+    def test_expire_span_divergence_flagged(self):
+        report = ChaosReport(scenario="s", seed=0, requests=4, ok=3,
+                             retry_budget=3, traces=4,
+                             errors={"DjinnDeadlineError": 1},
+                             expired=1, expired_metric=1, expire_spans=2)
+        assert any("sched.expire" in v for v in report.check())
+
+    def test_hedge_span_divergence_flagged(self):
+        report = ChaosReport(scenario="s", seed=0, requests=4, ok=4,
+                             retry_budget=3, traces=4,
+                             hedges_metric=1, hedge_spans=0)
+        assert any("gateway.hedge" in v for v in report.check())
 
     def test_shed_metric_divergence_flagged(self):
         report = ChaosReport(scenario="s", seed=0, requests=4, ok=3,

@@ -1,5 +1,6 @@
-"""CLI tests: serve + query over a real socket, models, plan."""
+"""CLI tests: serve + query over a real socket, models, plan, observability."""
 
+import json
 import threading
 import time
 
@@ -70,6 +71,18 @@ class TestServeAndQuery:
         with pytest.raises(SystemExit, match="unknown model"):
             main(["serve", "--models", "bert"])
 
+    def test_metrics_json_is_machine_readable(self, live_server, capsys):
+        """`djinn metrics --json` emits the raw dump as parseable JSON."""
+        assert main(["query", "--port", str(live_server), "--app", "dig",
+                     "--count", "1"]) == 0
+        capsys.readouterr()  # drop the query's human output
+        assert main(["metrics", "--port", str(live_server), "--json"]) == 0
+        dump = json.loads(capsys.readouterr().out)
+        entry = dump["metrics"]["djinn_requests_total"]
+        assert entry["type"] == "counter"
+        assert any(s["labels"].get("model") == "dig"
+                   for s in entry["samples"])
+
     def test_load_flag_serves_saved_models(self, tmp_path, capsys):
         """`djinn serve --load path=name` serves a save_net archive."""
         import socket
@@ -108,6 +121,105 @@ class TestServeAndQuery:
     def test_load_flag_rejects_malformed_entry(self):
         with pytest.raises(SystemExit, match="PATH=NAME"):
             main(["serve", "--models", "", "--load", "nonsense"])
+
+
+class TestTraceCommand:
+    def test_trace_json_emits_parseable_trace(self, tmp_path, capsys):
+        """`djinn trace --json` prints one span tree as JSON on stdout;
+        progress chatter moves to stderr so the payload stays parseable."""
+        out_path = tmp_path / "trace.json"
+        assert main(["trace", "--backends", "1", "--models", "pos",
+                     "--requests", "2", "--batch", "4", "--json",
+                     "--out", str(out_path)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"trace_id", "coverage", "spans"}
+        assert payload["coverage"] >= 0.95
+        names = {span["name"] for span in payload["spans"]}
+        assert {"client.infer", "gateway.infer", "backend.infer",
+                "net.forward"} <= names
+        # every span round-trips its ids as 16-hex-digit strings
+        for span in payload["spans"]:
+            assert span["trace_id"] == payload["trace_id"]
+            int(span["span_id"], 16)
+        assert json.loads(out_path.read_text())["traceEvents"]
+
+
+class TestSlowCommand:
+    def test_slow_reports_cost_ledger_for_tail_exemplars(self, capsys):
+        """`djinn slow` resolves the latency histogram's tail exemplars to
+        full span trees and cost ledgers."""
+        assert main(["slow", "--backends", "1", "--models", "pos",
+                     "--requests", "8", "--batch", "4", "--top", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "=== #1 slowest:" in out
+        assert "client.infer" in out  # span tree
+        assert "net.forward" in out and "unattributed" in out  # ledger
+        assert "coverage" in out
+
+    def test_slow_json(self, capsys):
+        assert main(["slow", "--backends", "1", "--models", "pos",
+                     "--requests", "6", "--batch", "4", "--top", "1",
+                     "--json"]) == 0
+        reports = json.loads(capsys.readouterr().out)
+        assert reports and reports[0]["rank"] == 1
+        ledger = reports[0]["ledger"]
+        assert ledger["trace_id"] == reports[0]["trace_id"]
+        assert set(ledger["shares"]) > {"net.forward", "unattributed"}
+        assert sum(ledger["shares"].values()) == pytest.approx(1.0)
+        assert reports[0]["spans"]
+
+
+class TestTopCommand:
+    def test_top_renders_fleet_frame(self, capsys):
+        """`djinn top --iterations 1` polls a live server twice and renders
+        one frame: per-model qps/percentiles/burn plus stage breakdown."""
+        import socket
+
+        from repro.core import DjinnClient
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        thread = threading.Thread(
+            target=main,
+            args=(["serve", "--models", "pos", "--port", str(port),
+                   "--batch", "4"],),
+            daemon=True,
+        )
+        thread.start()
+        deadline = time.time() + 10
+        client = None
+        while time.time() < deadline:
+            try:
+                client = DjinnClient("127.0.0.1", port, timeout_s=5.0)
+                break
+            except OSError:
+                time.sleep(0.05)
+        assert client is not None, "server never came up"
+        try:
+            import numpy as np
+
+            for _ in range(4):
+                client.infer("pos", np.zeros((1, 300), np.float32))
+            assert main(["top", "--port", str(port), "--interval", "0.2",
+                         "--iterations", "1"]) == 0
+        finally:
+            client.shutdown_server()
+            thread.join(timeout=5)
+        out = capsys.readouterr().out
+        assert f"djinn top — 127.0.0.1:{port}" in out
+        assert "qps" in out and "p99ms" in out
+        assert "pos" in out
+        assert "stage breakdown" in out and "net.forward" in out
+
+    def test_top_unreachable_host_fails_cleanly(self, capsys):
+        import socket
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]  # nothing listens here
+        assert main(["top", "--port", str(port), "--iterations", "1"]) == 1
+        assert "cannot reach" in capsys.readouterr().err
 
 
 class TestGatewayCommand:

@@ -3,6 +3,7 @@
 import json
 import logging
 import math
+import struct
 import threading
 
 import numpy as np
@@ -21,8 +22,11 @@ from repro.obs import (
     merge_dumps,
     new_id,
     parse_exposition,
+    read_dump_region,
     render_exposition,
+    write_dump_region,
 )
+from repro.obs.metrics import DUMP_REGION_HEADER
 
 
 class FakeClock:
@@ -129,6 +133,42 @@ class TestHistogram:
             t.join()
         assert hist.count == 4 * n
         assert hist.sum == pytest.approx(0.1 * 4 * n)
+
+    def test_exemplars_keep_the_largest_observations(self):
+        hist = Histogram(buckets=(0.5,), exemplars=3)
+        for v in (0.1, 0.9, 0.4, 2.0, 1.5, 0.2):
+            hist.observe(v, exemplar=f"t{v}")
+        assert hist.exemplars() == [(2.0, "t2.0"), (1.5, "t1.5"),
+                                    (0.9, "t0.9")]
+
+    def test_exemplars_off_by_default(self):
+        hist = Histogram(buckets=(0.5,))
+        hist.observe(1.0, exemplar="x")
+        assert hist.exemplars() == []
+
+    def test_exemplar_correctness_under_concurrent_observe(self):
+        # 4 threads race on the exemplar heap with globally unique values;
+        # the survivors must be exactly the 5 largest, each still paired
+        # with the label it was observed under
+        hist = Histogram(buckets=(0.5,), exemplars=5)
+        n, threads = 500, []
+
+        def worker(t):
+            for j in range(n):
+                v = t * n + j + 1
+                hist.observe(float(v), exemplar=str(v))
+
+        for t in range(4):
+            thread = threading.Thread(target=worker, args=(t,))
+            threads.append(thread)
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert hist.count == 4 * n
+        exemplars = hist.exemplars()
+        assert [v for v, _ in exemplars] == \
+            [float(4 * n - k) for k in range(5)]
+        assert all(label == str(int(v)) for v, label in exemplars)
 
 
 class TestRegistry:
@@ -272,6 +312,95 @@ class TestMergeDumps:
         b.gauge("x_total").set(1)
         with pytest.raises(ValueError, match="conflicting"):
             merge_dumps([a.dump(), b.dump()])
+
+    def test_exemplars_survive_dump_and_merge(self):
+        regs = [MetricsRegistry() for _ in range(2)]
+        for i, reg in enumerate(regs):
+            hist = reg.histogram("lat_seconds", labelnames=("model",),
+                                 buckets=(1.0,), exemplars=2)
+            hist.labels(model="dig").observe(float(i + 1),
+                                             exemplar=f"trace{i}")
+        merged = merge_dumps(reg.dump() for reg in regs)
+        (sample,) = merged["metrics"]["lat_seconds"]["samples"]
+        # cap 2 keeps both; slowest first, labels intact across the merge
+        assert sample["exemplars"] == [[2.0, "trace1"], [1.0, "trace0"]]
+
+
+class TestDumpRegion:
+    """Seqlock shm metric regions (the procpool worker → parent path)."""
+
+    def test_round_trip(self):
+        buf = bytearray(4096)
+        assert read_dump_region(buf) is None  # never written
+        reg = MetricsRegistry()
+        reg.counter("x_total").inc(3)
+        write_dump_region(buf, reg.dump())
+        assert read_dump_region(buf) == reg.dump()
+
+    def test_oversized_payload_rejected(self):
+        buf = bytearray(DUMP_REGION_HEADER + 8)
+        with pytest.raises(ValueError, match="capacity"):
+            write_dump_region(buf, {"metrics": {"pad": "x" * 64}})
+
+    def test_odd_version_reads_as_torn(self):
+        buf = bytearray(4096)
+        write_dump_region(buf, {"metrics": {}})
+        # forge a writer stuck mid-update: odd version never settles
+        struct.pack_into("<Q", buf, 0, 7)
+        assert read_dump_region(buf, attempts=4) is None
+
+    def test_merge_under_active_writers_never_tears(self):
+        # One writer per region updates two lockstep counters and
+        # republishes as fast as it can; readers concurrently snapshot and
+        # merge_dumps the regions.  Every successful read must satisfy the
+        # lockstep invariant — a torn read (stale/fresh payload mix) would
+        # break it or fail to parse, and the seqlock must allow neither.
+        regions = [bytearray(1 << 16) for _ in range(2)]
+        stop = threading.Event()
+        failures = []
+
+        def writer(buf, model):
+            reg = MetricsRegistry()
+            a = reg.counter("djinn_requests_total", labelnames=("model",))
+            b = reg.counter("djinn_shadow_total", labelnames=("model",))
+            while not stop.is_set():
+                a.labels(model=model).inc()
+                b.labels(model=model).inc()
+                write_dump_region(buf, reg.dump())
+
+        def lockstep(dump):
+            totals = {}
+            for name in ("djinn_requests_total", "djinn_shadow_total"):
+                entry = dump["metrics"].get(name, {})
+                totals[name] = sum(s["value"] for s in entry.get("samples", ()))
+            return totals["djinn_requests_total"] == totals["djinn_shadow_total"]
+
+        def reader():
+            for _ in range(300):
+                snaps = [read_dump_region(buf) for buf in regions]
+                live = [s for s in snaps if s is not None]
+                if not all(lockstep(s) for s in live):
+                    failures.append("torn read: lockstep counters diverged")
+                    return
+                if live and not lockstep(merge_dumps(live)):
+                    failures.append("merge of torn snapshots diverged")
+                    return
+
+        writers = [threading.Thread(target=writer, args=(buf, model))
+                   for buf, model in zip(regions, ("dig", "pos"))]
+        readers = [threading.Thread(target=reader) for _ in range(2)]
+        for t in writers + readers:
+            t.start()
+        for t in readers:
+            t.join()
+        stop.set()
+        for t in writers:
+            t.join()
+        assert failures == []
+        # after the dust settles, both regions hold a consistent final dump
+        for buf in regions:
+            final = read_dump_region(buf)
+            assert final is not None and lockstep(final)
 
 
 # ---------------------------------------------------------------------- tracing
