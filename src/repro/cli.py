@@ -12,6 +12,12 @@ Commands
     processes (weights mapped read-only, one physical copy).
 ``djinn query --host H --port P --app dig``
     Run one Tonic query against a live server and print the result.
+``djinn stream --host H --port P [--model asr] [--chunks K] [--words a,b]``
+    Open a protocol-v4 streaming session: for ``asr``, synthesize an
+    utterance, feed it in chunks, and print the incremental partial
+    transcripts plus the exact final one; for any other model, stream
+    stamped chunks through the generic label app.  Works against a server
+    or a gateway (streams are pinned to one backend for their lifetime).
 ``djinn gateway --backends N [--models ...] [--policy P] [--port N]``
     Launch an in-process fleet of N DjiNN backends behind a sharded,
     fault-tolerant gateway speaking the same protocol (clients and
@@ -151,6 +157,46 @@ def cmd_query(args) -> int:
         print(f"(pre {timing.pre_s * 1e3:.2f} ms | dnn {timing.dnn_s * 1e3:.2f} ms | "
               f"post {timing.post_s * 1e3:.2f} ms)")
         print("server stats:", client.stats())
+    return 0
+
+
+def cmd_stream(args) -> int:
+    from .core import DjinnClient
+
+    with DjinnClient(args.host, args.port) as client:
+        if args.model == "asr":
+            from .tonic import LEXICON, synthesize_words
+
+            words = [w for w in args.words.split(",") if w] or list(LEXICON)[:2]
+            audio, _ = synthesize_words(words, seed=args.seed)
+            chunk = max(1, -(-len(audio) // args.chunks))
+            with client.open_stream("asr") as stream:
+                for start in range(0, len(audio), chunk):
+                    result = stream.send(audio[start:start + chunk])
+                    print(f"chunk {result.seq}: partial="
+                          f"{result.data.get('partial', '')!r}"
+                          f"{'  [endpoint]' if result.final else ''}")
+                    if result.final:
+                        break
+                final = stream.close()
+            print(f"final transcript: {final.data.get('transcript', '')!r} "
+                  f"(said: {' '.join(words)!r})")
+        else:
+            from .models import build_spec
+
+            shape = tuple(build_spec(args.model).input_shape)
+            rng = np.random.default_rng(args.seed)
+            for index in range(args.streams):
+                with client.open_stream(args.model) as stream:
+                    for _ in range(args.chunks):
+                        x = rng.normal(size=(1,) + shape).astype(np.float32)
+                        result = stream.send(x)
+                        print(f"stream {stream.stream_id} chunk {result.seq}: "
+                              f"labels={result.data.get('labels')}")
+                    final = stream.close()
+                print(f"stream {stream.stream_id} final: "
+                      f"{final.data.get('count')} chunk(s), "
+                      f"transcript={final.data.get('labels')}")
     return 0
 
 
@@ -648,6 +694,24 @@ def main(argv=None) -> int:
     query.add_argument("--tenant", default="",
                        help="tenant id for per-tenant gateway rate limits")
 
+    stream = sub.add_parser(
+        "stream", help="open streaming sessions against a server or gateway")
+    stream.add_argument("--host", default="127.0.0.1")
+    stream.add_argument("--port", type=int, default=7889)
+    stream.add_argument("--model", default="asr",
+                        help="model to stream to; 'asr' streams synthesized "
+                             "audio and prints partial transcripts, any "
+                             "other servable model streams stamped chunks "
+                             "through the generic label app")
+    stream.add_argument("--streams", type=int, default=1,
+                        help="how many sequential streams to run")
+    stream.add_argument("--chunks", type=int, default=4,
+                        help="chunks per stream (for asr: how many pieces "
+                             "the utterance is cut into)")
+    stream.add_argument("--words", default="",
+                        help="comma-separated words to speak (asr only)")
+    stream.add_argument("--seed", type=int, default=0)
+
     gateway = sub.add_parser(
         "gateway", help="front an in-process DjiNN fleet with the gateway")
     gateway.add_argument("--backends", type=int, default=2,
@@ -753,6 +817,7 @@ def main(argv=None) -> int:
 
     args = parser.parse_args(argv)
     return {"models": cmd_models, "serve": cmd_serve, "query": cmd_query,
+            "stream": cmd_stream,
             "gateway": cmd_gateway, "metrics": cmd_metrics, "trace": cmd_trace,
             "slow": cmd_slow, "top": cmd_top,
             "chaos": cmd_chaos, "plan": cmd_plan}[args.command](args)

@@ -6,6 +6,7 @@ server-side dynamic batching, a client library, and a remote backend that
 plugs directly into the Tonic applications.
 """
 
+from .aio import DjinnStreamClient
 from .batching import BatchingExecutor, BatchPolicy
 from .client import (
     DjinnClient,
@@ -13,7 +14,11 @@ from .client import (
     DjinnDeadlineError,
     DjinnOverloadedError,
     DjinnServiceError,
+    DjinnSessionLimitError,
+    DjinnStream,
+    DjinnStreamError,
     RemoteBackend,
+    StreamResult,
 )
 from .loadgen import (
     LoadResult,
@@ -26,6 +31,7 @@ from .procpool import PoolLease, ProcPoolError, ProcPoolExecutor, parse_workers
 from .protocol import Message, MessageType, ProtocolError, recv_message, send_message
 from .registry import ModelRegistry
 from .server import DjinnServer
+from .session import SessionLimitError, SessionManager, TensorStreamApp
 from .stats import ServiceStats
 
 __all__ = [
@@ -40,6 +46,14 @@ __all__ = [
     "DjinnDeadlineError",
     "DjinnOverloadedError",
     "DjinnServiceError",
+    "DjinnSessionLimitError",
+    "DjinnStream",
+    "DjinnStreamError",
+    "DjinnStreamClient",
+    "StreamResult",
+    "SessionLimitError",
+    "SessionManager",
+    "TensorStreamApp",
     "RemoteBackend",
     "Message",
     "MessageType",

@@ -1,0 +1,244 @@
+"""Asyncio streaming client: many concurrent streams, few connections.
+
+The blocking :class:`repro.core.client.DjinnClient` maps one thread to one
+connection; scaling it to thousands of concurrent streams means thousands
+of threads.  :class:`DjinnStreamClient` instead multiplexes streams over a
+small pool of asyncio connections: one reader task per connection parses
+frames with the shared sans-IO decoder (:func:`repro.core.protocol
+.frame_parser`) and routes each frame to its stream's queue by
+``stream_id``, so any number of streams interleave on one socket with a
+single outstanding operation per stream.
+
+Error typing matches the sync client: SESSION_LIMIT becomes
+:class:`DjinnSessionLimitError`, a stream-carrying ERROR frame becomes
+:class:`DjinnStreamError` (the stream is dead, the connection is fine),
+and transport failures become :class:`DjinnConnectionError` delivered to
+every stream on the lost connection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .client import (
+    DjinnConnectionError,
+    DjinnServiceError,
+    DjinnSessionLimitError,
+    DjinnStreamError,
+    StreamResult,
+)
+from .protocol import Message, MessageType, ProtocolError, encode_message, frame_parser
+
+__all__ = ["DjinnStreamClient", "AsyncDjinnStream"]
+
+
+async def _recv_async(reader: asyncio.StreamReader) -> Message:
+    """Read one frame from an asyncio stream via the shared parser."""
+    parser = frame_parser()
+    need = next(parser)
+    while True:
+        try:
+            need = parser.send(
+                await reader.readexactly(need) if need else b"")
+        except StopIteration as done:
+            return done.value
+
+
+class _Conn:
+    """One multiplexed connection: writer lock + reader task + routing."""
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter):
+        self.reader = reader
+        self.writer = writer
+        self.write_lock = asyncio.Lock()
+        self.routes: Dict[int, asyncio.Queue] = {}
+        self.reader_task: Optional[asyncio.Task] = None
+        self.dead: Optional[Exception] = None
+
+    async def run(self) -> None:
+        """Reader loop: route every inbound frame to its stream's queue."""
+        try:
+            while True:
+                message = await _recv_async(self.reader)
+                queue = self.routes.get(message.stream_id)
+                if queue is not None:
+                    queue.put_nowait(message)
+                # frames for unknown streams (e.g. a late reply after local
+                # abandonment) are dropped; the server keeps strict 1:1
+                # request/reply ordering so nothing else arrives here
+        except (asyncio.IncompleteReadError, ConnectionError, OSError,
+                ProtocolError) as exc:
+            self.dead = DjinnConnectionError(f"stream connection lost: {exc}")
+            for queue in self.routes.values():
+                queue.put_nowait(self.dead)
+
+    async def request(self, stream_id: int, message: Message) -> Message:
+        if self.dead is not None:
+            raise self.dead
+        async with self.write_lock:
+            self.writer.write(encode_message(message))
+            await self.writer.drain()
+        reply = await self.routes[stream_id].get()
+        if isinstance(reply, Exception):
+            raise reply
+        return reply
+
+    async def close(self) -> None:
+        if self.reader_task is not None:
+            self.reader_task.cancel()
+            try:
+                await self.reader_task
+            except (asyncio.CancelledError, Exception):
+                pass
+        try:
+            self.writer.close()
+            await self.writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+class AsyncDjinnStream:
+    """One open stream on a :class:`DjinnStreamClient`.
+
+    One outstanding operation per stream (enforced with a lock); different
+    streams on the same connection proceed concurrently.
+    """
+
+    def __init__(self, conn: _Conn, model: str, stream_id: int):
+        self._conn = conn
+        self.model = model
+        self.stream_id = stream_id
+        self._seq = 0
+        self._lock = asyncio.Lock()
+        self._final: Optional[StreamResult] = None
+
+    @property
+    def finalized(self) -> bool:
+        return self._final is not None
+
+    def _result(self, response: Message) -> StreamResult:
+        if response.type == MessageType.ERROR:
+            raise DjinnStreamError(response.text, stream_id=self.stream_id)
+        if response.type != MessageType.STREAM_RESULT:
+            raise DjinnServiceError(
+                f"unexpected stream reply {response.type}")
+        try:
+            data = json.loads(response.text) if response.text else {}
+        except ValueError:
+            data = {"raw": response.text}
+        result = StreamResult(data=data, seq=response.stream_seq,
+                              final=response.stream_final)
+        if result.final:
+            self._final = result
+            self._conn.routes.pop(self.stream_id, None)
+        return result
+
+    async def send(self, chunk: np.ndarray) -> StreamResult:
+        """Send one chunk; returns the partial (or endpointed-final) result."""
+        chunk = np.ascontiguousarray(chunk, dtype=np.float32)
+        async with self._lock:
+            self._seq += 1
+            reply = await self._conn.request(
+                self.stream_id,
+                Message(MessageType.STREAM_CHUNK, name=self.model,
+                        tensor=chunk, stream_id=self.stream_id,
+                        stream_seq=self._seq))
+        return self._result(reply)
+
+    async def close(self) -> StreamResult:
+        """End the stream; returns the final result."""
+        if self._final is not None:
+            return self._final
+        async with self._lock:
+            self._seq += 1
+            reply = await self._conn.request(
+                self.stream_id,
+                Message(MessageType.STREAM_CLOSE, name=self.model,
+                        stream_id=self.stream_id, stream_seq=self._seq))
+        return self._result(reply)
+
+
+class DjinnStreamClient:
+    """Asyncio client multiplexing many streams over few connections.
+
+    ``connections`` bounds the TCP fan-in; streams are assigned round-robin
+    at :meth:`open`.  Against a gateway every stream is still pinned to one
+    backend (the gateway's session affinity), regardless of which client
+    connection carries it.
+    """
+
+    def __init__(self, host: str, port: int, connections: int = 1):
+        if connections < 1:
+            raise ValueError(f"connections must be >= 1, got {connections}")
+        self._host, self._port = host, port
+        self._target = connections
+        self._conns: List[_Conn] = []
+        self._ids = itertools.count(1)
+        self._rr = 0
+
+    async def connect(self) -> "DjinnStreamClient":
+        try:
+            for _ in range(self._target):
+                reader, writer = await asyncio.open_connection(
+                    self._host, self._port)
+                conn = _Conn(reader, writer)
+                conn.reader_task = asyncio.ensure_future(conn.run())
+                self._conns.append(conn)
+        except OSError as exc:
+            await self.close()
+            raise DjinnConnectionError(
+                f"cannot connect to {self._host}:{self._port}: {exc}"
+            ) from exc
+        return self
+
+    async def open(self, model: str, priority: int = 0,
+                   tenant: str = "") -> AsyncDjinnStream:
+        """Open one stream (round-robin across the connection pool)."""
+        if not self._conns:
+            raise RuntimeError("client not connected; call connect() first")
+        conn = self._conns[self._rr % len(self._conns)]
+        self._rr += 1
+        stream_id = next(self._ids)
+        conn.routes[stream_id] = asyncio.Queue()
+        try:
+            reply = await conn.request(
+                stream_id,
+                Message(MessageType.STREAM_OPEN, name=model,
+                        stream_id=stream_id, priority=priority,
+                        tenant=tenant))
+        except Exception:
+            conn.routes.pop(stream_id, None)
+            raise
+        if reply.type == MessageType.SESSION_LIMIT:
+            conn.routes.pop(stream_id, None)
+            try:
+                detail = json.loads(reply.text)
+            except ValueError:
+                detail = {"error": reply.text}
+            raise DjinnSessionLimitError(
+                detail.get("error", reply.text), stream_id=stream_id,
+                limit=int(detail.get("limit", 0)))
+        if reply.type == MessageType.ERROR:
+            conn.routes.pop(stream_id, None)
+            raise DjinnStreamError(reply.text, stream_id=stream_id)
+        if reply.type != MessageType.STREAM_OPEN:
+            conn.routes.pop(stream_id, None)
+            raise DjinnServiceError(f"unexpected stream-open reply {reply.type}")
+        return AsyncDjinnStream(conn, model, stream_id)
+
+    async def close(self) -> None:
+        conns, self._conns = self._conns, []
+        for conn in conns:
+            await conn.close()
+
+    async def __aenter__(self) -> "DjinnStreamClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()

@@ -29,6 +29,12 @@ Observability: requests that arrive with trace context get ``backend.queue``
 single forward pass is replayed into every participating trace (optionally
 with per-layer sub-spans), and executed batch sizes feed a
 ``djinn_batch_size`` histogram when a metrics registry is attached.
+
+Streaming (protocol v4) rides the same machinery: each STREAM_CHUNK's DNN
+work is submitted through :meth:`BatchingExecutor.submit_lease` like any
+unary request, so chunks from concurrent streams coalesce into shared
+batches and obey the EDF queues when scheduling is armed — a stream gets
+incremental results without a private fast path through the executor.
 """
 
 from __future__ import annotations

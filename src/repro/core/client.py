@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import json
 import socket
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -15,11 +16,15 @@ from .protocol import Message, MessageType, ProtocolError, recv_message, send_me
 
 __all__ = [
     "DjinnClient",
+    "DjinnStream",
+    "StreamResult",
     "RemoteBackend",
     "DjinnServiceError",
     "DjinnConnectionError",
     "DjinnDeadlineError",
     "DjinnOverloadedError",
+    "DjinnStreamError",
+    "DjinnSessionLimitError",
 ]
 
 
@@ -49,6 +54,43 @@ class DjinnOverloadedError(DjinnServiceError):
         super().__init__(message)
         self.reason = reason
         self.retry_after_ms = retry_after_ms
+
+
+class DjinnStreamError(DjinnServiceError):
+    """A stream-scoped typed error (stream-carrying ERROR frame).
+
+    The *connection* is still healthy — only the named stream is dead
+    (chunk after close, unknown stream id, injected mid-stream drop, a
+    chunk the application rejected).  Other streams multiplexed on the
+    same connection continue unaffected.
+    """
+
+    def __init__(self, message: str, stream_id: int = 0):
+        super().__init__(message)
+        self.stream_id = stream_id
+
+
+class DjinnSessionLimitError(DjinnStreamError):
+    """The server's stream session table is full (SESSION_LIMIT frame).
+
+    Backpressure on stream *opens*, analogous to OVERLOADED for unary
+    requests: nothing about this stream was wrong, the table was simply at
+    capacity — retry after closing other streams or against another
+    backend.  ``limit`` echoes the server's configured table size.
+    """
+
+    def __init__(self, message: str, stream_id: int = 0, limit: int = 0):
+        super().__init__(message, stream_id=stream_id)
+        self.limit = limit
+
+
+@dataclass(frozen=True)
+class StreamResult:
+    """One STREAM_RESULT payload: the decoded JSON plus frame metadata."""
+
+    data: dict = field(default_factory=dict)
+    seq: int = 0
+    final: bool = False
 
 
 class DjinnConnectionError(DjinnServiceError, OSError):
@@ -82,6 +124,7 @@ class DjinnClient:
         self._fault_scope = fault_scope
         self._sock: Optional[socket.socket] = self._connect()
         self._closed = False
+        self._next_stream_id = 1
 
     def _connect(self) -> socket.socket:
         try:
@@ -104,7 +147,8 @@ class DjinnClient:
             except OSError:
                 pass
 
-    def _roundtrip(self, request: Message) -> Message:
+    def _exchange(self, request: Message) -> Message:
+        """Send one frame, receive one frame; transport errors are typed."""
         if self._closed:
             raise RuntimeError("client is closed")
         if self._sock is None:
@@ -113,7 +157,7 @@ class DjinnClient:
             self._sock = self._connect()
         try:
             send_message(self._sock, request)
-            response = recv_message(self._sock, fault_scope=self._fault_scope)
+            return recv_message(self._sock, fault_scope=self._fault_scope)
         except ProtocolError as exc:
             # A malformed frame means the stream is desynced: any bytes still
             # buffered belong to no known frame boundary, so the connection
@@ -128,6 +172,19 @@ class DjinnClient:
             raise DjinnConnectionError(
                 f"transport failure talking to {self._host}:{self._port}: {exc}"
             ) from exc
+
+    def exchange(self, request: Message) -> Message:
+        """Raw one-request/one-reply exchange with no response typing.
+
+        The gateway's stream proxy forwards stream frames verbatim and
+        relays whatever the backend answered — typed interpretation happens
+        at the edge client, not mid-path.  Transport failures still raise
+        :class:`DjinnConnectionError`.
+        """
+        return self._exchange(request)
+
+    def _roundtrip(self, request: Message) -> Message:
+        response = self._exchange(request)
         if response.type == MessageType.ERROR:
             raise DjinnServiceError(response.text)
         if response.type == MessageType.DEADLINE_EXCEEDED:
@@ -141,6 +198,25 @@ class DjinnClient:
                 detail.get("error", response.text),
                 reason=detail.get("reason", ""),
                 retry_after_ms=float(detail.get("retry_after_ms", 0.0)))
+        return response
+
+    def _stream_roundtrip(self, request: Message) -> Message:
+        """Roundtrip with stream-scoped (rather than unary) error typing."""
+        response = self._exchange(request)
+        if response.type == MessageType.SESSION_LIMIT:
+            try:
+                detail = json.loads(response.text)
+            except ValueError:
+                detail = {"error": response.text}
+            raise DjinnSessionLimitError(
+                detail.get("error", response.text),
+                stream_id=response.stream_id,
+                limit=int(detail.get("limit", 0)))
+        if response.type == MessageType.ERROR:
+            if response.stream_id:
+                raise DjinnStreamError(response.text,
+                                       stream_id=response.stream_id)
+            raise DjinnServiceError(response.text)
         return response
 
     def interrupt(self) -> None:
@@ -242,6 +318,112 @@ class DjinnClient:
         except (DjinnConnectionError, ConnectionError, OSError):
             pass
         self.close()
+
+    # ------------------------------------------------------------- streaming
+    def open_stream(self, model: str, stream_id: Optional[int] = None,
+                    priority: int = 0, tenant: str = "") -> "DjinnStream":
+        """Open a streaming session for ``model`` (protocol v4).
+
+        Stream ids are per-connection; by default the client allocates the
+        next unused one.  Raises :class:`DjinnSessionLimitError` when the
+        server's session table is full, :class:`DjinnServiceError` for an
+        unknown model.  Several streams may be open on one client and
+        interleaved freely — every operation is one ordered roundtrip.
+        """
+        if stream_id is None:
+            stream_id = self._next_stream_id
+        self._next_stream_id = max(self._next_stream_id, stream_id) + 1
+        open_msg = Message(MessageType.STREAM_OPEN, name=model,
+                           stream_id=stream_id, priority=priority,
+                           tenant=tenant)
+        tracer = self._tracer
+        if tracer.enabled:
+            with tracer.span("client.stream", category="client", model=model,
+                             backend=f"{self._host}:{self._port}") as span:
+                open_msg.trace_id = span.trace_id
+                open_msg.span_id = span.span_id
+                ack = self._stream_roundtrip(open_msg)
+        else:
+            ack = self._stream_roundtrip(open_msg)
+        if ack.type != MessageType.STREAM_OPEN or ack.stream_id != stream_id:
+            raise DjinnServiceError(
+                f"unexpected stream-open reply {ack.type} "
+                f"(stream {ack.stream_id})")
+        return DjinnStream(self, model, stream_id,
+                           trace_id=open_msg.trace_id,
+                           span_id=open_msg.span_id)
+
+
+class DjinnStream:
+    """One open stream on a :class:`DjinnClient` connection.
+
+    Every :meth:`send` carries one chunk and returns the server's partial
+    :class:`StreamResult` for it; :meth:`close` ends the stream and returns
+    the final result.  When the server endpoints the stream early (trailing
+    silence on an ASR stream), the partial returned by ``send`` is already
+    final — ``close`` then just hands back that cached result instead of
+    touching the wire.  Deliberately *no* local liveness guard beyond that:
+    a chunk sent after close reaches the server and comes back as the typed
+    :class:`DjinnStreamError` the lifecycle tests pin down.
+    """
+
+    def __init__(self, client: DjinnClient, model: str, stream_id: int,
+                 trace_id: int = 0, span_id: int = 0):
+        self.client = client
+        self.model = model
+        self.stream_id = stream_id
+        self._trace_id = trace_id
+        self._span_id = span_id
+        self._seq = 0
+        self._final: Optional[StreamResult] = None
+
+    @property
+    def finalized(self) -> bool:
+        return self._final is not None
+
+    def _result(self, response: Message) -> StreamResult:
+        if (response.type != MessageType.STREAM_RESULT
+                or response.stream_id != self.stream_id):
+            raise DjinnServiceError(
+                f"unexpected stream reply {response.type} "
+                f"(stream {response.stream_id})")
+        try:
+            data = json.loads(response.text) if response.text else {}
+        except ValueError:
+            data = {"raw": response.text}
+        result = StreamResult(data=data, seq=response.stream_seq,
+                              final=response.stream_final)
+        if result.final:
+            self._final = result
+        return result
+
+    def send(self, chunk: np.ndarray) -> StreamResult:
+        """Send one chunk; returns the partial (or endpointed-final) result."""
+        chunk = np.ascontiguousarray(chunk, dtype=np.float32)
+        self._seq += 1
+        response = self.client._stream_roundtrip(
+            Message(MessageType.STREAM_CHUNK, name=self.model, tensor=chunk,
+                    stream_id=self.stream_id, stream_seq=self._seq,
+                    trace_id=self._trace_id, span_id=self._span_id))
+        return self._result(response)
+
+    def close(self) -> StreamResult:
+        """End the stream; returns the final result."""
+        if self._final is not None:
+            return self._final
+        self._seq += 1
+        response = self.client._stream_roundtrip(
+            Message(MessageType.STREAM_CLOSE, name=self.model,
+                    stream_id=self.stream_id, stream_seq=self._seq,
+                    trace_id=self._trace_id, span_id=self._span_id))
+        return self._result(response)
+
+    def __enter__(self) -> "DjinnStream":
+        return self
+
+    def __exit__(self, exc_type, *exc) -> None:
+        if exc_type is None and not self.finalized:
+            self.close()
 
 
 class RemoteBackend(DnnBackend):

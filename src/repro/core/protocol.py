@@ -8,19 +8,22 @@ message type, a model name, and a float32 tensor payload.
 Frame layout (all integers little-endian)::
 
     magic       4 bytes  b"DJNN"
-    version     u8       1 (plain), 2 (trace context), 3 (trace + QoS)
+    version     u8       1 (plain), 2 (trace), 3 (trace + QoS), 4 (+ stream)
     type        u8       MessageType
     name_len    u16      model-name byte count
     ndim        u8       payload tensor rank (0 = no tensor)
     trace_id    u64      \ only when version >= 2: request-scoped trace
     span_id     u64      / context (sender's span, the receiver's parent)
     deadline_us u32      \
-    priority    i8        > only when version == 3: QoS block
+    priority    i8        > only when version >= 3: QoS block
     tenant_len  u8       /
+    stream_id   u32      \
+    flags       u8        > only when version == 4: stream block
+    seq         u32      /
     dims        u32 * ndim
     body_len    u64      payload byte count (tensor data or UTF-8 text)
     name        name_len bytes (UTF-8)
-    tenant      tenant_len bytes (UTF-8, version == 3 only)
+    tenant      tenant_len bytes (UTF-8, version >= 3 only)
     body        body_len bytes
 
 The trace context is optional and backward compatible: senders emit the
@@ -38,6 +41,17 @@ untraced) so each version has exactly one layout.  ``deadline_us`` is the
 *remaining* budget at send time, in microseconds (0 = none) — a relative
 duration, not a wall-clock timestamp, so it survives clock skew between
 hosts; each receiver re-anchors it against its own monotonic clock.
+
+Version 4 adds streaming: frames that belong to a stream (the
+``STREAM_*`` message types, plus stream-scoped errors) carry a stream
+block — ``stream_id`` scopes the frame to one stream on the connection
+(ids are per-connection, chosen by the opener, never 0), ``seq`` is the
+sender's ordinal within the stream, and ``flags`` bit 0 marks the final
+frame of a stream's results.  The minimal-version rule is unchanged: a
+message with no stream id still goes out as version 1/2/3, so every
+unary byte sequence is identical to what a pre-streaming peer emits.  A
+version-4 frame always includes the trace and QoS blocks (zeros when
+unused) so each version has exactly one layout.
 """
 
 from __future__ import annotations
@@ -58,14 +72,20 @@ __all__ = [
     "ProtocolError",
     "send_message",
     "recv_message",
+    "encode_message",
+    "frame_parser",
     "MAX_BODY_BYTES",
     "MAX_NAME_BYTES",
     "MAX_NDIM",
     "MAX_TENANT_BYTES",
     "MAX_DEADLINE_MS",
+    "MAX_STREAM_ID",
     "VERSION",
     "TRACE_VERSION",
     "QOS_VERSION",
+    "STREAM_VERSION",
+    "STREAM_FINAL",
+    "STREAM_TYPES",
 ]
 
 MAGIC = b"DJNN"
@@ -74,14 +94,20 @@ VERSION = 1
 TRACE_VERSION = 2
 #: Version emitted when a frame carries QoS fields (deadline/priority/tenant).
 QOS_VERSION = 3
+#: Version emitted when a frame belongs to a stream (stream_id != 0).
+STREAM_VERSION = 4
+#: Stream-block flag bit: this frame is the final result of its stream.
+STREAM_FINAL = 0x01
 _HEADER = struct.Struct("<4sBBHB")
 _TRACE = struct.Struct("<QQ")
 _QOS = struct.Struct("<IbB")
+_STREAM = struct.Struct("<IBI")
 _DIM = struct.Struct("<I")
 _BODY_LEN = struct.Struct("<Q")
 
 _MAX_ID = (1 << 64) - 1
 _MAX_DEADLINE_US = (1 << 32) - 1
+_MAX_U32 = (1 << 32) - 1
 
 #: Upper bound on a single payload (guards against corrupt frames).
 MAX_BODY_BYTES = 1 << 31
@@ -93,6 +119,8 @@ MAX_NDIM = 16
 MAX_TENANT_BYTES = 255
 #: Upper bound on a request deadline (wire field is u32 microseconds).
 MAX_DEADLINE_MS = _MAX_DEADLINE_US / 1e3
+#: Upper bound on a stream id / sequence number (wire fields are u32).
+MAX_STREAM_ID = _MAX_U32
 
 
 class ProtocolError(RuntimeError):
@@ -112,6 +140,21 @@ class MessageType(IntEnum):
     METRICS_RESPONSE = 10  # body = UTF-8 JSON MetricsRegistry dump
     DEADLINE_EXCEEDED = 11  # body = UTF-8 text: request expired before forward
     OVERLOADED = 12        # body = UTF-8 JSON {"error", "reason", "retry_after_ms"}
+    STREAM_OPEN = 13       # name = model; opens the sender's stream_id
+    STREAM_CHUNK = 14      # tensor = one chunk of stream input
+    STREAM_RESULT = 15     # body = UTF-8 JSON partial/final result (flags bit 0)
+    STREAM_CLOSE = 16      # end-of-stream from the opener
+    SESSION_LIMIT = 17     # body = UTF-8 JSON {"error", "limit"}: table full
+
+
+#: Message types that always travel inside a stream (version-4 frames).
+STREAM_TYPES = frozenset({
+    MessageType.STREAM_OPEN,
+    MessageType.STREAM_CHUNK,
+    MessageType.STREAM_RESULT,
+    MessageType.STREAM_CLOSE,
+    MessageType.SESSION_LIMIT,
+})
 
 
 @dataclass
@@ -128,6 +171,11 @@ class Message:
     send time (0.0 = no deadline); ``priority`` is a signed class in
     [-128, 127], higher scheduled first; ``tenant`` names the requester for
     per-tenant admission control.
+
+    ``stream_id``/``stream_seq``/``stream_final`` are the stream fields
+    (version-4 frames).  ``stream_id`` is nonzero exactly when the frame
+    belongs to a stream; ``stream_seq`` is the sender's ordinal within
+    that stream; ``stream_final`` marks the last result of the stream.
     """
 
     type: MessageType
@@ -139,10 +187,17 @@ class Message:
     deadline_ms: float = 0.0
     priority: int = 0
     tenant: str = ""
+    stream_id: int = 0
+    stream_seq: int = 0
+    stream_final: bool = False
 
     @property
     def has_qos(self) -> bool:
         return bool(self.deadline_ms or self.priority or self.tenant)
+
+    @property
+    def has_stream(self) -> bool:
+        return bool(self.stream_id)
 
     def body(self):
         """Payload bytes — a zero-copy memoryview when the tensor allows it.
@@ -160,8 +215,8 @@ class Message:
         return self.text.encode("utf-8")
 
 
-def send_message(sock: socket.socket, message: Message) -> None:
-    """Serialize and send one frame."""
+def encode_message(message: Message) -> bytes:
+    """Serialize one frame to bytes (the minimal-version layout)."""
     name = message.name.encode("utf-8")
     if len(name) > MAX_NAME_BYTES:
         raise ProtocolError(f"model name too long: {len(name)} bytes")
@@ -189,7 +244,21 @@ def send_message(sock: socket.socket, message: Message) -> None:
         tenant = message.tenant.encode("utf-8")
         if len(tenant) > MAX_TENANT_BYTES:
             raise ProtocolError(f"tenant too long: {len(tenant)} bytes")
-    if qos:
+    streamed = message.has_stream
+    if message.type in STREAM_TYPES and not streamed:
+        raise ProtocolError(f"{message.type.name} frame without a stream id")
+    if (message.stream_seq or message.stream_final) and not streamed:
+        raise ProtocolError("stream seq/final set on a non-stream frame")
+    if streamed:
+        if not 1 <= message.stream_id <= MAX_STREAM_ID:
+            raise ProtocolError(
+                f"stream id out of u32 range: {message.stream_id}")
+        if not 0 <= message.stream_seq <= MAX_STREAM_ID:
+            raise ProtocolError(
+                f"stream seq out of u32 range: {message.stream_seq}")
+    if streamed:
+        version = STREAM_VERSION
+    elif qos:
         version = QOS_VERSION
     elif traced:
         version = TRACE_VERSION
@@ -199,19 +268,27 @@ def send_message(sock: socket.socket, message: Message) -> None:
     parts = [header]
     if version >= TRACE_VERSION:
         parts.append(_TRACE.pack(message.trace_id, message.span_id))
-    if qos:
+    if version >= QOS_VERSION:
         # a nonzero deadline never rounds down to "no deadline" on the wire
         deadline_us = int(round(message.deadline_ms * 1e3))
         if message.deadline_ms and not deadline_us:
             deadline_us = 1
         parts.append(_QOS.pack(deadline_us, message.priority, len(tenant)))
+    if version >= STREAM_VERSION:
+        flags = STREAM_FINAL if message.stream_final else 0
+        parts.append(_STREAM.pack(message.stream_id, flags, message.stream_seq))
     parts.extend(_DIM.pack(d) for d in dims)
     parts.append(_BODY_LEN.pack(len(body)))
     parts.append(name)
-    if qos:
+    if version >= QOS_VERSION:
         parts.append(tenant)
     parts.append(body)
-    frame = b"".join(parts)
+    return b"".join(parts)
+
+
+def send_message(sock: socket.socket, message: Message) -> None:
+    """Serialize and send one frame."""
+    frame = encode_message(message)
     if faultsite.active is not None:
         frame = faultsite.active.on_send(sock, message.type.name, frame)
     sock.sendall(frame)
@@ -229,47 +306,64 @@ def _recv_exact(sock: socket.socket, count: int) -> bytes:
     return b"".join(chunks)
 
 
-def recv_message(sock: socket.socket, fault_scope: str = "") -> Message:
-    """Receive and parse one frame (blocking).
+def frame_parser():
+    """Sans-IO incremental frame parser.
 
-    ``fault_scope`` names the receiving role for the fault-injection seam
-    (e.g. ``"client"``, ``"gateway.client"``, ``"probe"``, or a server's
-    service name); it has no effect unless a fault plan is armed.
+    A generator that yields the byte count it needs next and receives
+    exactly those bytes back via ``send``; the parsed :class:`Message` is
+    the ``StopIteration`` value.  Both the blocking (:func:`recv_message`)
+    and asyncio (:mod:`repro.core.aio`) receive paths drive this one
+    decoder, so the wire format has a single source of truth.
     """
-    if faultsite.active is not None:
-        faultsite.active.on_recv(sock, fault_scope)
-    magic, version, mtype, name_len, ndim = _HEADER.unpack(_recv_exact(sock, _HEADER.size))
+    magic, version, mtype, name_len, ndim = _HEADER.unpack((yield _HEADER.size))
     if magic != MAGIC:
         raise ProtocolError(f"bad magic {magic!r}")
-    if version not in (VERSION, TRACE_VERSION, QOS_VERSION):
+    if version not in (VERSION, TRACE_VERSION, QOS_VERSION, STREAM_VERSION):
         raise ProtocolError(f"unsupported protocol version {version}")
     # Bound the variable-length fields *before* reading them, so a corrupt
-    # header can't drive huge _recv_exact allocations.
+    # header can't drive huge reads.
     if name_len > MAX_NAME_BYTES:
         raise ProtocolError(f"model name too long: {name_len} bytes")
     if ndim > MAX_NDIM:
         raise ProtocolError(f"tensor rank too large: {ndim}")
     trace_id = span_id = 0
     if version >= TRACE_VERSION:
-        trace_id, span_id = _TRACE.unpack(_recv_exact(sock, _TRACE.size))
+        trace_id, span_id = _TRACE.unpack((yield _TRACE.size))
     deadline_us = priority = tenant_len = 0
-    if version == QOS_VERSION:
-        deadline_us, priority, tenant_len = _QOS.unpack(
-            _recv_exact(sock, _QOS.size))
-    dims = tuple(
-        _DIM.unpack(_recv_exact(sock, _DIM.size))[0] for _ in range(ndim)
-    )
-    (body_len,) = _BODY_LEN.unpack(_recv_exact(sock, _BODY_LEN.size))
+    if version >= QOS_VERSION:
+        deadline_us, priority, tenant_len = _QOS.unpack((yield _QOS.size))
+    stream_id = stream_flags = stream_seq = 0
+    if version >= STREAM_VERSION:
+        stream_id, stream_flags, stream_seq = _STREAM.unpack(
+            (yield _STREAM.size))
+        if not stream_id:
+            raise ProtocolError("version-4 frame without a stream id")
+        if stream_flags & ~STREAM_FINAL:
+            raise ProtocolError(f"unknown stream flags 0x{stream_flags:02x}")
+    dims = []
+    for _ in range(ndim):
+        dims.append(_DIM.unpack((yield _DIM.size))[0])
+    dims = tuple(dims)
+    (body_len,) = _BODY_LEN.unpack((yield _BODY_LEN.size))
     if body_len > MAX_BODY_BYTES:
         raise ProtocolError(f"payload too large: {body_len} bytes")
-    name = _recv_exact(sock, name_len).decode("utf-8") if name_len else ""
-    tenant = _recv_exact(sock, tenant_len).decode("utf-8") if tenant_len else ""
-    body = _recv_exact(sock, body_len) if body_len else b""
+    name = (yield name_len).decode("utf-8") if name_len else ""
+    tenant = (yield tenant_len).decode("utf-8") if tenant_len else ""
+    body = (yield body_len) if body_len else b""
     try:
         mtype = MessageType(mtype)
     except ValueError:
         raise ProtocolError(f"unknown message type {mtype}") from None
+    if mtype in STREAM_TYPES and not stream_id:
+        raise ProtocolError(f"{mtype.name} frame without a stream id")
 
+    common = dict(
+        type=mtype, name=name,
+        trace_id=trace_id, span_id=span_id,
+        deadline_ms=deadline_us / 1e3, priority=priority, tenant=tenant,
+        stream_id=stream_id, stream_seq=stream_seq,
+        stream_final=bool(stream_flags & STREAM_FINAL),
+    )
     if ndim:
         expected = int(np.prod(dims)) * 4
         if expected != body_len:
@@ -279,11 +373,23 @@ def recv_message(sock: socket.socket, fault_scope: str = "") -> Message:
         # no copy: the frame's body bytes back the tensor directly, so the
         # array is read-only — consumers that need to mutate copy themselves
         tensor = np.frombuffer(body, dtype=np.float32).reshape(dims)
-        return Message(type=mtype, name=name, tensor=tensor,
-                       trace_id=trace_id, span_id=span_id,
-                       deadline_ms=deadline_us / 1e3, priority=priority,
-                       tenant=tenant)
-    return Message(type=mtype, name=name, text=body.decode("utf-8"),
-                   trace_id=trace_id, span_id=span_id,
-                   deadline_ms=deadline_us / 1e3, priority=priority,
-                   tenant=tenant)
+        return Message(tensor=tensor, **common)
+    return Message(text=body.decode("utf-8"), **common)
+
+
+def recv_message(sock: socket.socket, fault_scope: str = "") -> Message:
+    """Receive and parse one frame (blocking).
+
+    ``fault_scope`` names the receiving role for the fault-injection seam
+    (e.g. ``"client"``, ``"gateway.client"``, ``"probe"``, or a server's
+    service name); it has no effect unless a fault plan is armed.
+    """
+    if faultsite.active is not None:
+        faultsite.active.on_recv(sock, fault_scope)
+    parser = frame_parser()
+    need = next(parser)
+    while True:
+        try:
+            need = parser.send(_recv_exact(sock, need) if need else b"")
+        except StopIteration as done:
+            return done.value

@@ -26,6 +26,8 @@ import time
 from contextlib import nullcontext
 from typing import Callable, Optional, Tuple
 
+import numpy as np
+
 from ..obs.metrics import MetricsRegistry, merge_dumps
 from ..obs.profile import LayerTimer
 from ..obs.slo import BurnRateMonitor
@@ -36,6 +38,7 @@ from .batching import BatchingExecutor, BatchPolicy
 from .procpool import parse_workers
 from .protocol import Message, MessageType, ProtocolError, recv_message, send_message
 from .registry import ModelRegistry
+from .session import SessionLimitError, SessionManager, TensorStreamApp
 from .stats import ServiceStats
 
 __all__ = ["TcpServiceBase", "DjinnServer"]
@@ -179,10 +182,20 @@ class TcpServiceBase:
             with self._conns_lock:
                 if conn in self._conns:
                     self._conns.remove(conn)
+            self._on_disconnect(conn)
 
     def _handle(self, conn: socket.socket, request: Message) -> bool:
         """Dispatch one request; returns False to drop the connection."""
         raise NotImplementedError
+
+    def _on_disconnect(self, conn: socket.socket) -> None:
+        """Subclass hook: a connection's worker has unwound (any cause).
+
+        Runs exactly once per served connection, after the socket leaves
+        the live set — the place to release any per-connection state
+        (e.g. stream sessions) so a peer that vanishes mid-stream cannot
+        leak server memory.
+        """
 
     @staticmethod
     def _safe_send(conn: socket.socket, message: Message) -> None:
@@ -240,6 +253,19 @@ class DjinnServer(TcpServiceBase):
         the original fixed batching path.  Independently of ``sched``,
         requests arriving with an already-spent deadline budget are
         answered with a typed DEADLINE_EXCEEDED frame on every serve path.
+    stream_apps:
+        Optional dict mapping model name to a streaming-app factory
+        ``factory(net, dnn) -> app`` (``app`` implements ``feed``/
+        ``finish``, see :class:`repro.core.session.TensorStreamApp`).
+        Models without an entry stream through the generic tensor app;
+        a model named ``"asr"`` whose shape fits the acoustic pipeline
+        gets the incremental ASR decoder
+        (:class:`repro.tonic.asr.AsrStream`) automatically.
+    session_limit / session_idle_s:
+        Bounds on the stream session table: at most ``session_limit``
+        concurrently open streams (opens past it are rejected with a typed
+        SESSION_LIMIT frame), and a session idle longer than
+        ``session_idle_s`` is reaped in the background.
     """
 
     #: pool batch envelope when serving without a batching policy — single
@@ -259,6 +285,9 @@ class DjinnServer(TcpServiceBase):
         workers=None,
         worker_fault_plan=None,
         sched=None,
+        stream_apps=None,
+        session_limit: int = 64,
+        session_idle_s: float = 30.0,
     ):
         super().__init__(host=host, port=port)
         if service_floor_s < 0:
@@ -287,6 +316,23 @@ class DjinnServer(TcpServiceBase):
             "djinn_stage_seconds_total",
             "Request-weighted seconds spent per serving stage, per model.",
             ("model", "stage"))
+        self._streams_total = self.metrics.counter(
+            "djinn_streams_total",
+            "Streams opened, per model and outcome "
+            "(completed|aborted|rejected).", ("model", "outcome"))
+        self._stream_aborted = self.metrics.counter(
+            "djinn_stream_aborted_total",
+            "Streams torn down before a final result, per model and reason "
+            "(disconnect|idle|drop|error).", ("model", "reason"))
+        self._stream_chunks = self.metrics.counter(
+            "djinn_stream_chunks_total",
+            "Stream chunks accepted, per model.", ("model",))
+        self._stream_sessions = self.metrics.gauge(
+            "djinn_stream_sessions", "Currently open stream sessions.")
+        self._stream_apps = dict(stream_apps) if stream_apps else {}
+        self.sessions = SessionManager(
+            limit=session_limit, idle_timeout_s=session_idle_s,
+            clock=clock, on_evict=self._session_evicted)
         #: multi-window error-budget burn over deadline attainment; firing /
         #: resolved transitions land in the structured log
         self.slo_monitor = BurnRateMonitor(
@@ -313,7 +359,11 @@ class DjinnServer(TcpServiceBase):
         else:
             self._executor = self._pool  # may be None: bare threaded serving
 
+    def _on_start(self) -> None:
+        self.sessions.start()
+
     def _on_stop(self) -> None:
+        self.sessions.stop()
         if self._executor is not None and self._executor is not self._pool:
             self._executor.close()
         if self._pool is not None:
@@ -351,6 +401,15 @@ class DjinnServer(TcpServiceBase):
                 Message(MessageType.METRICS_RESPONSE,
                         text=json.dumps(self._metrics_dump())),
             )
+            return True
+        if request.type == MessageType.STREAM_OPEN:
+            self._handle_stream_open(conn, request)
+            return True
+        if request.type == MessageType.STREAM_CHUNK:
+            self._handle_stream_chunk(conn, request)
+            return True
+        if request.type == MessageType.STREAM_CLOSE:
+            self._handle_stream_close(conn, request)
             return True
         if request.type == MessageType.SHUTDOWN:
             self._safe_send(conn, Message(MessageType.SHUTDOWN))
@@ -505,6 +564,208 @@ class DjinnServer(TcpServiceBase):
             finally:
                 if lease is not None:
                     lease.release()
+
+    # ------------------------------------------------------------ streaming
+    def _stream_dnn(self, name: str, net) -> Callable:
+        """Per-chunk DNN dispatch for a stream application.
+
+        Chunks ride the same executor as unary traffic — with batching
+        armed they enter the shared (EDF when scheduled) queues as small
+        batches and coalesce with whatever else is in flight; the result is
+        copied out because stream decode outlives the lease.
+        """
+        def dnn(batch: np.ndarray) -> np.ndarray:
+            use_executor = self._executor is not None
+            if (use_executor and self._executor is self._pool
+                    and len(batch) > self._pool.max_batch):
+                use_executor = False
+            if not use_executor:
+                return net.forward(batch)
+            lease = self._executor.submit_lease(name, batch)
+            try:
+                return np.array(lease.outputs, copy=True)
+            finally:
+                lease.release()
+        return dnn
+
+    def _stream_app_for(self, name: str):
+        """Instantiate the streaming application for one stream of ``name``.
+
+        Explicit ``stream_apps`` factories win; a model named ``"asr"``
+        with the acoustic pipeline's 440-dim input gets the incremental
+        ASR decoder; everything else streams through the generic
+        :class:`TensorStreamApp`.
+        """
+        net = self.registry.get(name)  # KeyError -> unknown model
+        dnn = self._stream_dnn(name, net)
+        factory = self._stream_apps.get(name)
+        if factory is not None:
+            return factory(net, dnn)
+        if name == "asr" and tuple(net.input_shape) == (440,):
+            from ..tonic.app import LocalBackend
+            from ..tonic.asr import AsrApp, AsrStream
+
+            try:
+                app = AsrApp(LocalBackend(net),
+                             num_senones=int(np.prod(net.output_shape)))
+                return AsrStream(app, dnn=dnn)
+            except ValueError:
+                pass  # output narrower than the HMM: generic fallback
+        return TensorStreamApp(net, dnn)
+
+    def _handle_stream_open(self, conn: socket.socket, request: Message) -> None:
+        model = request.name
+        try:
+            app = self._stream_app_for(model)
+        except KeyError as exc:
+            self._errors.labels(model=model or "?", reason="unknown_model").inc()
+            self._streams_total.labels(model=model or "?",
+                                       outcome="rejected").inc()
+            self._safe_send(conn, Message(
+                MessageType.ERROR, text=str(exc),
+                stream_id=request.stream_id,
+                trace_id=request.trace_id, span_id=request.span_id))
+            return
+        try:
+            session = self.sessions.open(id(conn), request.stream_id, model, app)
+        except SessionLimitError as exc:
+            self._streams_total.labels(model=model, outcome="rejected").inc()
+            self._safe_send(conn, Message(
+                MessageType.SESSION_LIMIT,
+                text=json.dumps({"error": str(exc), "limit": exc.limit}),
+                stream_id=request.stream_id,
+                trace_id=request.trace_id, span_id=request.span_id))
+            return
+        except ValueError as exc:  # duplicate stream id on this connection
+            self._errors.labels(model=model, reason="bad_request").inc()
+            self._safe_send(conn, Message(
+                MessageType.ERROR, text=str(exc),
+                stream_id=request.stream_id,
+                trace_id=request.trace_id, span_id=request.span_id))
+            return
+        session.trace_id, session.span_id = request.trace_id, request.span_id
+        session.priority, session.tenant = request.priority, request.tenant
+        self._stream_sessions.set(len(self.sessions))
+        self._safe_send(conn, Message(
+            MessageType.STREAM_OPEN, name=model, stream_id=request.stream_id,
+            trace_id=request.trace_id, span_id=request.span_id))
+
+    def _handle_stream_chunk(self, conn: socket.socket, request: Message) -> None:
+        clock = self._clock
+        session = self.sessions.get(id(conn), request.stream_id)
+        if session is None:
+            self._safe_send(conn, Message(
+                MessageType.ERROR,
+                text=f"unknown or closed stream {request.stream_id}",
+                stream_id=request.stream_id,
+                trace_id=request.trace_id, span_id=request.span_id))
+            return
+        if (faultsite.active is not None
+                and faultsite.active.on_stream_chunk(session.model)):
+            # injected mid-stream drop: the chunk is discarded and the
+            # stream aborted with a typed, stream-scoped error
+            self._abort_session(session, "drop")
+            self._safe_send(conn, Message(
+                MessageType.ERROR,
+                text=f"injected stream chunk drop ({session.model})",
+                stream_id=request.stream_id,
+                trace_id=request.trace_id, span_id=request.span_id))
+            return
+        if request.tensor is None:
+            self._abort_session(session, "error")
+            self._safe_send(conn, Message(
+                MessageType.ERROR, text="stream chunk carries no tensor",
+                stream_id=request.stream_id,
+                trace_id=request.trace_id, span_id=request.span_id))
+            return
+        start = clock()
+        try:
+            result = session.app.feed(request.tensor)
+            if getattr(session.app, "endpointed", False):
+                result = session.app.finish()
+                final = True
+            else:
+                final = False
+        except (KeyError, ValueError, RuntimeError) as exc:
+            self._abort_session(session, "error")
+            self._errors.labels(model=session.model, reason="bad_request").inc()
+            self._safe_send(conn, Message(
+                MessageType.ERROR, text=str(exc),
+                stream_id=request.stream_id,
+                trace_id=request.trace_id, span_id=request.span_id))
+            return
+        session.chunks += 1
+        self._stream_chunks.labels(model=session.model).inc()
+        if session.trace_id and self.tracer.enabled:
+            self.tracer.add_span(
+                "stream.chunk", start, clock(), session.trace_id,
+                session.span_id, category="stream", model=session.model,
+                seq=session.chunks)
+        if final:
+            self._complete_session(session)
+        self._safe_send(conn, Message(
+            MessageType.STREAM_RESULT, name=session.model,
+            text=json.dumps(result), stream_id=request.stream_id,
+            stream_seq=session.chunks, stream_final=final,
+            trace_id=request.trace_id, span_id=request.span_id))
+
+    def _handle_stream_close(self, conn: socket.socket, request: Message) -> None:
+        session = self.sessions.get(id(conn), request.stream_id)
+        if session is None:
+            self._safe_send(conn, Message(
+                MessageType.ERROR,
+                text=f"unknown or closed stream {request.stream_id}",
+                stream_id=request.stream_id,
+                trace_id=request.trace_id, span_id=request.span_id))
+            return
+        try:
+            final = session.app.finish()
+        except (KeyError, ValueError, RuntimeError) as exc:
+            self._abort_session(session, "error")
+            self._safe_send(conn, Message(
+                MessageType.ERROR, text=str(exc),
+                stream_id=request.stream_id,
+                trace_id=request.trace_id, span_id=request.span_id))
+            return
+        session.chunks += 1
+        self._complete_session(session)
+        self._safe_send(conn, Message(
+            MessageType.STREAM_RESULT, name=session.model,
+            text=json.dumps(final), stream_id=request.stream_id,
+            stream_seq=session.chunks, stream_final=True,
+            trace_id=request.trace_id, span_id=request.span_id))
+
+    def _complete_session(self, session) -> None:
+        self.sessions.close(session.conn_key, session.stream_id)
+        self._streams_total.labels(model=session.model,
+                                   outcome="completed").inc()
+        self._stream_sessions.set(len(self.sessions))
+        self._end_stream_span(session, "completed")
+
+    def _abort_session(self, session, reason: str) -> None:
+        self.sessions.close(session.conn_key, session.stream_id)
+        self._account_abort(session, reason)
+
+    def _session_evicted(self, session, reason: str) -> None:
+        """Reaper callback: the manager already removed the session."""
+        self._account_abort(session, reason)
+
+    def _account_abort(self, session, reason: str) -> None:
+        self._streams_total.labels(model=session.model, outcome="aborted").inc()
+        self._stream_aborted.labels(model=session.model, reason=reason).inc()
+        self._stream_sessions.set(len(self.sessions))
+        self._end_stream_span(session, reason)
+
+    def _end_stream_span(self, session, outcome: str) -> None:
+        if session.trace_id and self.tracer.enabled:
+            self.tracer.add_span(
+                "stream.session", session.opened_s, self._clock(),
+                session.trace_id, session.span_id, category="stream",
+                model=session.model, chunks=session.chunks, outcome=outcome)
+
+    def _on_disconnect(self, conn: socket.socket) -> None:
+        for session in self.sessions.drop_connection(id(conn)):
+            self._account_abort(session, "disconnect")
 
     def _record_slo(self, model: str, outcome: str) -> None:
         """Account one deadline-carrying request's outcome and re-check burn."""

@@ -38,7 +38,12 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from ..core.client import DjinnClient, DjinnConnectionError, DjinnServiceError
+from ..core.client import (
+    DjinnClient,
+    DjinnConnectionError,
+    DjinnServiceError,
+    DjinnStreamError,
+)
 from ..core.registry import ModelRegistry
 from ..gateway.launcher import ClusterLauncher
 from ..gateway.retry import RetryPolicy
@@ -104,6 +109,21 @@ class ChaosReport:
     expire_spans: int = 0
     hedge_spans: int = 0
     hedges_metric: int = 0         # gateway_hedges_total
+    #: streaming load (``streams`` sequential streams of ``chunks`` chunks
+    #: each): ``stream_ok`` finished with the exact expected transcript,
+    #: ``stream_aborted`` died on a typed stream error (the only sanctioned
+    #: way for a stream to fail), ``stream_mismatched`` finished with a
+    #: wrong transcript.  Cross-checked against the backend-side abort
+    #: metric and against the injected ``stream.chunk:drop`` count, and
+    #: ``sessions_leaked`` (live sessions after all streams ended) must be
+    #: zero — the no-leak invariant.
+    streams: int = 0
+    chunks: int = 0
+    stream_ok: int = 0
+    stream_aborted: int = 0
+    stream_mismatched: int = 0
+    stream_aborted_metric: int = 0  # djinn_stream_aborted_total (fleet sum)
+    sessions_leaked: int = 0
 
     @property
     def error_total(self) -> int:
@@ -173,6 +193,30 @@ class ChaosReport:
             violations.append(
                 f"gateway launched {self.hedges_metric} hedge arm(s) but "
                 f"traces closed {self.hedge_spans} gateway.hedge span(s)")
+        stream_lost = (self.streams - self.stream_ok - self.stream_aborted
+                       - self.stream_mismatched)
+        if stream_lost != 0:
+            violations.append(
+                f"{stream_lost} stream(s) lost: neither a final transcript "
+                f"nor a typed stream error")
+        if self.stream_mismatched != 0:
+            violations.append(
+                f"{self.stream_mismatched} stream(s) finished with the "
+                f"wrong transcript")
+        drops = sum(count for label, count in self.injected.items()
+                    if label.startswith("stream.chunk:drop"))
+        if self.stream_aborted != drops:
+            violations.append(
+                f"injected {drops} chunk drop(s) but the client saw "
+                f"{self.stream_aborted} aborted stream(s)")
+        if self.stream_aborted_metric != drops:
+            violations.append(
+                f"injected {drops} chunk drop(s) but the fleet recorded "
+                f"{self.stream_aborted_metric} in djinn_stream_aborted_total")
+        if self.sessions_leaked != 0:
+            violations.append(
+                f"{self.sessions_leaked} session(s) still live after every "
+                f"stream ended (leak)")
         return violations
 
     def to_dict(self) -> dict:
@@ -202,6 +246,13 @@ class ChaosReport:
             "expire_spans": self.expire_spans,
             "hedge_spans": self.hedge_spans,
             "hedges_metric": self.hedges_metric,
+            "streams": self.streams,
+            "chunks": self.chunks,
+            "stream_ok": self.stream_ok,
+            "stream_aborted": self.stream_aborted,
+            "stream_mismatched": self.stream_mismatched,
+            "stream_aborted_metric": self.stream_aborted_metric,
+            "sessions_leaked": self.sessions_leaked,
             "violations": self.check(),
         }
 
@@ -290,6 +341,14 @@ class ChaosHarness:
         service time (never expires) or is impossibly small (always
         expires at the first dead-on-arrival check) — mid-range deadlines
         would make the report racy.
+    streams, chunks:
+        Streaming load after the unary loop: ``streams`` sequential
+        streams of ``chunks`` stamped chunks each, driven through the
+        gateway's stream proxy.  Sequential on purpose, like the unary
+        loop — the ``stream.chunk`` fault site's event ordinals are then
+        a pure function of the plan seed.  A drop at chunk event *k*
+        aborts the stream that sent it; the harness stops feeding an
+        aborted stream, so each injected drop costs exactly one stream.
     """
 
     def __init__(self, plan: FaultPlan, *,
@@ -306,11 +365,17 @@ class ChaosHarness:
                  workers: Optional[str] = None,
                  sched=None,
                  qos=None,
-                 deadlines: tuple = ()):
+                 deadlines: tuple = (),
+                 streams: int = 0,
+                 chunks: int = 3):
         if requests < 1:
             raise ValueError(f"requests must be >= 1, got {requests}")
         if any(d < 0 for d in deadlines):
             raise ValueError(f"deadlines must be >= 0, got {deadlines}")
+        if streams < 0 or chunks < 1:
+            raise ValueError(
+                f"streams must be >= 0 and chunks >= 1, got "
+                f"streams={streams} chunks={chunks}")
         self.plan = plan
         self.registry = registry if registry is not None else default_registry(model)
         self.model = model
@@ -327,6 +392,8 @@ class ChaosHarness:
         self.sched = sched
         self.qos = qos
         self.deadlines = tuple(deadlines)
+        self.streams = streams
+        self.chunks = chunks
 
     # ----------------------------------------------------------------- load
     def _input(self, index: int, shape) -> np.ndarray:
@@ -336,11 +403,48 @@ class ChaosHarness:
         x.reshape(-1)[0] = float(index + 1)
         return x
 
+    def _run_stream(self, client: DjinnClient, net, stream_index: int,
+                    report: ChaosReport) -> None:
+        """One sequential stream: stamped chunks, transcript-checked final.
+
+        The expected transcript is computed locally (argmax of the net's
+        own forward pass per chunk), so a stale, reordered, or cross-wired
+        partial shows up as a mismatch — the streaming analogue of the
+        unary loop's payload stamping.
+        """
+        expected = []
+        try:
+            stream = client.open_stream(self.model)
+            for c_idx in range(self.chunks):
+                x = self._input(stream_index * self.chunks + c_idx,
+                                net.input_shape)
+                expected.append(int(np.argmax(net.forward(x))))
+                partial = stream.send(x)
+                if partial.data.get("count") != c_idx + 1:
+                    report.stream_mismatched += 1
+                    stream.close()
+                    return
+            final = stream.close()
+            if (final.final and final.data.get("count") == self.chunks
+                    and list(final.data.get("labels", ())) == expected):
+                report.stream_ok += 1
+            else:
+                report.stream_mismatched += 1
+        except DjinnStreamError:
+            # typed stream death (injected drop): sanctioned abort — the
+            # session must be gone server-side, which the leak check proves
+            report.stream_aborted += 1
+        except (DjinnConnectionError, DjinnServiceError) as exc:
+            kind = type(exc).__name__
+            report.errors[kind] = report.errors.get(kind, 0) + 1
+
     def run(self) -> ChaosReport:
         net = self.registry.get(self.model)
         report = ChaosReport(scenario=self.plan.name or "custom",
                              seed=self.plan.seed, requests=self.requests,
-                             retry_budget=self.retry.max_attempts)
+                             retry_budget=self.retry.max_attempts,
+                             streams=self.streams,
+                             chunks=self.chunks if self.streams else 0)
 
         tracer = get_tracer()
         was_enabled = tracer.enabled
@@ -390,6 +494,16 @@ class ChaosHarness:
                                     report.ok += 1
                                 else:
                                     report.mismatched += 1
+                        for s_idx in range(self.streams):
+                            self._run_stream(client, net, s_idx, report)
+                        if self.streams:
+                            report.stream_aborted_metric = sum(
+                                _counter_total(server.metrics,
+                                               "djinn_stream_aborted_total")
+                                for server in cluster.servers)
+                            report.sessions_leaked = sum(
+                                server.sessions.count()
+                                for server in cluster.servers)
                         for _ in range(self.probe_rounds):
                             gateway.health.probe_all()
                         report.retries_metric = _counter_total(

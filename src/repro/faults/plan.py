@@ -75,7 +75,7 @@ __all__ = ["SITES", "KINDS_BY_SITE", "FaultRule", "FaultPlan", "FaultInjector",
 #: Every injection site wired into the serving stack.
 SITES = ("protocol.send", "protocol.recv", "server.accept", "pool.checkout",
          "batch.execute", "health.probe", "proc.dispatch", "sched.admit",
-         "sched.hedge")
+         "sched.hedge", "stream.chunk")
 
 #: Fault kinds each site honours (validation happens at plan build time).
 KINDS_BY_SITE = {
@@ -88,6 +88,7 @@ KINDS_BY_SITE = {
     "proc.dispatch": ("kill",),
     "sched.admit": ("reject",),
     "sched.hedge": ("delay",),
+    "stream.chunk": ("drop",),
 }
 
 
@@ -325,3 +326,9 @@ class FaultInjector:
         rule = self._fire("sched.hedge", model)
         if rule is not None:
             time.sleep(rule.delay_s)
+
+    def on_stream_chunk(self, model: str) -> bool:
+        """Called by the server as a stream chunk arrives; True = drop the
+        chunk and abort its stream (kind ``drop``)."""
+        rule = self._fire("stream.chunk", model)
+        return rule is not None

@@ -172,6 +172,19 @@ SCENARIOS: Dict[str, Scenario] = _catalog(
         harness={"workers": "proc:2", "backends": 1},
     ),
     Scenario(
+        "stream_drop",
+        "Streaming under fire: six sequential 3-chunk streams follow the "
+        "unary load; chunk events 2 and 7 are dropped at the backend's "
+        "stream.chunk site, aborting streams 1 and 3 with a typed stream "
+        "error (the harness stops feeding an aborted stream, so each drop "
+        "costs exactly one stream).  The other four streams must finish "
+        "with exact transcripts, the client-observed aborts must equal "
+        "both the injected drops and djinn_stream_aborted_total, and zero "
+        "sessions may remain after the last stream ends.",
+        rules=(FaultRule("stream.chunk", "drop", nth=(2, 7)),),
+        harness={"requests": 4, "streams": 6, "chunks": 3},
+    ),
+    Scenario(
         "deadline_storm",
         "QoS under fire: every 4th request carries an impossibly small "
         "deadline (0.0001 ms — already spent by the time any hop sees it) "

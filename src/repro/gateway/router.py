@@ -85,3 +85,21 @@ class Router:
             return []
         with self._lock:  # round-robin counter and sorts stay race-free
             return list(self._order(model, backends))
+
+    def route_stream(self, model: str, stream_key: str) -> List[BackendHandle]:
+        """Preference list for a new *stream*, independent of the policy.
+
+        A stream's session state (carry-over audio, decoder lattice) lives
+        on exactly one backend, so every stream is pinned for its lifetime:
+        rendezvous-hash the (model, stream) pair over the fleet so streams
+        spread evenly while reopening after a failover lands deterministically.
+        Backends that reported the model in their last probe rank first.
+        """
+        backends = self.pool.healthy()
+        if not backends:
+            return []
+        return sorted(
+            backends,
+            key=lambda b: (model not in b.models,
+                           -rendezvous_score(f"{model}#{stream_key}", b.key)),
+        )

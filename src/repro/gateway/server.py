@@ -12,6 +12,12 @@ and :class:`repro.core.RemoteBackend` work against it unchanged:
 * ``STATS_REQUEST`` — per-model stats merged across the fleet (counts and
   qps summed, latency moments weighted by request count), with the
   gateway's own end-to-end view under ``gateway:<model>`` keys.
+* ``STREAM_OPEN`` / ``STREAM_CHUNK`` / ``STREAM_CLOSE`` — proxied to one
+  backend pinned for the stream's lifetime (rendezvous affinity over the
+  healthy fleet): session state lives server-side, so chunks cannot fail
+  over mid-stream.  Each stream holds a dedicated upstream connection;
+  closing the client connection closes the upstreams, which lets the
+  backends reap their sessions as disconnects.
 * ``SHUTDOWN`` — stops the gateway (backends are owned by their launcher).
 """
 
@@ -143,6 +149,21 @@ def merge_stats(snapshots: Sequence[Dict[str, Dict[str, float]]]) -> Dict[str, D
     return merged
 
 
+class _ProxyStream:
+    """One client stream pinned to one backend connection for its lifetime."""
+
+    __slots__ = ("backend", "client", "model", "lock")
+
+    def __init__(self, backend: BackendHandle, client, model: str):
+        self.backend = backend
+        self.client = client
+        self.model = model
+        # stream frames are strictly ordered per stream; the lock guards
+        # against a misbehaving client pipelining frames for one stream id
+        # across the connection's reader thread and the disconnect path
+        self.lock = threading.Lock()
+
+
 class GatewayServer(TcpServiceBase):
     """Sharded, fault-tolerant TCP front-end for N DjiNN backends.
 
@@ -256,6 +277,16 @@ class GatewayServer(TcpServiceBase):
                                   prefix="gateway")
         self._rng = random.Random(0x6A7E)
         self._rng_lock = threading.Lock()
+        self._gw_streams = self.metrics.counter(
+            "gateway_streams_total",
+            "Streams proxied, per model and outcome "
+            "(completed|aborted|rejected).", ("model", "outcome"))
+        self._gw_stream_frames = self.metrics.counter(
+            "gateway_stream_frames_total",
+            "Stream chunk frames proxied, per model.", ("model",))
+        #: (id(conn), stream_id) -> live proxied stream
+        self._streams: Dict[Tuple[int, int], _ProxyStream] = {}
+        self._streams_lock = threading.Lock()
 
     # -------------------------------------------------------------- events
     def _on_transition(self, event: str, backend: BackendHandle) -> None:
@@ -279,6 +310,12 @@ class GatewayServer(TcpServiceBase):
     def _handle(self, conn: socket.socket, request: Message) -> bool:
         if request.type == MessageType.INFER_REQUEST:
             self._safe_send(conn, self._forward_infer(request))
+            return True
+        if request.type == MessageType.STREAM_OPEN:
+            self._safe_send(conn, self._stream_open(conn, request))
+            return True
+        if request.type in (MessageType.STREAM_CHUNK, MessageType.STREAM_CLOSE):
+            self._safe_send(conn, self._stream_forward(conn, request))
             return True
         if request.type == MessageType.LIST_REQUEST:
             if not self.pool.model_names():
@@ -311,6 +348,100 @@ class GatewayServer(TcpServiceBase):
             conn, Message(MessageType.ERROR, text=f"unexpected message type {request.type}")
         )
         return True
+
+    # ------------------------------------------------------------ streaming
+    def _stream_error(self, request: Message, text: str) -> Message:
+        return Message(MessageType.ERROR, text=text,
+                       stream_id=request.stream_id,
+                       trace_id=request.trace_id, span_id=request.span_id)
+
+    def _stream_open(self, conn: socket.socket, request: Message) -> Message:
+        """Pin a new stream to one backend and relay the open handshake."""
+        model = request.name
+        key = (id(conn), request.stream_id)
+        with self._streams_lock:
+            if key in self._streams:
+                return self._stream_error(
+                    request, f"stream {request.stream_id} is already open")
+        candidates = self.router.route_stream(model, f"{key[0]}:{key[1]}")
+        if not candidates:
+            self.health.probe_all()
+            candidates = self.router.route_stream(model, f"{key[0]}:{key[1]}")
+        for backend in candidates:
+            try:
+                client = backend.checkout()
+            except DjinnConnectionError:
+                backend.mark_down()
+                continue
+            try:
+                reply = client.exchange(request)
+            except DjinnConnectionError:
+                backend.checkin(client, ok=False)
+                backend.mark_down()
+                continue
+            if reply.type == MessageType.STREAM_OPEN:
+                with self._streams_lock:
+                    self._streams[key] = _ProxyStream(backend, client, model)
+                log_event(logger, "stream.open", model=model,
+                          stream=request.stream_id, backend=backend.key)
+                return reply
+            # typed rejection (SESSION_LIMIT or ERROR): the connection is
+            # fine, the backend said no — relay it and pool the connection
+            backend.checkin(client, ok=True)
+            self._gw_streams.labels(model=model, outcome="rejected").inc()
+            return reply
+        self._gw_streams.labels(model=model, outcome="rejected").inc()
+        return self._stream_error(
+            request, f"no healthy backend for stream of {model!r}")
+
+    def _stream_forward(self, conn: socket.socket, request: Message) -> Message:
+        """Relay one chunk/close frame over the stream's pinned connection."""
+        key = (id(conn), request.stream_id)
+        with self._streams_lock:
+            stream = self._streams.get(key)
+        if stream is None:
+            return self._stream_error(
+                request, f"unknown or closed stream {request.stream_id}")
+        if request.type == MessageType.STREAM_CHUNK:
+            self._gw_stream_frames.labels(model=stream.model).inc()
+        with stream.lock:
+            try:
+                reply = stream.client.exchange(request)
+            except DjinnConnectionError as exc:
+                # the pinned backend died mid-stream; session state is gone
+                # with it, so the stream cannot fail over — surface a typed
+                # stream error and let the client reopen (rendezvous will
+                # pick the next backend once this one is marked down)
+                self._teardown_stream(key, ok=False, outcome="aborted")
+                stream.backend.mark_down()
+                return self._stream_error(
+                    request, f"stream backend lost: {exc}")
+        if reply.type == MessageType.ERROR:
+            self._teardown_stream(key, ok=True, outcome="aborted")
+        elif reply.type == MessageType.STREAM_RESULT and reply.stream_final:
+            self._teardown_stream(key, ok=True, outcome="completed")
+        return reply
+
+    def _teardown_stream(self, key: Tuple[int, int], ok: bool,
+                         outcome: str) -> None:
+        with self._streams_lock:
+            stream = self._streams.pop(key, None)
+        if stream is None:
+            return
+        stream.backend.checkin(stream.client, ok=ok)
+        self._gw_streams.labels(model=stream.model, outcome=outcome).inc()
+
+    def _on_disconnect(self, conn: socket.socket) -> None:
+        """Close upstreams of a departed client so backends reap sessions."""
+        conn_key = id(conn)
+        with self._streams_lock:
+            dropped = [key for key in self._streams if key[0] == conn_key]
+        for key in dropped:
+            # ok=False discards the upstream connection instead of pooling
+            # it: the backend sees a disconnect and reaps the session
+            self._teardown_stream(key, ok=False, outcome="aborted")
+            log_event(logger, "stream.disconnect", level=logging.WARNING,
+                      stream=key[1])
 
     # ---------------------------------------------------------- forwarding
     def _forward_infer(self, request: Message) -> Message:

@@ -8,7 +8,17 @@ stage either in-process or against a live DjiNN server.
 """
 
 from .app import DnnBackend, LocalBackend, StageTiming, TonicApp
-from .asr import AsrApp, HmmTopology, Transcript, acoustic_training_set, frame_state_labels, words_from_phones
+from .asr import (
+    AsrApp,
+    AsrStream,
+    EndpointConfig,
+    HmmTopology,
+    OnlineViterbi,
+    Transcript,
+    acoustic_training_set,
+    frame_state_labels,
+    words_from_phones,
+)
 from .datasets import (
     digit_dataset,
     face_images,
@@ -18,7 +28,7 @@ from .datasets import (
     speech_queries,
 )
 from .dig import DigApp
-from .dsp import FrontendConfig, fbank_features, mfcc, splice
+from .dsp import FrontendConfig, StreamingFrontend, fbank_features, mfcc, splice
 from .face import FaceApp, Identification
 from .imaging import bilinear_resize, center_crop, fit_to, per_channel_standardize
 from .imc import Classification, ImcApp
@@ -35,6 +45,9 @@ __all__ = [
     "StageTiming",
     "TonicApp",
     "AsrApp",
+    "AsrStream",
+    "EndpointConfig",
+    "OnlineViterbi",
     "HmmTopology",
     "Transcript",
     "acoustic_training_set",
@@ -48,6 +61,7 @@ __all__ = [
     "speech_queries",
     "DigApp",
     "FrontendConfig",
+    "StreamingFrontend",
     "fbank_features",
     "mfcc",
     "splice",

@@ -23,18 +23,21 @@ model trained on the synthesizer really decodes text (see
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .app import DnnBackend, TonicApp
-from .dsp import FrontendConfig, fbank_features, splice
+from .dsp import FrontendConfig, StreamingFrontend, fbank_features, splice
 from .metrics import edit_distance
 from .speechsynth import LEXICON, PHONES
 from .viterbi import beam_search, viterbi
 
 __all__ = [
     "AsrApp",
+    "AsrStream",
+    "EndpointConfig",
+    "OnlineViterbi",
     "HmmTopology",
     "Transcript",
     "words_from_phones",
@@ -197,19 +200,23 @@ class AsrApp(TonicApp):
         features = fbank_features(np.asarray(raw, dtype=np.float64), self.frontend)
         return splice(features).astype(np.float32)
 
-    def postprocess(self, outputs: np.ndarray, raw) -> Transcript:
+    def emissions(self, outputs: np.ndarray) -> np.ndarray:
+        """Posterior rows -> per-state log emission scores (tied classes)."""
         log_post = np.log(np.maximum(outputs, 1e-12))
         if self.log_priors is not None:
             log_post = log_post - self.log_priors[None, :]
         states = self.topology.num_states
         if self.num_senones == states:
-            emissions = log_post
-        else:
-            # synthetic tying: fold senones onto states by modulo, taking the
-            # best-scoring senone in each tied class
-            emissions = np.full((log_post.shape[0], states), -np.inf)
-            for state in range(states):
-                emissions[:, state] = log_post[:, state::states].max(axis=1)
+            return log_post
+        # synthetic tying: fold senones onto states by modulo, taking the
+        # best-scoring senone in each tied class
+        emissions = np.full((log_post.shape[0], states), -np.inf)
+        for state in range(states):
+            emissions[:, state] = log_post[:, state::states].max(axis=1)
+        return emissions
+
+    def postprocess(self, outputs: np.ndarray, raw) -> Transcript:
+        emissions = self.emissions(outputs)
         if self.beam_width is not None:
             path, score = beam_search(
                 emissions, self.topology.log_transitions,
@@ -222,6 +229,194 @@ class AsrApp(TonicApp):
         phones = _collapse_path(self.topology, path)
         words = words_from_phones(phones, self.lexicon)
         return Transcript(tuple(words), tuple(phones), score)
+
+
+# ---------------------------------------------------------------------------
+# Streaming decode
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class EndpointConfig:
+    """Energy-based end-of-utterance detection.
+
+    A stream is *endpointed* once it has accumulated at least
+    ``min_speech_ms`` of frames above ``energy_floor`` (mean squared
+    amplitude of the pre-emphasized, windowed frame) followed by at least
+    ``silence_ms`` of consecutive trailing frames below it.
+    """
+
+    energy_floor: float = 1e-5
+    silence_ms: float = 300.0
+    min_speech_ms: float = 100.0
+
+
+class OnlineViterbi:
+    """Viterbi forward pass that accepts emission rows incrementally.
+
+    Keeps the running per-state score vector and the backpointer history;
+    :meth:`best_path` runs a traceback from the current best state, so a
+    provisional path is available after every chunk without re-scanning
+    earlier frames.
+    """
+
+    def __init__(self, log_transitions: np.ndarray, log_initial: np.ndarray):
+        self._trans = np.asarray(log_transitions, dtype=np.float64)
+        self._init = np.asarray(log_initial, dtype=np.float64)
+        self._score: Optional[np.ndarray] = None
+        self._backptr: List[np.ndarray] = []
+
+    @property
+    def steps(self) -> int:
+        return len(self._backptr) + (0 if self._score is None else 1)
+
+    def step(self, emissions: np.ndarray) -> None:
+        """Advance by ``(k, S)`` emission rows."""
+        emissions = np.asarray(emissions, dtype=np.float64)
+        for row in emissions:
+            if self._score is None:
+                self._score = self._init + row
+                continue
+            candidate = self._score[:, None] + self._trans
+            self._backptr.append(np.argmax(candidate, axis=0))
+            self._score = candidate.max(axis=0) + row
+
+    def best_path(self) -> Tuple[List[int], float]:
+        """Traceback of the best path through every frame seen so far."""
+        if self._score is None:
+            return [], 0.0
+        state = int(np.argmax(self._score))
+        score = float(self._score[state])
+        path = [state]
+        for backptr in reversed(self._backptr):
+            state = int(backptr[state])
+            path.append(state)
+        path.reverse()
+        return path, score
+
+
+class AsrStream:
+    """Incremental ASR decode over chunked audio.
+
+    Chunks of raw 16 kHz mono samples go through the incremental frontend
+    (:class:`repro.tonic.dsp.StreamingFrontend`), the acoustic model, and an
+    :class:`OnlineViterbi` pass, producing a provisional partial transcript
+    per chunk.  Two frame populations are deliberately distinct:
+
+    * *Partial* decode consumes causally-normalized features spliced only
+      up to the last frame with full right context (+/-5), so every frame
+      is scored exactly once as it becomes decodable — the carry-over
+      context is the frontend's sample tail, the undecoded feature rows,
+      and the Viterbi state.
+    * :meth:`finish` re-scores the utterance with exact (full mean/variance)
+      normalization, so the final transcript equals the unary
+      :class:`AsrApp` transcript on the same audio.
+
+    Energy endpointing (:class:`EndpointConfig`) flips :attr:`endpointed`
+    once trailing silence follows speech; the serving layer finalizes the
+    stream at that point without waiting for an explicit close.
+
+    ``dnn`` is the acoustic-model evaluation hook — on a server this routes
+    through the shared batching executor, so stream chunks ride the same
+    EDF queue as unary work.
+    """
+
+    SPLICE_CONTEXT = 5
+
+    def __init__(
+        self,
+        app: AsrApp,
+        dnn: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+        endpoint: EndpointConfig = EndpointConfig(),
+    ):
+        self.app = app
+        self._dnn = dnn if dnn is not None else (
+            lambda x: app.backend.infer(app.app, x))
+        self.endpoint = endpoint
+        self.frontend = StreamingFrontend(app.frontend)
+        self.decoder = OnlineViterbi(
+            app.topology.log_transitions, app.topology.log_initial)
+        self._features: List[np.ndarray] = []  # causal rows, decoded + pending
+        self._decoded = 0                      # rows consumed by the decoder
+        self.endpointed = False
+        frame_ms = app.frontend.hop_ms
+        self._silence_frames = max(1, int(round(endpoint.silence_ms / frame_ms)))
+        self._min_speech_frames = max(1, int(round(endpoint.min_speech_ms / frame_ms)))
+
+    # ------------------------------------------------------------- pipeline
+    def _spliceable(self) -> int:
+        """Frames currently decodable: all with full right splice context."""
+        return max(0, len(self._features) - self.SPLICE_CONTEXT)
+
+    def _splice_rows(self, start: int, stop: int) -> np.ndarray:
+        """Splice rows [start, stop) with left-edge clamping.
+
+        Right context always exists for spliceable rows; the left edge
+        clamps to frame 0, matching the batch :func:`splice` replication.
+        """
+        ctx = self.SPLICE_CONTEXT
+        feats = self._features
+        rows = []
+        for t in range(start, stop):
+            window = [feats[max(0, min(t + o, len(feats) - 1))]
+                      for o in range(-ctx, ctx + 1)]
+            rows.append(np.concatenate(window))
+        return np.asarray(rows, dtype=np.float32)
+
+    def feed(self, chunk: np.ndarray) -> dict:
+        """Consume one chunk of samples; return the partial result."""
+        if self.endpointed:
+            raise RuntimeError("stream already endpointed; no more chunks")
+        new = self.frontend.feed(np.asarray(chunk, dtype=np.float64))
+        if len(new):
+            self._features.extend(np.asarray(new, dtype=np.float64))
+        ready = self._spliceable()
+        if ready > self._decoded:
+            spliced = self._splice_rows(self._decoded, ready)
+            posteriors = self._dnn(spliced)
+            self.decoder.step(self.app.emissions(posteriors))
+            self._decoded = ready
+        self._check_endpoint()
+        path, score = self.decoder.best_path()
+        phones = _collapse_path(self.app.topology, path)
+        words = words_from_phones(phones, self.app.lexicon)
+        return {
+            "partial": " ".join(words),
+            "frames": self._decoded,
+            "endpoint": self.endpointed,
+        }
+
+    def _check_endpoint(self) -> None:
+        if self.endpointed:
+            return
+        energies = self.frontend.energies
+        floor = self.endpoint.energy_floor
+        trailing = 0
+        for e in reversed(energies):
+            if e >= floor:
+                break
+            trailing += 1
+        speech = sum(1 for e in energies[:len(energies) - trailing]
+                     if e >= floor)
+        if (speech >= self._min_speech_frames
+                and trailing >= self._silence_frames):
+            self.endpointed = True
+
+    def finish(self) -> dict:
+        """Exact final decode; equals the unary transcript on this audio."""
+        features = self.frontend.finalize()
+        if not len(features):
+            transcript = Transcript((), (), 0.0)
+        else:
+            spliced = splice(features).astype(np.float32)
+            posteriors = self._dnn(spliced)
+            transcript = self.app.postprocess(posteriors, None)
+        return {
+            "transcript": transcript.text,
+            "phones": list(transcript.phones),
+            "log_score": transcript.log_score,
+            "frames": self.frontend.num_frames,
+            "endpoint": self.endpointed,
+        }
 
 
 # ---------------------------------------------------------------------------

@@ -13,7 +13,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["FrontendConfig", "frame_signal", "mel_filterbank", "fbank_features", "mfcc", "splice"]
+__all__ = [
+    "FrontendConfig",
+    "frame_signal",
+    "mel_filterbank",
+    "fbank_features",
+    "mfcc",
+    "splice",
+    "StreamingFrontend",
+]
 
 
 @dataclass(frozen=True)
@@ -108,6 +116,96 @@ def mfcc(signal: np.ndarray, config: FrontendConfig = FrontendConfig(), num_ceps
 
     logmel = fbank_features(signal, config)
     return dct(logmel, type=2, axis=1, norm="ortho")[:, :num_ceps]
+
+
+class StreamingFrontend:
+    """Incremental counterpart of :func:`fbank_features` for chunked audio.
+
+    Framing, pre-emphasis, and per-frame log-mel are computed exactly once
+    per frame as chunks arrive (each frame's value is bit-identical to the
+    batch path: both are row-independent operations).  The one genuinely
+    utterance-level step — mean/variance normalization — is handled two
+    ways:
+
+    * :meth:`feed` normalizes each *new* frame with the running statistics
+      available when it arrives (causal normalization, frozen thereafter).
+      These feed the provisional partial decode.
+    * :meth:`finalize` re-runs the batch pipeline over the retained raw
+      audio, reproducing ``fbank_features(signal)`` on the concatenated
+      chunks bit-for-bit — the exact features the unary path would compute,
+      which is what makes a stream's final transcript equal to the unary
+      transcript.  (Recomputing is deliberate: batched FFT/filterbank
+      arithmetic differs from the chunked arithmetic in the last float
+      bits, so renormalizing the incremental log-mel rows would be merely
+      *close* to the unary features, not equal.)
+
+    ``energies`` records each frame's mean squared amplitude (pre-emphasized,
+    windowed) for the endpointer.
+    """
+
+    def __init__(self, config: FrontendConfig = FrontendConfig()):
+        self.config = config
+        self._fb_t = mel_filterbank(config).T
+        self._window = np.hamming(config.frame_len)
+        self._buf = np.zeros(0, dtype=np.float64)   # emphasized, unframed tail
+        self._prev_raw: float = 0.0
+        self._first = True
+        self._raw: list = []                        # chunks, for exact finalize
+        self._mean = np.zeros(config.num_mel)
+        self._m2 = np.zeros(config.num_mel)         # running mean of squares
+        self.energies: list = []
+        self.num_frames = 0
+        self.num_samples = 0
+
+    def feed(self, samples: np.ndarray) -> np.ndarray:
+        """Consume one chunk; return causally-normalized new frames.
+
+        Returns shape ``(new_frames, num_mel)`` (possibly empty when the
+        chunk is too short to complete a frame).
+        """
+        samples = np.asarray(samples, dtype=np.float64)
+        if samples.ndim != 1:
+            raise ValueError(f"expected mono chunk, got shape {samples.shape}")
+        if not len(samples):
+            return np.zeros((0, self.config.num_mel))
+        self._raw.append(samples)
+        emphasized = np.empty_like(samples)
+        if self._first:
+            emphasized[0] = samples[0]
+            self._first = False
+        else:
+            emphasized[0] = samples[0] - self.config.preemphasis * self._prev_raw
+        emphasized[1:] = samples[1:] - self.config.preemphasis * samples[:-1]
+        self._prev_raw = float(samples[-1])
+        self.num_samples += len(samples)
+        self._buf = np.concatenate([self._buf, emphasized])
+        flen, hop = self.config.frame_len, self.config.hop_len
+        if len(self._buf) < flen:
+            return np.zeros((0, self.config.num_mel))
+        count = 1 + (len(self._buf) - flen) // hop
+        idx = np.arange(flen)[None, :] + hop * np.arange(count)[:, None]
+        frames = self._buf[idx] * self._window[None, :]
+        self._buf = self._buf[count * hop:]
+        return self._absorb(frames)
+
+    def _absorb(self, frames: np.ndarray) -> np.ndarray:
+        spectrum = np.abs(np.fft.rfft(frames, n=self.config.fft_size, axis=1)) ** 2
+        logmel = np.log(np.maximum(spectrum @ self._fb_t, 1e-10))
+        self.energies.extend((frames ** 2).mean(axis=1).tolist())
+        self.num_frames += len(logmel)
+        # running (population) stats over every frame seen so far; each new
+        # frame is normalized once, with the stats current at its arrival
+        self._mean += (logmel.sum(axis=0) - len(logmel) * self._mean) / self.num_frames
+        total_sq = self._m2 * (self.num_frames - len(logmel)) + (logmel ** 2).sum(axis=0)
+        self._m2 = total_sq / self.num_frames
+        std = np.sqrt(np.maximum(self._m2 - self._mean ** 2, 0.0))
+        return (logmel - self._mean[None, :]) / np.maximum(std, 1e-3)[None, :]
+
+    def finalize(self) -> np.ndarray:
+        """Exact utterance features, bit-identical to the unary frontend."""
+        if not self.num_samples:
+            return np.zeros((0, self.config.num_mel))
+        return fbank_features(np.concatenate(self._raw), self.config)
 
 
 def splice(features: np.ndarray, context: int = 5) -> np.ndarray:

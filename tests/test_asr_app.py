@@ -10,6 +10,8 @@ from repro.tonic import LocalBackend, PHONES, synthesize_words
 from repro.tonic.asr import (
     STATES_PER_PHONE,
     AsrApp,
+    AsrStream,
+    EndpointConfig,
     HmmTopology,
     acoustic_training_set,
     frame_state_labels,
@@ -136,3 +138,67 @@ class TestAsrApp:
     def test_rejects_bad_priors(self):
         with pytest.raises(ValueError, match="log_priors"):
             AsrApp(LocalBackend(tiny_acoustic_net(48)), log_priors=np.zeros(3))
+
+
+class TestAsrStreamGolden:
+    """Chunked-vs-unary determinism: the streaming decode is a pure
+    function of (weights seed, audio seed, chunking), its partials are
+    reproducible byte for byte, and its final transcript equals the unary
+    :class:`AsrApp` decode of the same audio exactly."""
+
+    def _run_chunked(self, audio, chunk_size):
+        app = AsrApp(LocalBackend(tiny_acoustic_net(48)))
+        stream = AsrStream(app)
+        partials = []
+        for start in range(0, len(audio), chunk_size):
+            if stream.endpointed:
+                break
+            partials.append(stream.feed(audio[start:start + chunk_size]))
+        return partials, stream.finish()
+
+    def test_final_equals_unary_transcript(self):
+        audio, _ = synthesize_words(["go", "stop"], seed=7)
+        app = AsrApp(LocalBackend(tiny_acoustic_net(48)))
+        unary = app.run(audio)
+        _, final = self._run_chunked(audio, 1600)
+        assert final["transcript"] == unary.text
+        assert final["phones"] == list(unary.phones)
+        assert final["log_score"] == unary.log_score  # exact, not approx
+
+    def test_final_invariant_to_chunking(self):
+        """Any chunk size yields the identical exact final decode."""
+        audio, _ = synthesize_words(["left"], seed=11)
+        finals = [self._run_chunked(audio, size)[1]
+                  for size in (400, 1600, 7000, len(audio))]
+        assert all(f == finals[0] for f in finals[1:])
+
+    def test_partial_sequence_is_deterministic(self):
+        audio, _ = synthesize_words(["right", "no"], seed=5)
+        first_partials, first_final = self._run_chunked(audio, 2000)
+        second_partials, second_final = self._run_chunked(audio, 2000)
+        assert first_partials == second_partials
+        assert first_final == second_final
+
+    def test_partials_score_each_frame_once(self):
+        """Decoded frame counts are monotone and chunk-aligned: no frame
+        is re-scored when later chunks arrive."""
+        audio, _ = synthesize_words(["yes"], seed=3)
+        partials, final = self._run_chunked(audio, 1600)
+        frames = [p["frames"] for p in partials]
+        assert all(b >= a for a, b in zip(frames, frames[1:]))
+        assert final["frames"] >= frames[-1]
+
+    def test_endpoint_fires_on_trailing_silence(self):
+        audio, _ = synthesize_words(["go"], seed=2)
+        padded = np.concatenate([audio, np.zeros(16000)])
+        app = AsrApp(LocalBackend(tiny_acoustic_net(48)))
+        stream = AsrStream(app, endpoint=EndpointConfig(silence_ms=200.0))
+        for start in range(0, len(padded), 1600):
+            result = stream.feed(padded[start:start + 1600])
+            if result["endpoint"]:
+                break
+        assert stream.endpointed
+        with pytest.raises(RuntimeError, match="endpointed"):
+            stream.feed(np.zeros(100))
+        final = stream.finish()
+        assert final["endpoint"] is True

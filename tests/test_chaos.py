@@ -266,6 +266,52 @@ class TestScenarios:
         assert report.injected == {"proc.dispatch:kill:*": 1}
         assert report.worker_respawns == 1
 
+    def test_stream_drop_aborts_match_injected_and_metric(self, registry,
+                                                          chaos_seed):
+        """The streaming scenario: dropped chunks abort exactly their
+        streams, the client-observed aborts equal both the injected drop
+        count and the fleet's djinn_stream_aborted_total, the surviving
+        streams finish with exact transcripts, and no session leaks."""
+        report = run_scenario("stream_drop", seed=chaos_seed,
+                              registry=registry)
+        assert report.check() == [], report.to_json()
+        drops = report.injected.get("stream.chunk:drop:*", 0)
+        assert drops == 2
+        assert report.stream_aborted == drops
+        assert report.stream_aborted_metric == drops
+        assert report.stream_ok == report.streams - drops
+        assert report.stream_mismatched == 0
+        assert report.sessions_leaked == 0
+        # unary traffic rode the same run untouched
+        assert report.ok == report.requests
+
+    def test_stream_drop_same_seed_same_report(self, registry, chaos_seed):
+        first = run_scenario("stream_drop", seed=chaos_seed, registry=registry)
+        second = run_scenario("stream_drop", seed=chaos_seed,
+                              registry=registry)
+        assert first.to_json() == second.to_json()
+
+    def test_stream_abort_metric_divergence_flagged(self):
+        report = ChaosReport(scenario="s", seed=0, requests=4, ok=4,
+                             retry_budget=3, traces=4,
+                             injected={"stream.chunk:drop:*": 2},
+                             streams=6, chunks=3, stream_ok=4,
+                             stream_aborted=2, stream_aborted_metric=1)
+        assert any("djinn_stream_aborted_total" in v for v in report.check())
+
+    def test_leaked_sessions_flagged(self):
+        report = ChaosReport(scenario="s", seed=0, requests=4, ok=4,
+                             retry_budget=3, traces=4,
+                             streams=2, chunks=3, stream_ok=2,
+                             sessions_leaked=1)
+        assert any("leak" in v for v in report.check())
+
+    def test_lost_streams_flagged(self):
+        report = ChaosReport(scenario="s", seed=0, requests=4, ok=4,
+                             retry_budget=3, traces=4,
+                             streams=3, chunks=3, stream_ok=2)
+        assert any("stream" in v for v in report.check())
+
     def test_deadline_storm_sheds_and_expiries_are_typed(self, registry,
                                                          chaos_seed):
         """The QoS scenario: every 4th request is dead on arrival, two

@@ -9,13 +9,18 @@ from repro.core.protocol import (
     MAX_DEADLINE_MS,
     MAX_NAME_BYTES,
     MAX_NDIM,
+    MAX_STREAM_ID,
     MAX_TENANT_BYTES,
     QOS_VERSION,
+    STREAM_FINAL,
+    STREAM_TYPES,
+    STREAM_VERSION,
     TRACE_VERSION,
     VERSION,
     Message,
     MessageType,
     ProtocolError,
+    encode_message,
     recv_message,
     send_message,
 )
@@ -288,6 +293,192 @@ class TestQosContext:
             recv_message(b)
 
 
+class TestStreamContext:
+    """The version-4 stream extension and its v1/v2/v3 interop."""
+
+    def test_stream_frame_types_roundtrip(self, sock_pair, rng):
+        chunk = rng.normal(size=(2, 5)).astype(np.float32)
+        frames = [
+            Message(MessageType.STREAM_OPEN, name="asr", stream_id=3),
+            Message(MessageType.STREAM_CHUNK, name="asr", tensor=chunk,
+                    stream_id=3, stream_seq=1),
+            Message(MessageType.STREAM_RESULT, text='{"partial": "go"}',
+                    stream_id=3, stream_seq=1),
+            Message(MessageType.STREAM_RESULT, text='{"transcript": "go"}',
+                    stream_id=3, stream_seq=2, stream_final=True),
+            Message(MessageType.STREAM_CLOSE, name="asr", stream_id=3,
+                    stream_seq=2),
+            Message(MessageType.SESSION_LIMIT,
+                    text='{"error": "full", "limit": 64}', stream_id=3),
+        ]
+        for msg in frames:
+            out = roundtrip(sock_pair, msg)
+            assert out.type == msg.type
+            assert out.stream_id == msg.stream_id
+            assert out.stream_seq == msg.stream_seq
+            assert out.stream_final == msg.stream_final
+            assert out.text == msg.text
+            if msg.tensor is not None:
+                np.testing.assert_array_equal(out.tensor, msg.tensor)
+
+    def test_stream_frame_with_trace_and_qos(self, sock_pair, rng):
+        chunk = rng.normal(size=(1, 4)).astype(np.float32)
+        msg = Message(MessageType.STREAM_CHUNK, name="asr", tensor=chunk,
+                      stream_id=9, stream_seq=4, trace_id=0xCAFE, span_id=2,
+                      priority=3, tenant="alice")
+        out = roundtrip(sock_pair, msg)
+        assert (out.trace_id, out.span_id) == (0xCAFE, 2)
+        assert (out.priority, out.tenant) == (3, "alice")
+        assert (out.stream_id, out.stream_seq) == (9, 4)
+
+    def test_unary_frames_keep_their_pre_stream_versions(self, sock_pair):
+        """The minimal-version rule survives v4: plain → 1, traced → 2,
+        qos → 3.  This is the no-regression guarantee for every golden
+        digest and every old peer."""
+        a, b = sock_pair
+        cases = [
+            (Message(MessageType.INFER_REQUEST, name="dig",
+                     tensor=np.zeros((1, 4), np.float32)), VERSION),
+            (Message(MessageType.LIST_REQUEST, trace_id=1, span_id=2),
+             TRACE_VERSION),
+            (Message(MessageType.INFER_REQUEST, name="m", deadline_ms=5.0),
+             QOS_VERSION),
+            (Message(MessageType.STREAM_OPEN, name="m", stream_id=1),
+             STREAM_VERSION),
+        ]
+        for msg, version in cases:
+            send_message(a, msg)
+            frame = b.recv(1 << 16)
+            assert frame[4] == version
+
+    def test_unary_v1_bytes_unchanged_exact(self, sock_pair):
+        """Full byte-for-byte regression of the v1 layout post-v4."""
+        import struct
+        frame = _capture_frame(Message(MessageType.INFER_REQUEST, name="dig",
+                                       tensor=np.zeros((1, 4), np.float32)))
+        expected = struct.pack("<4sBBHB", b"DJNN", VERSION,
+                               int(MessageType.INFER_REQUEST), 3, 2)
+        expected += struct.pack("<I", 1) + struct.pack("<I", 4)
+        expected += struct.pack("<Q", 16) + b"dig" + bytes(16)
+        assert frame == expected
+
+    def test_encode_message_matches_send_message_bytes(self):
+        for msg in (
+            Message(MessageType.INFER_REQUEST, name="pos",
+                    tensor=np.arange(6, dtype=np.float32).reshape(2, 3)),
+            Message(MessageType.STREAM_CHUNK, name="asr",
+                    tensor=np.ones((1, 4), np.float32),
+                    stream_id=2, stream_seq=7),
+        ):
+            assert encode_message(msg) == _capture_frame(msg)
+
+    def test_hand_packed_v4_frame_parses(self, sock_pair):
+        """A v4 frame built byte by byte from the documented layout."""
+        import struct
+        a, b = sock_pair
+        frame = struct.pack("<4sBBHB", b"DJNN", STREAM_VERSION,
+                            int(MessageType.STREAM_CHUNK), 3, 2)
+        frame += struct.pack("<QQ", 0, 0)              # trace block (zeros)
+        frame += struct.pack("<IbB", 0, 0, 0)          # qos block (zeros)
+        frame += struct.pack("<IBI", 5, 0, 2)          # stream block
+        frame += struct.pack("<I", 1) + struct.pack("<I", 4)
+        frame += struct.pack("<Q", 16) + b"asr" + bytes(16)
+        a.sendall(frame)
+        out = recv_message(b)
+        assert out.type == MessageType.STREAM_CHUNK
+        assert (out.stream_id, out.stream_seq, out.stream_final) == (5, 2, False)
+        assert out.tensor.shape == (1, 4)
+
+    def test_v4_frame_with_zero_stream_id_rejected(self, sock_pair):
+        import struct
+        a, b = sock_pair
+        frame = struct.pack("<4sBBHB", b"DJNN", STREAM_VERSION,
+                            int(MessageType.STREAM_OPEN), 0, 0)
+        frame += struct.pack("<QQ", 0, 0) + struct.pack("<IbB", 0, 0, 0)
+        frame += struct.pack("<IBI", 0, 0, 0)
+        frame += struct.pack("<Q", 0)
+        a.sendall(frame)
+        with pytest.raises(ProtocolError, match="without a stream id"):
+            recv_message(b)
+
+    def test_unknown_stream_flags_rejected(self, sock_pair):
+        import struct
+        a, b = sock_pair
+        frame = struct.pack("<4sBBHB", b"DJNN", STREAM_VERSION,
+                            int(MessageType.STREAM_RESULT), 0, 0)
+        frame += struct.pack("<QQ", 0, 0) + struct.pack("<IbB", 0, 0, 0)
+        frame += struct.pack("<IBI", 1, 0x80, 1)
+        frame += struct.pack("<Q", 0)
+        a.sendall(frame)
+        with pytest.raises(ProtocolError, match="stream flags"):
+            recv_message(b)
+
+    def test_stream_type_without_stream_id_rejected_on_send(self, sock_pair):
+        a, _ = sock_pair
+        for mtype in STREAM_TYPES:
+            with pytest.raises(ProtocolError, match="without a stream id"):
+                send_message(a, Message(mtype, name="m"))
+
+    def test_stream_fields_on_unary_frame_rejected_on_send(self, sock_pair):
+        a, _ = sock_pair
+        with pytest.raises(ProtocolError, match="non-stream"):
+            send_message(a, Message(MessageType.INFER_REQUEST, name="m",
+                                    stream_seq=1))
+        with pytest.raises(ProtocolError, match="non-stream"):
+            send_message(a, Message(MessageType.ERROR, text="x",
+                                    stream_final=True))
+
+    def test_stream_id_out_of_u32_range_rejected(self, sock_pair):
+        a, _ = sock_pair
+        with pytest.raises(ProtocolError, match="stream id"):
+            send_message(a, Message(MessageType.STREAM_OPEN, name="m",
+                                    stream_id=MAX_STREAM_ID + 1))
+        with pytest.raises(ProtocolError, match="stream seq"):
+            send_message(a, Message(MessageType.STREAM_CHUNK, name="m",
+                                    tensor=np.zeros((1, 2), np.float32),
+                                    stream_id=1, stream_seq=MAX_STREAM_ID + 1))
+
+    def test_error_frame_can_carry_stream_scope(self, sock_pair):
+        """A stream-scoped ERROR (dead stream, live connection) is a v4
+        ERROR frame with the stream id attached."""
+        out = roundtrip(sock_pair, Message(MessageType.ERROR,
+                                           text="unknown or closed stream 7",
+                                           stream_id=7))
+        assert out.type == MessageType.ERROR
+        assert out.stream_id == 7
+        assert out.has_stream
+
+    def test_random_stream_messages_roundtrip(self, rng):
+        for _ in range(30):
+            stream_id = int(rng.integers(1, MAX_STREAM_ID + 1))
+            seq = int(rng.integers(0, MAX_STREAM_ID + 1))
+            final = bool(rng.random() < 0.3)
+            traced = bool(rng.random() < 0.5)
+            if rng.random() < 0.5:
+                shape = tuple(int(d) for d in rng.integers(1, 4, size=2))
+                msg = Message(MessageType.STREAM_CHUNK, name="m",
+                              tensor=rng.normal(size=shape).astype(np.float32),
+                              stream_id=stream_id, stream_seq=seq,
+                              stream_final=final,
+                              trace_id=int(rng.integers(1, 1 << 63)) if traced else 0)
+            else:
+                msg = Message(MessageType.STREAM_RESULT, text='{"n": 1}',
+                              stream_id=stream_id, stream_seq=seq,
+                              stream_final=final,
+                              tenant="t" if rng.random() < 0.5 else "")
+            a, b = socket.socketpair()
+            try:
+                send_message(a, msg)
+                out = recv_message(b)
+            finally:
+                a.close()
+                b.close()
+            assert (out.stream_id, out.stream_seq, out.stream_final) == \
+                (stream_id, seq, final)
+            assert out.trace_id == msg.trace_id
+            assert out.tenant == msg.tenant
+
+
 class TestErrors:
     def test_bad_magic(self, sock_pair):
         a, b = sock_pair
@@ -469,7 +660,17 @@ class TestFuzzRoundtrip:
                 tensor=np.arange(4, dtype=np.float32).reshape(2, 2),
                 trace_id=0xABCDEF, span_id=7),
         Message(MessageType.ERROR, text="model said no"),
-    ], ids=["v1-tensor", "v2-traced-tensor", "text"])
+        Message(MessageType.STREAM_OPEN, name="asr", stream_id=1),
+        Message(MessageType.STREAM_CHUNK, name="asr",
+                tensor=np.arange(4, dtype=np.float32).reshape(1, 4),
+                stream_id=2, stream_seq=3),
+        Message(MessageType.STREAM_RESULT, text='{"partial": "go"}',
+                stream_id=2, stream_seq=3, stream_final=True),
+        Message(MessageType.STREAM_CLOSE, name="asr", stream_id=2,
+                stream_seq=4),
+        Message(MessageType.SESSION_LIMIT, text='{"limit": 64}', stream_id=5),
+    ], ids=["v1-tensor", "v2-traced-tensor", "text", "v4-open", "v4-chunk",
+            "v4-result-final", "v4-close", "v4-session-limit"])
     def test_every_truncation_point_fails_typed(self, message):
         """Cut a valid frame at every possible byte boundary: the receiver
         must raise ProtocolError or ConnectionError each time — never hang,

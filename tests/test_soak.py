@@ -130,3 +130,91 @@ def test_proc_pool_fleet_survives_concurrent_soak():
     finally:
         server.stop()
         registry.close_shm()
+
+
+# --------------------------------------------------------------- streaming
+STREAM_CLIENTS = 8
+STREAMS_PER_CLIENT = 50
+CHUNKS_PER_STREAM = 3
+
+
+@pytest.mark.slow
+def test_stream_soak_leaves_no_sessions_behind():
+    """Stream soak: 8 client threads open and close 50 streams each (3
+    stamped chunks per stream) against a proc:2-backed server.  Every
+    stream's final transcript is checked against the in-process forwards
+    of its own chunks, the session table must return to exactly zero, the
+    completed-stream counter must equal the stream count, and parent RSS
+    growth stays bounded — sessions do not leak memory or table slots."""
+    from repro.nn import LayerSpec, Net, NetSpec
+
+    spec = NetSpec("soak_tiny", (8,), (
+        LayerSpec("InnerProduct", "h", {"num_output": 16}),
+        LayerSpec("Sigmoid", "s"),
+        LayerSpec("InnerProduct", "out", {"num_output": 4}),
+        LayerSpec("Softmax", "p"),
+    ))
+    registry = ModelRegistry()
+    registry.register("soak_tiny", Net(spec).materialize(0))
+    net = registry.get("soak_tiny")
+
+    server = DjinnServer(registry, workers="proc:2",
+                         batching=BatchPolicy(max_batch=8, timeout_ms=1.0),
+                         session_limit=STREAM_CLIENTS * 2)
+    server.start()
+    rss_before = _rss_bytes()
+
+    failures: list = []
+    completed = [0] * STREAM_CLIENTS
+
+    def stream_loop(client_id: int) -> None:
+        host, port = server.address
+        try:
+            with DjinnClient(host, port, timeout_s=120.0) as client:
+                for s in range(STREAMS_PER_CLIENT):
+                    stream = client.open_stream("soak_tiny")
+                    expected = []
+                    for c in range(CHUNKS_PER_STREAM):
+                        x = np.full((1, 8), 0.1, dtype=np.float32)
+                        x[0, 0] = float(client_id + 1)
+                        x[0, 1] = float(s * CHUNKS_PER_STREAM + c + 1)
+                        expected.append(int(np.argmax(net.forward(x))))
+                        stream.send(x)
+                    final = stream.close()
+                    if (not final.final
+                            or final.data.get("labels") != expected):
+                        failures.append(
+                            f"client {client_id} stream {s}: transcript "
+                            f"{final.data.get('labels')} != {expected}")
+                        return
+                    completed[client_id] += 1
+        except Exception as exc:  # noqa: BLE001 - any error fails the soak
+            failures.append(f"client {client_id}: {type(exc).__name__}: {exc}")
+
+    try:
+        threads = [threading.Thread(target=stream_loop, args=(i,),
+                                    name=f"stream-soak-{i}")
+                   for i in range(STREAM_CLIENTS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=560)
+        assert not any(t.is_alive() for t in threads), "stream clients hung"
+        assert failures == []
+        assert completed == [STREAMS_PER_CLIENT] * STREAM_CLIENTS, (
+            f"lost streams: {completed}")
+
+        # ---- residue checks -------------------------------------------
+        assert server.sessions.count() == 0, "sessions leaked after soak"
+        family = server.metrics.get("djinn_streams_total")
+        totals = {tuple(lv): child.value for lv, child in family.children()}
+        assert totals.get(("soak_tiny", "completed"), 0) == (
+            STREAM_CLIENTS * STREAMS_PER_CLIENT)
+        assert totals.get(("soak_tiny", "rejected"), 0) == 0
+        growth = _rss_bytes() - rss_before
+        assert growth < RSS_GROWTH_LIMIT, (
+            f"parent RSS grew {growth / 1e6:.1f} MB over "
+            f"{STREAM_CLIENTS * STREAMS_PER_CLIENT} streams")
+    finally:
+        server.stop()
+        registry.close_shm()
