@@ -15,10 +15,13 @@ footprint is one copy of the weights (plus per-blob alignment slack).
 
 ``--check`` gates ``pool/threaded >= 2.0`` for ``imc`` at batch 8 — the
 paper-shaped claim that process workers at least double a GIL-bound
-replica.  The gate only *enforces* on hosts with >= 4 cores (the speedup
-is physically impossible on fewer); the JSON always records the honest
-measured numbers plus ``gate_enforced`` so a 1-core CI run is visible as
-such rather than silently green.
+replica — and ``batch-1 pool-armed >= 1.0x threaded``: a serving executor
+with the pool attached must not *lose* at depth 1, because the batch-1
+fast path runs the lone request in-parent instead of paying the queue and
+slot-ring handoff.  The gates only *enforce* on hosts with >= 4 cores
+(the multi-core speedup is physically impossible on fewer); the JSON
+always records the honest measured numbers plus ``gate_enforced`` so a
+1-core CI run is visible as such rather than silently green.
 
 Usage::
 
@@ -39,16 +42,23 @@ import numpy as np
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+sys.path.insert(0, os.path.dirname(__file__))
+
 from repro.core import BatchingExecutor, BatchPolicy, ModelRegistry  # noqa: E402
 from repro.core import ProcPoolExecutor  # noqa: E402
 from repro.core import shm as shmseg  # noqa: E402
 from repro.models import build_spec  # noqa: E402
+from repro.obs.metrics import MetricsRegistry  # noqa: E402
+
+from _common import GATE_MIN_CORES, gate_fields  # noqa: E402
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 #: pool must at least double threaded throughput (enforced on >=4 cores)
 SPEEDUP_GATE = 2.0
-GATE_MIN_CORES = 4
+#: pool-armed serving must not lose to threaded at batch 1 — the fast path
+#: runs depth-1 requests in-parent, skipping the queue and slot-ring handoff
+BATCH1_GATE = 1.0
 
 
 def _closed_loop(submit, x, clients: int, seconds: float) -> float:
@@ -105,6 +115,31 @@ def bench_app(app: str, batch: int, clients: int, workers: int,
                                     x, clients, seconds)
         pool_ips = _closed_loop(lambda v: pool.submit(app, v),
                                 x, clients, seconds)
+
+        # batch-1 depth-1: a pool-*armed* serving executor must not lose to
+        # the plain threaded one — the fast path runs the lone request
+        # in-parent instead of paying the queue + slot-ring handoff.  Both
+        # sides get their own metrics registry so the per-request metric
+        # cost is symmetric and only the pool arm differs.
+        threaded1 = BatchingExecutor(
+            registry, BatchPolicy(max_batch=batch, timeout_ms=0.5),
+            metrics=MetricsRegistry())
+        combined = BatchingExecutor(
+            registry, BatchPolicy(max_batch=batch, timeout_ms=0.5),
+            pool=pool, metrics=MetricsRegistry())
+        x1 = x[:1]
+        try:
+            threaded1_ips = _closed_loop(
+                lambda v: threaded1.submit(app, v), x1, 1, seconds)
+            pool1_ips = _closed_loop(
+                lambda v: combined.submit(app, v), x1, 1, seconds)
+            fast_hits = combined._fast_hits.labels(model=app).value
+        finally:
+            combined.close()
+            threaded1.close()
+        assert fast_hits > 0, (
+            f"{app}: batch-1 requests never took the fast path")
+        batch1_speedup = pool1_ips / threaded1_ips
     finally:
         pool.close()
         threaded.close()
@@ -115,6 +150,11 @@ def bench_app(app: str, batch: int, clients: int, workers: int,
           f"threaded {threaded_ips:9.1f} inputs/s  "
           f"proc:{workers} {pool_ips:9.1f} inputs/s  "
           f"speedup {speedup:5.2f}x")
+    print(f"{app:5s} batch   1 x 1 client:  "
+          f"threaded {threaded1_ips:9.1f} inputs/s  "
+          f"pool-armed {pool1_ips:9.1f} inputs/s  "
+          f"speedup {batch1_speedup:5.2f}x "
+          f"({fast_hits:.0f} fast-path hits)")
     return {
         "app": app,
         "batch": batch,
@@ -124,6 +164,12 @@ def bench_app(app: str, batch: int, clients: int, workers: int,
         "threaded_ips": threaded_ips,
         "pool_ips": pool_ips,
         "speedup": speedup,
+        "batch1": {
+            "threaded_ips": threaded1_ips,
+            "pool_ips": pool1_ips,
+            "speedup": batch1_speedup,
+            "fast_hits": fast_hits,
+        },
         "weight_bytes": param_bytes,
         "shm_bytes": shm_bytes,
     }
@@ -147,13 +193,14 @@ def main(argv=None) -> int:
                              "(enforced only on >= 4-core hosts)")
     args = parser.parse_args(argv)
 
-    cores = os.cpu_count() or 1
-    gate_enforced = cores >= GATE_MIN_CORES
+    gate = gate_fields()
+    cores = gate["host_cores"]
+    gate_enforced = gate["gate_enforced"]
     apps = [a.strip() for a in args.apps.split(",") if a.strip()]
     results = {
-        "cpu_count": cores,
+        **gate,
         "speedup_gate": SPEEDUP_GATE,
-        "gate_enforced": gate_enforced,
+        "batch1_gate": BATCH1_GATE,
         "batch": args.batch,
         "clients": args.clients,
         "workers": args.workers,
@@ -180,11 +227,20 @@ def main(argv=None) -> int:
             for entry in results["apps"]
             if entry["speedup"] < SPEEDUP_GATE
         ]
+        failures += [
+            f"{entry['app']}: batch-1 pool-armed serving is "
+            f"{entry['batch1']['speedup']:.2f}x threaded "
+            f"(< {BATCH1_GATE}x — fast path did not erase the "
+            f"slot-ring handoff)"
+            for entry in results["apps"]
+            if entry["batch1"]["speedup"] < BATCH1_GATE
+        ]
         if failures:
             for failure in failures:
                 print(f"CHECK FAILED: {failure}", file=sys.stderr)
             return 1
-        print(f"procpool check passed: >= {SPEEDUP_GATE}x threaded "
+        print(f"procpool check passed: >= {SPEEDUP_GATE}x threaded at "
+              f"batch {args.batch}, >= {BATCH1_GATE}x at batch 1, "
               f"on {cores} cores")
     return 0
 

@@ -52,8 +52,11 @@ from repro.gateway import ClusterLauncher, GatewayServer, RetryPolicy  # noqa: E
 from repro.models import build_spec  # noqa: E402
 from repro.sched import QosConfig  # noqa: E402
 
+sys.path.insert(0, os.path.dirname(__file__))
+
+from _common import GATE_MIN_CORES, gate_fields  # noqa: E402
+
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
-GATE_MIN_CORES = 4
 
 #: Offered-rate multipliers over measured capacity; >= 1.0 is "saturated".
 LOAD_POINTS = (0.7, 1.0, 1.4)
@@ -179,8 +182,9 @@ def main(argv=None) -> int:
                              "(enforced only on >= 4-core hosts)")
     args = parser.parse_args(argv)
 
-    cores = os.cpu_count() or 1
-    gate_enforced = cores >= GATE_MIN_CORES
+    gate = gate_fields()
+    cores = gate["host_cores"]
+    gate_enforced = gate["gate_enforced"]
     batching = BatchPolicy(max_batch=args.max_batch,
                            timeout_ms=args.window_ms)
     registry, make_input = _input_factory(args.model)
@@ -196,8 +200,7 @@ def main(argv=None) -> int:
             for name, (sched, qos) in _arms(args.max_batch).items()]
 
     results = {
-        "cpu_count": cores,
-        "gate_enforced": gate_enforced,
+        **gate,
         "model": args.model,
         "deadline_ms": args.deadline_ms,
         "max_batch": args.max_batch,

@@ -129,10 +129,48 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def _query_raw(client, args) -> int:
+    """``--raw``: ship the unpreprocessed payload on a v5 APP frame.
+
+    The server runs the whole Tonic preprocess → DNN → postprocess
+    pipeline and answers with the app's JSON result; the dig payload goes
+    as uint8 pixel bytes (a quarter of the float wire size), NLP queries
+    as UTF-8 text.
+    """
+    kwargs = dict(deadline_ms=args.deadline_ms, priority=args.priority,
+                  tenant=args.tenant)
+    if args.app == "dig":
+        from .tonic import digit_dataset
+
+        images, labels = digit_dataset(args.count, seed=args.seed)
+        start = time.perf_counter()
+        results = [client.infer_app("dig", (img * 255).astype(np.uint8),
+                                    **kwargs)
+                   for img in images]
+        elapsed = time.perf_counter() - start
+        predictions = [r[0] if isinstance(r, list) else r for r in results]
+        print(f"predictions: {predictions}")
+        print(f"labels:      {list(labels)}")
+    else:
+        from .tonic import generate_corpus
+
+        sentence = generate_corpus(1, seed=args.seed)[0]
+        start = time.perf_counter()
+        tags = client.infer_app(args.app, " ".join(sentence.words), **kwargs)
+        elapsed = time.perf_counter() - start
+        print(" ".join(f"{w}/{t}" for w, t in zip(sentence.words, tags)))
+    print(f"({elapsed * 1e3:.2f} ms round trips; "
+          f"pre/postprocess ran server-side)")
+    print("server stats:", client.stats())
+    return 0
+
+
 def cmd_query(args) -> int:
     from .core import DjinnClient, RemoteBackend
 
     with DjinnClient(args.host, args.port) as client:
+        if args.raw:
+            return _query_raw(client, args)
         backend = RemoteBackend(client, deadline_ms=args.deadline_ms,
                                 priority=args.priority, tenant=args.tenant)
         if args.app == "dig":
@@ -266,10 +304,13 @@ def cmd_metrics(args) -> int:
     return 0
 
 
-#: span names a healthy traced request must produce (``djinn trace --check``)
+#: span names a healthy traced request must produce (``djinn trace --check``).
+#: ``backend.queue`` is checked separately: an idle model serves batch-1
+#: requests on the fast path, which skips the queue by design — its absence
+#: is only healthy when the fast-path counter accounts for the request.
 REQUIRED_SPANS = (
     "client.infer", "gateway.infer", "gateway.queue", "gateway.backend",
-    "backend.infer", "backend.queue", "batch.assemble", "net.forward",
+    "backend.infer", "batch.assemble", "net.forward",
 )
 
 
@@ -347,6 +388,17 @@ def cmd_trace(args) -> int:
                 failures.append(f"missing span {required!r}")
         if not any(name.startswith("layer.") for name in seen):
             failures.append("missing per-layer spans (layer.*)")
+        if "backend.queue" not in seen:
+            try:
+                fast_hits = sum(
+                    parse_exposition(metrics_text)
+                    .get("djinn_fast_path_total", {}).values())
+            except ValueError:
+                fast_hits = 0.0
+            if not fast_hits:
+                failures.append(
+                    "missing span 'backend.queue' with no fast-path hits — "
+                    "the request took neither serving path")
         if cov < 0.95:
             failures.append(f"trace coverage {cov:.1%} < 95%")
         try:
@@ -693,6 +745,12 @@ def main(argv=None) -> int:
                        help="scheduling priority class (higher runs first)")
     query.add_argument("--tenant", default="",
                        help="tenant id for per-tenant gateway rate limits")
+    query.add_argument("--raw", action="store_true",
+                       help="send the raw payload (protocol v5 APP frame) "
+                            "and let the server run preprocess/postprocess; "
+                            "dig ships uint8 pixel bytes, NLP apps ship "
+                            "query text (the server must be configured "
+                            "with the app)")
 
     stream = sub.add_parser(
         "stream", help="open streaming sessions against a server or gateway")

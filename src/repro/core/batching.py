@@ -35,6 +35,29 @@ work is submitted through :meth:`BatchingExecutor.submit_lease` like any
 unary request, so chunks from concurrent streams coalesce into shared
 batches and obey the EDF queues when scheduling is armed — a stream gets
 incremental results without a private fast path through the executor.
+
+App requests (protocol v5) turn the worker into a *staged pipeline*:
+:meth:`BatchingExecutor.submit_app` enqueues the raw task payload plus its
+:class:`repro.tonic.TonicApp`, the worker runs the app's **batched**
+``preprocess_batch`` over every raw request it coalesced (in the worker
+process's shm slot when a proc pool is armed and the payloads are
+slot-eligible, on the executor thread otherwise), forwards through the
+existing plan/slot-ring path, then runs ``postprocess_batch`` over the
+result block and hands each waiter its final application answer — the
+arena lease is consumed worker-side, so app waiters never hold the
+barrier.  A poisoned raw payload fails only its own request (typed
+error), never the batch: the vectorized call falls back to the per-item
+loop to isolate the offender.
+
+The **batch-1 fast path** skips the queue handoff and the slot ring
+entirely: when a model's queue is empty and its plan lock is free, the
+submitting thread runs the preprocess/forward/postprocess stages inline
+on a parent-side plan and returns without ever waking the worker — this is
+what removes the per-request dispatch overhead that made a 1-worker proc
+pool slower than threaded serving (ROADMAP item 2).  The fast path turns
+itself off per-request whenever it could change semantics: queued work,
+a service floor, an armed fault plan, or an un-plannable model all fall
+back to the normal queue path.
 """
 
 from __future__ import annotations
@@ -50,11 +73,20 @@ import numpy as np
 from ..obs.metrics import MetricsRegistry
 from ..obs.profile import LayerTimer
 from ..obs.trace import Tracer, get_tracer
-from ..sched import DeadlineExceededError, EdfQueue, LatencyModel, make_policy
+from ..sched import (
+    DeadlineExceededError,
+    EdfQueue,
+    LatencyModel,
+    item_rows,
+    make_policy,
+)
 from . import faultsite
 from .registry import ModelRegistry
 
 __all__ = ["BatchPolicy", "BatchingExecutor", "ResultLease"]
+
+#: sentinel for a declined fast-path attempt (None is a valid result object)
+_FAST_MISS = object()
 
 #: Bucket bounds for the executed-batch-size histogram (inputs per forward).
 BATCH_SIZE_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
@@ -79,14 +111,17 @@ class _Pending:
 
     __slots__ = ("inputs", "event", "result", "error", "trace", "enqueue_s",
                  "delivered_s", "consumed", "arena", "deadline_s", "priority",
-                 "tenant")
+                 "tenant", "app", "raw", "raw_parts", "row_hint", "result_obj")
 
-    def __init__(self, inputs: np.ndarray,
+    def __init__(self, inputs: Optional[np.ndarray],
                  trace: Optional[Tuple[int, int]] = None,
                  enqueue_s: float = 0.0,
                  deadline_s: float = float("inf"),
                  priority: int = 0,
-                 tenant: str = ""):
+                 tenant: str = "",
+                 app=None,
+                 raw=None,
+                 row_hint: int = 1):
         self.inputs = inputs
         self.event = threading.Event()
         self.result: Optional[np.ndarray] = None
@@ -110,6 +145,16 @@ class _Pending:
         #: True when ``result`` is a view of a plan arena (volatile: only
         #: valid until ``consumed`` is set)
         self.arena = False
+        #: app pipeline fields: the TonicApp whose pre/post kernels run
+        #: server-side, the raw payload, the in-slot raw parts a proc-pool
+        #: batch deferred (worker-process preprocess), the submitter's row
+        #: estimate used for assembly before preprocess, and the final
+        #: postprocessed answer delivered to ``submit_app``
+        self.app = app
+        self.raw = raw
+        self.raw_parts: Optional[List[np.ndarray]] = None
+        self.row_hint = row_hint
+        self.result_obj = None
 
 
 class ResultLease:
@@ -140,6 +185,31 @@ class ResultLease:
         self._pending.consumed.set()
 
     def __enter__(self) -> "ResultLease":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+
+class _FastLease:
+    """A fast-path result lease: ``outputs`` views the parent-side plan's
+    output slab, and :meth:`release` returns the plan lock the submitting
+    thread took (instead of signalling a worker's barrier).  Same contract
+    as :class:`ResultLease` from the consumer's point of view."""
+
+    __slots__ = ("outputs", "delivered_s", "_lock")
+
+    def __init__(self, outputs: np.ndarray, delivered_s: float, lock):
+        self.outputs = outputs
+        self.delivered_s = delivered_s
+        self._lock = lock
+
+    def release(self) -> None:
+        lock, self._lock = self._lock, None
+        if lock is not None:
+            lock.release()
+
+    def __enter__(self) -> "_FastLease":
         return self
 
     def __exit__(self, *exc) -> None:
@@ -203,17 +273,25 @@ class BatchingExecutor:
                 "djinn_stage_seconds_total",
                 "Request-weighted seconds spent per serving stage, per model.",
                 ("model", "stage"))
+            self._fast_hits = metrics.counter(
+                "djinn_fast_path_total",
+                "Requests served by the batch-1 fast path (no queue handoff).",
+                ("model",))
             self.latency.seed_from_metrics(metrics)
         else:
             self._batch_size = None
             self._expired = None
             self._stage_seconds = None
+            self._fast_hits = None
         self._queues: Dict[str, Queue] = {}
         self._workers: Dict[str, threading.Thread] = {}
         self._lock = threading.Lock()
         self._closed = False
         #: batch sizes actually executed, per model (observability/tests)
         self.executed_batches: Dict[str, List[int]] = {}
+        #: models whose parent-side plan failed to compile; the fast path
+        #: stops re-trying them (the queue path serves them instead)
+        self._fast_off: set = set()
 
     # ------------------------------------------------------------ lifecycle
     def _ensure_worker(self, model: str) -> Queue:
@@ -224,7 +302,9 @@ class BatchingExecutor:
                 self.registry.get(model)  # fail fast on unknown models
                 queue = EdfQueue() if self.sched is not None else Queue()
                 self._queues[model] = queue
-                self.executed_batches[model] = []
+                # setdefault: a concurrent batch-1 fast-path hit may already
+                # have recorded rows here before the first enqueue
+                self.executed_batches.setdefault(model, [])
                 worker = threading.Thread(
                     target=self._run_worker, args=(model, queue), daemon=True,
                     name=f"djinn-batch-{model}",
@@ -245,9 +325,10 @@ class BatchingExecutor:
             worker.join(timeout=5.0)
 
     # -------------------------------------------------------------- submit
-    def _enqueue(self, model: str, inputs: np.ndarray,
+    def _enqueue(self, model: str, inputs: Optional[np.ndarray],
                  trace: Optional[Tuple[int, int]],
-                 qos: Optional[Tuple[float, int, str]] = None) -> _Pending:
+                 qos: Optional[Tuple[float, int, str]] = None,
+                 app=None, raw=None, row_hint: int = 1) -> _Pending:
         # queue time starts when the caller hands the request over, not
         # after worker/bookkeeping setup — the gap is queueing, not limbo
         enqueue_s = self.clock()
@@ -256,16 +337,17 @@ class BatchingExecutor:
             else (float("inf"), 0, "")
         # no forced copy: the planned path gathers payloads straight into
         # the arena, the legacy path concatenates — neither needs contiguity
-        pending = _Pending(np.asarray(inputs, dtype=np.float32),
-                           trace, enqueue_s,
+        if inputs is not None:
+            inputs = np.asarray(inputs, dtype=np.float32)
+        pending = _Pending(inputs, trace, enqueue_s,
                            deadline_s=deadline_s, priority=priority,
-                           tenant=tenant)
+                           tenant=tenant, app=app, raw=raw, row_hint=row_hint)
         queue.put(pending)
         pending.event.wait()
         if pending.error is not None:
             pending.consumed.set()  # unblock the worker's lease barrier
             raise pending.error
-        assert pending.result is not None
+        assert app is not None or pending.result is not None
         return pending
 
     def submit(self, model: str, inputs: np.ndarray,
@@ -284,6 +366,10 @@ class BatchingExecutor:
         raises :class:`repro.sched.DeadlineExceededError` instead of
         running.
         """
+        fast = self._try_fast(model, inputs=inputs, trace=trace, qos=qos)
+        if fast is not _FAST_MISS:
+            with fast:
+                return fast.outputs.copy()
         pending = self._enqueue(model, inputs, trace, qos)
         result = pending.result
         if pending.arena:
@@ -297,9 +383,188 @@ class BatchingExecutor:
         """Like :meth:`submit` but zero-copy: returns a :class:`ResultLease`
         whose ``outputs`` view the batch result in place.  The caller must
         ``release()`` (or exit the context manager) promptly — on the
-        planned path the model's worker holds the arena until then.
+        planned path the model's worker holds the arena until then (a fast-
+        path lease holds the parent-side plan instead; same contract).
         """
+        fast = self._try_fast(model, inputs=inputs, trace=trace, qos=qos)
+        if fast is not _FAST_MISS:
+            return fast
         return ResultLease(self._enqueue(model, inputs, trace, qos))
+
+    def submit_app(self, model: str, app, raw,
+                   trace: Optional[Tuple[int, int]] = None,
+                   qos: Optional[Tuple[float, int, str]] = None,
+                   row_hint: int = 1):
+        """Raw-payload path: the server owns the whole Tonic pipeline.
+
+        ``raw`` is the decoded application payload (float image(s), audio
+        samples, token text); ``app`` supplies the ``preprocess_batch`` /
+        ``postprocess_batch`` kernels, which run batched in the worker
+        context alongside every other coalesced raw request.  Returns the
+        postprocessed application answer (a plain Python object — no
+        arena lease to release).  ``row_hint`` is the submitter's estimate
+        of the DNN rows this payload expands to, used only for batch
+        assembly before preprocess runs.
+        """
+        fast = self._try_fast(model, trace=trace, qos=qos, app=app, raw=raw)
+        if fast is not _FAST_MISS:
+            return fast
+        pending = self._enqueue(model, None, trace, qos,
+                                app=app, raw=raw, row_hint=row_hint)
+        pending.consumed.set()  # nothing leased: the worker postprocessed
+        return pending.result_obj
+
+    # ----------------------------------------------------------- fast path
+    def _try_fast(self, model: str, inputs: Optional[np.ndarray] = None,
+                  trace: Optional[Tuple[int, int]] = None,
+                  qos: Optional[Tuple[float, int, str]] = None,
+                  app=None, raw=None):
+        """Batch-1 fast path: serve the request inline on the calling thread.
+
+        When the model's queue is empty and a parent-side plan lock is
+        free, the queue handoff (enqueue, worker wake-up, coalescing
+        window, two context switches) — and, under a proc pool, the slot
+        ring — are pure overhead for a batch of one.  This runs
+        preprocess, the planned forward, and postprocess right here and
+        returns the result: a :class:`_FastLease` for tensor submissions,
+        the postprocessed answer for app submissions.  ``_FAST_MISS``
+        means the caller takes the normal queue path.  It declines
+        whenever inline execution could change semantics: queued work
+        (coalescing wins), a service floor (pacing lives in the worker),
+        an armed fault plan (hook order must stay deterministic per seed),
+        an un-plannable model, or an already-expired deadline (the EDF
+        queue owns typed rejection).
+        """
+        if (not self.use_plans or self.service_floor_s
+                or faultsite.active is not None or self._closed
+                or model in self._fast_off):
+            return _FAST_MISS
+        if (qos is not None and self.sched is not None
+                and np.isfinite(qos[0]) and self.clock() >= qos[0]):
+            return _FAST_MISS
+        queue = self._queues.get(model)
+        if queue is not None:
+            depth = queue.depth_rows() if isinstance(queue, EdfQueue) \
+                else queue.qsize()
+            if depth:
+                return _FAST_MISS
+        tracer = self.tracer
+        traced = tracer.enabled and trace is not None
+        enter = self.clock()
+        pre_start = pre_end = 0.0
+        if app is not None:
+            # preprocess errors propagate to the submitter as typed
+            # per-request failures, exactly like the queue path's
+            pre_start = self.clock()
+            inputs = app.preprocess(raw)
+            pre_end = self.clock()
+        inputs = np.asarray(inputs, dtype=np.float32)
+        rows = len(inputs)
+        if not rows or rows > self.policy.max_batch:
+            return _FAST_MISS  # oversize rides the legacy stacked path
+        try:
+            plan = self.registry.plan(model, rows)
+        except KeyError:
+            raise  # unknown model: same failure as _ensure_worker's
+        except Exception:
+            self._fast_off.add(model)
+            return _FAST_MISS
+        net = self.registry.get(model)
+        sample_shape = tuple(net.input_shape)
+        if tuple(inputs.shape[1:]) != sample_shape:
+            raise ValueError(
+                f"request payload shape {inputs.shape[1:]} does not match "
+                f"model input shape {sample_shape}")
+        if not plan.lock.acquire(blocking=False):
+            return _FAST_MISS  # a concurrent batch owns the arena
+        leased = False
+        try:
+            np.copyto(plan.input_view(rows), inputs)
+            timer = (LayerTimer(self.clock)
+                     if traced and self.profile_layers else None)
+            forward_start = self.clock()
+            outputs = plan.execute(rows, timer=timer)
+            forward_end = self.clock()
+            self.latency.observe(model, rows, forward_end - forward_start)
+            self.executed_batches.setdefault(model, []).append(rows)
+            if self._batch_size is not None:
+                self._batch_size.labels(model=model).observe(rows)
+            if self._fast_hits is not None:
+                self._fast_hits.labels(model=model).inc()
+            # the fast path's dispatch work (asarray, plan lookup, lock,
+            # copy-in) is its batch assembly — account it like the worker's
+            # so fast-path traces stay gap-free for the cost ledger
+            assemble_from = pre_end if app is not None else enter
+            stage = self._stage_seconds
+            if stage is not None:
+                stage.labels(model=model, stage="net.forward").inc(
+                    forward_end - forward_start)
+                stage.labels(model=model, stage="batch.assemble").inc(
+                    max(0.0, forward_start - assemble_from))
+            if traced:
+                tid, parent = trace
+                if app is not None:
+                    tracer.add_span("app.preprocess", pre_start, pre_end,
+                                    tid, parent, category="app",
+                                    model=model, rows=rows)
+                tracer.add_span("batch.assemble", assemble_from,
+                                forward_start, tid, parent, category="batch",
+                                batch_size=rows, requests=1)
+                fspan = tracer.add_span("net.forward", forward_start,
+                                        forward_end, tid, parent,
+                                        category="compute", model=model,
+                                        batch_size=rows)
+                if timer is not None:
+                    timer.emit_spans(tracer, tid, fspan.span_id)
+            if app is not None:
+                self.latency.observe(f"{model}:preprocess", rows,
+                                     pre_end - pre_start)
+                if stage is not None:
+                    stage.labels(model=model, stage="preprocess").inc(
+                        pre_end - pre_start)
+                post_start = self.clock()
+                if stage is not None:
+                    stage.labels(model=model, stage="batch.assemble").inc(
+                        max(0.0, post_start - forward_end))
+                if traced:
+                    # post-forward bookkeeping (metrics, span emission) is
+                    # the fast path's batch disassembly — keep it covered
+                    tracer.add_span("batch.scatter", forward_end, post_start,
+                                    tid, parent, category="batch",
+                                    batch_size=rows)
+                result = app.postprocess_batch(outputs, [raw], [rows])[0]
+                post_end = self.clock()
+                self.latency.observe(f"{model}:postprocess", rows,
+                                     post_end - post_start)
+                if stage is not None:
+                    stage.labels(model=model, stage="postprocess").inc(
+                        post_end - post_start)
+                if traced:
+                    tracer.add_span("app.postprocess", post_start, post_end,
+                                    tid, parent, category="app", model=model)
+                return result
+            # a fresh slice view: the read-only flag must not stick to the
+            # plan's own output slab (the next execute writes into it)
+            view = outputs[0:rows]
+            if view.flags.writeable:
+                view.flags.writeable = False  # consumers copy, never mutate
+            delivered = self.clock()
+            if stage is not None:
+                stage.labels(model=model, stage="batch.assemble").inc(
+                    max(0.0, delivered - forward_end))
+            if traced:
+                # post-forward bookkeeping (metrics, span emission, view
+                # hand-out) is the fast path's batch disassembly; respond
+                # accounting takes over at the delivered stamp
+                tracer.add_span("batch.scatter", forward_end, delivered,
+                                tid, parent, category="batch",
+                                batch_size=rows)
+            lease = _FastLease(view, delivered, plan.lock)
+            leased = True  # lock ownership moved into the lease
+            return lease
+        finally:
+            if not leased:
+                plan.lock.release()
 
     # -------------------------------------------------------------- worker
     def _collect(self, queue: Queue) -> List[_Pending]:
@@ -315,7 +580,7 @@ class BatchingExecutor:
         if first is None:
             return []
         batch = [first]
-        rows = len(first.inputs)
+        rows = item_rows(first)
         deadline = first.enqueue_s + self.policy.timeout_ms / 1e3
         while rows < self.policy.max_batch:
             remaining = deadline - self.clock()
@@ -329,7 +594,7 @@ class BatchingExecutor:
                 queue.put(None)  # keep shutdown signal visible
                 break
             batch.append(item)
-            rows += len(item.inputs)
+            rows += item_rows(item)
         return batch
 
     @staticmethod
@@ -402,6 +667,154 @@ class BatchingExecutor:
             if queue.finished:
                 return [], collect_start
 
+    # ------------------------------------------------------------ app stages
+    def _preprocess_stage(self, model: str, batch: List[_Pending]):
+        """Stage 1 of the app pipeline: batched server-side preprocess.
+
+        Runs *before* the plan lock is taken (preprocess needs no arena).
+        Returns ``(batch, pre_start, pre_end, deferred)``: the surviving
+        requests — a poisoned raw payload errors out individually, the
+        rest of the batch proceeds — the stage's extent (``0.0, 0.0`` when
+        the batch carried no raw payloads), and whether preprocessing was
+        deferred into the proc-pool worker process (slot-eligible raw
+        payloads ship as raw parts and are preprocessed in the shm slot).
+        """
+        if not any(p.app is not None for p in batch):
+            return batch, 0.0, 0.0, False
+        pre_start = self.clock()
+        injector = faultsite.active
+        if injector is not None:
+            survivors = []
+            for p in batch:
+                if p.app is None:
+                    survivors.append(p)
+                    continue
+                try:
+                    injector.on_preprocess(model)
+                except Exception as exc:
+                    p.error = exc
+                    p.event.set()
+                    p.consumed.set()
+                else:
+                    survivors.append(p)
+            batch = survivors
+            if not batch:
+                return batch, pre_start, self.clock(), False
+        pool = self.pool
+        if pool is not None and len(batch) <= pool.max_batch:
+            raw_shape = getattr(pool, "raw_item_shape", lambda m: None)(model)
+            if raw_shape is not None and all(
+                    p.app is not None and isinstance(p.raw, np.ndarray)
+                    and tuple(p.raw.shape) == raw_shape for p in batch):
+                # preprocess moves into the worker process: each payload
+                # ships as one raw slot part (1 raw item -> 1 DNN row for
+                # slot-eligible shapes), parent-side cost is bookkeeping
+                for p in batch:
+                    p.raw_parts = [np.asarray(p.raw, dtype=np.float32)]
+                return batch, pre_start, self.clock(), True
+        by_app: Dict[int, Tuple[object, List[_Pending]]] = {}
+        for p in batch:
+            if p.app is not None:
+                by_app.setdefault(id(p.app), (p.app, []))[1].append(p)
+        n_raw = 0
+        rows_pre = 0
+        failed = set()
+        for app, group in by_app.values():
+            try:
+                inputs, counts = app.preprocess_batch([p.raw for p in group])
+                inputs = np.asarray(inputs, dtype=np.float32)
+                offset = 0
+                for p, count in zip(group, counts):
+                    p.inputs = inputs[offset:offset + count]
+                    offset += count
+            except Exception:
+                # the vectorized call failed somewhere inside the block;
+                # re-run per item so only the poisoned payload errors out
+                for p in group:
+                    try:
+                        p.inputs = np.asarray(app.preprocess(p.raw),
+                                              dtype=np.float32)
+                    except Exception as exc:
+                        p.error = exc
+                        p.event.set()
+                        p.consumed.set()
+                        failed.add(id(p))
+            for p in group:
+                if id(p) not in failed:
+                    n_raw += 1
+                    rows_pre += len(p.inputs)
+        if failed:
+            batch = [p for p in batch if id(p) not in failed]
+        pre_end = self.clock()
+        if rows_pre:
+            self.latency.observe(f"{model}:preprocess", rows_pre,
+                                 pre_end - pre_start)
+        if self._stage_seconds is not None and n_raw:
+            self._stage_seconds.labels(model=model, stage="preprocess").inc(
+                (pre_end - pre_start) * n_raw)
+        tracer = self.tracer
+        if tracer.enabled:
+            for p in batch:
+                if p.app is not None and p.trace is not None:
+                    tid, parent = p.trace
+                    tracer.add_span("app.preprocess", pre_start, pre_end,
+                                    tid, parent, category="app", model=model,
+                                    rows=len(p.inputs))
+        return batch, pre_start, pre_end, False
+
+    def _postprocess_stage(self, model: str, batch: List[_Pending]) -> None:
+        """Stage 3 of the app pipeline: batched postprocess.
+
+        App waiters receive their final application answer instead of an
+        arena view — the view is consumed *here*, worker-side, so those
+        waiters never participate in the lease barrier.  A failing
+        postprocess falls back to the per-item loop so only the offending
+        request errors.
+        """
+        apps = [p for p in batch if p.app is not None]
+        if not apps:
+            return
+        post_start = self.clock()
+        by_app: Dict[int, Tuple[object, List[_Pending]]] = {}
+        for p in apps:
+            by_app.setdefault(id(p.app), (p.app, []))[1].append(p)
+        rows_post = 0
+        for app, group in by_app.values():
+            views = [p.result for p in group]
+            counts = [len(view) for view in views]
+            block = views[0] if len(views) == 1 \
+                else np.concatenate(views, axis=0)
+            try:
+                results = app.postprocess_batch(
+                    block, [p.raw for p in group], counts)
+                for p, result in zip(group, results):
+                    p.result_obj = result
+            except Exception:
+                for p, view in zip(group, views):
+                    try:
+                        p.result_obj = app.postprocess(view, p.raw)
+                    except Exception as exc:
+                        p.error = exc
+            rows_post += sum(counts)
+        post_end = self.clock()
+        for p in apps:
+            p.result = None
+            p.arena = False
+            p.delivered_s = post_end
+            p.consumed.set()  # arena claim released worker-side
+        self.latency.observe(f"{model}:postprocess", rows_post,
+                             post_end - post_start)
+        if self._stage_seconds is not None:
+            self._stage_seconds.labels(model=model, stage="postprocess").inc(
+                (post_end - post_start) * len(apps))
+        tracer = self.tracer
+        if tracer.enabled:
+            for p in apps:
+                if p.trace is not None:
+                    tid, parent = p.trace
+                    tracer.add_span("app.postprocess", post_start, post_end,
+                                    tid, parent, category="app", model=model)
+
     def _run_worker(self, model: str, queue) -> None:
         net = self.registry.get(model)
         tracer = self.tracer
@@ -422,7 +835,13 @@ class BatchingExecutor:
                 batch = self._collect(queue)
             if not batch:
                 return
-            rows = sum(len(p.inputs) for p in batch)
+            batch, pre_start, pre_end, deferred = \
+                self._preprocess_stage(model, batch)
+            if not batch:
+                continue  # every raw payload in the batch was poisoned
+            had_pre = pre_end > 0.0
+            rows = sum(len(p.raw_parts) if p.inputs is None else len(p.inputs)
+                       for p in batch)
             # _collect admits one oversize request past max_batch; those
             # batches overflow the arena (or pool slot) and take the legacy
             # stacked path
@@ -435,17 +854,20 @@ class BatchingExecutor:
                 if faultsite.active is not None:
                     faultsite.active.on_batch(model)
                 start = self.clock()
+                # with an app preprocess stage in front, queueing ends when
+                # preprocess picks the request up — the stages stay exclusive
+                queue_end = pre_start if had_pre else start
                 traced = ([p for p in batch if p.trace is not None]
                           if tracer.enabled else [])
                 for pending in traced:
                     tid, parent = pending.trace
                     qspan = tracer.add_span("backend.queue", pending.enqueue_s,
-                                            start, tid, parent,
+                                            queue_end, tid, parent,
                                             category="queue", model=model)
                     if self.sched is not None:
                         wait_from = max(pending.enqueue_s, collect_start)
-                        if start > wait_from:
-                            tracer.add_span("sched.wait", wait_from, start,
+                        if queue_end > wait_from:
+                            tracer.add_span("sched.wait", wait_from, queue_end,
                                             tid, qspan.span_id,
                                             category="sched", model=model)
                 if use_plan:
@@ -460,9 +882,17 @@ class BatchingExecutor:
                 elif use_pool:
                     # gather happens directly into the shm slot; the result
                     # stays pinned there under the lease until every waiter
-                    # has consumed its view
-                    lease = self.pool.submit_parts(
-                        model, [p.inputs for p in batch])
+                    # has consumed its view.  A deferred batch ships *raw*
+                    # parts: the worker process preprocesses in-slot before
+                    # its forward (stage 1 parallelism across pool workers).
+                    if deferred:
+                        lease = self.pool.submit_parts(
+                            model,
+                            [part for p in batch for part in p.raw_parts],
+                            raw=True)
+                    else:
+                        lease = self.pool.submit_parts(
+                            model, [p.inputs for p in batch])
                     outputs = lease.outputs
                 else:
                     outputs = net.forward(stacked, timer=timer)
@@ -495,7 +925,8 @@ class BatchingExecutor:
                     self._batch_size.labels(model=model).observe(rows)
                 offset = 0
                 for pending in batch:
-                    n = len(pending.inputs)
+                    n = (len(pending.raw_parts) if pending.inputs is None
+                         else len(pending.inputs))
                     view = outputs[offset:offset + n]
                     if view.flags.writeable:
                         view.flags.writeable = False  # consumers copy, never mutate
@@ -510,15 +941,16 @@ class BatchingExecutor:
                     stage = self._stage_seconds
                     if self.sched is not None and collect_start:
                         queue_s = sum(
-                            max(0.0, min(start, collect_start) - p.enqueue_s)
+                            max(0.0, min(queue_end, collect_start)
+                                - p.enqueue_s)
                             for p in batch)
                         wait_s = sum(
-                            max(0.0, start - max(p.enqueue_s, collect_start))
+                            max(0.0, queue_end - max(p.enqueue_s, collect_start))
                             for p in batch)
                         if wait_s > 0:
                             stage.labels(model=model, stage="sched.wait").inc(wait_s)
                     else:
-                        queue_s = sum(max(0.0, start - p.enqueue_s)
+                        queue_s = sum(max(0.0, queue_end - p.enqueue_s)
                                       for p in batch)
                     stage.labels(model=model, stage="backend.queue").inc(queue_s)
                     stage.labels(model=model, stage="net.forward").inc(
@@ -538,6 +970,7 @@ class BatchingExecutor:
                         model=model, stage="batch.assemble").inc(
                         ((forward_start - start) + (delivered - post_start))
                         * len(batch))
+                self._postprocess_stage(model, batch)
             except Exception as exc:  # deliver failures to every waiter
                 for pending in batch:
                     pending.error = exc

@@ -12,7 +12,16 @@ import numpy as np
 from ..obs.metrics import render_exposition
 from ..obs.trace import Tracer, get_tracer
 from ..tonic.app import DnnBackend
-from .protocol import Message, MessageType, ProtocolError, recv_message, send_message
+from .protocol import (
+    KIND_TENSOR,
+    KIND_TEXT,
+    KIND_U8,
+    Message,
+    MessageType,
+    ProtocolError,
+    recv_message,
+    send_message,
+)
 
 __all__ = [
     "DjinnClient",
@@ -183,6 +192,17 @@ class DjinnClient:
         """
         return self._exchange(request)
 
+    def roundtrip(self, request: Message) -> Message:
+        """One typed unary exchange: send ``request``, type the reply.
+
+        Like :meth:`exchange` but with the unary error mapping applied —
+        ERROR, DEADLINE_EXCEEDED, and OVERLOADED frames raise their typed
+        exceptions instead of being handed back.  The gateway relays
+        ``APP_REQUEST`` frames through this so typed rejections drive its
+        retry/pass-through decisions exactly as they do for :meth:`infer`.
+        """
+        return self._roundtrip(request)
+
     def _roundtrip(self, request: Message) -> Message:
         response = self._exchange(request)
         if response.type == MessageType.ERROR:
@@ -291,6 +311,56 @@ class DjinnClient:
         if response.type != MessageType.INFER_RESPONSE or response.tensor is None:
             raise DjinnServiceError(f"unexpected response type {response.type}")
         return response.tensor
+
+    @staticmethod
+    def app_message(app: str, raw, deadline_ms: float = 0.0,
+                    priority: int = 0, tenant: str = "",
+                    trace_id: int = 0, span_id: int = 0) -> Message:
+        """Build the v5 APP_REQUEST frame for a raw application payload.
+
+        The payload kind follows the python type: ``str`` ships as UTF-8
+        text (NLP queries), a ``uint8`` array as raw bytes (pixel/sample
+        bytes at a quarter of the float wire size — the server rescales to
+        [0, 1]), anything else as a float32 tensor.
+        """
+        kwargs = dict(deadline_ms=deadline_ms, priority=priority,
+                      tenant=tenant, trace_id=trace_id, span_id=span_id)
+        if isinstance(raw, str):
+            return Message(MessageType.APP_REQUEST, name=app, text=raw,
+                           payload_kind=KIND_TEXT, **kwargs)
+        arr = np.asarray(raw)
+        if arr.dtype == np.uint8:
+            return Message(MessageType.APP_REQUEST, name=app,
+                           tensor=np.ascontiguousarray(arr),
+                           payload_kind=KIND_U8, **kwargs)
+        return Message(MessageType.APP_REQUEST, name=app,
+                       tensor=np.ascontiguousarray(arr, dtype=np.float32),
+                       payload_kind=KIND_TENSOR, **kwargs)
+
+    def infer_app(self, app: str, raw, deadline_ms: float = 0.0,
+                  priority: int = 0, tenant: str = ""):
+        """Run one raw application query server-side (protocol v5).
+
+        ``raw`` is the *unpreprocessed* payload — an image (float array in
+        [0, 1] or uint8 bytes), audio samples, or query text — and the
+        server runs the whole Tonic preprocess -> DNN -> postprocess
+        pipeline, returning the application's JSON answer (labels,
+        identities, a transcript, tags) instead of a raw tensor.  QoS
+        fields behave as in :meth:`infer`.
+        """
+        tracer = self._tracer
+        if tracer.enabled:
+            with tracer.span("client.app", category="client", model=app,
+                             backend=f"{self._host}:{self._port}") as span:
+                response = self._roundtrip(self.app_message(
+                    app, raw, deadline_ms, priority, tenant,
+                    trace_id=span.trace_id, span_id=span.span_id))
+        else:
+            response = self._roundtrip(self.app_message(
+                app, raw, deadline_ms, priority, tenant))
+        if response.type != MessageType.APP_RESPONSE:
+            raise DjinnServiceError(f"unexpected response type {response.type}")
+        return json.loads(response.text) if response.text else None
 
     def list_models(self) -> List[str]:
         response = self._roundtrip(Message(MessageType.LIST_REQUEST))

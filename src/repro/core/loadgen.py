@@ -191,6 +191,8 @@ def run_open_loop_load(
     connections: int = 16,
     seed: int = 0,
     timeout_s: float = 30.0,
+    dup_frac: float = 0.0,
+    dup_jitter: float = 0.01,
 ) -> OpenLoopResult:
     """Drive a live service open-loop at a fixed offered rate.
 
@@ -202,6 +204,12 @@ def run_open_loop_load(
     scheduled arrival time is the measurement origin, so generator lag
     (``schedule_lag_p99_s``) and service queueing are both charged to the
     request, the way a real user would experience them.
+
+    ``dup_frac`` makes that fraction of arrivals near-duplicates of
+    earlier requests in the trace (seeded: request *i* reuses request
+    *j*'s input plus ``dup_jitter``-scaled noise) — the repeated-query
+    shape of production traffic, which caches and batch coalescing see
+    very differently from fresh i.i.d. inputs.
     """
     if qps <= 0:
         raise ValueError(f"qps must be > 0, got {qps}")
@@ -209,6 +217,8 @@ def run_open_loop_load(
         raise ValueError(f"requests must be >= 1, got {requests}")
     if connections < 1:
         raise ValueError(f"connections must be >= 1, got {connections}")
+    if not 0.0 <= dup_frac <= 1.0:
+        raise ValueError(f"dup_frac must be in [0, 1], got {dup_frac}")
     classes = tuple(classes)
     if not classes:
         raise ValueError("need at least one RequestClass")
@@ -223,6 +233,27 @@ def run_open_loop_load(
     for i in range(requests):
         at += rng.expovariate(qps)
         schedule.append((at, i, rng.choices(classes, weights=weights)[0]))
+
+    # duplicate plan, fixed up front so it is deterministic per seed and
+    # needs no shared state between worker threads: request i that lands
+    # in the plan replays request dup_of[i]'s input with seeded jitter
+    dup_of: Dict[int, int] = {}
+    if dup_frac:
+        dup_rng = np.random.default_rng(seed)
+        for i in range(1, requests):
+            if dup_rng.random() < dup_frac:
+                dup_of[i] = int(dup_rng.integers(0, i))
+
+    def input_for(i: int) -> np.ndarray:
+        src = dup_of.get(i)
+        if src is None:
+            return make_input(i)
+        base = np.asarray(make_input(src))
+        if dup_jitter:
+            jrng = np.random.default_rng((seed + 1) * 1_000_003 + i)
+            base = (base + jrng.normal(0.0, dup_jitter, size=base.shape)
+                    ).astype(base.dtype, copy=False)
+        return base
 
     lock = threading.Lock()
     cursor = [0]
@@ -248,7 +279,7 @@ def run_open_loop_load(
                 if delay > 0:
                     time.sleep(delay)
                 lag = max(0.0, time.monotonic() - target)
-                batch = make_input(i)
+                batch = input_for(i)
                 tally = tallies[cls.name]
                 try:
                     client.infer(model, batch,

@@ -43,7 +43,9 @@ Slot header layout (little-endian, 64-byte aligned regions)::
     offset 8   u32  state      FREE/QUEUED/RUNNING/DONE/ERROR
     offset 12  u32  model      index into the sorted model table
     offset 16  u32  rows       batch rows in this slot
-    offset 20  u32  flags      bit 0: kill-on-pickup (chaos)
+    offset 20  u32  flags      bit 0: kill-on-pickup (chaos); bit 1: raw
+                               payload — the input region holds raw app
+                               items and the worker preprocesses in-slot
     offset 24  u32  worker     index of the worker executing, else NO_WORKER
     offset 32  u16+bytes       error message (type-tagged, ERROR state only)
 """
@@ -81,6 +83,7 @@ _ERR_CAP = HEADER_BYTES - _ERR_OFF - 2
 
 STATE_FREE, STATE_QUEUED, STATE_RUNNING, STATE_DONE, STATE_ERROR = range(5)
 FLAG_KILL = 0x1
+FLAG_RAW = 0x2
 NO_WORKER = 0xFFFFFFFF
 KILL_EXIT_CODE = 113        #: exit status of a chaos-killed worker
 
@@ -156,7 +159,8 @@ def parse_workers(spec) -> int:
 
 
 class _ModelMeta:
-    __slots__ = ("name", "in_shape", "out_shape", "in_sample", "out_sample")
+    __slots__ = ("name", "in_shape", "out_shape", "in_sample", "out_sample",
+                 "raw_shape", "raw_sample")
 
     def __init__(self, name: str, in_shape, out_shape):
         self.name = name
@@ -164,6 +168,12 @@ class _ModelMeta:
         self.out_shape = tuple(int(d) for d in out_shape)
         self.in_sample = int(np.prod(self.in_shape, dtype=np.int64)) * 4
         self.out_sample = int(np.prod(self.out_shape, dtype=np.int64)) * 4
+        # raw app-payload shape for in-worker preprocess (FLAG_RAW), or None
+        from ..tonic.serve import raw_item_shape
+
+        self.raw_shape = raw_item_shape(name, self.in_shape)
+        self.raw_sample = (int(np.prod(self.raw_shape, dtype=np.int64)) * 4
+                           if self.raw_shape is not None else 0)
 
 
 class _Waiter:
@@ -255,6 +265,7 @@ def _worker_loop(index: int, registry: ModelRegistry, ring, layout: dict,
     max_batch: int = layout["max_batch"]
     nets = {meta["name"]: registry.get(meta["name"]) for meta in models}
     plans: Dict[str, Optional[ExecutionPlan]] = {}
+    apps: Dict[str, object] = {}  # lazily built per model for FLAG_RAW slots
     metrics = MetricsRegistry()
     served = metrics.counter(
         "djinn_proc_requests_total", "Requests served by pool workers",
@@ -282,11 +293,31 @@ def _worker_loop(index: int, registry: ModelRegistry, ring, layout: dict,
         try:
             if faultsite.active is not None:
                 faultsite.active.on_batch(name)
-            x = np.ndarray((rows,) + tuple(meta["in_shape"]), dtype=np.float32,
-                           buffer=buf, offset=base + layout["in_off"])
+            if flags & FLAG_RAW:
+                # the slot holds raw app items; run the app's batched
+                # preprocess *in this worker process* (stage-1 parallelism
+                # across the pool), then forward the preprocessed block
+                raw_shape = tuple(meta["raw_shape"])
+                x = np.ndarray((rows,) + raw_shape, dtype=np.float32,
+                               buffer=buf, offset=base + layout["in_off"])
+            else:
+                x = np.ndarray((rows,) + tuple(meta["in_shape"]),
+                               dtype=np.float32, buffer=buf,
+                               offset=base + layout["in_off"])
             out = np.ndarray((rows,) + tuple(meta["out_shape"]), dtype=np.float32,
                              buffer=buf, offset=base + layout["out_off"])
             start = time.monotonic()
+            if flags & FLAG_RAW:
+                if name not in apps:
+                    from ..tonic.serve import _default_app
+
+                    apps[name] = _default_app(name, nets[name])
+                app = apps[name]
+                if app is None:
+                    raise ValueError(f"no serving app for model {name!r}")
+                x, _counts = app.preprocess_batch(
+                    [x[i] for i in range(rows)])
+                x = np.ascontiguousarray(x, dtype=np.float32)
             if name not in plans:
                 net = nets[name]
                 try:
@@ -369,7 +400,11 @@ class ProcPoolExecutor:
         self._model_index = {meta.name: i for i, meta in enumerate(self._models)}
 
         slot_count = slots if slots is not None else max(workers + 2, 4)
-        in_cap = shmseg.align64(max(m.in_sample for m in self._models) * max_batch)
+        # the input region must hold either a preprocessed batch or a raw
+        # app-payload batch, whichever is larger for any model
+        in_cap = shmseg.align64(
+            max(max(m.in_sample, m.raw_sample) for m in self._models)
+            * max_batch)
         out_cap = shmseg.align64(max(m.out_sample for m in self._models) * max_batch)
         self._in_off = HEADER_BYTES
         self._out_off = HEADER_BYTES + in_cap
@@ -385,7 +420,9 @@ class ProcPoolExecutor:
             "max_batch": max_batch,
             "models": [
                 {"name": m.name, "in_shape": list(m.in_shape),
-                 "out_shape": list(m.out_shape)}
+                 "out_shape": list(m.out_shape),
+                 "raw_shape": (list(m.raw_shape)
+                               if m.raw_shape is not None else None)}
                 for m in self._models
             ],
         }
@@ -488,8 +525,14 @@ class ProcPoolExecutor:
         return self.submit_parts(model, [inputs], trace=trace)
 
     def submit_parts(self, model: str, parts: Sequence[np.ndarray], *,
-                     trace=None) -> PoolLease:
-        """Gather ``parts`` into one slot, dispatch, wait, lease the result."""
+                     trace=None, raw: bool = False) -> PoolLease:
+        """Gather ``parts`` into one slot, dispatch, wait, lease the result.
+
+        With ``raw=True`` the parts are *raw app payload items* (shape
+        :meth:`raw_item_shape`, one DNN row each); the worker process runs
+        the model's app ``preprocess_batch`` inside the slot before its
+        forward, moving stage-1 work off the parent's executor thread.
+        """
         if self._closed:
             raise ProcPoolError("pool is closed")
         index = self._model_index.get(model)
@@ -498,15 +541,20 @@ class ProcPoolExecutor:
                 f"model {model!r} not in pool; available: "
                 f"{[m.name for m in self._models]}")
         meta = self._models[index]
+        if raw and meta.raw_shape is None:
+            raise ValueError(
+                f"model {model!r} has no raw slot shape; raw dispatch is "
+                f"only for slot-eligible app payloads")
+        sample_shape = meta.raw_shape if raw else meta.in_shape
         arrays: List[np.ndarray] = []
         rows = 0
         for part in parts:
             arr = np.asarray(part, dtype=np.float32)
-            if arr.ndim == len(meta.in_shape):
+            if arr.ndim == len(sample_shape):
                 arr = arr[None]
-            if tuple(arr.shape[1:]) != meta.in_shape:
+            if tuple(arr.shape[1:]) != sample_shape:
                 raise ValueError(
-                    f"model {model!r} expects sample shape {meta.in_shape}, "
+                    f"model {model!r} expects sample shape {sample_shape}, "
                     f"got {tuple(arr.shape[1:])}")
             arrays.append(arr)
             rows += arr.shape[0]
@@ -527,7 +575,7 @@ class ProcPoolExecutor:
                 f"({self._layout['slots']} slots)") from None
         base = self._layout["slots_off"] + slot * self._layout["stride"]
         buf = self._ring.buf
-        inp = np.ndarray((rows,) + meta.in_shape, dtype=np.float32,
+        inp = np.ndarray((rows,) + sample_shape, dtype=np.float32,
                          buffer=buf, offset=base + self._in_off)
         row = 0
         for arr in arrays:
@@ -536,7 +584,7 @@ class ProcPoolExecutor:
         with self._lock:
             self._seq += 1
             seq = self._seq
-        flags = 0
+        flags = FLAG_RAW if raw else 0
         if faultsite.active is not None and faultsite.active.on_dispatch(model):
             flags |= FLAG_KILL
         _pack_header(buf, base, seq, STATE_QUEUED, index, rows, flags, NO_WORKER)
@@ -574,6 +622,15 @@ class ProcPoolExecutor:
             raise _rebuild_error(message)
         self._release_slot(slot)
         raise ProcPoolError("pool closed while request was in flight")
+
+    def raw_item_shape(self, model: str) -> Optional[Tuple[int, ...]]:
+        """Shape of one raw payload item for ``submit_parts(raw=True)``,
+        or ``None`` when the model is not slot-eligible for in-worker
+        preprocess (ragged payloads, non-canonical input shapes)."""
+        index = self._model_index.get(model)
+        if index is None:
+            return None
+        return self._models[index].raw_shape
 
     def _release_slot(self, slot: int) -> None:
         if self._closed:

@@ -8,7 +8,8 @@ message type, a model name, and a float32 tensor payload.
 Frame layout (all integers little-endian)::
 
     magic       4 bytes  b"DJNN"
-    version     u8       1 (plain), 2 (trace), 3 (trace + QoS), 4 (+ stream)
+    version     u8       1 (plain), 2 (trace), 3 (trace + QoS), 4 (+ stream),
+                         5 (+ app payload)
     type        u8       MessageType
     name_len    u16      model-name byte count
     ndim        u8       payload tensor rank (0 = no tensor)
@@ -18,8 +19,9 @@ Frame layout (all integers little-endian)::
     priority    i8        > only when version >= 3: QoS block
     tenant_len  u8       /
     stream_id   u32      \
-    flags       u8        > only when version == 4: stream block
+    flags       u8        > only when version >= 4: stream block
     seq         u32      /
+    payload_kind u8      only when version >= 5: raw-payload type tag
     dims        u32 * ndim
     body_len    u64      payload byte count (tensor data or UTF-8 text)
     name        name_len bytes (UTF-8)
@@ -52,6 +54,21 @@ message with no stream id still goes out as version 1/2/3, so every
 unary byte sequence is identical to what a pre-streaming peer emits.  A
 version-4 frame always includes the trace and QoS blocks (zeros when
 unused) so each version has exactly one layout.
+
+Version 5 adds application frames: an ``APP_REQUEST`` names a Tonic
+*application* and carries the raw task payload — pixels, audio samples,
+tokens — instead of a preprocessed float32 tensor, so the server owns
+the whole preprocess → DNN → postprocess pipeline (the paper's central
+service-architecture point; raw payloads are also typically far smaller
+than the preprocessed tensor, e.g. u8 pixels at a quarter the bytes).
+One ``payload_kind`` byte tags how the body decodes: ``KIND_TENSOR``
+(float32, as before), ``KIND_U8`` (uint8 tensor, ``body_len ==
+prod(dims)``), or ``KIND_TEXT`` (UTF-8, ``ndim == 0``).  The minimal-
+version rule is unchanged: only frames that actually carry a payload
+kind emit version 5, so all v1–v4 traffic is byte-identical to what a
+pre-app peer sends.  A version-5 frame includes the trace/QoS/stream
+blocks (stream zeroed — app frames are unary) so each version keeps
+exactly one layout.
 """
 
 from __future__ import annotations
@@ -84,8 +101,13 @@ __all__ = [
     "TRACE_VERSION",
     "QOS_VERSION",
     "STREAM_VERSION",
+    "APP_VERSION",
     "STREAM_FINAL",
     "STREAM_TYPES",
+    "APP_TYPES",
+    "KIND_TENSOR",
+    "KIND_TEXT",
+    "KIND_U8",
 ]
 
 MAGIC = b"DJNN"
@@ -96,12 +118,20 @@ TRACE_VERSION = 2
 QOS_VERSION = 3
 #: Version emitted when a frame belongs to a stream (stream_id != 0).
 STREAM_VERSION = 4
+#: Version emitted when a frame carries a typed raw app payload.
+APP_VERSION = 5
 #: Stream-block flag bit: this frame is the final result of its stream.
 STREAM_FINAL = 0x01
+#: Payload kinds (version-5 ``payload_kind`` byte).
+KIND_TENSOR = 1  #: float32 tensor, body_len == 4 * prod(dims)
+KIND_TEXT = 2    #: UTF-8 text, ndim == 0
+KIND_U8 = 3      #: uint8 tensor, body_len == prod(dims)
+_PAYLOAD_KINDS = frozenset({KIND_TENSOR, KIND_TEXT, KIND_U8})
 _HEADER = struct.Struct("<4sBBHB")
 _TRACE = struct.Struct("<QQ")
 _QOS = struct.Struct("<IbB")
 _STREAM = struct.Struct("<IBI")
+_PAYLOAD = struct.Struct("<B")
 _DIM = struct.Struct("<I")
 _BODY_LEN = struct.Struct("<Q")
 
@@ -145,6 +175,8 @@ class MessageType(IntEnum):
     STREAM_RESULT = 15     # body = UTF-8 JSON partial/final result (flags bit 0)
     STREAM_CLOSE = 16      # end-of-stream from the opener
     SESSION_LIMIT = 17     # body = UTF-8 JSON {"error", "limit"}: table full
+    APP_REQUEST = 18       # name = app, body = typed raw payload (payload_kind)
+    APP_RESPONSE = 19      # body = UTF-8 JSON application result
 
 
 #: Message types that always travel inside a stream (version-4 frames).
@@ -154,6 +186,12 @@ STREAM_TYPES = frozenset({
     MessageType.STREAM_RESULT,
     MessageType.STREAM_CLOSE,
     MessageType.SESSION_LIMIT,
+})
+
+#: Message types that always carry a typed app payload (version-5 frames).
+APP_TYPES = frozenset({
+    MessageType.APP_REQUEST,
+    MessageType.APP_RESPONSE,
 })
 
 
@@ -176,6 +214,12 @@ class Message:
     (version-4 frames).  ``stream_id`` is nonzero exactly when the frame
     belongs to a stream; ``stream_seq`` is the sender's ordinal within
     that stream; ``stream_final`` marks the last result of the stream.
+
+    ``payload_kind`` is the app-payload type tag (version-5 frames):
+    nonzero exactly when the frame carries a typed raw payload —
+    :data:`KIND_TENSOR` (float32), :data:`KIND_U8` (uint8 pixels/samples),
+    or :data:`KIND_TEXT` (UTF-8 tokens).  For ``KIND_U8`` the ``tensor``
+    field holds a uint8 array.
     """
 
     type: MessageType
@@ -190,6 +234,7 @@ class Message:
     stream_id: int = 0
     stream_seq: int = 0
     stream_final: bool = False
+    payload_kind: int = 0
 
     @property
     def has_qos(self) -> bool:
@@ -198,6 +243,10 @@ class Message:
     @property
     def has_stream(self) -> bool:
         return bool(self.stream_id)
+
+    @property
+    def has_app(self) -> bool:
+        return bool(self.payload_kind)
 
     def body(self):
         """Payload bytes — a zero-copy memoryview when the tensor allows it.
@@ -209,6 +258,10 @@ class Message:
         """
         if self.tensor is not None:
             t = self.tensor
+            if self.payload_kind == KIND_U8:
+                if t.dtype == np.uint8 and t.flags.c_contiguous:
+                    return t.data.cast("B")
+                return np.ascontiguousarray(t, dtype=np.uint8).tobytes()
             if t.dtype == np.float32 and t.flags.c_contiguous:
                 return t.data.cast("B")
             return np.ascontiguousarray(t, dtype=np.float32).tobytes()
@@ -256,7 +309,22 @@ def encode_message(message: Message) -> bytes:
         if not 0 <= message.stream_seq <= MAX_STREAM_ID:
             raise ProtocolError(
                 f"stream seq out of u32 range: {message.stream_seq}")
-    if streamed:
+    app = message.has_app
+    if message.type in APP_TYPES and not app:
+        raise ProtocolError(f"{message.type.name} frame without a payload kind")
+    if app:
+        kind = message.payload_kind
+        if kind not in _PAYLOAD_KINDS:
+            raise ProtocolError(f"unknown payload kind {kind}")
+        if streamed:
+            raise ProtocolError("app payload on a stream frame")
+        if kind == KIND_TEXT and tensor is not None:
+            raise ProtocolError("text payload kind with a tensor body")
+        if kind in (KIND_TENSOR, KIND_U8) and (tensor is None or not dims):
+            raise ProtocolError("tensor payload kind without a tensor body")
+    if app:
+        version = APP_VERSION
+    elif streamed:
         version = STREAM_VERSION
     elif qos:
         version = QOS_VERSION
@@ -264,26 +332,51 @@ def encode_message(message: Message) -> bytes:
         version = TRACE_VERSION
     else:
         version = VERSION
-    header = _HEADER.pack(MAGIC, version, int(message.type), len(name), len(dims))
-    parts = [header]
+    # One pre-sized buffer for everything ahead of the body: a single
+    # allocation and no per-block bytes objects, so small-request dispatch
+    # doesn't pay a join over half a dozen packs.
+    head_len = _HEADER.size + _BODY_LEN.size + len(dims) * _DIM.size \
+        + len(name) + len(tenant)
     if version >= TRACE_VERSION:
-        parts.append(_TRACE.pack(message.trace_id, message.span_id))
+        head_len += _TRACE.size
+    if version >= QOS_VERSION:
+        head_len += _QOS.size
+    if version >= STREAM_VERSION:
+        head_len += _STREAM.size
+    if version >= APP_VERSION:
+        head_len += _PAYLOAD.size
+    head = bytearray(head_len)
+    _HEADER.pack_into(head, 0, MAGIC, version, int(message.type),
+                      len(name), len(dims))
+    offset = _HEADER.size
+    if version >= TRACE_VERSION:
+        _TRACE.pack_into(head, offset, message.trace_id, message.span_id)
+        offset += _TRACE.size
     if version >= QOS_VERSION:
         # a nonzero deadline never rounds down to "no deadline" on the wire
         deadline_us = int(round(message.deadline_ms * 1e3))
         if message.deadline_ms and not deadline_us:
             deadline_us = 1
-        parts.append(_QOS.pack(deadline_us, message.priority, len(tenant)))
+        _QOS.pack_into(head, offset, deadline_us, message.priority, len(tenant))
+        offset += _QOS.size
     if version >= STREAM_VERSION:
         flags = STREAM_FINAL if message.stream_final else 0
-        parts.append(_STREAM.pack(message.stream_id, flags, message.stream_seq))
-    parts.extend(_DIM.pack(d) for d in dims)
-    parts.append(_BODY_LEN.pack(len(body)))
-    parts.append(name)
+        _STREAM.pack_into(head, offset, message.stream_id, flags,
+                          message.stream_seq)
+        offset += _STREAM.size
+    if version >= APP_VERSION:
+        _PAYLOAD.pack_into(head, offset, message.payload_kind)
+        offset += _PAYLOAD.size
+    for d in dims:
+        _DIM.pack_into(head, offset, d)
+        offset += _DIM.size
+    _BODY_LEN.pack_into(head, offset, len(body))
+    offset += _BODY_LEN.size
+    head[offset:offset + len(name)] = name
+    offset += len(name)
     if version >= QOS_VERSION:
-        parts.append(tenant)
-    parts.append(body)
-    return b"".join(parts)
+        head[offset:offset + len(tenant)] = tenant
+    return b"".join((head, body))
 
 
 def send_message(sock: socket.socket, message: Message) -> None:
@@ -318,7 +411,8 @@ def frame_parser():
     magic, version, mtype, name_len, ndim = _HEADER.unpack((yield _HEADER.size))
     if magic != MAGIC:
         raise ProtocolError(f"bad magic {magic!r}")
-    if version not in (VERSION, TRACE_VERSION, QOS_VERSION, STREAM_VERSION):
+    if version not in (VERSION, TRACE_VERSION, QOS_VERSION, STREAM_VERSION,
+                       APP_VERSION):
         raise ProtocolError(f"unsupported protocol version {version}")
     # Bound the variable-length fields *before* reading them, so a corrupt
     # header can't drive huge reads.
@@ -336,10 +430,17 @@ def frame_parser():
     if version >= STREAM_VERSION:
         stream_id, stream_flags, stream_seq = _STREAM.unpack(
             (yield _STREAM.size))
-        if not stream_id:
+        if version == STREAM_VERSION and not stream_id:
             raise ProtocolError("version-4 frame without a stream id")
         if stream_flags & ~STREAM_FINAL:
             raise ProtocolError(f"unknown stream flags 0x{stream_flags:02x}")
+    payload_kind = 0
+    if version >= APP_VERSION:
+        (payload_kind,) = _PAYLOAD.unpack((yield _PAYLOAD.size))
+        if payload_kind not in _PAYLOAD_KINDS:
+            raise ProtocolError(f"unknown payload kind {payload_kind}")
+        if stream_id:
+            raise ProtocolError("app payload on a stream frame")
     dims = []
     for _ in range(ndim):
         dims.append(_DIM.unpack((yield _DIM.size))[0])
@@ -356,6 +457,8 @@ def frame_parser():
         raise ProtocolError(f"unknown message type {mtype}") from None
     if mtype in STREAM_TYPES and not stream_id:
         raise ProtocolError(f"{mtype.name} frame without a stream id")
+    if mtype in APP_TYPES and not payload_kind:
+        raise ProtocolError(f"{mtype.name} frame without a payload kind")
 
     common = dict(
         type=mtype, name=name,
@@ -363,17 +466,24 @@ def frame_parser():
         deadline_ms=deadline_us / 1e3, priority=priority, tenant=tenant,
         stream_id=stream_id, stream_seq=stream_seq,
         stream_final=bool(stream_flags & STREAM_FINAL),
+        payload_kind=payload_kind,
     )
     if ndim:
-        expected = int(np.prod(dims)) * 4
+        if payload_kind == KIND_TEXT:
+            raise ProtocolError("text payload kind with tensor dims")
+        itemsize = 1 if payload_kind == KIND_U8 else 4
+        expected = int(np.prod(dims)) * itemsize
         if expected != body_len:
             raise ProtocolError(
                 f"tensor dims {dims} imply {expected} bytes, frame has {body_len}"
             )
         # no copy: the frame's body bytes back the tensor directly, so the
         # array is read-only — consumers that need to mutate copy themselves
-        tensor = np.frombuffer(body, dtype=np.float32).reshape(dims)
+        dtype = np.uint8 if payload_kind == KIND_U8 else np.float32
+        tensor = np.frombuffer(body, dtype=dtype).reshape(dims)
         return Message(tensor=tensor, **common)
+    if payload_kind in (KIND_TENSOR, KIND_U8):
+        raise ProtocolError("tensor payload kind without tensor dims")
     return Message(text=body.decode("utf-8"), **common)
 
 

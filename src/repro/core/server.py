@@ -266,6 +266,14 @@ class DjinnServer(TcpServiceBase):
         concurrently open streams (opens past it are rejected with a typed
         SESSION_LIMIT frame), and a session idle longer than
         ``session_idle_s`` is reaped in the background.
+    apps:
+        Optional dict mapping model name to the :class:`repro.tonic.TonicApp`
+        whose pre/postprocess kernels serve that model's v5 ``APP_REQUEST``
+        traffic (raw payload in, application answer out).  Models without
+        an entry get a default app when their name and shape match one of
+        the stateless Tonic apps (``imc``, ``dig``, ``face``, ``asr`` — see
+        :func:`repro.tonic.serve.build_default_apps`); the NLP taggers
+        carry trained featurizer state and must be passed explicitly.
     """
 
     #: pool batch envelope when serving without a batching policy — single
@@ -288,6 +296,7 @@ class DjinnServer(TcpServiceBase):
         stream_apps=None,
         session_limit: int = 64,
         session_idle_s: float = 30.0,
+        apps=None,
     ):
         super().__init__(host=host, port=port)
         if service_floor_s < 0:
@@ -330,6 +339,10 @@ class DjinnServer(TcpServiceBase):
         self._stream_sessions = self.metrics.gauge(
             "djinn_stream_sessions", "Currently open stream sessions.")
         self._stream_apps = dict(stream_apps) if stream_apps else {}
+        #: explicit app table for v5 APP_REQUEST serving; defaults are
+        #: merged in lazily on first use (models may register after init)
+        self._apps = dict(apps) if apps else {}
+        self._apps_built = False
         self.sessions = SessionManager(
             limit=session_limit, idle_timeout_s=session_idle_s,
             clock=clock, on_evict=self._session_evicted)
@@ -382,6 +395,9 @@ class DjinnServer(TcpServiceBase):
     def _handle(self, conn: socket.socket, request: Message) -> bool:
         if request.type == MessageType.INFER_REQUEST:
             self._handle_infer(conn, request)
+            return True
+        if request.type == MessageType.APP_REQUEST:
+            self._handle_app(conn, request)
             return True
         if request.type == MessageType.LIST_REQUEST:
             self._safe_send(
@@ -564,6 +580,175 @@ class DjinnServer(TcpServiceBase):
             finally:
                 if lease is not None:
                     lease.release()
+
+    # ----------------------------------------------------------- app serving
+    def _app_for(self, name: str):
+        """The TonicApp serving ``name``'s APP_REQUEST traffic.
+
+        Explicit ``apps`` entries win; defaults are built from the registry
+        on first use.  Raises ``KeyError`` when the model has no app (same
+        typed unknown-model error path as inference against an unknown
+        name — from the client's view an app that is not served does not
+        exist).
+        """
+        app = self._apps.get(name)
+        if app is None and not self._apps_built:
+            from ..tonic.serve import build_default_apps
+
+            self._apps_built = True
+            for key, built in build_default_apps(self.registry).items():
+                self._apps.setdefault(key, built)
+            app = self._apps.get(name)
+        if app is None:
+            raise KeyError(
+                f"no serving app for model {name!r}; apps available: "
+                f"{sorted(self._apps)}")
+        return app
+
+    def _handle_app(self, conn: socket.socket, request: Message) -> None:
+        """Serve one v5 APP_REQUEST: raw payload in, application answer out.
+
+        The whole Tonic pipeline runs server-side: the app's batched
+        preprocess/postprocess kernels in the executor's worker context
+        (coalescing with every other raw request for the model), the DNN
+        stage through the same plan/slot-ring path as tensor traffic.
+        Without a batching executor the three stages run inline on this
+        connection's thread.
+        """
+        from ..tonic.serve import decode_raw, jsonable_result
+
+        clock = self._clock
+        tracer = self.tracer
+        traced = bool(request.trace_id) and tracer.enabled
+        span_cm = (
+            tracer.span("backend.app", category="backend",
+                        trace_id=request.trace_id, parent_id=request.span_id,
+                        model=request.name)
+            if traced else nullcontext(None)
+        )
+        with span_cm as span:
+            start = clock()
+            deadline_s = (start + request.deadline_ms / 1e3
+                          if request.deadline_ms else None)
+            if traced and request.has_qos:
+                span.set(deadline_ms=request.deadline_ms,
+                         priority=request.priority, tenant=request.tenant)
+            try:
+                app = self._app_for(request.name)
+                raw = decode_raw(request)
+                if deadline_s is not None and clock() >= deadline_s:
+                    now = clock()
+                    self._sched_expired.labels(model=request.name or "?").inc()
+                    if traced:
+                        tracer.add_span(
+                            "sched.expire", start, now, span.trace_id,
+                            span.span_id, category="sched",
+                            model=request.name,
+                            late_ms=round((now - deadline_s) * 1e3, 3))
+                    raise DeadlineExceededError(request.name, now - deadline_s)
+                trace_ctx = (span.trace_id, span.span_id) if traced else None
+                if self._executor is not None and self._executor is not self._pool:
+                    kwargs = {}
+                    if request.has_qos:
+                        kwargs["qos"] = (
+                            deadline_s if deadline_s is not None
+                            else float("inf"),
+                            request.priority, request.tenant)
+                    result = self._executor.submit_app(
+                        request.name, app, raw, trace=trace_ctx, **kwargs)
+                else:
+                    result = self._run_app_inline(
+                        request.name, app, raw, trace_ctx)
+            except DeadlineExceededError as exc:
+                self._record_slo(request.name, "expired")
+                self._safe_send(conn, Message(MessageType.DEADLINE_EXCEEDED,
+                                              text=str(exc),
+                                              trace_id=request.trace_id,
+                                              span_id=request.span_id))
+                return
+            except (KeyError, ValueError) as exc:
+                reason = ("unknown_model" if isinstance(exc, KeyError)
+                          else "bad_request")
+                self._errors.labels(model=request.name or "?",
+                                    reason=reason).inc()
+                self._safe_send(conn, Message(MessageType.ERROR, text=str(exc),
+                                              trace_id=request.trace_id,
+                                              span_id=request.span_id))
+                return
+            finish = clock()
+            self.stats.record(
+                request.name, finish - start, inputs=1,
+                exemplar=f"{span.trace_id:016x}" if traced else None)
+            if deadline_s is not None:
+                self._record_slo(
+                    request.name, "met" if finish <= deadline_s else "missed")
+            from .protocol import KIND_TEXT
+
+            self._safe_send(conn, Message(
+                MessageType.APP_RESPONSE, name=request.name,
+                text=json.dumps(jsonable_result(result)),
+                payload_kind=KIND_TEXT,
+                trace_id=request.trace_id, span_id=request.span_id))
+            send_end = clock()
+            self._stage_seconds.labels(
+                model=request.name, stage="respond").inc(send_end - finish)
+            if traced:
+                tracer.add_span("backend.respond", finish, send_end,
+                                span.trace_id, span.span_id,
+                                category="network")
+
+    def _run_app_inline(self, name: str, app, raw, trace_ctx) -> object:
+        """Bare serving: preprocess/forward/postprocess on this thread.
+
+        Used when no batching executor is armed (bare threaded serving, or
+        a bare proc pool — whose slot ring still runs the forward).
+        """
+        clock = self._clock
+        tracer = self.tracer
+        net = self.registry.get(name)
+        if faultsite.active is not None:
+            faultsite.active.on_preprocess(name)
+        pre_start = clock()
+        inputs = np.asarray(app.preprocess(raw), dtype=np.float32)
+        pre_end = clock()
+        self._stage_seconds.labels(
+            model=name, stage="preprocess").inc(pre_end - pre_start)
+        if trace_ctx is not None:
+            tid, parent = trace_ctx
+            tracer.add_span("app.preprocess", pre_start, pre_end, tid, parent,
+                            category="app", model=name, rows=len(inputs))
+        if inputs.shape[1:] != net.input_shape:
+            raise ValueError(
+                f"model {name!r} expects inputs of shape "
+                f"(n, {', '.join(map(str, net.input_shape))}), "
+                f"got {inputs.shape}")
+        if self._pool is not None and len(inputs) <= self._pool.max_batch:
+            outputs = self._pool.submit(name, inputs, trace=trace_ctx)
+        else:
+            forward_start = clock()
+            outputs = net.forward(inputs)
+            forward_end = clock()
+            self._stage_seconds.labels(
+                model=name, stage="net.forward").inc(forward_end - forward_start)
+            if trace_ctx is not None:
+                tid, parent = trace_ctx
+                tracer.add_span("net.forward", forward_start, forward_end,
+                                tid, parent, category="compute", model=name,
+                                batch_size=len(inputs))
+            if self._floor_s:
+                remaining = self._floor_s - (clock() - forward_start)
+                if remaining > 0:
+                    time.sleep(remaining)
+        post_start = clock()
+        result = app.postprocess(outputs, raw)
+        post_end = clock()
+        self._stage_seconds.labels(
+            model=name, stage="postprocess").inc(post_end - post_start)
+        if trace_ctx is not None:
+            tid, parent = trace_ctx
+            tracer.add_span("app.postprocess", post_start, post_end, tid,
+                            parent, category="app", model=name)
+        return result
 
     # ------------------------------------------------------------ streaming
     def _stream_dnn(self, name: str, net) -> Callable:

@@ -124,10 +124,28 @@ class ChaosReport:
     stream_mismatched: int = 0
     stream_aborted_metric: int = 0  # djinn_stream_aborted_total (fleet sum)
     sessions_leaked: int = 0
+    #: raw-payload (protocol v5 APP_REQUEST) load after the unary loop:
+    #: ``app_ok`` answered with the locally recomputed application result,
+    #: ``app_errors`` died on a typed error, ``app_mismatched`` answered
+    #: wrong.  A poisoned preprocess (``app.preprocess:error``) must cost
+    #: exactly one typed per-request error — never the whole batch, never a
+    #: lost request — so the injected count is cross-checked against the
+    #: typed errors, and every app request must close a ``client.app`` root.
+    app_requests: int = 0
+    app_ok: int = 0
+    app_errors: Dict[str, int] = field(default_factory=dict)
+    app_mismatched: int = 0
+    app_traces: int = 0
 
     @property
     def error_total(self) -> int:
         return sum(self.errors.values())
+
+    @property
+    def app_lost(self) -> int:
+        """App requests that produced neither an answer nor a typed error."""
+        return (self.app_requests - self.app_ok
+                - sum(self.app_errors.values()) - self.app_mismatched)
 
     @property
     def lost(self) -> int:
@@ -217,6 +235,25 @@ class ChaosReport:
             violations.append(
                 f"{self.sessions_leaked} session(s) still live after every "
                 f"stream ended (leak)")
+        if self.app_lost != 0:
+            violations.append(
+                f"{self.app_lost} app request(s) lost: no answer and no "
+                f"typed error")
+        if self.app_mismatched != 0:
+            violations.append(
+                f"{self.app_mismatched} app request(s) answered with the "
+                f"wrong application result")
+        poisons = sum(count for label, count in self.injected.items()
+                      if label.startswith("app.preprocess:error"))
+        if self.app_errors.get("DjinnServiceError", 0) != poisons:
+            violations.append(
+                f"injected {poisons} preprocess poison(s) but the client "
+                f"saw {self.app_errors.get('DjinnServiceError', 0)} typed "
+                f"service error(s) on app requests")
+        if self.app_traces != self.app_requests:
+            violations.append(
+                f"expected one closed client.app root per app request "
+                f"({self.app_requests}), found {self.app_traces}")
         return violations
 
     def to_dict(self) -> dict:
@@ -253,6 +290,12 @@ class ChaosReport:
             "stream_mismatched": self.stream_mismatched,
             "stream_aborted_metric": self.stream_aborted_metric,
             "sessions_leaked": self.sessions_leaked,
+            "app_requests": self.app_requests,
+            "app_ok": self.app_ok,
+            "app_errors": dict(sorted(self.app_errors.items())),
+            "app_mismatched": self.app_mismatched,
+            "app_lost": self.app_lost,
+            "app_traces": self.app_traces,
             "violations": self.check(),
         }
 
@@ -349,6 +392,12 @@ class ChaosHarness:
         a pure function of the plan seed.  A drop at chunk event *k*
         aborts the stream that sent it; the harness stops feeding an
         aborted stream, so each injected drop costs exactly one stream.
+    app_requests:
+        Raw-payload load after the unary loop: that many sequential
+        protocol-v5 APP_REQUEST frames for ``model`` (which must have a
+        default serving app — e.g. ``dig``), each answer checked against
+        the locally recomputed application result.  The
+        ``app.preprocess`` fault site only sees traffic when this is set.
     """
 
     def __init__(self, plan: FaultPlan, *,
@@ -367,9 +416,13 @@ class ChaosHarness:
                  qos=None,
                  deadlines: tuple = (),
                  streams: int = 0,
-                 chunks: int = 3):
+                 chunks: int = 3,
+                 app_requests: int = 0):
         if requests < 1:
             raise ValueError(f"requests must be >= 1, got {requests}")
+        if app_requests < 0:
+            raise ValueError(
+                f"app_requests must be >= 0, got {app_requests}")
         if any(d < 0 for d in deadlines):
             raise ValueError(f"deadlines must be >= 0, got {deadlines}")
         if streams < 0 or chunks < 1:
@@ -394,6 +447,7 @@ class ChaosHarness:
         self.deadlines = tuple(deadlines)
         self.streams = streams
         self.chunks = chunks
+        self.app_requests = app_requests
 
     # ----------------------------------------------------------------- load
     def _input(self, index: int, shape) -> np.ndarray:
@@ -402,6 +456,39 @@ class ChaosHarness:
         x = np.full((1,) + tuple(shape), 0.25, dtype=np.float32)
         x.reshape(-1)[0] = float(index + 1)
         return x
+
+    def _app_raw(self, index: int, shape) -> np.ndarray:
+        """A stamped uint8 raw payload (pixels on the wire, protocol v5)."""
+        raw = np.full(tuple(shape), 64, dtype=np.uint8)
+        raw.reshape(-1)[0] = np.uint8(index + 1)
+        return raw
+
+    def _run_app_requests(self, client: DjinnClient,
+                          report: ChaosReport) -> None:
+        """Sequential raw-payload loop; answers checked against the app's
+        own kernels run locally (preprocess → forward → postprocess), so a
+        cross-wired or stale application answer is caught by content."""
+        from ..tonic.serve import build_default_apps, raw_item_shape
+
+        app = build_default_apps(self.registry)[self.model]
+        net = self.registry.get(self.model)
+        shape = raw_item_shape(self.model, net.input_shape)
+        for i in range(self.app_requests):
+            raw_u8 = self._app_raw(i, shape)
+            # the server decodes KIND_U8 as float32/255; recompute from the
+            # same quantized bytes so the comparison is exact
+            raw = raw_u8.astype(np.float32) / np.float32(255.0)
+            expected = app.postprocess(net.forward(app.preprocess(raw)), raw)
+            try:
+                result = client.infer_app(self.model, raw_u8)
+            except (DjinnConnectionError, DjinnServiceError) as exc:
+                kind = type(exc).__name__
+                report.app_errors[kind] = report.app_errors.get(kind, 0) + 1
+            else:
+                if result == expected:
+                    report.app_ok += 1
+                else:
+                    report.app_mismatched += 1
 
     def _run_stream(self, client: DjinnClient, net, stream_index: int,
                     report: ChaosReport) -> None:
@@ -444,7 +531,8 @@ class ChaosHarness:
                              seed=self.plan.seed, requests=self.requests,
                              retry_budget=self.retry.max_attempts,
                              streams=self.streams,
-                             chunks=self.chunks if self.streams else 0)
+                             chunks=self.chunks if self.streams else 0,
+                             app_requests=self.app_requests)
 
         tracer = get_tracer()
         was_enabled = tracer.enabled
@@ -494,6 +582,8 @@ class ChaosHarness:
                                     report.ok += 1
                                 else:
                                     report.mismatched += 1
+                        if self.app_requests:
+                            self._run_app_requests(client, report)
                         for s_idx in range(self.streams):
                             self._run_stream(client, net, s_idx, report)
                         if self.streams:
@@ -544,6 +634,9 @@ class ChaosHarness:
             rooted = {s.trace_id for s in spans
                       if s.name == "client.infer" and s.end_s is not None}
             report.traces = len(rooted)
+            report.app_traces = len({s.trace_id for s in spans
+                                     if s.name == "client.app"
+                                     and s.end_s is not None})
             # span-side mirror of the typed QoS outcomes, counted only over
             # rooted traces (foreign late spans must not perturb the report)
             span_counts = {"sched.admit": 0, "sched.expire": 0,

@@ -52,6 +52,12 @@ Sites and the kinds they honour
     ``delay``     sleep ``delay_s`` in the hedged primary arm before it
                   contacts its backend, forcing the hedge to fire and win
                   deterministically
+``app.preprocess`` (detail: model name)
+    ``error``     raise ``ValueError`` from the server-side app preprocess
+                  stage — a poisoned raw payload.  Must surface as a typed
+                  per-request error (the batch it coalesced into, and the
+                  worker serving it, keep going) — that isolation is what
+                  the ``app_poison`` chaos scenario asserts.
 """
 
 from __future__ import annotations
@@ -75,7 +81,7 @@ __all__ = ["SITES", "KINDS_BY_SITE", "FaultRule", "FaultPlan", "FaultInjector",
 #: Every injection site wired into the serving stack.
 SITES = ("protocol.send", "protocol.recv", "server.accept", "pool.checkout",
          "batch.execute", "health.probe", "proc.dispatch", "sched.admit",
-         "sched.hedge", "stream.chunk")
+         "sched.hedge", "stream.chunk", "app.preprocess")
 
 #: Fault kinds each site honours (validation happens at plan build time).
 KINDS_BY_SITE = {
@@ -89,6 +95,7 @@ KINDS_BY_SITE = {
     "sched.admit": ("reject",),
     "sched.hedge": ("delay",),
     "stream.chunk": ("drop",),
+    "app.preprocess": ("error",),
 }
 
 
@@ -326,6 +333,15 @@ class FaultInjector:
         rule = self._fire("sched.hedge", model)
         if rule is not None:
             time.sleep(rule.delay_s)
+
+    def on_preprocess(self, model: str) -> None:
+        """Called once per raw-payload request as the app preprocess stage
+        picks it up.  Raises ``ValueError`` (kind ``error``): a poisoned
+        payload, which the executor must convert into a typed per-request
+        failure without losing the rest of the batch."""
+        rule = self._fire("app.preprocess", model)
+        if rule is not None:
+            raise ValueError(f"injected preprocess error (app {model})")
 
     def on_stream_chunk(self, model: str) -> bool:
         """Called by the server as a stream chunk arrives; True = drop the

@@ -201,6 +201,19 @@ SCENARIOS: Dict[str, Scenario] = _catalog(
                  "deadlines": (250.0, 0.0001, 250.0, 250.0)},
     ),
     Scenario(
+        "app_preprocess_poison",
+        "Raw-payload serving under fire: six APP_REQUEST frames follow the "
+        "unary load, and the server-side preprocess of app requests 2 and 5 "
+        "raises on a poisoned payload.  Each poison must surface as exactly "
+        "one typed per-request service error — the batch it coalesced into, "
+        "the worker serving it, and every other request must be untouched "
+        "(lost == 0, all other answers content-checked).",
+        rules=(FaultRule("app.preprocess", "error", scope="dig",
+                         nth=(2, 5)),),
+        harness={"model": "dig", "requests": 4, "app_requests": 6,
+                 "batching": _BATCHING},
+    ),
+    Scenario(
         "mixed",
         "Probability-triggered resets, truncations, and checkout refusals "
         "all at once over a longer run; whatever the seed draws, the "

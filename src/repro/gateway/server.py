@@ -8,6 +8,11 @@ and :class:`repro.core.RemoteBackend` work against it unchanged:
   jitter, failing over to the next candidate) before an ERROR frame is
   surfaced.  Model-level errors pass through immediately — retrying a
   request the model rejected wastes the fleet's time.
+* ``APP_REQUEST`` — same routing, retry, admission, and hedging machinery
+  as INFER, but the frame is relayed verbatim (raw payload and all, with
+  the *remaining* deadline budget re-stamped) so the backend runs the
+  whole Tonic preprocess → DNN → postprocess pipeline server-side.  Apps
+  are named after their models, so routing needs no extra table.
 * ``LIST_REQUEST`` — union of model names across healthy backends.
 * ``STATS_REQUEST`` — per-model stats merged across the fleet (counts and
   qps summed, latency moments weighted by request count), with the
@@ -308,7 +313,8 @@ class GatewayServer(TcpServiceBase):
 
     # ------------------------------------------------------------- serving
     def _handle(self, conn: socket.socket, request: Message) -> bool:
-        if request.type == MessageType.INFER_REQUEST:
+        if request.type in (MessageType.INFER_REQUEST,
+                            MessageType.APP_REQUEST):
             self._safe_send(conn, self._forward_infer(request))
             return True
         if request.type == MessageType.STREAM_OPEN:
@@ -445,8 +451,13 @@ class GatewayServer(TcpServiceBase):
 
     # ---------------------------------------------------------- forwarding
     def _forward_infer(self, request: Message) -> Message:
-        if request.tensor is None:
+        if request.type == MessageType.INFER_REQUEST and request.tensor is None:
             return Message(MessageType.ERROR, text="inference request carries no tensor",
+                           trace_id=request.trace_id, span_id=request.span_id)
+        if request.type == MessageType.APP_REQUEST and not request.payload_kind:
+            # a text app payload legitimately has no tensor, but every APP
+            # frame must declare a payload kind — an untyped one is malformed
+            return Message(MessageType.ERROR, text="app request carries no payload",
                            trace_id=request.trace_id, span_id=request.span_id)
         clock = self._clock
         tracer = self.tracer
@@ -484,6 +495,7 @@ class GatewayServer(TcpServiceBase):
 
     _SLO_OUTCOMES = {
         MessageType.INFER_RESPONSE: "met",       # demoted to missed when late
+        MessageType.APP_RESPONSE: "met",
         MessageType.DEADLINE_EXCEEDED: "expired",
         MessageType.OVERLOADED: "shed",
     }
@@ -572,16 +584,49 @@ class GatewayServer(TcpServiceBase):
             return Message(MessageType.ERROR,
                            text=f"request for {request.name!r} was cancelled",
                            trace_id=request.trace_id, span_id=request.span_id)
-        if response.type == MessageType.INFER_RESPONSE:
+        if response.type in (MessageType.INFER_RESPONSE,
+                             MessageType.APP_RESPONSE):
             elapsed = self._clock() - start
             exemplar = (f"{request.trace_id:016x}"
                         if request.trace_id and self.tracer.enabled else None)
+            inputs = (len(request.tensor)
+                      if request.type == MessageType.INFER_REQUEST else 1)
             self.stats.record(request.name, elapsed,
-                              inputs=len(request.tensor), exemplar=exemplar)
+                              inputs=inputs, exemplar=exemplar)
             self.latency.observe(request.name, 1, elapsed)
         return response
 
     # ------------------------------------------------------- attempt loop
+    def _backend_roundtrip(self, client, request: Message,
+                           qos_kwargs: dict) -> Message:
+        """One typed roundtrip against a checked-out backend connection.
+
+        INFER requests go through the client's tensor lane; APP requests
+        are relayed as the same v5 frame — raw payload untouched, the
+        *remaining* budget from ``qos_kwargs`` stamped on — so the backend
+        runs the full preprocess → DNN → postprocess pipeline.  Typed
+        rejections raise exactly as :meth:`DjinnClient.infer` raises, which
+        is what the attempt loop's pass-through handlers expect.
+        """
+        if request.type == MessageType.APP_REQUEST:
+            reply = client.roundtrip(Message(
+                MessageType.APP_REQUEST, name=request.name,
+                tensor=request.tensor, text=request.text,
+                payload_kind=request.payload_kind,
+                trace_id=request.trace_id, span_id=request.span_id,
+                **qos_kwargs))
+            if reply.type != MessageType.APP_RESPONSE:
+                raise DjinnServiceError(
+                    f"unexpected response type {reply.type}")
+            return Message(MessageType.APP_RESPONSE, name=request.name,
+                           text=reply.text, payload_kind=reply.payload_kind,
+                           trace_id=request.trace_id,
+                           span_id=request.span_id)
+        outputs = client.infer(request.name, request.tensor, **qos_kwargs)
+        return Message(MessageType.INFER_RESPONSE, name=request.name,
+                       tensor=outputs, trace_id=request.trace_id,
+                       span_id=request.span_id)
+
     def _forward_attempts(self, request: Message, span, traced: bool,
                           start: float, deadline_s: Optional[float],
                           avoid: frozenset = frozenset(),
@@ -667,11 +712,11 @@ class GatewayServer(TcpServiceBase):
                                      trace_id=span.trace_id,
                                      parent_id=span.span_id,
                                      backend=backend.key):
-                        outputs = client.infer(request.name, request.tensor,
-                                               **kwargs)
+                        response = self._backend_roundtrip(client, request,
+                                                           kwargs)
                 else:
-                    outputs = client.infer(request.name, request.tensor,
-                                           **kwargs)
+                    response = self._backend_roundtrip(client, request,
+                                                       kwargs)
                 rpc_end = clock()
                 ok = True
             except DjinnConnectionError as exc:
@@ -708,9 +753,7 @@ class GatewayServer(TcpServiceBase):
             self._stage_seconds.labels(
                 model=request.name, stage="gateway.rpc").inc(
                     max(0.0, rpc_end - rpc_start))
-            return Message(MessageType.INFER_RESPONSE, name=request.name,
-                           tensor=outputs, trace_id=request.trace_id,
-                           span_id=request.span_id)
+            return response
         self._exhausted.labels(model=request.name).inc()
         log_event(logger, "retry.exhausted", level=logging.ERROR,
                   model=request.name, attempts=self.retry.max_attempts,

@@ -7,7 +7,14 @@ trace into a **cost ledger** over a fixed stage taxonomy:
 
     client.serialize → gateway.queue / gateway.route / gateway.admit /
     gateway.rpc → backend.queue → sched.wait → batch.assemble →
-    preprocess → net.forward (with per-layer sub-breakdown) → respond
+    preprocess → net.forward (with per-layer sub-breakdown) →
+    postprocess → respond
+
+On the v5 APP path the ``preprocess``/``postprocess`` stages are fed by
+the server-side ``app.preprocess``/``app.postprocess`` spans — the whole
+point of pushing Tonic's pipeline behind the wire is that those
+milliseconds become attributable server-side instead of vanishing into
+the client's unattributed residual.
 
 plus an explicit ``unattributed`` residual, so the ledger always sums to
 the request's wall time and coverage (= 1 − residual/wall) is honest and
@@ -54,6 +61,7 @@ STAGES: Tuple[str, ...] = (
     "batch.assemble",
     "preprocess",
     "net.forward",
+    "postprocess",
     "respond",
 )
 
@@ -61,19 +69,23 @@ STAGES: Tuple[str, ...] = (
 #: others and its exclusive time is deliberately left unattributed.
 SPAN_STAGE: Dict[str, Optional[str]] = {
     "client.infer": "client.serialize",   # root: serialize + wire + deserialize
+    "client.app": "client.serialize",     # v5 raw-payload root envelope
     "gateway.infer": "gateway.route",
     "gateway.queue": "gateway.queue",
     "gateway.backend": "gateway.rpc",
     "gateway.hedge": "gateway.route",
     "sched.admit": "gateway.admit",
     "backend.infer": None,                # container → residual
+    "backend.app": None,                  # APP-path container → residual
     "backend.queue": "backend.queue",
     "sched.wait": "sched.wait",
     "sched.expire": "sched.wait",
     "batch.assemble": "batch.assemble",
     "batch.scatter": "batch.assemble",    # disassembly: result hand-out
     "preprocess": "preprocess",
+    "app.preprocess": "preprocess",       # server-side Tonic kernel (v5)
     "net.forward": "net.forward",
+    "app.postprocess": "postprocess",
     "backend.respond": "respond",
 }
 
@@ -173,8 +185,9 @@ def build_ledger(spans: Sequence[Span]) -> Optional[CostLedger]:
         return None
     ids = {s.span_id for s in finished}
     roots = [s for s in finished if s.parent_id not in ids]
-    # prefer the client.infer envelope; fall back to the earliest root
-    client_roots = [s for s in roots if s.name == "client.infer"]
+    # prefer the client envelope; fall back to the earliest root
+    client_roots = [s for s in roots if s.name in ("client.infer",
+                                                   "client.app")]
     root = min(client_roots or roots, key=lambda s: s.start_s)
     wall = root.end_s - root.start_s
     depths = _depths(finished)

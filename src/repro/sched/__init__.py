@@ -24,7 +24,7 @@ that decision layer, factored so mechanism and policy stay separate:
 from .admission import AdmissionController, QosConfig, Rejection, TokenBucket
 from .latency import LatencyModel
 from .policy import AdaptiveSched, Decision, FixedSched, SchedPolicy, make_policy
-from .queue import DeadlineExceededError, EdfQueue
+from .queue import DeadlineExceededError, EdfQueue, item_rows
 
 __all__ = [
     "AdmissionController",
@@ -38,5 +38,6 @@ __all__ = [
     "Rejection",
     "SchedPolicy",
     "TokenBucket",
+    "item_rows",
     "make_policy",
 ]

@@ -2,7 +2,9 @@
 
 Replaces the FIFO in :class:`repro.core.batching.BatchingExecutor` when a
 scheduling policy is armed.  Items need three attributes: ``inputs`` (rows
-= ``len(inputs)``), ``deadline_s`` (absolute monotonic deadline,
+= ``len(inputs)``; raw-payload requests whose row count is only known
+after server-side preprocess carry ``inputs=None`` plus a ``row_hint``),
+``deadline_s`` (absolute monotonic deadline,
 ``math.inf`` = none), and ``priority`` (higher scheduled first).  Ordering
 is (priority desc, deadline asc, arrival asc) — within a priority class the
 request closest to missing its SLO runs first, and priority classes never
@@ -25,7 +27,21 @@ from typing import Callable, List, Tuple
 
 from .policy import SchedPolicy
 
-__all__ = ["DeadlineExceededError", "EdfQueue"]
+__all__ = ["DeadlineExceededError", "EdfQueue", "item_rows"]
+
+
+def item_rows(item) -> int:
+    """Rows one queued request contributes to a batch.
+
+    Tensor requests carry their rows as ``len(inputs)``; raw-payload
+    requests are preprocessed server-side *after* assembly, so their row
+    count here is the submitter's ``row_hint`` (exact for image payloads,
+    an estimate for ragged ones like audio).
+    """
+    inputs = getattr(item, "inputs", None)
+    if inputs is not None:
+        return len(inputs)
+    return max(1, int(getattr(item, "row_hint", 1)))
 
 
 class DeadlineExceededError(RuntimeError):
@@ -60,7 +76,7 @@ class EdfQueue:
             entry = (-item.priority, item.deadline_s, self._seq, item)
             self._seq += 1
             heapq.heappush(self._heap, entry)
-            self._rows += len(item.inputs)
+            self._rows += item_rows(item)
             self._cond.notify_all()
 
     @property
@@ -117,10 +133,10 @@ class EdfQueue:
             rows = 0
             while self._heap and rows < target:
                 item = heapq.heappop(self._heap)[-1]
-                self._rows -= len(item.inputs)
+                self._rows -= item_rows(item)
                 if item.deadline_s <= now or (est1 and now + est1 > item.deadline_s):
                     expired.append(item)
                     continue
                 batch.append(item)
-                rows += len(item.inputs)
+                rows += item_rows(item)
             return batch, expired

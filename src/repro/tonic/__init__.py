@@ -26,6 +26,7 @@ from .datasets import (
     render_digit,
     sentence_queries,
     speech_queries,
+    with_duplicates,
 )
 from .dig import DigApp
 from .dsp import FrontendConfig, StreamingFrontend, fbank_features, mfcc, splice
@@ -34,6 +35,7 @@ from .imaging import bilinear_resize, center_crop, fit_to, per_channel_standardi
 from .imc import Classification, ImcApp
 from .metrics import edit_distance, iob_spans, span_f1, tagging_accuracy, word_error_rate
 from .nlp import ChkApp, NerApp, NlpApp, PosApp, TagTransitions, tagging_training_set
+from .serve import build_default_apps, decode_raw, jsonable_result, raw_item_shape
 from .speechsynth import LEXICON, PHONES, synthesize_words
 from .textgen import TaggedSentence, generate_corpus, generate_sentence
 from .viterbi import beam_search, viterbi, viterbi_score
@@ -59,6 +61,7 @@ __all__ = [
     "render_digit",
     "sentence_queries",
     "speech_queries",
+    "with_duplicates",
     "DigApp",
     "FrontendConfig",
     "StreamingFrontend",
@@ -84,6 +87,10 @@ __all__ = [
     "PosApp",
     "TagTransitions",
     "tagging_training_set",
+    "build_default_apps",
+    "decode_raw",
+    "jsonable_result",
+    "raw_item_shape",
     "LEXICON",
     "PHONES",
     "synthesize_words",

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Any, Callable, Optional
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -99,6 +99,45 @@ class TonicApp:
     def postprocess(self, outputs: np.ndarray, raw: Any) -> Any:
         """Turn DNN outputs into the application's answer."""
         raise NotImplementedError
+
+    # ------------------------------------------------------- batched pipeline
+    def preprocess_batch(
+        self, raws: Sequence[Any]
+    ) -> Tuple[np.ndarray, List[int]]:
+        """Preprocess many raw queries into one row-concatenated DNN batch.
+
+        Returns ``(inputs, counts)`` where ``counts[i]`` is the number of
+        DNN rows query ``i`` contributed — a query is not always one row
+        (DIG packs many images per query, NLP one row per word, ASR one
+        row per audio frame).  The base implementation is the per-item
+        loop; subclasses override it with vectorized kernels that must
+        produce the same bytes (property-tested in
+        ``tests/test_tonic_batch.py``).
+        """
+        parts = [self.preprocess(raw) for raw in raws]
+        counts = [len(p) for p in parts]
+        if not parts:
+            return np.empty((0,), dtype=np.float32), []
+        if len(parts) == 1:
+            return parts[0], counts
+        return np.concatenate(parts, axis=0), counts
+
+    def postprocess_batch(
+        self, outputs: np.ndarray, raws: Sequence[Any], counts: Sequence[int]
+    ) -> List[Any]:
+        """Split one concatenated output block back into per-query answers.
+
+        ``counts`` is the row layout returned by :meth:`preprocess_batch`.
+        The base implementation slices and loops :meth:`postprocess`;
+        subclasses hoist the row-wise math (softmax logs, argmax, prior
+        subtraction) out of the loop.
+        """
+        results: List[Any] = []
+        offset = 0
+        for raw, count in zip(raws, counts):
+            results.append(self.postprocess(outputs[offset:offset + count], raw))
+            offset += count
+        return results
 
     def run(self, raw: Any) -> Any:
         """Process one query end to end."""

@@ -215,8 +215,7 @@ class AsrApp(TonicApp):
             emissions[:, state] = log_post[:, state::states].max(axis=1)
         return emissions
 
-    def postprocess(self, outputs: np.ndarray, raw) -> Transcript:
-        emissions = self.emissions(outputs)
+    def _decode(self, emissions: np.ndarray) -> Transcript:
         if self.beam_width is not None:
             path, score = beam_search(
                 emissions, self.topology.log_transitions,
@@ -229,6 +228,21 @@ class AsrApp(TonicApp):
         phones = _collapse_path(self.topology, path)
         words = words_from_phones(phones, self.lexicon)
         return Transcript(tuple(words), tuple(phones), score)
+
+    def postprocess(self, outputs: np.ndarray, raw) -> Transcript:
+        return self._decode(self.emissions(outputs))
+
+    def postprocess_batch(self, outputs, raws, counts) -> List[Transcript]:
+        # posterior -> likelihood conversion (log, prior subtract, senone
+        # tying fold) is row-wise, so it runs once over the whole block;
+        # each utterance then decodes from its own slice
+        emissions = self.emissions(outputs)
+        results: List[Transcript] = []
+        offset = 0
+        for count in counts:
+            results.append(self._decode(emissions[offset:offset + count]))
+            offset += count
+        return results
 
 
 # ---------------------------------------------------------------------------

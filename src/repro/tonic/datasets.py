@@ -27,7 +27,55 @@ __all__ = [
     "face_images",
     "speech_queries",
     "sentence_queries",
+    "with_duplicates",
 ]
+
+
+# ---------------------------------------------------------------------------
+# Duplication: production query streams repeat (same photo re-shared, same
+# query re-issued through a different crop/encode), which batching, caches
+# and admission control all see very differently from i.i.d. inputs.
+# ---------------------------------------------------------------------------
+
+def with_duplicates(
+    images: np.ndarray,
+    labels: np.ndarray = None,
+    dup_frac: float = 0.0,
+    seed: int = 0,
+    jitter: float = 0.01,
+):
+    """Replace a seeded ``dup_frac`` fraction of items with near-duplicates.
+
+    Each selected item (never the first) becomes a copy of a uniformly
+    chosen *earlier* item plus ``jitter``-scaled gaussian noise — the
+    "same photo, different JPEG" shape of real duplicate traffic.  Float
+    images are re-clipped to [0, 1].  With ``labels`` given, the source
+    item's label rides along and ``(images, labels)`` is returned;
+    otherwise just the images.  ``dup_frac=0`` returns the inputs
+    untouched.
+    """
+    if not 0.0 <= dup_frac <= 1.0:
+        raise ValueError(f"dup_frac must be in [0, 1], got {dup_frac}")
+    count = len(images)
+    if dup_frac == 0.0 or count < 2:
+        return images if labels is None else (images, labels)
+    rng = np.random.default_rng(seed)
+    out = np.array(images, copy=True)
+    out_labels = None if labels is None else np.array(labels, copy=True)
+    dup_count = min(count - 1, int(round(dup_frac * count)))
+    targets = rng.choice(np.arange(1, count), size=dup_count, replace=False)
+    for idx in np.sort(targets):
+        src = int(rng.integers(0, idx))
+        dup = np.asarray(out[src], dtype=out.dtype)
+        if jitter:
+            dup = dup + rng.normal(0.0, jitter, size=dup.shape).astype(
+                out.dtype, copy=False)
+        if np.issubdtype(out.dtype, np.floating):
+            dup = np.clip(dup, 0.0, 1.0)
+        out[idx] = dup
+        if out_labels is not None:
+            out_labels[idx] = out_labels[src]
+    return out if out_labels is None else (out, out_labels)
 
 # ---------------------------------------------------------------------------
 # DIG: seven-segment-style rendered digits (learnable: LeNet-5 trains to >98%)
@@ -79,12 +127,21 @@ def render_digit(digit: int, rng: np.random.Generator, noise: float = 0.15) -> n
     return np.clip(blurred, 0.0, 1.0)
 
 
-def digit_dataset(count: int, seed: int = 0, noise: float = 0.15) -> Tuple[np.ndarray, np.ndarray]:
-    """(images, labels): ``count`` 1x28x28 digits with balanced labels."""
+def digit_dataset(count: int, seed: int = 0, noise: float = 0.15,
+                  dup_frac: float = 0.0,
+                  dup_jitter: float = 0.01) -> Tuple[np.ndarray, np.ndarray]:
+    """(images, labels): ``count`` 1x28x28 digits with balanced labels.
+
+    ``dup_frac`` replaces that fraction of the stream with seeded
+    near-duplicates of earlier queries (see :func:`with_duplicates`).
+    """
     rng = np.random.default_rng(seed)
     labels = rng.integers(0, 10, size=count)
     images = np.stack([render_digit(int(d), rng, noise) for d in labels])
-    return images[:, None, :, :].astype(np.float32), labels.astype(np.int64)
+    return with_duplicates(images[:, None, :, :].astype(np.float32),
+                           labels.astype(np.int64),
+                           dup_frac=dup_frac, seed=seed + 1,
+                           jitter=dup_jitter)
 
 
 # ---------------------------------------------------------------------------
@@ -92,12 +149,14 @@ def digit_dataset(count: int, seed: int = 0, noise: float = 0.15) -> Tuple[np.nd
 # ---------------------------------------------------------------------------
 
 def imagenet_like_images(
-    count: int, num_classes: int = 1000, seed: int = 0, size: int = 227
+    count: int, num_classes: int = 1000, seed: int = 0, size: int = 227,
+    dup_frac: float = 0.0, dup_jitter: float = 0.01
 ) -> Tuple[np.ndarray, np.ndarray]:
     """(images, labels): class-parameterized gratings + blobs + noise.
 
     Each image is 604KB on the wire as float32 (3 * 227 * 227 * 4 bytes),
-    matching Table 3's IMC input size.
+    matching Table 3's IMC input size.  ``dup_frac`` replaces that
+    fraction of the stream with seeded near-duplicates of earlier queries.
     """
     rng = np.random.default_rng(seed)
     labels = rng.integers(0, num_classes, size=count)
@@ -112,7 +171,10 @@ def imagenet_like_images(
         for ch in range(3):
             images[i, ch] = 0.5 + 0.4 * np.sin(2 * np.pi * freqs[ch] * coord + phases[ch])
         images[i] += rng.normal(0, 0.05, size=(3, size, size)).astype(np.float32)
-    return np.clip(images, 0.0, 1.0), labels.astype(np.int64)
+    return with_duplicates(np.clip(images, 0.0, 1.0),
+                           labels.astype(np.int64),
+                           dup_frac=dup_frac, seed=seed + 1,
+                           jitter=dup_jitter)
 
 
 # ---------------------------------------------------------------------------
@@ -120,12 +182,14 @@ def imagenet_like_images(
 # ---------------------------------------------------------------------------
 
 def face_images(
-    count: int, num_identities: int = 83, seed: int = 0, size: int = 152
+    count: int, num_identities: int = 83, seed: int = 0, size: int = 152,
+    dup_frac: float = 0.0, dup_jitter: float = 0.01
 ) -> Tuple[np.ndarray, np.ndarray]:
     """(images, labels): ellipse head + identity-specific features + noise.
 
     Each image is ~271KB on the wire as float32 (3 * 152 * 152 * 4 bytes),
-    matching Table 3's FACE input size.
+    matching Table 3's FACE input size.  ``dup_frac`` replaces that
+    fraction of the stream with seeded near-duplicates of earlier queries.
     """
     rng = np.random.default_rng(seed)
     labels = rng.integers(0, num_identities, size=count)
@@ -151,7 +215,9 @@ def face_images(
         img[:, mouth] = 0.2
         img += rng.normal(0, 0.04, size=img.shape).astype(np.float32)
         images[i] = np.clip(img, 0.0, 1.0)
-    return images, labels.astype(np.int64)
+    return with_duplicates(images, labels.astype(np.int64),
+                           dup_frac=dup_frac, seed=seed + 1,
+                           jitter=dup_jitter)
 
 
 # ---------------------------------------------------------------------------

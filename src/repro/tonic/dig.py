@@ -25,7 +25,7 @@ class DigApp(TonicApp):
     def __init__(self, backend: DnnBackend):
         super().__init__("dig", backend)
 
-    def preprocess(self, raw: np.ndarray) -> np.ndarray:
+    def _images(self, raw: np.ndarray) -> np.ndarray:
         images = np.asarray(raw, dtype=np.float32)
         if images.ndim == 3:
             images = images[None]
@@ -33,8 +33,30 @@ class DigApp(TonicApp):
             raise ValueError(
                 f"DIG expects (n, 1, 28, 28) images, got {np.asarray(raw).shape}"
             )
-        padded = np.pad(images, ((0, 0), (0, 0), (2, 2), (2, 2)))
+        return images
+
+    def preprocess(self, raw: np.ndarray) -> np.ndarray:
+        padded = np.pad(self._images(raw), ((0, 0), (0, 0), (2, 2), (2, 2)))
         return (padded - 0.5) * 2.0  # center to [-1, 1] for the tanh net
+
+    def preprocess_batch(self, raws):
+        # concatenate all queries' images, then one pad + one scale pass
+        blocks = [self._images(raw) for raw in raws]
+        counts = [len(b) for b in blocks]
+        if not blocks:
+            return np.empty((0, 1, 32, 32), dtype=np.float32), []
+        stacked = blocks[0] if len(blocks) == 1 else np.concatenate(blocks)
+        padded = np.pad(stacked, ((0, 0), (0, 0), (2, 2), (2, 2)))
+        return (padded - 0.5) * 2.0, counts
 
     def postprocess(self, outputs: np.ndarray, raw) -> List[int]:
         return [int(i) for i in np.argmax(outputs, axis=1)]
+
+    def postprocess_batch(self, outputs, raws, counts) -> List[List[int]]:
+        # one argmax over the whole block, split back by per-query counts
+        best = np.argmax(outputs, axis=1)
+        results, offset = [], 0
+        for count in counts:
+            results.append([int(i) for i in best[offset:offset + count]])
+            offset += count
+        return results

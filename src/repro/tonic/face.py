@@ -7,7 +7,7 @@ faces using the DjiNN webservice"; one aligned 152x152 face per query.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -36,15 +36,33 @@ class FaceApp(TonicApp):
             list(identities) if identities else [f"celebrity_{i:02d}" for i in range(num_identities)]
         )
 
-    def preprocess(self, raw: np.ndarray) -> np.ndarray:
+    def _canonical(self, raw: np.ndarray) -> np.ndarray:
         image = np.asarray(raw, dtype=np.float32)
         if image.ndim != 3 or image.shape[0] != 3:
             raise ValueError(f"FACE expects one (3, H, W) image, got {image.shape}")
         if image.shape != self.INPUT_SHAPE:
             image = fit_to(image, *self.INPUT_SHAPE[1:])
-        return (image - 0.5)[None]
+        return image
+
+    def preprocess(self, raw: np.ndarray) -> np.ndarray:
+        return (self._canonical(raw) - 0.5)[None]
+
+    def preprocess_batch(self, raws):
+        # one stack + one subtract over the whole batch
+        images = [self._canonical(raw) for raw in raws]
+        if not images:
+            return np.empty((0,) + self.INPUT_SHAPE, dtype=np.float32), []
+        return np.stack(images) - np.float32(0.5), [1] * len(images)
 
     def postprocess(self, outputs: np.ndarray, raw) -> Identification:
         probs = outputs[0]
         best = int(np.argmax(probs))
         return Identification(self.identities[best], best, float(probs[best]))
+
+    def postprocess_batch(self, outputs, raws, counts) -> List[Identification]:
+        # one argmax over the whole block
+        best = np.argmax(outputs, axis=1)
+        return [
+            Identification(self.identities[b], int(b), float(outputs[i, b]))
+            for i, b in enumerate(best)
+        ]

@@ -9,7 +9,7 @@ reading the top prediction.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -41,14 +41,25 @@ class ImcApp(TonicApp):
         super().__init__("imc", backend)
         self.labels = list(labels) if labels else [f"class_{i:04d}" for i in range(num_classes)]
 
-    def preprocess(self, raw: np.ndarray) -> np.ndarray:
+    def _canonical(self, raw: np.ndarray) -> np.ndarray:
         image = np.asarray(raw, dtype=np.float32)
         if image.ndim != 3 or image.shape[0] != 3:
             raise ValueError(f"IMC expects one (3, H, W) image, got {image.shape}")
         if image.shape != self.INPUT_SHAPE:
             # arbitrary photo geometry: scale-and-crop to AlexNet's retina
             image = fit_to(image, *self.INPUT_SHAPE[1:])
-        return (image - self.CHANNEL_MEANS[:, None, None])[None]
+        return image
+
+    def preprocess(self, raw: np.ndarray) -> np.ndarray:
+        return (self._canonical(raw) - self.CHANNEL_MEANS[:, None, None])[None]
+
+    def preprocess_batch(self, raws):
+        # one stack + one broadcast subtract over the whole batch
+        images = [self._canonical(raw) for raw in raws]
+        if not images:
+            return np.empty((0,) + self.INPUT_SHAPE, dtype=np.float32), []
+        batch = np.stack(images) - self.CHANNEL_MEANS[None, :, None, None]
+        return batch, [1] * len(images)
 
     def postprocess(self, outputs: np.ndarray, raw) -> Classification:
         probs = outputs[0]
@@ -56,3 +67,14 @@ class ImcApp(TonicApp):
         top5 = tuple((self.labels[i], float(probs[i])) for i in order)
         best = int(order[0])
         return Classification(self.labels[best], best, float(probs[best]), top5)
+
+    def postprocess_batch(self, outputs, raws, counts) -> List[Classification]:
+        # one argsort over the whole block, then cheap per-row label lookups
+        order = np.argsort(outputs, axis=1)[:, ::-1][:, :5]
+        results = []
+        for probs, idx in zip(outputs, order):
+            top5 = tuple((self.labels[i], float(probs[i])) for i in idx)
+            best = int(idx[0])
+            results.append(
+                Classification(self.labels[best], best, float(probs[best]), top5))
+        return results

@@ -105,6 +105,20 @@ class NlpApp(TonicApp):
         )
         return [self.tags[i] for i in path]
 
+    def postprocess_batch(self, outputs, raws, counts) -> List[List[str]]:
+        # the emission log runs once over the whole concatenated block; only
+        # the (inherently per-sentence) Viterbi search stays in the loop
+        log_emissions = np.log(np.maximum(outputs, 1e-12))
+        results, offset = [], 0
+        for count in counts:
+            path, _ = viterbi(
+                log_emissions[offset:offset + count],
+                self.transitions.log_trans, self.transitions.log_init,
+            )
+            results.append([self.tags[i] for i in path])
+            offset += count
+        return results
+
 
 class PosApp(NlpApp):
     """Part-of-speech tagging (45 Penn Treebank tags)."""

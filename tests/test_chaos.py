@@ -39,6 +39,9 @@ from repro.models import build_spec
 def registry():
     reg = ModelRegistry()
     reg.register_spec("pos", build_spec("pos"), seed=0)
+    # the app_preprocess_poison scenario drives raw-payload (APP_REQUEST)
+    # load, which needs a model with a default serving app
+    reg.register_spec("dig", build_spec("dig"), seed=0)
     return reg
 
 
@@ -333,6 +336,36 @@ class TestScenarios:
         assert report.traces == report.requests
         assert report.admit_spans == report.shed
         assert report.expire_spans == report.expired
+
+    def test_app_preprocess_poison_is_typed_per_request(self, registry,
+                                                        chaos_seed):
+        """The raw-payload scenario: poisoned payloads 2 and 5 each cost
+        exactly one typed service error; every other app request gets the
+        content-checked application answer, nothing is lost, and the tensor
+        (unary) load sharing the fleet is untouched."""
+        report = run_scenario("app_preprocess_poison", seed=chaos_seed,
+                              registry=registry)
+        _emit_report(report)
+        assert report.check() == [], report.to_json()
+        assert report.injected == {"app.preprocess:error:dig": 2}
+        assert report.app_errors == {"DjinnServiceError": 2}
+        assert report.app_ok == report.app_requests - 2
+        assert report.app_lost == 0 and report.app_mismatched == 0
+        assert report.ok == report.requests  # unary load untouched
+        assert report.app_traces == report.app_requests
+
+    def test_app_lost_flagged(self):
+        report = ChaosReport(scenario="s", seed=0, requests=1, ok=1,
+                             retry_budget=3, traces=1,
+                             app_requests=3, app_ok=2, app_traces=3)
+        assert any("app request(s) lost" in v for v in report.check())
+
+    def test_app_poison_without_typed_error_flagged(self):
+        report = ChaosReport(scenario="s", seed=0, requests=1, ok=1,
+                             retry_budget=3, traces=1,
+                             app_requests=2, app_ok=2, app_traces=2,
+                             injected={"app.preprocess:error:dig": 1})
+        assert any("poison" in v for v in report.check())
 
     def test_admit_span_divergence_flagged(self):
         report = ChaosReport(scenario="s", seed=0, requests=4, ok=3,

@@ -289,6 +289,9 @@ class TestExecutorPlannedPath:
         net = registry.get("dig")
         executor = BatchingExecutor(registry, BatchPolicy(max_batch=8,
                                                           timeout_ms=50.0))
+        # force the queue path: this test pins coalescing, which the
+        # batch-1 fast path legitimately skips on an idle model
+        executor._fast_off.add("dig")
         gen = np.random.default_rng(37)
         xs = [gen.standard_normal((2,) + tuple(net.input_shape)).astype(np.float32)
               for _ in range(4)]

@@ -639,6 +639,9 @@ class TestServingIntegration:
             batching=BatchPolicy(max_batch=4, timeout_ms=1.0),
             profile_layers=True, tracer=tracer)
         server.start()
+        # pin the queue-path trace shape (backend.queue, batch.assemble):
+        # the batch-1 fast path would legitimately skip both on an idle model
+        server._executor._fast_off.add("pos")
         try:
             gateway = GatewayServer([server.address], tracer=tracer)
             gateway.start()

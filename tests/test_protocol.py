@@ -6,6 +6,10 @@ import numpy as np
 import pytest
 
 from repro.core.protocol import (
+    APP_VERSION,
+    KIND_TENSOR,
+    KIND_TEXT,
+    KIND_U8,
     MAX_DEADLINE_MS,
     MAX_NAME_BYTES,
     MAX_NDIM,
@@ -701,3 +705,202 @@ class TestFuzzRoundtrip:
             a.close()
             b.close()
         np.testing.assert_array_equal(out.tensor, msg.tensor)
+
+
+class TestAppPayload:
+    """Protocol v5: APP_REQUEST/APP_RESPONSE frames with typed raw payloads."""
+
+    def test_tensor_payload_roundtrip(self, sock_pair, rng):
+        raw = rng.normal(size=(2, 3, 4)).astype(np.float32)
+        out = roundtrip(sock_pair, Message(
+            MessageType.APP_REQUEST, name="imc", tensor=raw,
+            payload_kind=KIND_TENSOR))
+        assert out.type == MessageType.APP_REQUEST
+        assert out.payload_kind == KIND_TENSOR
+        assert out.has_app
+        assert out.tensor.dtype == np.float32
+        np.testing.assert_array_equal(out.tensor, raw)
+
+    def test_u8_payload_roundtrip(self, sock_pair, rng):
+        raw = rng.integers(0, 256, size=(1, 28, 28)).astype(np.uint8)
+        out = roundtrip(sock_pair, Message(
+            MessageType.APP_REQUEST, name="dig", tensor=raw,
+            payload_kind=KIND_U8))
+        assert out.payload_kind == KIND_U8
+        assert out.tensor.dtype == np.uint8
+        np.testing.assert_array_equal(out.tensor, raw)
+
+    def test_u8_body_is_one_byte_per_element(self, sock_pair):
+        """The whole point of KIND_U8: pixels ship 4x smaller than f32."""
+        raw = np.zeros((1, 28, 28), np.uint8)
+        frame = _capture_frame(Message(
+            MessageType.APP_REQUEST, name="dig", tensor=raw,
+            payload_kind=KIND_U8))
+        f32 = _capture_frame(Message(
+            MessageType.APP_REQUEST, name="dig",
+            tensor=raw.astype(np.float32), payload_kind=KIND_TENSOR))
+        assert len(f32) - len(frame) == raw.size * 3
+
+    def test_text_payload_roundtrip(self, sock_pair):
+        out = roundtrip(sock_pair, Message(
+            MessageType.APP_REQUEST, name="pos",
+            text="the quick brown fox", payload_kind=KIND_TEXT))
+        assert out.payload_kind == KIND_TEXT
+        assert out.tensor is None
+        assert out.text == "the quick brown fox"
+
+    def test_app_response_roundtrip(self, sock_pair):
+        out = roundtrip(sock_pair, Message(
+            MessageType.APP_RESPONSE, name="dig",
+            text='{"result": [7]}', payload_kind=KIND_TEXT))
+        assert out.type == MessageType.APP_RESPONSE
+        assert out.text == '{"result": [7]}'
+
+    def test_app_payload_rides_trace_and_qos(self, sock_pair):
+        raw = np.ones((2, 2), np.float32)
+        out = roundtrip(sock_pair, Message(
+            MessageType.APP_REQUEST, name="face", tensor=raw,
+            payload_kind=KIND_TENSOR, trace_id=7, span_id=9,
+            deadline_ms=25.0, priority=1, tenant="acme"))
+        assert (out.trace_id, out.span_id) == (7, 9)
+        assert out.deadline_ms == pytest.approx(25.0)
+        assert (out.priority, out.tenant) == (1, "acme")
+
+    def test_app_frame_without_kind_rejected_on_send(self, sock_pair):
+        a, _ = sock_pair
+        with pytest.raises(ProtocolError, match="without a payload kind"):
+            send_message(a, Message(MessageType.APP_REQUEST, name="dig",
+                                    tensor=np.zeros((1, 4), np.float32)))
+
+    def test_text_kind_with_tensor_rejected_on_send(self, sock_pair):
+        a, _ = sock_pair
+        with pytest.raises(ProtocolError, match="text payload kind"):
+            send_message(a, Message(MessageType.APP_REQUEST, name="pos",
+                                    tensor=np.zeros((1, 4), np.float32),
+                                    payload_kind=KIND_TEXT))
+
+    def test_tensor_kind_without_tensor_rejected_on_send(self, sock_pair):
+        a, _ = sock_pair
+        for kind in (KIND_TENSOR, KIND_U8):
+            with pytest.raises(ProtocolError, match="without a tensor body"):
+                send_message(a, Message(MessageType.APP_REQUEST, name="imc",
+                                        text="x", payload_kind=kind))
+
+    def test_app_payload_on_stream_frame_rejected_on_send(self, sock_pair):
+        a, _ = sock_pair
+        with pytest.raises(ProtocolError, match="app payload on a stream"):
+            send_message(a, Message(MessageType.STREAM_CHUNK, name="asr",
+                                    tensor=np.zeros((1, 4), np.float32),
+                                    stream_id=1, payload_kind=KIND_TENSOR))
+
+    def test_app_payload_on_stream_frame_rejected_on_recv(self, sock_pair):
+        """A hand-built hostile frame: stream id AND payload kind set."""
+        import struct
+        a, b = sock_pair
+        frame = struct.pack("<4sBBHB", b"DJNN", APP_VERSION,
+                            int(MessageType.STREAM_CHUNK), 3, 0)
+        frame += struct.pack("<QQ", 0, 0) + struct.pack("<IbB", 0, 0, 0)
+        frame += struct.pack("<IBI", 5, 0, 1)          # stream block
+        frame += struct.pack("<B", KIND_TENSOR)        # payload kind
+        frame += struct.pack("<Q", 0) + b"asr"
+        a.sendall(frame)
+        with pytest.raises(ProtocolError, match="app payload on a stream"):
+            recv_message(b)
+
+    def test_hand_packed_v5_frame_parses(self, sock_pair):
+        """A v5 frame built byte by byte from the documented layout."""
+        import struct
+        a, b = sock_pair
+        pixels = bytes(range(16))
+        frame = struct.pack("<4sBBHB", b"DJNN", APP_VERSION,
+                            int(MessageType.APP_REQUEST), 3, 2)
+        frame += struct.pack("<QQ", 11, 12)            # trace block
+        frame += struct.pack("<IbB", 0, 0, 0)          # qos block (zeros)
+        frame += struct.pack("<IBI", 0, 0, 0)          # stream block (zeros)
+        frame += struct.pack("<B", KIND_U8)            # payload kind
+        frame += struct.pack("<I", 4) + struct.pack("<I", 4)
+        frame += struct.pack("<Q", 16) + b"dig" + pixels
+        a.sendall(frame)
+        out = recv_message(b)
+        assert out.type == MessageType.APP_REQUEST
+        assert out.payload_kind == KIND_U8
+        assert (out.trace_id, out.span_id) == (11, 12)
+        np.testing.assert_array_equal(
+            out.tensor, np.frombuffer(pixels, np.uint8).reshape(4, 4))
+
+    def test_v5_frame_with_unknown_kind_rejected(self, sock_pair):
+        import struct
+        a, b = sock_pair
+        frame = struct.pack("<4sBBHB", b"DJNN", APP_VERSION,
+                            int(MessageType.APP_REQUEST), 3, 0)
+        frame += struct.pack("<QQ", 0, 0) + struct.pack("<IbB", 0, 0, 0)
+        frame += struct.pack("<IBI", 0, 0, 0)
+        frame += struct.pack("<B", 9)                  # bogus kind
+        frame += struct.pack("<Q", 1) + b"dig" + b"x"
+        a.sendall(frame)
+        with pytest.raises(ProtocolError, match="unknown payload kind"):
+            recv_message(b)
+
+    def test_u8_dims_body_mismatch_rejected(self, sock_pair):
+        import struct
+        a, b = sock_pair
+        frame = struct.pack("<4sBBHB", b"DJNN", APP_VERSION,
+                            int(MessageType.APP_REQUEST), 3, 1)
+        frame += struct.pack("<QQ", 0, 0) + struct.pack("<IbB", 0, 0, 0)
+        frame += struct.pack("<IBI", 0, 0, 0)
+        frame += struct.pack("<B", KIND_U8)
+        frame += struct.pack("<I", 8)                  # dims say 8 bytes...
+        frame += struct.pack("<Q", 7) + b"dig" + bytes(7)   # ...body has 7
+        a.sendall(frame)
+        with pytest.raises(ProtocolError, match="imply"):
+            recv_message(b)
+
+    def test_pre_v5_frames_byte_identical_under_v5(self, sock_pair):
+        """The compatibility contract: adding APP frames changed not one
+        byte of any v1-v4 frame.  Minimal-version selection keeps every
+        app-less message on its pre-v5 wire version."""
+        import struct
+        cases = [
+            (Message(MessageType.INFER_REQUEST, name="dig",
+                     tensor=np.zeros((1, 4), np.float32)), VERSION),
+            (Message(MessageType.LIST_REQUEST, trace_id=1, span_id=2),
+             TRACE_VERSION),
+            (Message(MessageType.INFER_REQUEST, name="m", deadline_ms=5.0),
+             QOS_VERSION),
+            (Message(MessageType.STREAM_OPEN, name="m", stream_id=1),
+             STREAM_VERSION),
+        ]
+        for msg, version in cases:
+            frame = _capture_frame(msg)
+            assert frame[4] == version
+            # the payload_kind byte exists only on v5 frames: a pre-v5
+            # header is exactly header+trace+qos+stream blocks, no more
+            head = struct.calcsize("<4sBBHB")
+            if version >= TRACE_VERSION:
+                head += struct.calcsize("<QQ")
+            if version >= QOS_VERSION:
+                head += struct.calcsize("<IbB")
+            if version >= STREAM_VERSION:
+                head += struct.calcsize("<IBI")
+            ndim = frame[8]
+            name_len = int.from_bytes(frame[6:8], "little")
+            body = frame[head + 4 * ndim:]
+            body_len = int.from_bytes(body[:8], "little")
+            assert len(frame) == head + 4 * ndim + 8 + name_len + body_len \
+                + (len(msg.tenant.encode()) if version >= QOS_VERSION else 0)
+
+    def test_app_frame_version_is_5(self, sock_pair):
+        frame = _capture_frame(Message(
+            MessageType.APP_REQUEST, name="pos", text="hi",
+            payload_kind=KIND_TEXT))
+        assert frame[4] == APP_VERSION
+
+    def test_encode_message_matches_send_for_app_frames(self):
+        for msg in (
+            Message(MessageType.APP_REQUEST, name="dig",
+                    tensor=np.zeros((1, 28, 28), np.uint8),
+                    payload_kind=KIND_U8),
+            Message(MessageType.APP_RESPONSE, name="dig",
+                    text='{"ok": true}', payload_kind=KIND_TEXT),
+        ):
+            assert encode_message(msg) == _capture_frame(msg)

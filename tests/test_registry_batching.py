@@ -90,6 +90,9 @@ class TestBatchingExecutor:
 
     def test_concurrent_requests_coalesce(self, registry, rng):
         executor = BatchingExecutor(registry, BatchPolicy(max_batch=64, timeout_ms=50.0))
+        # force the queue path: this test pins coalescing, which the
+        # batch-1 fast path legitimately skips on an idle model
+        executor._fast_off.add("pos")
         results = {}
         barrier = threading.Barrier(8)
 

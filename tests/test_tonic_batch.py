@@ -1,0 +1,156 @@
+"""Property tests: every app's vectorized batch kernels equal the loop.
+
+The batched server pipeline (PR: server-side app pipeline) calls
+``preprocess_batch``/``postprocess_batch``; correctness rests on those
+vectorized kernels producing *exactly* what the per-item loop produces.
+Each test drives an app's override against the base-class fallback
+(``TonicApp.preprocess_batch``/``postprocess_batch`` invoked explicitly)
+over ragged batches — items contributing different row counts, a
+single-item batch, and the empty batch.
+"""
+
+import numpy as np
+import pytest
+
+from repro.tonic import (
+    AsrApp,
+    DigApp,
+    FaceApp,
+    ImcApp,
+    PosApp,
+    TonicApp,
+    Vocabulary,
+    WindowFeaturizer,
+    digit_dataset,
+    face_images,
+    generate_corpus,
+    imagenet_like_images,
+    synthesize_words,
+)
+from repro.tonic.nlp import TASK_TAGS
+
+
+def _softmax_rows(rng, rows, width):
+    """Plausible DNN posteriors: positive rows summing to one."""
+    logits = rng.normal(size=(rows, width)).astype(np.float32)
+    exp = np.exp(logits - logits.max(axis=1, keepdims=True))
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+def _assert_batch_equals_loop(app, raws, out_width, rng):
+    """The one property: override == base-class per-item loop, both stages."""
+    inputs, counts = app.preprocess_batch(raws)
+    ref_inputs, ref_counts = TonicApp.preprocess_batch(app, raws)
+    assert counts == ref_counts
+    assert inputs.dtype == ref_inputs.dtype
+    np.testing.assert_array_equal(inputs, ref_inputs)
+
+    outputs = _softmax_rows(rng, sum(counts), out_width)
+    got = app.postprocess_batch(outputs, raws, counts)
+    ref = TonicApp.postprocess_batch(app, outputs, raws, counts)
+    assert got == ref
+
+
+class TestImcBatch:
+    @pytest.fixture(scope="class")
+    def app(self):
+        return ImcApp(backend=None)
+
+    def test_batch_equals_loop(self, app, rng):
+        images, _ = imagenet_like_images(4, seed=0, size=64)
+        _assert_batch_equals_loop(app, list(images), 1000, rng)
+
+    def test_single_item(self, app, rng):
+        images, _ = imagenet_like_images(1, seed=1, size=64)
+        _assert_batch_equals_loop(app, list(images), 1000, rng)
+
+    def test_empty_batch(self, app):
+        inputs, counts = app.preprocess_batch([])
+        assert inputs.shape[0] == 0 and counts == []
+        assert app.postprocess_batch(np.empty((0, 1000)), [], []) == []
+
+
+class TestFaceBatch:
+    @pytest.fixture(scope="class")
+    def app(self):
+        return FaceApp(backend=None)
+
+    def test_batch_equals_loop(self, app, rng):
+        faces, _ = face_images(4, seed=2, size=64)
+        _assert_batch_equals_loop(app, list(faces), 83, rng)
+
+    def test_empty_batch(self, app):
+        inputs, counts = app.preprocess_batch([])
+        assert inputs.shape[0] == 0 and counts == []
+
+
+class TestDigBatch:
+    @pytest.fixture(scope="class")
+    def app(self):
+        return DigApp(backend=None)
+
+    def test_ragged_batch_equals_loop(self, app, rng):
+        """DIG packs many images per query: counts differ per item."""
+        images, _ = digit_dataset(9, seed=3)
+        raws = [images[:1], images[1:4], images[4:9]]  # 1 + 3 + 5 rows
+        inputs, counts = app.preprocess_batch(raws)
+        assert counts == [1, 3, 5]
+        _assert_batch_equals_loop(app, raws, 10, rng)
+
+    def test_single_image_items(self, app, rng):
+        images, _ = digit_dataset(3, seed=4)
+        _assert_batch_equals_loop(app, [img for img in images], 10, rng)
+
+    def test_empty_batch(self, app):
+        inputs, counts = app.preprocess_batch([])
+        assert inputs.shape == (0, 1, 32, 32) and counts == []
+
+
+class TestAsrBatch:
+    @pytest.fixture(scope="class")
+    def app(self):
+        return AsrApp(backend=None)
+
+    def test_ragged_batch_equals_loop(self, app, rng):
+        """Utterances of different lengths: one row per audio frame."""
+        raws = [synthesize_words(words, seed=i)[0]
+                for i, words in enumerate((["yes"], ["no", "stop"]))]
+        inputs, counts = app.preprocess_batch(raws)
+        assert counts[0] != counts[1]  # genuinely ragged
+        _assert_batch_equals_loop(app, raws, app.num_senones, rng)
+
+
+class TestNlpBatch:
+    @pytest.fixture(scope="class")
+    def app(self):
+        corpus = generate_corpus(12, seed=5)
+        vocab = Vocabulary(w for s in corpus for w in s.words)
+        return PosApp(None, WindowFeaturizer(vocab))
+
+    def test_ragged_batch_equals_loop(self, app, rng):
+        """One row per word: sentence lengths make the batch ragged."""
+        sentences = generate_corpus(4, seed=6)
+        raws = [s.words for s in sentences]
+        inputs, counts = app.preprocess_batch(raws)
+        assert counts == [len(words) for words in raws]
+        _assert_batch_equals_loop(app, raws, len(TASK_TAGS["pos"]), rng)
+
+
+class TestBaseFallbackLayout:
+    """The base loop itself keeps the documented (inputs, counts) contract."""
+
+    def test_counts_sum_to_rows(self, rng):
+        app = DigApp(backend=None)
+        images, _ = digit_dataset(6, seed=7)
+        raws = [images[:2], images[2:6]]
+        inputs, counts = TonicApp.preprocess_batch(app, raws)
+        assert sum(counts) == len(inputs) == 6
+
+    def test_postprocess_slices_by_counts(self, rng):
+        app = DigApp(backend=None)
+        images, _ = digit_dataset(5, seed=8)
+        raws = [images[:2], images[2:5]]
+        inputs, counts = app.preprocess_batch(raws)
+        outputs = _softmax_rows(rng, 5, 10)
+        results = TonicApp.postprocess_batch(app, outputs, raws, counts)
+        assert [len(r) for r in results] == [2, 3]
