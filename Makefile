@@ -3,7 +3,7 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast soak chaos trace-demo bench-engine bench-procpool bench-gateway bench-slo bench-cost bench-all
+.PHONY: test test-fast soak chaos trace-demo bench-engine bench-procpool bench-gateway bench-slo bench-cost bench-cache bench-all
 
 test:
 	$(PY) -m pytest -x -q
@@ -70,6 +70,14 @@ bench-slo:
 # resolve back to a full cost ledger.
 bench-cost:
 	$(PY) benchmarks/bench_cost_breakdown.py --check
+
+# Cross-layer cache sweep (dup_frac x cache size) into
+# benchmarks/results/BENCH_cache.json.  The gate requires every cached
+# answer byte-identical to the cache-off baseline, exact hits at full
+# budget, and a >= 2x hit-path speedup at dup_frac=0.5 (enforced only on
+# >= 4-core hosts; recorded honestly either way).
+bench-cache:
+	$(PY) benchmarks/bench_cache.py --check
 
 # Reproduce the Fig 11-shaped throughput-vs-replicas curve on the real
 # gateway; writes benchmarks/results/gateway_scaling.txt.

@@ -70,6 +70,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..nn.engine import LayerCache, LayerCacheConfig, PlanError
 from ..obs.metrics import MetricsRegistry
 from ..obs.profile import LayerTimer
 from ..obs.trace import Tracer, get_tracer
@@ -240,11 +241,19 @@ class BatchingExecutor:
                  use_plans: bool = True,
                  pool=None,
                  sched=None,
-                 latency: Optional[LatencyModel] = None):
+                 latency: Optional[LatencyModel] = None,
+                 layer_cache: Optional[LayerCacheConfig] = None):
         self.registry = registry
         self.policy = policy
         self.service_floor_s = service_floor_s
         self.use_plans = use_plans
+        #: optional :class:`repro.nn.engine.LayerCacheConfig`; when set,
+        #: each worker's plan gains a :class:`LayerCache` and batches are
+        #: served prefix → per-row probe → partial-batch suffix.  ``None``
+        #: (the default) keeps the execute path bit-for-bit unchanged.
+        self.layer_cache = layer_cache
+        #: model -> live LayerCache (populated lazily by workers)
+        self.layer_caches: Dict[str, LayerCache] = {}
         #: optional :class:`repro.core.procpool.ProcPoolExecutor`; when set,
         #: assembled batches execute in a worker *process* (weights in shared
         #: memory) instead of this thread, and the in-parent plan is skipped
@@ -283,6 +292,20 @@ class BatchingExecutor:
             self._expired = None
             self._stage_seconds = None
             self._fast_hits = None
+        if metrics is not None and layer_cache is not None:
+            # registered only when the cache is armed so a cache-off
+            # executor's metrics dump stays byte-identical to older builds
+            self._layer_cache_events = metrics.counter(
+                "djinn_layer_cache_events_total",
+                "Layer-cache probe outcomes, per model and event "
+                "(hit|miss|collision).", ("model", "event"))
+            self._layer_cache_fidelity = metrics.gauge(
+                "djinn_layer_cache_fidelity",
+                "Worst accepted hit distance (max |cached - probed| over "
+                "the split activation), per model.", ("model",))
+        else:
+            self._layer_cache_events = None
+            self._layer_cache_fidelity = None
         self._queues: Dict[str, Queue] = {}
         self._workers: Dict[str, threading.Thread] = {}
         self._lock = threading.Lock()
@@ -437,7 +460,10 @@ class BatchingExecutor:
         """
         if (not self.use_plans or self.service_floor_s
                 or faultsite.active is not None or self._closed
+                or self.layer_cache is not None
                 or model in self._fast_off):
+            # (an armed layer cache declines too: probes live in the
+            # worker's serve path and must see every request)
             return _FAST_MISS
         if (qos is not None and self.sched is not None
                 and np.isfinite(qos[0]) and self.clock() >= qos[0]):
@@ -826,6 +852,14 @@ class BatchingExecutor:
                 plan = self.registry.plan(model, self.policy.max_batch)
             except Exception:  # un-plannable nets serve via the legacy path
                 plan = None
+        cache = None
+        if plan is not None and self.layer_cache is not None:
+            try:
+                cache = LayerCache.from_config(plan, self.layer_cache)
+            except PlanError:  # no safe split: serve uncached
+                cache = None
+            else:
+                self.layer_caches[model] = cache
         sample_shape = tuple(net.input_shape)
         while True:
             collect_start = 0.0
@@ -876,9 +910,15 @@ class BatchingExecutor:
                     stacked = np.concatenate([p.inputs for p in batch], axis=0)
                 timer = (LayerTimer(self.clock)
                          if traced and self.profile_layers else None)
+                served = None
                 forward_start = self.clock()
                 if use_plan:
-                    outputs = plan.execute(rows, timer=timer)
+                    if cache is not None:
+                        served = cache.serve(rows, timer=timer,
+                                             clock=self.clock)
+                        outputs = served.outputs
+                    else:
+                        outputs = plan.execute(rows, timer=timer)
                 elif use_pool:
                     # gather happens directly into the shm slot; the result
                     # stays pinned there under the lease until every waiter
@@ -918,6 +958,15 @@ class BatchingExecutor:
                                             forward_end, tid, parent,
                                             category="compute", model=model,
                                             batch_size=rows)
+                    if served is not None:
+                        # nested child of net.forward: the cost ledger's
+                        # deepest-span-wins sweep carves the probe window
+                        # out of the forward's exclusive time
+                        tracer.add_span("engine.cache", served.probe_start,
+                                        served.probe_end, tid, fspan.span_id,
+                                        category="compute", model=model,
+                                        hits=served.hits,
+                                        misses=served.misses)
                     if timer is not None:
                         timer.emit_spans(tracer, tid, fspan.span_id)
                 self.executed_batches[model].append(rows)
@@ -930,9 +979,26 @@ class BatchingExecutor:
                     view = outputs[offset:offset + n]
                     if view.flags.writeable:
                         view.flags.writeable = False  # consumers copy, never mutate
-                    pending.arena = use_plan or lease is not None
+                    # cache-served outputs are an owned assembled array, not
+                    # arena slabs — the views stay durable past the barrier
+                    pending.arena = ((use_plan and served is None)
+                                     or lease is not None)
                     pending.result = view
                     offset += n
+                if served is not None:
+                    ev = self._layer_cache_events
+                    if ev is not None:
+                        if served.hits:
+                            ev.labels(model=model, event="hit").inc(
+                                served.hits)
+                        if served.misses:
+                            ev.labels(model=model, event="miss").inc(
+                                served.misses)
+                        if served.collisions:
+                            ev.labels(model=model, event="collision").inc(
+                                served.collisions)
+                        self._layer_cache_fidelity.labels(model=model).set(
+                            served.fidelity_max)
                 if self._stage_seconds is not None:
                     # request-weighted: each waiter experienced the assemble
                     # and forward; queue time is summed per request.  Stages
@@ -953,8 +1019,18 @@ class BatchingExecutor:
                         queue_s = sum(max(0.0, queue_end - p.enqueue_s)
                                       for p in batch)
                     stage.labels(model=model, stage="backend.queue").inc(queue_s)
+                    forward_s = forward_end - forward_start
+                    if served is not None:
+                        # stages stay exclusive: the probe window moves from
+                        # net.forward into engine.cache
+                        probe_s = max(0.0, min(forward_s,
+                                               served.probe_end
+                                               - served.probe_start))
+                        forward_s -= probe_s
+                        stage.labels(model=model, stage="engine.cache").inc(
+                            probe_s * len(batch))
                     stage.labels(model=model, stage="net.forward").inc(
-                        (forward_end - forward_start) * len(batch))
+                        forward_s * len(batch))
                 delivered = self.clock()
                 for pending in batch:
                     pending.delivered_s = delivered

@@ -26,6 +26,7 @@ from typing import Callable, Dict, List, Sequence, Tuple
 import numpy as np
 
 from .client import DjinnClient, DjinnDeadlineError, DjinnOverloadedError
+from .duplication import jitter_duplicate, plan_duplicates
 
 __all__ = [
     "LoadResult",
@@ -237,23 +238,13 @@ def run_open_loop_load(
     # duplicate plan, fixed up front so it is deterministic per seed and
     # needs no shared state between worker threads: request i that lands
     # in the plan replays request dup_of[i]'s input with seeded jitter
-    dup_of: Dict[int, int] = {}
-    if dup_frac:
-        dup_rng = np.random.default_rng(seed)
-        for i in range(1, requests):
-            if dup_rng.random() < dup_frac:
-                dup_of[i] = int(dup_rng.integers(0, i))
+    dup_of = plan_duplicates(requests, dup_frac, seed)
 
     def input_for(i: int) -> np.ndarray:
         src = dup_of.get(i)
         if src is None:
             return make_input(i)
-        base = np.asarray(make_input(src))
-        if dup_jitter:
-            jrng = np.random.default_rng((seed + 1) * 1_000_003 + i)
-            base = (base + jrng.normal(0.0, dup_jitter, size=base.shape)
-                    ).astype(base.dtype, copy=False)
-        return base
+        return jitter_duplicate(make_input(src), i, seed, dup_jitter)
 
     lock = threading.Lock()
     cursor = [0]

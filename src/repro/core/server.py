@@ -274,6 +274,13 @@ class DjinnServer(TcpServiceBase):
         the stateless Tonic apps (``imc``, ``dig``, ``face``, ``asr`` — see
         :func:`repro.tonic.serve.build_default_apps`); the NLP taggers
         carry trained featurizer state and must be passed explicitly.
+    layer_cache:
+        Optional :class:`repro.nn.engine.LayerCacheConfig` arming the
+        engine-level activation cache: each batching worker's plan serves
+        prefix → per-row digest probe → partial-batch suffix, memoizing
+        suffix outputs for duplicate (or, with a tolerance, near-duplicate)
+        inputs.  Requires ``batching``; ``None`` (default) keeps the
+        forward path bit-for-bit unchanged.
     """
 
     #: pool batch envelope when serving without a batching policy — single
@@ -297,6 +304,7 @@ class DjinnServer(TcpServiceBase):
         session_limit: int = 64,
         session_idle_s: float = 30.0,
         apps=None,
+        layer_cache=None,
     ):
         super().__init__(host=host, port=port)
         if service_floor_s < 0:
@@ -304,6 +312,9 @@ class DjinnServer(TcpServiceBase):
         if sched is not None and not batching:
             raise ValueError("sched requires a batching policy "
                              "(the scheduler drives the batch queues)")
+        if layer_cache is not None and not batching:
+            raise ValueError("layer_cache requires a batching policy "
+                             "(probes run at batch assembly)")
         self.registry = registry
         self._clock = clock
         self.tracer = tracer if tracer is not None else get_tracer()
@@ -368,7 +379,7 @@ class DjinnServer(TcpServiceBase):
                 registry, batching, service_floor_s=service_floor_s,
                 clock=clock, tracer=self.tracer,
                 metrics=self.metrics, profile_layers=profile_layers,
-                pool=self._pool, sched=sched)
+                pool=self._pool, sched=sched, layer_cache=layer_cache)
         else:
             self._executor = self._pool  # may be None: bare threaded serving
 

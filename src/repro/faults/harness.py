@@ -136,6 +136,21 @@ class ChaosReport:
     app_errors: Dict[str, int] = field(default_factory=dict)
     app_mismatched: int = 0
     app_traces: int = 0
+    #: duplicate-request load (``dup_requests`` byte-identical replays of
+    #: unary request 1's payload, issued right after the unary loop so the
+    #: response cache — armed via ``cache_mb`` — must serve every one from
+    #: the entry request 1 inserted).  A ``cache.probe:error`` fault fails
+    #: the probe *open*: the duplicate is forwarded as an uncacheable miss
+    #: and still answered correctly, but no hit/miss counter moves — so
+    #: expected hits are ``dup_requests`` minus the injected probe faults,
+    #: and hits + misses + poisoned probes must conserve the probed total.
+    dup_requests: int = 0
+    dup_ok: int = 0
+    dup_errors: Dict[str, int] = field(default_factory=dict)
+    dup_mismatched: int = 0
+    cache_mb: float = 0.0
+    cache_hits_metric: int = 0     # gateway_cache_hits_total
+    cache_misses_metric: int = 0   # gateway_cache_misses_total
 
     @property
     def error_total(self) -> int:
@@ -146,6 +161,12 @@ class ChaosReport:
         """App requests that produced neither an answer nor a typed error."""
         return (self.app_requests - self.app_ok
                 - sum(self.app_errors.values()) - self.app_mismatched)
+
+    @property
+    def dup_lost(self) -> int:
+        """Duplicates that produced neither an answer nor a typed error."""
+        return (self.dup_requests - self.dup_ok
+                - sum(self.dup_errors.values()) - self.dup_mismatched)
 
     @property
     def lost(self) -> int:
@@ -180,10 +201,11 @@ class ChaosReport:
             violations.append(
                 f"injected {flaps} probe flap(s) but only "
                 f"{self.transitions.get('mark_down', 0)} mark_down transition(s)")
-        if self.traces != self.requests:
+        unary = self.requests + self.dup_requests
+        if self.traces != unary:
             violations.append(
-                f"expected one closed client.infer root per request "
-                f"({self.requests}), found {self.traces}")
+                f"expected one closed client.infer root per unary request "
+                f"({unary}), found {self.traces}")
         if self.shed != self.shed_metric:
             violations.append(
                 f"client saw {self.shed} OVERLOADED rejection(s) but the "
@@ -254,6 +276,37 @@ class ChaosReport:
             violations.append(
                 f"expected one closed client.app root per app request "
                 f"({self.app_requests}), found {self.app_traces}")
+        if self.dup_lost != 0:
+            violations.append(
+                f"{self.dup_lost} duplicate request(s) lost: no answer and "
+                f"no typed error")
+        if self.dup_mismatched != 0:
+            violations.append(
+                f"{self.dup_mismatched} duplicate request(s) answered with "
+                f"the wrong payload")
+        if self.cache_mb > 0 and self.dup_requests:
+            # only sound when probe poisons land on duplicate ordinals (the
+            # cache_poison scenario pins nth past the unique unary range):
+            # a poisoned probe fails open, so it moves neither counter
+            poisons = sum(count for label, count in self.injected.items()
+                          if label.startswith("cache.probe:error"))
+            expected_hits = self.dup_requests - poisons
+            if self.cache_hits_metric != expected_hits:
+                violations.append(
+                    f"issued {self.dup_requests} duplicate request(s) with "
+                    f"{poisons} poisoned probe(s) but "
+                    f"gateway_cache_hits_total recorded "
+                    f"{self.cache_hits_metric} (expected {expected_hits})")
+            if not (self.shed or self.expired or self.app_requests):
+                probed = self.requests + self.dup_requests
+                accounted = (self.cache_hits_metric
+                             + self.cache_misses_metric + poisons)
+                if accounted != probed:
+                    violations.append(
+                        f"cache probe conservation broke: "
+                        f"{self.cache_hits_metric} hit(s) + "
+                        f"{self.cache_misses_metric} miss(es) + {poisons} "
+                        f"poisoned probe(s) != {probed} probed request(s)")
         return violations
 
     def to_dict(self) -> dict:
@@ -296,6 +349,14 @@ class ChaosReport:
             "app_mismatched": self.app_mismatched,
             "app_lost": self.app_lost,
             "app_traces": self.app_traces,
+            "dup_requests": self.dup_requests,
+            "dup_ok": self.dup_ok,
+            "dup_errors": dict(sorted(self.dup_errors.items())),
+            "dup_mismatched": self.dup_mismatched,
+            "dup_lost": self.dup_lost,
+            "cache_mb": self.cache_mb,
+            "cache_hits_metric": self.cache_hits_metric,
+            "cache_misses_metric": self.cache_misses_metric,
             "violations": self.check(),
         }
 
@@ -398,6 +459,16 @@ class ChaosHarness:
         default serving app — e.g. ``dig``), each answer checked against
         the locally recomputed application result.  The
         ``app.preprocess`` fault site only sees traffic when this is set.
+    cache_mb, dup_requests:
+        Response-cache load: ``cache_mb`` arms the gateway's
+        content-addressed cache, and ``dup_requests`` issues that many
+        byte-identical replays of unary request 1's payload right after
+        the unary loop (cache-probe events are then contiguous: the
+        unique requests probe first, the duplicates after).  Every
+        duplicate must be served from the entry request 1 inserted; the
+        ``cache.probe`` fault site only sees traffic when ``cache_mb``
+        is set, and a poisoned probe must fail open (forwarded miss,
+        correct answer, no counter moved).
     """
 
     def __init__(self, plan: FaultPlan, *,
@@ -417,12 +488,18 @@ class ChaosHarness:
                  deadlines: tuple = (),
                  streams: int = 0,
                  chunks: int = 3,
-                 app_requests: int = 0):
+                 app_requests: int = 0,
+                 cache_mb: float = 0.0,
+                 dup_requests: int = 0):
         if requests < 1:
             raise ValueError(f"requests must be >= 1, got {requests}")
         if app_requests < 0:
             raise ValueError(
                 f"app_requests must be >= 0, got {app_requests}")
+        if cache_mb < 0 or dup_requests < 0:
+            raise ValueError(
+                f"cache_mb and dup_requests must be >= 0, got "
+                f"cache_mb={cache_mb} dup_requests={dup_requests}")
         if any(d < 0 for d in deadlines):
             raise ValueError(f"deadlines must be >= 0, got {deadlines}")
         if streams < 0 or chunks < 1:
@@ -448,6 +525,8 @@ class ChaosHarness:
         self.streams = streams
         self.chunks = chunks
         self.app_requests = app_requests
+        self.cache_mb = cache_mb
+        self.dup_requests = dup_requests
 
     # ----------------------------------------------------------------- load
     def _input(self, index: int, shape) -> np.ndarray:
@@ -462,6 +541,30 @@ class ChaosHarness:
         raw = np.full(tuple(shape), 64, dtype=np.uint8)
         raw.reshape(-1)[0] = np.uint8(index + 1)
         return raw
+
+    def _run_dup_requests(self, client: DjinnClient, net,
+                          report: ChaosReport) -> None:
+        """Sequential byte-identical replays of unary request 1's payload.
+
+        With the cache armed every replay probes the entry request 1's
+        miss inserted; a poisoned probe (``cache.probe:error``) fails
+        open, so the answer must still be correct either way — the only
+        trace of the fault is the hit the counters never recorded.
+        """
+        x = self._input(0, net.input_shape)
+        expected = net.forward(x)
+        for _ in range(self.dup_requests):
+            try:
+                out = client.infer(self.model, x)
+            except (DjinnConnectionError, DjinnServiceError) as exc:
+                kind = type(exc).__name__
+                report.dup_errors[kind] = report.dup_errors.get(kind, 0) + 1
+            else:
+                if (out.shape == expected.shape
+                        and np.allclose(out, expected, rtol=1e-4, atol=1e-5)):
+                    report.dup_ok += 1
+                else:
+                    report.dup_mismatched += 1
 
     def _run_app_requests(self, client: DjinnClient,
                           report: ChaosReport) -> None:
@@ -532,7 +635,9 @@ class ChaosHarness:
                              retry_budget=self.retry.max_attempts,
                              streams=self.streams,
                              chunks=self.chunks if self.streams else 0,
-                             app_requests=self.app_requests)
+                             app_requests=self.app_requests,
+                             dup_requests=self.dup_requests,
+                             cache_mb=self.cache_mb)
 
         tracer = get_tracer()
         was_enabled = tracer.enabled
@@ -555,6 +660,7 @@ class ChaosHarness:
                     health_interval_s=3600.0,  # probes only where scheduled
                     backend_timeout_s=self.backend_timeout_s,
                     qos=self.qos,
+                    cache_mb=self.cache_mb,
                 )
                 with self.plan.armed() as injector:
                     gateway.start()
@@ -582,6 +688,8 @@ class ChaosHarness:
                                     report.ok += 1
                                 else:
                                     report.mismatched += 1
+                        if self.dup_requests:
+                            self._run_dup_requests(client, net, report)
                         if self.app_requests:
                             self._run_app_requests(client, report)
                         for s_idx in range(self.streams):
@@ -619,6 +727,10 @@ class ChaosHarness:
                             for server in cluster.servers)
                         report.hedges_metric = _counter_total(
                             gateway.metrics, "gateway_hedges_total")
+                        report.cache_hits_metric = _counter_total(
+                            gateway.metrics, "gateway_cache_hits_total")
+                        report.cache_misses_metric = _counter_total(
+                            gateway.metrics, "gateway_cache_misses_total")
                     finally:
                         if client is not None:
                             client.close()

@@ -58,6 +58,13 @@ Sites and the kinds they honour
                   per-request error (the batch it coalesced into, and the
                   worker serving it, keep going) — that isolation is what
                   the ``app_poison`` chaos scenario asserts.
+``cache.probe``    (detail: model name)
+    ``error``     raise from inside the gateway's response-cache probe.
+                  The probe must *fail open*: the request is forwarded as
+                  an uncacheable miss, no client ever sees the fault, and
+                  no hit/miss counter moves for the poisoned probe — the
+                  ``cache_poison`` chaos scenario asserts lost==0 and that
+                  served hits still equal ``gateway_cache_hits_total``.
 """
 
 from __future__ import annotations
@@ -81,7 +88,7 @@ __all__ = ["SITES", "KINDS_BY_SITE", "FaultRule", "FaultPlan", "FaultInjector",
 #: Every injection site wired into the serving stack.
 SITES = ("protocol.send", "protocol.recv", "server.accept", "pool.checkout",
          "batch.execute", "health.probe", "proc.dispatch", "sched.admit",
-         "sched.hedge", "stream.chunk", "app.preprocess")
+         "sched.hedge", "stream.chunk", "app.preprocess", "cache.probe")
 
 #: Fault kinds each site honours (validation happens at plan build time).
 KINDS_BY_SITE = {
@@ -96,6 +103,7 @@ KINDS_BY_SITE = {
     "sched.hedge": ("delay",),
     "stream.chunk": ("drop",),
     "app.preprocess": ("error",),
+    "cache.probe": ("error",),
 }
 
 
@@ -342,6 +350,14 @@ class FaultInjector:
         rule = self._fire("app.preprocess", model)
         if rule is not None:
             raise ValueError(f"injected preprocess error (app {model})")
+
+    def on_cache_probe(self, model: str) -> None:
+        """Called inside the gateway's response-cache probe, before the key
+        is derived.  Raises (kind ``error``): the gateway must fail open and
+        forward the request as an uncacheable miss."""
+        rule = self._fire("cache.probe", model)
+        if rule is not None:
+            raise InjectedFault(f"injected cache probe failure ({model})")
 
     def on_stream_chunk(self, model: str) -> bool:
         """Called by the server as a stream chunk arrives; True = drop the

@@ -214,6 +214,20 @@ SCENARIOS: Dict[str, Scenario] = _catalog(
                  "batching": _BATCHING},
     ),
     Scenario(
+        "cache_poison",
+        "The response cache under fire: six byte-identical duplicates of "
+        "request 1 follow the unary load with a 4 MiB gateway cache armed, "
+        "and the cache probes of duplicates 2 and 5 raise inside the "
+        "gateway (probe events 6 and 9; events 1..4 were the unique unary "
+        "requests, each a recorded miss).  A poisoned probe must fail "
+        "open: the duplicate is forwarded as an uncacheable miss and still "
+        "answered correctly, with no hit/miss counter moving — so nothing "
+        "may be lost and gateway_cache_hits_total must equal the "
+        "duplicates minus the injected probe faults exactly (4 of 6).",
+        rules=(FaultRule("cache.probe", "error", nth=(6, 9)),),
+        harness={"requests": 4, "dup_requests": 6, "cache_mb": 4.0},
+    ),
+    Scenario(
         "mixed",
         "Probability-triggered resets, truncations, and checkout refusals "
         "all at once over a longer run; whatever the seed draws, the "

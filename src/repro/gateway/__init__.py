@@ -19,10 +19,13 @@ Layers
     Bounded attempts, exponential backoff, full jitter.
 :class:`ClusterLauncher`
     Spin up/down an in-process backend fleet for tests and benchmarks.
+:class:`ResponseCache`
+    Content-addressed memo of unary responses (``--cache-mb``).
 :class:`GatewayServer`
     The TCP front-end tying it all together.
 """
 
+from .cache import ResponseCache, response_key
 from .health import HealthChecker
 from .launcher import ClusterLauncher
 from .pool import BackendHandle, BackendPool
@@ -37,8 +40,10 @@ __all__ = [
     "GatewayServer",
     "HealthChecker",
     "POLICIES",
+    "ResponseCache",
     "RetryPolicy",
     "Router",
     "merge_stats",
     "rendezvous_score",
+    "response_key",
 ]

@@ -1,0 +1,181 @@
+"""Content-addressed response cache for the gateway's unary serve path.
+
+DjiNN's throughput argument is about amortizing work across requests; the
+cheapest request is the one the fleet never sees.  Real DNN services see
+heavy duplicate traffic (the ``dup_frac`` knobs in the Tonic datasets and
+load generator model it), and a DNN forward pass is a pure function of
+(model, payload) — so a gateway-side memo is sound whenever the key is
+honest about everything the answer depends on.
+
+Key derivation
+--------------
+:func:`response_key` digests exactly the QoS-*invariant* identity of a
+request: the model name, the payload kind, the payload's shape, and its
+raw bytes.  Deadline, priority, tenant, and trace context are deliberately
+excluded — two tenants asking the same model the same question get the
+same answer, so they share an entry (pinned by the property tests in
+``tests/test_cache.py``).  Stream frames never reach the cache: a stream's
+answer is a function of session state, not of any one frame.
+
+Entries store the response *payload* (output tensor or app answer text),
+never a wire frame: trace/span ids are per-request, so the hit path
+rebuilds a response around the caller's identity and the frame comes out
+byte-identical to what a miss would have produced for that same caller.
+
+Budget
+------
+The cache is a bytes-budgeted LRU: ``budget_bytes`` caps the sum of entry
+payload sizes, evicting least-recently-used entries on insert.  An entry
+larger than the whole budget is refused (counted as an eviction of
+itself).  All mutation is under one lock; probe/insert are thread-safe.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["ResponseCache", "response_key"]
+
+
+def response_key(model: str, payload_kind: int, payload,
+                 digest=None) -> bytes:
+    """Content key of one unary request; QoS fields do not participate.
+
+    ``payload`` is the request's tensor (any ndarray) or its text payload
+    (str).  The digest covers the model name, payload kind, dtype/shape,
+    and raw bytes, each length-prefixed so distinct field splits can never
+    collide structurally.
+    """
+    h = hashlib.sha256() if digest is None else digest()
+    name = model.encode("utf-8", "surrogatepass")
+    h.update(len(name).to_bytes(4, "big"))
+    h.update(name)
+    h.update(bytes([payload_kind & 0xFF]))
+    if isinstance(payload, (str, bytes)):
+        data = payload.encode("utf-8") if isinstance(payload, str) else payload
+        h.update(b"text")
+        h.update(len(data).to_bytes(8, "big"))
+        h.update(data)
+    else:
+        arr = np.ascontiguousarray(payload)
+        meta = f"{arr.dtype.str}:{arr.shape}".encode()
+        h.update(b"tensor")
+        h.update(len(meta).to_bytes(4, "big"))
+        h.update(meta)
+        h.update(len(arr.tobytes()).to_bytes(8, "big"))
+        h.update(arr.tobytes())
+    return h.digest()
+
+
+class _Entry:
+    """One cached response payload plus the metadata that verifies it."""
+
+    __slots__ = ("model", "payload_kind", "nbytes", "tensor", "text",
+                 "response_kind", "response_payload_kind")
+
+    def __init__(self, model: str, payload_kind: int, nbytes: int,
+                 tensor: Optional[np.ndarray], text: Optional[str],
+                 response_kind: int, response_payload_kind: int):
+        self.model = model
+        self.payload_kind = payload_kind
+        self.nbytes = nbytes
+        self.tensor = tensor
+        self.text = text
+        #: MessageType value of the cached response frame
+        self.response_kind = response_kind
+        #: payload_kind the response frame declared (app answers carry one)
+        self.response_payload_kind = response_payload_kind
+
+
+class ResponseCache:
+    """Bytes-budgeted LRU of response payloads, keyed by content digest.
+
+    A probe verifies the entry's retained metadata (model, payload kind)
+    against the caller's before serving it, so a digest collision across
+    models degrades to a counted miss instead of a cross-model answer.
+    """
+
+    def __init__(self, budget_bytes: int):
+        if budget_bytes < 1:
+            raise ValueError(
+                f"budget_bytes must be >= 1, got {budget_bytes}")
+        self.budget_bytes = int(budget_bytes)
+        self._lock = threading.Lock()
+        self._lru: "OrderedDict[bytes, _Entry]" = OrderedDict()
+        self.bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.collisions = 0
+
+    # ------------------------------------------------------------- probing
+    def get(self, key: bytes, model: str,
+            payload_kind: int) -> Optional[_Entry]:
+        """The entry for ``key``, or ``None``; counts the outcome."""
+        with self._lock:
+            entry = self._lru.get(key)
+            if entry is not None:
+                if (entry.model != model
+                        or entry.payload_kind != payload_kind):
+                    # same digest, different identity: a structural
+                    # collision — refuse it rather than cross-serve
+                    self.collisions += 1
+                    self.misses += 1
+                    return None
+                self._lru.move_to_end(key)
+                self.hits += 1
+                return entry
+            self.misses += 1
+            return None
+
+    def put(self, key: bytes, model: str, payload_kind: int,
+            tensor: Optional[np.ndarray] = None, text: Optional[str] = None,
+            response_kind: int = 0, response_payload_kind: int = 0) -> int:
+        """Insert one response payload, evicting LRU entries past budget.
+
+        Returns the number of entries evicted (including a refused insert
+        counted against itself), so callers can mirror the eviction count
+        into their own metrics.
+        """
+        nbytes = 0
+        if tensor is not None:
+            tensor = np.array(tensor, dtype=np.float32)  # owned copy
+            tensor.flags.writeable = False
+            nbytes += tensor.nbytes
+        if text is not None:
+            nbytes += len(text.encode("utf-8"))
+        entry = _Entry(model, payload_kind, nbytes, tensor, text,
+                       response_kind, response_payload_kind)
+        with self._lock:
+            if nbytes > self.budget_bytes:
+                self.evictions += 1  # refused: larger than the whole budget
+                return 1
+            old = self._lru.pop(key, None)
+            if old is not None:
+                self.bytes -= old.nbytes
+            self._lru[key] = entry
+            self.bytes += nbytes
+            evicted_now = 0
+            while self.bytes > self.budget_bytes and self._lru:
+                _, evicted = self._lru.popitem(last=False)
+                self.bytes -= evicted.nbytes
+                self.evictions += 1
+                evicted_now += 1
+            return evicted_now
+
+    # ----------------------------------------------------------- reporting
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._lru)
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses,
+                    "evictions": self.evictions,
+                    "collisions": self.collisions,
+                    "entries": len(self._lru), "bytes": self.bytes}

@@ -51,6 +51,7 @@ from ..obs.metrics import MetricsRegistry, merge_dumps
 from ..obs.slo import BurnRateMonitor
 from ..obs.trace import Tracer, get_tracer, log_event
 from ..sched import AdmissionController, LatencyModel, QosConfig, Rejection
+from .cache import ResponseCache, response_key
 from .health import HealthChecker
 from .pool import BackendHandle, BackendPool
 from .retry import RetryPolicy
@@ -203,6 +204,14 @@ class GatewayServer(TcpServiceBase):
         ``qos=None`` the gateway still *propagates* deadlines and passes
         typed DEADLINE_EXCEEDED / OVERLOADED responses through un-retried —
         retrying a spent budget wastes the fleet's time.
+    cache_mb:
+        Bytes budget (in MiB) of the content-addressed response cache;
+        ``0`` (the default) disables it entirely — no cache metrics are
+        registered and every frame takes exactly the uncached path.  When
+        enabled, unary INFER/APP requests are probed after admission (the
+        QoS gate still sheds and expires exactly as before) and answered
+        from the cache when the (model, payload) content key hits; stream
+        frames always bypass.  See :mod:`repro.gateway.cache`.
 
     Health and retry events (mark-down, mark-up, per-request retries,
     exhausted budgets) increment labeled counters in :attr:`metrics` and
@@ -223,6 +232,7 @@ class GatewayServer(TcpServiceBase):
         clock: Callable[[], float] = time.monotonic,
         tracer: Optional[Tracer] = None,
         qos: Optional[QosConfig] = None,
+        cache_mb: float = 0.0,
     ):
         super().__init__(host=host, port=port)
         self._clock = clock
@@ -261,6 +271,25 @@ class GatewayServer(TcpServiceBase):
             "gateway_stage_seconds_total",
             "Seconds spent per gateway stage, per model "
             "(successful forwards).", ("model", "stage"))
+        #: content-addressed response cache (None = disabled; the metric
+        #: families below are only registered when it exists, so a cache-off
+        #: gateway's metrics dump is byte-identical to pre-cache builds)
+        self.cache = (ResponseCache(int(cache_mb * 1024 * 1024))
+                      if cache_mb > 0 else None)
+        if self.cache is not None:
+            self._cache_hits = self.metrics.counter(
+                "gateway_cache_hits_total",
+                "Response-cache hits, per model.", ("model",))
+            self._cache_misses = self.metrics.counter(
+                "gateway_cache_misses_total",
+                "Response-cache misses (collisions included), per model.",
+                ("model",))
+            self._cache_evictions = self.metrics.counter(
+                "gateway_cache_evictions_total",
+                "Response-cache entries evicted past the bytes budget.")
+            self._cache_bytes = self.metrics.gauge(
+                "gateway_cache_bytes",
+                "Response payload bytes currently retained in the cache.")
         #: multi-window error-budget burn over end-to-end attainment (the
         #: client-visible SLO, gating on everything the fleet did)
         self.slo_monitor = BurnRateMonitor(clock=clock, logger=logger)
@@ -480,6 +509,12 @@ class GatewayServer(TcpServiceBase):
             if self.qos is not None:
                 response = self._admission_gate(request, deadline_s,
                                                 span, traced)
+            cache_key = None
+            if response is None and self.cache is not None:
+                # probe after admission so shed/expire behavior is
+                # unchanged; a hit never reaches the fleet
+                cache_key, response = self._cache_probe(request, span,
+                                                        traced, start)
             if response is None:
                 if (self._hedge_delay_s(request.name) > 0
                         and len(self.pool.healthy()) > 1):
@@ -489,6 +524,7 @@ class GatewayServer(TcpServiceBase):
                     response = self._forward_attempts(request, span, traced,
                                                       start, deadline_s)
                     response = self._record_outcome(request, start, response)
+                self._cache_insert(cache_key, request, response)
             if deadline_s is not None:
                 self._record_slo(request.name, response, deadline_s)
             return response
@@ -595,6 +631,84 @@ class GatewayServer(TcpServiceBase):
                               inputs=inputs, exemplar=exemplar)
             self.latency.observe(request.name, 1, elapsed)
         return response
+
+    # ------------------------------------------------------ response cache
+    def _cache_probe(self, request: Message, span, traced: bool,
+                     start: float):
+        """Probe the response cache for one unary request.
+
+        Returns ``(key, response)``: the content key to insert the
+        eventual answer under after a miss, and the rebuilt response on a
+        hit.  Any probe failure — including the ``cache.probe`` fault
+        site — fails open to an uncacheable miss (``(None, None)``) so the
+        request is simply forwarded as if the cache did not exist.
+        """
+        model = request.name
+        probe_start = self._clock()
+        try:
+            if faultsite.active is not None:
+                faultsite.active.on_cache_probe(model)
+            payload = (request.tensor if request.tensor is not None
+                       else (request.text or ""))
+            key = response_key(model, request.payload_kind, payload)
+            entry = self.cache.get(key, model, request.payload_kind)
+        except Exception as exc:
+            log_event(logger, "cache.probe_failed", level=logging.WARNING,
+                      model=model, error=str(exc))
+            return None, None
+        probe_end = self._clock()
+        if traced:
+            self.tracer.add_span(
+                "gateway.cache", probe_start, probe_end,
+                span.trace_id, span.span_id, category="gateway",
+                model=model, outcome="miss" if entry is None else "hit")
+        self._stage_seconds.labels(model=model, stage="gateway.cache").inc(
+            max(0.0, probe_end - probe_start))
+        if entry is None:
+            self._cache_misses.labels(model=model).inc()
+            return key, None
+        self._cache_hits.labels(model=model).inc()
+        if entry.response_kind == int(MessageType.APP_RESPONSE):
+            response = Message(MessageType.APP_RESPONSE, name=model,
+                               text=entry.text,
+                               payload_kind=entry.response_payload_kind,
+                               trace_id=request.trace_id,
+                               span_id=request.span_id)
+        else:
+            response = Message(MessageType.INFER_RESPONSE, name=model,
+                               tensor=entry.tensor,
+                               trace_id=request.trace_id,
+                               span_id=request.span_id)
+        # a hit counts toward throughput stats but never feeds the latency
+        # model: near-zero hit latencies would poison the admission and
+        # hedging estimates of backend service time
+        elapsed = self._clock() - start
+        exemplar = (f"{request.trace_id:016x}"
+                    if request.trace_id and self.tracer.enabled else None)
+        inputs = (len(request.tensor)
+                  if request.type == MessageType.INFER_REQUEST else 1)
+        self.stats.record(model, elapsed, inputs=inputs, exemplar=exemplar)
+        return key, response
+
+    def _cache_insert(self, key, request: Message,
+                      response: Message) -> None:
+        """Retain one successful unary response under its content key."""
+        if self.cache is None or key is None:
+            return
+        if response.type == MessageType.INFER_RESPONSE:
+            evicted = self.cache.put(
+                key, request.name, request.payload_kind,
+                tensor=response.tensor, response_kind=int(response.type))
+        elif response.type == MessageType.APP_RESPONSE:
+            evicted = self.cache.put(
+                key, request.name, request.payload_kind,
+                text=response.text, response_kind=int(response.type),
+                response_payload_kind=response.payload_kind)
+        else:
+            return  # errors and typed rejections are never cacheable
+        if evicted:
+            self._cache_evictions.inc(evicted)
+        self._cache_bytes.set(float(self.cache.bytes))
 
     # ------------------------------------------------------- attempt loop
     def _backend_roundtrip(self, client, request: Message,

@@ -10,7 +10,8 @@ them.
 """
 
 from . import layers  # noqa: F401  (registers all layer types)
-from .engine import ExecutionPlan, PlanError, measure_steady_state_alloc
+from .engine import (ExecutionPlan, LayerCache, LayerCacheConfig,
+                     PlanError, measure_steady_state_alloc)
 from .gradcheck import check_layer_gradients, max_relative_error, numerical_gradient
 from .graph import INPUT, GraphLayerSpec, GraphNet, GraphSpec
 from .netspec import LayerSpec, NetSpec
@@ -43,6 +44,8 @@ __all__ = [
     "GraphLayerSpec",
     "INPUT",
     "ExecutionPlan",
+    "LayerCache",
+    "LayerCacheConfig",
     "PlanError",
     "measure_steady_state_alloc",
     "plan_footprint",

@@ -6,9 +6,10 @@ from :mod:`repro.obs.trace` carry the raw intervals; this module folds one
 trace into a **cost ledger** over a fixed stage taxonomy:
 
     client.serialize → gateway.queue / gateway.route / gateway.admit /
-    gateway.rpc → backend.queue → sched.wait → batch.assemble →
-    preprocess → net.forward (with per-layer sub-breakdown) →
-    postprocess → respond
+    gateway.cache → gateway.rpc → backend.queue → sched.wait →
+    batch.assemble → preprocess → net.forward (with per-layer
+    sub-breakdown and an engine.cache probe window) → postprocess →
+    respond
 
 On the v5 APP path the ``preprocess``/``postprocess`` stages are fed by
 the server-side ``app.preprocess``/``app.postprocess`` spans — the whole
@@ -55,12 +56,14 @@ STAGES: Tuple[str, ...] = (
     "gateway.queue",
     "gateway.route",
     "gateway.admit",
+    "gateway.cache",
     "gateway.rpc",
     "backend.queue",
     "sched.wait",
     "batch.assemble",
     "preprocess",
     "net.forward",
+    "engine.cache",
     "postprocess",
     "respond",
 )
@@ -75,6 +78,9 @@ SPAN_STAGE: Dict[str, Optional[str]] = {
     "gateway.backend": "gateway.rpc",
     "gateway.hedge": "gateway.route",
     "sched.admit": "gateway.admit",
+    "gateway.cache": "gateway.cache",     # response-cache probe (hit or miss)
+    "engine.cache": "engine.cache",       # layer-cache probe window, nested
+                                          # inside net.forward (deepest wins)
     "backend.infer": None,                # container → residual
     "backend.app": None,                  # APP-path container → residual
     "backend.queue": "backend.queue",

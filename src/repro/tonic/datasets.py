@@ -16,6 +16,7 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from ..core.duplication import apply_duplicates
 from .speechsynth import LEXICON as SPEECH_LEXICON
 from .speechsynth import synthesize_words
 from .textgen import TaggedSentence, generate_corpus
@@ -53,29 +54,16 @@ def with_duplicates(
     item's label rides along and ``(images, labels)`` is returned;
     otherwise just the images.  ``dup_frac=0`` returns the inputs
     untouched.
+
+    The plan and jitter come from :mod:`repro.core.duplication` — the
+    same seeded semantics the open-loop load generator draws, so a given
+    ``(seed, count, dup_frac)`` names one duplicate stream across both
+    surfaces.
     """
-    if not 0.0 <= dup_frac <= 1.0:
-        raise ValueError(f"dup_frac must be in [0, 1], got {dup_frac}")
-    count = len(images)
-    if dup_frac == 0.0 or count < 2:
-        return images if labels is None else (images, labels)
-    rng = np.random.default_rng(seed)
-    out = np.array(images, copy=True)
-    out_labels = None if labels is None else np.array(labels, copy=True)
-    dup_count = min(count - 1, int(round(dup_frac * count)))
-    targets = rng.choice(np.arange(1, count), size=dup_count, replace=False)
-    for idx in np.sort(targets):
-        src = int(rng.integers(0, idx))
-        dup = np.asarray(out[src], dtype=out.dtype)
-        if jitter:
-            dup = dup + rng.normal(0.0, jitter, size=dup.shape).astype(
-                out.dtype, copy=False)
-        if np.issubdtype(out.dtype, np.floating):
-            dup = np.clip(dup, 0.0, 1.0)
-        out[idx] = dup
-        if out_labels is not None:
-            out_labels[idx] = out_labels[src]
-    return out if out_labels is None else (out, out_labels)
+    clip = ((0.0, 1.0)
+            if np.issubdtype(np.asarray(images).dtype, np.floating) else None)
+    return apply_duplicates(images, labels, dup_frac=dup_frac, seed=seed,
+                            jitter=jitter, clip=clip)
 
 # ---------------------------------------------------------------------------
 # DIG: seven-segment-style rendered digits (learnable: LeNet-5 trains to >98%)

@@ -218,3 +218,103 @@ def test_stream_soak_leaves_no_sessions_behind():
     finally:
         server.stop()
         registry.close_shm()
+
+
+# ------------------------------------------------------------ dup-heavy
+DUP_CLIENTS = 6
+DUP_REQUESTS_PER_CLIENT = 150
+DUP_FRAC = 0.6
+
+
+@pytest.mark.slow
+def test_dup_heavy_cache_soak_bounded_and_exact():
+    """Dup-heavy soak with both caches armed: 6 client threads push a
+    shared seeded duplicate stream (60% byte-identical replays, the
+    response cache's food) through a gateway with an 8 MiB response cache
+    fronting a batching backend with a lossless layer cache.  Every
+    response is checked against the in-process forward of its own input
+    (lost or cross-served answers are caught by payload), the response
+    cache must stay inside its bytes budget while actually hitting, the
+    layer cache must report *exact* fidelity (tolerance=0 means every hit
+    verified byte-equal), and parent RSS growth stays bounded — neither
+    cache may turn duplicate traffic into a leak."""
+    from repro.core.duplication import plan_duplicates
+    from repro.gateway import GatewayServer
+    from repro.nn import LayerCacheConfig
+
+    registry = ModelRegistry()
+    registry.register_spec("pos", build_spec("pos"), seed=0)
+    net = registry.get("pos")
+
+    total = DUP_CLIENTS * DUP_REQUESTS_PER_CLIENT
+    dup_of = plan_duplicates(total, DUP_FRAC, 0xD1A77)
+
+    def input_for(i: int) -> np.ndarray:
+        # jitter=0 semantics: a planned duplicate replays its source's
+        # exact bytes, so its content key matches at the gateway
+        x = np.full((1,) + net.input_shape, 0.25, dtype=np.float32)
+        x.reshape(-1)[0] = float(dup_of.get(i, i) + 1)
+        return x
+
+    server = DjinnServer(registry,
+                         batching=BatchPolicy(max_batch=8, timeout_ms=1.0),
+                         layer_cache=LayerCacheConfig(max_entries=1024,
+                                                      tolerance=0.0))
+    server.start()
+    gateway = GatewayServer([server.address], cache_mb=8.0,
+                            health_interval_s=30.0)
+    gateway.start()
+    rss_before = _rss_bytes()
+
+    failures: list = []
+    done = [0] * DUP_CLIENTS
+
+    def client_loop(client_id: int) -> None:
+        host, port = gateway.address
+        try:
+            with DjinnClient(host, port, timeout_s=120.0) as client:
+                for i in range(DUP_REQUESTS_PER_CLIENT):
+                    index = client_id * DUP_REQUESTS_PER_CLIENT + i
+                    x = input_for(index)
+                    out = client.infer("pos", x)
+                    expected = net.forward(x)
+                    if (out.shape != expected.shape
+                            or not np.allclose(out, expected,
+                                               rtol=1e-4, atol=1e-6)):
+                        failures.append(
+                            f"client {client_id} request {i}: response "
+                            f"does not match its own input")
+                        return
+                    done[client_id] += 1
+        except Exception as exc:  # noqa: BLE001 - any error fails the soak
+            failures.append(f"client {client_id}: {type(exc).__name__}: {exc}")
+
+    try:
+        threads = [threading.Thread(target=client_loop, args=(i,),
+                                    name=f"dup-soak-{i}")
+                   for i in range(DUP_CLIENTS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=560)
+        assert not any(t.is_alive() for t in threads), "dup-soak clients hung"
+        assert failures == []
+        assert done == [DUP_REQUESTS_PER_CLIENT] * DUP_CLIENTS, (
+            f"lost requests: {done}")
+
+        # ---- residue checks -------------------------------------------
+        stats = gateway.cache.stats()
+        assert stats["hits"] > 0, "dup-heavy stream never hit the cache"
+        assert stats["hits"] + stats["misses"] == total
+        assert stats["bytes"] <= gateway.cache.budget_bytes
+        layer_cache = server._executor.layer_caches.get("pos")
+        assert layer_cache is not None
+        assert layer_cache.stats()["fidelity_max"] == 0.0, (
+            "lossless layer cache reported non-exact fidelity")
+        growth = _rss_bytes() - rss_before
+        assert growth < RSS_GROWTH_LIMIT, (
+            f"parent RSS grew {growth / 1e6:.1f} MB over {total} requests")
+    finally:
+        gateway.stop()
+        server.stop()
+        registry.close_shm()
